@@ -1,0 +1,579 @@
+//! The ADS family: the state of the art the paper compares against.
+//!
+//! * **ADSFull** builds a clustered iSAX-style index in two passes: pass 1
+//!   inserts the summarizations top-down (buffered); pass 2 re-scans the
+//!   raw file and appends every series to its leaf's payload area, buffered
+//!   under the memory budget — when memory is small the flushes degrade to
+//!   random I/O across leaves, which is why ADSFull falls behind
+//!   Coconut-Tree-Full as memory shrinks (paper Figures 8a/8d).
+//! * **ADS+** stops after pass 1 with deliberately coarse leaves and
+//!   *adaptively* splits a leaf down to the target size the first time a
+//!   query visits it — construction is very fast, early queries pay the
+//!   splitting cost (Figures 8b/10).
+//!
+//! Exact search is SIMS (Scan of In-Memory Summarizations): the SAX words
+//! of all series are kept in memory in raw-file order; a query computes a
+//! lower bound for each with parallel threads and fetches the unpruned
+//! records with a skip-sequential pass over the raw file.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::{euclidean_sq, euclidean_sq_early_abandon};
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{CountedFile, Error, Result};
+use coconut_summary::mindist::{finish, mindist_sq_raw};
+use coconut_summary::paa::paa;
+use coconut_summary::sax::Summarizer;
+use coconut_summary::SaxConfig;
+
+use crate::prefixtree::{PrefixTree, PrefixTreeStats, Word};
+
+static ADS_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Which member of the ADS family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdsVariant {
+    /// Non-materialized, adaptive (ADS+).
+    Plus,
+    /// Materialized, clustered (ADSFull).
+    Full,
+}
+
+/// ADS+ builds its initial leaves this many times larger than the target
+/// capacity and refines them on first access.
+const COARSE_FACTOR: usize = 8;
+
+/// Payload chunks are aligned to this boundary (models the leaf slack that
+/// makes ADSFull's on-disk size exceed the raw data's).
+const CHUNK_ALIGN: u64 = 4096;
+
+struct PayloadStore {
+    file: Arc<CountedFile>,
+    /// Per build-time leaf id: the (offset, record count) chunks written.
+    chunks: Vec<Vec<(u64, u32)>>,
+}
+
+/// An ADS+ or ADSFull index.
+pub struct AdsIndex {
+    tree: RwLock<PrefixTree>,
+    variant: AdsVariant,
+    dataset: Dataset,
+    sax: SaxConfig,
+    threads: usize,
+    /// Target (fine) leaf capacity.
+    leaf_capacity: usize,
+    /// In-memory summarizations, raw-file order (`n * segments` bytes).
+    words_by_pos: Vec<u8>,
+    payload: Option<PayloadStore>,
+    /// Positions `0..covered_end` are indexed.
+    covered_end: u64,
+}
+
+impl AdsIndex {
+    /// Build over all of `dataset`. `memory_bytes` bounds both pass-1 insert
+    /// buffers and (for ADSFull) pass-2 payload buffers.
+    pub fn build(
+        dataset: &Dataset,
+        sax: SaxConfig,
+        leaf_capacity: usize,
+        memory_bytes: u64,
+        dir: &Path,
+        variant: AdsVariant,
+        threads: usize,
+    ) -> Result<Self> {
+        Self::build_upto(dataset, sax, leaf_capacity, memory_bytes, dir, variant, threads, dataset.len())
+    }
+
+    /// Build over positions `0..upto` only (workloads that reveal the
+    /// dataset in batches use this together with [`AdsIndex::extend_to`]).
+    #[allow(clippy::too_many_arguments)] // mirrors build plus the bound
+    pub fn build_upto(
+        dataset: &Dataset,
+        sax: SaxConfig,
+        leaf_capacity: usize,
+        memory_bytes: u64,
+        dir: &Path,
+        variant: AdsVariant,
+        threads: usize,
+        upto: u64,
+    ) -> Result<Self> {
+        if upto > dataset.len() {
+            return Err(Error::invalid("upto exceeds the dataset length"));
+        }
+        sax.validate()?;
+        if dataset.series_len() != sax.series_len {
+            return Err(Error::invalid("dataset/config series length mismatch"));
+        }
+        let id = ADS_ID.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::clone(dataset.file().stats());
+        let tree_capacity = match variant {
+            AdsVariant::Plus => leaf_capacity * COARSE_FACTOR,
+            AdsVariant::Full => leaf_capacity,
+        };
+        let file =
+            Arc::new(CountedFile::create(dir.join(format!("ads-{id}.idx")), Arc::clone(&stats))?);
+        let mut tree = PrefixTree::new(sax, tree_capacity, memory_bytes, file)?;
+
+        // Pass 1: summarize and insert (word, pos); keep the words in memory
+        // ("the SAX summaries ... occupy merely 16 GB" for 1e9 series).
+        let mut words_by_pos = Vec::with_capacity(upto as usize * sax.segments);
+        let mut summarizer = Summarizer::new(sax);
+        let mut word: Word = [0u8; 32];
+        {
+            let mut scan = dataset.scan();
+            while let Some((pos, series)) = scan.next_series()? {
+                if pos >= upto {
+                    break;
+                }
+                summarizer.sax_into(series, &mut word[..sax.segments]);
+                words_by_pos.extend_from_slice(&word[..sax.segments]);
+                tree.insert(&word, pos)?;
+            }
+        }
+        tree.flush()?;
+
+        // Pass 2 (Full only): cluster the raw series by leaf.
+        let payload = match variant {
+            AdsVariant::Plus => None,
+            AdsVariant::Full => {
+                let pfile = Arc::new(CountedFile::create(
+                    dir.join(format!("ads-{id}.dat")),
+                    Arc::clone(&stats),
+                )?);
+                let mut store = PayloadStore {
+                    file: pfile,
+                    chunks: vec![Vec::new(); tree.leaf_count() as usize],
+                };
+                let record_bytes = 8 + dataset.series_bytes();
+                let mut buffers: HashMap<u32, Vec<u8>> = HashMap::new();
+                let mut buffered = 0u64;
+                let mut scan = dataset.scan();
+                while let Some((pos, series)) = scan.next_series()? {
+                    if pos >= upto {
+                        break;
+                    }
+                    let w = Self::word_at(&words_by_pos, sax.segments, pos);
+                    let mut full = [0u8; 32];
+                    full[..sax.segments].copy_from_slice(w);
+                    let node = tree.descend(&full).expect("tree is non-empty");
+                    let leaf = tree.leaf_id(node).expect("descend returns leaf");
+                    let buf = buffers.entry(leaf).or_default();
+                    buf.extend_from_slice(&pos.to_le_bytes());
+                    for &v in series {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                    buffered += record_bytes as u64;
+                    if buffered >= memory_bytes {
+                        Self::flush_payload(&mut store, &mut buffers, record_bytes)?;
+                        buffered = 0;
+                    }
+                }
+                Self::flush_payload(&mut store, &mut buffers, record_bytes)?;
+                Some(store)
+            }
+        };
+
+        Ok(AdsIndex {
+            tree: RwLock::new(tree),
+            variant,
+            dataset: dataset.clone(),
+            sax,
+            threads: threads.max(1),
+            leaf_capacity,
+            words_by_pos,
+            payload,
+            covered_end: upto,
+        })
+    }
+
+    /// Index positions `covered_end..upto` by top-down insertion — ADS's
+    /// native update path (ADS+ only; the clustered ADSFull would need its
+    /// payload pass re-run).
+    pub fn extend_to(&mut self, upto: u64) -> Result<()> {
+        if self.variant != AdsVariant::Plus {
+            return Err(Error::invalid("extend_to is only supported for ADS+"));
+        }
+        if upto > self.dataset.len() {
+            return Err(Error::invalid("upto exceeds the dataset length"));
+        }
+        let mut summarizer = Summarizer::new(self.sax);
+        let mut word: Word = [0u8; 32];
+        let mut buf = vec![0.0 as Value; self.sax.series_len];
+        let tree = self.tree.get_mut().expect("lock poisoned");
+        for pos in self.covered_end..upto {
+            self.dataset.read_into(pos, &mut buf)?;
+            summarizer.sax_into(&buf, &mut word[..self.sax.segments]);
+            self.words_by_pos.extend_from_slice(&word[..self.sax.segments]);
+            tree.insert(&word, pos)?;
+        }
+        tree.flush()?;
+        self.covered_end = upto;
+        Ok(())
+    }
+
+    #[inline]
+    fn word_at(words: &[u8], segments: usize, pos: u64) -> &[u8] {
+        &words[pos as usize * segments..(pos as usize + 1) * segments]
+    }
+
+    fn flush_payload(
+        store: &mut PayloadStore,
+        buffers: &mut HashMap<u32, Vec<u8>>,
+        record_bytes: usize,
+    ) -> Result<()> {
+        // Flush leaf by leaf; each chunk lands wherever the file ends —
+        // scattered, page-aligned writes.
+        let mut leaves: Vec<u32> = buffers.keys().copied().collect();
+        leaves.sort_unstable();
+        for leaf in leaves {
+            let buf = buffers.remove(&leaf).unwrap();
+            if buf.is_empty() {
+                continue;
+            }
+            let count = (buf.len() / record_bytes) as u32;
+            let end = store.file.len();
+            let aligned = end.div_ceil(CHUNK_ALIGN) * CHUNK_ALIGN;
+            if aligned > end {
+                store.file.write_all_at(&vec![0u8; (aligned - end) as usize], end)?;
+            }
+            store.file.write_all_at(&buf, aligned)?;
+            store.chunks[leaf as usize].push((aligned, count));
+        }
+        Ok(())
+    }
+
+    /// The pass-1 tree statistics.
+    pub fn tree_stats(&self) -> PrefixTreeStats {
+        self.tree.read().expect("lock poisoned").stats()
+    }
+
+    /// Entries indexed.
+    pub fn len(&self) -> u64 {
+        self.tree.read().expect("lock poisoned").len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which family member this is.
+    pub fn variant(&self) -> AdsVariant {
+        self.variant
+    }
+
+    fn query_word(&self, query: &[Value]) -> Result<Word> {
+        if query.len() != self.sax.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        let mut summarizer = Summarizer::new(self.sax);
+        let mut word = [0u8; 32];
+        summarizer.sax_into(query, &mut word[..self.sax.segments]);
+        Ok(word)
+    }
+
+    /// Approximate search: descend to the most promising leaf. ADS+ first
+    /// refines the leaf adaptively (paying the split cost on first visit);
+    /// ADSFull reads the clustered payload chunks.
+    pub fn approximate_search(&self, query: &[Value]) -> Result<Answer> {
+        Ok(self.approximate_with_stats(query)?.0)
+    }
+
+    fn approximate_with_stats(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        let word = self.query_word(query)?;
+        let mut stats = QueryStats::default();
+        let mut best = Answer::none();
+        let mut best_sq = f64::INFINITY;
+        match self.variant {
+            AdsVariant::Plus => {
+                {
+                    let mut tree = self.tree.write().expect("lock poisoned");
+                    tree.refine_for(&word, self.leaf_capacity)?;
+                }
+                let tree = self.tree.read().expect("lock poisoned");
+                let Some(node) = tree.descend(&word) else {
+                    return Ok((best, stats));
+                };
+                stats.leaves_visited += 1;
+                let mut buf = vec![0.0 as Value; self.sax.series_len];
+                for e in tree.leaf_entries(node)? {
+                    self.dataset.read_into(e.pos, &mut buf)?;
+                    stats.records_fetched += 1;
+                    let d_sq = euclidean_sq(query, &buf);
+                    if d_sq < best_sq {
+                        best_sq = d_sq;
+                        best = Answer { pos: e.pos, dist: d_sq.sqrt() };
+                    }
+                }
+            }
+            AdsVariant::Full => {
+                let tree = self.tree.read().expect("lock poisoned");
+                let Some(node) = tree.descend(&word) else {
+                    return Ok((best, stats));
+                };
+                let leaf = tree.leaf_id(node).expect("leaf");
+                stats.leaves_visited += 1;
+                let store = self.payload.as_ref().expect("Full has a payload store");
+                let record_bytes = 8 + self.dataset.series_bytes();
+                let mut series = vec![0.0 as Value; self.sax.series_len];
+                for &(offset, count) in &store.chunks[leaf as usize] {
+                    let mut chunk = vec![0u8; count as usize * record_bytes];
+                    store.file.read_exact_at(&mut chunk, offset)?;
+                    for rec in chunk.chunks_exact(record_bytes) {
+                        let pos = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                        for (i, vb) in rec[8..].chunks_exact(4).enumerate() {
+                            series[i] = Value::from_le_bytes(vb.try_into().unwrap());
+                        }
+                        stats.records_fetched += 1;
+                        let d_sq = euclidean_sq(query, &series);
+                        if d_sq < best_sq {
+                            best_sq = d_sq;
+                            best = Answer { pos, dist: d_sq.sqrt() };
+                        }
+                    }
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+
+    /// Parallel MINDIST over the flat in-memory word array. Small scans run
+    /// single-threaded: per-query thread spawns only pay off once the scan
+    /// reaches hundreds of thousands of records (see `bench_query`).
+    fn parallel_mindists(&self, query_paa: &[f64]) -> Vec<f64> {
+        const PARALLEL_MIN_RECORDS: usize = 1 << 17;
+        let segments = self.sax.segments;
+        let n = self.words_by_pos.len() / segments.max(1);
+        let mut out = vec![0.0f64; n];
+        let threads = self.threads.clamp(1, n.max(1));
+        if threads <= 1 || n < PARALLEL_MIN_RECORDS {
+            for (i, o) in out.iter_mut().enumerate() {
+                let w = &self.words_by_pos[i * segments..(i + 1) * segments];
+                *o = finish(mindist_sq_raw(query_paa, w, self.sax.card_bits), &self.sax);
+            }
+            return out;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let words = &self.words_by_pos;
+                let sax = self.sax;
+                s.spawn(move || {
+                    let base = ci * chunk;
+                    for (j, o) in out_chunk.iter_mut().enumerate() {
+                        let i = base + j;
+                        let w = &words[i * segments..(i + 1) * segments];
+                        *o = finish(mindist_sq_raw(query_paa, w, sax.card_bits), &sax);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Exact search via SIMS over the raw-file-ordered summarizations.
+    pub fn exact_search(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        let (mut best, mut stats) = self.approximate_with_stats(query)?;
+        let query_paa = paa(query, self.sax.segments);
+        let mindists = self.parallel_mindists(&query_paa);
+        stats.lower_bounds += mindists.len() as u64;
+        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+        let mut buf = vec![0.0 as Value; self.sax.series_len];
+        for (i, &md) in mindists.iter().enumerate() {
+            if md >= best.dist {
+                stats.pruned += 1;
+                continue;
+            }
+            let pos = i as u64;
+            self.dataset.read_into(pos, &mut buf)?;
+            stats.records_fetched += 1;
+            if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, best_sq) {
+                if d_sq < best_sq {
+                    best_sq = d_sq;
+                    best = Answer { pos, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+}
+
+impl SeriesIndex for AdsIndex {
+    fn name(&self) -> String {
+        match self.variant {
+            AdsVariant::Plus => "ADS+".into(),
+            AdsVariant::Full => "ADSFull".into(),
+        }
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        self.approximate_search(query)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        let tree = self.tree.read().expect("lock poisoned");
+        let mut bytes = tree.allocated_blocks() as u64 * tree.block_bytes() as u64;
+        if let Some(p) = &self.payload {
+            bytes += p.file.len();
+        }
+        bytes
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.tree.read().expect("lock poisoned").leaf_count()
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        self.tree.read().expect("lock poisoned").avg_fill()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+
+    const LEN: usize = 64;
+
+    fn sax() -> SaxConfig {
+        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+    }
+
+    fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(53), n, LEN, &stats).unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    fn brute_force(ds: &Dataset, q: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        let mut scan = ds.scan();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            best.merge(Answer { pos, dist: euclidean(q, s) });
+        }
+        best
+    }
+
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
+    #[test]
+    fn ads_plus_exact_matches_brute_force() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 500);
+        let idx =
+            AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), AdsVariant::Plus, 2).unwrap();
+        for seed in 0..8 {
+            let q = query(seed);
+            let (ans, _) = idx.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ads_full_exact_matches_brute_force() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 500);
+        let idx =
+            AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), AdsVariant::Full, 2).unwrap();
+        for seed in 10..18 {
+            let q = query(seed);
+            let (ans, _) = idx.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plus_adapts_on_first_visit() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 800);
+        let idx =
+            AdsIndex::build(&ds, sax(), 8, 1 << 20, dir.path(), AdsVariant::Plus, 1).unwrap();
+        let leaves_before = idx.leaf_count();
+        let splits_before = idx.tree_stats().splits;
+        let q = query(30);
+        idx.approximate_search(&q).unwrap();
+        // Repeating the same query must not split again.
+        let splits_after_first = idx.tree_stats().splits;
+        idx.approximate_search(&q).unwrap();
+        assert_eq!(idx.tree_stats().splits, splits_after_first);
+        assert!(
+            idx.leaf_count() > leaves_before || splits_after_first == splits_before,
+            "a coarse leaf should have been refined (or was already fine)"
+        );
+    }
+
+    #[test]
+    fn full_payload_covers_all_series() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let idx =
+            AdsIndex::build(&ds, sax(), 16, 4096, dir.path(), AdsVariant::Full, 1).unwrap();
+        let store = idx.payload.as_ref().unwrap();
+        let total: u32 = store.chunks.iter().flatten().map(|&(_, c)| c).sum();
+        assert_eq!(total, 300);
+        // Small budget -> many chunks (scattered flushes).
+        let chunk_count: usize = store.chunks.iter().map(|c| c.len()).sum();
+        assert!(chunk_count > store.chunks.len() / 2, "chunks {chunk_count}");
+    }
+
+    #[test]
+    fn full_is_larger_on_disk_than_plus() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let plus =
+            AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), AdsVariant::Plus, 1).unwrap();
+        let full =
+            AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), AdsVariant::Full, 1).unwrap();
+        assert!(full.disk_bytes() > plus.disk_bytes() * 2);
+        // The materialized index is at least as big as the raw payload —
+        // the paper reports ADSFull at 311 GB over a 277 GB dataset.
+        assert!(full.disk_bytes() >= ds.payload_bytes());
+    }
+
+    #[test]
+    fn approximate_never_beats_exact() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 400);
+        for variant in [AdsVariant::Plus, AdsVariant::Full] {
+            let idx =
+                AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), variant, 1).unwrap();
+            for seed in 40..45 {
+                let q = query(seed);
+                let approx = idx.approximate_search(&q).unwrap();
+                let (exact, _) = idx.exact_search(&q).unwrap();
+                assert!(exact.dist <= approx.dist + 1e-9, "{variant:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let dir = TempDir::new("ads").unwrap();
+        let ds = make_dataset(&dir, 0);
+        let idx =
+            AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), AdsVariant::Plus, 1).unwrap();
+        assert!(idx.is_empty());
+        let q = query(1);
+        let (ans, _) = idx.exact_search(&q).unwrap();
+        assert!(!ans.is_some());
+    }
+}

@@ -1,0 +1,683 @@
+//! DSTree: the data-adaptive and dynamic segmentation index (Wang et al.,
+//! PVLDB 2013) — the paper's slowest-building baseline.
+//!
+//! Every node carries its own segmentation of the series and an EAPCA
+//! synopsis: per segment, the min/max of the member series' means and
+//! standard deviations. A full leaf splits on the segment whose mean (or
+//! standard deviation) range is widest, optionally refining the
+//! segmentation, and redistributes its members — which requires re-reading
+//! the raw series it stored, top-down, one insert at a time. That is why
+//! the paper reports DSTree construction "requires more than 24 hours" at
+//! scale.
+//!
+//! The lower bound used for exact search follows from two facts about any
+//! segment of length `l`: `||x - y||²` over the segment decomposes into
+//! `l·(μx − μy)²` plus the centered residual, and the residual is at least
+//! `l·(σx − σy)²` by the reverse triangle inequality. Replacing the member
+//! statistics with the node's min/max intervals gives a valid bound for
+//! every series below the node.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::euclidean_sq_early_abandon;
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{CountedFile, Error, Result};
+
+use crate::heap::MinHeap;
+
+static DSTREE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Per-segment synopsis interval.
+#[derive(Debug, Clone, Copy)]
+struct SegStat {
+    min_mean: f64,
+    max_mean: f64,
+    min_std: f64,
+    max_std: f64,
+}
+
+impl SegStat {
+    fn empty() -> Self {
+        SegStat {
+            min_mean: f64::INFINITY,
+            max_mean: f64::NEG_INFINITY,
+            min_std: f64::INFINITY,
+            max_std: f64::NEG_INFINITY,
+        }
+    }
+
+    fn add(&mut self, mean: f64, std: f64) {
+        self.min_mean = self.min_mean.min(mean);
+        self.max_mean = self.max_mean.max(mean);
+        self.min_std = self.min_std.min(std);
+        self.max_std = self.max_std.max(std);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Split {
+    /// Segment bounds the routing statistic is computed over.
+    start: usize,
+    end: usize,
+    /// Route by standard deviation instead of mean.
+    use_std: bool,
+    threshold: f64,
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    Leaf {
+        /// (file offset, record count) chunks on disk.
+        chunks: Vec<(u64, u32)>,
+        disk_count: u32,
+        /// Buffered records: (pos, series).
+        buffer: Vec<(u64, Vec<Value>)>,
+        /// True when further splits are impossible.
+        unsplittable: bool,
+    },
+    Internal {
+        split: Split,
+        children: [u32; 2],
+    },
+}
+
+#[derive(Debug)]
+struct DsNode {
+    /// Segment end offsets (last == series_len).
+    segmentation: Vec<usize>,
+    synopsis: Vec<SegStat>,
+    kind: NodeKind,
+}
+
+/// Prefix sums used to compute segment means/stds in O(1) per segment.
+struct Prefix {
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl Prefix {
+    fn new(series: &[Value]) -> Self {
+        let mut sum = Vec::with_capacity(series.len() + 1);
+        let mut sum_sq = Vec::with_capacity(series.len() + 1);
+        sum.push(0.0);
+        sum_sq.push(0.0);
+        let (mut a, mut b) = (0.0f64, 0.0f64);
+        for &v in series {
+            a += v as f64;
+            b += (v as f64) * (v as f64);
+            sum.push(a);
+            sum_sq.push(b);
+        }
+        Prefix { sum, sum_sq }
+    }
+
+    #[inline]
+    fn mean_std(&self, start: usize, end: usize) -> (f64, f64) {
+        let l = (end - start) as f64;
+        let mean = (self.sum[end] - self.sum[start]) / l;
+        let var = ((self.sum_sq[end] - self.sum_sq[start]) / l - mean * mean).max(0.0);
+        (mean, var.sqrt())
+    }
+}
+
+/// The DSTree index (materialized: leaves store raw series).
+pub struct DsTree {
+    series_len: usize,
+    leaf_capacity: usize,
+    file: Arc<CountedFile>,
+    nodes: Vec<DsNode>,
+    root: u32,
+    entry_count: u64,
+    splits: u64,
+}
+
+/// Buffered records per leaf before spilling a chunk to disk.
+const LEAF_BUFFER: usize = 64;
+/// Initial number of equal segments at the root.
+const INITIAL_SEGMENTS: usize = 4;
+
+impl DsTree {
+    fn record_bytes(&self) -> usize {
+        8 + self.series_len * 4
+    }
+
+    /// Build by top-down insertion over all of `dataset`.
+    pub fn build(
+        dataset: &Dataset,
+        leaf_capacity: usize,
+        dir: &Path,
+    ) -> Result<Self> {
+        if leaf_capacity == 0 {
+            return Err(Error::invalid("leaf capacity must be positive"));
+        }
+        let id = DSTREE_ID.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::clone(dataset.file().stats());
+        let file = Arc::new(CountedFile::create(dir.join(format!("dstree-{id}.idx")), stats)?);
+        let series_len = dataset.series_len();
+        let segments = INITIAL_SEGMENTS.min(series_len);
+        let segmentation: Vec<usize> =
+            (1..=segments).map(|i| i * series_len / segments).collect();
+        let root = DsNode {
+            synopsis: vec![SegStat::empty(); segmentation.len()],
+            segmentation,
+            kind: NodeKind::Leaf {
+                chunks: Vec::new(),
+                disk_count: 0,
+                buffer: Vec::new(),
+                unsplittable: false,
+            },
+        };
+        let mut tree = DsTree {
+            series_len,
+            leaf_capacity,
+            file,
+            nodes: vec![root],
+            root: 0,
+            entry_count: 0,
+            splits: 0,
+        };
+        let mut scan = dataset.scan();
+        while let Some((pos, series)) = scan.next_series()? {
+            tree.insert(pos, series)?;
+        }
+        tree.flush_all()?;
+        Ok(tree)
+    }
+
+    fn insert(&mut self, pos: u64, series: &[Value]) -> Result<()> {
+        let prefix = Prefix::new(series);
+        let mut node = self.root;
+        loop {
+            // Update this node's synopsis under its own segmentation.
+            let seg = self.nodes[node as usize].segmentation.clone();
+            let mut start = 0;
+            for (i, &end) in seg.iter().enumerate() {
+                let (m, s) = prefix.mean_std(start, end);
+                self.nodes[node as usize].synopsis[i].add(m, s);
+                start = end;
+            }
+            match &mut self.nodes[node as usize].kind {
+                NodeKind::Internal { split, children } => {
+                    let (m, s) = prefix.mean_std(split.start, split.end);
+                    let v = if split.use_std { s } else { m };
+                    node = children[usize::from(v > split.threshold)];
+                }
+                NodeKind::Leaf { buffer, disk_count, .. } => {
+                    buffer.push((pos, series.to_vec()));
+                    self.entry_count += 1;
+                    let total = *disk_count as usize + buffer.len();
+                    if buffer.len() >= LEAF_BUFFER && total <= self.leaf_capacity {
+                        self.spill_leaf(node)?;
+                    } else if total > self.leaf_capacity {
+                        self.split_leaf(node)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Append the leaf's buffered records as one chunk at end of file.
+    fn spill_leaf(&mut self, node: u32) -> Result<()> {
+        let rb = self.record_bytes();
+        let (bytes, count) = {
+            let NodeKind::Leaf { buffer, .. } = &mut self.nodes[node as usize].kind else {
+                return Ok(());
+            };
+            if buffer.is_empty() {
+                return Ok(());
+            }
+            let mut bytes = Vec::with_capacity(buffer.len() * rb);
+            for (pos, series) in buffer.iter() {
+                bytes.extend_from_slice(&pos.to_le_bytes());
+                for &v in series {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            let count = buffer.len() as u32;
+            buffer.clear();
+            (bytes, count)
+        };
+        let offset = self.file.append(&bytes)?;
+        if let NodeKind::Leaf { chunks, disk_count, .. } = &mut self.nodes[node as usize].kind {
+            chunks.push((offset, count));
+            *disk_count += count;
+        }
+        Ok(())
+    }
+
+    /// All records of a leaf (disk chunks + buffer).
+    fn leaf_records(&self, node: u32) -> Result<Vec<(u64, Vec<Value>)>> {
+        let rb = self.record_bytes();
+        let NodeKind::Leaf { chunks, buffer, disk_count, .. } = &self.nodes[node as usize].kind
+        else {
+            return Err(Error::invalid("node is not a leaf"));
+        };
+        let mut out = Vec::with_capacity(*disk_count as usize + buffer.len());
+        for &(offset, count) in chunks {
+            let mut bytes = vec![0u8; count as usize * rb];
+            self.file.read_exact_at(&mut bytes, offset)?;
+            for rec in bytes.chunks_exact(rb) {
+                let pos = u64::from_le_bytes(rec[..8].try_into().unwrap());
+                let series: Vec<Value> = rec[8..]
+                    .chunks_exact(4)
+                    .map(|c| Value::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                out.push((pos, series));
+            }
+        }
+        out.extend(buffer.iter().cloned());
+        Ok(out)
+    }
+
+    fn split_leaf(&mut self, node: u32) -> Result<()> {
+        // Pull every record back (the re-reading the paper charges DSTree
+        // for), choose the widest-range statistic, redistribute.
+        let records = self.leaf_records(node)?;
+        let seg = self.nodes[node as usize].segmentation.clone();
+        let synopsis = self.nodes[node as usize].synopsis.clone();
+
+        let mut best: Option<(f64, usize, bool)> = None; // (range, segment, use_std)
+        let mut start = 0usize;
+        for (i, &end) in seg.iter().enumerate() {
+            let st = synopsis[i];
+            let mean_range = st.max_mean - st.min_mean;
+            let std_range = st.max_std - st.min_std;
+            if best.as_ref().is_none_or(|&(r, _, _)| mean_range > r) && mean_range > 0.0 {
+                best = Some((mean_range, i, false));
+            }
+            if best.as_ref().is_none_or(|&(r, _, _)| std_range > r) && std_range > 0.0 {
+                best = Some((std_range, i, true));
+            }
+            start = end;
+        }
+        let _ = start;
+        let Some((_, seg_i, use_std)) = best else {
+            // All statistics identical: leaf cannot be split.
+            if let NodeKind::Leaf { unsplittable, .. } = &mut self.nodes[node as usize].kind {
+                *unsplittable = true;
+            }
+            return self.spill_leaf(node);
+        };
+        let seg_start = if seg_i == 0 { 0 } else { seg[seg_i - 1] };
+        let seg_end = seg[seg_i];
+        let st = synopsis[seg_i];
+        let threshold = if use_std {
+            0.5 * (st.min_std + st.max_std)
+        } else {
+            0.5 * (st.min_mean + st.max_mean)
+        };
+        let split = Split { start: seg_start, end: seg_end, use_std, threshold };
+
+        // Children refine the split segment (dynamic segmentation) when it
+        // is long enough to halve.
+        let mut child_seg = seg.clone();
+        if seg_end - seg_start >= 2 {
+            let mid = (seg_start + seg_end) / 2;
+            child_seg.insert(seg_i, mid);
+        }
+
+        let mk_child = |segmentation: &Vec<usize>| DsNode {
+            synopsis: vec![SegStat::empty(); segmentation.len()],
+            segmentation: segmentation.clone(),
+            kind: NodeKind::Leaf {
+                chunks: Vec::new(),
+                disk_count: 0,
+                buffer: Vec::new(),
+                unsplittable: false,
+            },
+        };
+        let left = self.nodes.len() as u32;
+        self.nodes.push(mk_child(&child_seg));
+        let right = self.nodes.len() as u32;
+        self.nodes.push(mk_child(&child_seg));
+        self.nodes[node as usize].kind = NodeKind::Internal { split, children: [left, right] };
+        self.splits += 1;
+
+        for (pos, series) in records {
+            let prefix = Prefix::new(&series);
+            let (m, s) = prefix.mean_std(split.start, split.end);
+            let v = if split.use_std { s } else { m };
+            let child = if v > split.threshold { right } else { left };
+            // Update the child synopsis and buffer the record.
+            let cseg = self.nodes[child as usize].segmentation.clone();
+            let mut cs = 0usize;
+            for (i, &end) in cseg.iter().enumerate() {
+                let (m, s) = prefix.mean_std(cs, end);
+                self.nodes[child as usize].synopsis[i].add(m, s);
+                cs = end;
+            }
+            if let NodeKind::Leaf { buffer, .. } = &mut self.nodes[child as usize].kind {
+                buffer.push((pos, series));
+            }
+            // entry_count unchanged: these records were counted when first
+            // inserted.
+        }
+        // A degenerate split (everything on one side) could overflow again;
+        // recurse if needed.
+        for child in [left, right] {
+            let len = self.leaf_len(child);
+            if len > self.leaf_capacity {
+                self.split_leaf(child)?;
+            } else if len >= LEAF_BUFFER {
+                self.spill_leaf(child)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn leaf_len(&self, node: u32) -> usize {
+        match &self.nodes[node as usize].kind {
+            NodeKind::Leaf { disk_count, buffer, .. } => *disk_count as usize + buffer.len(),
+            _ => 0,
+        }
+    }
+
+    fn flush_all(&mut self) -> Result<()> {
+        for node in 0..self.nodes.len() as u32 {
+            if matches!(self.nodes[node as usize].kind, NodeKind::Leaf { .. }) {
+                self.spill_leaf(node)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Entries indexed.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Number of leaf splits performed during construction.
+    pub fn split_count(&self) -> u64 {
+        self.splits
+    }
+
+    /// Lower bound between the query (via its prefix sums) and `node`.
+    fn node_lower_bound(&self, prefix: &Prefix, node: u32) -> f64 {
+        let n = &self.nodes[node as usize];
+        let mut acc = 0.0f64;
+        let mut start = 0usize;
+        for (i, &end) in n.segmentation.iter().enumerate() {
+            let st = &n.synopsis[i];
+            if st.min_mean > st.max_mean {
+                // Empty synopsis: nothing inserted below this node.
+                start = end;
+                continue;
+            }
+            let l = (end - start) as f64;
+            let (qm, qs) = prefix.mean_std(start, end);
+            let dm = if qm < st.min_mean {
+                st.min_mean - qm
+            } else if qm > st.max_mean {
+                qm - st.max_mean
+            } else {
+                0.0
+            };
+            let ds = if qs < st.min_std {
+                st.min_std - qs
+            } else if qs > st.max_std {
+                qs - st.max_std
+            } else {
+                0.0
+            };
+            acc += l * (dm * dm + ds * ds);
+            start = end;
+        }
+        acc.sqrt()
+    }
+
+    fn eval_leaf(
+        &self,
+        node: u32,
+        query: &[Value],
+        best: &mut Answer,
+        best_sq: &mut f64,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        stats.leaves_visited += 1;
+        for (pos, series) in self.leaf_records(node)? {
+            stats.records_fetched += 1;
+            if let Some(d_sq) = euclidean_sq_early_abandon(query, &series, *best_sq) {
+                if d_sq < *best_sq {
+                    *best_sq = d_sq;
+                    *best = Answer { pos, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate search: route the query to one leaf.
+    pub fn approximate_search(&self, query: &[Value]) -> Result<Answer> {
+        if query.len() != self.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        if self.is_empty() {
+            return Ok(Answer::none());
+        }
+        let prefix = Prefix::new(query);
+        let mut node = self.root;
+        while let NodeKind::Internal { split, children } = &self.nodes[node as usize].kind {
+            let (m, s) = prefix.mean_std(split.start, split.end);
+            let v = if split.use_std { s } else { m };
+            node = children[usize::from(v > split.threshold)];
+        }
+        let mut best = Answer::none();
+        let mut best_sq = f64::INFINITY;
+        let mut stats = QueryStats::default();
+        self.eval_leaf(node, query, &mut best, &mut best_sq, &mut stats)?;
+        Ok(best)
+    }
+
+    /// Exact search: best-first over the EAPCA lower bounds.
+    pub fn exact_search(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        let mut stats = QueryStats::default();
+        if query.len() != self.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        if self.is_empty() {
+            return Ok((Answer::none(), stats));
+        }
+        let prefix = Prefix::new(query);
+        let mut best = self.approximate_search(query)?;
+        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+        let mut heap = MinHeap::new();
+        heap.push(self.node_lower_bound(&prefix, self.root), self.root);
+        stats.lower_bounds += 1;
+        while let Some((bound, node)) = heap.pop() {
+            if bound >= best.dist {
+                stats.pruned += 1;
+                continue;
+            }
+            match &self.nodes[node as usize].kind {
+                NodeKind::Leaf { .. } => {
+                    self.eval_leaf(node, query, &mut best, &mut best_sq, &mut stats)?;
+                }
+                NodeKind::Internal { children, .. } => {
+                    for &c in children {
+                        let lb = self.node_lower_bound(&prefix, c);
+                        stats.lower_bounds += 1;
+                        if lb < best.dist {
+                            heap.push(lb, c);
+                        } else {
+                            stats.pruned += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+
+    /// Number of leaf nodes.
+    fn count_leaves(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Leaf { .. }))
+            .count() as u64
+    }
+}
+
+impl SeriesIndex for DsTree {
+    fn name(&self) -> String {
+        "DSTree".into()
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        self.approximate_search(query)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.file.len()
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.count_leaves()
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        let leaves = self.count_leaves();
+        if leaves == 0 {
+            return 0.0;
+        }
+        self.entry_count as f64 / (leaves * self.leaf_capacity as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+
+    const LEN: usize = 64;
+
+    fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(71), n, LEN, &stats).unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    fn brute_force(ds: &Dataset, q: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        let mut scan = ds.scan();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            best.merge(Answer { pos, dist: euclidean(q, s) });
+        }
+        best
+    }
+
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
+    #[test]
+    fn build_counts_and_splits() {
+        let dir = TempDir::new("dstree").unwrap();
+        let ds = make_dataset(&dir, 500);
+        let t = DsTree::build(&ds, 32, dir.path()).unwrap();
+        assert_eq!(t.len(), 500);
+        assert!(t.split_count() > 0);
+        assert!(t.leaf_count() > 1);
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let dir = TempDir::new("dstree").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let t = DsTree::build(&ds, 32, dir.path()).unwrap();
+        for seed in 0..8 {
+            let q = query(seed);
+            let (ans, _) = t.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+            assert!((ans.dist - expect.dist).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_valid_for_members() {
+        let dir = TempDir::new("dstree").unwrap();
+        let ds = make_dataset(&dir, 200);
+        let t = DsTree::build(&ds, 16, dir.path()).unwrap();
+        let q = query(30);
+        let prefix = Prefix::new(&q);
+        // For every leaf, the node LB must lower-bound the true distance of
+        // every member.
+        for node in 0..t.nodes.len() as u32 {
+            if !matches!(t.nodes[node as usize].kind, NodeKind::Leaf { .. }) {
+                continue;
+            }
+            let lb = t.node_lower_bound(&prefix, node);
+            for (_, series) in t.leaf_records(node).unwrap() {
+                let d = euclidean(&q, &series);
+                assert!(lb <= d + 1e-6, "lb {lb} > dist {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_never_beats_exact() {
+        let dir = TempDir::new("dstree").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let t = DsTree::build(&ds, 32, dir.path()).unwrap();
+        for seed in 10..16 {
+            let q = query(seed);
+            let approx = t.approximate_search(&q).unwrap();
+            let (exact, _) = t.exact_search(&q).unwrap();
+            assert!(exact.dist <= approx.dist + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let dir = TempDir::new("dstree").unwrap();
+        let ds = make_dataset(&dir, 0);
+        let t = DsTree::build(&ds, 32, dir.path()).unwrap();
+        assert!(t.is_empty());
+        let q = query(1);
+        let (ans, _) = t.exact_search(&q).unwrap();
+        assert!(!ans.is_some());
+    }
+
+    #[test]
+    fn identical_series_unsplittable_leaf() {
+        let dir = TempDir::new("dstree").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("flat.bin");
+        let mut w =
+            coconut_series::dataset::DatasetWriter::create(&path, LEN, true, Arc::clone(&stats))
+                .unwrap();
+        // Identical (z-normalized sine) series cannot be separated by any
+        // mean/std split.
+        let mut s: Vec<Value> = (0..LEN).map(|i| (i as f32 * 0.3).sin()).collect();
+        znormalize(&mut s);
+        for _ in 0..50 {
+            w.append(&s).unwrap();
+        }
+        w.finish().unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        let t = DsTree::build(&ds, 16, dir.path()).unwrap();
+        assert_eq!(t.len(), 50);
+        let (ans, _) = t.exact_search(&s).unwrap();
+        assert!(ans.dist < 1e-6);
+    }
+}

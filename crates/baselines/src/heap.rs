@@ -1,0 +1,100 @@
+//! A tiny min-heap keyed by `f64` lower bounds, used by every best-first
+//! exact search (iSAX 2.0, R-tree, DSTree).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// `(lower_bound, payload)` ordered so the *smallest* bound pops first.
+#[derive(Debug, Clone, Copy)]
+struct Entry<T> {
+    bound: f64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min bound first.
+        other.bound.total_cmp(&self.bound)
+    }
+}
+
+/// A min-heap of `(f64 bound, T)` pairs.
+#[derive(Debug)]
+pub struct MinHeap<T> {
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T> Default for MinHeap<T> {
+    fn default() -> Self {
+        MinHeap { heap: BinaryHeap::new() }
+    }
+}
+
+impl<T> MinHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push an item with its lower bound.
+    pub fn push(&mut self, bound: f64, item: T) {
+        self.heap.push(Entry { bound, item });
+    }
+
+    /// Pop the item with the smallest bound.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.bound, e.item))
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_increasing_bound_order() {
+        let mut h = MinHeap::new();
+        h.push(3.0, "c");
+        h.push(1.0, "a");
+        h.push(2.0, "b");
+        h.push(0.0, "zero");
+        assert_eq!(h.pop(), Some((0.0, "zero")));
+        assert_eq!(h.pop(), Some((1.0, "a")));
+        assert_eq!(h.pop(), Some((2.0, "b")));
+        assert_eq!(h.pop(), Some((3.0, "c")));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn handles_inf_and_duplicates() {
+        let mut h = MinHeap::new();
+        h.push(f64::INFINITY, 1);
+        h.push(0.5, 2);
+        h.push(0.5, 3);
+        assert_eq!(h.pop().unwrap().0, 0.5);
+        assert_eq!(h.pop().unwrap().0, 0.5);
+        assert_eq!(h.pop().unwrap().0, f64::INFINITY);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! iSAX 2.0: the classic top-down data series index (paper Section 2/3,
+//! Figure 3).
+//!
+//! Series are inserted one by one through the root; inserts are buffered
+//! (the FBL) and flushed when the memory budget runs out. Every flush is a
+//! read-modify-write of a leaf block, and splits scatter children across
+//! the file — the O(N) random-I/O construction behaviour the paper analyzes
+//! in Section 3.1. Exact search is the traditional best-first traversal with
+//! node MINDIST pruning.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::{euclidean_sq, euclidean_sq_early_abandon};
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{CountedFile, Error, Result};
+use coconut_summary::mindist::mindist_paa_isax;
+use coconut_summary::paa::paa;
+use coconut_summary::sax::Summarizer;
+use coconut_summary::SaxConfig;
+
+use crate::heap::MinHeap;
+use crate::prefixtree::{PrefixTree, PrefixTreeStats, Word};
+
+static ISAX2_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The iSAX 2.0 index (non-materialized: leaves hold `(word, position)`).
+pub struct Isax2Index {
+    tree: PrefixTree,
+    dataset: Dataset,
+    sax: SaxConfig,
+}
+
+impl Isax2Index {
+    /// Build by top-down insertion over all of `dataset`, buffering inserts
+    /// within `memory_bytes`.
+    pub fn build(
+        dataset: &Dataset,
+        sax: SaxConfig,
+        leaf_capacity: usize,
+        memory_bytes: u64,
+        dir: &Path,
+    ) -> Result<Self> {
+        sax.validate()?;
+        if dataset.series_len() != sax.series_len {
+            return Err(Error::invalid("dataset/config series length mismatch"));
+        }
+        let id = ISAX2_ID.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::clone(dataset.file().stats());
+        let file = Arc::new(CountedFile::create(dir.join(format!("isax2-{id}.idx")), stats)?);
+        let mut tree = PrefixTree::new(sax, leaf_capacity, memory_bytes, file)?;
+        let mut summarizer = Summarizer::new(sax);
+        let mut scan = dataset.scan();
+        let mut word: Word = [0u8; 32];
+        while let Some((pos, series)) = scan.next_series()? {
+            summarizer.sax_into(series, &mut word[..sax.segments]);
+            tree.insert(&word, pos)?;
+        }
+        tree.flush()?;
+        Ok(Isax2Index { tree, dataset: dataset.clone(), sax })
+    }
+
+    /// Build statistics (splits, flush cycles).
+    pub fn tree_stats(&self) -> PrefixTreeStats {
+        self.tree.stats()
+    }
+
+    /// Entries indexed.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    fn query_word(&self, query: &[Value]) -> Result<Word> {
+        if query.len() != self.sax.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        let mut summarizer = Summarizer::new(self.sax);
+        let mut word = [0u8; 32];
+        summarizer.sax_into(query, &mut word[..self.sax.segments]);
+        Ok(word)
+    }
+
+    /// Evaluate every entry of leaf `node` against `query`.
+    fn eval_leaf(
+        &self,
+        node: u32,
+        query: &[Value],
+        best: &mut Answer,
+        best_sq: &mut f64,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let entries = self.tree.leaf_entries(node)?;
+        stats.leaves_visited += 1;
+        let mut buf = vec![0.0 as Value; self.sax.series_len];
+        for e in entries {
+            self.dataset.read_into(e.pos, &mut buf)?;
+            stats.records_fetched += 1;
+            if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, *best_sq) {
+                if d_sq < *best_sq {
+                    *best_sq = d_sq;
+                    *best = Answer { pos: e.pos, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate search: the single most promising leaf.
+    pub fn approximate_search(&self, query: &[Value]) -> Result<Answer> {
+        let word = self.query_word(query)?;
+        let Some(node) = self.tree.descend(&word) else {
+            return Ok(Answer::none());
+        };
+        let mut best = Answer::none();
+        let mut best_sq = f64::INFINITY;
+        let mut stats = QueryStats::default();
+        self.eval_leaf(node, query, &mut best, &mut best_sq, &mut stats)?;
+        Ok(best)
+    }
+
+    /// Traditional exact search: best-first node traversal with MINDIST
+    /// pruning.
+    pub fn exact_search(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        let mut stats = QueryStats::default();
+        let Some(root) = self.tree.root() else {
+            return Ok((Answer::none(), stats));
+        };
+        let query_paa = paa(query, self.sax.segments);
+        let mut best = self.approximate_search(query)?;
+        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+
+        let mut heap = MinHeap::new();
+        heap.push(0.0, root);
+        while let Some((bound, node)) = heap.pop() {
+            if bound >= best.dist {
+                stats.pruned += 1;
+                continue;
+            }
+            if self.tree.is_leaf(node) {
+                self.eval_leaf(node, query, &mut best, &mut best_sq, &mut stats)?;
+            } else if let Some((a, b)) = self.tree.children(node) {
+                for child in [a, b] {
+                    let md = mindist_paa_isax(&query_paa, self.tree.node_mask(child), &self.sax);
+                    stats.lower_bounds += 1;
+                    if md < best.dist {
+                        heap.push(md, child);
+                    } else {
+                        stats.pruned += 1;
+                    }
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+
+    /// Euclidean distance helper exposed for tests.
+    pub fn true_distance(&self, query: &[Value], pos: u64) -> Result<f64> {
+        let s = self.dataset.get(pos)?;
+        Ok(euclidean_sq(query, &s).sqrt())
+    }
+}
+
+impl SeriesIndex for Isax2Index {
+    fn name(&self) -> String {
+        "iSAX2.0".into()
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        self.approximate_search(query)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.tree.allocated_blocks() as u64 * self.tree.block_bytes() as u64
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.tree.leaf_count()
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        self.tree.avg_fill()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+
+    const LEN: usize = 64;
+
+    fn sax() -> SaxConfig {
+        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+    }
+
+    fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(41), n, LEN, &stats).unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    fn brute_force(ds: &Dataset, q: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        let mut scan = ds.scan();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            best.merge(Answer { pos, dist: euclidean(q, s) });
+        }
+        best
+    }
+
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let dir = TempDir::new("isax2").unwrap();
+        let ds = make_dataset(&dir, 600);
+        let idx = Isax2Index::build(&ds, sax(), 32, 1 << 20, dir.path()).unwrap();
+        assert_eq!(idx.len(), 600);
+        for seed in 0..10 {
+            let q = query(seed);
+            let (ans, _) = idx.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+            assert!((ans.dist - expect.dist).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn exact_correct_even_with_tiny_buffer() {
+        let dir = TempDir::new("isax2").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let idx = Isax2Index::build(&ds, sax(), 16, 256, dir.path()).unwrap();
+        assert!(idx.tree_stats().flush_cycles > 10);
+        for seed in 20..26 {
+            let q = query(seed);
+            let (ans, _) = idx.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn approximate_never_beats_exact() {
+        let dir = TempDir::new("isax2").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let idx = Isax2Index::build(&ds, sax(), 32, 1 << 20, dir.path()).unwrap();
+        for seed in 30..38 {
+            let q = query(seed);
+            let approx = idx.approximate_search(&q).unwrap();
+            let (exact, _) = idx.exact_search(&q).unwrap();
+            assert!(exact.dist <= approx.dist + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pruning_happens() {
+        let dir = TempDir::new("isax2").unwrap();
+        let ds = make_dataset(&dir, 800);
+        let idx = Isax2Index::build(&ds, sax(), 16, 1 << 20, dir.path()).unwrap();
+        let q = query(50);
+        let (_, stats) = idx.exact_search(&q).unwrap();
+        assert!(stats.pruned > 0, "no nodes pruned");
+        assert!(stats.records_fetched < 800, "no pruning benefit");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let dir = TempDir::new("isax2").unwrap();
+        let ds = make_dataset(&dir, 0);
+        let idx = Isax2Index::build(&ds, sax(), 32, 1 << 20, dir.path()).unwrap();
+        assert!(idx.is_empty());
+        let q = query(1);
+        assert!(!idx.approximate_search(&q).unwrap().is_some());
+        let (ans, _) = idx.exact_search(&q).unwrap();
+        assert!(!ans.is_some());
+    }
+}

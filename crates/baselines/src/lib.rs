@@ -1,0 +1,36 @@
+//! State-of-the-art baselines the paper compares Coconut against.
+//!
+//! Everything here is implemented from scratch on the same substrates
+//! (`coconut-series`, `coconut-summary`, `coconut-storage`) so that build
+//! and query costs are measured in the same disk-access model:
+//!
+//! * [`scan::SerialScan`] — brute force; the ground truth for tests and the
+//!   "no index" reference point.
+//! * [`isax2::Isax2Index`] — classic top-down iSAX 2.0: buffered inserts,
+//!   prefix splits, non-contiguous leaves (paper Section 3.1, Figure 3).
+//! * [`ads::AdsIndex`] — the ADS family (the paper's main competitor):
+//!   `ADSFull` (clustered, two passes) and `ADS+` (adaptive, summarization
+//!   only), both answering exact queries with SIMS.
+//! * [`rtree::RTreeIndex`] — an R-tree over PAA points bulk-loaded with the
+//!   Sort-Tile-Recursive algorithm; materialized and `R-tree+` variants.
+//! * [`dstree::DsTree`] — the data-adaptive segmentation tree (EAPCA
+//!   synopsis, mean/std splits, top-down inserts).
+//! * [`vertical::VerticalIndex`] — the stepwise DHWT scan index that stores
+//!   Haar coefficients resolution by resolution.
+
+pub mod ads;
+pub mod dstree;
+pub mod heap;
+pub mod isax2;
+pub mod prefixtree;
+pub mod rtree;
+pub mod scan;
+pub mod vertical;
+
+pub use ads::{AdsIndex, AdsVariant};
+pub use coconut_storage::{Error, Result};
+pub use dstree::DsTree;
+pub use isax2::Isax2Index;
+pub use rtree::RTreeIndex;
+pub use scan::SerialScan;
+pub use vertical::VerticalIndex;

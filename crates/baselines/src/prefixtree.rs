@@ -1,0 +1,703 @@
+//! The top-down iSAX prefix tree shared by iSAX 2.0 and the ADS family.
+//!
+//! This is the structure the paper's Section 3 analyzes (Figure 3): every
+//! node is an iSAX mask; a full leaf splits by extending one segment's
+//! prefix by one bit ("the segment whose next unprefixed bit divides the
+//! resident data series most"). Inserts are buffered in memory (the FBL of
+//! iSAX 2.0); when the buffer budget is exhausted, all buffers are flushed
+//! — each flush is a read-modify-write of that leaf's disk block, and
+//! split-off children are allocated "wherever there is space on disk", so
+//! leaves end up non-contiguous and sparsely filled. Those two properties
+//! are precisely what Coconut's bottom-up construction removes.
+//!
+//! Leaf blocks store `(SAX word, position)` entries; raw series payloads
+//! (for the materialized ADSFull) live in a separate payload store keyed by
+//! leaf, filled in a second pass after the structure is frozen.
+
+use std::sync::Arc;
+
+use coconut_storage::{CountedFile, Error, Result};
+use coconut_summary::isax::IsaxMask;
+use coconut_summary::SaxConfig;
+
+/// Fixed-size SAX word storage (up to 32 segments).
+pub type Word = [u8; 32];
+
+/// One buffered or stored entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaxEntry {
+    /// Full-cardinality SAX word (first `segments` bytes meaningful).
+    pub word: Word,
+    /// Position in the raw file.
+    pub pos: u64,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Internal { split_segment: u16, children: [u32; 2] },
+    Leaf { leaf: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mask: IsaxMask,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Default)]
+struct LeafState {
+    /// Disk blocks holding flushed entries, in write order.
+    blocks: Vec<u32>,
+    /// Entries on disk.
+    disk_count: u32,
+    /// Buffered (in-memory, not yet flushed) entries.
+    buffer: Vec<SaxEntry>,
+    /// True when the leaf cannot be split further (identical words).
+    oversized: bool,
+}
+
+/// Counters the experiments report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefixTreeStats {
+    /// Number of leaf splits performed.
+    pub splits: u64,
+    /// Number of buffer-flush cycles (memory pressure events).
+    pub flush_cycles: u64,
+}
+
+/// A top-down, buffered iSAX prefix tree.
+pub struct PrefixTree {
+    sax: SaxConfig,
+    capacity: usize,
+    buffer_budget: u64,
+    file: Arc<CountedFile>,
+    nodes: Vec<Node>,
+    leaves: Vec<LeafState>,
+    root: Option<u32>,
+    buffered_bytes: u64,
+    entry_count: u64,
+    next_block: u32,
+    free_blocks: Vec<u32>,
+    stats: PrefixTreeStats,
+}
+
+impl PrefixTree {
+    /// Entry size on disk: `segments` word bytes + 8 position bytes.
+    pub fn entry_bytes(sax: &SaxConfig) -> usize {
+        sax.segments + 8
+    }
+
+    /// A new, empty tree writing its leaf blocks into `file`.
+    pub fn new(
+        sax: SaxConfig,
+        leaf_capacity: usize,
+        buffer_budget: u64,
+        file: Arc<CountedFile>,
+    ) -> Result<Self> {
+        sax.validate()?;
+        if sax.segments > 32 {
+            return Err(Error::invalid("prefix tree supports at most 32 segments"));
+        }
+        if leaf_capacity == 0 {
+            return Err(Error::invalid("leaf capacity must be positive"));
+        }
+        Ok(PrefixTree {
+            sax,
+            capacity: leaf_capacity,
+            buffer_budget: buffer_budget.max(1),
+            file,
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+            root: None,
+            buffered_bytes: 0,
+            entry_count: 0,
+            next_block: 0,
+            free_blocks: Vec::new(),
+            stats: PrefixTreeStats::default(),
+        })
+    }
+
+    /// The SAX configuration.
+    pub fn sax(&self) -> &SaxConfig {
+        &self.sax
+    }
+
+    /// Leaf capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries inserted.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// True when no entry was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Build / flush statistics.
+    pub fn stats(&self) -> PrefixTreeStats {
+        self.stats
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.capacity * Self::entry_bytes(&self.sax)
+    }
+
+    /// Physical blocks currently allocated (including freed ones not yet
+    /// reused — they still occupy file space).
+    pub fn allocated_blocks(&self) -> u32 {
+        self.next_block
+    }
+
+    fn alloc_block(&mut self) -> u32 {
+        if let Some(b) = self.free_blocks.pop() {
+            return b;
+        }
+        let b = self.next_block;
+        self.next_block += 1;
+        b
+    }
+
+    fn block_offset(&self, block: u32) -> u64 {
+        block as u64 * self.block_bytes() as u64
+    }
+
+    /// Insert one summarized entry (buffered; may trigger a global flush).
+    pub fn insert(&mut self, word: &Word, pos: u64) -> Result<()> {
+        let entry = SaxEntry { word: *word, pos };
+        let leaf_node = match self.root {
+            None => {
+                let leaf = self.new_leaf();
+                let mask = IsaxMask::root(self.sax.segments);
+                self.nodes.push(Node { mask, kind: NodeKind::Leaf { leaf } });
+                let id = (self.nodes.len() - 1) as u32;
+                self.root = Some(id);
+                id
+            }
+            Some(root) => self.descend_from(root, word),
+        };
+        let NodeKind::Leaf { leaf } = self.nodes[leaf_node as usize].kind else {
+            unreachable!("descend returns a leaf");
+        };
+        self.leaves[leaf as usize].buffer.push(entry);
+        self.buffered_bytes += Self::entry_bytes(&self.sax) as u64;
+        self.entry_count += 1;
+        if self.buffered_bytes >= self.buffer_budget {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn new_leaf(&mut self) -> u32 {
+        self.leaves.push(LeafState::default());
+        (self.leaves.len() - 1) as u32
+    }
+
+    /// Descend from `node` to the leaf covering `word`.
+    fn descend_from(&self, mut node: u32, word: &Word) -> u32 {
+        loop {
+            match &self.nodes[node as usize].kind {
+                NodeKind::Leaf { .. } => return node,
+                NodeKind::Internal { split_segment, children } => {
+                    let seg = *split_segment as usize;
+                    let child = self.nodes[node as usize]
+                        .mask
+                        .child_of(seg, word[seg], self.sax.card_bits);
+                    node = children[child];
+                }
+            }
+        }
+    }
+
+    /// Public descend: the leaf *node id* covering `word` (None if empty).
+    pub fn descend(&self, word: &Word) -> Option<u32> {
+        self.root.map(|r| self.descend_from(r, word))
+    }
+
+    /// The mask of a node.
+    pub fn node_mask(&self, node: u32) -> &IsaxMask {
+        &self.nodes[node as usize].mask
+    }
+
+    /// Children of an internal node.
+    pub fn children(&self, node: u32) -> Option<(u32, u32)> {
+        match self.nodes[node as usize].kind {
+            NodeKind::Internal { children, .. } => Some((children[0], children[1])),
+            NodeKind::Leaf { .. } => None,
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> Option<u32> {
+        self.root
+    }
+
+    /// Whether `node` is a leaf.
+    pub fn is_leaf(&self, node: u32) -> bool {
+        matches!(self.nodes[node as usize].kind, NodeKind::Leaf { .. })
+    }
+
+    /// The leaf id of a leaf node.
+    pub fn leaf_id(&self, node: u32) -> Option<u32> {
+        match self.nodes[node as usize].kind {
+            NodeKind::Leaf { leaf } => Some(leaf),
+            _ => None,
+        }
+    }
+
+    /// Entries of leaf node `node` (disk + buffer).
+    pub fn leaf_entries(&self, node: u32) -> Result<Vec<SaxEntry>> {
+        let NodeKind::Leaf { leaf } = self.nodes[node as usize].kind else {
+            return Err(Error::invalid("node is not a leaf"));
+        };
+        let state = &self.leaves[leaf as usize];
+        let mut out = Vec::with_capacity(state.disk_count as usize + state.buffer.len());
+        self.read_disk_entries(state, &mut out)?;
+        out.extend_from_slice(&state.buffer);
+        Ok(out)
+    }
+
+    /// Total entries in leaf node `node` without touching disk.
+    pub fn leaf_len(&self, node: u32) -> usize {
+        match self.nodes[node as usize].kind {
+            NodeKind::Leaf { leaf } => {
+                let s = &self.leaves[leaf as usize];
+                s.disk_count as usize + s.buffer.len()
+            }
+            _ => 0,
+        }
+    }
+
+    fn read_disk_entries(&self, state: &LeafState, out: &mut Vec<SaxEntry>) -> Result<()> {
+        let eb = Self::entry_bytes(&self.sax);
+        let mut remaining = state.disk_count as usize;
+        let mut buf = vec![0u8; self.block_bytes()];
+        for &block in &state.blocks {
+            if remaining == 0 {
+                break;
+            }
+            let in_block = remaining.min(self.capacity);
+            self.file.read_exact_at(&mut buf[..in_block * eb], self.block_offset(block))?;
+            for chunk in buf[..in_block * eb].chunks_exact(eb) {
+                let mut word = [0u8; 32];
+                word[..self.sax.segments].copy_from_slice(&chunk[..self.sax.segments]);
+                let pos = u64::from_le_bytes(
+                    chunk[self.sax.segments..self.sax.segments + 8].try_into().unwrap(),
+                );
+                out.push(SaxEntry { word, pos });
+            }
+            remaining -= in_block;
+        }
+        Ok(())
+    }
+
+    fn write_disk_entries(&mut self, leaf: u32, entries: &[SaxEntry]) -> Result<()> {
+        let eb = Self::entry_bytes(&self.sax);
+        // Free old blocks, allocate fresh ones for the full entry set.
+        let old_blocks = std::mem::take(&mut self.leaves[leaf as usize].blocks);
+        self.free_blocks.extend(old_blocks);
+        let blocks_needed = entries.len().div_ceil(self.capacity).max(1);
+        let mut buf = vec![0u8; self.block_bytes()];
+        let mut blocks = Vec::with_capacity(blocks_needed);
+        for chunk in entries.chunks(self.capacity) {
+            let block = self.alloc_block();
+            for (i, e) in chunk.iter().enumerate() {
+                let at = i * eb;
+                buf[at..at + self.sax.segments].copy_from_slice(&e.word[..self.sax.segments]);
+                buf[at + self.sax.segments..at + self.sax.segments + 8]
+                    .copy_from_slice(&e.pos.to_le_bytes());
+            }
+            buf[chunk.len() * eb..].fill(0);
+            self.file.write_all_at(&buf, self.block_offset(block))?;
+            blocks.push(block);
+        }
+        let state = &mut self.leaves[leaf as usize];
+        state.blocks = blocks;
+        state.disk_count = entries.len() as u32;
+        Ok(())
+    }
+
+    /// Flush every buffered entry to disk, splitting overflowing leaves
+    /// (one "early flushing of buffers" cycle).
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffered_bytes == 0 {
+            return Ok(());
+        }
+        self.stats.flush_cycles += 1;
+        // Collect leaf node ids first: splits grow self.nodes.
+        let dirty: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&n| match self.nodes[n as usize].kind {
+                NodeKind::Leaf { leaf } => !self.leaves[leaf as usize].buffer.is_empty(),
+                _ => false,
+            })
+            .collect();
+        for node in dirty {
+            self.flush_leaf_node(node)?;
+        }
+        self.buffered_bytes = 0;
+        Ok(())
+    }
+
+    fn flush_leaf_node(&mut self, node: u32) -> Result<()> {
+        let NodeKind::Leaf { leaf } = self.nodes[node as usize].kind else {
+            return Ok(());
+        };
+        let state = &mut self.leaves[leaf as usize];
+        if state.buffer.is_empty() {
+            return Ok(());
+        }
+        let total = state.disk_count as usize + state.buffer.len();
+        if total <= self.capacity || state.oversized {
+            // Read-modify-write of this leaf's block(s).
+            let mut all = Vec::with_capacity(total);
+            let state_ref = &self.leaves[leaf as usize];
+            self.read_disk_entries(state_ref, &mut all)?;
+            all.extend_from_slice(&self.leaves[leaf as usize].buffer);
+            self.leaves[leaf as usize].buffer.clear();
+            self.write_disk_entries(leaf, &all)?;
+            return Ok(());
+        }
+        // Overflow: split (possibly repeatedly through recursion).
+        let mut all = Vec::with_capacity(total);
+        let state_ref = &self.leaves[leaf as usize];
+        self.read_disk_entries(state_ref, &mut all)?;
+        all.extend_from_slice(&self.leaves[leaf as usize].buffer);
+        self.leaves[leaf as usize].buffer.clear();
+        self.leaves[leaf as usize].disk_count = 0;
+        let old_blocks = std::mem::take(&mut self.leaves[leaf as usize].blocks);
+        self.free_blocks.extend(old_blocks);
+        self.split_into(node, all)
+    }
+
+    /// Turn leaf `node` into an internal node and distribute `entries` to
+    /// fresh children, recursing while a child still overflows.
+    fn split_into(&mut self, node: u32, entries: Vec<SaxEntry>) -> Result<()> {
+        let mask = self.nodes[node as usize].mask.clone();
+        match self.choose_split_segment(&mask, &entries) {
+            None => {
+                // Identical words: this leaf can never split.
+                let NodeKind::Leaf { leaf } = self.nodes[node as usize].kind else {
+                    unreachable!()
+                };
+                self.leaves[leaf as usize].oversized = true;
+                self.write_disk_entries(leaf, &entries)
+            }
+            Some(seg) => {
+                self.stats.splits += 1;
+                let (left_mask, right_mask) = mask.split(seg, self.sax.card_bits);
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                for e in entries {
+                    if mask.child_of(seg, e.word[seg], self.sax.card_bits) == 0 {
+                        left.push(e);
+                    } else {
+                        right.push(e);
+                    }
+                }
+                // The old leaf state is reused for the left child.
+                let NodeKind::Leaf { leaf: left_leaf } = self.nodes[node as usize].kind else {
+                    unreachable!()
+                };
+                let right_leaf = self.new_leaf();
+                let left_node = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    mask: left_mask,
+                    kind: NodeKind::Leaf { leaf: left_leaf },
+                });
+                let right_node = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    mask: right_mask,
+                    kind: NodeKind::Leaf { leaf: right_leaf },
+                });
+                self.nodes[node as usize].kind = NodeKind::Internal {
+                    split_segment: seg as u16,
+                    children: [left_node, right_node],
+                };
+                for (child_node, child_entries) in
+                    [(left_node, left), (right_node, right)]
+                {
+                    if child_entries.is_empty() {
+                        continue;
+                    }
+                    if child_entries.len() > self.capacity {
+                        self.split_into(child_node, child_entries)?;
+                    } else {
+                        let NodeKind::Leaf { leaf } = self.nodes[child_node as usize].kind
+                        else {
+                            unreachable!()
+                        };
+                        self.write_disk_entries(leaf, &child_entries)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The segment whose next unprefixed bit divides `entries` most evenly;
+    /// `None` when no segment separates them.
+    fn choose_split_segment(&self, mask: &IsaxMask, entries: &[SaxEntry]) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (imbalance, segment)
+        for seg in 0..self.sax.segments {
+            let bits = mask.bits()[seg];
+            if bits >= self.sax.card_bits {
+                continue;
+            }
+            let ones = entries
+                .iter()
+                .filter(|e| mask.child_of(seg, e.word[seg], self.sax.card_bits) == 1)
+                .count();
+            let zeros = entries.len() - ones;
+            if ones == 0 || zeros == 0 {
+                continue; // does not divide at all
+            }
+            let imbalance = ones.abs_diff(zeros);
+            if best.is_none_or(|(bi, _)| imbalance < bi) {
+                best = Some((imbalance, seg));
+            }
+        }
+        best.map(|(_, seg)| seg)
+    }
+
+    /// Split the leaf covering `word` until it holds at most
+    /// `target_capacity` entries (ADS+'s adaptive refinement during query
+    /// answering). Returns true if any split happened.
+    pub fn refine_for(&mut self, word: &Word, target_capacity: usize) -> Result<bool> {
+        let mut any = false;
+        loop {
+            let Some(node) = self.descend(word) else { return Ok(any) };
+            let len = self.leaf_len(node);
+            if len <= target_capacity {
+                return Ok(any);
+            }
+            let NodeKind::Leaf { leaf } = self.nodes[node as usize].kind else {
+                unreachable!()
+            };
+            if self.leaves[leaf as usize].oversized {
+                return Ok(any);
+            }
+            // Load everything and split once; loop re-descends.
+            let mut all = Vec::new();
+            let state_ref = &self.leaves[leaf as usize];
+            self.read_disk_entries(state_ref, &mut all)?;
+            all.extend_from_slice(&self.leaves[leaf as usize].buffer);
+            self.leaves[leaf as usize].buffer.clear();
+            self.leaves[leaf as usize].disk_count = 0;
+            let old_blocks = std::mem::take(&mut self.leaves[leaf as usize].blocks);
+            self.free_blocks.extend(old_blocks);
+            let before_splits = self.stats.splits;
+            self.split_into(node, all)?;
+            if self.stats.splits == before_splits {
+                return Ok(any); // could not split further
+            }
+            any = true;
+        }
+    }
+
+    /// Iterate all leaf node ids.
+    pub fn leaf_nodes(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&n| self.is_leaf(n))
+            .collect()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// Average occupancy of allocated leaf slots.
+    pub fn avg_fill(&self) -> f64 {
+        let mut slots = 0u64;
+        let mut used = 0u64;
+        for s in &self.leaves {
+            slots += (s.blocks.len().max(1) * self.capacity) as u64;
+            used += s.disk_count as u64 + s.buffer.len() as u64;
+        }
+        if slots == 0 {
+            return 0.0;
+        }
+        used as f64 / slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::distance::znormalize;
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+    use coconut_summary::sax::Summarizer;
+
+    const LEN: usize = 64;
+
+    fn sax_cfg() -> SaxConfig {
+        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+    }
+
+    fn make_tree(dir: &TempDir, capacity: usize, budget: u64) -> PrefixTree {
+        let file = Arc::new(
+            CountedFile::create(dir.path().join("pt.bin"), Arc::new(IoStats::new())).unwrap(),
+        );
+        PrefixTree::new(sax_cfg(), capacity, budget, file).unwrap()
+    }
+
+    fn words(n: usize, seed: u64) -> Vec<Word> {
+        let mut g = RandomWalkGen::new(seed);
+        let mut s = Summarizer::new(sax_cfg());
+        (0..n)
+            .map(|_| {
+                let mut series = g.generate(LEN);
+                znormalize(&mut series);
+                let mut w = [0u8; 32];
+                s.sax_into(&series, &mut w[..8]);
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_retrieve_all() {
+        let dir = TempDir::new("ptree").unwrap();
+        let mut t = make_tree(&dir, 16, 1 << 20);
+        let ws = words(500, 1);
+        for (i, w) in ws.iter().enumerate() {
+            t.insert(w, i as u64).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.len(), 500);
+        let mut seen = std::collections::HashSet::new();
+        for node in t.leaf_nodes() {
+            for e in t.leaf_entries(node).unwrap() {
+                assert!(seen.insert(e.pos), "duplicate pos {}", e.pos);
+                // Every entry's word must match its leaf's mask.
+                assert!(t
+                    .node_mask(node)
+                    .matches(&e.word[..8], t.sax().card_bits));
+            }
+        }
+        assert_eq!(seen.len(), 500);
+    }
+
+    #[test]
+    fn splits_respect_capacity() {
+        let dir = TempDir::new("ptree").unwrap();
+        let mut t = make_tree(&dir, 8, 1 << 20);
+        let ws = words(300, 2);
+        for (i, w) in ws.iter().enumerate() {
+            t.insert(w, i as u64).unwrap();
+        }
+        t.flush().unwrap();
+        assert!(t.stats().splits > 0);
+        for node in t.leaf_nodes() {
+            let len = t.leaf_len(node);
+            assert!(len <= 8, "leaf over capacity: {len}");
+        }
+        // Prefix splitting leaves space unused on average.
+        assert!(t.avg_fill() < 1.0);
+    }
+
+    #[test]
+    fn identical_words_become_oversized_leaf() {
+        let dir = TempDir::new("ptree").unwrap();
+        let mut t = make_tree(&dir, 4, 1 << 20);
+        let w = [7u8; 32];
+        for i in 0..20 {
+            t.insert(&w, i).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        let node = t.descend(&w).unwrap();
+        assert_eq!(t.leaf_len(node), 20);
+    }
+
+    #[test]
+    fn tiny_budget_causes_many_flush_cycles() {
+        let dir = TempDir::new("ptree").unwrap();
+        // Budget of ~4 entries: flushes constantly, like iSAX 2.0 with RAM
+        // far below data size.
+        let mut small = make_tree(&dir, 16, 4 * 16);
+        let ws = words(400, 3);
+        for (i, w) in ws.iter().enumerate() {
+            small.insert(w, i as u64).unwrap();
+        }
+        small.flush().unwrap();
+        assert!(small.stats().flush_cycles > 50, "cycles {}", small.stats().flush_cycles);
+
+        let dir2 = TempDir::new("ptree").unwrap();
+        let mut big = make_tree(&dir2, 16, 1 << 20);
+        for (i, w) in ws.iter().enumerate() {
+            big.insert(w, i as u64).unwrap();
+        }
+        big.flush().unwrap();
+        assert_eq!(big.stats().flush_cycles, 1);
+    }
+
+    #[test]
+    fn small_memory_means_more_random_io() {
+        // The heart of the paper's Figure 8 argument: shrinking the buffer
+        // budget turns top-down construction into random I/O.
+        let ws = words(600, 4);
+        let run = |budget: u64| {
+            let dir = TempDir::new("ptree").unwrap();
+            let stats = Arc::new(IoStats::new());
+            let file = Arc::new(
+                CountedFile::create(dir.path().join("pt.bin"), Arc::clone(&stats)).unwrap(),
+            );
+            let mut t = PrefixTree::new(sax_cfg(), 16, budget, file).unwrap();
+            for (i, w) in ws.iter().enumerate() {
+                t.insert(w, i as u64).unwrap();
+            }
+            t.flush().unwrap();
+            stats.snapshot().random_ops()
+        };
+        let small = run(8 * 16);
+        let big = run(1 << 20);
+        assert!(
+            small > 2 * big,
+            "small-memory random ops {small} not >> big-memory {big}"
+        );
+    }
+
+    #[test]
+    fn refine_for_splits_down_to_target() {
+        let dir = TempDir::new("ptree").unwrap();
+        // Coarse capacity 64 (ADS+ style), then refine to 8 on access.
+        let mut t = make_tree(&dir, 64, 1 << 20);
+        let ws = words(300, 5);
+        for (i, w) in ws.iter().enumerate() {
+            t.insert(w, i as u64).unwrap();
+        }
+        t.flush().unwrap();
+        let probe = ws[0];
+        let before = t.leaf_len(t.descend(&probe).unwrap());
+        let split = t.refine_for(&probe, 8).unwrap();
+        let after = t.leaf_len(t.descend(&probe).unwrap());
+        if before > 8 {
+            assert!(split);
+            assert!(after <= 8 || after < before);
+        }
+        // All original entries still present.
+        let total: usize = t.leaf_nodes().iter().map(|&n| t.leaf_len(n)).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn descend_is_consistent_with_masks() {
+        let dir = TempDir::new("ptree").unwrap();
+        let mut t = make_tree(&dir, 8, 1 << 20);
+        let ws = words(200, 6);
+        for (i, w) in ws.iter().enumerate() {
+            t.insert(w, i as u64).unwrap();
+        }
+        t.flush().unwrap();
+        for w in &ws {
+            let node = t.descend(w).unwrap();
+            assert!(t.node_mask(node).matches(&w[..8], 8));
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! R-tree over PAA points, bulk-loaded with Sort-Tile-Recursive (STR).
+//!
+//! The paper's R-tree baseline indexes each series' PAA vector as a
+//! `w`-dimensional point (Guttman's R-tree, STR packing of Leutenegger et
+//! al.). STR sorts by the first dimension into slabs, then recursively by
+//! the next dimension within each slab — construction work is proportional
+//! to the number of dimensions, the O(N·D) behaviour the paper contrasts
+//! with Coconut's single interleaved sort. The materialized variant stores
+//! raw series in the leaves (fetched in STR order — random I/O over the
+//! raw file); `R-tree+` keeps positions only.
+//!
+//! The PAA lower bound `sqrt(len/w) * ||PAA(q) - p||` ≤ `ED(q, s)` extends
+//! to minimum distances against node MBRs, which gives correct best-first
+//! exact search.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::euclidean_sq_early_abandon;
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{CountedFile, Error, Result};
+use coconut_summary::paa::{paa, paa_into};
+use coconut_summary::SaxConfig;
+
+use crate::heap::MinHeap;
+
+static RTREE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A minimum bounding rectangle in PAA space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    lo: Vec<f32>,
+    hi: Vec<f32>,
+}
+
+impl Mbr {
+    fn empty(dims: usize) -> Self {
+        Mbr { lo: vec![f32::INFINITY; dims], hi: vec![f32::NEG_INFINITY; dims] }
+    }
+
+    fn add_point(&mut self, p: &[f32]) {
+        for ((lo, hi), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(p.iter()) {
+            *lo = lo.min(v);
+            *hi = hi.max(v);
+        }
+    }
+
+    fn add_mbr(&mut self, other: &Mbr) {
+        for ((lo, hi), (&olo, &ohi)) in
+            self.lo.iter_mut().zip(self.hi.iter_mut()).zip(other.lo.iter().zip(other.hi.iter()))
+        {
+            *lo = lo.min(olo);
+            *hi = hi.max(ohi);
+        }
+    }
+
+    /// Squared distance from a query PAA to this rectangle (0 inside).
+    fn mindist_sq(&self, q: &[f64]) -> f64 {
+        let mut acc = 0.0f64;
+        for ((&lo, &hi), &v) in self.lo.iter().zip(self.hi.iter()).zip(q.iter()) {
+            let d = if v < lo as f64 {
+                lo as f64 - v
+            } else if v > hi as f64 {
+                v - hi as f64
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RLeaf {
+    mbr: Mbr,
+    block: u32,
+    count: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RNode {
+    mbr: Mbr,
+    /// Children occupy `child_start..child_start+child_count` in the level
+    /// below (leaves for level 0).
+    child_start: u32,
+    child_count: u32,
+}
+
+/// Either a node in an internal level or a leaf (best-first queue item).
+#[derive(Debug, Clone, Copy)]
+enum Visit {
+    Node { level: usize, idx: u32 },
+    Leaf { idx: u32 },
+}
+
+/// The STR-bulk-loaded R-tree.
+pub struct RTreeIndex {
+    dataset: Dataset,
+    sax: SaxConfig,
+    materialized: bool,
+    leaf_capacity: usize,
+    fanout: usize,
+    file: Arc<CountedFile>,
+    leaves: Vec<RLeaf>,
+    /// levels[0] groups leaves; the last level is the root list.
+    levels: Vec<Vec<RNode>>,
+}
+
+impl RTreeIndex {
+    fn entry_bytes(&self) -> usize {
+        if self.materialized {
+            8 + self.dataset.series_bytes()
+        } else {
+            8
+        }
+    }
+
+    fn block_bytes(&self) -> usize {
+        self.leaf_capacity * self.entry_bytes()
+    }
+
+    /// Bulk-load with STR over the PAA points of all series.
+    pub fn build(
+        dataset: &Dataset,
+        sax: SaxConfig,
+        leaf_capacity: usize,
+        materialized: bool,
+        dir: &Path,
+    ) -> Result<Self> {
+        sax.validate()?;
+        if dataset.series_len() != sax.series_len {
+            return Err(Error::invalid("dataset/config series length mismatch"));
+        }
+        if leaf_capacity == 0 {
+            return Err(Error::invalid("leaf capacity must be positive"));
+        }
+        let id = RTREE_ID.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::clone(dataset.file().stats());
+        let file = Arc::new(CountedFile::create(dir.join(format!("rtree-{id}.idx")), stats)?);
+
+        let n = dataset.len() as usize;
+        let dims = sax.segments;
+
+        // Pass: compute all PAA points (one sequential scan).
+        let mut points = vec![0.0f32; n * dims];
+        {
+            let mut scan = dataset.scan();
+            let mut paa_buf = vec![0.0f64; dims];
+            while let Some((pos, series)) = scan.next_series()? {
+                paa_into(series, &mut paa_buf);
+                let at = pos as usize * dims;
+                for (i, &v) in paa_buf.iter().enumerate() {
+                    points[at + i] = v as f32;
+                }
+            }
+        }
+
+        // STR: recursively sort by successive dimensions into tiles.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        str_partition(&mut order, &points, dims, 0, leaf_capacity);
+
+        let mut tree = RTreeIndex {
+            dataset: dataset.clone(),
+            sax,
+            materialized,
+            leaf_capacity,
+            fanout: 64,
+            file,
+            leaves: Vec::new(),
+            levels: Vec::new(),
+        };
+
+        // Write leaves in STR order.
+        let eb = tree.entry_bytes();
+        let mut block_buf = vec![0u8; tree.block_bytes()];
+        let mut series_buf = vec![0.0 as Value; sax.series_len];
+        for (block, chunk) in order.chunks(leaf_capacity).enumerate() {
+            let mut mbr = Mbr::empty(dims);
+            block_buf.fill(0);
+            for (slot, &pos32) in chunk.iter().enumerate() {
+                let pos = pos32 as u64;
+                mbr.add_point(&points[pos as usize * dims..(pos as usize + 1) * dims]);
+                let at = slot * eb;
+                block_buf[at..at + 8].copy_from_slice(&pos.to_le_bytes());
+                if materialized {
+                    // Fetching raw series in STR order: random reads — the
+                    // honest cost of materializing an R-tree this way.
+                    tree.dataset.read_into(pos, &mut series_buf)?;
+                    for (i, &v) in series_buf.iter().enumerate() {
+                        block_buf[at + 8 + 4 * i..at + 12 + 4 * i]
+                            .copy_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            tree.file
+                .write_all_at(&block_buf, block as u64 * tree.block_bytes() as u64)?;
+            tree.leaves.push(RLeaf { mbr, block: block as u32, count: chunk.len() as u32 });
+        }
+
+        tree.build_internal_levels();
+        Ok(tree)
+    }
+
+    fn build_internal_levels(&mut self) {
+        if self.leaves.is_empty() {
+            return;
+        }
+        let dims = self.sax.segments;
+        let mut level: Vec<RNode> = self
+            .leaves
+            .chunks(self.fanout)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut mbr = Mbr::empty(dims);
+                for l in chunk {
+                    mbr.add_mbr(&l.mbr);
+                }
+                RNode {
+                    mbr,
+                    child_start: (i * self.fanout) as u32,
+                    child_count: chunk.len() as u32,
+                }
+            })
+            .collect();
+        self.levels.push(level.clone());
+        while level.len() > self.fanout {
+            level = level
+                .chunks(self.fanout)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let mut mbr = Mbr::empty(dims);
+                    for c in chunk {
+                        mbr.add_mbr(&c.mbr);
+                    }
+                    RNode {
+                        mbr,
+                        child_start: (i * self.fanout) as u32,
+                        child_count: chunk.len() as u32,
+                    }
+                })
+                .collect();
+            self.levels.push(level.clone());
+        }
+    }
+
+    /// Whether raw series live in the leaves.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        self.leaves.iter().map(|l| l.count as u64).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Scale factor turning PAA-space distances into series-space bounds.
+    fn paa_scale(&self) -> f64 {
+        self.sax.series_len as f64 / self.sax.segments as f64
+    }
+
+    fn eval_leaf(
+        &self,
+        leaf: &RLeaf,
+        query: &[Value],
+        best: &mut Answer,
+        best_sq: &mut f64,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        stats.leaves_visited += 1;
+        let eb = self.entry_bytes();
+        let mut block = vec![0u8; leaf.count as usize * eb];
+        self.file
+            .read_exact_at(&mut block, leaf.block as u64 * self.block_bytes() as u64)?;
+        let mut series = vec![0.0 as Value; self.sax.series_len];
+        for rec in block.chunks_exact(eb) {
+            let pos = u64::from_le_bytes(rec[..8].try_into().unwrap());
+            if self.materialized {
+                for (i, vb) in rec[8..].chunks_exact(4).enumerate() {
+                    series[i] = Value::from_le_bytes(vb.try_into().unwrap());
+                }
+            } else {
+                self.dataset.read_into(pos, &mut series)?;
+            }
+            stats.records_fetched += 1;
+            if let Some(d_sq) = euclidean_sq_early_abandon(query, &series, *best_sq) {
+                if d_sq < *best_sq {
+                    *best_sq = d_sq;
+                    *best = Answer { pos, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate search: greedy descent to the single most promising leaf.
+    pub fn approximate_search(&self, query: &[Value]) -> Result<Answer> {
+        if query.len() != self.sax.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        if self.leaves.is_empty() {
+            return Ok(Answer::none());
+        }
+        let q = paa(query, self.sax.segments);
+        // Start at the root level, follow the min-mindist child down.
+        let top = self.levels.len() - 1;
+        let mut idx = (0..self.levels[top].len())
+            .min_by(|&a, &b| {
+                self.levels[top][a]
+                    .mbr
+                    .mindist_sq(&q)
+                    .total_cmp(&self.levels[top][b].mbr.mindist_sq(&q))
+            })
+            .expect("non-empty level") as u32;
+        for level in (0..=top).rev() {
+            let node = &self.levels[level][idx as usize];
+            let (start, count) = (node.child_start, node.child_count);
+            let pick = |mindist: &dyn Fn(u32) -> f64| -> u32 {
+                (start..start + count)
+                    .min_by(|&a, &b| mindist(a).total_cmp(&mindist(b)))
+                    .expect("non-empty node")
+            };
+            if level == 0 {
+                idx = pick(&|i| self.leaves[i as usize].mbr.mindist_sq(&q));
+            } else {
+                idx = pick(&|i| self.levels[level - 1][i as usize].mbr.mindist_sq(&q));
+            }
+        }
+        let mut best = Answer::none();
+        let mut best_sq = f64::INFINITY;
+        let mut stats = QueryStats::default();
+        self.eval_leaf(&self.leaves[idx as usize], query, &mut best, &mut best_sq, &mut stats)?;
+        Ok(best)
+    }
+
+    /// Exact search: best-first branch and bound over MBR lower bounds.
+    pub fn exact_search(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        let mut stats = QueryStats::default();
+        if query.len() != self.sax.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        if self.leaves.is_empty() {
+            return Ok((Answer::none(), stats));
+        }
+        let q = paa(query, self.sax.segments);
+        let scale = self.paa_scale();
+        let mut best = self.approximate_search(query)?;
+        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+
+        let mut heap = MinHeap::new();
+        let top = self.levels.len() - 1;
+        for (i, node) in self.levels[top].iter().enumerate() {
+            let lb = (scale * node.mbr.mindist_sq(&q)).sqrt();
+            stats.lower_bounds += 1;
+            heap.push(lb, Visit::Node { level: top, idx: i as u32 });
+        }
+        while let Some((bound, visit)) = heap.pop() {
+            if bound >= best.dist {
+                stats.pruned += 1;
+                continue;
+            }
+            match visit {
+                Visit::Leaf { idx } => {
+                    self.eval_leaf(
+                        &self.leaves[idx as usize],
+                        query,
+                        &mut best,
+                        &mut best_sq,
+                        &mut stats,
+                    )?;
+                }
+                Visit::Node { level, idx } => {
+                    let node = &self.levels[level][idx as usize];
+                    for c in node.child_start..node.child_start + node.child_count {
+                        let (lb, v) = if level == 0 {
+                            (
+                                (scale * self.leaves[c as usize].mbr.mindist_sq(&q)).sqrt(),
+                                Visit::Leaf { idx: c },
+                            )
+                        } else {
+                            (
+                                (scale * self.levels[level - 1][c as usize].mbr.mindist_sq(&q))
+                                    .sqrt(),
+                                Visit::Node { level: level - 1, idx: c },
+                            )
+                        };
+                        stats.lower_bounds += 1;
+                        if lb < best.dist {
+                            heap.push(lb, v);
+                        } else {
+                            stats.pruned += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+}
+
+/// STR recursion: sort `order` by dimension `dim` and tile.
+fn str_partition(order: &mut [u32], points: &[f32], dims: usize, dim: usize, leaf_cap: usize) {
+    let n = order.len();
+    if n <= leaf_cap || dim >= dims {
+        return;
+    }
+    order.sort_unstable_by(|&a, &b| {
+        points[a as usize * dims + dim].total_cmp(&points[b as usize * dims + dim])
+    });
+    // Number of leaves under this subtree and the slab size for this dim.
+    let p = n.div_ceil(leaf_cap);
+    let remaining_dims = (dims - dim) as f64;
+    let s = (p as f64).powf(1.0 / remaining_dims).ceil() as usize;
+    let slab = n.div_ceil(s.max(1));
+    if slab >= n {
+        return;
+    }
+    let mut at = 0;
+    while at < n {
+        let end = (at + slab).min(n);
+        str_partition(&mut order[at..end], points, dims, dim + 1, leaf_cap);
+        at = end;
+    }
+}
+
+impl SeriesIndex for RTreeIndex {
+    fn name(&self) -> String {
+        if self.materialized { "R-tree".into() } else { "R-tree+".into() }
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        self.approximate_search(query)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.file.len()
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        if self.leaves.is_empty() {
+            return 0.0;
+        }
+        self.len() as f64 / (self.leaves.len() * self.leaf_capacity) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+
+    const LEN: usize = 64;
+
+    fn sax() -> SaxConfig {
+        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+    }
+
+    fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(61), n, LEN, &stats).unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    fn brute_force(ds: &Dataset, q: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        let mut scan = ds.scan();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            best.merge(Answer { pos, dist: euclidean(q, s) });
+        }
+        best
+    }
+
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
+    #[test]
+    fn str_produces_full_leaves() {
+        let dir = TempDir::new("rtree").unwrap();
+        let ds = make_dataset(&dir, 640);
+        let t = RTreeIndex::build(&ds, sax(), 32, false, dir.path()).unwrap();
+        assert_eq!(t.len(), 640);
+        assert_eq!(t.leaf_count(), 20);
+        assert!((t.avg_leaf_fill() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_nonmaterialized() {
+        let dir = TempDir::new("rtree").unwrap();
+        let ds = make_dataset(&dir, 500);
+        let t = RTreeIndex::build(&ds, sax(), 32, false, dir.path()).unwrap();
+        for seed in 0..8 {
+            let q = query(seed);
+            let (ans, _) = t.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_brute_force_materialized() {
+        let dir = TempDir::new("rtree").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let t = RTreeIndex::build(&ds, sax(), 32, true, dir.path()).unwrap();
+        for seed in 10..16 {
+            let q = query(seed);
+            let (ans, _) = t.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn approximate_never_beats_exact() {
+        let dir = TempDir::new("rtree").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let t = RTreeIndex::build(&ds, sax(), 32, false, dir.path()).unwrap();
+        for seed in 20..28 {
+            let q = query(seed);
+            let approx = t.approximate_search(&q).unwrap();
+            let (exact, _) = t.exact_search(&q).unwrap();
+            assert!(exact.dist <= approx.dist + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mbr_mindist_zero_inside() {
+        let mut m = Mbr::empty(2);
+        m.add_point(&[0.0, 0.0]);
+        m.add_point(&[2.0, 2.0]);
+        assert_eq!(m.mindist_sq(&[1.0, 1.0]), 0.0);
+        assert_eq!(m.mindist_sq(&[3.0, 1.0]), 1.0);
+        assert_eq!(m.mindist_sq(&[3.0, 3.0]), 2.0);
+        assert_eq!(m.mindist_sq(&[-1.0, -1.0]), 2.0);
+    }
+
+    #[test]
+    fn materialized_is_larger_on_disk() {
+        let dir = TempDir::new("rtree").unwrap();
+        let ds = make_dataset(&dir, 200);
+        let plus = RTreeIndex::build(&ds, sax(), 32, false, dir.path()).unwrap();
+        let full = RTreeIndex::build(&ds, sax(), 32, true, dir.path()).unwrap();
+        assert!(full.disk_bytes() > 10 * plus.disk_bytes());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let dir = TempDir::new("rtree").unwrap();
+        let ds = make_dataset(&dir, 0);
+        let t = RTreeIndex::build(&ds, sax(), 32, false, dir.path()).unwrap();
+        assert!(t.is_empty());
+        let q = query(1);
+        assert!(!t.approximate_search(&q).unwrap().is_some());
+        let (ans, _) = t.exact_search(&q).unwrap();
+        assert!(!ans.is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! Serial scan: the brute-force baseline and the tests' ground truth.
+//!
+//! "The brute-force approach for evaluating nearest neighbor queries is by
+//! performing a sequential pass over the complete dataset" (paper
+//! Section 2). No index is built; exact search streams the raw file once
+//! with early abandoning.
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::euclidean_sq_early_abandon;
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{Error, Result};
+
+/// The no-index baseline.
+pub struct SerialScan {
+    dataset: Dataset,
+}
+
+impl SerialScan {
+    /// A scanner over `dataset`.
+    pub fn new(dataset: &Dataset) -> Self {
+        SerialScan { dataset: dataset.clone() }
+    }
+
+    fn check(&self, query: &[Value]) -> Result<()> {
+        if query.len() != self.dataset.series_len() {
+            return Err(Error::invalid("query length != series length"));
+        }
+        Ok(())
+    }
+
+    /// One full sequential pass with early abandoning.
+    pub fn nearest(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.check(query)?;
+        let mut best = Answer::none();
+        let mut best_sq = f64::INFINITY;
+        let mut stats = QueryStats::default();
+        let mut scan = self.dataset.scan();
+        while let Some((pos, s)) = scan.next_series()? {
+            stats.records_fetched += 1;
+            if let Some(d_sq) = euclidean_sq_early_abandon(query, s, best_sq) {
+                if d_sq < best_sq {
+                    best_sq = d_sq;
+                    best = Answer { pos, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+}
+
+impl SeriesIndex for SerialScan {
+    fn name(&self) -> String {
+        "SerialScan".into()
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        // A scan has no cheap approximation; it always answers exactly.
+        Ok(self.nearest(query)?.0)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.nearest(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        0 // no index structure at all
+    }
+
+    fn leaf_count(&self) -> u64 {
+        0
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+    use std::sync::Arc;
+
+    #[test]
+    fn finds_true_nearest() {
+        let dir = TempDir::new("scan").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("d.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(3), 200, 32, &stats).unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        let scan = SerialScan::new(&ds);
+        let mut q = RandomWalkGen::new(9).generate(32);
+        znormalize(&mut q);
+        let (ans, st) = scan.nearest(&q).unwrap();
+        assert_eq!(st.records_fetched, 200);
+        // Naive check.
+        let mut best = Answer::none();
+        for pos in 0..200 {
+            let s = ds.get(pos).unwrap();
+            best.merge(Answer { pos, dist: euclidean(&q, &s) });
+        }
+        assert_eq!(ans.pos, best.pos);
+        assert!((ans.dist - best.dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn member_query_finds_itself() {
+        let dir = TempDir::new("scan").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("d.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(4), 50, 32, &stats).unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        let scan = SerialScan::new(&ds);
+        let member = ds.get(17).unwrap();
+        let (ans, _) = scan.nearest(&member).unwrap();
+        assert_eq!(ans.dist, 0.0);
+        assert_eq!(ans.pos, 17);
+    }
+
+    #[test]
+    fn rejects_bad_query_length() {
+        let dir = TempDir::new("scan").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("d.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(4), 10, 32, &stats).unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        let scan = SerialScan::new(&ds);
+        assert!(scan.nearest(&[0.0; 8]).is_err());
+    }
+}

@@ -1,0 +1,425 @@
+//! Vertical: the stepwise DHWT scan index (Kashyap & Karras, SIGKDD 2011).
+//!
+//! The dataset's Haar coefficients are stored *vertically*: all series'
+//! level-0 coefficients first, then level 1, and so on. A query scans the
+//! file one resolution level at a time, maintaining for every live
+//! candidate a lower bound (the coefficient-prefix distance — valid by
+//! Parseval) and an upper bound (triangle inequality on the remaining
+//! energy; z-normalized series have total energy exactly `series_len`).
+//! Candidates whose lower bound exceeds the best upper bound are pruned, so
+//! later (larger) levels are only read for the survivors.
+//!
+//! Construction is a single sequential pass that transforms each chunk and
+//! appends to each level's region — "a stepwise sequential-scan manner, one
+//! level of resolution at a time" (paper Section 5).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::euclidean_sq_early_abandon;
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{CountedFile, Error, Result};
+use coconut_summary::haar::{haar_transform, level_sizes, supported_len};
+
+static VERTICAL_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Output of the stepwise scan: surviving candidate ids, per-series
+/// squared prefix lower bounds, per-series prefix energies, and the number
+/// of levels processed.
+type StepwiseOutput = (Vec<u32>, Vec<f64>, Vec<f64>, usize);
+
+/// The Vertical index.
+pub struct VerticalIndex {
+    dataset: Dataset,
+    series_len: usize,
+    n: u64,
+    file: Arc<CountedFile>,
+    /// Coefficients per level, coarse to fine.
+    level_sizes: Vec<usize>,
+    /// Byte offset of each level's region.
+    level_offsets: Vec<u64>,
+}
+
+/// When more than this fraction of candidates is still alive, a level is
+/// read with one sequential sweep instead of per-candidate seeks.
+const SEQ_READ_THRESHOLD: f64 = 0.25;
+
+impl VerticalIndex {
+    /// Build over all of `dataset` (must be z-normalized, power-of-two
+    /// length).
+    pub fn build(dataset: &Dataset, dir: &Path) -> Result<Self> {
+        let series_len = dataset.series_len();
+        if !supported_len(series_len) {
+            return Err(Error::invalid(
+                "Vertical requires a power-of-two series length (Haar transform)",
+            ));
+        }
+        if !dataset.znormalized() {
+            return Err(Error::invalid(
+                "Vertical's upper bound assumes z-normalized series",
+            ));
+        }
+        let id = VERTICAL_ID.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::clone(dataset.file().stats());
+        let file =
+            Arc::new(CountedFile::create(dir.join(format!("vertical-{id}.idx")), stats)?);
+        let n = dataset.len();
+        let sizes = level_sizes(series_len);
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0u64;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s as u64 * n * 4;
+        }
+        let index = VerticalIndex {
+            dataset: dataset.clone(),
+            series_len,
+            n,
+            file,
+            level_sizes: sizes,
+            level_offsets: offsets,
+        };
+
+        // One sequential pass; buffer per level per chunk, then append each
+        // buffer to its region.
+        let chunk_series = ((4 << 20) / (series_len * 4)).max(1);
+        let mut level_bufs: Vec<Vec<u8>> =
+            index.level_sizes.iter().map(|_| Vec::new()).collect();
+        let mut scan = dataset.scan();
+        let mut chunk_start = 0u64;
+        let mut in_chunk = 0usize;
+        while let Some((_, series)) = scan.next_series()? {
+            let coeffs = haar_transform(series)?;
+            let mut at = 0usize;
+            for (li, &ls) in index.level_sizes.iter().enumerate() {
+                for &c in &coeffs[at..at + ls] {
+                    level_bufs[li].extend_from_slice(&(c as f32).to_le_bytes());
+                }
+                at += ls;
+            }
+            in_chunk += 1;
+            if in_chunk == chunk_series {
+                index.flush_levels(&mut level_bufs, chunk_start)?;
+                chunk_start += in_chunk as u64;
+                in_chunk = 0;
+            }
+        }
+        if in_chunk > 0 {
+            index.flush_levels(&mut level_bufs, chunk_start)?;
+        }
+        index.file.sync()?;
+        Ok(index)
+    }
+
+    fn flush_levels(&self, bufs: &mut [Vec<u8>], first_series: u64) -> Result<()> {
+        for (li, buf) in bufs.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let offset =
+                self.level_offsets[li] + first_series * self.level_sizes[li] as u64 * 4;
+            self.file.write_all_at(buf, offset)?;
+            buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of series indexed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Read level `li`'s coefficients for series `pos` into `out`.
+    fn read_level_one(&self, li: usize, pos: u64, out: &mut [f32]) -> Result<()> {
+        let ls = self.level_sizes[li];
+        debug_assert_eq!(out.len(), ls);
+        let mut bytes = vec![0u8; ls * 4];
+        self.file
+            .read_exact_at(&mut bytes, self.level_offsets[li] + pos * ls as u64 * 4)?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = f32::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    /// The stepwise scan shared by approximate and exact search. Returns
+    /// `(live candidates with exact-prefix lower bounds, stats)` after
+    /// processing `max_levels` levels.
+    fn stepwise(
+        &self,
+        query_coeffs: &[f64],
+        max_levels: usize,
+        stats: &mut QueryStats,
+    ) -> Result<StepwiseOutput> {
+        let n = self.n as usize;
+        let mut alive: Vec<u32> = (0..n as u32).collect();
+        let mut lb_sq = vec![0.0f64; n];
+        let mut s_energy = vec![0.0f64; n]; // prefix energy of each candidate
+        let total_energy = self.series_len as f64; // z-normalized
+        let mut q_prefix_energy = 0.0f64;
+        let q_total: f64 = query_coeffs.iter().map(|&c| c * c).sum();
+        let mut at = 0usize;
+        let mut levels_done = 0usize;
+
+        for (li, &ls) in self.level_sizes.iter().enumerate().take(max_levels) {
+            let qs = &query_coeffs[at..at + ls];
+            let frac = alive.len() as f64 / n.max(1) as f64;
+            if frac > SEQ_READ_THRESHOLD {
+                // Sequential sweep over the whole level region.
+                let mut bytes = vec![0u8; n * ls * 4];
+                if !bytes.is_empty() {
+                    self.file.read_exact_at(&mut bytes, self.level_offsets[li])?;
+                }
+                for &cand in &alive {
+                    let base = cand as usize * ls * 4;
+                    for (k, &qc) in qs.iter().enumerate() {
+                        let c = f32::from_le_bytes(
+                            bytes[base + 4 * k..base + 4 * k + 4].try_into().unwrap(),
+                        ) as f64;
+                        let d = qc - c;
+                        lb_sq[cand as usize] += d * d;
+                        s_energy[cand as usize] += c * c;
+                    }
+                }
+            } else {
+                // Random reads for the survivors only.
+                let mut coeffs = vec![0.0f32; ls];
+                for &cand in &alive {
+                    self.read_level_one(li, cand as u64, &mut coeffs)?;
+                    for (k, &qc) in qs.iter().enumerate() {
+                        let c = coeffs[k] as f64;
+                        let d = qc - c;
+                        lb_sq[cand as usize] += d * d;
+                        s_energy[cand as usize] += c * c;
+                    }
+                }
+            }
+            stats.lower_bounds += alive.len() as u64;
+            at += ls;
+            q_prefix_energy += qs.iter().map(|&c| c * c).sum::<f64>();
+            levels_done = li + 1;
+
+            // Upper bounds from the unseen energy; prune by the best UB.
+            let q_rest = (q_total - q_prefix_energy).max(0.0).sqrt();
+            let mut best_ub = f64::INFINITY;
+            for &cand in &alive {
+                let s_rest = (total_energy - s_energy[cand as usize]).max(0.0).sqrt();
+                let cross = q_rest + s_rest;
+                let ub = (lb_sq[cand as usize] + cross * cross).sqrt();
+                best_ub = best_ub.min(ub);
+            }
+            let before = alive.len();
+            alive.retain(|&c| lb_sq[c as usize].sqrt() <= best_ub + 1e-9);
+            stats.pruned += (before - alive.len()) as u64;
+            if alive.len() <= 1 {
+                break;
+            }
+        }
+        Ok((alive, lb_sq, s_energy, levels_done))
+    }
+
+    /// Approximate search: run the stepwise scan over the first few levels,
+    /// then verify the most promising candidate against the raw data.
+    pub fn approximate_search(&self, query: &[Value]) -> Result<Answer> {
+        if query.len() != self.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        if self.is_empty() {
+            return Ok(Answer::none());
+        }
+        let coeffs = haar_transform(query)?;
+        let mut stats = QueryStats::default();
+        // Enough levels to see 16 coefficients (or everything for tiny
+        // series).
+        let levels = self
+            .level_sizes
+            .iter()
+            .scan(0usize, |acc, &s| {
+                *acc += s;
+                Some(*acc)
+            })
+            .position(|seen| seen >= 16.min(self.series_len))
+            .map_or(self.level_sizes.len(), |p| p + 1);
+        let (alive, lb_sq, _, _) = self.stepwise(&coeffs, levels, &mut stats)?;
+        let best = alive
+            .iter()
+            .min_by(|&&a, &&b| lb_sq[a as usize].total_cmp(&lb_sq[b as usize]))
+            .copied();
+        let Some(cand) = best else { return Ok(Answer::none()) };
+        let series = self.dataset.get(cand as u64)?;
+        let d_sq = coconut_series::distance::euclidean_sq(query, &series);
+        Ok(Answer { pos: cand as u64, dist: d_sq.sqrt() })
+    }
+
+    /// Exact search: the full stepwise scan, then raw verification of the
+    /// survivors.
+    pub fn exact_search(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        if query.len() != self.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        let mut stats = QueryStats::default();
+        if self.is_empty() {
+            return Ok((Answer::none(), stats));
+        }
+        let coeffs = haar_transform(query)?;
+        let (mut alive, lb_sq, _, _) =
+            self.stepwise(&coeffs, self.level_sizes.len(), &mut stats)?;
+        // Verify survivors against raw data, most promising first.
+        alive.sort_by(|&a, &b| lb_sq[a as usize].total_cmp(&lb_sq[b as usize]));
+        let mut best = Answer::none();
+        let mut best_sq = f64::INFINITY;
+        let mut buf = vec![0.0 as Value; self.series_len];
+        for &cand in &alive {
+            if lb_sq[cand as usize] > best_sq {
+                stats.pruned += 1;
+                continue;
+            }
+            self.dataset.read_into(cand as u64, &mut buf)?;
+            stats.records_fetched += 1;
+            if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, best_sq) {
+                if d_sq < best_sq {
+                    best_sq = d_sq;
+                    best = Answer { pos: cand as u64, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+}
+
+impl SeriesIndex for VerticalIndex {
+    fn name(&self) -> String {
+        "Vertical".into()
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        self.approximate_search(query)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.file.len()
+    }
+
+    fn leaf_count(&self) -> u64 {
+        0 // a scan index has no tree structure
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+
+    const LEN: usize = 64;
+
+    fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(83), n, LEN, &stats).unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    fn brute_force(ds: &Dataset, q: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        let mut scan = ds.scan();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            best.merge(Answer { pos, dist: euclidean(q, s) });
+        }
+        best
+    }
+
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
+    #[test]
+    fn index_size_matches_dataset_payload() {
+        let dir = TempDir::new("vertical").unwrap();
+        let ds = make_dataset(&dir, 100);
+        let v = VerticalIndex::build(&ds, dir.path()).unwrap();
+        assert_eq!(v.disk_bytes(), ds.payload_bytes());
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let dir = TempDir::new("vertical").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let v = VerticalIndex::build(&ds, dir.path()).unwrap();
+        for seed in 0..10 {
+            let q = query(seed);
+            let (ans, _) = v.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+            assert!((ans.dist - expect.dist).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_fetches() {
+        let dir = TempDir::new("vertical").unwrap();
+        let ds = make_dataset(&dir, 500);
+        let v = VerticalIndex::build(&ds, dir.path()).unwrap();
+        let q = query(20);
+        let (_, stats) = v.exact_search(&q).unwrap();
+        assert!(
+            stats.records_fetched < 500 / 2,
+            "stepwise pruning too weak: fetched {}",
+            stats.records_fetched
+        );
+    }
+
+    #[test]
+    fn approximate_never_beats_exact() {
+        let dir = TempDir::new("vertical").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let v = VerticalIndex::build(&ds, dir.path()).unwrap();
+        for seed in 30..36 {
+            let q = query(seed);
+            let approx = v.approximate_search(&q).unwrap();
+            let (exact, _) = v.exact_search(&q).unwrap();
+            assert!(exact.dist <= approx.dist + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let dir = TempDir::new("vertical").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("odd.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(1), 10, 100, &stats).unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        assert!(VerticalIndex::build(&ds, dir.path()).is_err());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let dir = TempDir::new("vertical").unwrap();
+        let ds = make_dataset(&dir, 0);
+        let v = VerticalIndex::build(&ds, dir.path()).unwrap();
+        assert!(v.is_empty());
+        let q = query(3);
+        let (ans, _) = v.exact_search(&q).unwrap();
+        assert!(!ans.is_some());
+    }
+}

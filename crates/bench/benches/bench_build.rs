@@ -1,0 +1,51 @@
+//! Index construction: bottom-up bulk loading (Coconut) vs top-down
+//! insertion (iSAX 2.0 / ADS) on the same data — the paper's core claim in
+//! microcosm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use coconut_bench::data::{prepare, DataKind};
+use coconut_bench::zoo::{build_index, Algo, BuildParams};
+use coconut_storage::TempDir;
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    let n: u64 = 10_000;
+    let len = 128usize;
+    group.throughput(Throughput::Elements(n));
+    let data_dir = TempDir::new("bench-build-data").unwrap();
+    let w = prepare(data_dir.path(), DataKind::RandomWalk, n, len, 1, 3).unwrap();
+    // Memory at 5% of raw: the regime where construction styles diverge.
+    let params = BuildParams {
+        leaf_capacity: 100,
+        memory_bytes: (n * len as u64 * 4) / 20,
+        threads: 4,
+    };
+    for algo in [
+        Algo::CTree,
+        Algo::CTrie,
+        Algo::AdsPlus,
+        Algo::Isax2,
+        Algo::CTreeFull,
+        Algo::AdsFull,
+        Algo::RTreePlus,
+    ] {
+        group.bench_with_input(BenchmarkId::new(algo.name(), n), &n, |b, _| {
+            b.iter(|| {
+                let dir = TempDir::new("bench-build").unwrap();
+                build_index(algo, &w, &params, dir.path()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_builds
+}
+criterion_main!(benches);

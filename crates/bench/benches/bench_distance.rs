@@ -1,0 +1,74 @@
+//! Microbenchmarks of the distance kernels that dominate query CPU time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coconut_series::distance::{euclidean_sq, euclidean_sq_early_abandon, znormalize};
+use coconut_series::gen::{Generator, RandomWalkGen};
+use coconut_summary::mindist::{mindist_paa_sax, mindist_paa_zkey};
+use coconut_summary::paa::paa;
+use coconut_summary::sax::{sax_word, Summarizer};
+use coconut_summary::zorder::interleave;
+use coconut_summary::SaxConfig;
+
+fn series(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = RandomWalkGen::new(seed).generate(len);
+    znormalize(&mut s);
+    s
+}
+
+fn bench_euclidean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclidean");
+    for len in [64usize, 256, 1024] {
+        let a = series(1, len);
+        let b = series(2, len);
+        group.bench_with_input(BenchmarkId::new("full", len), &len, |bench, _| {
+            bench.iter(|| euclidean_sq(black_box(&a), black_box(&b)))
+        });
+        // Early abandoning with a tight cutoff (the common case once a good
+        // best-so-far exists).
+        let full = euclidean_sq(&a, &b);
+        group.bench_with_input(BenchmarkId::new("early_abandon_tight", len), &len, |bench, _| {
+            bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 0.1))
+        });
+        group.bench_with_input(BenchmarkId::new("early_abandon_loose", len), &len, |bench, _| {
+            bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 10.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mindist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mindist");
+    let config = SaxConfig::default_for_len(256);
+    let q = series(3, 256);
+    let qp = paa(&q, config.segments);
+    let s = series(4, 256);
+    let word = sax_word(&s, &config);
+    let key = interleave(word.symbols(), config.card_bits);
+    group.bench_function("word", |b| {
+        b.iter(|| mindist_paa_sax(black_box(&qp), black_box(word.symbols()), &config))
+    });
+    // The SIMS inner loop: decode the z-order key and bound it.
+    group.bench_function("zkey", |b| {
+        b.iter(|| mindist_paa_zkey(black_box(&qp), black_box(key), &config))
+    });
+    group.finish();
+}
+
+fn bench_summarizer_pipeline(c: &mut Criterion) {
+    let config = SaxConfig::default_for_len(256);
+    let mut summarizer = Summarizer::new(config);
+    let s = series(5, 256);
+    c.bench_function("series_to_zkey", |b| {
+        b.iter(|| summarizer.zkey(black_box(&s)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_euclidean, bench_mindist, bench_summarizer_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! External-sort throughput under different memory budgets — the engine of
+//! bottom-up bulk loading (paper Section 3.1).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use coconut_core::records::{KeyPos, KeyPosCodec};
+use coconut_storage::{ExternalSorter, IoStats, TempDir};
+use coconut_summary::ZKey;
+
+fn bench_extsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extsort_keypos");
+    group.sample_size(10);
+    let n: u64 = 100_000;
+    group.throughput(Throughput::Elements(n));
+    // Budgets: ample (in-memory sort), 10% (spills), 1% (many runs).
+    let record_bytes = 24u64;
+    for (label, budget) in [
+        ("ample", n * record_bytes * 2),
+        ("10pct", n * record_bytes / 10),
+        ("1pct", n * record_bytes / 100),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            b.iter(|| {
+                let dir = TempDir::new("bench-sort").unwrap();
+                let stats = Arc::new(IoStats::new());
+                let mut sorter =
+                    ExternalSorter::new(KeyPosCodec, budget, dir.path(), stats).unwrap();
+                for i in 0..n {
+                    // A scrambled but deterministic key sequence.
+                    let key = ZKey((i.wrapping_mul(0x9e3779b97f4a7c15) as u128) << 32);
+                    sorter.push(KeyPos { key, pos: i }).unwrap();
+                }
+                let mut stream = sorter.finish().unwrap();
+                let mut count = 0u64;
+                while stream.next_item().unwrap().is_some() {
+                    count += 1;
+                }
+                assert_eq!(count, n);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_extsort
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Summarization throughput: PAA, SAX quantization and the sortable
+//! (interleaved) transform — including the ablation the paper's Figure 2/4
+//! argument rests on (z-order vs lexicographic ordering quality).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use coconut_series::distance::{euclidean, znormalize};
+use coconut_series::gen::{Generator, RandomWalkGen};
+use coconut_summary::paa::paa;
+use coconut_summary::sax::Summarizer;
+use coconut_summary::zorder::{deinterleave, interleave, lexicographic_key};
+use coconut_summary::SaxConfig;
+
+fn bench_paa_sax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summarize");
+    for len in [64usize, 256, 1024] {
+        let config = SaxConfig::default_for_len(len);
+        let mut summarizer = Summarizer::new(config);
+        let mut s = RandomWalkGen::new(7).generate(len);
+        znormalize(&mut s);
+        group.bench_with_input(BenchmarkId::new("paa", len), &len, |b, _| {
+            b.iter(|| paa(black_box(&s), config.segments))
+        });
+        let mut out = vec![0u8; config.segments];
+        group.bench_with_input(BenchmarkId::new("sax", len), &len, |b, _| {
+            b.iter(|| summarizer.sax_into(black_box(&s), &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorder");
+    let symbols: Vec<u8> = (0..16).map(|j| (j * 17) as u8).collect();
+    group.bench_function("interleave_16x8", |b| {
+        b.iter(|| interleave(black_box(&symbols), 8))
+    });
+    let key = interleave(&symbols, 8);
+    group.bench_function("deinterleave_16x8", |b| {
+        b.iter(|| deinterleave(black_box(key), 16, 8))
+    });
+    group.bench_function("lexicographic_16x8", |b| {
+        b.iter(|| lexicographic_key(black_box(&symbols), 8))
+    });
+    group.finish();
+}
+
+/// The sortability ablation: sort a sample by z-order vs lexicographic SAX
+/// order and measure how close neighbors in the sorted order really are.
+/// (Not a timing benchmark — prints the quality ratio once.)
+fn sortability_ablation(c: &mut Criterion) {
+    let len = 256;
+    let config = SaxConfig::default_for_len(len);
+    let mut summarizer = Summarizer::new(config);
+    let mut g = RandomWalkGen::new(21);
+    let n = 2000;
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut s = g.generate(len);
+        znormalize(&mut s);
+        data.push(s);
+    }
+    let avg_neighbor_dist = |order: &[usize]| -> f64 {
+        order
+            .windows(2)
+            .map(|w| euclidean(&data[w[0]], &data[w[1]]))
+            .sum::<f64>()
+            / (order.len() - 1) as f64
+    };
+    let mut words: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for s in &data {
+        let mut w = vec![0u8; config.segments];
+        summarizer.sax_into(s, &mut w);
+        words.push(w);
+    }
+    let mut z: Vec<usize> = (0..n).collect();
+    z.sort_by_key(|&i| interleave(&words[i], 8));
+    let mut lex: Vec<usize> = (0..n).collect();
+    lex.sort_by_key(|&i| lexicographic_key(&words[i], 8));
+    println!(
+        "sortability ablation: avg neighbor distance z-order {:.3} vs lexicographic {:.3}",
+        avg_neighbor_dist(&z),
+        avg_neighbor_dist(&lex)
+    );
+    // Also time the two sorts (identical cost — the quality differs).
+    c.bench_function("sort_by_zorder_2k", |b| {
+        b.iter(|| {
+            let mut v: Vec<usize> = (0..n).collect();
+            v.sort_by_key(|&i| interleave(black_box(&words[i]), 8));
+            v
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_paa_sax, bench_interleave, sortability_ablation
+}
+criterion_main!(benches);

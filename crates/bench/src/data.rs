@@ -1,0 +1,103 @@
+//! Dataset and workload preparation for the experiments.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use coconut_series::dataset::{write_dataset, Dataset};
+use coconut_series::gen::{make_queries, AstronomyGen, Generator, RandomWalkGen, SeismicGen};
+use coconut_series::Value;
+use coconut_storage::{IoStats, Result};
+
+/// Which generator backs a dataset (paper Section 5, "Datasets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    /// The paper's synthetic random walk.
+    RandomWalk,
+    /// Seismic-like sliding windows (IRIS substitute).
+    Seismic,
+    /// Astronomy-like sliding windows (AGN light-curve substitute).
+    Astronomy,
+}
+
+impl DataKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataKind::RandomWalk => "randomwalk",
+            DataKind::Seismic => "seismic",
+            DataKind::Astronomy => "astronomy",
+        }
+    }
+
+    /// A seeded generator of this kind.
+    pub fn generator(&self, seed: u64) -> Box<dyn Generator> {
+        match self {
+            DataKind::RandomWalk => Box::new(RandomWalkGen::new(seed)),
+            DataKind::Seismic => Box::new(SeismicGen::new(seed)),
+            DataKind::Astronomy => Box::new(AstronomyGen::new(seed)),
+        }
+    }
+}
+
+/// A prepared experiment input: the on-disk dataset plus a query workload.
+pub struct Workload {
+    /// The opened dataset.
+    pub dataset: Dataset,
+    /// Path of the dataset file.
+    pub path: PathBuf,
+    /// z-normalized query series ("random queries", paper Section 5).
+    pub queries: Vec<Vec<Value>>,
+    /// Shared I/O counters for everything in this experiment.
+    pub stats: Arc<IoStats>,
+}
+
+/// Generate (or reuse) a dataset of `n` series of `len` points under `dir`,
+/// plus `n_queries` fresh queries from the same generator family.
+pub fn prepare(
+    dir: &Path,
+    kind: DataKind,
+    n: u64,
+    len: usize,
+    n_queries: usize,
+    seed: u64,
+) -> Result<Workload> {
+    let stats = Arc::new(IoStats::new());
+    let path = dir.join(format!("{}-{n}x{len}-{seed}.ds", kind.name()));
+    if !path.exists() {
+        let mut generator = kind.generator(seed);
+        write_dataset(&path, generator.as_mut(), n, len, &stats)?;
+    }
+    let dataset = Dataset::open(&path, Arc::clone(&stats))?;
+    // Queries use a distinct seed stream so they are not dataset members.
+    let mut qgen = kind.generator(seed ^ 0x5eed_cafe);
+    let queries = make_queries(qgen.as_mut(), n_queries, len);
+    Ok(Workload { dataset, path, queries, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::TempDir;
+
+    #[test]
+    fn prepare_creates_and_reuses() {
+        let dir = TempDir::new("bench-data").unwrap();
+        let w = prepare(dir.path(), DataKind::RandomWalk, 100, 32, 5, 1).unwrap();
+        assert_eq!(w.dataset.len(), 100);
+        assert_eq!(w.queries.len(), 5);
+        let created = std::fs::metadata(&w.path).unwrap().modified().unwrap();
+        // Second call must reuse the file.
+        let w2 = prepare(dir.path(), DataKind::RandomWalk, 100, 32, 5, 1).unwrap();
+        assert_eq!(std::fs::metadata(&w2.path).unwrap().modified().unwrap(), created);
+    }
+
+    #[test]
+    fn all_kinds_generate() {
+        let dir = TempDir::new("bench-data").unwrap();
+        for kind in [DataKind::RandomWalk, DataKind::Seismic, DataKind::Astronomy] {
+            let w = prepare(dir.path(), kind, 50, 64, 2, 7).unwrap();
+            assert_eq!(w.dataset.len(), 50, "{}", kind.name());
+            assert!(w.dataset.znormalized());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Sortability ablation: the paper's Figures 2/4 argument, measured.
+//!
+//! The paper's core claim is that *how you linearize the summarizations*
+//! decides whether a bulk-loaded index works at all: z-ordered
+//! (bit-interleaved) keys keep similar series in the same leaves, while
+//! plain lexicographic SAX order clusters by the first segment only, so a
+//! leaf neighborhood carries almost no information about similarity —
+//! "an index that is built by sorting data series based on existing
+//! summarizations degenerates to scanning the full dataset".
+//!
+//! We model both indexes the same way — sort keys, cut into leaves of the
+//! configured capacity, answer approximate queries from the query's leaf
+//! neighborhood — and compare (a) the locality of the sorted order and
+//! (b) approximate answer quality, against the true nearest neighbor.
+
+use coconut_series::distance::euclidean;
+use coconut_storage::Result;
+use coconut_summary::sax::Summarizer;
+use coconut_summary::zorder::{interleave, lexicographic_key, ZKey};
+use coconut_summary::SaxConfig;
+
+use crate::data::{prepare, DataKind};
+use crate::experiments::Env;
+use crate::harness::Table;
+
+/// Approximate answers from a simulated bulk-loaded index whose order is
+/// given by `keys`: locate the query's insertion leaf, evaluate ±radius
+/// leaves.
+fn simulated_approx_dist(
+    data: &[Vec<f32>],
+    keys: &[(ZKey, usize)],
+    query: &[f32],
+    query_key: ZKey,
+    leaf_capacity: usize,
+    radius: usize,
+) -> f64 {
+    let n = keys.len();
+    let slot = keys.partition_point(|&(k, _)| k <= query_key);
+    let leaf = slot / leaf_capacity;
+    let lo = leaf.saturating_sub(radius) * leaf_capacity;
+    let hi = (((leaf + radius + 1) * leaf_capacity).min(n)).max(lo + 1);
+    keys[lo..hi.min(n)]
+        .iter()
+        .map(|&(_, idx)| euclidean(query, &data[idx]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Mean distance between neighbors in the sorted order (locality).
+fn neighbor_locality(data: &[Vec<f32>], keys: &[(ZKey, usize)]) -> f64 {
+    keys.windows(2)
+        .map(|w| euclidean(&data[w[0].1], &data[w[1].1]))
+        .sum::<f64>()
+        / (keys.len() - 1) as f64
+}
+
+/// Run the ablation.
+pub fn run(env: &Env) -> Result<()> {
+    let mut table = Table::new(
+        "ablation_sort",
+        "z-order vs lexicographic summarization ordering (paper Figs. 2/4)",
+        &["ordering", "neighbor_dist", "approx_dist(r=0)", "approx_dist(r=1)", "vs_true_NN(r=0)"],
+    );
+    let n = env.scale.n.min(10_000);
+    let len = env.scale.series_len;
+    let w = prepare(&env.work_dir, DataKind::RandomWalk, n, len, env.scale.queries, 7)?;
+    let sax = SaxConfig::default_for_len(len);
+    let mut summarizer = Summarizer::new(sax);
+
+    // Load everything in memory (ablation runs at reduced scale).
+    let mut data: Vec<Vec<f32>> = Vec::with_capacity(n as usize);
+    {
+        let mut scan = w.dataset.scan();
+        while let Some((_, s)) = scan.next_series()? {
+            data.push(s.to_vec());
+        }
+    }
+    let mut word = vec![0u8; sax.segments];
+    let words: Vec<Vec<u8>> = data
+        .iter()
+        .map(|s| {
+            summarizer.sax_into(s, &mut word);
+            word.clone()
+        })
+        .collect();
+
+    let true_nn: Vec<f64> = w
+        .queries
+        .iter()
+        .map(|q| data.iter().map(|s| euclidean(q, s)).fold(f64::INFINITY, f64::min))
+        .collect();
+
+    for (name, key_fn) in [
+        ("z-order", interleave as fn(&[u8], u8) -> ZKey),
+        ("lexicographic", lexicographic_key as fn(&[u8], u8) -> ZKey),
+    ] {
+        let mut keys: Vec<(ZKey, usize)> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (key_fn(w, sax.card_bits), i))
+            .collect();
+        keys.sort_unstable();
+        let locality = neighbor_locality(&data, &keys);
+        let mut sum_r0 = 0.0;
+        let mut sum_r1 = 0.0;
+        let mut matches = 0usize;
+        for (q, &best) in w.queries.iter().zip(true_nn.iter()) {
+            summarizer.sax_into(q, &mut word);
+            let qk = key_fn(&word, sax.card_bits);
+            let d0 = simulated_approx_dist(&data, &keys, q, qk, env.scale.leaf_capacity, 0);
+            let d1 = simulated_approx_dist(&data, &keys, q, qk, env.scale.leaf_capacity, 1);
+            sum_r0 += d0;
+            sum_r1 += d1;
+            if d0 <= best * 1.10 {
+                matches += 1; // within 10% of the true NN
+            }
+        }
+        let nq = w.queries.len() as f64;
+        table.push_row(vec![
+            name.to_string(),
+            format!("{locality:.3}"),
+            format!("{:.3}", sum_r0 / nq),
+            format!("{:.3}", sum_r1 / nq),
+            format!("{:.0}%", 100.0 * matches as f64 / nq),
+        ]);
+    }
+    // The reference point: the average true nearest-neighbor distance.
+    let avg_true = true_nn.iter().sum::<f64>() / true_nn.len() as f64;
+    table.push_row(vec![
+        "true NN".into(),
+        "-".into(),
+        format!("{avg_true:.3}"),
+        format!("{avg_true:.3}"),
+        "100%".into(),
+    ]);
+    table.emit(&env.results_dir)
+}

@@ -1,0 +1,115 @@
+//! Figure 7: value histograms of the three datasets.
+//!
+//! The paper shows that random-walk and seismic values are near-Gaussian
+//! while astronomy is slightly skewed. We histogram the z-normalized values
+//! of a sample from each generator into 60 bins over [-5, 5].
+
+use coconut_series::distance::znormalize;
+use coconut_storage::Result;
+
+use crate::data::DataKind;
+use crate::experiments::Env;
+use crate::harness::Table;
+
+const BINS: usize = 60;
+const LO: f64 = -5.0;
+const HI: f64 = 5.0;
+
+/// Histogram the values of `count` series from `kind`.
+pub fn histogram(kind: DataKind, count: usize, len: usize, seed: u64) -> Vec<f64> {
+    let mut generator = kind.generator(seed);
+    let mut bins = vec![0u64; BINS];
+    let mut total = 0u64;
+    for _ in 0..count {
+        let mut s = generator.generate(len);
+        znormalize(&mut s);
+        for &v in &s {
+            let t = ((v as f64 - LO) / (HI - LO) * BINS as f64).floor();
+            let b = (t as isize).clamp(0, BINS as isize - 1) as usize;
+            bins[b] += 1;
+            total += 1;
+        }
+    }
+    bins.iter().map(|&b| b as f64 / total as f64).collect()
+}
+
+/// Run the experiment.
+pub fn run(env: &Env) -> Result<()> {
+    let mut table = Table::new(
+        "fig7",
+        "value histograms for all datasets (probability per bin)",
+        &["bin_center", "randomwalk", "seismic", "astronomy"],
+    );
+    let count = (env.scale.n / 20).max(200) as usize;
+    let hists: Vec<Vec<f64>> = [DataKind::RandomWalk, DataKind::Seismic, DataKind::Astronomy]
+        .iter()
+        .map(|&k| histogram(k, count, env.scale.series_len, 42))
+        .collect();
+    for (b, ((rw, se), astro)) in
+        hists[0].iter().zip(hists[1].iter()).zip(hists[2].iter()).enumerate()
+    {
+        let center = LO + (b as f64 + 0.5) * (HI - LO) / BINS as f64;
+        table.push_row(vec![
+            format!("{center:.2}"),
+            format!("{rw:.5}"),
+            format!("{se:.5}"),
+            format!("{astro:.5}"),
+        ]);
+    }
+    table.emit(&env.results_dir)?;
+
+    // Shape checks the paper's figure makes visually: astronomy is the
+    // most skewed dataset.
+    let skewness = |h: &[f64]| -> f64 {
+        let mean: f64 = h
+            .iter()
+            .enumerate()
+            .map(|(b, p)| p * (LO + (b as f64 + 0.5) * (HI - LO) / BINS as f64))
+            .sum();
+        let var: f64 = h
+            .iter()
+            .enumerate()
+            .map(|(b, p)| {
+                let x = LO + (b as f64 + 0.5) * (HI - LO) / BINS as f64;
+                p * (x - mean).powi(2)
+            })
+            .sum();
+        h.iter()
+            .enumerate()
+            .map(|(b, p)| {
+                let x = LO + (b as f64 + 0.5) * (HI - LO) / BINS as f64;
+                p * ((x - mean) / var.sqrt()).powi(3)
+            })
+            .sum()
+    };
+    println!(
+        "   skewness: randomwalk {:+.3}  seismic {:+.3}  astronomy {:+.3}\n",
+        skewness(&hists[0]),
+        skewness(&hists[1]),
+        skewness(&hists[2])
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_are_distributions() {
+        for kind in [DataKind::RandomWalk, DataKind::Seismic, DataKind::Astronomy] {
+            let h = histogram(kind, 50, 64, 1);
+            let sum: f64 = h.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn randomwalk_histogram_is_centered() {
+        let h = histogram(DataKind::RandomWalk, 200, 128, 2);
+        // Mass near zero should dominate mass at the tails.
+        let center: f64 = h[25..35].iter().sum();
+        let tails: f64 = h[..10].iter().sum::<f64>() + h[50..].iter().sum::<f64>();
+        assert!(center > 10.0 * tails);
+    }
+}

@@ -1,0 +1,195 @@
+//! Figure 8: index construction experiments.
+
+use coconut_storage::Result;
+
+use crate::data::{prepare, DataKind};
+use crate::experiments::Env;
+use crate::harness::{fmt_mib, fmt_secs, measure, Table};
+use crate::zoo::{build_index, Algo, BuildParams};
+
+/// Memory budgets as fractions of the raw data size (the paper's x-axis:
+/// from ample memory down to ~1%).
+const MEMORY_FRACTIONS: [f64; 4] = [2.0, 0.5, 0.1, 0.01];
+
+fn build_row(
+    env: &Env,
+    algo: Algo,
+    n: u64,
+    series_len: usize,
+    memory_bytes: u64,
+) -> Result<(f64, f64, u64, u64)> {
+    let w = prepare(&env.work_dir, DataKind::RandomWalk, n, series_len, 1, 7)?;
+    let params = BuildParams {
+        leaf_capacity: env.scale.leaf_capacity,
+        memory_bytes,
+        threads: env.scale.threads,
+    };
+    let build_dir = coconut_storage::TempDir::new("fig8-build")?;
+    let (_idx, m) = measure(&w.stats, || build_index(algo, &w, &params, build_dir.path()))?;
+    Ok((m.wall_s, m.modeled_s(), m.io.random_ops(), m.io.total_bytes()))
+}
+
+fn run_memory_sweep(env: &Env, name: &str, caption: &str, algos: &[Algo]) -> Result<()> {
+    let mut table = Table::new(
+        name,
+        caption,
+        &["algorithm", "memory", "wall", "modeled_disk", "random_ops", "io_bytes"],
+    );
+    let raw_bytes = env.scale.n * env.scale.series_len as u64 * 4;
+    for &algo in algos {
+        for &frac in &MEMORY_FRACTIONS {
+            let memory = ((raw_bytes as f64 * frac) as u64).max(4096);
+            let (wall, modeled, rand_ops, bytes) =
+                build_row(env, algo, env.scale.n, env.scale.series_len, memory)?;
+            table.push_row(vec![
+                algo.name().to_string(),
+                format!("{:.0}%", frac * 100.0),
+                fmt_secs(wall),
+                fmt_secs(modeled),
+                rand_ops.to_string(),
+                fmt_mib(bytes),
+            ]);
+        }
+    }
+    table.emit(&env.results_dir)
+}
+
+/// Figure 8a: construction time of the materialized indexes vs memory.
+pub fn run_8a(env: &Env) -> Result<()> {
+    run_memory_sweep(
+        env,
+        "fig8a",
+        "index construction, materialized algorithms, shrinking memory",
+        Algo::materialized_set(),
+    )
+}
+
+/// Figure 8b: construction time of the non-materialized indexes vs memory.
+pub fn run_8b(env: &Env) -> Result<()> {
+    run_memory_sweep(
+        env,
+        "fig8b",
+        "index construction, non-materialized algorithms, shrinking memory",
+        Algo::non_materialized_set(),
+    )
+}
+
+/// Figure 8c: space overhead and leaf occupancy of every index.
+pub fn run_8c(env: &Env) -> Result<()> {
+    let mut table = Table::new(
+        "fig8c",
+        "indexing space overhead (and the in-text leaf occupancy numbers)",
+        &["algorithm", "index_bytes", "raw_ratio", "leaves", "avg_fill"],
+    );
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        env.scale.n,
+        env.scale.series_len,
+        1,
+        7,
+    )?;
+    let raw = w.dataset.payload_bytes();
+    let params = BuildParams {
+        leaf_capacity: env.scale.leaf_capacity,
+        memory_bytes: 64 << 20,
+        threads: env.scale.threads,
+    };
+    let algos = [
+        Algo::CTreeFull,
+        Algo::CTrieFull,
+        Algo::AdsFull,
+        Algo::RTree,
+        Algo::Vertical,
+        Algo::DsTreeAlgo,
+        Algo::CTree,
+        Algo::CTrie,
+        Algo::AdsPlus,
+        Algo::RTreePlus,
+        Algo::Isax2,
+    ];
+    let build_dir = coconut_storage::TempDir::new("fig8c-build")?;
+    for algo in algos {
+        let idx = build_index(algo, &w, &params, build_dir.path())?;
+        table.push_row(vec![
+            algo.name().to_string(),
+            fmt_mib(idx.disk_bytes()),
+            format!("{:.2}x", idx.disk_bytes() as f64 / raw as f64),
+            idx.leaf_count().to_string(),
+            format!("{:.0}%", idx.avg_leaf_fill() * 100.0),
+        ]);
+    }
+    table.emit(&env.results_dir)
+}
+
+fn run_growth_sweep(env: &Env, name: &str, caption: &str, algos: &[Algo]) -> Result<()> {
+    let mut table = Table::new(
+        name,
+        caption,
+        &["algorithm", "series", "wall", "modeled_disk", "random_ops"],
+    );
+    // Memory fixed at 20% of the *smallest* dataset: as data grows the
+    // memory:data ratio shrinks, the paper's Figures 8d/8e setting.
+    let sizes = [env.scale.n / 4, env.scale.n / 2, env.scale.n, env.scale.n * 2];
+    let memory = (sizes[0] * env.scale.series_len as u64 * 4) / 5;
+    for &algo in algos {
+        for &n in &sizes {
+            let (wall, modeled, rand_ops, _) =
+                build_row(env, algo, n, env.scale.series_len, memory)?;
+            table.push_row(vec![
+                algo.name().to_string(),
+                n.to_string(),
+                fmt_secs(wall),
+                fmt_secs(modeled),
+                rand_ops.to_string(),
+            ]);
+        }
+    }
+    table.emit(&env.results_dir)
+}
+
+/// Figure 8d: materialized construction with fixed memory, growing data.
+pub fn run_8d(env: &Env) -> Result<()> {
+    run_growth_sweep(
+        env,
+        "fig8d",
+        "construction, materialized, fixed memory, growing dataset",
+        &[Algo::CTreeFull, Algo::AdsFull],
+    )
+}
+
+/// Figure 8e: non-materialized construction with fixed memory, growing data.
+pub fn run_8e(env: &Env) -> Result<()> {
+    run_growth_sweep(
+        env,
+        "fig8e",
+        "construction, non-materialized, fixed memory, growing dataset",
+        &[Algo::CTree, Algo::AdsPlus],
+    )
+}
+
+/// Figure 8f: construction vs series length at a fixed total data volume.
+pub fn run_8f(env: &Env) -> Result<()> {
+    let mut table = Table::new(
+        "fig8f",
+        "indexing variable-length series, fixed total volume, limited memory",
+        &["algorithm", "series_len", "series", "wall", "modeled_disk"],
+    );
+    let total_points = env.scale.n * env.scale.series_len as u64;
+    let lengths = [64usize, 128, 256, 512];
+    let memory = (total_points * 4) / 100; // 1% of the raw volume
+    for algo in [Algo::CTree, Algo::CTreeFull, Algo::AdsPlus, Algo::AdsFull] {
+        for &len in &lengths {
+            let n = (total_points / len as u64).max(1);
+            let (wall, modeled, _, _) = build_row(env, algo, n, len, memory)?;
+            table.push_row(vec![
+                algo.name().to_string(),
+                len.to_string(),
+                n.to_string(),
+                fmt_secs(wall),
+                fmt_secs(modeled),
+            ]);
+        }
+    }
+    table.emit(&env.results_dir)
+}

@@ -1,0 +1,202 @@
+//! The algorithm zoo: one uniform way to build every index in the paper.
+
+use std::path::Path;
+
+use coconut_baselines::{AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex};
+use coconut_core::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
+use coconut_series::index::SeriesIndex;
+use coconut_storage::Result;
+use coconut_summary::SaxConfig;
+
+use crate::data::Workload;
+
+/// Every indexing algorithm evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Coconut-Tree, non-materialized.
+    CTree,
+    /// Coconut-Tree-Full (materialized).
+    CTreeFull,
+    /// Coconut-Trie, non-materialized.
+    CTrie,
+    /// Coconut-Trie-Full (materialized).
+    CTrieFull,
+    /// ADS+ (adaptive, non-materialized).
+    AdsPlus,
+    /// ADSFull (clustered, materialized).
+    AdsFull,
+    /// STR-bulk-loaded R-tree, materialized.
+    RTree,
+    /// R-tree+, non-materialized.
+    RTreePlus,
+    /// iSAX 2.0 (top-down inserts).
+    Isax2,
+    /// DSTree (adaptive segmentation, materialized).
+    DsTreeAlgo,
+    /// Vertical (stepwise DHWT).
+    Vertical,
+    /// Brute-force scan (no index).
+    Scan,
+}
+
+impl Algo {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::CTree => "CTree",
+            Algo::CTreeFull => "CTreeFull",
+            Algo::CTrie => "CTrie",
+            Algo::CTrieFull => "CTrieFull",
+            Algo::AdsPlus => "ADS+",
+            Algo::AdsFull => "ADSFull",
+            Algo::RTree => "R-tree",
+            Algo::RTreePlus => "R-tree+",
+            Algo::Isax2 => "iSAX2.0",
+            Algo::DsTreeAlgo => "DSTree",
+            Algo::Vertical => "Vertical",
+            Algo::Scan => "SerialScan",
+        }
+    }
+
+    /// The materialized contestants of Figure 8a.
+    pub fn materialized_set() -> &'static [Algo] {
+        &[
+            Algo::CTreeFull,
+            Algo::CTrieFull,
+            Algo::AdsFull,
+            Algo::RTree,
+            Algo::Vertical,
+            Algo::DsTreeAlgo,
+        ]
+    }
+
+    /// The non-materialized contestants of Figure 8b.
+    pub fn non_materialized_set() -> &'static [Algo] {
+        &[Algo::CTree, Algo::CTrie, Algo::AdsPlus, Algo::RTreePlus]
+    }
+}
+
+/// Common build parameters for a fair comparison (same leaf size for all
+/// indexes, as in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct BuildParams {
+    /// Leaf capacity in records.
+    pub leaf_capacity: usize,
+    /// Memory available to the construction algorithm.
+    pub memory_bytes: u64,
+    /// Threads for the SIMS scans.
+    pub threads: usize,
+}
+
+impl Default for BuildParams {
+    fn default() -> Self {
+        BuildParams { leaf_capacity: 200, memory_bytes: 64 << 20, threads: 4 }
+    }
+}
+
+/// Build `algo` over the workload's dataset. Index files and sort scratch
+/// go into `dir`.
+pub fn build_index(
+    algo: Algo,
+    w: &Workload,
+    params: &BuildParams,
+    dir: &Path,
+) -> Result<Box<dyn SeriesIndex>> {
+    let len = w.dataset.series_len();
+    let sax = SaxConfig::default_for_len(len);
+    let config = IndexConfig {
+        sax,
+        leaf_capacity: params.leaf_capacity,
+        fill_factor: 1.0,
+        internal_fanout: 64,
+    };
+    let opts = BuildOptions {
+        memory_bytes: params.memory_bytes,
+        materialized: false,
+        threads: params.threads,
+    };
+    Ok(match algo {
+        Algo::CTree => Box::new(CoconutTree::build(&w.dataset, &config, dir, opts)?),
+        Algo::CTreeFull => {
+            Box::new(CoconutTree::build(&w.dataset, &config, dir, opts.materialized())?)
+        }
+        Algo::CTrie => Box::new(CoconutTrie::build(&w.dataset, &config, dir, opts)?),
+        Algo::CTrieFull => {
+            Box::new(CoconutTrie::build(&w.dataset, &config, dir, opts.materialized())?)
+        }
+        Algo::AdsPlus => Box::new(AdsIndex::build(
+            &w.dataset,
+            sax,
+            params.leaf_capacity,
+            params.memory_bytes,
+            dir,
+            AdsVariant::Plus,
+            params.threads,
+        )?),
+        Algo::AdsFull => Box::new(AdsIndex::build(
+            &w.dataset,
+            sax,
+            params.leaf_capacity,
+            params.memory_bytes,
+            dir,
+            AdsVariant::Full,
+            params.threads,
+        )?),
+        Algo::RTree => {
+            Box::new(RTreeIndex::build(&w.dataset, sax, params.leaf_capacity, true, dir)?)
+        }
+        Algo::RTreePlus => {
+            Box::new(RTreeIndex::build(&w.dataset, sax, params.leaf_capacity, false, dir)?)
+        }
+        Algo::Isax2 => Box::new(Isax2Index::build(
+            &w.dataset,
+            sax,
+            params.leaf_capacity,
+            params.memory_bytes,
+            dir,
+        )?),
+        Algo::DsTreeAlgo => Box::new(DsTree::build(&w.dataset, params.leaf_capacity, dir)?),
+        Algo::Vertical => Box::new(VerticalIndex::build(&w.dataset, dir)?),
+        Algo::Scan => Box::new(SerialScan::new(&w.dataset)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{prepare, DataKind};
+    use coconut_storage::TempDir;
+
+    #[test]
+    fn every_algo_builds_and_answers() {
+        let dir = TempDir::new("zoo").unwrap();
+        let w = prepare(dir.path(), DataKind::RandomWalk, 300, 64, 3, 11).unwrap();
+        let params = BuildParams { leaf_capacity: 32, memory_bytes: 1 << 20, threads: 2 };
+        let algos = [
+            Algo::CTree,
+            Algo::CTreeFull,
+            Algo::CTrie,
+            Algo::CTrieFull,
+            Algo::AdsPlus,
+            Algo::AdsFull,
+            Algo::RTree,
+            Algo::RTreePlus,
+            Algo::Isax2,
+            Algo::DsTreeAlgo,
+            Algo::Vertical,
+            Algo::Scan,
+        ];
+        // All exact answers must agree with the serial scan's.
+        let scan = build_index(Algo::Scan, &w, &params, dir.path()).unwrap();
+        let q = &w.queries[0];
+        let (truth, _) = scan.exact(q).unwrap();
+        for algo in algos {
+            let idx = build_index(algo, &w, &params, dir.path()).unwrap();
+            assert_eq!(idx.name(), algo.name());
+            let (ans, _) = idx.exact(q).unwrap();
+            assert_eq!(ans.pos, truth.pos, "{} disagrees with scan", algo.name());
+            let approx = idx.approximate(q).unwrap();
+            assert!(approx.dist + 1e-9 >= ans.dist, "{}", algo.name());
+        }
+    }
+}

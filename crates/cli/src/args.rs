@@ -1,0 +1,230 @@
+//! Argument parsing for the `coconut` CLI (no external crates).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  coconut gen   --kind <randomwalk|seismic|astronomy> --count N --len L [--seed S] <out.ds>
+  coconut info  <data.ds>
+  coconut build --index <ctree|ctrie> [--materialized] [--leaf N]
+                [--memory-mb M] [--out-dir DIR] <data.ds>
+  coconut query --index <path.idx> --data <data.ds>
+                (--seed S | --pos P) [--k K] [--radius R]
+                [--dtw BAND] [--range EPS] [--approximate]";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset file.
+    Gen {
+        kind: String,
+        count: u64,
+        len: usize,
+        seed: u64,
+        out: PathBuf,
+    },
+    /// Describe a dataset file.
+    Info { path: PathBuf },
+    /// Build an index over a dataset.
+    Build {
+        index: String,
+        materialized: bool,
+        leaf: usize,
+        memory_mb: u64,
+        out_dir: PathBuf,
+        data: PathBuf,
+    },
+    /// Query an index.
+    Query {
+        index: PathBuf,
+        data: PathBuf,
+        seed: Option<u64>,
+        pos: Option<u64>,
+        k: usize,
+        radius: usize,
+        dtw_band: Option<usize>,
+        range_eps: Option<f64>,
+        approximate: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Split argv into `--key value` / `--flag` options and positionals.
+fn split(argv: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
+    const FLAGS: &[&str] = &["--materialized", "--approximate", "--help", "-h"];
+    let mut opts = HashMap::new();
+    let mut pos = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if FLAGS.contains(&a.as_str()) {
+            opts.insert(a.clone(), String::from("true"));
+            i += 1;
+        } else if let Some(key) = a.strip_prefix("--") {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            opts.insert(a.clone(), value.clone());
+            i += 2;
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((opts, pos))
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing required option {key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+/// Parse a full command line (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some(verb) = argv.first() else {
+        return Err("no command given".into());
+    };
+    if verb == "--help" || verb == "-h" || verb == "help" {
+        return Ok(Command::Help);
+    }
+    let rest = &argv[1..];
+    let (opts, pos) = split(rest)?;
+    if opts.contains_key("--help") || opts.contains_key("-h") {
+        return Ok(Command::Help);
+    }
+    match verb.as_str() {
+        "gen" => {
+            let out = pos.first().ok_or("gen: missing output path")?;
+            Ok(Command::Gen {
+                kind: req(&opts, "--kind")?.to_string(),
+                count: parse_num(req(&opts, "--count")?, "count")?,
+                len: parse_num(req(&opts, "--len")?, "len")?,
+                seed: opts.get("--seed").map_or(Ok(1), |s| parse_num(s, "seed"))?,
+                out: PathBuf::from(out),
+            })
+        }
+        "info" => {
+            let path = pos.first().ok_or("info: missing dataset path")?;
+            Ok(Command::Info { path: PathBuf::from(path) })
+        }
+        "build" => {
+            let data = pos.first().ok_or("build: missing dataset path")?;
+            Ok(Command::Build {
+                index: req(&opts, "--index")?.to_string(),
+                materialized: opts.contains_key("--materialized"),
+                leaf: opts.get("--leaf").map_or(Ok(2000), |s| parse_num(s, "leaf"))?,
+                memory_mb: opts
+                    .get("--memory-mb")
+                    .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
+                out_dir: PathBuf::from(
+                    opts.get("--out-dir").map_or(".", |s| s.as_str()),
+                ),
+                data: PathBuf::from(data),
+            })
+        }
+        "query" => {
+            let seed = opts.get("--seed").map(|s| parse_num(s, "seed")).transpose()?;
+            let pos_opt = opts.get("--pos").map(|s| parse_num(s, "pos")).transpose()?;
+            if seed.is_none() && pos_opt.is_none() {
+                return Err("query: need --seed or --pos".into());
+            }
+            Ok(Command::Query {
+                index: PathBuf::from(req(&opts, "--index")?),
+                data: PathBuf::from(req(&opts, "--data")?),
+                seed,
+                pos: pos_opt,
+                k: opts.get("--k").map_or(Ok(1), |s| parse_num(s, "k"))?,
+                radius: opts.get("--radius").map_or(Ok(1), |s| parse_num(s, "radius"))?,
+                dtw_band: opts.get("--dtw").map(|s| parse_num(s, "dtw band")).transpose()?,
+                range_eps: opts.get("--range").map(|s| parse_num(s, "range eps")).transpose()?,
+                approximate: opts.contains_key("--approximate"),
+            })
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        let c = parse(&argv("gen --kind seismic --count 100 --len 64 --seed 9 out.ds")).unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                kind: "seismic".into(),
+                count: 100,
+                len: 64,
+                seed: 9,
+                out: PathBuf::from("out.ds"),
+            }
+        );
+    }
+
+    #[test]
+    fn gen_defaults_seed() {
+        let c = parse(&argv("gen --kind randomwalk --count 5 --len 8 o.ds")).unwrap();
+        let Command::Gen { seed, .. } = c else { panic!() };
+        assert_eq!(seed, 1);
+    }
+
+    #[test]
+    fn parses_build_with_flags() {
+        let c =
+            parse(&argv("build --index ctree --materialized --leaf 100 --out-dir /tmp x.ds"))
+                .unwrap();
+        let Command::Build { index, materialized, leaf, out_dir, data, .. } = c else { panic!() };
+        assert_eq!(index, "ctree");
+        assert!(materialized);
+        assert_eq!(leaf, 100);
+        assert_eq!(out_dir, PathBuf::from("/tmp"));
+        assert_eq!(data, PathBuf::from("x.ds"));
+    }
+
+    #[test]
+    fn parses_query_variants() {
+        let c = parse(&argv("query --index i.idx --data d.ds --seed 3 --k 5 --dtw 10")).unwrap();
+        let Command::Query { seed, k, dtw_band, range_eps, approximate, .. } = c else { panic!() };
+        assert_eq!(seed, Some(3));
+        assert_eq!(k, 5);
+        assert_eq!(dtw_band, Some(10));
+        assert_eq!(range_eps, None);
+        assert!(!approximate);
+
+        let c = parse(&argv("query --index i.idx --data d.ds --pos 7 --range 2.5 --approximate"))
+            .unwrap();
+        let Command::Query { pos, range_eps, approximate, .. } = c else { panic!() };
+        assert_eq!(pos, Some(7));
+        assert_eq!(range_eps, Some(2.5));
+        assert!(approximate);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("gen --kind x --count abc --len 8 o.ds")).is_err());
+        assert!(parse(&argv("gen --kind x --count 5 o.ds")).is_err()); // missing --len
+        assert!(parse(&argv("query --index i --data d")).is_err()); // no seed/pos
+        assert!(parse(&argv("gen --kind")).is_err()); // dangling option
+    }
+
+    #[test]
+    fn help_everywhere() {
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("build --help")).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,347 @@
+//! Command implementations for the `coconut` CLI.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coconut_core::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
+use coconut_series::dataset::{write_dataset, Dataset};
+use coconut_series::distance::znormalize;
+use coconut_series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
+use coconut_series::index::SeriesIndex;
+use coconut_series::Value;
+use coconut_storage::{Error, IoStats, Result};
+use coconut_summary::SaxConfig;
+
+use crate::args::Command;
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<()> {
+    match cmd {
+        Command::Help => {
+            println!("{}", crate::args::USAGE);
+            Ok(())
+        }
+        Command::Gen { kind, count, len, seed, out } => {
+            let stats = Arc::new(IoStats::new());
+            let mut generator: Box<dyn Generator> = match kind.as_str() {
+                "randomwalk" => Box::new(RandomWalkGen::new(seed)),
+                "seismic" => Box::new(SeismicGen::new(seed)),
+                "astronomy" => Box::new(AstronomyGen::new(seed)),
+                other => {
+                    return Err(Error::invalid(format!(
+                        "unknown generator '{other}' (randomwalk|seismic|astronomy)"
+                    )))
+                }
+            };
+            let t0 = Instant::now();
+            write_dataset(&out, generator.as_mut(), count, len, &stats)?;
+            println!(
+                "wrote {count} {kind} series of {len} points to {} in {:.2}s",
+                out.display(),
+                t0.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Command::Info { path } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&path, stats)?;
+            println!("dataset       {}", path.display());
+            println!("series        {}", ds.len());
+            println!("series length {}", ds.series_len());
+            println!("z-normalized  {}", ds.znormalized());
+            println!("payload bytes {} ({:.1} MiB)", ds.payload_bytes(),
+                ds.payload_bytes() as f64 / (1 << 20) as f64);
+            Ok(())
+        }
+        Command::Build { index, materialized, leaf, memory_mb, out_dir, data } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            std::fs::create_dir_all(&out_dir)?;
+            let config = IndexConfig {
+                sax: SaxConfig::default_for_len(ds.series_len()),
+                leaf_capacity: leaf,
+                fill_factor: 1.0,
+                internal_fanout: 64,
+            };
+            let opts = BuildOptions {
+                memory_bytes: memory_mb << 20,
+                materialized,
+                threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            };
+            let t0 = Instant::now();
+            let (name, path, leaves, fill, bytes): (String, _, _, _, _) = match index.as_str() {
+                "ctree" => {
+                    let t = CoconutTree::build(&ds, &config, &out_dir, opts)?;
+                    (t.name(), t.index_path().to_path_buf(), t.leaf_count(), t.avg_leaf_fill(), t.disk_bytes())
+                }
+                "ctrie" => {
+                    let t = CoconutTrie::build(&ds, &config, &out_dir, opts)?;
+                    (t.name(), t.index_path().to_path_buf(), t.leaf_count(), t.avg_leaf_fill(), t.disk_bytes())
+                }
+                other => {
+                    return Err(Error::invalid(format!("unknown index '{other}' (ctree|ctrie)")))
+                }
+            };
+            let io = stats.snapshot();
+            println!("built {name} in {:.2}s", t0.elapsed().as_secs_f64());
+            println!("index file    {}", path.display());
+            println!("leaves        {leaves} (avg fill {:.0}%)", fill * 100.0);
+            println!("size          {:.1} MiB", bytes as f64 / (1 << 20) as f64);
+            println!(
+                "io            {} sequential / {} random ops, {:.1} MiB moved",
+                io.total_ops() - io.random_ops(),
+                io.random_ops(),
+                io.total_bytes() as f64 / (1 << 20) as f64
+            );
+            Ok(())
+        }
+        Command::Query { index, data, seed, pos, k, radius, dtw_band, range_eps, approximate } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+            let query = make_query(&ds, seed, pos)?;
+
+            // Try tree first, then trie (each checks its header).
+            enum AnyIndex {
+                Tree(CoconutTree),
+                Trie(CoconutTrie),
+            }
+            let idx = match CoconutTree::open(&index, &ds, threads) {
+                Ok(t) => AnyIndex::Tree(t),
+                Err(_) => AnyIndex::Trie(CoconutTrie::open(&index, &ds, threads)?),
+            };
+
+            let t0 = Instant::now();
+            if let Some(eps) = range_eps {
+                let (hits, qstats) = match &idx {
+                    AnyIndex::Tree(t) => t.exact_range(&query, eps)?,
+                    AnyIndex::Trie(_) => {
+                        return Err(Error::invalid("range queries require a ctree index"))
+                    }
+                };
+                println!("{} series within distance {eps}:", hits.len());
+                for h in hits.iter().take(50) {
+                    println!("  #{:<10} dist {:.4}", h.pos, h.dist);
+                }
+                report_time(t0, &qstats);
+            } else if let Some(band) = dtw_band {
+                let (ans, qstats) = match &idx {
+                    AnyIndex::Tree(t) => t.exact_search_dtw(&query, band)?,
+                    AnyIndex::Trie(_) => {
+                        return Err(Error::invalid("DTW queries require a ctree index"))
+                    }
+                };
+                println!("DTW(band {band}) nearest: #{} at {:.4}", ans.pos, ans.dist);
+                report_time(t0, &qstats);
+            } else if approximate {
+                let ans = match &idx {
+                    AnyIndex::Tree(t) => t.approximate_search(&query, radius)?,
+                    AnyIndex::Trie(t) => t.approximate_search(&query, radius)?,
+                };
+                println!("approximate nearest (radius {radius}): #{} at {:.4}", ans.pos, ans.dist);
+                println!("time {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+            } else if k > 1 {
+                let (hits, qstats) = match &idx {
+                    AnyIndex::Tree(t) => t.exact_knn(&query, k)?,
+                    AnyIndex::Trie(_) => {
+                        return Err(Error::invalid("k-NN queries require a ctree index"))
+                    }
+                };
+                println!("top-{k} nearest:");
+                for (rank, h) in hits.iter().enumerate() {
+                    println!("  {}. #{:<10} dist {:.4}", rank + 1, h.pos, h.dist);
+                }
+                report_time(t0, &qstats);
+            } else {
+                let (ans, qstats) = match &idx {
+                    AnyIndex::Tree(t) => t.exact_search_with_radius(&query, radius)?,
+                    AnyIndex::Trie(t) => t.exact_search_with_radius(&query, radius)?,
+                };
+                println!("exact nearest: #{} at {:.4}", ans.pos, ans.dist);
+                report_time(t0, &qstats);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn make_query(ds: &Dataset, seed: Option<u64>, pos: Option<u64>) -> Result<Vec<Value>> {
+    match (seed, pos) {
+        (_, Some(p)) => ds.get(p),
+        (Some(s), None) => {
+            let mut q = RandomWalkGen::new(s).generate(ds.series_len());
+            znormalize(&mut q);
+            Ok(q)
+        }
+        (None, None) => Err(Error::invalid("need --seed or --pos")),
+    }
+}
+
+fn report_time(t0: Instant, qstats: &coconut_series::index::QueryStats) {
+    println!(
+        "time {:.1} ms  (fetched {} records, pruned {}, {} lower bounds)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        qstats.records_fetched,
+        qstats.pruned,
+        qstats.lower_bounds
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::TempDir;
+
+    fn gen_cmd(dir: &TempDir, name: &str, count: u64) -> std::path::PathBuf {
+        let out = dir.path().join(name);
+        run(Command::Gen {
+            kind: "randomwalk".into(),
+            count,
+            len: 64,
+            seed: 3,
+            out: out.clone(),
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn gen_info_build_query_pipeline() {
+        let dir = TempDir::new("cli").unwrap();
+        let data = gen_cmd(&dir, "d.ds", 300);
+        run(Command::Info { path: data.clone() }).unwrap();
+
+        for index_kind in ["ctree", "ctrie"] {
+            let out_dir = dir.path().join(index_kind);
+            run(Command::Build {
+                index: index_kind.into(),
+                materialized: false,
+                leaf: 32,
+                memory_mb: 1,
+                out_dir: out_dir.clone(),
+                data: data.clone(),
+            })
+            .unwrap();
+            let idx = std::fs::read_dir(&out_dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .find(|p| p.extension().is_some_and(|e| e == "idx"))
+                .expect("index file created");
+            // Exact, approximate, and member queries all succeed.
+            run(Command::Query {
+                index: idx.clone(),
+                data: data.clone(),
+                seed: Some(9),
+                pos: None,
+                k: 1,
+                radius: 1,
+                dtw_band: None,
+                range_eps: None,
+                approximate: false,
+            })
+            .unwrap();
+            run(Command::Query {
+                index: idx.clone(),
+                data: data.clone(),
+                seed: None,
+                pos: Some(7),
+                k: 1,
+                radius: 0,
+                dtw_band: None,
+                range_eps: None,
+                approximate: true,
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_only_modes_work_and_trie_rejects_them() {
+        let dir = TempDir::new("cli").unwrap();
+        let data = gen_cmd(&dir, "d.ds", 200);
+        let tree_dir = dir.path().join("t");
+        run(Command::Build {
+            index: "ctree".into(),
+            materialized: false,
+            leaf: 32,
+            memory_mb: 1,
+            out_dir: tree_dir.clone(),
+            data: data.clone(),
+        })
+        .unwrap();
+        let tree_idx = std::fs::read_dir(&tree_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "idx"))
+            .unwrap();
+        let q = |k, dtw, range| Command::Query {
+            index: tree_idx.clone(),
+            data: data.clone(),
+            seed: Some(5),
+            pos: None,
+            k,
+            radius: 1,
+            dtw_band: dtw,
+            range_eps: range,
+            approximate: false,
+        };
+        run(q(5, None, None)).unwrap(); // k-NN
+        run(q(1, Some(4), None)).unwrap(); // DTW
+        run(q(1, None, Some(10.0))).unwrap(); // range
+
+        let trie_dir = dir.path().join("tr");
+        run(Command::Build {
+            index: "ctrie".into(),
+            materialized: false,
+            leaf: 32,
+            memory_mb: 1,
+            out_dir: trie_dir.clone(),
+            data: data.clone(),
+        })
+        .unwrap();
+        let trie_idx = std::fs::read_dir(&trie_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "idx"))
+            .unwrap();
+        let bad = Command::Query {
+            index: trie_idx,
+            data,
+            seed: Some(5),
+            pos: None,
+            k: 1,
+            radius: 1,
+            dtw_band: Some(4),
+            range_eps: None,
+            approximate: false,
+        };
+        assert!(run(bad).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_fail_cleanly() {
+        let dir = TempDir::new("cli").unwrap();
+        // Unknown generator.
+        assert!(run(Command::Gen {
+            kind: "weather".into(),
+            count: 1,
+            len: 8,
+            seed: 1,
+            out: dir.path().join("x.ds"),
+        })
+        .is_err());
+        // Missing dataset.
+        assert!(run(Command::Info { path: dir.path().join("nope.ds") }).is_err());
+        // Unknown index kind.
+        let data = gen_cmd(&dir, "d.ds", 10);
+        assert!(run(Command::Build {
+            index: "btree".into(),
+            materialized: false,
+            leaf: 8,
+            memory_mb: 1,
+            out_dir: dir.path().to_path_buf(),
+            data,
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! On-disk layout shared by Coconut-Tree and Coconut-Trie.
+//!
+//! An index file is:
+//!
+//! ```text
+//! [ header, 4 KiB reserved ]
+//! [ leaf block 0 ][ leaf block 1 ] ...      <- written bottom-up, in order
+//! [ directory: LeafMeta per logical leaf ]
+//! [ index-specific tail (e.g. trie nodes) ]
+//! ```
+//!
+//! Leaf blocks are fixed-size (`leaf_capacity * entry_bytes`), so occupancy
+//! below capacity shows up as on-disk slack — exactly how the paper's
+//! Figure 8c space-overhead comparison works. Bulk loading writes blocks
+//! strictly left-to-right (sequential I/O); only post-build inserts can
+//! append out-of-order blocks and break contiguity.
+//!
+//! Entries are `key (16B) | position (8B) [| series payload]`, the payload
+//! being present in materialized (`-Full`) indexes.
+
+use std::sync::Arc;
+
+use coconut_series::Value;
+use coconut_storage::cache::PageKey;
+use coconut_storage::{CountedFile, Error, PageCache, Result};
+use coconut_summary::ZKey;
+
+/// Offset of the first leaf block (the header page).
+pub const LEAF_REGION_OFFSET: u64 = 4096;
+
+const HEADER_MAGIC: &[u8; 8] = b"CCNTIX01";
+const DIR_MAGIC: &[u8; 4] = b"DIR1";
+
+/// Entry encoding parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryLayout {
+    /// Points per series (payload length when materialized).
+    pub series_len: usize,
+    /// Whether entries embed the raw series.
+    pub materialized: bool,
+}
+
+impl EntryLayout {
+    /// Bytes per entry.
+    pub fn entry_bytes(&self) -> usize {
+        if self.materialized {
+            24 + 4 * self.series_len
+        } else {
+            24
+        }
+    }
+
+    /// Encode an entry into `buf` (sized `entry_bytes`). `series` must be
+    /// `Some` iff the layout is materialized.
+    pub fn encode(&self, key: ZKey, pos: u64, series: Option<&[Value]>, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), self.entry_bytes());
+        buf[..16].copy_from_slice(&key.0.to_le_bytes());
+        buf[16..24].copy_from_slice(&pos.to_le_bytes());
+        if self.materialized {
+            let series = series.expect("materialized entry needs a payload");
+            debug_assert_eq!(series.len(), self.series_len);
+            for (i, &v) in series.iter().enumerate() {
+                buf[24 + 4 * i..28 + 4 * i].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// The key of an encoded entry.
+    #[inline]
+    pub fn key(&self, entry: &[u8]) -> ZKey {
+        ZKey(u128::from_le_bytes(entry[..16].try_into().expect("entry key")))
+    }
+
+    /// The raw-file position of an encoded entry.
+    #[inline]
+    pub fn pos(&self, entry: &[u8]) -> u64 {
+        u64::from_le_bytes(entry[16..24].try_into().expect("entry pos"))
+    }
+
+    /// Decode the embedded series into `out` (materialized layouts only).
+    #[inline]
+    pub fn series_into(&self, entry: &[u8], out: &mut [Value]) {
+        debug_assert!(self.materialized);
+        debug_assert_eq!(out.len(), self.series_len);
+        for (i, chunk) in entry[24..24 + 4 * self.series_len].chunks_exact(4).enumerate() {
+            out[i] = Value::from_le_bytes(chunk.try_into().expect("entry f32"));
+        }
+    }
+}
+
+/// Metadata of one logical leaf, in index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafMeta {
+    /// Smallest key in the leaf.
+    pub first_key: ZKey,
+    /// Number of entries.
+    pub count: u32,
+    /// First physical block number.
+    pub block: u32,
+    /// Consecutive physical blocks occupied (1 except for oversized trie
+    /// leaves holding more duplicates than one block fits).
+    pub blocks_used: u32,
+}
+
+const LEAF_META_BYTES: usize = 16 + 4 + 4 + 4;
+
+/// The fixed index-file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexHeader {
+    /// 0 = Coconut-Tree, 1 = Coconut-Trie (distinguishes tails).
+    pub kind: u8,
+    /// Whether entries embed raw series.
+    pub materialized: bool,
+    /// Series length in points.
+    pub series_len: u32,
+    /// SAX segments.
+    pub segments: u16,
+    /// SAX bits per symbol.
+    pub card_bits: u8,
+    /// Max entries per leaf block.
+    pub leaf_capacity: u32,
+    /// Total entries in the index.
+    pub entry_count: u64,
+    /// Physical leaf blocks written.
+    pub num_blocks: u64,
+    /// Byte offset of the directory.
+    pub dir_offset: u64,
+}
+
+impl IndexHeader {
+    fn encode(&self) -> [u8; 64] {
+        let mut h = [0u8; 64];
+        h[..8].copy_from_slice(HEADER_MAGIC);
+        h[8] = self.kind;
+        h[9] = self.materialized as u8;
+        h[10] = self.card_bits;
+        h[12..14].copy_from_slice(&self.segments.to_le_bytes());
+        h[16..20].copy_from_slice(&self.series_len.to_le_bytes());
+        h[20..24].copy_from_slice(&self.leaf_capacity.to_le_bytes());
+        h[24..32].copy_from_slice(&self.entry_count.to_le_bytes());
+        h[32..40].copy_from_slice(&self.num_blocks.to_le_bytes());
+        h[40..48].copy_from_slice(&self.dir_offset.to_le_bytes());
+        h
+    }
+
+    fn decode(h: &[u8; 64]) -> Result<Self> {
+        if &h[..8] != HEADER_MAGIC {
+            return Err(Error::corrupt("bad index magic"));
+        }
+        Ok(IndexHeader {
+            kind: h[8],
+            materialized: h[9] != 0,
+            card_bits: h[10],
+            segments: u16::from_le_bytes(h[12..14].try_into().unwrap()),
+            series_len: u32::from_le_bytes(h[16..20].try_into().unwrap()),
+            leaf_capacity: u32::from_le_bytes(h[20..24].try_into().unwrap()),
+            entry_count: u64::from_le_bytes(h[24..32].try_into().unwrap()),
+            num_blocks: u64::from_le_bytes(h[32..40].try_into().unwrap()),
+            dir_offset: u64::from_le_bytes(h[40..48].try_into().unwrap()),
+        })
+    }
+
+    /// Write the header at offset 0.
+    pub fn write_to(&self, file: &CountedFile) -> Result<()> {
+        file.write_all_at(&self.encode(), 0)
+    }
+
+    /// Read and validate the header.
+    pub fn read_from(file: &CountedFile) -> Result<Self> {
+        let mut h = [0u8; 64];
+        file.read_exact_at(&mut h, 0)?;
+        Self::decode(&h)
+    }
+}
+
+/// Serialize the leaf directory at the current end of `file`; returns its
+/// offset.
+pub fn write_directory(file: &CountedFile, leaves: &[LeafMeta]) -> Result<u64> {
+    let mut buf = Vec::with_capacity(12 + leaves.len() * LEAF_META_BYTES);
+    buf.extend_from_slice(DIR_MAGIC);
+    buf.extend_from_slice(&(leaves.len() as u64).to_le_bytes());
+    for l in leaves {
+        buf.extend_from_slice(&l.first_key.0.to_le_bytes());
+        buf.extend_from_slice(&l.count.to_le_bytes());
+        buf.extend_from_slice(&l.block.to_le_bytes());
+        buf.extend_from_slice(&l.blocks_used.to_le_bytes());
+    }
+    file.append(&buf)
+}
+
+/// Read a directory written by [`write_directory`].
+pub fn read_directory(file: &CountedFile, offset: u64) -> Result<(Vec<LeafMeta>, u64)> {
+    let mut head = [0u8; 12];
+    file.read_exact_at(&mut head, offset)?;
+    if &head[..4] != DIR_MAGIC {
+        return Err(Error::corrupt("bad directory magic"));
+    }
+    let n = u64::from_le_bytes(head[4..12].try_into().unwrap()) as usize;
+    let mut buf = vec![0u8; n * LEAF_META_BYTES];
+    file.read_exact_at(&mut buf, offset + 12)?;
+    let mut leaves = Vec::with_capacity(n);
+    for c in buf.chunks_exact(LEAF_META_BYTES) {
+        leaves.push(LeafMeta {
+            first_key: ZKey(u128::from_le_bytes(c[..16].try_into().unwrap())),
+            count: u32::from_le_bytes(c[16..20].try_into().unwrap()),
+            block: u32::from_le_bytes(c[20..24].try_into().unwrap()),
+            blocks_used: u32::from_le_bytes(c[24..28].try_into().unwrap()),
+        });
+    }
+    Ok((leaves, offset + 12 + (n * LEAF_META_BYTES) as u64))
+}
+
+/// Reader/writer for fixed-size leaf blocks, optionally backed by a shared
+/// buffer pool.
+#[derive(Debug, Clone)]
+pub struct LeafStore {
+    file: Arc<CountedFile>,
+    entry: EntryLayout,
+    capacity: usize,
+    /// Optional buffer pool: leaf blocks are cached under
+    /// `(cache_file_id, block_no)`.
+    cache: Option<(Arc<PageCache>, u32)>,
+}
+
+impl LeafStore {
+    /// A store over `file` with the given entry layout and leaf capacity.
+    pub fn new(file: Arc<CountedFile>, entry: EntryLayout, capacity: usize) -> Self {
+        LeafStore { file, entry, capacity, cache: None }
+    }
+
+    /// Route subsequent block reads through `cache` (identified by
+    /// `file_id` within the pool). Writes invalidate affected blocks.
+    pub fn attach_cache(&mut self, cache: Arc<PageCache>, file_id: u32) {
+        self.cache = Some((cache, file_id));
+    }
+
+    /// The entry layout.
+    pub fn entry(&self) -> &EntryLayout {
+        &self.entry
+    }
+
+    /// Leaf capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes per physical block.
+    pub fn block_bytes(&self) -> usize {
+        self.capacity * self.entry.entry_bytes()
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &Arc<CountedFile> {
+        &self.file
+    }
+
+    fn block_offset(&self, block: u32) -> u64 {
+        LEAF_REGION_OFFSET + block as u64 * self.block_bytes() as u64
+    }
+
+    /// Read the entries of `leaf` into `buf` (resized to fit); afterwards
+    /// `buf` holds `leaf.count` packed entries. Reads go through the
+    /// attached buffer pool when present.
+    pub fn read_leaf(&self, leaf: &LeafMeta, buf: &mut Vec<u8>) -> Result<()> {
+        let bytes = leaf.count as usize * self.entry.entry_bytes();
+        debug_assert!(bytes <= leaf.blocks_used as usize * self.block_bytes());
+        buf.resize(bytes, 0);
+        if let Some((cache, file_id)) = &self.cache {
+            // Cache whole leaf extents (blocks_used * block) keyed by the
+            // first physical block number.
+            let key = PageKey { file_id: *file_id, page_no: leaf.block as u64 };
+            let extent = cache.get_with(key, || {
+                let mut full =
+                    vec![0u8; leaf.blocks_used as usize * self.block_bytes()];
+                self.file.read_exact_at(&mut full, self.block_offset(leaf.block))?;
+                Ok(full)
+            })?;
+            buf.copy_from_slice(&extent[..bytes]);
+            return Ok(());
+        }
+        self.file.read_exact_at(buf, self.block_offset(leaf.block))?;
+        Ok(())
+    }
+
+    /// Write `entries` (packed) as leaf `block`, zero-padding to the block
+    /// boundary. `entries` may span multiple blocks for oversized leaves.
+    /// Invalidates the affected cache extent.
+    pub fn write_leaf(&self, block: u32, entries: &[u8]) -> Result<u32> {
+        debug_assert_eq!(entries.len() % self.entry.entry_bytes(), 0);
+        let blocks_used = entries.len().div_ceil(self.block_bytes()).max(1) as u32;
+        let mut padded = vec![0u8; blocks_used as usize * self.block_bytes()];
+        padded[..entries.len()].copy_from_slice(entries);
+        self.file.write_all_at(&padded, self.block_offset(block))?;
+        if let Some((cache, file_id)) = &self.cache {
+            cache.invalidate(PageKey { file_id: *file_id, page_no: block as u64 });
+        }
+        Ok(blocks_used)
+    }
+
+    /// Slice entry `slot` out of a leaf buffer from [`LeafStore::read_leaf`].
+    #[inline]
+    pub fn entry_slice<'a>(&self, buf: &'a [u8], slot: usize) -> &'a [u8] {
+        let eb = self.entry.entry_bytes();
+        &buf[slot * eb..(slot + 1) * eb]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::{IoStats, TempDir};
+
+    fn mk_file(dir: &TempDir) -> Arc<CountedFile> {
+        Arc::new(CountedFile::create(dir.path().join("ix.bin"), Arc::new(IoStats::new())).unwrap())
+    }
+
+    #[test]
+    fn entry_layout_roundtrip_nonmaterialized() {
+        let e = EntryLayout { series_len: 8, materialized: false };
+        assert_eq!(e.entry_bytes(), 24);
+        let mut buf = vec![0u8; 24];
+        e.encode(ZKey(999), 77, None, &mut buf);
+        assert_eq!(e.key(&buf), ZKey(999));
+        assert_eq!(e.pos(&buf), 77);
+    }
+
+    #[test]
+    fn entry_layout_roundtrip_materialized() {
+        let e = EntryLayout { series_len: 4, materialized: true };
+        assert_eq!(e.entry_bytes(), 40);
+        let series = [1.5f32, -2.0, 0.0, 42.0];
+        let mut buf = vec![0u8; 40];
+        e.encode(ZKey(5), 3, Some(&series), &mut buf);
+        assert_eq!(e.key(&buf), ZKey(5));
+        assert_eq!(e.pos(&buf), 3);
+        let mut out = [0f32; 4];
+        e.series_into(&buf, &mut out);
+        assert_eq!(out, series);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let dir = TempDir::new("layout").unwrap();
+        let f = mk_file(&dir);
+        let h = IndexHeader {
+            kind: 1,
+            materialized: true,
+            series_len: 256,
+            segments: 16,
+            card_bits: 8,
+            leaf_capacity: 2000,
+            entry_count: 123_456,
+            num_blocks: 62,
+            dir_offset: 99_999,
+        };
+        h.write_to(&f).unwrap();
+        assert_eq!(IndexHeader::read_from(&f).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_garbage() {
+        let dir = TempDir::new("layout").unwrap();
+        let f = mk_file(&dir);
+        f.append(&[7u8; 64]).unwrap();
+        assert!(IndexHeader::read_from(&f).is_err());
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let dir = TempDir::new("layout").unwrap();
+        let f = mk_file(&dir);
+        f.append(&[0u8; 100]).unwrap(); // arbitrary preceding content
+        let leaves = vec![
+            LeafMeta { first_key: ZKey(1), count: 10, block: 0, blocks_used: 1 },
+            LeafMeta { first_key: ZKey(500), count: 2000, block: 1, blocks_used: 1 },
+            LeafMeta { first_key: ZKey(u128::MAX), count: 4100, block: 2, blocks_used: 3 },
+        ];
+        let off = write_directory(&f, &leaves).unwrap();
+        let (back, end) = read_directory(&f, off).unwrap();
+        assert_eq!(back, leaves);
+        assert_eq!(end, f.len());
+    }
+
+    #[test]
+    fn leafstore_write_read_roundtrip() {
+        let dir = TempDir::new("layout").unwrap();
+        let f = mk_file(&dir);
+        let layout = EntryLayout { series_len: 4, materialized: false };
+        let store = LeafStore::new(f, layout, 3); // 3 entries per block
+        assert_eq!(store.block_bytes(), 72);
+
+        // Leaf 0: two entries (partially full block).
+        let mut entries = vec![0u8; 48];
+        let mut e0 = vec![0u8; 24];
+        layout.encode(ZKey(10), 100, None, &mut e0);
+        let mut e1 = vec![0u8; 24];
+        layout.encode(ZKey(20), 200, None, &mut e1);
+        entries[..24].copy_from_slice(&e0);
+        entries[24..].copy_from_slice(&e1);
+        let used = store.write_leaf(0, &entries).unwrap();
+        assert_eq!(used, 1);
+
+        let leaf = LeafMeta { first_key: ZKey(10), count: 2, block: 0, blocks_used: 1 };
+        let mut buf = Vec::new();
+        store.read_leaf(&leaf, &mut buf).unwrap();
+        assert_eq!(buf.len(), 48);
+        assert_eq!(layout.key(store.entry_slice(&buf, 0)), ZKey(10));
+        assert_eq!(layout.pos(store.entry_slice(&buf, 1)), 200);
+    }
+
+    #[test]
+    fn oversized_leaf_spans_blocks() {
+        let dir = TempDir::new("layout").unwrap();
+        let f = mk_file(&dir);
+        let layout = EntryLayout { series_len: 4, materialized: false };
+        let store = LeafStore::new(f, layout, 2); // 2 entries per block
+        // 5 entries -> 3 blocks.
+        let mut entries = vec![0u8; 5 * 24];
+        for i in 0..5 {
+            let mut e = vec![0u8; 24];
+            layout.encode(ZKey(i as u128), i, None, &mut e);
+            entries[i as usize * 24..(i as usize + 1) * 24].copy_from_slice(&e);
+        }
+        let used = store.write_leaf(0, &entries).unwrap();
+        assert_eq!(used, 3);
+        let leaf = LeafMeta { first_key: ZKey(0), count: 5, block: 0, blocks_used: 3 };
+        let mut buf = Vec::new();
+        store.read_leaf(&leaf, &mut buf).unwrap();
+        for i in 0..5 {
+            assert_eq!(layout.pos(store.entry_slice(&buf, i)), i as u64);
+        }
+    }
+}

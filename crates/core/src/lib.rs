@@ -1,0 +1,42 @@
+//! Coconut-Tree and Coconut-Trie: the paper's contribution.
+//!
+//! Both indexes organize data series by their **sortable summarization**
+//! (the z-order key of [`coconut_summary::zorder`]), which lets them be
+//! bulk-loaded *bottom-up* from an externally sorted stream — eliminating
+//! the random I/O, non-contiguous leaves and sparse nodes of top-down
+//! insertion (paper Section 3):
+//!
+//! * [`trie::CoconutTrie`] (Algorithm 2) splits nodes by SAX *prefixes* like
+//!   the state of the art, but builds bottom-up from sorted keys and
+//!   compacts sibling leaves, so leaves are contiguous on disk.
+//! * [`tree::CoconutTree`] (Algorithm 3) drops the common-prefix constraint
+//!   entirely: a balanced B+-tree bulk-loaded with *median-based* splits
+//!   (UB-tree style), densely packed to a configurable fill factor.
+//!
+//! Both come in non-materialized (leaves hold `(key, position)` pointers
+//! into the raw file) and materialized / `-Full` (leaves hold the raw
+//! series) flavors, and both answer:
+//!
+//! * **approximate** queries (Algorithm 4) — visit the leaf where the query
+//!   would live, plus `radius` neighboring leaves (contiguous on disk);
+//! * **exact** queries (Algorithm 5, *CoconutTreeSIMS*) — a skip-sequential
+//!   scan over in-memory summarizations, pruned by the approximate answer,
+//!   with lower bounds computed by parallel threads.
+//!
+//! [`lsm::LsmCoconut`] implements the paper's future-work suggestion: an
+//! LSM-style collection of bulk-loaded runs for efficient updates.
+
+pub mod builder;
+pub mod config;
+pub mod layout;
+pub mod lsm;
+pub mod records;
+pub mod sims;
+pub mod tree;
+pub mod trie;
+
+pub use coconut_storage::{Error, Result};
+pub use config::{BuildOptions, IndexConfig};
+pub use lsm::LsmCoconut;
+pub use tree::CoconutTree;
+pub use trie::CoconutTrie;

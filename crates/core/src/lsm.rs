@@ -1,0 +1,317 @@
+//! LSM-style Coconut: the paper's future-work proposal, implemented.
+//!
+//! The conclusion of the paper suggests that "ideas from LSM trees could be
+//! used to enable efficient updates". `LsmCoconut` does exactly that: new
+//! batches are bulk-loaded into fresh Coconut-Tree *runs* (each covering a
+//! contiguous position range of the growing raw file), and when the number
+//! of runs exceeds a threshold, adjacent runs are merged by re-bulk-loading
+//! their combined range — every write stays a large sequential write, at
+//! the cost of queries consulting several runs (classic LSM read
+//! amplification).
+
+use std::path::PathBuf;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{Error, Result};
+
+use crate::config::{BuildOptions, IndexConfig};
+use crate::tree::CoconutTree;
+
+/// An LSM collection of bulk-loaded Coconut-Tree runs.
+pub struct LsmCoconut {
+    config: IndexConfig,
+    opts: BuildOptions,
+    dir: PathBuf,
+    runs: Vec<CoconutTree>,
+    /// Merge when the number of runs exceeds this.
+    max_runs: usize,
+    /// End of the covered position range.
+    covered_end: u64,
+}
+
+impl LsmCoconut {
+    /// An empty LSM index that will build its runs in `dir`.
+    pub fn new(config: IndexConfig, opts: BuildOptions, dir: impl Into<PathBuf>) -> Result<Self> {
+        config.validate()?;
+        Ok(LsmCoconut {
+            config,
+            opts,
+            dir: dir.into(),
+            runs: Vec::new(),
+            max_runs: 4,
+            covered_end: 0,
+        })
+    }
+
+    /// Change the run threshold that triggers merging.
+    pub fn set_max_runs(&mut self, max_runs: usize) {
+        self.max_runs = max_runs.max(1);
+    }
+
+    /// Index every position of `dataset` not yet covered (the dataset must
+    /// only ever grow) as one new run, merging if the run count overflows.
+    pub fn ingest(&mut self, dataset: &Dataset) -> Result<()> {
+        self.ingest_upto(dataset, dataset.len())
+    }
+
+    /// Index positions up to `upto` (exclusive) that are not yet covered —
+    /// used by workloads that reveal an on-disk dataset in batches.
+    pub fn ingest_upto(&mut self, dataset: &Dataset, upto: u64) -> Result<()> {
+        if upto > dataset.len() {
+            return Err(Error::invalid("upto exceeds the dataset length"));
+        }
+        if upto < self.covered_end {
+            return Err(Error::invalid("dataset shrank below the covered range"));
+        }
+        if upto == self.covered_end {
+            return Ok(());
+        }
+        let range = self.covered_end..upto;
+        let run = CoconutTree::build_range(
+            dataset,
+            range.clone(),
+            &self.config,
+            &self.dir,
+            self.opts.clone(),
+        )?;
+        self.covered_end = range.end;
+        self.runs.push(run);
+        self.maybe_merge(dataset)?;
+        Ok(())
+    }
+
+    fn maybe_merge(&mut self, dataset: &Dataset) -> Result<()> {
+        while self.runs.len() > self.max_runs {
+            // Merge the adjacent pair with the smallest combined size
+            // (runs cover contiguous, increasing ranges).
+            let mut best = 0usize;
+            let mut best_size = u64::MAX;
+            for i in 0..self.runs.len() - 1 {
+                let size = self.runs[i].len() + self.runs[i + 1].len();
+                if size < best_size {
+                    best_size = size;
+                    best = i;
+                }
+            }
+            let lo = self.runs[best].covered_range().start;
+            let hi = self.runs[best + 1].covered_range().end;
+            let merged = CoconutTree::build_range(
+                dataset,
+                lo..hi,
+                &self.config,
+                &self.dir,
+                self.opts.clone(),
+            )?;
+            // Drop the two old runs (their files are removed).
+            let old_b = self.runs.remove(best + 1);
+            let old_a = self.runs.remove(best);
+            let _ = std::fs::remove_file(old_a.index_path());
+            let _ = std::fs::remove_file(old_b.index_path());
+            self.runs.insert(best, merged);
+        }
+        Ok(())
+    }
+
+    /// Number of live runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total entries across runs.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|r| r.len()).sum()
+    }
+
+    /// True when no run holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SeriesIndex for LsmCoconut {
+    fn name(&self) -> String {
+        "CTree-LSM".into()
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        let mut best = Answer::none();
+        for run in &self.runs {
+            best.merge(run.approximate(query)?);
+        }
+        Ok(best)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        let mut best = Answer::none();
+        let mut stats = QueryStats::default();
+        for run in &self.runs {
+            let (a, s) = run.exact(query)?;
+            best.merge(a);
+            stats.add(&s);
+        }
+        Ok((best, stats))
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.disk_bytes()).sum()
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.runs.iter().map(|r| r.leaf_count()).sum()
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let leaves: u64 = self.runs.iter().map(|r| r.leaf_count()).sum();
+        if leaves == 0 {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| r.avg_leaf_fill() * r.leaf_count() as f64)
+            .sum::<f64>()
+            / leaves as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::DatasetWriter;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+    use std::sync::Arc;
+
+    const LEN: usize = 64;
+
+    fn small_config() -> IndexConfig {
+        let mut c = IndexConfig::default_for_len(LEN);
+        c.leaf_capacity = 32;
+        c
+    }
+
+    /// Append `n` series to the dataset file at `path` (creating it if
+    /// needed) and reopen it.
+    fn grow_dataset(
+        path: &std::path::Path,
+        stats: &Arc<IoStats>,
+        gen: &mut RandomWalkGen,
+        existing: &[Vec<Value>],
+        n: usize,
+    ) -> (Dataset, Vec<Vec<Value>>) {
+        let mut all = existing.to_vec();
+        for _ in 0..n {
+            let mut s = gen.generate(LEN);
+            znormalize(&mut s);
+            all.push(s);
+        }
+        let mut w = DatasetWriter::create(path, LEN, true, Arc::clone(stats)).unwrap();
+        for s in &all {
+            w.append(s).unwrap();
+        }
+        w.finish().unwrap();
+        (Dataset::open(path, Arc::clone(stats)).unwrap(), all)
+    }
+
+    fn brute_force(all: &[Vec<Value>], q: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        for (i, s) in all.iter().enumerate() {
+            best.merge(Answer { pos: i as u64, dist: euclidean(q, s) });
+        }
+        best
+    }
+
+    #[test]
+    fn ingest_batches_and_query_exactly() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(31);
+        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        lsm.set_max_runs(3);
+
+        let mut all = Vec::new();
+        for round in 0..6 {
+            let (ds, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 150);
+            all = new_all;
+            lsm.ingest(&ds).unwrap();
+            assert_eq!(lsm.len(), all.len() as u64, "round {round}");
+            assert!(lsm.run_count() <= 3, "round {round}: {} runs", lsm.run_count());
+
+            let mut q = RandomWalkGen::new(100 + round).generate(LEN);
+            znormalize(&mut q);
+            let (ans, _) = lsm.exact(&q).unwrap();
+            let expect = brute_force(&all, &q);
+            assert_eq!(ans.pos, expect.pos, "round {round}");
+        }
+    }
+
+    #[test]
+    fn approximate_over_runs_is_upper_bound_of_exact() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(77);
+        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 300);
+        lsm.ingest(&ds).unwrap();
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &all, 100);
+        lsm.ingest(&ds).unwrap();
+        assert_eq!(all.len(), 400);
+        let mut q = RandomWalkGen::new(5).generate(LEN);
+        znormalize(&mut q);
+        let approx = lsm.approximate(&q).unwrap();
+        let (exact, _) = lsm.exact(&q).unwrap();
+        assert!(exact.dist <= approx.dist + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_noop_ingest() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(1);
+        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        assert!(lsm.is_empty());
+        let (ds, _) = grow_dataset(&path, &stats, &mut gen, &[], 50);
+        lsm.ingest(&ds).unwrap();
+        let runs = lsm.run_count();
+        lsm.ingest(&ds).unwrap(); // nothing new
+        assert_eq!(lsm.run_count(), runs);
+        assert_eq!(lsm.len(), 50);
+    }
+
+    #[test]
+    fn merging_reduces_runs_and_removes_files() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(13);
+        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        lsm.set_max_runs(2);
+        let mut all = Vec::new();
+        for _ in 0..5 {
+            let (ds, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 60);
+            all = new_all;
+            lsm.ingest(&ds).unwrap();
+        }
+        assert!(lsm.run_count() <= 2);
+        // Only the live runs' index files remain.
+        let idx_files = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("ctree-")
+            })
+            .count();
+        assert_eq!(idx_files, lsm.run_count());
+    }
+}

@@ -1,0 +1,402 @@
+//! SIMS: exact search by Scanning In-Memory Summarizations (Algorithm 5).
+//!
+//! The paper's exact search keeps every record's sortable summarization in
+//! main memory ("the SAX summaries of 1 billion data series occupy merely
+//! 16 GB"), and answers a query in three steps:
+//!
+//! 1. seed a best-so-far (`bsf`) with an approximate search;
+//! 2. compute a lower bound (MINDIST) for *every* record with multiple
+//!    parallel threads over the in-memory array;
+//! 3. walk the records in storage order, fetching the raw series only where
+//!    the lower bound beats the current `bsf` — a *skip-sequential* scan,
+//!    because the summary array is aligned with the on-disk order.
+//!
+//! The scan order differs per index flavor (raw-file order for
+//! non-materialized indexes, leaf order for materialized ones); the fetch
+//! is abstracted behind [`SeriesFetcher`].
+
+use coconut_series::distance::euclidean_sq_early_abandon;
+use coconut_series::dtw::{dtw_sq_early_abandon, lb_keogh_sq, Envelope};
+use coconut_series::index::{Answer, QueryStats};
+use coconut_series::Value;
+use coconut_storage::Result;
+use coconut_summary::mindist::{envelope_segment_bounds, mindist_env_zkey, mindist_paa_zkey};
+use coconut_summary::{SaxConfig, ZKey};
+
+/// Fetches the raw series for scan index `i` (in the summary array's order).
+///
+/// Implementations are stateful cursors: SIMS guarantees indexes arrive in
+/// increasing order, so fetchers can stream forward (skip-sequentially).
+pub trait SeriesFetcher {
+    /// Fill `out` with the series at scan index `i`; return its raw-file
+    /// position.
+    fn fetch(&mut self, i: usize, out: &mut [Value]) -> Result<u64>;
+}
+
+/// Below this many keys the scan runs single-threaded: one mindist costs
+/// ~100 ns, so spawning scoped OS threads only pays for itself once the
+/// scan itself reaches tens of milliseconds (measured in `bench_query`'s
+/// `sims_threads` group — at 20k keys extra threads *lose* ~35%).
+pub const PARALLEL_MIN_KEYS: usize = 1 << 17;
+
+/// Compute the MINDIST lower bound of every key against `query_paa`, using
+/// `threads` worker threads (step 2 of Algorithm 5).
+pub fn parallel_mindists(
+    query_paa: &[f64],
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+) -> Vec<f64> {
+    parallel_mindists_with_threshold(query_paa, keys, config, threads, PARALLEL_MIN_KEYS)
+}
+
+/// [`parallel_mindists`] with an explicit serial/parallel cutover (exposed
+/// so tests and benchmarks can force either path).
+pub fn parallel_mindists_with_threshold(
+    query_paa: &[f64],
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+    min_parallel_keys: usize,
+) -> Vec<f64> {
+    let n = keys.len();
+    let mut out = vec![0.0f64; n];
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n < min_parallel_keys {
+        for (o, &k) in out.iter_mut().zip(keys.iter()) {
+            *o = mindist_paa_zkey(query_paa, k, config);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (keys_chunk, out_chunk) in keys.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (o, &k) in out_chunk.iter_mut().zip(keys_chunk.iter()) {
+                    *o = mindist_paa_zkey(query_paa, k, config);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Exact 1-NN via SIMS. `keys[i]` must be the summarization of the record
+/// the fetcher returns for scan index `i`; `bsf` is the approximate-search
+/// seed (merged into the result).
+pub fn sims_exact(
+    query: &[Value],
+    query_paa: &[f64],
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+    mut bsf: Answer,
+    fetcher: &mut dyn SeriesFetcher,
+) -> Result<(Answer, QueryStats)> {
+    let mut stats = QueryStats::default();
+    let mindists = parallel_mindists(query_paa, keys, config, threads);
+    stats.lower_bounds += keys.len() as u64;
+
+    let mut buf = vec![0.0 as Value; query.len()];
+    let mut bsf_sq = bsf.dist * bsf.dist;
+    for (i, &md) in mindists.iter().enumerate() {
+        if md >= bsf.dist {
+            stats.pruned += 1;
+            continue;
+        }
+        let pos = fetcher.fetch(i, &mut buf)?;
+        stats.records_fetched += 1;
+        if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, bsf_sq) {
+            if d_sq < bsf_sq {
+                bsf = Answer { pos, dist: d_sq.sqrt() };
+                bsf_sq = d_sq;
+            }
+        }
+    }
+    Ok((bsf, stats))
+}
+
+/// Exact range query via SIMS (extension): every record whose Euclidean
+/// distance to `query` is at most `epsilon`, sorted by distance.
+pub fn sims_range(
+    query: &[Value],
+    query_paa: &[f64],
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+    epsilon: f64,
+    fetcher: &mut dyn SeriesFetcher,
+) -> Result<(Vec<Answer>, QueryStats)> {
+    let mut stats = QueryStats::default();
+    let mindists = parallel_mindists(query_paa, keys, config, threads);
+    stats.lower_bounds += keys.len() as u64;
+    let eps_sq = epsilon * epsilon;
+    let mut out = Vec::new();
+    let mut buf = vec![0.0 as Value; query.len()];
+    for (i, &md) in mindists.iter().enumerate() {
+        if md > epsilon {
+            stats.pruned += 1;
+            continue;
+        }
+        let pos = fetcher.fetch(i, &mut buf)?;
+        stats.records_fetched += 1;
+        if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, eps_sq) {
+            out.push(Answer { pos, dist: d_sq.sqrt() });
+        }
+    }
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    Ok((out, stats))
+}
+
+/// Exact 1-NN under **Dynamic Time Warping** via SIMS (extension; the
+/// paper notes DTW compatibility in Section 2). Pruning cascade per
+/// record: index-level envelope bound → LB_Keogh on the raw series → full
+/// banded DTW with early abandoning. `bsf` must hold a *DTW* distance (or
+/// be `Answer::none()`).
+pub fn sims_exact_dtw(
+    query: &[Value],
+    band: usize,
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+    mut bsf: Answer,
+    fetcher: &mut dyn SeriesFetcher,
+) -> Result<(Answer, QueryStats)> {
+    let mut stats = QueryStats::default();
+    let envelope = Envelope::new(query, band);
+    let (env_lo, env_hi) = envelope_segment_bounds(&envelope.lower, &envelope.upper, config.segments);
+
+    // Parallel index-level lower bounds from the envelope.
+    let n = keys.len();
+    let mut index_lbs = vec![0.0f64; n];
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 || n < PARALLEL_MIN_KEYS {
+        for (o, &k) in index_lbs.iter_mut().zip(keys.iter()) {
+            *o = mindist_env_zkey(&env_lo, &env_hi, k, config);
+        }
+    } else {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (keys_chunk, out_chunk) in keys.chunks(chunk).zip(index_lbs.chunks_mut(chunk)) {
+                let (env_lo, env_hi) = (&env_lo, &env_hi);
+                s.spawn(move || {
+                    for (o, &k) in out_chunk.iter_mut().zip(keys_chunk.iter()) {
+                        *o = mindist_env_zkey(env_lo, env_hi, k, config);
+                    }
+                });
+            }
+        });
+    }
+    stats.lower_bounds += n as u64;
+
+    let mut buf = vec![0.0 as Value; query.len()];
+    let mut bsf_sq = bsf.dist * bsf.dist;
+    for (i, &lb) in index_lbs.iter().enumerate() {
+        if lb >= bsf.dist {
+            stats.pruned += 1;
+            continue;
+        }
+        let pos = fetcher.fetch(i, &mut buf)?;
+        stats.records_fetched += 1;
+        // Tighter point-level bound before paying for DTW.
+        if lb_keogh_sq(&envelope, &buf) >= bsf_sq {
+            continue;
+        }
+        if let Some(d_sq) = dtw_sq_early_abandon(query, &buf, band, bsf_sq) {
+            if d_sq < bsf_sq {
+                bsf = Answer { pos, dist: d_sq.sqrt() };
+                bsf_sq = d_sq;
+            }
+        }
+    }
+    Ok((bsf, stats))
+}
+
+/// Exact k-NN via SIMS (an extension beyond the paper, which reports 1-NN).
+/// Returns up to `k` answers sorted by distance.
+#[allow(clippy::too_many_arguments)] // mirrors sims_exact plus (k, seeds)
+pub fn sims_exact_knn(
+    query: &[Value],
+    query_paa: &[f64],
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+    k: usize,
+    seed: &[Answer],
+    fetcher: &mut dyn SeriesFetcher,
+) -> Result<(Vec<Answer>, QueryStats)> {
+    let mut stats = QueryStats::default();
+    if k == 0 {
+        return Ok((Vec::new(), stats));
+    }
+    // A simple bounded set: k is small (the paper's experiments use 1).
+    let mut best: Vec<Answer> = Vec::with_capacity(k + 1);
+    let insert = |best: &mut Vec<Answer>, a: Answer| {
+        if best.iter().any(|b| b.pos == a.pos) {
+            return;
+        }
+        let at = best.partition_point(|b| b.dist <= a.dist);
+        best.insert(at, a);
+        best.truncate(k);
+    };
+    for &a in seed {
+        if a.is_some() {
+            insert(&mut best, a);
+        }
+    }
+    let mindists = parallel_mindists(query_paa, keys, config, threads);
+    stats.lower_bounds += keys.len() as u64;
+
+    let mut buf = vec![0.0 as Value; query.len()];
+    for (i, &md) in mindists.iter().enumerate() {
+        let cutoff = if best.len() == k { best[k - 1].dist } else { f64::INFINITY };
+        if md >= cutoff {
+            stats.pruned += 1;
+            continue;
+        }
+        let pos = fetcher.fetch(i, &mut buf)?;
+        stats.records_fetched += 1;
+        let cutoff_sq = if cutoff.is_finite() { cutoff * cutoff } else { f64::INFINITY };
+        if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, cutoff_sq) {
+            insert(&mut best, Answer { pos, dist: d_sq.sqrt() });
+        }
+    }
+    Ok((best, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_summary::paa::paa;
+    use coconut_summary::sax::Summarizer;
+
+    struct VecFetcher<'a> {
+        data: &'a [Vec<Value>],
+    }
+
+    impl SeriesFetcher for VecFetcher<'_> {
+        fn fetch(&mut self, i: usize, out: &mut [Value]) -> Result<u64> {
+            out.copy_from_slice(&self.data[i]);
+            Ok(i as u64)
+        }
+    }
+
+    fn setup(n: usize, len: usize) -> (Vec<Vec<Value>>, Vec<ZKey>, SaxConfig) {
+        let config = SaxConfig::default_for_len(len);
+        let mut g = RandomWalkGen::new(42);
+        let mut summ = Summarizer::new(config);
+        let mut data = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut s = g.generate(len);
+            znormalize(&mut s);
+            keys.push(summ.zkey(&s));
+            data.push(s);
+        }
+        (data, keys, config)
+    }
+
+    fn brute_force(query: &[Value], data: &[Vec<Value>]) -> Answer {
+        let mut best = Answer::none();
+        for (i, s) in data.iter().enumerate() {
+            best.merge(Answer { pos: i as u64, dist: euclidean(query, s) });
+        }
+        best
+    }
+
+    #[test]
+    fn sims_matches_brute_force() {
+        let (data, keys, config) = setup(500, 64);
+        let mut g = RandomWalkGen::new(7);
+        for _ in 0..20 {
+            let mut q = g.generate(64);
+            znormalize(&mut q);
+            let qp = paa(&q, config.segments);
+            let mut fetcher = VecFetcher { data: &data };
+            let (ans, stats) =
+                sims_exact(&q, &qp, &keys, &config, 2, Answer::none(), &mut fetcher).unwrap();
+            let expect = brute_force(&q, &data);
+            assert_eq!(ans.pos, expect.pos);
+            assert!((ans.dist - expect.dist).abs() < 1e-9);
+            assert_eq!(stats.lower_bounds, 500);
+            assert_eq!(stats.pruned + stats.records_fetched, 500);
+        }
+    }
+
+    #[test]
+    fn good_seed_increases_pruning() {
+        let (data, keys, config) = setup(2000, 64);
+        let mut q = RandomWalkGen::new(9).generate(64);
+        znormalize(&mut q);
+        let qp = paa(&q, config.segments);
+        let exact = brute_force(&q, &data);
+
+        let mut f1 = VecFetcher { data: &data };
+        let (_, cold) = sims_exact(&q, &qp, &keys, &config, 1, Answer::none(), &mut f1).unwrap();
+        let mut f2 = VecFetcher { data: &data };
+        let (ans, warm) = sims_exact(&q, &qp, &keys, &config, 1, exact, &mut f2).unwrap();
+        assert_eq!(ans.pos, exact.pos);
+        assert!(
+            warm.records_fetched <= cold.records_fetched,
+            "seeding with the exact answer must not fetch more ({} > {})",
+            warm.records_fetched,
+            cold.records_fetched
+        );
+        assert!(warm.pruned >= cold.pruned);
+    }
+
+    #[test]
+    fn parallel_mindists_match_serial() {
+        let (_, keys, config) = setup(5000, 64);
+        let mut q = RandomWalkGen::new(3).generate(64);
+        znormalize(&mut q);
+        let qp = paa(&q, config.segments);
+        let serial = parallel_mindists(&qp, &keys, &config, 1);
+        // Force the threaded path despite the small key count.
+        let parallel = parallel_mindists_with_threshold(&qp, &keys, &config, 4, 1);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_topk() {
+        let (data, keys, config) = setup(300, 64);
+        let mut q = RandomWalkGen::new(5).generate(64);
+        znormalize(&mut q);
+        let qp = paa(&q, config.segments);
+        let mut fetcher = VecFetcher { data: &data };
+        let (top, _) =
+            sims_exact_knn(&q, &qp, &keys, &config, 2, 5, &[], &mut fetcher).unwrap();
+        let mut all: Vec<Answer> = data
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Answer { pos: i as u64, dist: euclidean(&q, s) })
+            .collect();
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        assert_eq!(top.len(), 5);
+        for (got, want) in top.iter().zip(all.iter().take(5)) {
+            assert!((got.dist - want.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_k_zero_and_k_larger_than_n() {
+        let (data, keys, config) = setup(10, 64);
+        let mut q = RandomWalkGen::new(6).generate(64);
+        znormalize(&mut q);
+        let qp = paa(&q, config.segments);
+        let mut fetcher = VecFetcher { data: &data };
+        let (none, _) = sims_exact_knn(&q, &qp, &keys, &config, 1, 0, &[], &mut fetcher).unwrap();
+        assert!(none.is_empty());
+        let mut fetcher = VecFetcher { data: &data };
+        let (all, _) = sims_exact_knn(&q, &qp, &keys, &config, 1, 50, &[], &mut fetcher).unwrap();
+        assert_eq!(all.len(), 10);
+        for w in all.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+}

@@ -1,0 +1,999 @@
+//! Coconut-Trie: bottom-up bulk loading of a prefix-split index
+//! (paper Section 4.2, Algorithm 2).
+//!
+//! Coconut-Trie keeps the state of the art's node shape — every node is an
+//! iSAX prefix, here a prefix of the interleaved z-order key — but builds
+//! the index *bottom-up* from the externally sorted summarizations and
+//! compacts it, so that leaves end up contiguous on disk. Because the keys
+//! are sorted, every prefix node covers a contiguous key range; the
+//! recursive builder emits a leaf as soon as a subtree fits in one node,
+//! which is exactly the fixpoint `CompactSubtree` reaches by repeatedly
+//! merging sibling leaves that fit together.
+//!
+//! What Coconut-Trie does **not** fix (by design — it isolates the
+//! contiguity variable) is occupancy: prefix boundaries cannot balance
+//! entries, so most leaves stay nearly empty and the on-disk size is
+//! inflated — the effect the paper measures in Figure 8c and the reason
+//! Coconut-Tree wins overall.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::euclidean_sq;
+use coconut_series::index::{Answer, QueryStats, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{CountedFile, Error, Result};
+use coconut_summary::paa::paa;
+use coconut_summary::sax::Summarizer;
+use coconut_summary::ZKey;
+
+use crate::builder::{sorted_key_pos, sorted_key_series, BuildReport};
+use crate::config::{BuildOptions, IndexConfig};
+use crate::layout::{
+    read_directory, write_directory, EntryLayout, IndexHeader, LeafMeta, LeafStore,
+};
+use crate::records::KeyPos;
+use crate::sims::{sims_exact, SeriesFetcher};
+use crate::tree::RawFileFetcher;
+
+static TRIE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A node of the in-memory trie skeleton. Chains of one-child prefix nodes
+/// are path-compressed: each node records its own bit depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TrieNode {
+    /// An internal binary split on interleaved-key bit `depth`.
+    Internal { depth: u32, zero: u32, one: u32 },
+    /// A leaf holding logical leaf `leaf` (index into the leaf directory).
+    Leaf { leaf: u32 },
+}
+
+/// In-memory summaries for SIMS (same shape as Coconut-Tree's).
+struct Summaries {
+    keys_by_pos: Vec<ZKey>,
+    keys_leaf_order: Vec<ZKey>,
+    pos_leaf_order: Vec<u64>,
+    leaf_starts: Vec<u64>,
+}
+
+/// The Coconut-Trie index.
+pub struct CoconutTrie {
+    config: IndexConfig,
+    materialized: bool,
+    threads: usize,
+    dataset: Dataset,
+    file: Arc<CountedFile>,
+    store: LeafStore,
+    leaves: Vec<LeafMeta>,
+    nodes: Vec<TrieNode>,
+    root: Option<u32>,
+    summaries: RwLock<Option<Arc<Summaries>>>,
+    entry_count: u64,
+    range: std::ops::Range<u64>,
+    build_report: BuildReport,
+    default_radius: usize,
+}
+
+impl CoconutTrie {
+    /// Bulk-load a trie over all of `dataset` (Algorithm 2).
+    pub fn build(
+        dataset: &Dataset,
+        config: &IndexConfig,
+        dir: &Path,
+        opts: BuildOptions,
+    ) -> Result<Self> {
+        Self::build_range(dataset, 0..dataset.len(), config, dir, opts)
+    }
+
+    /// Bulk-load a trie over the positions `range` of `dataset`.
+    pub fn build_range(
+        dataset: &Dataset,
+        range: std::ops::Range<u64>,
+        config: &IndexConfig,
+        dir: &Path,
+        opts: BuildOptions,
+    ) -> Result<Self> {
+        config.validate()?;
+        if dataset.series_len() != config.sax.series_len {
+            return Err(Error::invalid("dataset/config series length mismatch"));
+        }
+        if range.end > dataset.len() || range.start > range.end {
+            return Err(Error::invalid("build range out of dataset bounds"));
+        }
+        let id = TRIE_ID.fetch_add(1, Ordering::Relaxed);
+        let suffix = if opts.materialized { "full" } else { "ptr" };
+        let path = dir.join(format!("ctrie-{id}-{suffix}.idx"));
+        let stats = Arc::clone(dataset.file().stats());
+        let file = Arc::new(CountedFile::create(&path, stats)?);
+        let entry = EntryLayout {
+            series_len: config.sax.series_len,
+            materialized: opts.materialized,
+        };
+        let store = LeafStore::new(Arc::clone(&file), entry, config.leaf_capacity);
+        let mut trie = CoconutTrie {
+            config: *config,
+            materialized: opts.materialized,
+            threads: opts.threads.max(1),
+            dataset: dataset.clone(),
+            file,
+            store,
+            leaves: Vec::new(),
+            nodes: Vec::new(),
+            root: None,
+            summaries: RwLock::new(None),
+            entry_count: 0,
+            range: range.clone(),
+            build_report: BuildReport::default(),
+            default_radius: 1,
+        };
+        trie.bulk_load(dir, &opts)?;
+        Ok(trie)
+    }
+
+    fn bulk_load(&mut self, tmp_dir: &Path, opts: &BuildOptions) -> Result<()> {
+        // Phase 1: sort the (key, position) pairs. Like the paper, we rely
+        // on the summarizations fitting in memory ("usually all the
+        // summarizations and their offsets fit in main memory"); the raw
+        // payloads of -Full builds are still sorted externally below.
+        let stats = Arc::clone(self.dataset.file().stats());
+        let mut sorted: Vec<KeyPos> = Vec::with_capacity((self.range.end - self.range.start) as usize);
+        {
+            let mut stream = sorted_key_pos(
+                &self.dataset,
+                self.range.clone(),
+                &self.config.sax,
+                opts.memory_bytes,
+                tmp_dir,
+                &stats,
+            )?;
+            self.build_report.sort = stream.report();
+            while let Some(kp) = stream.next_item()? {
+                sorted.push(kp);
+            }
+        }
+        self.entry_count = sorted.len() as u64;
+
+        // Phase 2: recursively carve the sorted order into prefix leaves
+        // (insertBottomUp + CompactSubtree): a maximal subtree whose entries
+        // fit one leaf becomes one leaf.
+        let total_bits = self.config.sax.word_bits();
+        let mut ranges: Vec<(usize, usize)> = Vec::new(); // leaf -> [lo, hi)
+        if !sorted.is_empty() {
+            let root = self.carve(&sorted, 0, sorted.len(), 0, total_bits, &mut ranges);
+            self.root = Some(root);
+        }
+
+        // Phase 3: write the leaves contiguously, left to right.
+        let entry = *self.store.entry();
+        let eb = entry.entry_bytes();
+        let mut next_block = 0u32;
+        if opts.materialized {
+            // The -Full variant re-sorts with payloads and streams them into
+            // the leaf layout (the extra sort-merge passes the paper charges
+            // Coconut-Trie-Full for).
+            let mut stream = sorted_key_series(
+                &self.dataset,
+                self.range.clone(),
+                &self.config.sax,
+                opts.memory_bytes,
+                tmp_dir,
+                &stats,
+            )?;
+            let mut entry_buf = vec![0u8; eb];
+            let mut block_buf: Vec<u8> = Vec::new();
+            for &(lo, hi) in &ranges {
+                block_buf.clear();
+                let mut first_key = ZKey::MIN;
+                for (i, expected) in sorted[lo..hi].iter().enumerate() {
+                    let rec = stream.next_item()?.ok_or_else(|| {
+                        Error::corrupt("materialized stream shorter than key stream")
+                    })?;
+                    debug_assert_eq!(rec.key, expected.key);
+                    if i == 0 {
+                        first_key = rec.key;
+                    }
+                    entry.encode(rec.key, rec.pos, Some(&rec.series), &mut entry_buf);
+                    block_buf.extend_from_slice(&entry_buf);
+                }
+                let blocks_used = self.store.write_leaf(next_block, &block_buf)?;
+                self.leaves.push(LeafMeta {
+                    first_key,
+                    count: (hi - lo) as u32,
+                    block: next_block,
+                    blocks_used,
+                });
+                next_block += blocks_used;
+            }
+        } else {
+            let mut entry_buf = vec![0u8; eb];
+            let mut block_buf: Vec<u8> = Vec::new();
+            for &(lo, hi) in &ranges {
+                block_buf.clear();
+                for kp in &sorted[lo..hi] {
+                    entry.encode(kp.key, kp.pos, None, &mut entry_buf);
+                    block_buf.extend_from_slice(&entry_buf);
+                }
+                let blocks_used = self.store.write_leaf(next_block, &block_buf)?;
+                self.leaves.push(LeafMeta {
+                    first_key: sorted[lo].key,
+                    count: (hi - lo) as u32,
+                    block: next_block,
+                    blocks_used,
+                });
+                next_block += blocks_used;
+            }
+        }
+
+        self.build_report.items = self.entry_count;
+        self.build_report.leaves = self.leaves.len() as u64;
+        self.persist(next_block)?;
+
+        // Summaries come for free from the sorted pairs.
+        let n = (self.range.end - self.range.start) as usize;
+        let mut keys_by_pos = vec![ZKey::MIN; n];
+        for kp in &sorted {
+            keys_by_pos[(kp.pos - self.range.start) as usize] = kp.key;
+        }
+        let keys_leaf_order: Vec<ZKey> = sorted.iter().map(|kp| kp.key).collect();
+        let pos_leaf_order: Vec<u64> = sorted.iter().map(|kp| kp.pos).collect();
+        let mut leaf_starts = Vec::with_capacity(self.leaves.len() + 1);
+        let mut acc = 0u64;
+        for l in &self.leaves {
+            leaf_starts.push(acc);
+            acc += l.count as u64;
+        }
+        leaf_starts.push(acc);
+        *self.summaries.write() = Some(Arc::new(Summaries {
+            keys_by_pos,
+            keys_leaf_order,
+            pos_leaf_order,
+            leaf_starts,
+        }));
+        Ok(())
+    }
+
+    /// Recursively partition `sorted[lo..hi)` starting at bit `depth`;
+    /// appends leaf ranges in order and returns the subtree's node index.
+    fn carve(
+        &mut self,
+        sorted: &[KeyPos],
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        total_bits: usize,
+        ranges: &mut Vec<(usize, usize)>,
+    ) -> u32 {
+        debug_assert!(lo < hi);
+        if hi - lo <= self.config.leaf_capacity || depth == total_bits {
+            // Fits one node (or cannot be refined further: identical keys
+            // beyond capacity become one oversized leaf).
+            let leaf_id = ranges.len() as u32;
+            ranges.push((lo, hi));
+            self.nodes.push(TrieNode::Leaf { leaf: leaf_id });
+            return (self.nodes.len() - 1) as u32;
+        }
+        // Keys are sorted, so entries with bit `depth` == 0 precede those
+        // with 1; find the boundary by binary search on the bit.
+        let mid = lo
+            + sorted[lo..hi].partition_point(|kp| kp.key.bit(depth, total_bits) == 0);
+        if mid == lo || mid == hi {
+            // All entries share this bit: path-compress (the paper's
+            // createUptree emits a chain of one-child nodes; we skip them).
+            return self.carve(sorted, lo, hi, depth + 1, total_bits, ranges);
+        }
+        let zero = self.carve(sorted, lo, mid, depth + 1, total_bits, ranges);
+        let one = self.carve(sorted, mid, hi, depth + 1, total_bits, ranges);
+        self.nodes.push(TrieNode::Internal { depth: depth as u32, zero, one });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn persist(&mut self, num_blocks: u32) -> Result<()> {
+        let dir_offset = write_directory(&self.file, &self.leaves)?;
+        // Trie skeleton tail: node count, then (tag, a, b) triples.
+        let mut buf = Vec::with_capacity(8 + self.nodes.len() * 13);
+        buf.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for n in &self.nodes {
+            match *n {
+                TrieNode::Internal { depth, zero, one } => {
+                    buf.push(0);
+                    buf.extend_from_slice(&depth.to_le_bytes());
+                    buf.extend_from_slice(&zero.to_le_bytes());
+                    buf.extend_from_slice(&one.to_le_bytes());
+                }
+                TrieNode::Leaf { leaf } => {
+                    buf.push(1);
+                    buf.extend_from_slice(&leaf.to_le_bytes());
+                    buf.extend_from_slice(&[0u8; 8]);
+                }
+            }
+        }
+        buf.extend_from_slice(&self.root.map_or(u32::MAX, |r| r).to_le_bytes());
+        self.file.append(&buf)?;
+        let header = IndexHeader {
+            kind: 1,
+            materialized: self.materialized,
+            series_len: self.config.sax.series_len as u32,
+            segments: self.config.sax.segments as u16,
+            card_bits: self.config.sax.card_bits,
+            leaf_capacity: self.config.leaf_capacity as u32,
+            entry_count: self.entry_count,
+            num_blocks: num_blocks as u64,
+            dir_offset,
+        };
+        header.write_to(&self.file)?;
+        self.file.sync()
+    }
+
+    /// Open a previously built trie index file.
+    pub fn open(path: &Path, dataset: &Dataset, threads: usize) -> Result<Self> {
+        let stats = Arc::clone(dataset.file().stats());
+        let file = Arc::new(CountedFile::open_rw(path, stats)?);
+        let header = IndexHeader::read_from(&file)?;
+        if header.kind != 1 {
+            return Err(Error::corrupt("not a Coconut-Trie index file"));
+        }
+        if header.series_len as usize != dataset.series_len() {
+            return Err(Error::corrupt("index/dataset series length mismatch"));
+        }
+        let config = IndexConfig {
+            sax: coconut_summary::SaxConfig {
+                series_len: header.series_len as usize,
+                segments: header.segments as usize,
+                card_bits: header.card_bits,
+            },
+            leaf_capacity: header.leaf_capacity as usize,
+            fill_factor: 1.0,
+            internal_fanout: 64,
+        };
+        config.validate()?;
+        let (leaves, tail) = read_directory(&file, header.dir_offset)?;
+        let mut count_buf = [0u8; 8];
+        file.read_exact_at(&mut count_buf, tail)?;
+        let node_count = u64::from_le_bytes(count_buf) as usize;
+        let mut nodes_buf = vec![0u8; node_count * 13 + 4];
+        file.read_exact_at(&mut nodes_buf, tail + 8)?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for c in nodes_buf[..node_count * 13].chunks_exact(13) {
+            let a = u32::from_le_bytes(c[1..5].try_into().unwrap());
+            match c[0] {
+                0 => {
+                    let zero = u32::from_le_bytes(c[5..9].try_into().unwrap());
+                    let one = u32::from_le_bytes(c[9..13].try_into().unwrap());
+                    nodes.push(TrieNode::Internal { depth: a, zero, one });
+                }
+                1 => nodes.push(TrieNode::Leaf { leaf: a }),
+                t => return Err(Error::corrupt(format!("bad trie node tag {t}"))),
+            }
+        }
+        let root_raw = u32::from_le_bytes(nodes_buf[node_count * 13..].try_into().unwrap());
+        let root = if root_raw == u32::MAX { None } else { Some(root_raw) };
+        let entry = EntryLayout {
+            series_len: config.sax.series_len,
+            materialized: header.materialized,
+        };
+        let store = LeafStore::new(Arc::clone(&file), entry, config.leaf_capacity);
+        Ok(CoconutTrie {
+            config,
+            materialized: header.materialized,
+            threads: threads.max(1),
+            dataset: dataset.clone(),
+            file,
+            store,
+            leaves,
+            nodes,
+            root,
+            summaries: RwLock::new(None),
+            entry_count: header.entry_count,
+            range: 0..dataset.len(),
+            build_report: BuildReport::default(),
+            default_radius: 1,
+        })
+    }
+
+    /// The build report.
+    pub fn build_report(&self) -> BuildReport {
+        self.build_report
+    }
+
+    /// Entries in the index.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Whether leaves embed raw series.
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// Set the leaf radius used by the trait entry points.
+    pub fn set_default_radius(&mut self, radius: usize) {
+        self.default_radius = radius;
+    }
+
+    /// Route leaf reads through a shared buffer pool (`file_id` must be
+    /// unique per index within the pool).
+    pub fn attach_cache(&mut self, cache: std::sync::Arc<coconut_storage::PageCache>, file_id: u32) {
+        self.store.attach_cache(cache, file_id);
+    }
+
+    /// Number of trie nodes (internal + leaf) in the skeleton.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Path of the index file.
+    pub fn index_path(&self) -> &Path {
+        self.file.path()
+    }
+
+    /// Descend to the leaf the query key belongs to.
+    fn descend(&self, key: ZKey) -> Option<(usize, u64)> {
+        let total_bits = self.config.sax.word_bits();
+        let mut node = self.root?;
+        let mut visited = 0u64;
+        loop {
+            visited += 1;
+            match self.nodes[node as usize] {
+                TrieNode::Leaf { leaf } => return Some((leaf as usize, visited)),
+                TrieNode::Internal { depth, zero, one } => {
+                    node = if key.bit(depth as usize, total_bits) == 0 { zero } else { one };
+                }
+            }
+        }
+    }
+
+    fn query_key(&self, query: &[Value]) -> Result<ZKey> {
+        if query.len() != self.config.sax.series_len {
+            return Err(Error::invalid("query length mismatch"));
+        }
+        let mut summarizer = Summarizer::new(self.config.sax);
+        Ok(summarizer.zkey(query))
+    }
+
+    fn eval_leaf_range(
+        &self,
+        lo: usize,
+        hi: usize,
+        query: &[Value],
+        best: &mut Answer,
+        stats: &mut QueryStats,
+    ) -> Result<()> {
+        let entry = self.store.entry();
+        let mut leaf_buf = Vec::new();
+        let mut series_buf = vec![0.0 as Value; self.config.sax.series_len];
+        let mut best_sq = best.dist * best.dist;
+        for li in lo..=hi {
+            let leaf = &self.leaves[li];
+            self.store.read_leaf(leaf, &mut leaf_buf)?;
+            stats.leaves_visited += 1;
+            for slot in 0..leaf.count as usize {
+                let e = self.store.entry_slice(&leaf_buf, slot);
+                let pos = entry.pos(e);
+                if self.materialized {
+                    entry.series_into(e, &mut series_buf);
+                } else {
+                    self.dataset.read_into(pos, &mut series_buf)?;
+                }
+                stats.records_fetched += 1;
+                let d_sq = euclidean_sq(query, &series_buf);
+                if d_sq < best_sq {
+                    best_sq = d_sq;
+                    *best = Answer { pos, dist: d_sq.sqrt() };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate search: descend to the single most promising leaf, plus
+    /// `radius` physically neighboring leaves (contiguous on disk — the
+    /// property Coconut-Trie adds over the state of the art).
+    pub fn approximate_search(&self, query: &[Value], radius: usize) -> Result<Answer> {
+        Ok(self.approximate_search_with_stats(query, radius)?.0)
+    }
+
+    /// Approximate search with work counters.
+    pub fn approximate_search_with_stats(
+        &self,
+        query: &[Value],
+        radius: usize,
+    ) -> Result<(Answer, QueryStats)> {
+        let key = self.query_key(query)?;
+        let mut stats = QueryStats::default();
+        let Some((li, _)) = self.descend(key) else {
+            return Ok((Answer::none(), stats));
+        };
+        let lo = li.saturating_sub(radius);
+        let hi = (li + radius).min(self.leaves.len() - 1);
+        let mut best = Answer::none();
+        self.eval_leaf_range(lo, hi, query, &mut best, &mut stats)?;
+        Ok((best, stats))
+    }
+
+    fn load_summaries(&self) -> Result<Arc<Summaries>> {
+        if let Some(s) = self.summaries.read().as_ref() {
+            return Ok(Arc::clone(s));
+        }
+        let mut write = self.summaries.write();
+        if let Some(s) = write.as_ref() {
+            return Ok(Arc::clone(s));
+        }
+        let entry = self.store.entry();
+        let mut keys_leaf_order = Vec::with_capacity(self.entry_count as usize);
+        let mut pos_leaf_order = Vec::with_capacity(self.entry_count as usize);
+        let mut leaf_starts = Vec::with_capacity(self.leaves.len() + 1);
+        let mut leaf_buf = Vec::new();
+        let mut acc = 0u64;
+        let mut min_pos = u64::MAX;
+        let mut max_pos = 0u64;
+        for leaf in &self.leaves {
+            leaf_starts.push(acc);
+            acc += leaf.count as u64;
+            self.store.read_leaf(leaf, &mut leaf_buf)?;
+            for slot in 0..leaf.count as usize {
+                let e = self.store.entry_slice(&leaf_buf, slot);
+                let pos = entry.pos(e);
+                keys_leaf_order.push(entry.key(e));
+                pos_leaf_order.push(pos);
+                min_pos = min_pos.min(pos);
+                max_pos = max_pos.max(pos);
+            }
+        }
+        leaf_starts.push(acc);
+        let (start, end) =
+            if pos_leaf_order.is_empty() { (0, 0) } else { (min_pos, max_pos + 1) };
+        if end - start != self.entry_count {
+            return Err(Error::corrupt("index does not cover a contiguous position range"));
+        }
+        let mut keys_by_pos = vec![ZKey::MIN; (end - start) as usize];
+        for (k, p) in keys_leaf_order.iter().zip(pos_leaf_order.iter()) {
+            keys_by_pos[(p - start) as usize] = *k;
+        }
+        let s = Arc::new(Summaries { keys_by_pos, keys_leaf_order, pos_leaf_order, leaf_starts });
+        *write = Some(Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// Exact search via SIMS, seeded by approximate search with the default
+    /// radius.
+    pub fn exact_search(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search_with_radius(query, self.default_radius)
+    }
+
+    /// Exact search with an explicit seed radius.
+    pub fn exact_search_with_radius(
+        &self,
+        query: &[Value],
+        radius: usize,
+    ) -> Result<(Answer, QueryStats)> {
+        let (seed, mut stats) = self.approximate_search_with_stats(query, radius)?;
+        let summaries = self.load_summaries()?;
+        let query_paa = paa(query, self.config.sax.segments);
+        let (answer, sims_stats) = if self.materialized {
+            let mut fetcher = TrieLeafFetcher {
+                store: &self.store,
+                leaves: &self.leaves,
+                leaf_starts: &summaries.leaf_starts,
+                pos_leaf_order: &summaries.pos_leaf_order,
+                cur_leaf: 0,
+                leaf_buf: Vec::new(),
+                loaded: false,
+            };
+            sims_exact(
+                query,
+                &query_paa,
+                &summaries.keys_leaf_order,
+                &self.config.sax,
+                self.threads,
+                seed,
+                &mut fetcher,
+            )?
+        } else {
+            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            sims_exact(
+                query,
+                &query_paa,
+                &summaries.keys_by_pos,
+                &self.config.sax,
+                self.threads,
+                seed,
+                &mut fetcher,
+            )?
+        };
+        stats.add(&sims_stats);
+        Ok((answer, stats))
+    }
+
+    /// Exact k-nearest-neighbors (extension beyond the paper).
+    pub fn exact_knn(&self, query: &[Value], k: usize) -> Result<(Vec<Answer>, QueryStats)> {
+        let (seed, mut stats) = self.approximate_search_with_stats(query, self.default_radius)?;
+        let summaries = self.load_summaries()?;
+        let query_paa = paa(query, self.config.sax.segments);
+        let seeds = if seed.is_some() { vec![seed] } else { Vec::new() };
+        let (answers, sims_stats) = if self.materialized {
+            let mut fetcher = TrieLeafFetcher {
+                store: &self.store,
+                leaves: &self.leaves,
+                leaf_starts: &summaries.leaf_starts,
+                pos_leaf_order: &summaries.pos_leaf_order,
+                cur_leaf: 0,
+                leaf_buf: Vec::new(),
+                loaded: false,
+            };
+            crate::sims::sims_exact_knn(
+                query,
+                &query_paa,
+                &summaries.keys_leaf_order,
+                &self.config.sax,
+                self.threads,
+                k,
+                &seeds,
+                &mut fetcher,
+            )?
+        } else {
+            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            crate::sims::sims_exact_knn(
+                query,
+                &query_paa,
+                &summaries.keys_by_pos,
+                &self.config.sax,
+                self.threads,
+                k,
+                &seeds,
+                &mut fetcher,
+            )?
+        };
+        stats.add(&sims_stats);
+        Ok((answers, stats))
+    }
+
+    /// Exact range query (extension): every series within Euclidean
+    /// distance `epsilon`, sorted by distance.
+    pub fn exact_range(
+        &self,
+        query: &[Value],
+        epsilon: f64,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
+        self.query_key(query)?;
+        let summaries = self.load_summaries()?;
+        let query_paa = paa(query, self.config.sax.segments);
+        if self.materialized {
+            let mut fetcher = TrieLeafFetcher {
+                store: &self.store,
+                leaves: &self.leaves,
+                leaf_starts: &summaries.leaf_starts,
+                pos_leaf_order: &summaries.pos_leaf_order,
+                cur_leaf: 0,
+                leaf_buf: Vec::new(),
+                loaded: false,
+            };
+            crate::sims::sims_range(
+                query,
+                &query_paa,
+                &summaries.keys_leaf_order,
+                &self.config.sax,
+                self.threads,
+                epsilon,
+                &mut fetcher,
+            )
+        } else {
+            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            crate::sims::sims_range(
+                query,
+                &query_paa,
+                &summaries.keys_by_pos,
+                &self.config.sax,
+                self.threads,
+                epsilon,
+                &mut fetcher,
+            )
+        }
+    }
+
+    /// Mean leaf occupancy relative to capacity — low by construction for
+    /// prefix splitting (the paper reports ~10%).
+    pub fn avg_fill(&self) -> f64 {
+        if self.leaves.is_empty() {
+            return 0.0;
+        }
+        let slots: u64 = self
+            .leaves
+            .iter()
+            .map(|l| l.blocks_used as u64 * self.config.leaf_capacity as u64)
+            .sum();
+        self.entry_count as f64 / slots as f64
+    }
+}
+
+/// Materialized-trie SIMS fetcher (leaf order; forward-only).
+struct TrieLeafFetcher<'a> {
+    store: &'a LeafStore,
+    leaves: &'a [LeafMeta],
+    leaf_starts: &'a [u64],
+    pos_leaf_order: &'a [u64],
+    cur_leaf: usize,
+    leaf_buf: Vec<u8>,
+    loaded: bool,
+}
+
+impl SeriesFetcher for TrieLeafFetcher<'_> {
+    fn fetch(&mut self, i: usize, out: &mut [Value]) -> Result<u64> {
+        let i64 = i as u64;
+        if !self.loaded || i64 >= self.leaf_starts[self.cur_leaf + 1] {
+            while i64 >= self.leaf_starts[self.cur_leaf + 1] {
+                self.cur_leaf += 1;
+            }
+            self.store.read_leaf(&self.leaves[self.cur_leaf], &mut self.leaf_buf)?;
+            self.loaded = true;
+        }
+        let slot = (i64 - self.leaf_starts[self.cur_leaf]) as usize;
+        let e = self.store.entry_slice(&self.leaf_buf, slot);
+        self.store.entry().series_into(e, out);
+        Ok(self.pos_leaf_order[i])
+    }
+}
+
+impl SeriesIndex for CoconutTrie {
+    fn name(&self) -> String {
+        if self.materialized { "CTrieFull".into() } else { "CTrie".into() }
+    }
+
+    fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        self.approximate_search(query, self.default_radius)
+    }
+
+    fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
+        self.exact_search(query)
+    }
+
+    fn disk_bytes(&self) -> u64 {
+        self.file.len()
+    }
+
+    fn leaf_count(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    fn avg_leaf_fill(&self) -> f64 {
+        self.avg_fill()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::distance::{euclidean, znormalize};
+    use coconut_series::gen::{Generator, RandomWalkGen};
+    use coconut_storage::{IoStats, TempDir};
+
+    const LEN: usize = 64;
+
+    fn small_config() -> IndexConfig {
+        let mut c = IndexConfig::default_for_len(LEN);
+        c.leaf_capacity = 32;
+        c
+    }
+
+    fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(23), n, LEN, &stats).unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    fn brute_force(ds: &Dataset, query: &[Value]) -> Answer {
+        let mut best = Answer::none();
+        let mut scan = ds.scan();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            best.merge(Answer { pos, dist: euclidean(query, s) });
+        }
+        best
+    }
+
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
+    #[test]
+    fn build_produces_consistent_leaves() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 1000);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        assert_eq!(trie.len(), 1000);
+        let leaf_total: u64 = trie.leaves.iter().map(|l| l.count as u64).sum();
+        assert_eq!(leaf_total, 1000);
+        // Prefix splitting cannot balance: occupancy is well below 100%.
+        assert!(trie.avg_fill() < 0.9, "fill {}", trie.avg_fill());
+        // Every leaf respects capacity (no oversized leaves for random data).
+        assert!(trie.leaves.iter().all(|l| l.count as usize <= 32));
+        // Leaves are written contiguously: block numbers increase by
+        // blocks_used.
+        for w in trie.leaves.windows(2) {
+            assert_eq!(w[1].block, w[0].block + w[0].blocks_used);
+        }
+    }
+
+    #[test]
+    fn trie_has_more_leaves_than_tree_for_same_data() {
+        // The paper's occupancy argument: prefix splits -> sparse leaves ->
+        // more leaves than median-based packing.
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 1000);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        let tree = crate::tree::CoconutTree::build(
+            &ds,
+            &small_config(),
+            dir.path(),
+            BuildOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            trie.leaf_count() > tree.leaf_count(),
+            "trie {} <= tree {}",
+            trie.leaf_count(),
+            tree.leaf_count()
+        );
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 700);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        for seed in 100..110 {
+            let q = query(seed);
+            let (ans, _) = trie.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn materialized_exact_matches_brute_force() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let trie = CoconutTrie::build(
+            &ds,
+            &small_config(),
+            dir.path(),
+            BuildOptions::default().materialized(),
+        )
+        .unwrap();
+        for seed in 200..206 {
+            let q = query(seed);
+            let (ans, _) = trie.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(ans.pos, expect.pos, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn approximate_never_beats_exact() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 500);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        for seed in 300..308 {
+            let q = query(seed);
+            let approx = trie.approximate_search(&q, 1).unwrap();
+            let (exact, _) = trie.exact_search(&q).unwrap();
+            assert!(exact.dist <= approx.dist + 1e-9);
+        }
+    }
+
+    #[test]
+    fn open_reloads_identically() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let built =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        let path = built.index_path().to_path_buf();
+        let reopened = CoconutTrie::open(&path, &ds, 2).unwrap();
+        assert_eq!(reopened.len(), built.len());
+        assert_eq!(reopened.node_count(), built.node_count());
+        for seed in 400..405 {
+            let q = query(seed);
+            let (a, _) = built.exact_search(&q).unwrap();
+            let (b, _) = reopened.exact_search(&q).unwrap();
+            assert_eq!(a.pos, b.pos);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_beyond_capacity_form_oversized_leaf() {
+        // A constant dataset: every series has the same key.
+        let dir = TempDir::new("ctrie").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("flat.bin");
+        let mut w =
+            coconut_series::dataset::DatasetWriter::create(&path, LEN, true, Arc::clone(&stats))
+                .unwrap();
+        for _ in 0..100 {
+            w.append(&vec![0.0; LEN]).unwrap();
+        }
+        w.finish().unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        assert_eq!(trie.leaf_count(), 1);
+        assert_eq!(trie.leaves[0].count, 100);
+        assert!(trie.leaves[0].blocks_used > 1);
+        // Queries still work.
+        let q = query(1);
+        let (ans, _) = trie.exact_search(&q).unwrap();
+        assert!(ans.is_some());
+    }
+
+    #[test]
+    fn trie_knn_matches_tree_knn() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 400);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        let tree = crate::tree::CoconutTree::build(
+            &ds,
+            &small_config(),
+            dir.path(),
+            BuildOptions::default(),
+        )
+        .unwrap();
+        for seed in 500..504 {
+            let q = query(seed);
+            let (a, _) = trie.exact_knn(&q, 4).unwrap();
+            let (b, _) = tree.exact_knn(&q, 4).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x.dist - y.dist).abs() < 1e-9, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn trie_range_matches_brute_force() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 300);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        let q = query(77);
+        let mut dists: Vec<(u64, f64)> =
+            (0..300).map(|p| (p, euclidean(&q, &ds.get(p).unwrap()))).collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let eps = dists[4].1;
+        let (hits, _) = trie.exact_range(&q, eps).unwrap();
+        let expected: Vec<u64> =
+            dists.iter().take_while(|&&(_, d)| d <= eps).map(|&(p, _)| p).collect();
+        let mut got: Vec<u64> = hits.iter().map(|a| a.pos).collect();
+        got.sort_unstable();
+        let mut want = expected;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 0);
+        let trie =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        assert!(trie.is_empty());
+        let q = query(9);
+        assert!(!trie.approximate_search(&q, 1).unwrap().is_some());
+        let (ans, _) = trie.exact_search(&q).unwrap();
+        assert!(!ans.is_some());
+    }
+}

@@ -1,0 +1,442 @@
+//! The raw dataset file format.
+//!
+//! The paper's indexes are built over a single large binary file of
+//! fixed-length series ("the raw file"); non-materialized indexes keep
+//! offsets into it and fetch raw series on demand. Our format is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"CCNTDS01"
+//! 8       4     series length (points, u32 LE)
+//! 12      4     flags (bit 0: series are z-normalized)
+//! 16      8     series count (u64 LE)
+//! 24      8     reserved (zero)
+//! 32      ...   count * series_len * 4 bytes of f32 LE values
+//! ```
+//!
+//! All access goes through [`coconut_storage::CountedFile`] so experiments
+//! can attribute raw-file I/O (sequential build scans vs random query
+//! fetches) in the disk access model.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use coconut_storage::{CountedFile, Error, IoStats, Result};
+
+use crate::gen::Generator;
+use crate::Value;
+
+const MAGIC: &[u8; 8] = b"CCNTDS01";
+/// Size of the fixed file header in bytes.
+pub const HEADER_LEN: u64 = 32;
+/// Flag bit: the stored series are z-normalized.
+pub const FLAG_ZNORMALIZED: u32 = 1;
+
+fn encode_header(series_len: u32, flags: u32, count: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&series_len.to_le_bytes());
+    h[12..16].copy_from_slice(&flags.to_le_bytes());
+    h[16..24].copy_from_slice(&count.to_le_bytes());
+    h
+}
+
+/// Streaming writer for dataset files.
+///
+/// Appended series are buffered and flushed with large sequential writes;
+/// `finish` patches the header with the final count.
+pub struct DatasetWriter {
+    file: CountedFile,
+    series_len: usize,
+    flags: u32,
+    count: u64,
+    buf: Vec<u8>,
+}
+
+/// Write buffer size: large enough that header-patching and data writes do
+/// not interleave into random I/O noise.
+const WRITE_BUF: usize = 1 << 20;
+
+impl DatasetWriter {
+    /// Create a dataset file at `path` holding series of `series_len` points.
+    pub fn create(
+        path: impl AsRef<Path>,
+        series_len: usize,
+        znormalized: bool,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        if series_len == 0 {
+            return Err(Error::invalid("series length must be positive"));
+        }
+        if series_len > u32::MAX as usize {
+            return Err(Error::invalid("series length exceeds u32"));
+        }
+        let file = CountedFile::create(path, stats)?;
+        let flags = if znormalized { FLAG_ZNORMALIZED } else { 0 };
+        // Provisional header; count patched in `finish`.
+        file.append(&encode_header(series_len as u32, flags, 0))?;
+        Ok(DatasetWriter { file, series_len, flags, count: 0, buf: Vec::with_capacity(WRITE_BUF) })
+    }
+
+    /// Append one series (must have exactly the configured length).
+    pub fn append(&mut self, series: &[Value]) -> Result<u64> {
+        if series.len() != self.series_len {
+            return Err(Error::invalid(format!(
+                "series length {} != dataset series length {}",
+                series.len(),
+                self.series_len
+            )));
+        }
+        for &v in series {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        if self.buf.len() >= WRITE_BUF {
+            self.file.append(&self.buf)?;
+            self.buf.clear();
+        }
+        let pos = self.count;
+        self.count += 1;
+        Ok(pos)
+    }
+
+    /// Flush buffers, patch the header, and return the number of series
+    /// written.
+    pub fn finish(mut self) -> Result<u64> {
+        if !self.buf.is_empty() {
+            self.file.append(&self.buf)?;
+            self.buf.clear();
+        }
+        self.file
+            .write_all_at(&encode_header(self.series_len as u32, self.flags, self.count), 0)?;
+        self.file.sync()?;
+        Ok(self.count)
+    }
+}
+
+/// A read-only view of a dataset file.
+///
+/// Random access (`read_into`) is how non-materialized indexes fetch raw
+/// series during queries; [`Dataset::scan`] provides the large sequential
+/// reads used by index construction. Cloning is cheap (the file handle is
+/// shared), so indexes hold their own copy.
+#[derive(Clone)]
+pub struct Dataset {
+    file: Arc<CountedFile>,
+    series_len: usize,
+    count: u64,
+    znormalized: bool,
+}
+
+impl Dataset {
+    /// Open a dataset file, validating its header.
+    pub fn open(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        let file = CountedFile::open(path.as_ref(), stats)?;
+        if file.len() < HEADER_LEN {
+            return Err(Error::corrupt("dataset file shorter than header"));
+        }
+        let mut h = [0u8; HEADER_LEN as usize];
+        file.read_exact_at(&mut h, 0)?;
+        if &h[0..8] != MAGIC {
+            return Err(Error::corrupt("bad dataset magic"));
+        }
+        let series_len = u32::from_le_bytes(h[8..12].try_into().unwrap()) as usize;
+        let flags = u32::from_le_bytes(h[12..16].try_into().unwrap());
+        let count = u64::from_le_bytes(h[16..24].try_into().unwrap());
+        if series_len == 0 {
+            return Err(Error::corrupt("dataset header: zero series length"));
+        }
+        let expected = HEADER_LEN + count * (series_len as u64) * 4;
+        if file.len() < expected {
+            return Err(Error::corrupt(format!(
+                "dataset truncated: header promises {expected} bytes, file has {}",
+                file.len()
+            )));
+        }
+        Ok(Dataset {
+            file: Arc::new(file),
+            series_len,
+            count,
+            znormalized: flags & FLAG_ZNORMALIZED != 0,
+        })
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when the dataset holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Points per series.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Whether series were z-normalized before writing.
+    pub fn znormalized(&self) -> bool {
+        self.znormalized
+    }
+
+    /// Bytes of one series on disk.
+    pub fn series_bytes(&self) -> usize {
+        self.series_len * 4
+    }
+
+    /// Total payload size in bytes (excluding the header) — the paper's
+    /// "raw data size" axis.
+    pub fn payload_bytes(&self) -> u64 {
+        self.count * self.series_bytes() as u64
+    }
+
+    /// The underlying counted file (for sharing I/O stats).
+    pub fn file(&self) -> &Arc<CountedFile> {
+        &self.file
+    }
+
+    /// Byte offset of series `pos` in the file.
+    pub fn offset_of(&self, pos: u64) -> u64 {
+        HEADER_LEN + pos * self.series_bytes() as u64
+    }
+
+    /// Read series `pos` into `out` (`out.len()` must equal `series_len`).
+    pub fn read_into(&self, pos: u64, out: &mut [Value]) -> Result<()> {
+        if pos >= self.count {
+            return Err(Error::invalid(format!("series {pos} out of range ({})", self.count)));
+        }
+        if out.len() != self.series_len {
+            return Err(Error::invalid("output buffer length != series length"));
+        }
+        let mut bytes = vec![0u8; self.series_bytes()];
+        self.file.read_exact_at(&mut bytes, self.offset_of(pos))?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = Value::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    /// Read series `pos` into a fresh vector.
+    pub fn get(&self, pos: u64) -> Result<Vec<Value>> {
+        let mut out = vec![0.0; self.series_len];
+        self.read_into(pos, &mut out)?;
+        Ok(out)
+    }
+
+    /// A sequential scanner over all series, reading in large chunks.
+    pub fn scan(&self) -> DatasetScan<'_> {
+        DatasetScan::new(self, 1 << 20)
+    }
+
+    /// A sequential scanner with a custom chunk size in bytes (tests).
+    pub fn scan_with_chunk(&self, chunk_bytes: usize) -> DatasetScan<'_> {
+        DatasetScan::new(self, chunk_bytes)
+    }
+}
+
+/// Sequential reader yielding `(position, &[Value])` pairs.
+pub struct DatasetScan<'a> {
+    ds: &'a Dataset,
+    next_pos: u64,
+    buf_bytes: Vec<u8>,
+    buf_values: Vec<Value>,
+    buf_first_pos: u64,
+    buf_count: usize,
+    series_per_chunk: usize,
+}
+
+impl<'a> DatasetScan<'a> {
+    fn new(ds: &'a Dataset, chunk_bytes: usize) -> Self {
+        let series_per_chunk = (chunk_bytes / ds.series_bytes()).max(1);
+        DatasetScan {
+            ds,
+            next_pos: 0,
+            buf_bytes: Vec::new(),
+            buf_values: Vec::new(),
+            buf_first_pos: 0,
+            buf_count: 0,
+            series_per_chunk,
+        }
+    }
+
+    /// The next `(position, series)` pair, or `None` at the end.
+    pub fn next_series(&mut self) -> Result<Option<(u64, &[Value])>> {
+        if self.next_pos >= self.ds.count {
+            return Ok(None);
+        }
+        let in_buf = (self.next_pos - self.buf_first_pos) as usize;
+        if self.buf_count == 0 || in_buf >= self.buf_count {
+            // Refill.
+            let remaining = (self.ds.count - self.next_pos) as usize;
+            let n = remaining.min(self.series_per_chunk);
+            let bytes = n * self.ds.series_bytes();
+            self.buf_bytes.resize(bytes, 0);
+            self.ds
+                .file
+                .read_exact_at(&mut self.buf_bytes, self.ds.offset_of(self.next_pos))?;
+            self.buf_values.clear();
+            self.buf_values.reserve(n * self.ds.series_len);
+            for chunk in self.buf_bytes.chunks_exact(4) {
+                self.buf_values.push(Value::from_le_bytes(chunk.try_into().unwrap()));
+            }
+            self.buf_first_pos = self.next_pos;
+            self.buf_count = n;
+        }
+        let in_buf = (self.next_pos - self.buf_first_pos) as usize;
+        let start = in_buf * self.ds.series_len;
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        Ok(Some((pos, &self.buf_values[start..start + self.ds.series_len])))
+    }
+}
+
+/// Generate `count` series of length `series_len` from `generator`,
+/// z-normalize each, and write them to `path`. Returns the series count.
+///
+/// This is the standard way experiments materialize their input: the paper
+/// z-normalizes all datasets before indexing.
+pub fn write_dataset(
+    path: impl AsRef<Path>,
+    generator: &mut dyn Generator,
+    count: u64,
+    series_len: usize,
+    stats: &Arc<IoStats>,
+) -> Result<u64> {
+    let mut writer = DatasetWriter::create(path, series_len, true, Arc::clone(stats))?;
+    for _ in 0..count {
+        let mut s = generator.generate(series_len);
+        crate::distance::znormalize(&mut s);
+        writer.append(&s)?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::TempDir;
+
+    fn stats() -> Arc<IoStats> {
+        Arc::new(IoStats::new())
+    }
+
+    fn write_simple(dir: &TempDir, n: u64, len: usize) -> std::path::PathBuf {
+        let path = dir.path().join("data.bin");
+        let mut w = DatasetWriter::create(&path, len, false, stats()).unwrap();
+        for i in 0..n {
+            let s: Vec<Value> = (0..len).map(|j| (i * 1000 + j as u64) as Value).collect();
+            assert_eq!(w.append(&s).unwrap(), i);
+        }
+        assert_eq!(w.finish().unwrap(), n);
+        path
+    }
+
+    #[test]
+    fn roundtrip_random_access() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 100, 16);
+        let ds = Dataset::open(&path, stats()).unwrap();
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.series_len(), 16);
+        assert!(!ds.znormalized());
+        let s = ds.get(42).unwrap();
+        assert_eq!(s[0], 42_000.0);
+        assert_eq!(s[15], 42_015.0);
+        let s = ds.get(0).unwrap();
+        assert_eq!(s[3], 3.0);
+    }
+
+    #[test]
+    fn scan_visits_everything_in_order() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 257, 8); // does not divide chunk evenly
+        let ds = Dataset::open(&path, stats()).unwrap();
+        let mut scan = ds.scan_with_chunk(100); // 3 series per chunk
+        let mut seen = 0u64;
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            assert_eq!(pos, seen);
+            assert_eq!(s[0], (pos * 1000) as Value);
+            seen += 1;
+        }
+        assert_eq!(seen, 257);
+    }
+
+    #[test]
+    fn scan_is_sequential_io() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 1000, 64);
+        let st = stats();
+        let ds = Dataset::open(&path, Arc::clone(&st)).unwrap();
+        let before = st.snapshot();
+        let mut scan = ds.scan_with_chunk(4096);
+        while scan.next_series().unwrap().is_some() {}
+        let after = st.snapshot().since(&before);
+        // First chunk read follows the header read, so at most one seek.
+        assert!(after.rand_reads <= 1, "rand reads: {}", after.rand_reads);
+        assert!(after.seq_reads > 10);
+    }
+
+    #[test]
+    fn wrong_length_append_rejected() {
+        let dir = TempDir::new("dataset").unwrap();
+        let mut w = DatasetWriter::create(dir.path().join("d.bin"), 8, false, stats()).unwrap();
+        assert!(w.append(&[1.0; 7]).is_err());
+        assert!(w.append(&[1.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = dir.path().join("bad.bin");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        assert!(matches!(Dataset::open(&path, stats()), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 10, 8);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        assert!(matches!(Dataset::open(&path, stats()), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn out_of_range_read_rejected() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 5, 8);
+        let ds = Dataset::open(&path, stats()).unwrap();
+        assert!(ds.get(5).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = dir.path().join("empty.bin");
+        let w = DatasetWriter::create(&path, 8, true, stats()).unwrap();
+        assert_eq!(w.finish().unwrap(), 0);
+        let ds = Dataset::open(&path, stats()).unwrap();
+        assert!(ds.is_empty());
+        assert!(ds.znormalized());
+        let mut scan = ds.scan();
+        assert!(scan.next_series().unwrap().is_none());
+    }
+
+    #[test]
+    fn write_dataset_znormalizes() {
+        use crate::gen::{Generator, RandomWalkGen};
+        let dir = TempDir::new("dataset").unwrap();
+        let path = dir.path().join("z.bin");
+        let mut g = RandomWalkGen::new(7);
+        write_dataset(&path, &mut g, 20, 64, &stats()).unwrap();
+        let ds = Dataset::open(&path, stats()).unwrap();
+        assert!(ds.znormalized());
+        for i in 0..20 {
+            let s = ds.get(i).unwrap();
+            assert!(crate::distance::mean(&s).abs() < 1e-4);
+            let sd = crate::distance::std_dev(&s);
+            assert!((sd - 1.0).abs() < 1e-3, "std {sd}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! z-normalization and Euclidean distance kernels.
+//!
+//! All series in the paper are z-normalized (mean 0, standard deviation 1)
+//! before indexing — minimizing Euclidean distance on z-normalized series is
+//! equivalent to maximizing Pearson correlation (Section 2). Distances are
+//! accumulated in `f64` even though values are stored as `f32`, so results
+//! are stable regardless of series length.
+
+use crate::Value;
+
+/// z-normalize `series` in place: subtract the mean, divide by the standard
+/// deviation. A (near-)constant series becomes all zeros rather than NaN.
+pub fn znormalize(series: &mut [Value]) {
+    if series.is_empty() {
+        return;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = series.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        series.fill(0.0);
+        return;
+    }
+    let inv = 1.0 / std;
+    for v in series.iter_mut() {
+        *v = ((*v as f64 - mean) * inv) as Value;
+    }
+}
+
+/// A z-normalized copy of `series`.
+pub fn znormalized(series: &[Value]) -> Vec<Value> {
+    let mut out = series.to_vec();
+    znormalize(&mut out);
+    out
+}
+
+/// Squared Euclidean distance between two equal-length series.
+#[inline]
+pub fn euclidean_sq(a: &[Value], b: &[Value]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = (x - y) as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two equal-length series.
+#[inline]
+pub fn euclidean(a: &[Value], b: &[Value]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Squared Euclidean distance with early abandoning: returns `None` as soon
+/// as the running sum exceeds `cutoff_sq` (the squared best-so-far), which
+/// is the standard trick that makes exact search inner loops cheap.
+#[inline]
+pub fn euclidean_sq_early_abandon(a: &[Value], b: &[Value], cutoff_sq: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    // Check the cutoff once per small block: checking every element costs
+    // more in branches than it saves for realistic series lengths.
+    const BLOCK: usize = 16;
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        let end = (i + BLOCK).min(n);
+        for j in i..end {
+            let d = (a[j] - b[j]) as f64;
+            acc += d * d;
+        }
+        if acc > cutoff_sq {
+            return None;
+        }
+        i = end;
+    }
+    Some(acc)
+}
+
+/// Mean of a slice (used by generators and tests).
+pub fn mean(series: &[Value]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.iter().map(|&v| v as f64).sum::<f64>() / series.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(series: &[Value]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    let m = mean(series);
+    (series.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / series.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znormalize_zero_mean_unit_std() {
+        let mut s: Vec<Value> = (0..100).map(|i| i as Value * 3.0 + 7.0).collect();
+        znormalize(&mut s);
+        assert!(mean(&s).abs() < 1e-5);
+        assert!((std_dev(&s) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn znormalize_constant_series_becomes_zero() {
+        let mut s = vec![5.0f32; 64];
+        znormalize(&mut s);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn znormalize_empty_is_noop() {
+        let mut s: Vec<Value> = Vec::new();
+        znormalize(&mut s);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        let a = [0.0f32, 0.0, 0.0];
+        let b = [1.0f32, 2.0, 2.0];
+        assert_eq!(euclidean_sq(&a, &b), 9.0);
+        assert_eq!(euclidean(&a, &b), 3.0);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_matches_full_when_under_cutoff() {
+        let a: Vec<Value> = (0..256).map(|i| (i as f32).sin()).collect();
+        let b: Vec<Value> = (0..256).map(|i| (i as f32).cos()).collect();
+        let full = euclidean_sq(&a, &b);
+        assert_eq!(euclidean_sq_early_abandon(&a, &b, full + 1.0), Some(full));
+        assert_eq!(euclidean_sq_early_abandon(&a, &b, f64::INFINITY), Some(full));
+    }
+
+    #[test]
+    fn early_abandon_abandons() {
+        let a = vec![0.0f32; 256];
+        let b = vec![10.0f32; 256];
+        assert_eq!(euclidean_sq_early_abandon(&a, &b, 1.0), None);
+    }
+
+    #[test]
+    fn early_abandon_exact_cutoff_boundary() {
+        let a = [0.0f32; 16];
+        let b = [1.0f32; 16];
+        // distance == cutoff: not strictly greater, so it is kept.
+        assert_eq!(euclidean_sq_early_abandon(&a, &b, 16.0), Some(16.0));
+        assert_eq!(euclidean_sq_early_abandon(&a, &b, 15.999), None);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangle_holds() {
+        let a: Vec<Value> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
+        let b: Vec<Value> = (0..64).map(|i| (i as f32 * 0.2).cos()).collect();
+        let c: Vec<Value> = (0..64).map(|i| (i as f32 * 0.05).tan().clamp(-2.0, 2.0)).collect();
+        assert!((euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-12);
+        assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
+    }
+}

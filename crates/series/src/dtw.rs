@@ -1,0 +1,305 @@
+//! Dynamic Time Warping support.
+//!
+//! The paper indexes under Euclidean distance but notes that "simple
+//! modifications can be applied to make them compatible with DTW"
+//! (Section 2, citing Shieh & Keogh). This module provides those pieces:
+//!
+//! * [`dtw_sq`] — DTW with a Sakoe–Chiba band, O(n·band) time and O(band)
+//!   space, with an early-abandoning variant;
+//! * [`Envelope`] — Keogh's upper/lower query envelope under the band;
+//! * [`lb_keogh_sq`] — the LB_Keogh lower bound: for any series `c`,
+//!   `LB_Keogh(q, c) <= DTW(q, c)`, which lets the SIMS-style scans prune
+//!   without computing full DTW.
+//!
+//! The index-level bound (envelope against SAX regions) lives in
+//! `coconut_summary::mindist`.
+
+use crate::Value;
+
+/// Keogh's query envelope: `lower[i] = min(q[i-band..=i+band])`,
+/// `upper[i] = max(...)`.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Per-point lower envelope.
+    pub lower: Vec<Value>,
+    /// Per-point upper envelope.
+    pub upper: Vec<Value>,
+    /// The Sakoe–Chiba band radius it was built with.
+    pub band: usize,
+}
+
+impl Envelope {
+    /// Build the envelope of `query` for a band of radius `band`.
+    pub fn new(query: &[Value], band: usize) -> Self {
+        let n = query.len();
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(band);
+            let hi = (i + band + 1).min(n);
+            let window = &query[lo..hi];
+            lower.push(window.iter().copied().fold(f32::INFINITY, f32::min));
+            upper.push(window.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+        }
+        Envelope { lower, upper, band }
+    }
+}
+
+/// LB_Keogh: squared distance from `candidate` to the envelope. For every
+/// series `c`: `lb_keogh_sq(env(q), c) <= dtw_sq(q, c, band)`.
+#[inline]
+pub fn lb_keogh_sq(envelope: &Envelope, candidate: &[Value]) -> f64 {
+    debug_assert_eq!(envelope.lower.len(), candidate.len());
+    let mut acc = 0.0f64;
+    for ((&c, &lo), &hi) in
+        candidate.iter().zip(envelope.lower.iter()).zip(envelope.upper.iter())
+    {
+        if c < lo {
+            let d = (lo - c) as f64;
+            acc += d * d;
+        } else if c > hi {
+            let d = (c - hi) as f64;
+            acc += d * d;
+        }
+    }
+    acc
+}
+
+/// Squared DTW distance under a Sakoe–Chiba band of radius `band`.
+///
+/// Uses two rolling rows of width `2*band+1`; cells outside the band are
+/// treated as infinite.
+pub fn dtw_sq(a: &[Value], b: &[Value], band: usize) -> f64 {
+    dtw_sq_early_abandon(a, b, band, f64::INFINITY).expect("no cutoff")
+}
+
+/// DTW distance (not squared).
+pub fn dtw(a: &[Value], b: &[Value], band: usize) -> f64 {
+    dtw_sq(a, b, band).sqrt()
+}
+
+/// Squared DTW with early abandoning: returns `None` once every cell of a
+/// row exceeds `cutoff_sq` (the true distance then must exceed it too).
+#[allow(clippy::needless_range_loop)] // the band arithmetic needs explicit i/j
+pub fn dtw_sq_early_abandon(
+    a: &[Value],
+    b: &[Value],
+    band: usize,
+    cutoff_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return Some(0.0);
+    }
+    let band = band.min(n - 1);
+    let width = 2 * band + 1;
+    let inf = f64::INFINITY;
+    // prev[k] = cost(i-1, j) where j = (i-1) - band + k.
+    let mut prev = vec![inf; width];
+    let mut cur = vec![inf; width];
+    for i in 0..n {
+        let j_lo = i.saturating_sub(band);
+        let j_hi = (i + band + 1).min(n);
+        let mut row_min = inf;
+        for j in j_lo..j_hi {
+            let k = j + band - i; // index into cur
+            let d = {
+                let diff = (a[i] - b[j]) as f64;
+                diff * diff
+            };
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let mut m = inf;
+                // (i, j-1): cur[k-1].
+                if j > j_lo {
+                    m = m.min(cur[k - 1]);
+                }
+                if i > 0 {
+                    // (i-1, j): prev index j + band - (i-1) = k + 1; the
+                    // in-band check |i-1-j| <= band reduces to k+1 < width
+                    // (cells row i-1 never computed stay infinite).
+                    if k + 1 < width {
+                        m = m.min(prev[k + 1]);
+                    }
+                    // (i-1, j-1): prev index k; always in band when (i, j)
+                    // is.
+                    if j > 0 {
+                        m = m.min(prev[k]);
+                    }
+                }
+                m
+            };
+            cur[k] = d + best_prev;
+            row_min = row_min.min(cur[k]);
+        }
+        if row_min > cutoff_sq {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(inf);
+    }
+    let last = prev[band]; // j = n-1 at i = n-1 -> k = band
+    Some(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::euclidean_sq;
+    use crate::gen::{Generator, RandomWalkGen};
+
+    fn wavy(seed: u64, len: usize) -> Vec<Value> {
+        let mut s = RandomWalkGen::new(seed).generate(len);
+        crate::distance::znormalize(&mut s);
+        s
+    }
+
+    #[test]
+    fn dtw_of_identical_series_is_zero() {
+        let a = wavy(1, 64);
+        assert_eq!(dtw_sq(&a, &a, 5), 0.0);
+        assert_eq!(dtw_sq(&a, &a, 0), 0.0);
+    }
+
+    #[test]
+    fn band_zero_equals_euclidean() {
+        let a = wavy(1, 64);
+        let b = wavy(2, 64);
+        let d = dtw_sq(&a, &b, 0);
+        let e = euclidean_sq(&a, &b);
+        assert!((d - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean() {
+        // Widening the band can only reduce the alignment cost.
+        for seed in 0..10u64 {
+            let a = wavy(seed, 64);
+            let b = wavy(seed + 100, 64);
+            let e = euclidean_sq(&a, &b);
+            let mut prev = e;
+            for band in [1usize, 3, 8, 32] {
+                let d = dtw_sq(&a, &b, band);
+                assert!(d <= prev + 1e-9, "band {band}: {d} > {prev}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_series_align_under_dtw() {
+        // A sine and its 3-point shift: DTW(band>=3) should be near zero
+        // while ED is substantial.
+        let n = 128;
+        let a: Vec<Value> = (0..n).map(|i| ((i as f32) * 0.2).sin()).collect();
+        let b: Vec<Value> = (0..n).map(|i| ((i as f32 + 3.0) * 0.2).sin()).collect();
+        let e = euclidean_sq(&a, &b);
+        let d = dtw_sq(&a, &b, 5);
+        assert!(d < e * 0.05, "dtw {d} vs ed {e}");
+    }
+
+    #[test]
+    fn known_small_example() {
+        // a = [0,0,1,1], b = [0,1,1,1], band 1: optimal alignment has cost 0
+        // only if warping can absorb the mismatch; here one step differs.
+        let a = [0.0f32, 0.0, 1.0, 1.0];
+        let b = [0.0f32, 1.0, 1.0, 1.0];
+        let d = dtw_sq(&a, &b, 1);
+        // Path: (0,0)=0, a[1] matches b[0] (cost 0), rest matches -> 0.
+        assert_eq!(d, 0.0);
+        // Without warping: ED^2 = 1.
+        assert_eq!(dtw_sq(&a, &b, 0), 1.0);
+    }
+
+    #[test]
+    fn envelope_contains_query() {
+        let q = wavy(5, 64);
+        for band in [0usize, 1, 5, 63] {
+            let env = Envelope::new(&q, band);
+            for i in 0..q.len() {
+                assert!(env.lower[i] <= q[i] && q[i] <= env.upper[i]);
+            }
+            // The query itself has LB_Keogh 0.
+            assert_eq!(lb_keogh_sq(&env, &q), 0.0);
+        }
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw() {
+        for seed in 0..20u64 {
+            let q = wavy(seed, 64);
+            let c = wavy(seed + 50, 64);
+            for band in [1usize, 4, 10] {
+                let env = Envelope::new(&q, band);
+                let lb = lb_keogh_sq(&env, &c);
+                let d = dtw_sq(&q, &c, band);
+                assert!(lb <= d + 1e-6, "seed {seed} band {band}: lb {lb} > dtw {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_consistent_with_full() {
+        let a = wavy(7, 64);
+        let b = wavy(8, 64);
+        let full = dtw_sq(&a, &b, 4);
+        assert_eq!(dtw_sq_early_abandon(&a, &b, 4, full + 1.0), Some(full));
+        assert_eq!(dtw_sq_early_abandon(&a, &b, 4, full * 0.5), None);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert_eq!(dtw_sq(&[], &[], 3), 0.0);
+    }
+
+    /// Naive full-matrix banded DTW for cross-checking the rolling-array
+    /// implementation.
+    fn dtw_sq_reference(a: &[Value], b: &[Value], band: usize) -> f64 {
+        let n = a.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let inf = f64::INFINITY;
+        let mut m = vec![vec![inf; n]; n];
+        for i in 0..n {
+            for j in i.saturating_sub(band)..(i + band + 1).min(n) {
+                let d = ((a[i] - b[j]) as f64).powi(2);
+                let best = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let mut best = inf;
+                    if j > 0 {
+                        best = best.min(m[i][j - 1]);
+                    }
+                    if i > 0 {
+                        best = best.min(m[i - 1][j]);
+                        if j > 0 {
+                            best = best.min(m[i - 1][j - 1]);
+                        }
+                    }
+                    best
+                };
+                m[i][j] = d + best;
+            }
+        }
+        m[n - 1][n - 1]
+    }
+
+    #[test]
+    fn rolling_implementation_matches_reference() {
+        for seed in 0..15u64 {
+            let a = wavy(seed, 40);
+            let b = wavy(seed + 77, 40);
+            for band in [0usize, 1, 2, 5, 13, 39] {
+                let fast = dtw_sq(&a, &b, band);
+                let slow = dtw_sq_reference(&a, &b, band);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "seed {seed} band {band}: fast {fast} != ref {slow}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! An explicit, shareable memory budget.
+//!
+//! The paper's central experimental knob is the ratio between main memory and
+//! data size (Figures 8a/8b sweep it; 8d/8e/10 hold it fixed while data
+//! grows). [`MemoryBudget`] makes that knob explicit: components that buffer
+//! data (external-sort run buffers, iSAX 2.0's FBL, page caches) reserve
+//! bytes from a shared budget and release them when the buffers are flushed.
+//!
+//! The budget is advisory — a reservation that fails tells the caller to
+//! flush, it does not make allocations fail.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe byte budget shared between the components of one experiment.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    capacity: u64,
+    used: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// A budget of `capacity` bytes.
+    pub fn new(capacity: u64) -> Arc<Self> {
+        Arc::new(MemoryBudget { capacity, used: AtomicU64::new(0) })
+    }
+
+    /// An effectively unlimited budget (for "ample memory" configurations).
+    pub fn unlimited() -> Arc<Self> {
+        Self::new(u64::MAX)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.used())
+    }
+
+    /// Try to reserve `bytes`; returns `false` (reserving nothing) if the
+    /// budget would be exceeded.
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut current = self.used.load(Ordering::Acquire);
+        loop {
+            let Some(next) = current.checked_add(bytes) else { return false };
+            if next > self.capacity {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Release `bytes` previously reserved. Releasing more than reserved is a
+    /// bug in the caller; we saturate rather than wrap to keep experiments
+    /// running, and debug builds assert.
+    pub fn release(&self, bytes: u64) {
+        let mut current = self.used.load(Ordering::Acquire);
+        loop {
+            debug_assert!(current >= bytes, "budget release underflow");
+            let next = current.saturating_sub(bytes);
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// An RAII reservation against a [`MemoryBudget`].
+#[derive(Debug)]
+pub struct Reservation {
+    budget: Arc<MemoryBudget>,
+    bytes: u64,
+}
+
+impl Reservation {
+    /// Reserve `bytes` from `budget`, or `None` if it does not fit.
+    pub fn try_new(budget: &Arc<MemoryBudget>, bytes: u64) -> Option<Self> {
+        if budget.try_reserve(bytes) {
+            Some(Reservation { budget: Arc::clone(budget), bytes })
+        } else {
+            None
+        }
+    }
+
+    /// The reserved size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let b = MemoryBudget::new(100);
+        assert!(b.try_reserve(60));
+        assert_eq!(b.used(), 60);
+        assert!(!b.try_reserve(50));
+        assert!(b.try_reserve(40));
+        assert_eq!(b.available(), 0);
+        b.release(100);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn unlimited_accepts_everything_reasonable() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.try_reserve(1 << 40));
+        assert!(b.try_reserve(1 << 40));
+    }
+
+    #[test]
+    fn raii_reservation_releases_on_drop() {
+        let b = MemoryBudget::new(10);
+        {
+            let r = Reservation::try_new(&b, 10).unwrap();
+            assert_eq!(r.bytes(), 10);
+            assert!(Reservation::try_new(&b, 1).is_none());
+        }
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_capacity() {
+        let b = MemoryBudget::new(1000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if b.try_reserve(10) {
+                            assert!(b.used() <= 1000);
+                            b.release(10);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(b.used(), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! A byte-budgeted LRU page cache (buffer pool).
+//!
+//! Queries over the contiguous Coconut indexes read leaf pages through this
+//! cache; the budget lets experiments model "RAM much smaller than data".
+//! The cache is read-through and read-only: writers bypass it (index files
+//! in this workspace are written once, bottom-up, then only read).
+//!
+//! The implementation is a classic doubly-linked LRU over a slab, protected
+//! by a single `parking_lot::Mutex`. Entries hand out `Arc<[u8]>` so a page
+//! can be evicted while readers still hold it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::pagefile::PageFile;
+
+/// Identifies a page within a set of cached files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Caller-chosen file identifier (stable per [`PageFile`]).
+    pub file_id: u32,
+    /// Page number within the file.
+    pub page_no: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    key: PageKey,
+    page: Arc<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<PageKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    used_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups served from memory.
+    pub hits: u64,
+    /// Number of lookups that had to read from disk.
+    pub misses: u64,
+    /// Bytes currently resident.
+    pub used_bytes: u64,
+}
+
+/// An LRU page cache bounded by a byte budget.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl PageCache {
+    /// A cache that may hold up to `capacity_bytes` of pages.
+    pub fn new(capacity_bytes: u64) -> Arc<Self> {
+        Arc::new(PageCache {
+            capacity_bytes,
+            inner: Mutex::new(Inner { head: NIL, tail: NIL, ..Default::default() }),
+        })
+    }
+
+    /// Fetch page `key.page_no` of `file`, reading through the cache.
+    pub fn get(&self, key: PageKey, file: &PageFile) -> Result<Arc<[u8]>> {
+        self.get_with(key, || {
+            let mut buf = vec![0u8; file.page_size()];
+            file.read_page(key.page_no, &mut buf)?;
+            Ok(buf)
+        })
+    }
+
+    /// Fetch `key` through the cache, calling `load` on a miss. The loader
+    /// may return blocks of any size (the cache is byte-budgeted, not
+    /// page-count-budgeted), which lets index leaf blocks share the pool.
+    pub fn get_with(
+        &self,
+        key: PageKey,
+        load: impl FnOnce() -> Result<Vec<u8>>,
+    ) -> Result<Arc<[u8]>> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&idx) = inner.map.get(&key) {
+                inner.hits += 1;
+                Self::unlink(&mut inner, idx);
+                Self::push_front(&mut inner, idx);
+                return Ok(Arc::clone(&inner.slab[idx].page));
+            }
+            inner.misses += 1;
+        }
+        // Read outside the lock so concurrent misses on other pages proceed.
+        let page: Arc<[u8]> = load()?.into();
+        let mut inner = self.inner.lock();
+        // A racing thread may have inserted the same page; keep theirs.
+        if let Some(&idx) = inner.map.get(&key) {
+            return Ok(Arc::clone(&inner.slab[idx].page));
+        }
+        self.insert_locked(&mut inner, key, Arc::clone(&page));
+        Ok(page)
+    }
+
+    /// Drop one page (callers must invalidate after overwriting a cached
+    /// block on disk).
+    pub fn invalidate(&self, key: PageKey) {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.map.remove(&key) {
+            Self::unlink(&mut inner, idx);
+            inner.used_bytes -= inner.slab[idx].page.len() as u64;
+            inner.slab[idx].page = Arc::from(Vec::new().into_boxed_slice());
+            inner.free.push(idx);
+        }
+    }
+
+    /// Drop every cached page (e.g. between experiment phases).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.slab.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.used_bytes = 0;
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats { hits: inner.hits, misses: inner.misses, used_bytes: inner.used_bytes }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn insert_locked(&self, inner: &mut Inner, key: PageKey, page: Arc<[u8]>) {
+        let bytes = page.len() as u64;
+        // Evict from the tail until this page fits. A page larger than the
+        // whole cache is returned to the caller but never retained.
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        while inner.used_bytes + bytes > self.capacity_bytes {
+            let tail = inner.tail;
+            debug_assert_ne!(tail, NIL, "cache accounting out of sync");
+            if tail == NIL {
+                break;
+            }
+            Self::unlink(inner, tail);
+            let node_key = inner.slab[tail].key;
+            inner.map.remove(&node_key);
+            inner.used_bytes -= inner.slab[tail].page.len() as u64;
+            inner.slab[tail].page = Arc::from(Vec::new().into_boxed_slice());
+            inner.free.push(tail);
+        }
+        let node = Node { key, page, prev: NIL, next: NIL };
+        let idx = if let Some(idx) = inner.free.pop() {
+            inner.slab[idx] = node;
+            idx
+        } else {
+            inner.slab.push(node);
+            inner.slab.len() - 1
+        };
+        inner.used_bytes += bytes;
+        inner.map.insert(key, idx);
+        Self::push_front(inner, idx);
+    }
+
+    fn unlink(inner: &mut Inner, idx: usize) {
+        let (prev, next) = (inner.slab[idx].prev, inner.slab[idx].next);
+        if prev != NIL {
+            inner.slab[prev].next = next;
+        } else if inner.head == idx {
+            inner.head = next;
+        }
+        if next != NIL {
+            inner.slab[next].prev = prev;
+        } else if inner.tail == idx {
+            inner.tail = prev;
+        }
+        inner.slab[idx].prev = NIL;
+        inner.slab[idx].next = NIL;
+    }
+
+    fn push_front(inner: &mut Inner, idx: usize) {
+        inner.slab[idx].prev = NIL;
+        inner.slab[idx].next = inner.head;
+        if inner.head != NIL {
+            inner.slab[inner.head].prev = idx;
+        }
+        inner.head = idx;
+        if inner.tail == NIL {
+            inner.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::CountedFile;
+    use crate::iostats::IoStats;
+    use crate::tempdir::TempDir;
+
+    const PAGE: usize = 64;
+
+    fn make_file(dir: &TempDir, pages: usize) -> (PageFile, Arc<IoStats>) {
+        let stats = Arc::new(IoStats::new());
+        let f = CountedFile::create(dir.path().join("c.bin"), Arc::clone(&stats)).unwrap();
+        let pf = PageFile::new(Arc::new(f), PAGE).unwrap();
+        for i in 0..pages {
+            pf.append_page(&vec![i as u8; PAGE]).unwrap();
+        }
+        (pf, stats)
+    }
+
+    #[test]
+    fn hit_avoids_disk() {
+        let dir = TempDir::new("cache").unwrap();
+        let (pf, stats) = make_file(&dir, 4);
+        let reads_after_build = stats.snapshot().bytes_read;
+        let cache = PageCache::new((PAGE * 2) as u64);
+        let k = PageKey { file_id: 0, page_no: 1 };
+        let p1 = cache.get(k, &pf).unwrap();
+        let p2 = cache.get(k, &pf).unwrap();
+        assert_eq!(p1[0], 1);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(stats.snapshot().bytes_read - reads_after_build, PAGE as u64);
+    }
+
+    #[test]
+    fn evicts_lru_not_mru() {
+        let dir = TempDir::new("cache").unwrap();
+        let (pf, _) = make_file(&dir, 4);
+        let cache = PageCache::new((PAGE * 2) as u64);
+        let k = |p| PageKey { file_id: 0, page_no: p };
+        cache.get(k(0), &pf).unwrap();
+        cache.get(k(1), &pf).unwrap();
+        cache.get(k(0), &pf).unwrap(); // page 0 now MRU
+        cache.get(k(2), &pf).unwrap(); // evicts page 1 (LRU)
+        assert_eq!(cache.stats().misses, 3);
+        cache.get(k(0), &pf).unwrap(); // still resident
+        assert_eq!(cache.stats().hits, 2);
+        cache.get(k(1), &pf).unwrap(); // was evicted -> miss
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn page_larger_than_cache_is_served_not_cached() {
+        let dir = TempDir::new("cache").unwrap();
+        let (pf, _) = make_file(&dir, 1);
+        let cache = PageCache::new(10);
+        let k = PageKey { file_id: 0, page_no: 0 };
+        let p = cache.get(k, &pf).unwrap();
+        assert_eq!(p.len(), PAGE);
+        assert_eq!(cache.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let dir = TempDir::new("cache").unwrap();
+        let (pf, _) = make_file(&dir, 2);
+        let cache = PageCache::new((PAGE * 2) as u64);
+        let k = PageKey { file_id: 0, page_no: 0 };
+        cache.get(k, &pf).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().used_bytes, 0);
+        cache.get(k, &pf).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn distinct_file_ids_do_not_collide() {
+        let dir = TempDir::new("cache").unwrap();
+        let (pf, _) = make_file(&dir, 2);
+        let cache = PageCache::new((PAGE * 4) as u64);
+        cache.get(PageKey { file_id: 1, page_no: 0 }, &pf).unwrap();
+        cache.get(PageKey { file_id: 2, page_no: 0 }, &pf).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().used_bytes, (PAGE * 2) as u64);
+    }
+
+    #[test]
+    fn get_with_custom_loader_and_invalidate() {
+        let cache = PageCache::new(1024);
+        let k = PageKey { file_id: 9, page_no: 0 };
+        let loaded = std::sync::atomic::AtomicU32::new(0);
+        let load = || {
+            loaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(vec![7u8; 100])
+        };
+        let a = cache.get_with(k, load).unwrap();
+        assert_eq!(a.len(), 100);
+        let b = cache.get_with(k, || panic!("must be cached")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(loaded.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+        cache.invalidate(k);
+        assert_eq!(cache.stats().used_bytes, 0);
+        let c = cache.get_with(k, || Ok(vec![8u8; 100])).unwrap();
+        assert_eq!(c[0], 8);
+    }
+
+    #[test]
+    fn invalidate_missing_key_is_noop() {
+        let cache = PageCache::new(1024);
+        cache.invalidate(PageKey { file_id: 1, page_no: 99 });
+        assert_eq!(cache.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn many_pages_stress_slab_reuse() {
+        let dir = TempDir::new("cache").unwrap();
+        let (pf, _) = make_file(&dir, 64);
+        let cache = PageCache::new((PAGE * 4) as u64);
+        for round in 0..3 {
+            for p in 0..64 {
+                let page = cache.get(PageKey { file_id: 0, page_no: p }, &pf).unwrap();
+                assert_eq!(page[0], p as u8, "round {round}");
+            }
+        }
+        assert!(cache.stats().used_bytes <= (PAGE * 4) as u64);
+    }
+}

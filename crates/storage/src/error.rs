@@ -1,0 +1,80 @@
+//! The error type shared across the Coconut workspace.
+//!
+//! Each crate in the workspace re-exports this type; it is deliberately kept
+//! small so that it stays meaningful at every layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer and the crates built on top of it.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O error from the operating system.
+    Io(std::io::Error),
+    /// A file existed but its contents were not what the format requires
+    /// (bad magic, truncated payload, inconsistent header fields, ...).
+    Corrupt(String),
+    /// A caller supplied an argument outside the supported range
+    /// (zero-length series, budget too small to hold a single record, ...).
+    InvalidArg(String),
+}
+
+/// Convenient alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Build an [`Error::Corrupt`] from anything printable.
+    pub fn corrupt(msg: impl fmt::Display) -> Self {
+        Error::Corrupt(msg.to_string())
+    }
+
+    /// Build an [`Error::InvalidArg`] from anything printable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        Error::InvalidArg(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::corrupt("bad magic");
+        assert!(e.to_string().contains("bad magic"));
+        let e = Error::invalid("zero length");
+        assert!(e.to_string().contains("zero length"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = io.into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

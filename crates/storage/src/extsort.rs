@@ -1,0 +1,541 @@
+//! External sorting of fixed-size binary records under a memory budget.
+//!
+//! This is the engine behind every bottom-up bulk load in the workspace
+//! (Section 3.1 of the paper): the *partitioning* phase fills a buffer of at
+//! most `budget` bytes, sorts it in memory and flushes it as a sorted run
+//! with large sequential writes; the *merging* phase merge-sorts the runs
+//! with one input buffer per run. When everything fits in memory no run is
+//! ever written (the common case for non-materialized Coconut indexes, where
+//! only summarizations are sorted — "sorting in the non-materialized versions
+//! is really fast, since only the summarizations need to be sorted").
+//!
+//! Records are serialized through a [`Codec`], so the same sorter handles
+//! 24-byte `(zkey, position)` pairs and multi-kilobyte
+//! `(zkey, raw series)` records (the materialized `-Full` variants).
+//!
+//! If the number of runs exceeds the merge fan-in that the budget allows,
+//! intermediate merge passes are performed (the paper notes a single pass
+//! suffices whenever `M > sqrt(N)`; we handle the general case anyway).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::file::CountedFile;
+use crate::iostats::IoStats;
+
+/// Serialize/deserialize fixed-size records.
+pub trait Codec {
+    /// The in-memory record type.
+    type Item;
+
+    /// The on-disk size of one record, in bytes (constant per codec instance).
+    fn record_size(&self) -> usize;
+
+    /// Encode `item` into `buf` (`buf.len() == record_size()`).
+    fn encode(&self, item: &Self::Item, buf: &mut [u8]);
+
+    /// Decode a record from `buf` (`buf.len() == record_size()`).
+    fn decode(&self, buf: &[u8]) -> Self::Item;
+}
+
+/// How the sorter behaved — reported by experiments alongside I/O stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SortReport {
+    /// Total records sorted.
+    pub items: u64,
+    /// Sorted runs spilled to disk (0 means fully in-memory).
+    pub runs: u64,
+    /// Merge passes over the data (0 when in-memory or single run).
+    pub merge_passes: u64,
+}
+
+static SORT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Streaming external sorter. `push` records, then `finish` to obtain the
+/// globally sorted stream.
+pub struct ExternalSorter<C: Codec> {
+    codec: C,
+    budget_bytes: usize,
+    tmp_dir: PathBuf,
+    stats: Arc<IoStats>,
+    buffer: Vec<C::Item>,
+    buffer_capacity: usize,
+    runs: Vec<PathBuf>,
+    report: SortReport,
+    sort_id: u64,
+    io_buf_bytes: usize,
+}
+
+impl<C: Codec> ExternalSorter<C>
+where
+    C::Item: Ord,
+{
+    /// A sorter that holds at most `budget_bytes` of records in memory and
+    /// spills runs into `tmp_dir`.
+    pub fn new(
+        codec: C,
+        budget_bytes: u64,
+        tmp_dir: impl Into<PathBuf>,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let record = codec.record_size();
+        if record == 0 {
+            return Err(Error::invalid("record size must be positive"));
+        }
+        // Always keep room for at least a handful of records: a budget below
+        // one record would otherwise dead-lock the partitioning phase.
+        let buffer_capacity = ((budget_bytes as usize) / record).max(4);
+        Ok(ExternalSorter {
+            codec,
+            budget_bytes: budget_bytes as usize,
+            tmp_dir: tmp_dir.into(),
+            stats,
+            buffer: Vec::new(),
+            buffer_capacity,
+            runs: Vec::new(),
+            report: SortReport::default(),
+            sort_id: SORT_ID.fetch_add(1, Ordering::Relaxed),
+            io_buf_bytes: 256 * 1024,
+        })
+    }
+
+    /// Add one record.
+    pub fn push(&mut self, item: C::Item) -> Result<()> {
+        if self.buffer.len() >= self.buffer_capacity {
+            self.spill_run()?;
+        }
+        self.buffer.push(item);
+        self.report.items += 1;
+        Ok(())
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> u64 {
+        self.report.items
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.report.items == 0
+    }
+
+    fn run_path(&self, idx: usize) -> PathBuf {
+        self.tmp_dir.join(format!("sort-{}-run-{idx}.bin", self.sort_id))
+    }
+
+    fn spill_run(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.buffer.sort_unstable();
+        let path = self.run_path(self.runs.len());
+        let file = CountedFile::create(&path, Arc::clone(&self.stats))?;
+        let record = self.codec.record_size();
+        let per_flush = (self.io_buf_bytes / record).max(1);
+        let mut out = vec![0u8; per_flush * record];
+        let mut filled = 0usize;
+        for item in self.buffer.drain(..) {
+            self.codec.encode(&item, &mut out[filled * record..(filled + 1) * record]);
+            filled += 1;
+            if filled == per_flush {
+                file.append(&out[..filled * record])?;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            file.append(&out[..filled * record])?;
+        }
+        file.sync()?;
+        self.runs.push(path);
+        self.report.runs += 1;
+        Ok(())
+    }
+
+    /// Finish pushing and return the globally sorted stream.
+    pub fn finish(mut self) -> Result<SortedStream<C>> {
+        if self.runs.is_empty() {
+            // Fully in-memory: one sort, no I/O at all.
+            self.buffer.sort_unstable();
+            let items = std::mem::take(&mut self.buffer);
+            return Ok(SortedStream {
+                codec: self.codec,
+                report: self.report,
+                source: StreamSource::Memory { items: items.into_iter() },
+            });
+        }
+        self.spill_run()?;
+
+        // The merge fan-in is limited by the memory budget: one read buffer
+        // per run plus slack. Below the limit we merge all runs at once;
+        // above it we do intermediate passes.
+        let record = self.codec.record_size();
+        let min_read_buf = record.max(4096);
+        let max_fanin = (self.budget_bytes / min_read_buf).clamp(2, 128);
+        let mut runs = std::mem::take(&mut self.runs);
+        let mut pass_no = 0usize;
+        while runs.len() > max_fanin {
+            self.report.merge_passes += 1;
+            let mut next = Vec::new();
+            for (gi, group) in runs.chunks(max_fanin).enumerate() {
+                let out_path = self
+                    .tmp_dir
+                    .join(format!("sort-{}-pass{pass_no}-{gi}.bin", self.sort_id));
+                self.merge_group(group, &out_path)?;
+                next.push(out_path);
+            }
+            for r in &runs {
+                let _ = std::fs::remove_file(r);
+            }
+            runs = next;
+            pass_no += 1;
+        }
+        self.report.merge_passes += 1;
+        let readers = runs
+            .iter()
+            .map(|p| RunReader::open(p, record, min_read_buf, Arc::clone(&self.stats)))
+            .collect::<Result<Vec<_>>>()?;
+        let mut merger = Merger::new(readers, &self.codec)?;
+        // Prime the heap.
+        merger.prime(&self.codec)?;
+        Ok(SortedStream {
+            codec: self.codec,
+            report: self.report,
+            source: StreamSource::Merge { merger, run_paths: runs },
+        })
+    }
+
+    fn merge_group(&self, group: &[PathBuf], out_path: &PathBuf) -> Result<()> {
+        let record = self.codec.record_size();
+        let min_read_buf = record.max(4096);
+        let readers = group
+            .iter()
+            .map(|p| RunReader::open(p, record, min_read_buf, Arc::clone(&self.stats)))
+            .collect::<Result<Vec<_>>>()?;
+        let mut merger = Merger::new(readers, &self.codec)?;
+        merger.prime(&self.codec)?;
+        let out = CountedFile::create(out_path, Arc::clone(&self.stats))?;
+        let per_flush = (self.io_buf_bytes / record).max(1);
+        let mut buf = vec![0u8; per_flush * record];
+        let mut filled = 0usize;
+        while let Some(item) = merger.next_item(&self.codec)? {
+            self.codec.encode(&item, &mut buf[filled * record..(filled + 1) * record]);
+            filled += 1;
+            if filled == per_flush {
+                out.append(&buf[..filled * record])?;
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            out.append(&buf[..filled * record])?;
+        }
+        out.sync()?;
+        Ok(())
+    }
+}
+
+/// A buffered sequential reader over one sorted run.
+struct RunReader {
+    file: CountedFile,
+    record: usize,
+    buf: Vec<u8>,
+    buf_valid: usize,
+    buf_pos: usize,
+    file_pos: u64,
+    file_len: u64,
+}
+
+impl RunReader {
+    fn open(
+        path: &PathBuf,
+        record: usize,
+        buf_bytes: usize,
+        stats: Arc<IoStats>,
+    ) -> Result<Self> {
+        let file = CountedFile::open(path, stats)?;
+        let file_len = file.len();
+        if file_len % record as u64 != 0 {
+            return Err(Error::corrupt(format!(
+                "run file {} length {} not a multiple of record size {}",
+                path.display(),
+                file_len,
+                record
+            )));
+        }
+        let records_per_buf = (buf_bytes / record).max(1);
+        Ok(RunReader {
+            file,
+            record,
+            buf: vec![0u8; records_per_buf * record],
+            buf_valid: 0,
+            buf_pos: 0,
+            file_pos: 0,
+            file_len,
+        })
+    }
+
+    /// Borrow the bytes of the next record, or `None` at end of run.
+    fn next_record(&mut self) -> Result<Option<&[u8]>> {
+        if self.buf_pos == self.buf_valid {
+            let remaining = (self.file_len - self.file_pos) as usize;
+            if remaining == 0 {
+                return Ok(None);
+            }
+            let to_read = remaining.min(self.buf.len());
+            self.file.read_exact_at(&mut self.buf[..to_read], self.file_pos)?;
+            self.file_pos += to_read as u64;
+            self.buf_valid = to_read;
+            self.buf_pos = 0;
+        }
+        let start = self.buf_pos;
+        self.buf_pos += self.record;
+        Ok(Some(&self.buf[start..start + self.record]))
+    }
+}
+
+/// Heap entry ordered so that `BinaryHeap` (a max-heap) pops the smallest.
+struct HeapEntry<T> {
+    item: Reverse<T>,
+    source: usize,
+}
+
+impl<T: Ord> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.item == other.item
+    }
+}
+impl<T: Ord> Eq for HeapEntry<T> {}
+impl<T: Ord> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.item.cmp(&other.item)
+    }
+}
+
+struct Merger<T> {
+    readers: Vec<RunReader>,
+    heap: BinaryHeap<HeapEntry<T>>,
+    primed: bool,
+}
+
+impl<T: Ord> Merger<T> {
+    fn new<C: Codec<Item = T>>(readers: Vec<RunReader>, _codec: &C) -> Result<Self> {
+        Ok(Merger { readers, heap: BinaryHeap::new(), primed: false })
+    }
+
+    fn prime<C: Codec<Item = T>>(&mut self, codec: &C) -> Result<()> {
+        if self.primed {
+            return Ok(());
+        }
+        for i in 0..self.readers.len() {
+            if let Some(bytes) = self.readers[i].next_record()? {
+                let item = codec.decode(bytes);
+                self.heap.push(HeapEntry { item: Reverse(item), source: i });
+            }
+        }
+        self.primed = true;
+        Ok(())
+    }
+
+    fn next_item<C: Codec<Item = T>>(&mut self, codec: &C) -> Result<Option<T>> {
+        let Some(HeapEntry { item: Reverse(item), source }) = self.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some(bytes) = self.readers[source].next_record()? {
+            let next = codec.decode(bytes);
+            self.heap.push(HeapEntry { item: Reverse(next), source });
+        }
+        Ok(Some(item))
+    }
+}
+
+enum StreamSource<C: Codec> {
+    Memory { items: std::vec::IntoIter<C::Item> },
+    Merge { merger: Merger<C::Item>, run_paths: Vec<PathBuf> },
+}
+
+/// The output of [`ExternalSorter::finish`]: records in globally sorted order.
+pub struct SortedStream<C: Codec> {
+    codec: C,
+    report: SortReport,
+    source: StreamSource<C>,
+}
+
+impl<C: Codec> SortedStream<C>
+where
+    C::Item: Ord,
+{
+    /// The next record, or `None` when exhausted.
+    pub fn next_item(&mut self) -> Result<Option<C::Item>> {
+        match &mut self.source {
+            StreamSource::Memory { items } => Ok(items.next()),
+            StreamSource::Merge { merger, .. } => merger.next_item(&self.codec),
+        }
+    }
+
+    /// How the sort behaved (runs, passes).
+    pub fn report(&self) -> SortReport {
+        self.report
+    }
+
+    /// Drain the stream into a vector (convenience for tests and small sorts).
+    pub fn collect_all(mut self) -> Result<Vec<C::Item>> {
+        let mut out = Vec::new();
+        while let Some(item) = self.next_item()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<C: Codec> Drop for SortedStream<C> {
+    fn drop(&mut self) {
+        if let StreamSource::Merge { run_paths, .. } = &self.source {
+            for p in run_paths {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+}
+
+/// A ready-made codec for `u64` records (used in tests and simple id sorts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U64Codec;
+
+impl Codec for U64Codec {
+    type Item = u64;
+    fn record_size(&self) -> usize {
+        8
+    }
+    fn encode(&self, item: &u64, buf: &mut [u8]) {
+        buf.copy_from_slice(&item.to_le_bytes());
+    }
+    fn decode(&self, buf: &[u8]) -> u64 {
+        u64::from_le_bytes(buf.try_into().expect("u64 record is 8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn sort_values(values: Vec<u64>, budget: u64) -> (Vec<u64>, SortReport) {
+        let dir = TempDir::new("extsort").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(U64Codec, budget, dir.path(), stats).unwrap();
+        for v in values {
+            sorter.push(v).unwrap();
+        }
+        let stream = sorter.finish().unwrap();
+        let report = stream.report();
+        (stream.collect_all().unwrap(), report)
+    }
+
+    #[test]
+    fn in_memory_when_budget_suffices() {
+        let values: Vec<u64> = (0..1000).rev().collect();
+        let (sorted, report) = sort_values(values, 1 << 20);
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert_eq!(report.runs, 0);
+        assert_eq!(report.merge_passes, 0);
+    }
+
+    #[test]
+    fn spills_and_merges_with_tiny_budget() {
+        let values: Vec<u64> = (0..10_000).map(|i| (i * 2_654_435_761u64) % 100_000).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        let (sorted, report) = sort_values(values, 256); // 32 records per run
+        assert_eq!(sorted, expected);
+        assert!(report.runs > 10, "expected many runs, got {}", report.runs);
+        assert!(report.merge_passes >= 1);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_record_still_works() {
+        let values: Vec<u64> = (0..100).rev().collect();
+        let (sorted, report) = sort_values(values, 1);
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(report.runs >= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (sorted, report) = sort_values(Vec::new(), 1024);
+        assert!(sorted.is_empty());
+        assert_eq!(report.items, 0);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let values = vec![5u64, 5, 5, 1, 1, 9];
+        let (sorted, _) = sort_values(values, 16); // force spills
+        assert_eq!(sorted, vec![1, 1, 5, 5, 5, 9]);
+    }
+
+    #[test]
+    fn sorted_input_stays_sorted() {
+        let values: Vec<u64> = (0..5000).collect();
+        let (sorted, _) = sort_values(values.clone(), 128);
+        assert_eq!(sorted, values);
+    }
+
+    #[test]
+    fn multi_pass_merge_when_fanin_exceeded() {
+        // budget 8 KiB, min read buf 4 KiB -> max_fanin = 2, so >2 runs
+        // forces intermediate passes.
+        let values: Vec<u64> = (0..40_000).rev().collect();
+        let dir = TempDir::new("extsort").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(U64Codec, 8192, dir.path(), stats).unwrap();
+        for v in values {
+            sorter.push(v).unwrap();
+        }
+        let stream = sorter.finish().unwrap();
+        assert!(stream.report().runs > 2);
+        assert!(stream.report().merge_passes >= 2, "passes: {}", stream.report().merge_passes);
+        let sorted = stream.collect_all().unwrap();
+        assert_eq!(sorted, (0..40_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn io_is_sequential() {
+        // External sorting must be dominated by sequential I/O — that is the
+        // whole point of the paper's Section 3.1 comparison. Each run costs
+        // exactly one seek (its first read); everything else must stream.
+        let dir = TempDir::new("extsort").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter =
+            ExternalSorter::new(U64Codec, 64 * 1024, dir.path(), Arc::clone(&stats)).unwrap();
+        for v in (0..200_000u64).rev() {
+            sorter.push(v).unwrap();
+        }
+        let stream = sorter.finish().unwrap();
+        let runs = stream.report().runs;
+        assert!(runs >= 2);
+        let _ = stream.collect_all().unwrap();
+        let snap = stats.snapshot();
+        // Every random op must be accounted for by a run-file open
+        // (initial runs plus the smaller set of intermediate merge outputs).
+        assert!(
+            snap.random_ops() <= 2 * runs,
+            "random {} ops for {} runs",
+            snap.random_ops(),
+            runs
+        );
+        assert!(
+            snap.random_ops() * 10 <= snap.total_ops(),
+            "random {} of {} total ops",
+            snap.random_ops(),
+            snap.total_ops()
+        );
+    }
+}

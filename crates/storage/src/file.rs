@@ -1,0 +1,217 @@
+//! A positioned file handle that feeds [`IoStats`].
+//!
+//! [`CountedFile`] wraps a [`std::fs::File`] and classifies every access as
+//! sequential (it begins exactly where the previous access on this handle
+//! ended) or random. All index and dataset files in the workspace are
+//! accessed through this type so that experiments can report disk-access
+//! model costs.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::iostats::IoStats;
+
+/// A file whose reads and writes are recorded in a shared [`IoStats`].
+///
+/// All operations are positioned (`pread`/`pwrite`), so a `CountedFile` can
+/// be shared across threads without any seek-pointer races; the sequential /
+/// random classification uses an atomic "expected next offset".
+#[derive(Debug)]
+pub struct CountedFile {
+    file: File,
+    path: PathBuf,
+    stats: Arc<IoStats>,
+    /// Offset one past the end of the last access; used to classify locality.
+    next_offset: AtomicU64,
+    /// Current logical length (maintained on append).
+    len: AtomicU64,
+}
+
+impl CountedFile {
+    /// Create (truncating) a new file at `path`.
+    pub fn create(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(CountedFile { file, path, stats, next_offset: AtomicU64::new(0), len: AtomicU64::new(0) })
+    }
+
+    /// Open an existing file read-only.
+    pub fn open(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(CountedFile {
+            file,
+            path,
+            stats,
+            next_offset: AtomicU64::new(u64::MAX), // first access counts as random
+            len: AtomicU64::new(len),
+        })
+    }
+
+    /// Open an existing file for reading and writing.
+    pub fn open_rw(path: impl AsRef<Path>, stats: Arc<IoStats>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(CountedFile {
+            file,
+            path,
+            stats,
+            next_offset: AtomicU64::new(u64::MAX),
+            len: AtomicU64::new(len),
+        })
+    }
+
+    /// The path this file was opened at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared statistics sink.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn classify(&self, offset: u64, len: u64) -> bool {
+        // swap: record where this access ends; sequential iff it starts where
+        // the last one ended.
+        let prev = self.next_offset.swap(offset + len, Ordering::AcqRel);
+        prev == offset
+    }
+
+    /// Read exactly `buf.len()` bytes starting at `offset`.
+    pub fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        let sequential = self.classify(offset, buf.len() as u64);
+        self.file.read_exact_at(buf, offset)?;
+        self.stats.record_read(buf.len() as u64, sequential);
+        Ok(())
+    }
+
+    /// Write all of `buf` starting at `offset`, extending the file if needed.
+    pub fn write_all_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        let sequential = self.classify(offset, buf.len() as u64);
+        self.file.write_all_at(buf, offset)?;
+        self.stats.record_write(buf.len() as u64, sequential);
+        let end = offset + buf.len() as u64;
+        self.len.fetch_max(end, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Append `buf` at the current end of file; returns the offset it was
+    /// written at.
+    pub fn append(&self, buf: &[u8]) -> Result<u64> {
+        let offset = self.len.fetch_add(buf.len() as u64, Ordering::AcqRel);
+        let sequential = self.classify(offset, buf.len() as u64);
+        self.file.write_all_at(buf, offset)?;
+        self.stats.record_write(buf.len() as u64, sequential);
+        Ok(offset)
+    }
+
+    /// Flush file contents to the OS.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn setup() -> (TempDir, Arc<IoStats>) {
+        (TempDir::new("countedfile").unwrap(), Arc::new(IoStats::new()))
+    }
+
+    #[test]
+    fn roundtrip_and_len() {
+        let (dir, stats) = setup();
+        let f = CountedFile::create(dir.path().join("a.bin"), stats).unwrap();
+        assert!(f.is_empty());
+        let off = f.append(b"hello").unwrap();
+        assert_eq!(off, 0);
+        let off = f.append(b" world").unwrap();
+        assert_eq!(off, 5);
+        assert_eq!(f.len(), 11);
+        let mut buf = [0u8; 11];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let (dir, stats) = setup();
+        let f = CountedFile::create(dir.path().join("a.bin"), Arc::clone(&stats)).unwrap();
+        f.append(&[0u8; 4096]).unwrap(); // first access: offset 0 == initial next_offset 0 -> sequential
+        f.append(&[0u8; 4096]).unwrap(); // sequential
+        let snap = stats.snapshot();
+        assert_eq!(snap.seq_writes, 2);
+        assert_eq!(snap.rand_writes, 0);
+
+        let mut buf = [0u8; 16];
+        f.read_exact_at(&mut buf, 100).unwrap(); // random: last end was 8192
+        f.read_exact_at(&mut buf, 116).unwrap(); // sequential continuation
+        f.read_exact_at(&mut buf, 0).unwrap(); // random again
+        let snap = stats.snapshot();
+        assert_eq!(snap.seq_reads, 1);
+        assert_eq!(snap.rand_reads, 2);
+    }
+
+    #[test]
+    fn reopen_sees_data_and_first_read_is_random() {
+        let (dir, stats) = setup();
+        let path = dir.path().join("a.bin");
+        {
+            let f = CountedFile::create(&path, Arc::clone(&stats)).unwrap();
+            f.append(b"abcd").unwrap();
+            f.sync().unwrap();
+        }
+        let f = CountedFile::open(&path, Arc::clone(&stats)).unwrap();
+        assert_eq!(f.len(), 4);
+        let mut buf = [0u8; 4];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf, b"abcd");
+        assert_eq!(stats.snapshot().rand_reads, 1);
+    }
+
+    #[test]
+    fn write_all_at_extends_len() {
+        let (dir, stats) = setup();
+        let f = CountedFile::create(dir.path().join("a.bin"), stats).unwrap();
+        f.write_all_at(b"xy", 100).unwrap();
+        assert_eq!(f.len(), 102);
+        // Writing inside the file must not shrink it.
+        f.write_all_at(b"z", 3).unwrap();
+        assert_eq!(f.len(), 102);
+    }
+
+    #[test]
+    fn short_read_is_an_error() {
+        let (dir, stats) = setup();
+        let f = CountedFile::create(dir.path().join("a.bin"), stats).unwrap();
+        f.append(b"abc").unwrap();
+        let mut buf = [0u8; 10];
+        assert!(f.read_exact_at(&mut buf, 0).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Storage substrate for the Coconut data series indexing library.
+//!
+//! This crate provides the pieces of the paper's experimental platform that
+//! sit *below* any particular index:
+//!
+//! * [`IoStats`] — I/O accounting in the disk access model of Aggarwal &
+//!   Vitter (the cost model used throughout the paper's analysis, Section 3).
+//!   Every read and write is classified as *sequential* or *random* so that
+//!   experiments can report modeled I/O cost alongside wall-clock time.
+//! * [`CountedFile`] — a positioned file handle whose accesses feed
+//!   [`IoStats`].
+//! * [`PageFile`] and [`PageCache`] — fixed-size page access with an
+//!   LRU buffer pool bounded by an explicit byte budget.
+//! * [`MemoryBudget`] — a shared, thread-safe byte budget used to emulate
+//!   "memory available to the algorithm" (the x-axis of the paper's
+//!   Figures 8a/8b and the fixed-memory setting of Figures 8d/8e/10).
+//! * [`ExternalSorter`] — bottom-up bulk loading's workhorse: run
+//!   generation under a memory budget followed by k-way merge
+//!   (the "partitioning" and "merging" phases of Section 3.1).
+//!
+//! Nothing in this crate knows about data series; it works on fixed-size
+//! binary records and raw pages.
+
+pub mod budget;
+pub mod cache;
+pub mod error;
+pub mod extsort;
+pub mod file;
+pub mod iostats;
+pub mod pagefile;
+pub mod tempdir;
+
+pub use budget::MemoryBudget;
+pub use cache::PageCache;
+pub use error::{Error, Result};
+pub use extsort::{Codec, ExternalSorter, SortReport, SortedStream};
+pub use file::CountedFile;
+pub use iostats::{DiskProfile, IoSnapshot, IoStats};
+pub use pagefile::PageFile;
+pub use tempdir::TempDir;

@@ -1,0 +1,141 @@
+//! Fixed-size page access on top of [`CountedFile`].
+//!
+//! Index files are laid out in pages (default 8 KiB — the disk block `B` of
+//! the paper's cost model). A [`PageFile`] provides page-granular reads and
+//! writes; partial trailing pages are zero-padded.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::file::CountedFile;
+
+/// Default page size used across the workspace (8 KiB).
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// A page-granular view of a [`CountedFile`].
+#[derive(Debug)]
+pub struct PageFile {
+    file: Arc<CountedFile>,
+    page_size: usize,
+}
+
+impl PageFile {
+    /// Wrap `file` with pages of `page_size` bytes.
+    pub fn new(file: Arc<CountedFile>, page_size: usize) -> Result<Self> {
+        if page_size == 0 {
+            return Err(Error::invalid("page size must be positive"));
+        }
+        Ok(PageFile { file, page_size })
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The underlying counted file.
+    pub fn file(&self) -> &Arc<CountedFile> {
+        &self.file
+    }
+
+    /// Number of pages (the last may be partial on disk but reads padded).
+    pub fn num_pages(&self) -> u64 {
+        self.file.len().div_ceil(self.page_size as u64)
+    }
+
+    /// Read page `page_no` into `buf` (`buf.len()` must equal the page size);
+    /// the portion past end-of-file is zero-filled.
+    pub fn read_page(&self, page_no: u64, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(Error::invalid("buffer size != page size"));
+        }
+        let offset = page_no * self.page_size as u64;
+        let len = self.file.len();
+        if offset >= len {
+            return Err(Error::invalid(format!(
+                "page {page_no} out of range ({} pages)",
+                self.num_pages()
+            )));
+        }
+        let avail = ((len - offset) as usize).min(self.page_size);
+        self.file.read_exact_at(&mut buf[..avail], offset)?;
+        buf[avail..].fill(0);
+        Ok(())
+    }
+
+    /// Write a full page at `page_no`.
+    pub fn write_page(&self, page_no: u64, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(Error::invalid("buffer size != page size"));
+        }
+        self.file.write_all_at(buf, page_no * self.page_size as u64)
+    }
+
+    /// Append a full page at the end; returns its page number.
+    pub fn append_page(&self, buf: &[u8]) -> Result<u64> {
+        if buf.len() != self.page_size {
+            return Err(Error::invalid("buffer size != page size"));
+        }
+        // Round the current length up so appended pages stay aligned even if
+        // raw bytes were appended through the CountedFile directly.
+        let pages = self.num_pages();
+        self.write_page(pages, buf)?;
+        Ok(pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iostats::IoStats;
+    use crate::tempdir::TempDir;
+
+    fn pagefile(dir: &TempDir, page: usize) -> PageFile {
+        let stats = Arc::new(IoStats::new());
+        let f = CountedFile::create(dir.path().join("p.bin"), stats).unwrap();
+        PageFile::new(Arc::new(f), page).unwrap()
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = TempDir::new("pagefile").unwrap();
+        let pf = pagefile(&dir, 64);
+        let a = vec![1u8; 64];
+        let b = vec![2u8; 64];
+        assert_eq!(pf.append_page(&a).unwrap(), 0);
+        assert_eq!(pf.append_page(&b).unwrap(), 1);
+        assert_eq!(pf.num_pages(), 2);
+        let mut buf = vec![0u8; 64];
+        pf.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        pf.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, a);
+    }
+
+    #[test]
+    fn partial_trailing_page_is_zero_padded() {
+        let dir = TempDir::new("pagefile").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let f = Arc::new(CountedFile::create(dir.path().join("p.bin"), stats).unwrap());
+        f.append(&[7u8; 100]).unwrap();
+        let pf = PageFile::new(Arc::clone(&f), 64).unwrap();
+        assert_eq!(pf.num_pages(), 2);
+        let mut buf = vec![0u8; 64];
+        pf.read_page(1, &mut buf).unwrap();
+        assert_eq!(&buf[..36], &[7u8; 36]);
+        assert_eq!(&buf[36..], &[0u8; 28]);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_sizes_error() {
+        let dir = TempDir::new("pagefile").unwrap();
+        let pf = pagefile(&dir, 64);
+        let mut buf = vec![0u8; 64];
+        assert!(pf.read_page(0, &mut buf).is_err());
+        let mut small = vec![0u8; 32];
+        pf.append_page(&vec![0u8; 64]).unwrap();
+        assert!(pf.read_page(0, &mut small).is_err());
+        assert!(pf.write_page(0, &small).is_err());
+        assert!(PageFile::new(Arc::clone(pf.file()), 0).is_err());
+    }
+}

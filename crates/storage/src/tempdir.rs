@@ -1,0 +1,84 @@
+//! Minimal temporary-directory helper (removed on drop).
+//!
+//! The external sorter and the experiment harness need scratch space; we
+//! avoid an external crate by implementing the tiny subset we need.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::Result;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root that is deleted when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    /// When true (default) the directory tree is removed on drop.
+    cleanup: bool,
+}
+
+impl TempDir {
+    /// Create a fresh directory whose name embeds `label`, the process id and
+    /// a global counter, so concurrent tests never collide.
+    pub fn new(label: &str) -> Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "coconut-{label}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path, cleanup: true })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Keep the directory on disk after drop (useful when debugging).
+    pub fn keep(mut self) -> PathBuf {
+        self.cleanup = false;
+        self.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if self.cleanup {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let p;
+        {
+            let d = TempDir::new("t").unwrap();
+            p = d.path().to_path_buf();
+            assert!(p.is_dir());
+            std::fs::write(p.join("x"), b"1").unwrap();
+        }
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn unique_paths() {
+        let a = TempDir::new("u").unwrap();
+        let b = TempDir::new("u").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn keep_preserves() {
+        let d = TempDir::new("k").unwrap();
+        let p = d.keep();
+        assert!(p.is_dir());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+}

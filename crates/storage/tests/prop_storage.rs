@@ -1,0 +1,109 @@
+//! Property-based tests for the storage substrate.
+
+use std::sync::Arc;
+
+use coconut_storage::extsort::U64Codec;
+use coconut_storage::{Codec, CountedFile, ExternalSorter, IoStats, PageCache, PageFile, TempDir};
+use proptest::prelude::*;
+
+/// A codec with a larger record, to exercise non-trivial serialization.
+#[derive(Clone, Copy, Default)]
+struct PairCodec;
+
+impl Codec for PairCodec {
+    type Item = (u64, u64);
+    fn record_size(&self) -> usize {
+        16
+    }
+    fn encode(&self, item: &(u64, u64), buf: &mut [u8]) {
+        buf[..8].copy_from_slice(&item.0.to_le_bytes());
+        buf[8..].copy_from_slice(&item.1.to_le_bytes());
+    }
+    fn decode(&self, buf: &[u8]) -> (u64, u64) {
+        (
+            u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            u64::from_le_bytes(buf[8..].try_into().unwrap()),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn external_sort_equals_std_sort(
+        values in proptest::collection::vec(any::<u64>(), 0..2000),
+        budget in 1u64..4096,
+    ) {
+        let dir = TempDir::new("prop-extsort").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(U64Codec, budget, dir.path(), stats).unwrap();
+        for &v in &values {
+            sorter.push(v).unwrap();
+        }
+        let sorted = sorter.finish().unwrap().collect_all().unwrap();
+        let mut expected = values;
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn external_sort_pairs_orders_by_first_then_second(
+        values in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..1000),
+        budget in 1u64..2048,
+    ) {
+        let dir = TempDir::new("prop-extsort2").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(PairCodec, budget, dir.path(), stats).unwrap();
+        for &v in &values {
+            sorter.push(v).unwrap();
+        }
+        let sorted = sorter.finish().unwrap().collect_all().unwrap();
+        let mut expected = values;
+        expected.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn counted_file_roundtrips_random_chunks(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..200), 1..20),
+    ) {
+        let dir = TempDir::new("prop-file").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let f = CountedFile::create(dir.path().join("f.bin"), stats).unwrap();
+        let mut offsets = Vec::new();
+        for c in &chunks {
+            offsets.push(f.append(c).unwrap());
+        }
+        for (c, &off) in chunks.iter().zip(offsets.iter()) {
+            let mut buf = vec![0u8; c.len()];
+            f.read_exact_at(&mut buf, off).unwrap();
+            prop_assert_eq!(&buf, c);
+        }
+    }
+
+    #[test]
+    fn page_cache_returns_same_bytes_as_disk(
+        pages in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 64..=64), 1..20),
+        capacity_pages in 1usize..8,
+        accesses in proptest::collection::vec(any::<u16>(), 1..100),
+    ) {
+        let dir = TempDir::new("prop-cache").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let f = CountedFile::create(dir.path().join("c.bin"), stats).unwrap();
+        let pf = PageFile::new(Arc::new(f), 64).unwrap();
+        for p in &pages {
+            pf.append_page(p).unwrap();
+        }
+        let cache = PageCache::new((capacity_pages * 64) as u64);
+        for a in accesses {
+            let page_no = (a as usize) % pages.len();
+            let got = cache
+                .get(coconut_storage::cache::PageKey { file_id: 0, page_no: page_no as u64 }, &pf)
+                .unwrap();
+            prop_assert_eq!(&got[..], &pages[page_no][..]);
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.used_bytes <= (capacity_pages * 64) as u64);
+    }
+}

@@ -1,0 +1,213 @@
+//! Standard-normal quantile breakpoints for SAX.
+//!
+//! SAX discretizes the value axis into regions that are equiprobable under
+//! N(0,1) — "more regions corresponding to values close to 0, and less
+//! regions for the more extreme values" (paper Figure 1). The boundaries are
+//! quantiles of the standard normal, computed with Acklam's rational
+//! approximation of the inverse CDF (|relative error| < 1.2e-9, far below
+//! the f32 precision of the data).
+//!
+//! Breakpoint tables are nested across cardinalities: the card-`2^k` table
+//! is exactly every `2^(8-k)`-th entry of the card-256 table, because
+//! `i/2^k == (i * 2^(8-k)) / 256` holds exactly in binary floating point.
+//! This is what makes iSAX's multi-resolution prefixes consistent: the top
+//! `k` bits of a card-256 symbol *are* the card-`2^k` symbol.
+
+use std::sync::OnceLock;
+
+/// Inverse CDF (quantile function) of the standard normal distribution,
+/// valid for `0 < p < 1` (Acklam's algorithm).
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+
+    // Coefficients for the rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+fn tables() -> &'static [Vec<f64>; 9] {
+    static TABLES: OnceLock<[Vec<f64>; 9]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        std::array::from_fn(|bits| {
+            if bits == 0 {
+                return Vec::new();
+            }
+            let card = 1usize << bits;
+            (1..card).map(|i| inv_norm_cdf(i as f64 / card as f64)).collect()
+        })
+    })
+}
+
+/// The `2^bits - 1` breakpoints for cardinality `2^bits` (`1 <= bits <= 8`),
+/// in increasing order.
+pub fn breakpoints(bits: u8) -> &'static [f64] {
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8, got {bits}");
+    &tables()[bits as usize]
+}
+
+/// The SAX symbol of `value` at cardinality `2^bits`: the number of
+/// breakpoints ≤ `value` (a value equal to a breakpoint belongs to the
+/// region above it).
+#[inline]
+pub fn symbol_for(bits: u8, value: f64) -> u8 {
+    let bp = breakpoints(bits);
+    bp.partition_point(|&b| b <= value) as u8
+}
+
+/// The value interval `[lo, hi)` covered by `symbol` at cardinality
+/// `2^bits`; the extremes are unbounded.
+#[inline]
+pub fn region(bits: u8, symbol: u8) -> (f64, f64) {
+    let bp = breakpoints(bits);
+    let card = 1usize << bits;
+    let s = symbol as usize;
+    assert!(s < card, "symbol {s} out of range for cardinality {card}");
+    let lo = if s == 0 { f64::NEG_INFINITY } else { bp[s - 1] };
+    let hi = if s == card - 1 { f64::INFINITY } else { bp[s] };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_cdf_known_values() {
+        // Reference values from standard normal tables.
+        assert!((inv_norm_cdf(0.5) - 0.0).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.975) - 1.959963985).abs() < 1e-6);
+        assert!((inv_norm_cdf(0.025) + 1.959963985).abs() < 1e-6);
+        assert!((inv_norm_cdf(0.84134474) - 1.0).abs() < 1e-6);
+        assert!((inv_norm_cdf(0.99865010) - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_cdf_is_antisymmetric_and_monotone() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert!((inv_norm_cdf(p) + inv_norm_cdf(1.0 - p)).abs() < 1e-9);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let v = inv_norm_cdf(i as f64 / 1000.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn card4_breakpoints_match_literature() {
+        // The classic SAX alphabet-4 breakpoints: -0.6745, 0, 0.6745.
+        let bp = breakpoints(2);
+        assert_eq!(bp.len(), 3);
+        assert!((bp[0] + 0.6744897).abs() < 1e-6);
+        assert!(bp[1].abs() < 1e-9);
+        assert!((bp[2] - 0.6744897).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tables_are_nested() {
+        // Every coarse table is a stride of the card-256 table — required
+        // for iSAX prefix consistency.
+        let fine = breakpoints(8);
+        for bits in 1..8u8 {
+            let coarse = breakpoints(bits);
+            let stride = 1usize << (8 - bits);
+            for (i, &b) in coarse.iter().enumerate() {
+                assert_eq!(b, fine[(i + 1) * stride - 1], "bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_prefix_property() {
+        // Top-k bits of the fine symbol == the coarse symbol, for any value.
+        for i in -100..=100 {
+            let v = i as f64 / 20.0;
+            let fine = symbol_for(8, v);
+            for bits in 1..=8u8 {
+                let coarse = symbol_for(bits, v);
+                assert_eq!(fine >> (8 - bits), coarse, "v={v} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_cover_all_regions() {
+        assert_eq!(symbol_for(2, -10.0), 0);
+        assert_eq!(symbol_for(2, -0.5), 1);
+        assert_eq!(symbol_for(2, 0.5), 2);
+        assert_eq!(symbol_for(2, 10.0), 3);
+        // Boundary: exactly at a breakpoint goes up.
+        assert_eq!(symbol_for(2, 0.0), 2);
+    }
+
+    #[test]
+    fn region_roundtrip() {
+        for bits in 1..=8u8 {
+            let card = 1u16 << bits;
+            for s in 0..card {
+                let (lo, hi) = region(bits, s as u8);
+                assert!(lo < hi);
+                // A value strictly inside the region maps back to the symbol.
+                let v = if lo.is_infinite() {
+                    hi - 1.0
+                } else if hi.is_infinite() {
+                    lo + 1.0
+                } else {
+                    0.5 * (lo + hi)
+                };
+                assert_eq!(symbol_for(bits, v), s as u8, "bits={bits} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_panics() {
+        breakpoints(0);
+    }
+}

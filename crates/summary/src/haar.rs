@@ -1,0 +1,169 @@
+//! Orthonormal Discrete Haar Wavelet Transform.
+//!
+//! The *Vertical* baseline (Kashyap & Karras, paper Section 5) stores Haar
+//! coefficients level by level ("vertically") and scans them resolution by
+//! resolution, tightening a lower bound on each series' distance until the
+//! candidate set is small. Because the orthonormal transform preserves the
+//! Euclidean norm (Parseval), the distance over any coefficient prefix
+//! lower-bounds the true distance.
+//!
+//! The transform requires a power-of-two length (all lengths used in the
+//! paper's experiments — 64 to 512 — qualify).
+
+use coconut_series::Value;
+use coconut_storage::{Error, Result};
+
+/// Whether the transform supports this length.
+pub fn supported_len(n: usize) -> bool {
+    n.is_power_of_two()
+}
+
+/// Orthonormal Haar transform. Output layout is coarse-first: index 0 is the
+/// overall (scaled) average, followed by detail levels of sizes 1, 2, 4, ...
+pub fn haar_transform(series: &[Value]) -> Result<Vec<f64>> {
+    let n = series.len();
+    if !supported_len(n) {
+        return Err(Error::invalid(format!("Haar transform needs a power-of-two length, got {n}")));
+    }
+    let mut cur: Vec<f64> = series.iter().map(|&v| v as f64).collect();
+    let mut out = vec![0.0f64; n];
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut len = n;
+    while len > 1 {
+        let half = len / 2;
+        // Details of this level land at out[half..len] (finest level last).
+        for i in 0..half {
+            let a = cur[2 * i];
+            let b = cur[2 * i + 1];
+            out[half + i] = (a - b) * inv_sqrt2;
+            cur[i] = (a + b) * inv_sqrt2;
+        }
+        len = half;
+    }
+    out[0] = cur[0];
+    Ok(out)
+}
+
+/// Inverse of [`haar_transform`] (used by tests to prove losslessness).
+pub fn inverse_haar(coeffs: &[f64]) -> Result<Vec<Value>> {
+    let n = coeffs.len();
+    if !supported_len(n) {
+        return Err(Error::invalid("inverse Haar needs a power-of-two length"));
+    }
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut cur = vec![0.0f64; n];
+    cur[0] = coeffs[0];
+    let mut len = 1usize;
+    while len < n {
+        // Expand averages cur[0..len] with details coeffs[len..2len].
+        let mut next = vec![0.0f64; 2 * len];
+        for i in 0..len {
+            let a = cur[i];
+            let d = coeffs[len + i];
+            next[2 * i] = (a + d) * inv_sqrt2;
+            next[2 * i + 1] = (a - d) * inv_sqrt2;
+        }
+        cur = next;
+        len *= 2;
+    }
+    Ok(cur.into_iter().map(|v| v as Value).collect())
+}
+
+/// Sizes of the coefficient levels, coarse to fine: `[1, 1, 2, 4, ..., n/2]`.
+pub fn level_sizes(n: usize) -> Vec<usize> {
+    debug_assert!(supported_len(n));
+    let mut sizes = vec![1usize];
+    let mut s = 1usize;
+    while s < n {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes
+}
+
+/// Squared distance over a coefficient prefix — a lower bound on the squared
+/// Euclidean distance between the original series (Parseval).
+#[inline]
+pub fn prefix_dist_sq(a: &[f64], b: &[f64], prefix: usize) -> f64 {
+    debug_assert!(prefix <= a.len() && prefix <= b.len());
+    let mut acc = 0.0f64;
+    for i in 0..prefix {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_series::distance::euclidean_sq;
+
+    fn wavy(seed: u32, len: usize) -> Vec<Value> {
+        (0..len).map(|i| ((i as f32 * 0.31 + seed as f32) * 0.7).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(haar_transform(&[1.0, 2.0, 3.0]).is_err());
+        assert!(inverse_haar(&[1.0, 2.0, 3.0]).is_err());
+        assert!(supported_len(64));
+        assert!(!supported_len(100));
+    }
+
+    #[test]
+    fn known_transform_of_simple_vector() {
+        // [1,1,1,1]: all energy in the average coefficient: 4 * (1/2)^2... the
+        // orthonormal average of four ones is 1*sqrt(4) = 2.
+        let t = haar_transform(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!((t[0] - 2.0).abs() < 1e-12);
+        assert!(t[1..].iter().all(|&c| c.abs() < 1e-12));
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        for len in [1usize, 2, 4, 64, 256] {
+            let s = wavy(3, len);
+            let t = haar_transform(&s).unwrap();
+            let back = inverse_haar(&t).unwrap();
+            for (a, b) in s.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-4, "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let s = wavy(5, 128);
+        let t = haar_transform(&s).unwrap();
+        let energy_s: f64 = s.iter().map(|&v| (v as f64).powi(2)).sum();
+        let energy_t: f64 = t.iter().map(|&c| c * c).sum();
+        assert!((energy_s - energy_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_distance_lower_bounds_and_converges() {
+        let a = wavy(1, 256);
+        let b = wavy(9, 256);
+        let ta = haar_transform(&a).unwrap();
+        let tb = haar_transform(&b).unwrap();
+        let true_sq = euclidean_sq(&a, &b);
+        let mut prev = 0.0;
+        for prefix in [1usize, 2, 4, 16, 64, 256] {
+            let lb = prefix_dist_sq(&ta, &tb, prefix);
+            assert!(lb <= true_sq + 1e-6, "prefix {prefix}: {lb} > {true_sq}");
+            assert!(lb >= prev - 1e-12, "bound must be monotone");
+            prev = lb;
+        }
+        assert!((prev - true_sq).abs() < 1e-6, "full prefix must equal the true distance");
+    }
+
+    #[test]
+    fn level_sizes_sum_to_n() {
+        for n in [1usize, 2, 8, 256] {
+            let sizes = level_sizes(n);
+            assert_eq!(sizes.iter().sum::<usize>(), n);
+            assert_eq!(sizes[0], 1);
+        }
+    }
+}

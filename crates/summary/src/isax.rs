@@ -1,0 +1,176 @@
+//! Multi-resolution iSAX masks.
+//!
+//! iSAX represents a *set* of series by a per-segment prefix: segment `j`
+//! keeps only its `bits[j]` most significant symbol bits. Every node of an
+//! iSAX-style index (iSAX 2.0, ADS, Coconut-Trie) is identified by such a
+//! mask; splitting a node increases one segment's prefix by one bit
+//! (paper Section 3.2, "prefix-based splitting").
+
+use crate::config::SaxConfig;
+use crate::zorder::{deinterleave, prefix_bits_at_depth, ZKey};
+
+/// A per-segment prefix mask: `prefix[j]` holds the top `bits[j]` bits of
+/// segment `j`'s symbol, right-aligned (so `prefix[j] < 2^bits[j]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IsaxMask {
+    prefix: Box<[u8]>,
+    bits: Box<[u8]>,
+}
+
+impl IsaxMask {
+    /// The root mask: zero bits in every segment (matches everything).
+    pub fn root(segments: usize) -> Self {
+        IsaxMask {
+            prefix: vec![0u8; segments].into_boxed_slice(),
+            bits: vec![0u8; segments].into_boxed_slice(),
+        }
+    }
+
+    /// A mask from explicit prefixes and bit counts.
+    pub fn new(prefix: Box<[u8]>, bits: Box<[u8]>) -> Self {
+        debug_assert_eq!(prefix.len(), bits.len());
+        debug_assert!(prefix.iter().zip(bits.iter()).all(|(&p, &b)| b == 8 || p < (1 << b)));
+        IsaxMask { prefix, bits }
+    }
+
+    /// The full-resolution mask of one SAX word.
+    pub fn full(symbols: &[u8], card_bits: u8) -> Self {
+        IsaxMask {
+            prefix: symbols.into(),
+            bits: vec![card_bits; symbols.len()].into_boxed_slice(),
+        }
+    }
+
+    /// The mask of a z-order trie node: the first `depth` interleaved bits
+    /// of `key` (paper Coconut-Trie node identity).
+    pub fn from_zorder_prefix(key: ZKey, depth: usize, config: &SaxConfig) -> Self {
+        let bits = prefix_bits_at_depth(depth, config);
+        let symbols = deinterleave(key, config.segments, config.card_bits);
+        let prefix: Vec<u8> = symbols
+            .iter()
+            .zip(bits.iter())
+            .map(|(&s, &b)| if b == 0 { 0 } else { s >> (config.card_bits - b) })
+            .collect();
+        IsaxMask { prefix: prefix.into(), bits: bits.into() }
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Prefix values, right-aligned per segment.
+    pub fn prefix(&self) -> &[u8] {
+        &self.prefix
+    }
+
+    /// Bits used per segment.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Whether a full-cardinality SAX word falls under this mask.
+    pub fn matches(&self, symbols: &[u8], card_bits: u8) -> bool {
+        debug_assert_eq!(symbols.len(), self.prefix.len());
+        self.prefix.iter().zip(self.bits.iter()).zip(symbols.iter()).all(
+            |((&p, &b), &s)| b == 0 || (s >> (card_bits - b)) == p,
+        )
+    }
+
+    /// The two children produced by splitting on `segment` (adding one bit).
+    /// Panics if the segment is already at full cardinality `card_bits`.
+    pub fn split(&self, segment: usize, card_bits: u8) -> (IsaxMask, IsaxMask) {
+        assert!(
+            self.bits[segment] < card_bits,
+            "segment {segment} already at full cardinality"
+        );
+        let mut bits = self.bits.clone();
+        bits[segment] += 1;
+        let mut left_prefix = self.prefix.clone();
+        left_prefix[segment] <<= 1;
+        let mut right_prefix = left_prefix.clone();
+        right_prefix[segment] |= 1;
+        (
+            IsaxMask { prefix: left_prefix, bits: bits.clone() },
+            IsaxMask { prefix: right_prefix, bits },
+        )
+    }
+
+    /// Which child of a split on `segment` a word belongs to (0 or 1): the
+    /// next unprefixed bit of that segment.
+    pub fn child_of(&self, segment: usize, symbol: u8, card_bits: u8) -> usize {
+        let b = self.bits[segment];
+        debug_assert!(b < card_bits);
+        ((symbol >> (card_bits - b - 1)) & 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zorder::interleave;
+
+    #[test]
+    fn root_matches_everything() {
+        let m = IsaxMask::root(4);
+        assert!(m.matches(&[0, 255, 17, 99], 8));
+        assert!(m.matches(&[0, 0, 0, 0], 8));
+    }
+
+    #[test]
+    fn full_matches_only_itself() {
+        let m = IsaxMask::full(&[10, 20, 30], 8);
+        assert!(m.matches(&[10, 20, 30], 8));
+        assert!(!m.matches(&[10, 20, 31], 8));
+        assert!(!m.matches(&[11, 20, 30], 8));
+    }
+
+    #[test]
+    fn split_partitions_matching_words() {
+        let root = IsaxMask::root(2);
+        let (l, r) = root.split(0, 8);
+        // Words with top bit 0 in segment 0 go left, top bit 1 right.
+        assert!(l.matches(&[0x3f, 200], 8));
+        assert!(!r.matches(&[0x3f, 200], 8));
+        assert!(r.matches(&[0x80, 0], 8));
+        assert!(!l.matches(&[0x80, 0], 8));
+        assert_eq!(root.child_of(0, 0x3f, 8), 0);
+        assert_eq!(root.child_of(0, 0x80, 8), 1);
+        // Splitting further refines the same segment.
+        let (ll, lr) = l.split(0, 8);
+        assert!(ll.matches(&[0x20, 0], 8)); // 0b0010_0000 -> bits 00
+        assert!(lr.matches(&[0x60, 0], 8)); // 0b0110_0000 -> bits 01
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_at_full_cardinality_panics() {
+        let m = IsaxMask::full(&[1, 2], 8);
+        let _ = m.split(0, 8);
+    }
+
+    #[test]
+    fn zorder_prefix_node_matches_member_keys() {
+        let cfg = SaxConfig { series_len: 64, segments: 4, card_bits: 4 };
+        let symbols = [0b1010u8, 0b0110, 0b0001, 0b1111];
+        let key = interleave(&symbols, cfg.card_bits);
+        for depth in 0..=16usize {
+            let mask = IsaxMask::from_zorder_prefix(key, depth, &cfg);
+            assert!(mask.matches(&symbols, cfg.card_bits), "depth {depth}");
+            let total: usize = mask.bits().iter().map(|&b| b as usize).sum();
+            assert_eq!(total, depth, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn zorder_prefix_excludes_non_members() {
+        let cfg = SaxConfig { series_len: 64, segments: 2, card_bits: 4 };
+        let a = [0b1010u8, 0b0110];
+        let b = [0b0010u8, 0b0110]; // differs in segment 0's top bit
+        let key_a = interleave(&a, 4);
+        // Depth 1 assigns segment 0's top bit.
+        let mask = IsaxMask::from_zorder_prefix(key_a, 1, &cfg);
+        assert!(mask.matches(&a, 4));
+        assert!(!mask.matches(&b, 4));
+    }
+}

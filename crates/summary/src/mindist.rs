@@ -1,0 +1,320 @@
+//! Lower-bounding distances (MINDIST) between queries and summarizations.
+//!
+//! The pruning power of a SAX index rests on one invariant: for any query
+//! `q` and any series `s`,
+//!
+//! ```text
+//! mindist(PAA(q), SAX(s))  <=  euclidean(q, s)
+//! ```
+//!
+//! so a node (or record) whose mindist exceeds the best-so-far can be
+//! skipped without inspecting raw data. The sortable summarization inherits
+//! the same bound because interleaving is a bijection (paper Section 4.1:
+//! "we therefore do not lose anything in terms of the ability to prune").
+//!
+//! Three granularities are provided: full-cardinality SAX words (records),
+//! iSAX masks (index nodes), and z-order keys (records in Coconut indexes,
+//! decoded on the fly without allocation).
+
+use crate::breakpoints::region;
+use crate::config::SaxConfig;
+use crate::isax::IsaxMask;
+use crate::zorder::ZKey;
+
+/// Squared distance from `value` to the interval `[lo, hi)`; zero inside.
+#[inline]
+fn dist_to_region_sq(value: f64, lo: f64, hi: f64) -> f64 {
+    if value < lo {
+        let d = lo - value;
+        d * d
+    } else if value > hi {
+        let d = value - hi;
+        d * d
+    } else {
+        0.0
+    }
+}
+
+/// MINDIST between a query's PAA and a full-cardinality SAX word
+/// (squared, unscaled). Multiply by `series_len / segments` and take the
+/// square root via [`finish`] to obtain the distance bound.
+#[inline]
+pub fn mindist_sq_raw(query_paa: &[f64], symbols: &[u8], card_bits: u8) -> f64 {
+    debug_assert_eq!(query_paa.len(), symbols.len());
+    let mut acc = 0.0f64;
+    for (&p, &s) in query_paa.iter().zip(symbols.iter()) {
+        let (lo, hi) = region(card_bits, s);
+        acc += dist_to_region_sq(p, lo, hi);
+    }
+    acc
+}
+
+/// Scale a raw squared mindist into a distance: `sqrt(len/w * raw)`.
+#[inline]
+pub fn finish(raw_sq: f64, config: &SaxConfig) -> f64 {
+    (config.series_len as f64 / config.segments as f64 * raw_sq).sqrt()
+}
+
+/// MINDIST between a query's PAA and a SAX word, as a distance.
+pub fn mindist_paa_sax(query_paa: &[f64], symbols: &[u8], config: &SaxConfig) -> f64 {
+    finish(mindist_sq_raw(query_paa, symbols, config.card_bits), config)
+}
+
+/// MINDIST between a query's PAA and an iSAX node mask: segments with zero
+/// prefix bits contribute nothing (their region is unbounded).
+pub fn mindist_paa_isax(query_paa: &[f64], mask: &IsaxMask, config: &SaxConfig) -> f64 {
+    debug_assert_eq!(query_paa.len(), mask.segments());
+    let mut acc = 0.0f64;
+    for ((&p, &b), &prefix) in query_paa.iter().zip(mask.bits()).zip(mask.prefix()) {
+        if b == 0 {
+            continue;
+        }
+        let (lo, hi) = region(b, prefix);
+        acc += dist_to_region_sq(p, lo, hi);
+    }
+    finish(acc, config)
+}
+
+/// MINDIST between a query's PAA and a z-order key (allocation-free: the
+/// key is decoded into a stack buffer). This is the inner loop of the SIMS
+/// exact-search scan.
+#[inline]
+pub fn mindist_paa_zkey(query_paa: &[f64], key: ZKey, config: &SaxConfig) -> f64 {
+    let mut symbols = [0u8; 32];
+    crate::zorder::deinterleave_into(key, config.segments, config.card_bits, &mut symbols[..config.segments]);
+    finish(mindist_sq_raw(query_paa, &symbols[..config.segments], config.card_bits), config)
+}
+
+/// Squared distance between two intervals (0 when they overlap).
+#[inline]
+fn interval_dist_sq(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
+    if a_hi < b_lo {
+        let d = b_lo - a_hi;
+        d * d
+    } else if b_hi < a_lo {
+        let d = a_lo - b_hi;
+        d * d
+    } else {
+        0.0
+    }
+}
+
+/// DTW index bound: distance between the query envelope's per-segment
+/// bounds (`env_lo[j] = min` of the lower envelope over segment `j`,
+/// `env_hi[j] = max` of the upper envelope) and a SAX word's regions.
+///
+/// The chain `mindist_env <= LB_Keogh <= DTW` holds because (a) widening
+/// the envelope to per-segment min/max intervals only lowers LB_Keogh,
+/// (b) the per-point sum dominates `len_j * d(segment mean, interval)^2`
+/// by convexity, and (c) the segment mean lies inside the SAX region.
+pub fn mindist_env_sax(
+    env_lo: &[f64],
+    env_hi: &[f64],
+    symbols: &[u8],
+    config: &SaxConfig,
+) -> f64 {
+    debug_assert_eq!(env_lo.len(), symbols.len());
+    let mut acc = 0.0f64;
+    for ((&lo, &hi), &s) in env_lo.iter().zip(env_hi.iter()).zip(symbols.iter()) {
+        let (r_lo, r_hi) = region(config.card_bits, s);
+        acc += interval_dist_sq(lo, hi, r_lo, r_hi);
+    }
+    finish(acc, config)
+}
+
+/// [`mindist_env_sax`] against a z-order key (decoded on the fly).
+#[inline]
+pub fn mindist_env_zkey(env_lo: &[f64], env_hi: &[f64], key: ZKey, config: &SaxConfig) -> f64 {
+    let mut symbols = [0u8; 32];
+    crate::zorder::deinterleave_into(key, config.segments, config.card_bits, &mut symbols[..config.segments]);
+    mindist_env_sax(env_lo, env_hi, &symbols[..config.segments], config)
+}
+
+/// Per-segment (min of lower, max of upper) bounds of a DTW query
+/// envelope — the index-level companion of `coconut_series::dtw::Envelope`.
+pub fn envelope_segment_bounds(
+    env_lower: &[coconut_series::Value],
+    env_upper: &[coconut_series::Value],
+    segments: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = env_lower.len();
+    debug_assert_eq!(n, env_upper.len());
+    let mut lo = vec![f64::INFINITY; segments];
+    let mut hi = vec![f64::NEG_INFINITY; segments];
+    // Per-segment point ranges mirror the PAA segmentation (fractional
+    // boundary points belong to both neighbors, keeping the bound valid).
+    let seg = n as f64 / segments as f64;
+    for j in 0..segments {
+        let start = (j as f64 * seg).floor() as usize;
+        let end = (((j + 1) as f64 * seg).ceil() as usize).min(n);
+        for i in start..end {
+            lo[j] = lo[j].min(env_lower[i] as f64);
+            hi[j] = hi[j].max(env_upper[i] as f64);
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paa::paa;
+    use crate::sax::sax_word;
+    use crate::zorder::interleave;
+    use coconut_series::distance::euclidean;
+    use coconut_series::Value;
+
+    fn cfg() -> SaxConfig {
+        SaxConfig { series_len: 64, segments: 8, card_bits: 8 }
+    }
+
+    fn wavy(seed: u32, len: usize) -> Vec<Value> {
+        let mut s: Vec<Value> = (0..len)
+            .map(|i| ((i as f32 * 0.17 + seed as f32) * 1.3).sin() * (1.0 + (seed % 5) as f32))
+            .collect();
+        coconut_series::distance::znormalize(&mut s);
+        s
+    }
+
+    #[test]
+    fn mindist_lower_bounds_euclidean() {
+        let c = cfg();
+        for qa in 0..10u32 {
+            let q = wavy(qa, c.series_len);
+            let qp = paa(&q, c.segments);
+            for sb in 10..30u32 {
+                let s = wavy(sb, c.series_len);
+                let word = sax_word(&s, &c);
+                let md = mindist_paa_sax(&qp, word.symbols(), &c);
+                let ed = euclidean(&q, &s);
+                assert!(md <= ed + 1e-6, "mindist {md} > ed {ed} (q={qa} s={sb})");
+            }
+        }
+    }
+
+    #[test]
+    fn zkey_mindist_equals_sax_mindist() {
+        let c = cfg();
+        let q = wavy(3, c.series_len);
+        let qp = paa(&q, c.segments);
+        for sb in 0..20u32 {
+            let s = wavy(sb + 50, c.series_len);
+            let word = sax_word(&s, &c);
+            let key = interleave(word.symbols(), c.card_bits);
+            let via_sax = mindist_paa_sax(&qp, word.symbols(), &c);
+            let via_key = mindist_paa_zkey(&qp, key, &c);
+            assert!((via_sax - via_key).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn isax_mindist_is_monotone_in_refinement() {
+        // More prefix bits -> tighter (larger) bound, never looser, and the
+        // full mask equals the SAX mindist.
+        let c = cfg();
+        let q = wavy(7, c.series_len);
+        let qp = paa(&q, c.segments);
+        let s = wavy(77, c.series_len);
+        let word = sax_word(&s, &c);
+        let key = interleave(word.symbols(), c.card_bits);
+        let mut prev = -1.0f64;
+        for depth in 0..=c.word_bits() {
+            let mask = IsaxMask::from_zorder_prefix(key, depth, &c);
+            let md = mindist_paa_isax(&qp, &mask, &c);
+            assert!(md >= prev - 1e-12, "depth {depth}: {md} < {prev}");
+            prev = md;
+        }
+        let full = mindist_paa_sax(&qp, word.symbols(), &c);
+        assert!((prev - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_mindist_lower_bounds_member_distance() {
+        let c = cfg();
+        let q = wavy(1, c.series_len);
+        let qp = paa(&q, c.segments);
+        for sb in 0..10u32 {
+            let s = wavy(sb + 20, c.series_len);
+            let word = sax_word(&s, &c);
+            let key = interleave(word.symbols(), c.card_bits);
+            let ed = euclidean(&q, &s);
+            for depth in [0usize, 3, 8, 16, 64] {
+                let mask = IsaxMask::from_zorder_prefix(key, depth, &c);
+                let md = mindist_paa_isax(&qp, &mask, &c);
+                assert!(md <= ed + 1e-6, "depth {depth}: {md} > {ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mindist_zero_when_query_matches_regions() {
+        let c = cfg();
+        let s = wavy(9, c.series_len);
+        let sp = paa(&s, c.segments);
+        let word = sax_word(&s, &c);
+        // A query with the same PAA is inside every region: mindist 0.
+        let md = mindist_paa_sax(&sp, word.symbols(), &c);
+        assert_eq!(md, 0.0);
+    }
+
+    #[test]
+    fn root_mask_mindist_is_zero() {
+        let c = cfg();
+        let q = wavy(4, c.series_len);
+        let qp = paa(&q, c.segments);
+        let root = IsaxMask::root(c.segments);
+        assert_eq!(mindist_paa_isax(&qp, &root, &c), 0.0);
+    }
+
+    #[test]
+    fn envelope_mindist_lower_bounds_dtw() {
+        use coconut_series::dtw::{dtw, Envelope};
+        let c = cfg();
+        for seed in 0..15u32 {
+            let q = wavy(seed, c.series_len);
+            let s = wavy(seed + 40, c.series_len);
+            for band in [1usize, 4, 10] {
+                let env = Envelope::new(&q, band);
+                let (lo, hi) = envelope_segment_bounds(&env.lower, &env.upper, c.segments);
+                let word = sax_word(&s, &c);
+                let md = mindist_env_sax(&lo, &hi, word.symbols(), &c);
+                let d = dtw(&q, &s, band);
+                assert!(md <= d + 1e-5, "seed {seed} band {band}: {md} > {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_mindist_never_exceeds_ed_mindist() {
+        // Band 0 envelope equals the query; the interval bound is at most
+        // as tight as the point bound.
+        use coconut_series::dtw::Envelope;
+        let c = cfg();
+        let q = wavy(3, c.series_len);
+        let qp = paa(&q, c.segments);
+        let env = Envelope::new(&q, 0);
+        let (lo, hi) = envelope_segment_bounds(&env.lower, &env.upper, c.segments);
+        for seed in 0..10u32 {
+            let s = wavy(seed + 60, c.series_len);
+            let word = sax_word(&s, &c);
+            let env_md = mindist_env_sax(&lo, &hi, word.symbols(), &c);
+            let ed_md = mindist_paa_sax(&qp, word.symbols(), &c);
+            assert!(env_md <= ed_md + 1e-9);
+        }
+    }
+
+    #[test]
+    fn envelope_zkey_agrees_with_sax() {
+        use coconut_series::dtw::Envelope;
+        let c = cfg();
+        let q = wavy(8, c.series_len);
+        let env = Envelope::new(&q, 5);
+        let (lo, hi) = envelope_segment_bounds(&env.lower, &env.upper, c.segments);
+        let s = wavy(90, c.series_len);
+        let word = sax_word(&s, &c);
+        let key = interleave(word.symbols(), c.card_bits);
+        let a = mindist_env_sax(&lo, &hi, word.symbols(), &c);
+        let b = mindist_env_zkey(&lo, &hi, key, &c);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! Sortable summarizations: the paper's Algorithm 1.
+//!
+//! Existing summarizations lay segment symbols out one after another, so
+//! sorting them lexicographically orders series by their *first* segment
+//! only (paper Figure 2). `interleave` instead emits, for each bit level
+//! from most to least significant, the bit of every segment in series order
+//! — all significant bits precede all less significant bits. The resulting
+//! integer positions the series on a z-order (Morton) space-filling curve
+//! (paper Figure 4): sorting the keys keeps similar series adjacent.
+//!
+//! The transform is a bijection on the symbol vector, so it "contains the
+//! same amount of information as the original summarization" — pruning
+//! power is untouched, and [`deinterleave`] recovers the SAX word for
+//! lower-bound computations.
+//!
+//! With the paper's default of 16 segments × 8 bits, a key is exactly one
+//! `u128`; any configuration with `segments * card_bits <= 128` is
+//! supported. Keys are kept in the **low** `segments * card_bits` bits, so
+//! all keys of one index (same configuration) order consistently.
+
+use crate::config::SaxConfig;
+
+/// A sortable summarization: the bit-interleaved SAX word.
+///
+/// `Ord` on `ZKey` is the z-order curve ordering — the ordering that makes
+/// bottom-up bulk loading possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ZKey(pub u128);
+
+impl ZKey {
+    /// The smallest key.
+    pub const MIN: ZKey = ZKey(0);
+    /// The largest possible key (for any configuration).
+    pub const MAX: ZKey = ZKey(u128::MAX);
+
+    /// Bit `level` of the key counting from the *top* of a
+    /// `total_bits`-wide key: level 0 is the most significant interleaved
+    /// bit (segment 0's top bit). Used by trie descent.
+    #[inline]
+    pub fn bit(&self, level: usize, total_bits: usize) -> u8 {
+        debug_assert!(level < total_bits);
+        ((self.0 >> (total_bits - 1 - level)) & 1) as u8
+    }
+
+    /// The key truncated to its first `depth` (most significant) bits, with
+    /// the rest zeroed — the smallest key in the node covering this prefix.
+    #[inline]
+    pub fn prefix(&self, depth: usize, total_bits: usize) -> ZKey {
+        debug_assert!(depth <= total_bits);
+        if depth == 0 {
+            return ZKey(0);
+        }
+        let keep = u128::MAX << (total_bits - depth).min(127);
+        let keep = if total_bits - depth >= 128 { 0 } else { keep };
+        // Mask relative to the used width.
+        let width_mask = if total_bits >= 128 { u128::MAX } else { (1u128 << total_bits) - 1 };
+        ZKey(self.0 & keep & width_mask)
+    }
+}
+
+/// Interleave `symbols` (one per segment, each holding `card_bits`
+/// significant bits) into a z-order key — Algorithm 1 (`invertSum`).
+#[inline]
+pub fn interleave(symbols: &[u8], card_bits: u8) -> ZKey {
+    let w = symbols.len();
+    debug_assert!(w * card_bits as usize <= 128);
+    let mut key: u128 = 0;
+    // "for each bit i of a segment (most significant first): for each
+    //  segment j: append bit i of segment j"
+    for i in (0..card_bits).rev() {
+        for &s in symbols {
+            key = (key << 1) | ((s >> i) & 1) as u128;
+        }
+    }
+    ZKey(key)
+}
+
+/// Recover the SAX symbols from a z-order key (the inverse of
+/// [`interleave`]).
+#[inline]
+pub fn deinterleave_into(key: ZKey, segments: usize, card_bits: u8, out: &mut [u8]) {
+    debug_assert_eq!(out.len(), segments);
+    out[..segments].fill(0);
+    let total = segments * card_bits as usize;
+    let mut pos = 0usize;
+    for i in (0..card_bits).rev() {
+        for symbol in out.iter_mut().take(segments) {
+            let bit = ((key.0 >> (total - 1 - pos)) & 1) as u8;
+            *symbol |= bit << i;
+            pos += 1;
+        }
+    }
+}
+
+/// Recover the SAX symbols from a z-order key into a fresh vector.
+pub fn deinterleave(key: ZKey, segments: usize, card_bits: u8) -> Vec<u8> {
+    let mut out = vec![0u8; segments];
+    deinterleave_into(key, segments, card_bits, &mut out);
+    out
+}
+
+/// The *unsortable* ordering used as an ablation: symbols packed
+/// segment-after-segment (plain lexicographic SAX order, paper Figure 2).
+pub fn lexicographic_key(symbols: &[u8], card_bits: u8) -> ZKey {
+    let w = symbols.len();
+    debug_assert!(w * card_bits as usize <= 128);
+    let mut key: u128 = 0;
+    for &s in symbols {
+        key = (key << card_bits) | (s as u128 & ((1u128 << card_bits) - 1));
+    }
+    ZKey(key)
+}
+
+/// Per-segment prefix lengths of a z-order trie node at `depth`: segment `j`
+/// has `(depth + w - 1 - j) / w` assigned bits. A z-order prefix is exactly
+/// an iSAX node whose per-segment cardinalities differ by at most one bit —
+/// the paper's Coconut-Trie node shape.
+pub fn prefix_bits_at_depth(depth: usize, config: &SaxConfig) -> Vec<u8> {
+    let w = config.segments;
+    (0..w).map(|j| ((depth + w - 1 - j) / w) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure4_example() {
+        // S1=ec=(100,010), S2=ee=(100,100), S3=fc=(101,010), S4=ge=(110,100)
+        // with 3-bit symbols. Sorted by z-order the similar pairs are
+        // adjacent: S1,S3 then S2,S4 — unlike lexicographic order.
+        let s1 = interleave(&[0b100, 0b010], 3);
+        let s2 = interleave(&[0b100, 0b100], 3);
+        let s3 = interleave(&[0b101, 0b010], 3);
+        let s4 = interleave(&[0b110, 0b100], 3);
+        assert_eq!(s1.0, 0b100100);
+        assert_eq!(s2.0, 0b110000);
+        assert_eq!(s3.0, 0b100110);
+        assert_eq!(s4.0, 0b111000);
+        let mut order = [("S1", s1), ("S2", s2), ("S3", s3), ("S4", s4)];
+        order.sort_by_key(|&(_, k)| k);
+        let names: Vec<&str> = order.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, vec!["S1", "S3", "S2", "S4"]);
+
+        // Lexicographic order shows the pathology: S1,S2 adjacent instead.
+        let mut lex = [
+            ("S1", lexicographic_key(&[0b100, 0b010], 3)),
+            ("S2", lexicographic_key(&[0b100, 0b100], 3)),
+            ("S3", lexicographic_key(&[0b101, 0b010], 3)),
+            ("S4", lexicographic_key(&[0b110, 0b100], 3)),
+        ];
+        lex.sort_by_key(|&(_, k)| k);
+        let names: Vec<&str> = lex.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, vec!["S1", "S2", "S3", "S4"]);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for (w, bits) in [(1usize, 8u8), (2, 4), (4, 8), (16, 8), (32, 4), (16, 1), (3, 5)] {
+            let symbols: Vec<u8> = (0..w)
+                .map(|j| ((j * 37 + 11) % (1 << bits)) as u8)
+                .collect();
+            let key = interleave(&symbols, bits);
+            assert_eq!(deinterleave(key, w, bits), symbols, "w={w} bits={bits}");
+        }
+    }
+
+    #[test]
+    fn full_128_bit_key_roundtrip() {
+        let symbols: Vec<u8> = (0..16).map(|j| (j * 17) as u8).collect();
+        let key = interleave(&symbols, 8);
+        assert_eq!(deinterleave(key, 16, 8), symbols);
+        // All-ones uses all 128 bits.
+        let ones = vec![0xffu8; 16];
+        assert_eq!(interleave(&ones, 8).0, u128::MAX);
+    }
+
+    #[test]
+    fn bit_accessor_walks_msb_first() {
+        let key = interleave(&[0b10, 0b01], 2); // bits: 1,0 (level0) 0,1 (level1)
+        let total = 4;
+        assert_eq!(key.bit(0, total), 1);
+        assert_eq!(key.bit(1, total), 0);
+        assert_eq!(key.bit(2, total), 0);
+        assert_eq!(key.bit(3, total), 1);
+    }
+
+    #[test]
+    fn prefix_masks_low_bits() {
+        let key = ZKey(0b101101);
+        let total = 6;
+        assert_eq!(key.prefix(0, total).0, 0);
+        assert_eq!(key.prefix(2, total).0, 0b100000);
+        assert_eq!(key.prefix(5, total).0, 0b101100);
+        assert_eq!(key.prefix(6, total).0, 0b101101);
+    }
+
+    #[test]
+    fn prefix_works_at_128_bits() {
+        let key = ZKey(u128::MAX);
+        assert_eq!(key.prefix(0, 128).0, 0);
+        assert_eq!(key.prefix(1, 128).0, 1u128 << 127);
+        assert_eq!(key.prefix(128, 128).0, u128::MAX);
+    }
+
+    #[test]
+    fn more_significant_bits_dominate_ordering() {
+        // Changing a high bit of any segment must move the key more than
+        // changing any lower bit of any segment.
+        let base = [0b1000u8, 0b1000, 0b1000, 0b1000];
+        let base_key = interleave(&base, 4);
+        let mut high = base;
+        high[3] ^= 0b1000; // top bit of last segment
+        let mut low = base;
+        low[0] ^= 0b0001; // bottom bit of first segment
+        let dh = interleave(&high, 4).0.abs_diff(base_key.0);
+        let dl = interleave(&low, 4).0.abs_diff(base_key.0);
+        assert!(dh > dl);
+    }
+
+    #[test]
+    fn prefix_bits_at_depth_shape() {
+        let cfg = SaxConfig { series_len: 64, segments: 4, card_bits: 2 };
+        assert_eq!(prefix_bits_at_depth(0, &cfg), vec![0, 0, 0, 0]);
+        assert_eq!(prefix_bits_at_depth(1, &cfg), vec![1, 0, 0, 0]);
+        assert_eq!(prefix_bits_at_depth(4, &cfg), vec![1, 1, 1, 1]);
+        assert_eq!(prefix_bits_at_depth(6, &cfg), vec![2, 2, 1, 1]);
+        assert_eq!(prefix_bits_at_depth(8, &cfg), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn zkey_ordering_is_total_and_consistent() {
+        let keys: Vec<ZKey> = (0..100u8)
+            .map(|i| interleave(&[i, 100 - i, i / 2, 3], 8))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        for pair in sorted.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+}

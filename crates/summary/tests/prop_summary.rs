@@ -1,0 +1,162 @@
+//! Property-based tests for the summarization pipeline.
+//!
+//! These check the invariants the paper's correctness rests on, over
+//! arbitrary inputs:
+//!
+//! 1. interleave/deinterleave is a bijection (sortable summarizations lose
+//!    no information — Section 4.1);
+//! 2. MINDIST lower-bounds the true Euclidean distance for every
+//!    granularity (word, node mask, z-order key);
+//! 3. refining an iSAX mask never loosens the bound;
+//! 4. z-ordering preserves the prefix structure (a key's trie node always
+//!    contains the key).
+
+use coconut_series::distance::{euclidean, znormalize};
+use coconut_series::Value;
+use coconut_summary::breakpoints::symbol_for;
+use coconut_summary::config::SaxConfig;
+use coconut_summary::isax::IsaxMask;
+use coconut_summary::mindist::{mindist_paa_isax, mindist_paa_sax, mindist_paa_zkey};
+use coconut_summary::paa::paa;
+use coconut_summary::sax::sax_word;
+use coconut_summary::zorder::{deinterleave, interleave, lexicographic_key};
+use proptest::prelude::*;
+
+fn series_strategy(len: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(-1000.0f32..1000.0f32, len)
+}
+
+fn znormed(len: usize) -> impl Strategy<Value = Vec<Value>> {
+    series_strategy(len).prop_map(|mut s| {
+        znormalize(&mut s);
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn interleave_roundtrips(symbols in proptest::collection::vec(any::<u8>(), 1..=16)) {
+        let key = interleave(&symbols, 8);
+        prop_assert_eq!(deinterleave(key, symbols.len(), 8), symbols);
+    }
+
+    #[test]
+    fn interleave_roundtrips_small_cardinality(
+        symbols in proptest::collection::vec(0u8..16, 1..=32),
+    ) {
+        let key = interleave(&symbols, 4);
+        prop_assert_eq!(deinterleave(key, symbols.len(), 4), symbols);
+    }
+
+    #[test]
+    fn interleave_is_injective(
+        a in proptest::collection::vec(any::<u8>(), 16),
+        b in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let ka = interleave(&a, 8);
+        let kb = interleave(&b, 8);
+        prop_assert_eq!(ka == kb, a == b);
+    }
+
+    #[test]
+    fn mindist_word_lower_bounds_euclidean(
+        q in znormed(64),
+        s in znormed(64),
+    ) {
+        let cfg = SaxConfig { series_len: 64, segments: 8, card_bits: 8 };
+        let qp = paa(&q, cfg.segments);
+        let word = sax_word(&s, &cfg);
+        let md = mindist_paa_sax(&qp, word.symbols(), &cfg);
+        let ed = euclidean(&q, &s);
+        prop_assert!(md <= ed + 1e-4, "mindist {} > euclidean {}", md, ed);
+    }
+
+    #[test]
+    fn mindist_zkey_agrees_with_word(
+        q in znormed(64),
+        s in znormed(64),
+    ) {
+        let cfg = SaxConfig { series_len: 64, segments: 8, card_bits: 8 };
+        let qp = paa(&q, cfg.segments);
+        let word = sax_word(&s, &cfg);
+        let key = interleave(word.symbols(), cfg.card_bits);
+        let a = mindist_paa_sax(&qp, word.symbols(), &cfg);
+        let b = mindist_paa_zkey(&qp, key, &cfg);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mask_refinement_is_monotone(
+        q in znormed(64),
+        s in znormed(64),
+        depth_a in 0usize..=64,
+        depth_b in 0usize..=64,
+    ) {
+        let cfg = SaxConfig { series_len: 64, segments: 8, card_bits: 8 };
+        let (lo, hi) = if depth_a <= depth_b { (depth_a, depth_b) } else { (depth_b, depth_a) };
+        let qp = paa(&q, cfg.segments);
+        let word = sax_word(&s, &cfg);
+        let key = interleave(word.symbols(), cfg.card_bits);
+        let coarse = mindist_paa_isax(&qp, &IsaxMask::from_zorder_prefix(key, lo, &cfg), &cfg);
+        let fine = mindist_paa_isax(&qp, &IsaxMask::from_zorder_prefix(key, hi, &cfg), &cfg);
+        prop_assert!(coarse <= fine + 1e-9);
+        let ed = euclidean(&q, &s);
+        prop_assert!(fine <= ed + 1e-4);
+    }
+
+    #[test]
+    fn node_mask_contains_its_key(
+        s in znormed(64),
+        depth in 0usize..=64,
+    ) {
+        let cfg = SaxConfig { series_len: 64, segments: 8, card_bits: 8 };
+        let word = sax_word(&s, &cfg);
+        let key = interleave(word.symbols(), cfg.card_bits);
+        let mask = IsaxMask::from_zorder_prefix(key, depth, &cfg);
+        prop_assert!(mask.matches(word.symbols(), cfg.card_bits));
+    }
+
+    #[test]
+    fn symbol_prefix_property_holds_for_all_values(v in -50.0f64..50.0) {
+        let fine = symbol_for(8, v);
+        for bits in 1..=8u8 {
+            prop_assert_eq!(fine >> (8 - bits), symbol_for(bits, v));
+        }
+    }
+
+    #[test]
+    fn shared_zorder_prefix_implies_shared_sax_prefixes(
+        a in proptest::collection::vec(any::<u8>(), 8),
+        b in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        // If two keys agree on their first d interleaved bits, then for
+        // every segment the symbols agree on their first (d assigned) bits.
+        let cfg = SaxConfig { series_len: 64, segments: 8, card_bits: 8 };
+        let ka = interleave(&a, 8);
+        let kb = interleave(&b, 8);
+        let total = cfg.word_bits();
+        let mut common = 0usize;
+        while common < total && ka.bit(common, total) == kb.bit(common, total) {
+            common += 1;
+        }
+        let mask_a = IsaxMask::from_zorder_prefix(ka, common, &cfg);
+        prop_assert!(mask_a.matches(&b, 8),
+            "b must fall under a's node at the common depth {}", common);
+    }
+
+    #[test]
+    fn lexicographic_key_sorts_by_first_segment(
+        a in proptest::collection::vec(any::<u8>(), 4),
+        b in proptest::collection::vec(any::<u8>(), 4),
+    ) {
+        // Sanity for the ablation: lexicographic keys compare first by
+        // segment 0, ignoring all other segments unless tied.
+        if a[0] != b[0] {
+            let ka = lexicographic_key(&a, 8);
+            let kb = lexicographic_key(&b, 8);
+            prop_assert_eq!(ka < kb, a[0] < b[0]);
+        }
+    }
+}

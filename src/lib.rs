@@ -1,0 +1,63 @@
+//! # Coconut — scalable bottom-up data series indexes
+//!
+//! This crate is the facade of a workspace that reproduces
+//! *"Coconut: A Scalable Bottom-Up Approach for Building Data Series
+//! Indexes"* (Kondylakis, Dayan, Zoumpatianos, Palpanas — VLDB 2018).
+//!
+//! It re-exports the member crates:
+//!
+//! * [`series`] — data series model, distances, dataset files, generators.
+//! * [`summary`] — PAA / SAX / iSAX summarizations and the paper's sortable
+//!   (bit-interleaved, z-ordered) summarization.
+//! * [`storage`] — disk-access-model I/O accounting, page cache, external
+//!   sort.
+//! * [`index`] — Coconut-Tree and Coconut-Trie (the paper's contribution).
+//! * [`baselines`] — iSAX 2.0, ADS+/ADSFull, STR R-tree, DSTree, Vertical
+//!   and serial scan.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use coconut::prelude::*;
+//!
+//! # fn main() -> coconut::storage::Result<()> {
+//! // 1. Generate a dataset of 10k random-walk series of length 256.
+//! let dir = TempDir::new("quickstart")?;
+//! let stats = std::sync::Arc::new(IoStats::new());
+//! let data_path = dir.path().join("data.bin");
+//! write_dataset(&data_path, &mut RandomWalkGen::new(1), 10_000, 256, &stats)?;
+//!
+//! // 2. Bulk-load a Coconut-Tree (non-materialized) over it.
+//! let dataset = Dataset::open(&data_path, std::sync::Arc::clone(&stats))?;
+//! let config = IndexConfig::default_for_len(256);
+//! let tree = CoconutTree::build(&dataset, &config, dir.path(), BuildOptions::default())?;
+//!
+//! // 3. Ask for the nearest neighbor of a fresh query.
+//! let query = RandomWalkGen::new(42).generate(256);
+//! let approx = tree.approximate_search(&query, 1)?;
+//! let (exact, _stats) = tree.exact_search(&query)?;
+//! assert!(exact.dist <= approx.dist);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use coconut_baselines as baselines;
+pub use coconut_core as index;
+pub use coconut_series as series;
+pub use coconut_storage as storage;
+pub use coconut_summary as summary;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use crate::baselines::{
+        AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
+    };
+    pub use crate::index::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
+    pub use crate::series::dataset::{write_dataset, Dataset, DatasetWriter};
+    pub use crate::series::gen::{
+        AstronomyGen, Generator, RandomWalkGen, SeismicGen,
+    };
+    pub use crate::series::index::{Answer, QueryStats, SeriesIndex};
+    pub use crate::storage::{IoStats, MemoryBudget, TempDir};
+    pub use crate::summary::config::SaxConfig;
+}

@@ -1,0 +1,123 @@
+//! Concurrency integration tests: indexes answer queries from many threads
+//! simultaneously (all query paths take `&self`), with and without a
+//! shared buffer pool.
+
+use std::sync::Arc;
+
+use coconut::baselines::SerialScan;
+use coconut::index::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
+use coconut::prelude::*;
+use coconut::series::distance::znormalize;
+use coconut::storage::PageCache;
+
+const LEN: usize = 64;
+const N: u64 = 500;
+
+fn setup() -> (TempDir, Dataset, Vec<Vec<f32>>) {
+    let dir = TempDir::new("concurrency").unwrap();
+    let stats = Arc::new(IoStats::new());
+    let path = dir.path().join("data.bin");
+    let mut generator = RandomWalkGen::new(77);
+    write_dataset(&path, &mut generator, N, LEN, &stats).unwrap();
+    let dataset = Dataset::open(&path, stats).unwrap();
+    let queries = (0..16u64)
+        .map(|i| {
+            let mut q = RandomWalkGen::new(3000 + i).generate(LEN);
+            znormalize(&mut q);
+            q
+        })
+        .collect();
+    (dir, dataset, queries)
+}
+
+fn config() -> IndexConfig {
+    let mut c = IndexConfig::default_for_len(LEN);
+    c.leaf_capacity = 32;
+    c
+}
+
+#[test]
+fn parallel_exact_queries_agree_with_scan() {
+    let (dir, dataset, queries) = setup();
+    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
+    let tree =
+        Arc::new(CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap());
+    let trie = Arc::new(CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap());
+    let scan = SerialScan::new(&dataset);
+    let truths: Vec<u64> =
+        queries.iter().map(|q| scan.exact(q).unwrap().0.pos).collect();
+
+    std::thread::scope(|s| {
+        for worker in 0..8usize {
+            let tree = Arc::clone(&tree);
+            let trie = Arc::clone(&trie);
+            let queries = &queries;
+            let truths = &truths;
+            s.spawn(move || {
+                for (q, &want) in queries.iter().zip(truths.iter()) {
+                    let (a, _) = tree.exact_search(q).unwrap();
+                    assert_eq!(a.pos, want, "tree worker {worker}");
+                    let (b, _) = trie.exact_search(q).unwrap();
+                    assert_eq!(b.pos, want, "trie worker {worker}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn shared_buffer_pool_under_contention() {
+    let (dir, dataset, queries) = setup();
+    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: true, threads: 1 };
+    let mut tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
+    // A deliberately tiny pool: constant eviction churn while 8 threads
+    // read through it.
+    let cache = PageCache::new(4096);
+    tree.attach_cache(Arc::clone(&cache), 0);
+    let tree = Arc::new(tree);
+    let scan = SerialScan::new(&dataset);
+    let truths: Vec<u64> =
+        queries.iter().map(|q| scan.exact(q).unwrap().0.pos).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..8usize {
+            let tree = Arc::clone(&tree);
+            let queries = &queries;
+            let truths = &truths;
+            s.spawn(move || {
+                for (q, &want) in queries.iter().zip(truths.iter()) {
+                    let (a, _) = tree.exact_search(q).unwrap();
+                    assert_eq!(a.pos, want);
+                }
+            });
+        }
+    });
+    assert!(cache.stats().used_bytes <= 4096);
+}
+
+#[test]
+fn lazy_summary_load_races_are_safe() {
+    // First exact query after open() loads summaries; fire many at once.
+    let (dir, dataset, queries) = setup();
+    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+    let built = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
+    let path = built.index_path().to_path_buf();
+    drop(built);
+    let tree = Arc::new(CoconutTree::open(&path, &dataset, 2).unwrap());
+    let scan = SerialScan::new(&dataset);
+    let truths: Vec<u64> =
+        queries.iter().map(|q| scan.exact(q).unwrap().0.pos).collect();
+    std::thread::scope(|s| {
+        for _ in 0..8usize {
+            let tree = Arc::clone(&tree);
+            let queries = &queries;
+            let truths = &truths;
+            s.spawn(move || {
+                for (q, &want) in queries.iter().zip(truths.iter()) {
+                    let (a, _) = tree.exact_search(q).unwrap();
+                    assert_eq!(a.pos, want);
+                }
+            });
+        }
+    });
+}
