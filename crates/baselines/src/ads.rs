@@ -86,7 +86,16 @@ impl AdsIndex {
         variant: AdsVariant,
         threads: usize,
     ) -> Result<Self> {
-        Self::build_upto(dataset, sax, leaf_capacity, memory_bytes, dir, variant, threads, dataset.len())
+        Self::build_upto(
+            dataset,
+            sax,
+            leaf_capacity,
+            memory_bytes,
+            dir,
+            variant,
+            threads,
+            dataset.len(),
+        )
     }
 
     /// Build over positions `0..upto` only (workloads that reveal the
@@ -115,8 +124,10 @@ impl AdsIndex {
             AdsVariant::Plus => leaf_capacity * COARSE_FACTOR,
             AdsVariant::Full => leaf_capacity,
         };
-        let file =
-            Arc::new(CountedFile::create(dir.join(format!("ads-{id}.idx")), Arc::clone(&stats))?);
+        let file = Arc::new(CountedFile::create(
+            dir.join(format!("ads-{id}.idx")),
+            Arc::clone(&stats),
+        )?);
         let mut tree = PrefixTree::new(sax, tree_capacity, memory_bytes, file)?;
 
         // Pass 1: summarize and insert (word, pos); keep the words in memory
@@ -208,7 +219,8 @@ impl AdsIndex {
         for pos in self.covered_end..upto {
             self.dataset.read_into(pos, &mut buf)?;
             summarizer.sax_into(&buf, &mut word[..self.sax.segments]);
-            self.words_by_pos.extend_from_slice(&word[..self.sax.segments]);
+            self.words_by_pos
+                .extend_from_slice(&word[..self.sax.segments]);
             tree.insert(&word, pos)?;
         }
         tree.flush()?;
@@ -239,7 +251,9 @@ impl AdsIndex {
             let end = store.file.len();
             let aligned = end.div_ceil(CHUNK_ALIGN) * CHUNK_ALIGN;
             if aligned > end {
-                store.file.write_all_at(&vec![0u8; (aligned - end) as usize], end)?;
+                store
+                    .file
+                    .write_all_at(&vec![0u8; (aligned - end) as usize], end)?;
             }
             store.file.write_all_at(&buf, aligned)?;
             store.chunks[leaf as usize].push((aligned, count));
@@ -307,7 +321,10 @@ impl AdsIndex {
                     let d_sq = euclidean_sq(query, &buf);
                     if d_sq < best_sq {
                         best_sq = d_sq;
-                        best = Answer { pos: e.pos, dist: d_sq.sqrt() };
+                        best = Answer {
+                            pos: e.pos,
+                            dist: d_sq.sqrt(),
+                        };
                     }
                 }
             }
@@ -333,7 +350,10 @@ impl AdsIndex {
                         let d_sq = euclidean_sq(query, &series);
                         if d_sq < best_sq {
                             best_sq = d_sq;
-                            best = Answer { pos, dist: d_sq.sqrt() };
+                            best = Answer {
+                                pos,
+                                dist: d_sq.sqrt(),
+                            };
                         }
                     }
                 }
@@ -382,7 +402,11 @@ impl AdsIndex {
         let query_paa = paa(query, self.sax.segments);
         let mindists = self.parallel_mindists(&query_paa);
         stats.lower_bounds += mindists.len() as u64;
-        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+        let mut best_sq = if best.is_some() {
+            best.dist * best.dist
+        } else {
+            f64::INFINITY
+        };
         let mut buf = vec![0.0 as Value; self.sax.series_len];
         for (i, &md) in mindists.iter().enumerate() {
             if md >= best.dist {
@@ -395,7 +419,10 @@ impl AdsIndex {
             if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, best_sq) {
                 if d_sq < best_sq {
                     best_sq = d_sq;
-                    best = Answer { pos, dist: d_sq.sqrt() };
+                    best = Answer {
+                        pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -448,7 +475,11 @@ mod tests {
     const LEN: usize = 64;
 
     fn sax() -> SaxConfig {
-        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+        SaxConfig {
+            series_len: LEN,
+            segments: 8,
+            card_bits: 8,
+        }
     }
 
     fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
@@ -462,7 +493,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(q, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(q, s),
+            });
         }
         best
     }
@@ -505,8 +539,7 @@ mod tests {
     fn plus_adapts_on_first_visit() {
         let dir = TempDir::new("ads").unwrap();
         let ds = make_dataset(&dir, 800);
-        let idx =
-            AdsIndex::build(&ds, sax(), 8, 1 << 20, dir.path(), AdsVariant::Plus, 1).unwrap();
+        let idx = AdsIndex::build(&ds, sax(), 8, 1 << 20, dir.path(), AdsVariant::Plus, 1).unwrap();
         let leaves_before = idx.leaf_count();
         let splits_before = idx.tree_stats().splits;
         let q = query(30);
@@ -525,8 +558,7 @@ mod tests {
     fn full_payload_covers_all_series() {
         let dir = TempDir::new("ads").unwrap();
         let ds = make_dataset(&dir, 300);
-        let idx =
-            AdsIndex::build(&ds, sax(), 16, 4096, dir.path(), AdsVariant::Full, 1).unwrap();
+        let idx = AdsIndex::build(&ds, sax(), 16, 4096, dir.path(), AdsVariant::Full, 1).unwrap();
         let store = idx.payload.as_ref().unwrap();
         let total: u32 = store.chunks.iter().flatten().map(|&(_, c)| c).sum();
         assert_eq!(total, 300);
@@ -554,8 +586,7 @@ mod tests {
         let dir = TempDir::new("ads").unwrap();
         let ds = make_dataset(&dir, 400);
         for variant in [AdsVariant::Plus, AdsVariant::Full] {
-            let idx =
-                AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), variant, 1).unwrap();
+            let idx = AdsIndex::build(&ds, sax(), 16, 1 << 20, dir.path(), variant, 1).unwrap();
             for seed in 40..45 {
                 let q = query(seed);
                 let approx = idx.approximate_search(&q).unwrap();

@@ -146,21 +146,19 @@ impl DsTree {
     }
 
     /// Build by top-down insertion over all of `dataset`.
-    pub fn build(
-        dataset: &Dataset,
-        leaf_capacity: usize,
-        dir: &Path,
-    ) -> Result<Self> {
+    pub fn build(dataset: &Dataset, leaf_capacity: usize, dir: &Path) -> Result<Self> {
         if leaf_capacity == 0 {
             return Err(Error::invalid("leaf capacity must be positive"));
         }
         let id = DSTREE_ID.fetch_add(1, Ordering::Relaxed);
         let stats = Arc::clone(dataset.file().stats());
-        let file = Arc::new(CountedFile::create(dir.join(format!("dstree-{id}.idx")), stats)?);
+        let file = Arc::new(CountedFile::create(
+            dir.join(format!("dstree-{id}.idx")),
+            stats,
+        )?);
         let series_len = dataset.series_len();
         let segments = INITIAL_SEGMENTS.min(series_len);
-        let segmentation: Vec<usize> =
-            (1..=segments).map(|i| i * series_len / segments).collect();
+        let segmentation: Vec<usize> = (1..=segments).map(|i| i * series_len / segments).collect();
         let root = DsNode {
             synopsis: vec![SegStat::empty(); segmentation.len()],
             segmentation,
@@ -206,7 +204,9 @@ impl DsTree {
                     let v = if split.use_std { s } else { m };
                     node = children[usize::from(v > split.threshold)];
                 }
-                NodeKind::Leaf { buffer, disk_count, .. } => {
+                NodeKind::Leaf {
+                    buffer, disk_count, ..
+                } => {
                     buffer.push((pos, series.to_vec()));
                     self.entry_count += 1;
                     let total = *disk_count as usize + buffer.len();
@@ -243,7 +243,10 @@ impl DsTree {
             (bytes, count)
         };
         let offset = self.file.append(&bytes)?;
-        if let NodeKind::Leaf { chunks, disk_count, .. } = &mut self.nodes[node as usize].kind {
+        if let NodeKind::Leaf {
+            chunks, disk_count, ..
+        } = &mut self.nodes[node as usize].kind
+        {
             chunks.push((offset, count));
             *disk_count += count;
         }
@@ -253,7 +256,12 @@ impl DsTree {
     /// All records of a leaf (disk chunks + buffer).
     fn leaf_records(&self, node: u32) -> Result<Vec<(u64, Vec<Value>)>> {
         let rb = self.record_bytes();
-        let NodeKind::Leaf { chunks, buffer, disk_count, .. } = &self.nodes[node as usize].kind
+        let NodeKind::Leaf {
+            chunks,
+            buffer,
+            disk_count,
+            ..
+        } = &self.nodes[node as usize].kind
         else {
             return Err(Error::invalid("node is not a leaf"));
         };
@@ -311,7 +319,12 @@ impl DsTree {
         } else {
             0.5 * (st.min_mean + st.max_mean)
         };
-        let split = Split { start: seg_start, end: seg_end, use_std, threshold };
+        let split = Split {
+            start: seg_start,
+            end: seg_end,
+            use_std,
+            threshold,
+        };
 
         // Children refine the split segment (dynamic segmentation) when it
         // is long enough to halve.
@@ -335,7 +348,10 @@ impl DsTree {
         self.nodes.push(mk_child(&child_seg));
         let right = self.nodes.len() as u32;
         self.nodes.push(mk_child(&child_seg));
-        self.nodes[node as usize].kind = NodeKind::Internal { split, children: [left, right] };
+        self.nodes[node as usize].kind = NodeKind::Internal {
+            split,
+            children: [left, right],
+        };
         self.splits += 1;
 
         for (pos, series) in records {
@@ -372,7 +388,9 @@ impl DsTree {
 
     fn leaf_len(&self, node: u32) -> usize {
         match &self.nodes[node as usize].kind {
-            NodeKind::Leaf { disk_count, buffer, .. } => *disk_count as usize + buffer.len(),
+            NodeKind::Leaf {
+                disk_count, buffer, ..
+            } => *disk_count as usize + buffer.len(),
             _ => 0,
         }
     }
@@ -449,7 +467,10 @@ impl DsTree {
             if let Some(d_sq) = euclidean_sq_early_abandon(query, &series, *best_sq) {
                 if d_sq < *best_sq {
                     *best_sq = d_sq;
-                    *best = Answer { pos, dist: d_sq.sqrt() };
+                    *best = Answer {
+                        pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -489,7 +510,11 @@ impl DsTree {
         }
         let prefix = Prefix::new(query);
         let mut best = self.approximate_search(query)?;
-        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+        let mut best_sq = if best.is_some() {
+            best.dist * best.dist
+        } else {
+            f64::INFINITY
+        };
         let mut heap = MinHeap::new();
         heap.push(self.node_lower_bound(&prefix, self.root), self.root);
         stats.lower_bounds += 1;
@@ -578,7 +603,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(q, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(q, s),
+            });
         }
         best
     }

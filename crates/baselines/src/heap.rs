@@ -37,7 +37,9 @@ pub struct MinHeap<T> {
 
 impl<T> Default for MinHeap<T> {
     fn default() -> Self {
-        MinHeap { heap: BinaryHeap::new() }
+        MinHeap {
+            heap: BinaryHeap::new(),
+        }
     }
 }
 

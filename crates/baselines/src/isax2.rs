@@ -50,7 +50,10 @@ impl Isax2Index {
         }
         let id = ISAX2_ID.fetch_add(1, Ordering::Relaxed);
         let stats = Arc::clone(dataset.file().stats());
-        let file = Arc::new(CountedFile::create(dir.join(format!("isax2-{id}.idx")), stats)?);
+        let file = Arc::new(CountedFile::create(
+            dir.join(format!("isax2-{id}.idx")),
+            stats,
+        )?);
         let mut tree = PrefixTree::new(sax, leaf_capacity, memory_bytes, file)?;
         let mut summarizer = Summarizer::new(sax);
         let mut scan = dataset.scan();
@@ -60,7 +63,11 @@ impl Isax2Index {
             tree.insert(&word, pos)?;
         }
         tree.flush()?;
-        Ok(Isax2Index { tree, dataset: dataset.clone(), sax })
+        Ok(Isax2Index {
+            tree,
+            dataset: dataset.clone(),
+            sax,
+        })
     }
 
     /// Build statistics (splits, flush cycles).
@@ -106,7 +113,10 @@ impl Isax2Index {
             if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, *best_sq) {
                 if d_sq < *best_sq {
                     *best_sq = d_sq;
-                    *best = Answer { pos: e.pos, dist: d_sq.sqrt() };
+                    *best = Answer {
+                        pos: e.pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -135,7 +145,11 @@ impl Isax2Index {
         };
         let query_paa = paa(query, self.sax.segments);
         let mut best = self.approximate_search(query)?;
-        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+        let mut best_sq = if best.is_some() {
+            best.dist * best.dist
+        } else {
+            f64::INFINITY
+        };
 
         let mut heap = MinHeap::new();
         heap.push(0.0, root);
@@ -205,7 +219,11 @@ mod tests {
     const LEN: usize = 64;
 
     fn sax() -> SaxConfig {
-        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+        SaxConfig {
+            series_len: LEN,
+            segments: 8,
+            card_bits: 8,
+        }
     }
 
     fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
@@ -219,7 +237,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(q, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(q, s),
+            });
         }
         best
     }

@@ -34,8 +34,13 @@ pub struct SaxEntry {
 
 #[derive(Debug, Clone)]
 enum NodeKind {
-    Internal { split_segment: u16, children: [u32; 2] },
-    Leaf { leaf: u32 },
+    Internal {
+        split_segment: u16,
+        children: [u32; 2],
+    },
+    Leaf {
+        leaf: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -173,7 +178,10 @@ impl PrefixTree {
             None => {
                 let leaf = self.new_leaf();
                 let mask = IsaxMask::root(self.sax.segments);
-                self.nodes.push(Node { mask, kind: NodeKind::Leaf { leaf } });
+                self.nodes.push(Node {
+                    mask,
+                    kind: NodeKind::Leaf { leaf },
+                });
                 let id = (self.nodes.len() - 1) as u32;
                 self.root = Some(id);
                 id
@@ -202,11 +210,15 @@ impl PrefixTree {
         loop {
             match &self.nodes[node as usize].kind {
                 NodeKind::Leaf { .. } => return node,
-                NodeKind::Internal { split_segment, children } => {
+                NodeKind::Internal {
+                    split_segment,
+                    children,
+                } => {
                     let seg = *split_segment as usize;
-                    let child = self.nodes[node as usize]
-                        .mask
-                        .child_of(seg, word[seg], self.sax.card_bits);
+                    let child =
+                        self.nodes[node as usize]
+                            .mask
+                            .child_of(seg, word[seg], self.sax.card_bits);
                     node = children[child];
                 }
             }
@@ -281,12 +293,15 @@ impl PrefixTree {
                 break;
             }
             let in_block = remaining.min(self.capacity);
-            self.file.read_exact_at(&mut buf[..in_block * eb], self.block_offset(block))?;
+            self.file
+                .read_exact_at(&mut buf[..in_block * eb], self.block_offset(block))?;
             for chunk in buf[..in_block * eb].chunks_exact(eb) {
                 let mut word = [0u8; 32];
                 word[..self.sax.segments].copy_from_slice(&chunk[..self.sax.segments]);
                 let pos = u64::from_le_bytes(
-                    chunk[self.sax.segments..self.sax.segments + 8].try_into().unwrap(),
+                    chunk[self.sax.segments..self.sax.segments + 8]
+                        .try_into()
+                        .unwrap(),
                 );
                 out.push(SaxEntry { word, pos });
             }
@@ -417,17 +432,14 @@ impl PrefixTree {
                     split_segment: seg as u16,
                     children: [left_node, right_node],
                 };
-                for (child_node, child_entries) in
-                    [(left_node, left), (right_node, right)]
-                {
+                for (child_node, child_entries) in [(left_node, left), (right_node, right)] {
                     if child_entries.is_empty() {
                         continue;
                     }
                     if child_entries.len() > self.capacity {
                         self.split_into(child_node, child_entries)?;
                     } else {
-                        let NodeKind::Leaf { leaf } = self.nodes[child_node as usize].kind
-                        else {
+                        let NodeKind::Leaf { leaf } = self.nodes[child_node as usize].kind else {
                             unreachable!()
                         };
                         self.write_disk_entries(leaf, &child_entries)?;
@@ -469,7 +481,9 @@ impl PrefixTree {
     pub fn refine_for(&mut self, word: &Word, target_capacity: usize) -> Result<bool> {
         let mut any = false;
         loop {
-            let Some(node) = self.descend(word) else { return Ok(any) };
+            let Some(node) = self.descend(word) else {
+                return Ok(any);
+            };
             let len = self.leaf_len(node);
             if len <= target_capacity {
                 return Ok(any);
@@ -536,7 +550,11 @@ mod tests {
     const LEN: usize = 64;
 
     fn sax_cfg() -> SaxConfig {
-        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+        SaxConfig {
+            series_len: LEN,
+            segments: 8,
+            card_bits: 8,
+        }
     }
 
     fn make_tree(dir: &TempDir, capacity: usize, budget: u64) -> PrefixTree {
@@ -575,9 +593,7 @@ mod tests {
             for e in t.leaf_entries(node).unwrap() {
                 assert!(seen.insert(e.pos), "duplicate pos {}", e.pos);
                 // Every entry's word must match its leaf's mask.
-                assert!(t
-                    .node_mask(node)
-                    .matches(&e.word[..8], t.sax().card_bits));
+                assert!(t.node_mask(node).matches(&e.word[..8], t.sax().card_bits));
             }
         }
         assert_eq!(seen.len(), 500);
@@ -626,7 +642,11 @@ mod tests {
             small.insert(w, i as u64).unwrap();
         }
         small.flush().unwrap();
-        assert!(small.stats().flush_cycles > 50, "cycles {}", small.stats().flush_cycles);
+        assert!(
+            small.stats().flush_cycles > 50,
+            "cycles {}",
+            small.stats().flush_cycles
+        );
 
         let dir2 = TempDir::new("ptree").unwrap();
         let mut big = make_tree(&dir2, 16, 1 << 20);

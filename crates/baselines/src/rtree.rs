@@ -38,7 +38,10 @@ pub struct Mbr {
 
 impl Mbr {
     fn empty(dims: usize) -> Self {
-        Mbr { lo: vec![f32::INFINITY; dims], hi: vec![f32::NEG_INFINITY; dims] }
+        Mbr {
+            lo: vec![f32::INFINITY; dims],
+            hi: vec![f32::NEG_INFINITY; dims],
+        }
     }
 
     fn add_point(&mut self, p: &[f32]) {
@@ -49,8 +52,11 @@ impl Mbr {
     }
 
     fn add_mbr(&mut self, other: &Mbr) {
-        for ((lo, hi), (&olo, &ohi)) in
-            self.lo.iter_mut().zip(self.hi.iter_mut()).zip(other.lo.iter().zip(other.hi.iter()))
+        for ((lo, hi), (&olo, &ohi)) in self
+            .lo
+            .iter_mut()
+            .zip(self.hi.iter_mut())
+            .zip(other.lo.iter().zip(other.hi.iter()))
         {
             *lo = lo.min(olo);
             *hi = hi.max(ohi);
@@ -140,7 +146,10 @@ impl RTreeIndex {
         }
         let id = RTREE_ID.fetch_add(1, Ordering::Relaxed);
         let stats = Arc::clone(dataset.file().stats());
-        let file = Arc::new(CountedFile::create(dir.join(format!("rtree-{id}.idx")), stats)?);
+        let file = Arc::new(CountedFile::create(
+            dir.join(format!("rtree-{id}.idx")),
+            stats,
+        )?);
 
         let n = dataset.len() as usize;
         let dims = sax.segments;
@@ -198,7 +207,11 @@ impl RTreeIndex {
             }
             tree.file
                 .write_all_at(&block_buf, block as u64 * tree.block_bytes() as u64)?;
-            tree.leaves.push(RLeaf { mbr, block: block as u32, count: chunk.len() as u32 });
+            tree.leaves.push(RLeaf {
+                mbr,
+                block: block as u32,
+                count: chunk.len() as u32,
+            });
         }
 
         tree.build_internal_levels();
@@ -294,7 +307,10 @@ impl RTreeIndex {
             if let Some(d_sq) = euclidean_sq_early_abandon(query, &series, *best_sq) {
                 if d_sq < *best_sq {
                     *best_sq = d_sq;
-                    *best = Answer { pos, dist: d_sq.sqrt() };
+                    *best = Answer {
+                        pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -337,7 +353,13 @@ impl RTreeIndex {
         let mut best = Answer::none();
         let mut best_sq = f64::INFINITY;
         let mut stats = QueryStats::default();
-        self.eval_leaf(&self.leaves[idx as usize], query, &mut best, &mut best_sq, &mut stats)?;
+        self.eval_leaf(
+            &self.leaves[idx as usize],
+            query,
+            &mut best,
+            &mut best_sq,
+            &mut stats,
+        )?;
         Ok(best)
     }
 
@@ -353,14 +375,24 @@ impl RTreeIndex {
         let q = paa(query, self.sax.segments);
         let scale = self.paa_scale();
         let mut best = self.approximate_search(query)?;
-        let mut best_sq = if best.is_some() { best.dist * best.dist } else { f64::INFINITY };
+        let mut best_sq = if best.is_some() {
+            best.dist * best.dist
+        } else {
+            f64::INFINITY
+        };
 
         let mut heap = MinHeap::new();
         let top = self.levels.len() - 1;
         for (i, node) in self.levels[top].iter().enumerate() {
             let lb = (scale * node.mbr.mindist_sq(&q)).sqrt();
             stats.lower_bounds += 1;
-            heap.push(lb, Visit::Node { level: top, idx: i as u32 });
+            heap.push(
+                lb,
+                Visit::Node {
+                    level: top,
+                    idx: i as u32,
+                },
+            );
         }
         while let Some((bound, visit)) = heap.pop() {
             if bound >= best.dist {
@@ -389,7 +421,10 @@ impl RTreeIndex {
                             (
                                 (scale * self.levels[level - 1][c as usize].mbr.mindist_sq(&q))
                                     .sqrt(),
-                                Visit::Node { level: level - 1, idx: c },
+                                Visit::Node {
+                                    level: level - 1,
+                                    idx: c,
+                                },
                             )
                         };
                         stats.lower_bounds += 1;
@@ -433,7 +468,11 @@ fn str_partition(order: &mut [u32], points: &[f32], dims: usize, dim: usize, lea
 
 impl SeriesIndex for RTreeIndex {
     fn name(&self) -> String {
-        if self.materialized { "R-tree".into() } else { "R-tree+".into() }
+        if self.materialized {
+            "R-tree".into()
+        } else {
+            "R-tree+".into()
+        }
     }
 
     fn approximate(&self, query: &[Value]) -> Result<Answer> {
@@ -471,7 +510,11 @@ mod tests {
     const LEN: usize = 64;
 
     fn sax() -> SaxConfig {
-        SaxConfig { series_len: LEN, segments: 8, card_bits: 8 }
+        SaxConfig {
+            series_len: LEN,
+            segments: 8,
+            card_bits: 8,
+        }
     }
 
     fn make_dataset(dir: &TempDir, n: u64) -> Dataset {
@@ -485,7 +528,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(q, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(q, s),
+            });
         }
         best
     }

@@ -19,7 +19,9 @@ pub struct SerialScan {
 impl SerialScan {
     /// A scanner over `dataset`.
     pub fn new(dataset: &Dataset) -> Self {
-        SerialScan { dataset: dataset.clone() }
+        SerialScan {
+            dataset: dataset.clone(),
+        }
     }
 
     fn check(&self, query: &[Value]) -> Result<()> {
@@ -41,7 +43,10 @@ impl SerialScan {
             if let Some(d_sq) = euclidean_sq_early_abandon(query, s, best_sq) {
                 if d_sq < best_sq {
                     best_sq = d_sq;
-                    best = Answer { pos, dist: d_sq.sqrt() };
+                    best = Answer {
+                        pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -101,7 +106,10 @@ mod tests {
         let mut best = Answer::none();
         for pos in 0..200 {
             let s = ds.get(pos).unwrap();
-            best.merge(Answer { pos, dist: euclidean(&q, &s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(&q, &s),
+            });
         }
         assert_eq!(ans.pos, best.pos);
         assert!((ans.dist - best.dist).abs() < 1e-9);

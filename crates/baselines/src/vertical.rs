@@ -64,8 +64,10 @@ impl VerticalIndex {
         }
         let id = VERTICAL_ID.fetch_add(1, Ordering::Relaxed);
         let stats = Arc::clone(dataset.file().stats());
-        let file =
-            Arc::new(CountedFile::create(dir.join(format!("vertical-{id}.idx")), stats)?);
+        let file = Arc::new(CountedFile::create(
+            dir.join(format!("vertical-{id}.idx")),
+            stats,
+        )?);
         let n = dataset.len();
         let sizes = level_sizes(series_len);
         let mut offsets = Vec::with_capacity(sizes.len());
@@ -86,8 +88,7 @@ impl VerticalIndex {
         // One sequential pass; buffer per level per chunk, then append each
         // buffer to its region.
         let chunk_series = ((4 << 20) / (series_len * 4)).max(1);
-        let mut level_bufs: Vec<Vec<u8>> =
-            index.level_sizes.iter().map(|_| Vec::new()).collect();
+        let mut level_bufs: Vec<Vec<u8>> = index.level_sizes.iter().map(|_| Vec::new()).collect();
         let mut scan = dataset.scan();
         let mut chunk_start = 0u64;
         let mut in_chunk = 0usize;
@@ -119,8 +120,7 @@ impl VerticalIndex {
             if buf.is_empty() {
                 continue;
             }
-            let offset =
-                self.level_offsets[li] + first_series * self.level_sizes[li] as u64 * 4;
+            let offset = self.level_offsets[li] + first_series * self.level_sizes[li] as u64 * 4;
             self.file.write_all_at(buf, offset)?;
             buf.clear();
         }
@@ -176,7 +176,8 @@ impl VerticalIndex {
                 // Sequential sweep over the whole level region.
                 let mut bytes = vec![0u8; n * ls * 4];
                 if !bytes.is_empty() {
-                    self.file.read_exact_at(&mut bytes, self.level_offsets[li])?;
+                    self.file
+                        .read_exact_at(&mut bytes, self.level_offsets[li])?;
                 }
                 for &cand in &alive {
                     let base = cand as usize * ls * 4;
@@ -253,10 +254,15 @@ impl VerticalIndex {
             .iter()
             .min_by(|&&a, &&b| lb_sq[a as usize].total_cmp(&lb_sq[b as usize]))
             .copied();
-        let Some(cand) = best else { return Ok(Answer::none()) };
+        let Some(cand) = best else {
+            return Ok(Answer::none());
+        };
         let series = self.dataset.get(cand as u64)?;
         let d_sq = coconut_series::distance::euclidean_sq(query, &series);
-        Ok(Answer { pos: cand as u64, dist: d_sq.sqrt() })
+        Ok(Answer {
+            pos: cand as u64,
+            dist: d_sq.sqrt(),
+        })
     }
 
     /// Exact search: the full stepwise scan, then raw verification of the
@@ -287,7 +293,10 @@ impl VerticalIndex {
             if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, best_sq) {
                 if d_sq < best_sq {
                     best_sq = d_sq;
-                    best = Answer { pos: cand as u64, dist: d_sq.sqrt() };
+                    best = Answer {
+                        pos: cand as u64,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -342,7 +351,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(q, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(q, s),
+            });
         }
         best
     }

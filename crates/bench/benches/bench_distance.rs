@@ -27,12 +27,20 @@ fn bench_euclidean(c: &mut Criterion) {
         // Early abandoning with a tight cutoff (the common case once a good
         // best-so-far exists).
         let full = euclidean_sq(&a, &b);
-        group.bench_with_input(BenchmarkId::new("early_abandon_tight", len), &len, |bench, _| {
-            bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 0.1))
-        });
-        group.bench_with_input(BenchmarkId::new("early_abandon_loose", len), &len, |bench, _| {
-            bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 10.0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("early_abandon_tight", len),
+            &len,
+            |bench, _| {
+                bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 0.1))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("early_abandon_loose", len),
+            &len,
+            |bench, _| {
+                bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 10.0))
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,11 @@ fn bench_queries(c: &mut Criterion) {
     let len = 128usize;
     let data_dir = TempDir::new("bench-query-data").unwrap();
     let w = prepare(data_dir.path(), DataKind::RandomWalk, n, len, 16, 5).unwrap();
-    let params = BuildParams { leaf_capacity: 200, memory_bytes: 64 << 20, threads: 4 };
+    let params = BuildParams {
+        leaf_capacity: 200,
+        memory_bytes: 64 << 20,
+        threads: 4,
+    };
     let build_dir = TempDir::new("bench-query-idx").unwrap();
 
     let mut group = c.benchmark_group("query");
@@ -53,9 +57,12 @@ fn bench_queries(c: &mut Criterion) {
             fill_factor: 1.0,
             internal_fanout: 64,
         };
-        let opts = BuildOptions { memory_bytes: 64 << 20, materialized: true, threads: 4 };
-        let cold =
-            CoconutTree::build(&w.dataset, &config, build_dir.path(), opts.clone()).unwrap();
+        let opts = BuildOptions {
+            memory_bytes: 64 << 20,
+            materialized: true,
+            threads: 4,
+        };
+        let cold = CoconutTree::build(&w.dataset, &config, build_dir.path(), opts.clone()).unwrap();
         let mut warm = CoconutTree::build(&w.dataset, &config, build_dir.path(), opts).unwrap();
         warm.attach_cache(coconut_storage::PageCache::new(64 << 20), 1);
         let mut qi = 0usize;
@@ -91,7 +98,11 @@ fn bench_queries(c: &mut Criterion) {
             &w.dataset,
             &config,
             build_dir.path(),
-            BuildOptions { memory_bytes: 64 << 20, materialized: false, threads },
+            BuildOptions {
+                memory_bytes: 64 << 20,
+                materialized: false,
+                threads,
+            },
         )
         .unwrap();
         tree.exact_search(&w.queries[0]).unwrap();

@@ -26,9 +26,21 @@ const ALL: &[&str] = &[
 fn expand(arg: &str) -> Vec<&'static str> {
     match arg {
         "all" => ALL.to_vec(),
-        "fig8" => ALL.iter().copied().filter(|e| e.starts_with("fig8")).collect(),
-        "fig9" => ALL.iter().copied().filter(|e| e.starts_with("fig9")).collect(),
-        "fig10" => ALL.iter().copied().filter(|e| e.starts_with("fig10")).collect(),
+        "fig8" => ALL
+            .iter()
+            .copied()
+            .filter(|e| e.starts_with("fig8"))
+            .collect(),
+        "fig9" => ALL
+            .iter()
+            .copied()
+            .filter(|e| e.starts_with("fig9"))
+            .collect(),
+        "fig10" => ALL
+            .iter()
+            .copied()
+            .filter(|e| e.starts_with("fig10"))
+            .collect(),
         other => ALL.iter().copied().filter(|&e| e == other).collect(),
     }
 }
@@ -117,7 +129,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let env = Env { work_dir, results_dir, scale };
+    let env = Env {
+        work_dir,
+        results_dir,
+        scale,
+    };
     println!(
         "# Coconut reproduction — scale: {} series x {} points, {} queries\n",
         env.scale.n, env.scale.series_len, env.scale.queries

@@ -71,7 +71,12 @@ pub fn prepare(
     // Queries use a distinct seed stream so they are not dataset members.
     let mut qgen = kind.generator(seed ^ 0x5eed_cafe);
     let queries = make_queries(qgen.as_mut(), n_queries, len);
-    Ok(Workload { dataset, path, queries, stats })
+    Ok(Workload {
+        dataset,
+        path,
+        queries,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -88,7 +93,10 @@ mod tests {
         let created = std::fs::metadata(&w.path).unwrap().modified().unwrap();
         // Second call must reuse the file.
         let w2 = prepare(dir.path(), DataKind::RandomWalk, 100, 32, 5, 1).unwrap();
-        assert_eq!(std::fs::metadata(&w2.path).unwrap().modified().unwrap(), created);
+        assert_eq!(
+            std::fs::metadata(&w2.path).unwrap().modified().unwrap(),
+            created
+        );
     }
 
     #[test]

@@ -58,11 +58,24 @@ pub fn run(env: &Env) -> Result<()> {
     let mut table = Table::new(
         "ablation_sort",
         "z-order vs lexicographic summarization ordering (paper Figs. 2/4)",
-        &["ordering", "neighbor_dist", "approx_dist(r=0)", "approx_dist(r=1)", "vs_true_NN(r=0)"],
+        &[
+            "ordering",
+            "neighbor_dist",
+            "approx_dist(r=0)",
+            "approx_dist(r=1)",
+            "vs_true_NN(r=0)",
+        ],
     );
     let n = env.scale.n.min(10_000);
     let len = env.scale.series_len;
-    let w = prepare(&env.work_dir, DataKind::RandomWalk, n, len, env.scale.queries, 7)?;
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        n,
+        len,
+        env.scale.queries,
+        7,
+    )?;
     let sax = SaxConfig::default_for_len(len);
     let mut summarizer = Summarizer::new(sax);
 
@@ -86,7 +99,11 @@ pub fn run(env: &Env) -> Result<()> {
     let true_nn: Vec<f64> = w
         .queries
         .iter()
-        .map(|q| data.iter().map(|s| euclidean(q, s)).fold(f64::INFINITY, f64::min))
+        .map(|q| {
+            data.iter()
+                .map(|s| euclidean(q, s))
+                .fold(f64::INFINITY, f64::min)
+        })
         .collect();
 
     for (name, key_fn) in [

@@ -2,8 +2,8 @@
 
 use std::time::Instant;
 
-use coconut_core::{BuildOptions, CoconutTree, IndexConfig, LsmCoconut};
 use coconut_baselines::{AdsIndex, AdsVariant};
+use coconut_core::{BuildOptions, CoconutTree, IndexConfig, LsmCoconut};
 use coconut_series::index::SeriesIndex;
 use coconut_storage::Result;
 use coconut_summary::SaxConfig;
@@ -23,11 +23,24 @@ pub fn run_10a(env: &Env) -> Result<()> {
     let mut table = Table::new(
         "fig10a",
         "mixed insert/query workload, varying arrival batch size",
-        &["algorithm", "batch", "total_time", "of_which_updates", "modeled_disk"],
+        &[
+            "algorithm",
+            "batch",
+            "total_time",
+            "of_which_updates",
+            "modeled_disk",
+        ],
     );
     let n = env.scale.n;
     let len = env.scale.series_len;
-    let w = prepare(&env.work_dir, DataKind::RandomWalk, n, len, env.scale.queries.min(20), 7)?;
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        n,
+        len,
+        env.scale.queries.min(20),
+        7,
+    )?;
     let initial = n / 2;
     let config = IndexConfig {
         sax: SaxConfig::default_for_len(len),
@@ -48,15 +61,21 @@ pub fn run_10a(env: &Env) -> Result<()> {
             let dir = coconut_storage::TempDir::new("fig10a-ct")?;
             let before = w.stats.snapshot();
             let t0 = Instant::now();
-            let mut tree =
-                CoconutTree::build_range(&w.dataset, 0..initial, &config, dir.path(), opts.clone())?;
+            let mut tree = CoconutTree::build_range(
+                &w.dataset,
+                0..initial,
+                &config,
+                dir.path(),
+                opts.clone(),
+            )?;
             let mut update_s = 0.0;
             let mut covered = initial;
             let mut qi = 0usize;
             while covered < n {
                 let hi = (covered + batch).min(n);
-                let series: Vec<Vec<f32>> =
-                    (covered..hi).map(|p| w.dataset.get(p)).collect::<Result<_>>()?;
+                let series: Vec<Vec<f32>> = (covered..hi)
+                    .map(|p| w.dataset.get(p))
+                    .collect::<Result<_>>()?;
                 let u0 = Instant::now();
                 tree.insert_batch(covered, &series)?;
                 update_s += u0.elapsed().as_secs_f64();
@@ -157,8 +176,19 @@ pub fn run_10a(env: &Env) -> Result<()> {
 fn run_complete(env: &Env, name: &str, kind: DataKind) -> Result<()> {
     let mut table = Table::new(
         name,
-        &format!("{} — complete workload: construction + exact queries vs memory", kind.name()),
-        &["algorithm", "memory", "build", "queries", "total", "modeled_disk", "index_size"],
+        &format!(
+            "{} — complete workload: construction + exact queries vs memory",
+            kind.name()
+        ),
+        &[
+            "algorithm",
+            "memory",
+            "build",
+            "queries",
+            "total",
+            "modeled_disk",
+            "index_size",
+        ],
     );
     let w = prepare(
         &env.work_dir,
@@ -188,9 +218,8 @@ fn run_complete(env: &Env, name: &str, kind: DataKind) -> Result<()> {
             }
             let query_s = q0.elapsed().as_secs_f64();
             let io = w.stats.snapshot().since(&before);
-            let modeled = build_s
-                + query_s
-                + io.modeled_seconds(&coconut_storage::DiskProfile::default());
+            let modeled =
+                build_s + query_s + io.modeled_seconds(&coconut_storage::DiskProfile::default());
             table.push_row(vec![
                 algo.name().to_string(),
                 format!("{:.0}%", frac * 100.0),

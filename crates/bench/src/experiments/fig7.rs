@@ -45,8 +45,11 @@ pub fn run(env: &Env) -> Result<()> {
         .iter()
         .map(|&k| histogram(k, count, env.scale.series_len, 42))
         .collect();
-    for (b, ((rw, se), astro)) in
-        hists[0].iter().zip(hists[1].iter()).zip(hists[2].iter()).enumerate()
+    for (b, ((rw, se), astro)) in hists[0]
+        .iter()
+        .zip(hists[1].iter())
+        .zip(hists[2].iter())
+        .enumerate()
     {
         let center = LO + (b as f64 + 0.5) * (HI - LO) / BINS as f64;
         table.push_row(vec![

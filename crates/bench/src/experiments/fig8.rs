@@ -25,15 +25,29 @@ fn build_row(
         threads: env.scale.threads,
     };
     let build_dir = coconut_storage::TempDir::new("fig8-build")?;
-    let (_idx, m) = measure(&w.stats, || build_index(algo, &w, &params, build_dir.path()))?;
-    Ok((m.wall_s, m.modeled_s(), m.io.random_ops(), m.io.total_bytes()))
+    let (_idx, m) = measure(&w.stats, || {
+        build_index(algo, &w, &params, build_dir.path())
+    })?;
+    Ok((
+        m.wall_s,
+        m.modeled_s(),
+        m.io.random_ops(),
+        m.io.total_bytes(),
+    ))
 }
 
 fn run_memory_sweep(env: &Env, name: &str, caption: &str, algos: &[Algo]) -> Result<()> {
     let mut table = Table::new(
         name,
         caption,
-        &["algorithm", "memory", "wall", "modeled_disk", "random_ops", "io_bytes"],
+        &[
+            "algorithm",
+            "memory",
+            "wall",
+            "modeled_disk",
+            "random_ops",
+            "io_bytes",
+        ],
     );
     let raw_bytes = env.scale.n * env.scale.series_len as u64 * 4;
     for &algo in algos {
@@ -79,7 +93,13 @@ pub fn run_8c(env: &Env) -> Result<()> {
     let mut table = Table::new(
         "fig8c",
         "indexing space overhead (and the in-text leaf occupancy numbers)",
-        &["algorithm", "index_bytes", "raw_ratio", "leaves", "avg_fill"],
+        &[
+            "algorithm",
+            "index_bytes",
+            "raw_ratio",
+            "leaves",
+            "avg_fill",
+        ],
     );
     let w = prepare(
         &env.work_dir,
@@ -130,7 +150,12 @@ fn run_growth_sweep(env: &Env, name: &str, caption: &str, algos: &[Algo]) -> Res
     );
     // Memory fixed at 20% of the *smallest* dataset: as data grows the
     // memory:data ratio shrinks, the paper's Figures 8d/8e setting.
-    let sizes = [env.scale.n / 4, env.scale.n / 2, env.scale.n, env.scale.n * 2];
+    let sizes = [
+        env.scale.n / 4,
+        env.scale.n / 2,
+        env.scale.n,
+        env.scale.n * 2,
+    ];
     let memory = (sizes[0] * env.scale.series_len as u64 * 4) / 5;
     for &algo in algos {
         for &n in &sizes {

@@ -1,6 +1,5 @@
 //! Figure 9: query answering experiments.
 
-
 use coconut_core::{BuildOptions, CoconutTree, IndexConfig};
 use coconut_series::index::{QueryStats, SeriesIndex};
 use coconut_storage::Result;
@@ -45,15 +44,27 @@ fn run_approx(idx: &dyn SeriesIndex, w: &Workload) -> Result<(f64, f64, f64)> {
     Ok((m.wall_s / nq, m.modeled_s() / nq, total_dist / nq))
 }
 
-const QUERY_ALGOS: [Algo; 6] =
-    [Algo::CTree, Algo::CTreeFull, Algo::AdsPlus, Algo::AdsFull, Algo::RTree, Algo::RTreePlus];
+const QUERY_ALGOS: [Algo; 6] = [
+    Algo::CTree,
+    Algo::CTreeFull,
+    Algo::AdsPlus,
+    Algo::AdsFull,
+    Algo::RTree,
+    Algo::RTreePlus,
+];
 
 /// Figure 9a: exact query answering vs dataset size.
 pub fn run_9a(env: &Env) -> Result<()> {
     let mut table = Table::new(
         "fig9a",
         "exact query answering (avg per query) vs dataset size",
-        &["algorithm", "series", "avg_exact", "modeled_disk", "fetched/query"],
+        &[
+            "algorithm",
+            "series",
+            "avg_exact",
+            "modeled_disk",
+            "fetched/query",
+        ],
     );
     for &n in &[env.scale.n / 4, env.scale.n / 2, env.scale.n] {
         let w = prepare(
@@ -85,7 +96,13 @@ pub fn run_9b(env: &Env) -> Result<()> {
     let mut table = Table::new(
         "fig9b",
         "approximate query answering (avg per query) vs dataset size",
-        &["algorithm", "series", "avg_approx", "modeled_disk", "avg_distance"],
+        &[
+            "algorithm",
+            "series",
+            "avg_approx",
+            "modeled_disk",
+            "avg_distance",
+        ],
     );
     for &n in &[env.scale.n / 4, env.scale.n / 2, env.scale.n] {
         let w = prepare(
@@ -153,7 +170,11 @@ fn build_ctree(env: &Env, w: &Workload, dir: &std::path::Path) -> Result<Coconut
         &w.dataset,
         &config,
         dir,
-        BuildOptions { memory_bytes: 64 << 20, materialized: false, threads: env.scale.threads },
+        BuildOptions {
+            memory_bytes: 64 << 20,
+            materialized: false,
+            threads: env.scale.threads,
+        },
     )
 }
 
@@ -264,7 +285,11 @@ fn exact_radius_tables(env: &Env) -> Result<(Table, Table)> {
     for algo in [Algo::AdsPlus, Algo::AdsFull] {
         let idx = build_index(algo, &w, &params(env), build_dir.path())?;
         let (avg, modeled, stats) = run_exact(idx.as_ref(), &w)?;
-        time_table.push_row(vec![algo.name().to_string(), fmt_secs(avg), fmt_secs(modeled)]);
+        time_table.push_row(vec![
+            algo.name().to_string(),
+            fmt_secs(avg),
+            fmt_secs(modeled),
+        ]);
         visit_table.push_row(vec![
             algo.name().to_string(),
             (stats.records_fetched / nq).to_string(),

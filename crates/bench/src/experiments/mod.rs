@@ -48,12 +48,24 @@ pub struct Scale {
 impl Scale {
     /// The fast CI-friendly scale.
     pub fn quick() -> Self {
-        Scale { n: 6_000, series_len: 128, queries: 20, leaf_capacity: 100, threads: 4 }
+        Scale {
+            n: 6_000,
+            series_len: 128,
+            queries: 20,
+            leaf_capacity: 100,
+            threads: 4,
+        }
     }
 
     /// The default reporting scale.
     pub fn full() -> Self {
-        Scale { n: 40_000, series_len: 256, queries: 100, leaf_capacity: 200, threads: 4 }
+        Scale {
+            n: 40_000,
+            series_len: 256,
+            queries: 100,
+            leaf_capacity: 200,
+            threads: 4,
+        }
     }
 }
 

@@ -26,10 +26,7 @@ impl Measurement {
 }
 
 /// Run `f`, capturing wall time and the I/O delta on `stats`.
-pub fn measure<T>(
-    stats: &Arc<IoStats>,
-    f: impl FnOnce() -> Result<T>,
-) -> Result<(T, Measurement)> {
+pub fn measure<T>(stats: &Arc<IoStats>, f: impl FnOnce() -> Result<T>) -> Result<(T, Measurement)> {
     let before = stats.snapshot();
     let start = Instant::now();
     let value = f()?;
@@ -87,7 +84,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -166,7 +167,7 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(fmt_secs(0.0123), "12.3ms");
-        assert_eq!(fmt_secs(3.14159), "3.14s");
+        assert_eq!(fmt_secs(3.4567), "3.46s");
         assert_eq!(fmt_secs(250.0), "250s");
         assert_eq!(fmt_mib(1 << 20), "1.0MiB");
     }

@@ -2,7 +2,9 @@
 
 use std::path::Path;
 
-use coconut_baselines::{AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex};
+use coconut_baselines::{
+    AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
+};
 use coconut_core::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
 use coconut_series::index::SeriesIndex;
 use coconut_storage::Result;
@@ -90,7 +92,11 @@ pub struct BuildParams {
 
 impl Default for BuildParams {
     fn default() -> Self {
-        BuildParams { leaf_capacity: 200, memory_bytes: 64 << 20, threads: 4 }
+        BuildParams {
+            leaf_capacity: 200,
+            memory_bytes: 64 << 20,
+            threads: 4,
+        }
     }
 }
 
@@ -117,13 +123,19 @@ pub fn build_index(
     };
     Ok(match algo {
         Algo::CTree => Box::new(CoconutTree::build(&w.dataset, &config, dir, opts)?),
-        Algo::CTreeFull => {
-            Box::new(CoconutTree::build(&w.dataset, &config, dir, opts.materialized())?)
-        }
+        Algo::CTreeFull => Box::new(CoconutTree::build(
+            &w.dataset,
+            &config,
+            dir,
+            opts.materialized(),
+        )?),
         Algo::CTrie => Box::new(CoconutTrie::build(&w.dataset, &config, dir, opts)?),
-        Algo::CTrieFull => {
-            Box::new(CoconutTrie::build(&w.dataset, &config, dir, opts.materialized())?)
-        }
+        Algo::CTrieFull => Box::new(CoconutTrie::build(
+            &w.dataset,
+            &config,
+            dir,
+            opts.materialized(),
+        )?),
         Algo::AdsPlus => Box::new(AdsIndex::build(
             &w.dataset,
             sax,
@@ -142,12 +154,20 @@ pub fn build_index(
             AdsVariant::Full,
             params.threads,
         )?),
-        Algo::RTree => {
-            Box::new(RTreeIndex::build(&w.dataset, sax, params.leaf_capacity, true, dir)?)
-        }
-        Algo::RTreePlus => {
-            Box::new(RTreeIndex::build(&w.dataset, sax, params.leaf_capacity, false, dir)?)
-        }
+        Algo::RTree => Box::new(RTreeIndex::build(
+            &w.dataset,
+            sax,
+            params.leaf_capacity,
+            true,
+            dir,
+        )?),
+        Algo::RTreePlus => Box::new(RTreeIndex::build(
+            &w.dataset,
+            sax,
+            params.leaf_capacity,
+            false,
+            dir,
+        )?),
         Algo::Isax2 => Box::new(Isax2Index::build(
             &w.dataset,
             sax,
@@ -171,7 +191,11 @@ mod tests {
     fn every_algo_builds_and_answers() {
         let dir = TempDir::new("zoo").unwrap();
         let w = prepare(dir.path(), DataKind::RandomWalk, 300, 64, 3, 11).unwrap();
-        let params = BuildParams { leaf_capacity: 32, memory_bytes: 1 << 20, threads: 2 };
+        let params = BuildParams {
+            leaf_capacity: 32,
+            memory_bytes: 1 << 20,
+            threads: 2,
+        };
         let algos = [
             Algo::CTree,
             Algo::CTreeFull,

@@ -9,7 +9,13 @@ fn micro_env(work: &TempDir, results: &TempDir) -> Env {
     Env {
         work_dir: work.path().to_path_buf(),
         results_dir: results.path().to_path_buf(),
-        scale: Scale { n: 400, series_len: 64, queries: 3, leaf_capacity: 32, threads: 2 },
+        scale: Scale {
+            n: 400,
+            series_len: 64,
+            queries: 3,
+            leaf_capacity: 32,
+            threads: 2,
+        },
     }
 }
 
@@ -19,14 +25,20 @@ fn csv_exists(results: &TempDir, name: &str) -> bool {
 
 #[test]
 fn fig7_runs() {
-    let (w, r) = (TempDir::new("smoke-w").unwrap(), TempDir::new("smoke-r").unwrap());
+    let (w, r) = (
+        TempDir::new("smoke-w").unwrap(),
+        TempDir::new("smoke-r").unwrap(),
+    );
     experiments::fig7::run(&micro_env(&w, &r)).unwrap();
     assert!(csv_exists(&r, "fig7"));
 }
 
 #[test]
 fn fig8_family_runs() {
-    let (w, r) = (TempDir::new("smoke-w").unwrap(), TempDir::new("smoke-r").unwrap());
+    let (w, r) = (
+        TempDir::new("smoke-w").unwrap(),
+        TempDir::new("smoke-r").unwrap(),
+    );
     let env = micro_env(&w, &r);
     experiments::fig8::run_8c(&env).unwrap();
     experiments::fig8::run_8e(&env).unwrap();
@@ -39,7 +51,10 @@ fn fig8_family_runs() {
 
 #[test]
 fn fig9_family_runs() {
-    let (w, r) = (TempDir::new("smoke-w").unwrap(), TempDir::new("smoke-r").unwrap());
+    let (w, r) = (
+        TempDir::new("smoke-w").unwrap(),
+        TempDir::new("smoke-r").unwrap(),
+    );
     let env = micro_env(&w, &r);
     experiments::fig9::run_9d(&env).unwrap();
     experiments::fig9::run_9f(&env).unwrap();
@@ -49,7 +64,10 @@ fn fig9_family_runs() {
 
 #[test]
 fn fig10a_runs() {
-    let (w, r) = (TempDir::new("smoke-w").unwrap(), TempDir::new("smoke-r").unwrap());
+    let (w, r) = (
+        TempDir::new("smoke-w").unwrap(),
+        TempDir::new("smoke-r").unwrap(),
+    );
     let env = micro_env(&w, &r);
     experiments::fig10::run_10a(&env).unwrap();
     assert!(csv_exists(&r, "fig10a"));

@@ -78,7 +78,9 @@ fn split(argv: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Stri
 }
 
 fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing required option {key}"))
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required option {key}"))
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
@@ -111,25 +113,30 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "info" => {
             let path = pos.first().ok_or("info: missing dataset path")?;
-            Ok(Command::Info { path: PathBuf::from(path) })
+            Ok(Command::Info {
+                path: PathBuf::from(path),
+            })
         }
         "build" => {
             let data = pos.first().ok_or("build: missing dataset path")?;
             Ok(Command::Build {
                 index: req(&opts, "--index")?.to_string(),
                 materialized: opts.contains_key("--materialized"),
-                leaf: opts.get("--leaf").map_or(Ok(2000), |s| parse_num(s, "leaf"))?,
+                leaf: opts
+                    .get("--leaf")
+                    .map_or(Ok(2000), |s| parse_num(s, "leaf"))?,
                 memory_mb: opts
                     .get("--memory-mb")
                     .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
-                out_dir: PathBuf::from(
-                    opts.get("--out-dir").map_or(".", |s| s.as_str()),
-                ),
+                out_dir: PathBuf::from(opts.get("--out-dir").map_or(".", |s| s.as_str())),
                 data: PathBuf::from(data),
             })
         }
         "query" => {
-            let seed = opts.get("--seed").map(|s| parse_num(s, "seed")).transpose()?;
+            let seed = opts
+                .get("--seed")
+                .map(|s| parse_num(s, "seed"))
+                .transpose()?;
             let pos_opt = opts.get("--pos").map(|s| parse_num(s, "pos")).transpose()?;
             if seed.is_none() && pos_opt.is_none() {
                 return Err("query: need --seed or --pos".into());
@@ -140,9 +147,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed,
                 pos: pos_opt,
                 k: opts.get("--k").map_or(Ok(1), |s| parse_num(s, "k"))?,
-                radius: opts.get("--radius").map_or(Ok(1), |s| parse_num(s, "radius"))?,
-                dtw_band: opts.get("--dtw").map(|s| parse_num(s, "dtw band")).transpose()?,
-                range_eps: opts.get("--range").map(|s| parse_num(s, "range eps")).transpose()?,
+                radius: opts
+                    .get("--radius")
+                    .map_or(Ok(1), |s| parse_num(s, "radius"))?,
+                dtw_band: opts
+                    .get("--dtw")
+                    .map(|s| parse_num(s, "dtw band"))
+                    .transpose()?,
+                range_eps: opts
+                    .get("--range")
+                    .map(|s| parse_num(s, "range eps"))
+                    .transpose()?,
                 approximate: opts.contains_key("--approximate"),
             })
         }
@@ -160,7 +175,10 @@ mod tests {
 
     #[test]
     fn parses_gen() {
-        let c = parse(&argv("gen --kind seismic --count 100 --len 64 --seed 9 out.ds")).unwrap();
+        let c = parse(&argv(
+            "gen --kind seismic --count 100 --len 64 --seed 9 out.ds",
+        ))
+        .unwrap();
         assert_eq!(
             c,
             Command::Gen {
@@ -176,16 +194,29 @@ mod tests {
     #[test]
     fn gen_defaults_seed() {
         let c = parse(&argv("gen --kind randomwalk --count 5 --len 8 o.ds")).unwrap();
-        let Command::Gen { seed, .. } = c else { panic!() };
+        let Command::Gen { seed, .. } = c else {
+            panic!()
+        };
         assert_eq!(seed, 1);
     }
 
     #[test]
     fn parses_build_with_flags() {
-        let c =
-            parse(&argv("build --index ctree --materialized --leaf 100 --out-dir /tmp x.ds"))
-                .unwrap();
-        let Command::Build { index, materialized, leaf, out_dir, data, .. } = c else { panic!() };
+        let c = parse(&argv(
+            "build --index ctree --materialized --leaf 100 --out-dir /tmp x.ds",
+        ))
+        .unwrap();
+        let Command::Build {
+            index,
+            materialized,
+            leaf,
+            out_dir,
+            data,
+            ..
+        } = c
+        else {
+            panic!()
+        };
         assert_eq!(index, "ctree");
         assert!(materialized);
         assert_eq!(leaf, 100);
@@ -195,17 +226,40 @@ mod tests {
 
     #[test]
     fn parses_query_variants() {
-        let c = parse(&argv("query --index i.idx --data d.ds --seed 3 --k 5 --dtw 10")).unwrap();
-        let Command::Query { seed, k, dtw_band, range_eps, approximate, .. } = c else { panic!() };
+        let c = parse(&argv(
+            "query --index i.idx --data d.ds --seed 3 --k 5 --dtw 10",
+        ))
+        .unwrap();
+        let Command::Query {
+            seed,
+            k,
+            dtw_band,
+            range_eps,
+            approximate,
+            ..
+        } = c
+        else {
+            panic!()
+        };
         assert_eq!(seed, Some(3));
         assert_eq!(k, 5);
         assert_eq!(dtw_band, Some(10));
         assert_eq!(range_eps, None);
         assert!(!approximate);
 
-        let c = parse(&argv("query --index i.idx --data d.ds --pos 7 --range 2.5 --approximate"))
-            .unwrap();
-        let Command::Query { pos, range_eps, approximate, .. } = c else { panic!() };
+        let c = parse(&argv(
+            "query --index i.idx --data d.ds --pos 7 --range 2.5 --approximate",
+        ))
+        .unwrap();
+        let Command::Query {
+            pos,
+            range_eps,
+            approximate,
+            ..
+        } = c
+        else {
+            panic!()
+        };
         assert_eq!(pos, Some(7));
         assert_eq!(range_eps, Some(2.5));
         assert!(approximate);

@@ -21,7 +21,13 @@ pub fn run(cmd: Command) -> Result<()> {
             println!("{}", crate::args::USAGE);
             Ok(())
         }
-        Command::Gen { kind, count, len, seed, out } => {
+        Command::Gen {
+            kind,
+            count,
+            len,
+            seed,
+            out,
+        } => {
             let stats = Arc::new(IoStats::new());
             let mut generator: Box<dyn Generator> = match kind.as_str() {
                 "randomwalk" => Box::new(RandomWalkGen::new(seed)),
@@ -49,11 +55,21 @@ pub fn run(cmd: Command) -> Result<()> {
             println!("series        {}", ds.len());
             println!("series length {}", ds.series_len());
             println!("z-normalized  {}", ds.znormalized());
-            println!("payload bytes {} ({:.1} MiB)", ds.payload_bytes(),
-                ds.payload_bytes() as f64 / (1 << 20) as f64);
+            println!(
+                "payload bytes {} ({:.1} MiB)",
+                ds.payload_bytes(),
+                ds.payload_bytes() as f64 / (1 << 20) as f64
+            );
             Ok(())
         }
-        Command::Build { index, materialized, leaf, memory_mb, out_dir, data } => {
+        Command::Build {
+            index,
+            materialized,
+            leaf,
+            memory_mb,
+            out_dir,
+            data,
+        } => {
             let stats = Arc::new(IoStats::new());
             let ds = Dataset::open(&data, Arc::clone(&stats))?;
             std::fs::create_dir_all(&out_dir)?;
@@ -72,14 +88,28 @@ pub fn run(cmd: Command) -> Result<()> {
             let (name, path, leaves, fill, bytes): (String, _, _, _, _) = match index.as_str() {
                 "ctree" => {
                     let t = CoconutTree::build(&ds, &config, &out_dir, opts)?;
-                    (t.name(), t.index_path().to_path_buf(), t.leaf_count(), t.avg_leaf_fill(), t.disk_bytes())
+                    (
+                        t.name(),
+                        t.index_path().to_path_buf(),
+                        t.leaf_count(),
+                        t.avg_leaf_fill(),
+                        t.disk_bytes(),
+                    )
                 }
                 "ctrie" => {
                     let t = CoconutTrie::build(&ds, &config, &out_dir, opts)?;
-                    (t.name(), t.index_path().to_path_buf(), t.leaf_count(), t.avg_leaf_fill(), t.disk_bytes())
+                    (
+                        t.name(),
+                        t.index_path().to_path_buf(),
+                        t.leaf_count(),
+                        t.avg_leaf_fill(),
+                        t.disk_bytes(),
+                    )
                 }
                 other => {
-                    return Err(Error::invalid(format!("unknown index '{other}' (ctree|ctrie)")))
+                    return Err(Error::invalid(format!(
+                        "unknown index '{other}' (ctree|ctrie)"
+                    )))
                 }
             };
             let io = stats.snapshot();
@@ -95,7 +125,17 @@ pub fn run(cmd: Command) -> Result<()> {
             );
             Ok(())
         }
-        Command::Query { index, data, seed, pos, k, radius, dtw_band, range_eps, approximate } => {
+        Command::Query {
+            index,
+            data,
+            seed,
+            pos,
+            k,
+            radius,
+            dtw_band,
+            range_eps,
+            approximate,
+        } => {
             let stats = Arc::new(IoStats::new());
             let ds = Dataset::open(&data, Arc::clone(&stats))?;
             let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -138,7 +178,10 @@ pub fn run(cmd: Command) -> Result<()> {
                     AnyIndex::Tree(t) => t.approximate_search(&query, radius)?,
                     AnyIndex::Trie(t) => t.approximate_search(&query, radius)?,
                 };
-                println!("approximate nearest (radius {radius}): #{} at {:.4}", ans.pos, ans.dist);
+                println!(
+                    "approximate nearest (radius {radius}): #{} at {:.4}",
+                    ans.pos, ans.dist
+                );
                 println!("time {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
             } else if k > 1 {
                 let (hits, qstats) = match &idx {
@@ -331,7 +374,10 @@ mod tests {
         })
         .is_err());
         // Missing dataset.
-        assert!(run(Command::Info { path: dir.path().join("nope.ds") }).is_err());
+        assert!(run(Command::Info {
+            path: dir.path().join("nope.ds")
+        })
+        .is_err());
         // Unknown index kind.
         let data = gen_cmd(&dir, "d.ds", 10);
         assert!(run(Command::Build {

@@ -68,7 +68,11 @@ pub fn sorted_key_series(
             break;
         }
         let key = summarizer.zkey(series);
-        sorter.push(KeySeries { key, pos, series: series.to_vec() })?;
+        sorter.push(KeySeries {
+            key,
+            pos,
+            series: series.to_vec(),
+        })?;
     }
     sorter.finish()
 }
@@ -103,8 +107,7 @@ mod tests {
         let dir = TempDir::new("builder").unwrap();
         let (ds, stats) = small_dataset(&dir, 500, 64);
         let sax = SaxConfig::default_for_len(64);
-        let mut stream =
-            sorted_key_pos(&ds, 0..500, &sax, 1 << 20, dir.path(), &stats).unwrap();
+        let mut stream = sorted_key_pos(&ds, 0..500, &sax, 1 << 20, dir.path(), &stats).unwrap();
         let mut seen = std::collections::HashSet::new();
         let mut prev = None;
         while let Some(kp) = stream.next_item().unwrap() {
@@ -122,8 +125,7 @@ mod tests {
         let dir = TempDir::new("builder").unwrap();
         let (ds, stats) = small_dataset(&dir, 100, 32);
         let sax = SaxConfig::default_for_len(32);
-        let mut stream =
-            sorted_key_series(&ds, 0..100, &sax, 1 << 16, dir.path(), &stats).unwrap();
+        let mut stream = sorted_key_series(&ds, 0..100, &sax, 1 << 16, dir.path(), &stats).unwrap();
         let mut n = 0;
         while let Some(ks) = stream.next_item().unwrap() {
             let expected = ds.get(ks.pos).unwrap();
@@ -138,8 +140,7 @@ mod tests {
         let dir = TempDir::new("builder").unwrap();
         let (ds, stats) = small_dataset(&dir, 200, 32);
         let sax = SaxConfig::default_for_len(32);
-        let mut stream =
-            sorted_key_pos(&ds, 50..150, &sax, 1 << 20, dir.path(), &stats).unwrap();
+        let mut stream = sorted_key_pos(&ds, 50..150, &sax, 1 << 20, dir.path(), &stats).unwrap();
         let mut n = 0;
         while let Some(kp) = stream.next_item().unwrap() {
             assert!((50..150).contains(&kp.pos));
@@ -154,6 +155,10 @@ mod tests {
         let (ds, stats) = small_dataset(&dir, 2000, 32);
         let sax = SaxConfig::default_for_len(32);
         let stream = sorted_key_pos(&ds, 0..2000, &sax, 1024, dir.path(), &stats).unwrap();
-        assert!(stream.report().runs > 1, "expected spills, got {:?}", stream.report());
+        assert!(
+            stream.report().runs > 1,
+            "expected spills, got {:?}",
+            stream.report()
+        );
     }
 }

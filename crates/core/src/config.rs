@@ -109,8 +109,10 @@ mod tests {
 
     #[test]
     fn fill_factor_scales_bulk_entries() {
-        let mut c = IndexConfig::default();
-        c.fill_factor = 0.5;
+        let mut c = IndexConfig {
+            fill_factor: 0.5,
+            ..IndexConfig::default()
+        };
         assert_eq!(c.bulk_leaf_entries(), 1000);
         c.fill_factor = 0.0004; // floor would be 0 -> clamped to 1
         assert_eq!(c.bulk_leaf_entries(), 1);
@@ -118,17 +120,25 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = IndexConfig::default();
-        c.leaf_capacity = 0;
+        let c = IndexConfig {
+            leaf_capacity: 0,
+            ..IndexConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = IndexConfig::default();
-        c.fill_factor = 0.0;
+        let c = IndexConfig {
+            fill_factor: 0.0,
+            ..IndexConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = IndexConfig::default();
-        c.fill_factor = 1.5;
+        let c = IndexConfig {
+            fill_factor: 1.5,
+            ..IndexConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = IndexConfig::default();
-        c.internal_fanout = 1;
+        let c = IndexConfig {
+            internal_fanout: 1,
+            ..IndexConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -68,7 +68,9 @@ impl EntryLayout {
     /// The key of an encoded entry.
     #[inline]
     pub fn key(&self, entry: &[u8]) -> ZKey {
-        ZKey(u128::from_le_bytes(entry[..16].try_into().expect("entry key")))
+        ZKey(u128::from_le_bytes(
+            entry[..16].try_into().expect("entry key"),
+        ))
     }
 
     /// The raw-file position of an encoded entry.
@@ -82,7 +84,10 @@ impl EntryLayout {
     pub fn series_into(&self, entry: &[u8], out: &mut [Value]) {
         debug_assert!(self.materialized);
         debug_assert_eq!(out.len(), self.series_len);
-        for (i, chunk) in entry[24..24 + 4 * self.series_len].chunks_exact(4).enumerate() {
+        for (i, chunk) in entry[24..24 + 4 * self.series_len]
+            .chunks_exact(4)
+            .enumerate()
+        {
             out[i] = Value::from_le_bytes(chunk.try_into().expect("entry f32"));
         }
     }
@@ -225,7 +230,12 @@ pub struct LeafStore {
 impl LeafStore {
     /// A store over `file` with the given entry layout and leaf capacity.
     pub fn new(file: Arc<CountedFile>, entry: EntryLayout, capacity: usize) -> Self {
-        LeafStore { file, entry, capacity, cache: None }
+        LeafStore {
+            file,
+            entry,
+            capacity,
+            cache: None,
+        }
     }
 
     /// Route subsequent block reads through `cache` (identified by
@@ -268,17 +278,21 @@ impl LeafStore {
         if let Some((cache, file_id)) = &self.cache {
             // Cache whole leaf extents (blocks_used * block) keyed by the
             // first physical block number.
-            let key = PageKey { file_id: *file_id, page_no: leaf.block as u64 };
+            let key = PageKey {
+                file_id: *file_id,
+                page_no: leaf.block as u64,
+            };
             let extent = cache.get_with(key, || {
-                let mut full =
-                    vec![0u8; leaf.blocks_used as usize * self.block_bytes()];
-                self.file.read_exact_at(&mut full, self.block_offset(leaf.block))?;
+                let mut full = vec![0u8; leaf.blocks_used as usize * self.block_bytes()];
+                self.file
+                    .read_exact_at(&mut full, self.block_offset(leaf.block))?;
                 Ok(full)
             })?;
             buf.copy_from_slice(&extent[..bytes]);
             return Ok(());
         }
-        self.file.read_exact_at(buf, self.block_offset(leaf.block))?;
+        self.file
+            .read_exact_at(buf, self.block_offset(leaf.block))?;
         Ok(())
     }
 
@@ -292,7 +306,10 @@ impl LeafStore {
         padded[..entries.len()].copy_from_slice(entries);
         self.file.write_all_at(&padded, self.block_offset(block))?;
         if let Some((cache, file_id)) = &self.cache {
-            cache.invalidate(PageKey { file_id: *file_id, page_no: block as u64 });
+            cache.invalidate(PageKey {
+                file_id: *file_id,
+                page_no: block as u64,
+            });
         }
         Ok(blocks_used)
     }
@@ -316,7 +333,10 @@ mod tests {
 
     #[test]
     fn entry_layout_roundtrip_nonmaterialized() {
-        let e = EntryLayout { series_len: 8, materialized: false };
+        let e = EntryLayout {
+            series_len: 8,
+            materialized: false,
+        };
         assert_eq!(e.entry_bytes(), 24);
         let mut buf = vec![0u8; 24];
         e.encode(ZKey(999), 77, None, &mut buf);
@@ -326,7 +346,10 @@ mod tests {
 
     #[test]
     fn entry_layout_roundtrip_materialized() {
-        let e = EntryLayout { series_len: 4, materialized: true };
+        let e = EntryLayout {
+            series_len: 4,
+            materialized: true,
+        };
         assert_eq!(e.entry_bytes(), 40);
         let series = [1.5f32, -2.0, 0.0, 42.0];
         let mut buf = vec![0u8; 40];
@@ -371,9 +394,24 @@ mod tests {
         let f = mk_file(&dir);
         f.append(&[0u8; 100]).unwrap(); // arbitrary preceding content
         let leaves = vec![
-            LeafMeta { first_key: ZKey(1), count: 10, block: 0, blocks_used: 1 },
-            LeafMeta { first_key: ZKey(500), count: 2000, block: 1, blocks_used: 1 },
-            LeafMeta { first_key: ZKey(u128::MAX), count: 4100, block: 2, blocks_used: 3 },
+            LeafMeta {
+                first_key: ZKey(1),
+                count: 10,
+                block: 0,
+                blocks_used: 1,
+            },
+            LeafMeta {
+                first_key: ZKey(500),
+                count: 2000,
+                block: 1,
+                blocks_used: 1,
+            },
+            LeafMeta {
+                first_key: ZKey(u128::MAX),
+                count: 4100,
+                block: 2,
+                blocks_used: 3,
+            },
         ];
         let off = write_directory(&f, &leaves).unwrap();
         let (back, end) = read_directory(&f, off).unwrap();
@@ -385,7 +423,10 @@ mod tests {
     fn leafstore_write_read_roundtrip() {
         let dir = TempDir::new("layout").unwrap();
         let f = mk_file(&dir);
-        let layout = EntryLayout { series_len: 4, materialized: false };
+        let layout = EntryLayout {
+            series_len: 4,
+            materialized: false,
+        };
         let store = LeafStore::new(f, layout, 3); // 3 entries per block
         assert_eq!(store.block_bytes(), 72);
 
@@ -400,7 +441,12 @@ mod tests {
         let used = store.write_leaf(0, &entries).unwrap();
         assert_eq!(used, 1);
 
-        let leaf = LeafMeta { first_key: ZKey(10), count: 2, block: 0, blocks_used: 1 };
+        let leaf = LeafMeta {
+            first_key: ZKey(10),
+            count: 2,
+            block: 0,
+            blocks_used: 1,
+        };
         let mut buf = Vec::new();
         store.read_leaf(&leaf, &mut buf).unwrap();
         assert_eq!(buf.len(), 48);
@@ -412,9 +458,12 @@ mod tests {
     fn oversized_leaf_spans_blocks() {
         let dir = TempDir::new("layout").unwrap();
         let f = mk_file(&dir);
-        let layout = EntryLayout { series_len: 4, materialized: false };
+        let layout = EntryLayout {
+            series_len: 4,
+            materialized: false,
+        };
         let store = LeafStore::new(f, layout, 2); // 2 entries per block
-        // 5 entries -> 3 blocks.
+                                                  // 5 entries -> 3 blocks.
         let mut entries = vec![0u8; 5 * 24];
         for i in 0..5 {
             let mut e = vec![0u8; 24];
@@ -423,7 +472,12 @@ mod tests {
         }
         let used = store.write_leaf(0, &entries).unwrap();
         assert_eq!(used, 3);
-        let leaf = LeafMeta { first_key: ZKey(0), count: 5, block: 0, blocks_used: 3 };
+        let leaf = LeafMeta {
+            first_key: ZKey(0),
+            count: 5,
+            block: 0,
+            blocks_used: 3,
+        };
         let mut buf = Vec::new();
         store.read_leaf(&leaf, &mut buf).unwrap();
         for i in 0..5 {

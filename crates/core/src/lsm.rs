@@ -221,7 +221,10 @@ mod tests {
     fn brute_force(all: &[Vec<Value>], q: &[Value]) -> Answer {
         let mut best = Answer::none();
         for (i, s) in all.iter().enumerate() {
-            best.merge(Answer { pos: i as u64, dist: euclidean(q, s) });
+            best.merge(Answer {
+                pos: i as u64,
+                dist: euclidean(q, s),
+            });
         }
         best
     }
@@ -241,7 +244,11 @@ mod tests {
             all = new_all;
             lsm.ingest(&ds).unwrap();
             assert_eq!(lsm.len(), all.len() as u64, "round {round}");
-            assert!(lsm.run_count() <= 3, "round {round}: {} runs", lsm.run_count());
+            assert!(
+                lsm.run_count() <= 3,
+                "round {round}: {} runs",
+                lsm.run_count()
+            );
 
             let mut q = RandomWalkGen::new(100 + round).generate(LEN);
             znormalize(&mut q);

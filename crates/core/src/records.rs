@@ -39,7 +39,9 @@ impl Codec for KeyPosCodec {
 
     fn decode(&self, buf: &[u8]) -> KeyPos {
         KeyPos {
-            key: ZKey(u128::from_le_bytes(buf[..16].try_into().expect("key bytes"))),
+            key: ZKey(u128::from_le_bytes(
+                buf[..16].try_into().expect("key bytes"),
+            )),
             pos: u64::from_le_bytes(buf[16..24].try_into().expect("pos bytes")),
         }
     }
@@ -106,7 +108,9 @@ impl Codec for KeySeriesCodec {
     }
 
     fn decode(&self, buf: &[u8]) -> KeySeries {
-        let key = ZKey(u128::from_le_bytes(buf[..16].try_into().expect("key bytes")));
+        let key = ZKey(u128::from_le_bytes(
+            buf[..16].try_into().expect("key bytes"),
+        ));
         let pos = u64::from_le_bytes(buf[16..24].try_into().expect("pos bytes"));
         let series = buf[24..24 + 4 * self.series_len]
             .chunks_exact(4)
@@ -123,7 +127,10 @@ mod tests {
     #[test]
     fn keypos_codec_roundtrip() {
         let c = KeyPosCodec;
-        let item = KeyPos { key: ZKey(u128::MAX - 7), pos: 123_456_789 };
+        let item = KeyPos {
+            key: ZKey(u128::MAX - 7),
+            pos: 123_456_789,
+        };
         let mut buf = vec![0u8; c.record_size()];
         c.encode(&item, &mut buf);
         assert_eq!(c.decode(&buf), item);
@@ -131,9 +138,18 @@ mod tests {
 
     #[test]
     fn keypos_orders_by_key_then_pos() {
-        let a = KeyPos { key: ZKey(1), pos: 99 };
-        let b = KeyPos { key: ZKey(2), pos: 0 };
-        let c = KeyPos { key: ZKey(2), pos: 1 };
+        let a = KeyPos {
+            key: ZKey(1),
+            pos: 99,
+        };
+        let b = KeyPos {
+            key: ZKey(2),
+            pos: 0,
+        };
+        let c = KeyPos {
+            key: ZKey(2),
+            pos: 1,
+        };
         assert!(a < b && b < c);
     }
 
@@ -155,10 +171,22 @@ mod tests {
 
     #[test]
     fn keyseries_order_ignores_payload() {
-        let a = KeySeries { key: ZKey(1), pos: 0, series: vec![9.0; 4] };
-        let b = KeySeries { key: ZKey(1), pos: 1, series: vec![0.0; 4] };
+        let a = KeySeries {
+            key: ZKey(1),
+            pos: 0,
+            series: vec![9.0; 4],
+        };
+        let b = KeySeries {
+            key: ZKey(1),
+            pos: 1,
+            series: vec![0.0; 4],
+        };
         assert!(a < b);
-        let c = KeySeries { key: ZKey(0), pos: 5, series: vec![1.0; 4] };
+        let c = KeySeries {
+            key: ZKey(0),
+            pos: 5,
+            series: vec![1.0; 4],
+        };
         assert!(c < a);
     }
 }

@@ -108,7 +108,10 @@ pub fn sims_exact(
         stats.records_fetched += 1;
         if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, bsf_sq) {
             if d_sq < bsf_sq {
-                bsf = Answer { pos, dist: d_sq.sqrt() };
+                bsf = Answer {
+                    pos,
+                    dist: d_sq.sqrt(),
+                };
                 bsf_sq = d_sq;
             }
         }
@@ -130,7 +133,11 @@ pub fn sims_range(
     let mut stats = QueryStats::default();
     let mindists = parallel_mindists(query_paa, keys, config, threads);
     stats.lower_bounds += keys.len() as u64;
-    let eps_sq = epsilon * epsilon;
+    // The inclusion test is `sqrt(d_sq) <= epsilon`, but the abandon cutoff
+    // lives in squared space: epsilon² can round to just below the d_sq of a
+    // boundary hit (sqrt/square is not an exact roundtrip), silently dropping
+    // it. Pad the cutoff by a few ulps and re-test in distance space.
+    let cutoff_sq = (epsilon * epsilon) * (1.0 + 8.0 * f64::EPSILON);
     let mut out = Vec::new();
     let mut buf = vec![0.0 as Value; query.len()];
     for (i, &md) in mindists.iter().enumerate() {
@@ -140,8 +147,11 @@ pub fn sims_range(
         }
         let pos = fetcher.fetch(i, &mut buf)?;
         stats.records_fetched += 1;
-        if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, eps_sq) {
-            out.push(Answer { pos, dist: d_sq.sqrt() });
+        if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, cutoff_sq) {
+            let dist = d_sq.sqrt();
+            if dist <= epsilon {
+                out.push(Answer { pos, dist });
+            }
         }
     }
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
@@ -164,7 +174,8 @@ pub fn sims_exact_dtw(
 ) -> Result<(Answer, QueryStats)> {
     let mut stats = QueryStats::default();
     let envelope = Envelope::new(query, band);
-    let (env_lo, env_hi) = envelope_segment_bounds(&envelope.lower, &envelope.upper, config.segments);
+    let (env_lo, env_hi) =
+        envelope_segment_bounds(&envelope.lower, &envelope.upper, config.segments);
 
     // Parallel index-level lower bounds from the envelope.
     let n = keys.len();
@@ -204,7 +215,10 @@ pub fn sims_exact_dtw(
         }
         if let Some(d_sq) = dtw_sq_early_abandon(query, &buf, band, bsf_sq) {
             if d_sq < bsf_sq {
-                bsf = Answer { pos, dist: d_sq.sqrt() };
+                bsf = Answer {
+                    pos,
+                    dist: d_sq.sqrt(),
+                };
                 bsf_sq = d_sq;
             }
         }
@@ -249,16 +263,30 @@ pub fn sims_exact_knn(
 
     let mut buf = vec![0.0 as Value; query.len()];
     for (i, &md) in mindists.iter().enumerate() {
-        let cutoff = if best.len() == k { best[k - 1].dist } else { f64::INFINITY };
+        let cutoff = if best.len() == k {
+            best[k - 1].dist
+        } else {
+            f64::INFINITY
+        };
         if md >= cutoff {
             stats.pruned += 1;
             continue;
         }
         let pos = fetcher.fetch(i, &mut buf)?;
         stats.records_fetched += 1;
-        let cutoff_sq = if cutoff.is_finite() { cutoff * cutoff } else { f64::INFINITY };
+        let cutoff_sq = if cutoff.is_finite() {
+            cutoff * cutoff
+        } else {
+            f64::INFINITY
+        };
         if let Some(d_sq) = euclidean_sq_early_abandon(query, &buf, cutoff_sq) {
-            insert(&mut best, Answer { pos, dist: d_sq.sqrt() });
+            insert(
+                &mut best,
+                Answer {
+                    pos,
+                    dist: d_sq.sqrt(),
+                },
+            );
         }
     }
     Ok((best, stats))
@@ -301,7 +329,10 @@ mod tests {
     fn brute_force(query: &[Value], data: &[Vec<Value>]) -> Answer {
         let mut best = Answer::none();
         for (i, s) in data.iter().enumerate() {
-            best.merge(Answer { pos: i as u64, dist: euclidean(query, s) });
+            best.merge(Answer {
+                pos: i as u64,
+                dist: euclidean(query, s),
+            });
         }
         best
     }
@@ -369,12 +400,14 @@ mod tests {
         znormalize(&mut q);
         let qp = paa(&q, config.segments);
         let mut fetcher = VecFetcher { data: &data };
-        let (top, _) =
-            sims_exact_knn(&q, &qp, &keys, &config, 2, 5, &[], &mut fetcher).unwrap();
+        let (top, _) = sims_exact_knn(&q, &qp, &keys, &config, 2, 5, &[], &mut fetcher).unwrap();
         let mut all: Vec<Answer> = data
             .iter()
             .enumerate()
-            .map(|(i, s)| Answer { pos: i as u64, dist: euclidean(&q, s) })
+            .map(|(i, s)| Answer {
+                pos: i as u64,
+                dist: euclidean(&q, s),
+            })
             .collect();
         all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         assert_eq!(top.len(), 5);

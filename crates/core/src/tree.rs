@@ -340,7 +340,13 @@ impl CoconutTree {
             if done {
                 break;
             }
-            level = self.levels.last().unwrap().chunks(fanout).map(|c| c[0]).collect();
+            level = self
+                .levels
+                .last()
+                .unwrap()
+                .chunks(fanout)
+                .map(|c| c[0])
+                .collect();
         }
     }
 
@@ -408,7 +414,11 @@ impl CoconutTree {
 
     /// Route leaf reads through a shared buffer pool (`file_id` must be
     /// unique per index within the pool). Models "RAM available to queries".
-    pub fn attach_cache(&mut self, cache: std::sync::Arc<coconut_storage::PageCache>, file_id: u32) {
+    pub fn attach_cache(
+        &mut self,
+        cache: std::sync::Arc<coconut_storage::PageCache>,
+        file_id: u32,
+    ) {
         self.store.attach_cache(cache, file_id);
     }
 
@@ -467,7 +477,10 @@ impl CoconutTree {
                 let d_sq = euclidean_sq(query, &series_buf);
                 if d_sq < best_sq {
                     best_sq = d_sq;
-                    *best = Answer { pos, dist: d_sq.sqrt() };
+                    *best = Answer {
+                        pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -544,7 +557,12 @@ impl CoconutTree {
             keys_by_pos[(p - start) as usize] = *k;
         }
         let leaf_starts = Self::compute_leaf_starts(&self.leaves);
-        let s = Arc::new(Summaries { keys_by_pos, keys_leaf_order, pos_leaf_order, leaf_starts });
+        let s = Arc::new(Summaries {
+            keys_by_pos,
+            keys_leaf_order,
+            pos_leaf_order,
+            leaf_starts,
+        });
         *write = Some(Arc::clone(&s));
         Ok(s)
     }
@@ -577,7 +595,10 @@ impl CoconutTree {
                 &mut fetcher,
             )?
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             sims_exact(
                 query,
                 &query_paa,
@@ -594,11 +615,7 @@ impl CoconutTree {
 
     /// Exact range query (extension): all series within Euclidean distance
     /// `epsilon` of the query, sorted by distance.
-    pub fn exact_range(
-        &self,
-        query: &[Value],
-        epsilon: f64,
-    ) -> Result<(Vec<Answer>, QueryStats)> {
+    pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
         self.query_key(query)?; // validates the length
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
@@ -614,7 +631,10 @@ impl CoconutTree {
                 &mut fetcher,
             )
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             crate::sims::sims_range(
                 query,
                 &query_paa,
@@ -631,11 +651,7 @@ impl CoconutTree {
     /// radius `band` (extension; Section 2 of the paper notes DTW
     /// compatibility). The best-so-far is seeded by computing true DTW
     /// distances to the contents of the query's target leaf.
-    pub fn exact_search_dtw(
-        &self,
-        query: &[Value],
-        band: usize,
-    ) -> Result<(Answer, QueryStats)> {
+    pub fn exact_search_dtw(&self, query: &[Value], band: usize) -> Result<(Answer, QueryStats)> {
         let key = self.query_key(query)?;
         let mut stats = QueryStats::default();
         let mut seed = Answer::none();
@@ -661,7 +677,10 @@ impl CoconutTree {
                     coconut_series::dtw::dtw_sq_early_abandon(query, &series_buf, band, cutoff)
                 {
                     if d_sq < cutoff {
-                        seed = Answer { pos, dist: d_sq.sqrt() };
+                        seed = Answer {
+                            pos,
+                            dist: d_sq.sqrt(),
+                        };
                     }
                 }
             }
@@ -679,7 +698,10 @@ impl CoconutTree {
                 &mut fetcher,
             )?
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             crate::sims::sims_exact_dtw(
                 query,
                 band,
@@ -699,7 +721,11 @@ impl CoconutTree {
         let (seed, mut stats) = self.approximate_search_with_stats(query, self.default_radius)?;
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
-        let seeds = if seed.is_some() { vec![seed] } else { Vec::new() };
+        let seeds = if seed.is_some() {
+            vec![seed]
+        } else {
+            Vec::new()
+        };
         let (answers, sims_stats) = if self.materialized {
             let mut fetcher = LeafOrderFetcher::new(&self.store, &self.leaves, &summaries);
             sims_exact_knn(
@@ -713,7 +739,10 @@ impl CoconutTree {
                 &mut fetcher,
             )?
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             sims_exact_knn(
                 query,
                 &query_paa,
@@ -745,7 +774,11 @@ impl CoconutTree {
         let entry = *self.store.entry();
         let eb = entry.entry_bytes();
         let mut entry_buf = vec![0u8; eb];
-        let payload = if self.materialized { Some(series) } else { None };
+        let payload = if self.materialized {
+            Some(series)
+        } else {
+            None
+        };
         entry.encode(key, pos, payload, &mut entry_buf);
 
         if self.leaves.is_empty() {
@@ -786,8 +819,10 @@ impl CoconutTree {
                 let total = count + 1;
                 let left = total / 2;
                 let right = total - left;
-                self.store.write_leaf(self.leaves[li].block, &leaf_buf[..left * eb])?;
-                self.store.write_leaf(self.next_block, &leaf_buf[left * eb..])?;
+                self.store
+                    .write_leaf(self.leaves[li].block, &leaf_buf[..left * eb])?;
+                self.store
+                    .write_leaf(self.next_block, &leaf_buf[left * eb..])?;
                 let right_first = entry.key(self.store.entry_slice(&leaf_buf, left));
                 self.leaves[li].count = left as u32;
                 self.leaves[li].first_key = entry.key(self.store.entry_slice(&leaf_buf, 0));
@@ -876,7 +911,10 @@ impl CoconutTree {
                     .saturating_sub(1);
                 let mut j = i + 1;
                 while j < items.len()
-                    && first_keys.partition_point(|&k| k <= items[j].0).saturating_sub(1) == li
+                    && first_keys
+                        .partition_point(|&k| k <= items[j].0)
+                        .saturating_sub(1)
+                        == li
                 {
                     j += 1;
                 }
@@ -930,7 +968,12 @@ impl CoconutTree {
                     };
                     let blocks_used = self.store.write_leaf(block, piece)?;
                     debug_assert_eq!(blocks_used, 1);
-                    new_metas.push(LeafMeta { first_key, count, block, blocks_used });
+                    new_metas.push(LeafMeta {
+                        first_key,
+                        count,
+                        block,
+                        blocks_used,
+                    });
                 }
                 self.leaves.splice(li..=li, new_metas);
             }
@@ -1041,7 +1084,8 @@ impl SeriesFetcher for LeafOrderFetcher<'_> {
             while i64 >= self.leaf_starts[self.cur_leaf + 1] {
                 self.cur_leaf += 1;
             }
-            self.store.read_leaf(&self.leaves[self.cur_leaf], &mut self.leaf_buf)?;
+            self.store
+                .read_leaf(&self.leaves[self.cur_leaf], &mut self.leaf_buf)?;
             self.loaded = true;
         }
         let slot = (i64 - self.leaf_starts[self.cur_leaf]) as usize;
@@ -1053,7 +1097,11 @@ impl SeriesFetcher for LeafOrderFetcher<'_> {
 
 impl SeriesIndex for CoconutTree {
     fn name(&self) -> String {
-        if self.materialized { "CTreeFull".into() } else { "CTree".into() }
+        if self.materialized {
+            "CTreeFull".into()
+        } else {
+            "CTree".into()
+        }
     }
 
     fn approximate(&self, query: &[Value]) -> Result<Answer> {
@@ -1104,7 +1152,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(query, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(query, s),
+            });
         }
         best
     }
@@ -1239,7 +1290,10 @@ mod tests {
         let mut g = RandomWalkGen::new(17);
         {
             let mut w = coconut_series::dataset::DatasetWriter::create(
-                &path, LEN, true, Arc::clone(&stats),
+                &path,
+                LEN,
+                true,
+                Arc::clone(&stats),
             )
             .unwrap();
             for _ in 0..400 {
@@ -1250,9 +1304,14 @@ mod tests {
             w.finish().unwrap();
         }
         let ds = Dataset::open(&path, stats).unwrap();
-        let mut tree =
-            CoconutTree::build_range(&ds, 0..300, &small_config(), dir.path(), BuildOptions::default())
-                .unwrap();
+        let mut tree = CoconutTree::build_range(
+            &ds,
+            0..300,
+            &small_config(),
+            dir.path(),
+            BuildOptions::default(),
+        )
+        .unwrap();
         let batch: Vec<Vec<Value>> = (300..400).map(|p| ds.get(p).unwrap()).collect();
         tree.insert_batch(300, &batch).unwrap();
         assert_eq!(tree.len(), 400);
@@ -1312,7 +1371,11 @@ mod tests {
         config.fill_factor = 0.5;
         let tree = CoconutTree::build(&ds, &config, dir.path(), BuildOptions::default()).unwrap();
         // Leaves hold 16 of 32 slots.
-        assert!((tree.avg_fill() - 0.5).abs() < 0.05, "fill {}", tree.avg_fill());
+        assert!(
+            (tree.avg_fill() - 0.5).abs() < 0.05,
+            "fill {}",
+            tree.avg_fill()
+        );
         assert_eq!(tree.leaf_count(), 20);
     }
 
@@ -1391,8 +1454,10 @@ mod tests {
         let dir = TempDir::new("ctree").unwrap();
         let ds = make_dataset(&dir, 500);
         for materialized in [false, true] {
-            let mut opts = BuildOptions::default();
-            opts.materialized = materialized;
+            let opts = BuildOptions {
+                materialized,
+                ..BuildOptions::default()
+            };
             let tree = CoconutTree::build(&ds, &small_config(), dir.path(), opts).unwrap();
             let q = query(42);
             // Pick epsilon around the 10th-nearest distance so the result
@@ -1403,8 +1468,11 @@ mod tests {
             dists.sort_by(|a, b| a.1.total_cmp(&b.1));
             let eps = dists[9].1;
             let (hits, _) = tree.exact_range(&q, eps).unwrap();
-            let expected: Vec<u64> =
-                dists.iter().take_while(|&&(_, d)| d <= eps).map(|&(p, _)| p).collect();
+            let expected: Vec<u64> = dists
+                .iter()
+                .take_while(|&&(_, d)| d <= eps)
+                .map(|&(p, _)| p)
+                .collect();
             assert_eq!(hits.len(), expected.len(), "mat={materialized}");
             let mut got: Vec<u64> = hits.iter().map(|a| a.pos).collect();
             got.sort_unstable();
@@ -1436,8 +1504,10 @@ mod tests {
         let dir = TempDir::new("ctree").unwrap();
         let ds = make_dataset(&dir, 300);
         for materialized in [false, true] {
-            let mut opts = BuildOptions::default();
-            opts.materialized = materialized;
+            let opts = BuildOptions {
+                materialized,
+                ..BuildOptions::default()
+            };
             let tree = CoconutTree::build(&ds, &small_config(), dir.path(), opts).unwrap();
             for seed in 800..805 {
                 let q = query(seed);
@@ -1447,9 +1517,15 @@ mod tests {
                     let mut best = Answer::none();
                     for p in 0..300 {
                         let s = ds.get(p).unwrap();
-                        best.merge(Answer { pos: p, dist: dtw(&q, &s, band) });
+                        best.merge(Answer {
+                            pos: p,
+                            dist: dtw(&q, &s, band),
+                        });
                     }
-                    assert_eq!(ans.pos, best.pos, "mat={materialized} seed={seed} band={band}");
+                    assert_eq!(
+                        ans.pos, best.pos,
+                        "mat={materialized} seed={seed} band={band}"
+                    );
                     assert!((ans.dist - best.dist).abs() < 1e-6);
                     assert!(stats.lower_bounds >= 300);
                 }
@@ -1481,7 +1557,9 @@ mod tests {
             let q = query(seed);
             let key = tree.query_key(&q).unwrap();
             let (li, _) = tree.descend(key).unwrap();
-            let flat = tree.levels[0].partition_point(|&k| k <= key).saturating_sub(1);
+            let flat = tree.levels[0]
+                .partition_point(|&k| k <= key)
+                .saturating_sub(1);
             assert_eq!(li, flat, "seed {seed}");
         }
     }

@@ -140,7 +140,8 @@ impl CoconutTrie {
         // summarizations and their offsets fit in main memory"); the raw
         // payloads of -Full builds are still sorted externally below.
         let stats = Arc::clone(self.dataset.file().stats());
-        let mut sorted: Vec<KeyPos> = Vec::with_capacity((self.range.end - self.range.start) as usize);
+        let mut sorted: Vec<KeyPos> =
+            Vec::with_capacity((self.range.end - self.range.start) as usize);
         {
             let mut stream = sorted_key_pos(
                 &self.dataset,
@@ -278,8 +279,7 @@ impl CoconutTrie {
         }
         // Keys are sorted, so entries with bit `depth` == 0 precede those
         // with 1; find the boundary by binary search on the bit.
-        let mid = lo
-            + sorted[lo..hi].partition_point(|kp| kp.key.bit(depth, total_bits) == 0);
+        let mid = lo + sorted[lo..hi].partition_point(|kp| kp.key.bit(depth, total_bits) == 0);
         if mid == lo || mid == hi {
             // All entries share this bit: path-compress (the paper's
             // createUptree emits a chain of one-child nodes; we skip them).
@@ -287,7 +287,11 @@ impl CoconutTrie {
         }
         let zero = self.carve(sorted, lo, mid, depth + 1, total_bits, ranges);
         let one = self.carve(sorted, mid, hi, depth + 1, total_bits, ranges);
-        self.nodes.push(TrieNode::Internal { depth: depth as u32, zero, one });
+        self.nodes.push(TrieNode::Internal {
+            depth: depth as u32,
+            zero,
+            one,
+        });
         (self.nodes.len() - 1) as u32
     }
 
@@ -363,14 +367,22 @@ impl CoconutTrie {
                 0 => {
                     let zero = u32::from_le_bytes(c[5..9].try_into().unwrap());
                     let one = u32::from_le_bytes(c[9..13].try_into().unwrap());
-                    nodes.push(TrieNode::Internal { depth: a, zero, one });
+                    nodes.push(TrieNode::Internal {
+                        depth: a,
+                        zero,
+                        one,
+                    });
                 }
                 1 => nodes.push(TrieNode::Leaf { leaf: a }),
                 t => return Err(Error::corrupt(format!("bad trie node tag {t}"))),
             }
         }
         let root_raw = u32::from_le_bytes(nodes_buf[node_count * 13..].try_into().unwrap());
-        let root = if root_raw == u32::MAX { None } else { Some(root_raw) };
+        let root = if root_raw == u32::MAX {
+            None
+        } else {
+            Some(root_raw)
+        };
         let entry = EntryLayout {
             series_len: config.sax.series_len,
             materialized: header.materialized,
@@ -421,7 +433,11 @@ impl CoconutTrie {
 
     /// Route leaf reads through a shared buffer pool (`file_id` must be
     /// unique per index within the pool).
-    pub fn attach_cache(&mut self, cache: std::sync::Arc<coconut_storage::PageCache>, file_id: u32) {
+    pub fn attach_cache(
+        &mut self,
+        cache: std::sync::Arc<coconut_storage::PageCache>,
+        file_id: u32,
+    ) {
         self.store.attach_cache(cache, file_id);
     }
 
@@ -445,7 +461,11 @@ impl CoconutTrie {
             match self.nodes[node as usize] {
                 TrieNode::Leaf { leaf } => return Some((leaf as usize, visited)),
                 TrieNode::Internal { depth, zero, one } => {
-                    node = if key.bit(depth as usize, total_bits) == 0 { zero } else { one };
+                    node = if key.bit(depth as usize, total_bits) == 0 {
+                        zero
+                    } else {
+                        one
+                    };
                 }
             }
         }
@@ -487,7 +507,10 @@ impl CoconutTrie {
                 let d_sq = euclidean_sq(query, &series_buf);
                 if d_sq < best_sq {
                     best_sq = d_sq;
-                    *best = Answer { pos, dist: d_sq.sqrt() };
+                    *best = Answer {
+                        pos,
+                        dist: d_sq.sqrt(),
+                    };
                 }
             }
         }
@@ -549,16 +572,26 @@ impl CoconutTrie {
             }
         }
         leaf_starts.push(acc);
-        let (start, end) =
-            if pos_leaf_order.is_empty() { (0, 0) } else { (min_pos, max_pos + 1) };
+        let (start, end) = if pos_leaf_order.is_empty() {
+            (0, 0)
+        } else {
+            (min_pos, max_pos + 1)
+        };
         if end - start != self.entry_count {
-            return Err(Error::corrupt("index does not cover a contiguous position range"));
+            return Err(Error::corrupt(
+                "index does not cover a contiguous position range",
+            ));
         }
         let mut keys_by_pos = vec![ZKey::MIN; (end - start) as usize];
         for (k, p) in keys_leaf_order.iter().zip(pos_leaf_order.iter()) {
             keys_by_pos[(p - start) as usize] = *k;
         }
-        let s = Arc::new(Summaries { keys_by_pos, keys_leaf_order, pos_leaf_order, leaf_starts });
+        let s = Arc::new(Summaries {
+            keys_by_pos,
+            keys_leaf_order,
+            pos_leaf_order,
+            leaf_starts,
+        });
         *write = Some(Arc::clone(&s));
         Ok(s)
     }
@@ -598,7 +631,10 @@ impl CoconutTrie {
                 &mut fetcher,
             )?
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             sims_exact(
                 query,
                 &query_paa,
@@ -618,7 +654,11 @@ impl CoconutTrie {
         let (seed, mut stats) = self.approximate_search_with_stats(query, self.default_radius)?;
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
-        let seeds = if seed.is_some() { vec![seed] } else { Vec::new() };
+        let seeds = if seed.is_some() {
+            vec![seed]
+        } else {
+            Vec::new()
+        };
         let (answers, sims_stats) = if self.materialized {
             let mut fetcher = TrieLeafFetcher {
                 store: &self.store,
@@ -640,7 +680,10 @@ impl CoconutTrie {
                 &mut fetcher,
             )?
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             crate::sims::sims_exact_knn(
                 query,
                 &query_paa,
@@ -658,11 +701,7 @@ impl CoconutTrie {
 
     /// Exact range query (extension): every series within Euclidean
     /// distance `epsilon`, sorted by distance.
-    pub fn exact_range(
-        &self,
-        query: &[Value],
-        epsilon: f64,
-    ) -> Result<(Vec<Answer>, QueryStats)> {
+    pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
         self.query_key(query)?;
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
@@ -686,7 +725,10 @@ impl CoconutTrie {
                 &mut fetcher,
             )
         } else {
-            let mut fetcher = RawFileFetcher { dataset: &self.dataset, start: self.range.start };
+            let mut fetcher = RawFileFetcher {
+                dataset: &self.dataset,
+                start: self.range.start,
+            };
             crate::sims::sims_range(
                 query,
                 &query_paa,
@@ -732,7 +774,8 @@ impl SeriesFetcher for TrieLeafFetcher<'_> {
             while i64 >= self.leaf_starts[self.cur_leaf + 1] {
                 self.cur_leaf += 1;
             }
-            self.store.read_leaf(&self.leaves[self.cur_leaf], &mut self.leaf_buf)?;
+            self.store
+                .read_leaf(&self.leaves[self.cur_leaf], &mut self.leaf_buf)?;
             self.loaded = true;
         }
         let slot = (i64 - self.leaf_starts[self.cur_leaf]) as usize;
@@ -744,7 +787,11 @@ impl SeriesFetcher for TrieLeafFetcher<'_> {
 
 impl SeriesIndex for CoconutTrie {
     fn name(&self) -> String {
-        if self.materialized { "CTrieFull".into() } else { "CTrie".into() }
+        if self.materialized {
+            "CTrieFull".into()
+        } else {
+            "CTrie".into()
+        }
     }
 
     fn approximate(&self, query: &[Value]) -> Result<Answer> {
@@ -795,7 +842,10 @@ mod tests {
         let mut best = Answer::none();
         let mut scan = ds.scan();
         while let Some((pos, s)) = scan.next_series().unwrap() {
-            best.merge(Answer { pos, dist: euclidean(query, s) });
+            best.merge(Answer {
+                pos,
+                dist: euclidean(query, s),
+            });
         }
         best
     }
@@ -970,13 +1020,17 @@ mod tests {
         let trie =
             CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
         let q = query(77);
-        let mut dists: Vec<(u64, f64)> =
-            (0..300).map(|p| (p, euclidean(&q, &ds.get(p).unwrap()))).collect();
+        let mut dists: Vec<(u64, f64)> = (0..300)
+            .map(|p| (p, euclidean(&q, &ds.get(p).unwrap())))
+            .collect();
         dists.sort_by(|a, b| a.1.total_cmp(&b.1));
         let eps = dists[4].1;
         let (hits, _) = trie.exact_range(&q, eps).unwrap();
-        let expected: Vec<u64> =
-            dists.iter().take_while(|&&(_, d)| d <= eps).map(|&(p, _)| p).collect();
+        let expected: Vec<u64> = dists
+            .iter()
+            .take_while(|&&(_, d)| d <= eps)
+            .map(|&(p, _)| p)
+            .collect();
         let mut got: Vec<u64> = hits.iter().map(|a| a.pos).collect();
         got.sort_unstable();
         let mut want = expected;

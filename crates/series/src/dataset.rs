@@ -75,7 +75,13 @@ impl DatasetWriter {
         let flags = if znormalized { FLAG_ZNORMALIZED } else { 0 };
         // Provisional header; count patched in `finish`.
         file.append(&encode_header(series_len as u32, flags, 0))?;
-        Ok(DatasetWriter { file, series_len, flags, count: 0, buf: Vec::with_capacity(WRITE_BUF) })
+        Ok(DatasetWriter {
+            file,
+            series_len,
+            flags,
+            count: 0,
+            buf: Vec::with_capacity(WRITE_BUF),
+        })
     }
 
     /// Append one series (must have exactly the configured length).
@@ -106,8 +112,10 @@ impl DatasetWriter {
             self.file.append(&self.buf)?;
             self.buf.clear();
         }
-        self.file
-            .write_all_at(&encode_header(self.series_len as u32, self.flags, self.count), 0)?;
+        self.file.write_all_at(
+            &encode_header(self.series_len as u32, self.flags, self.count),
+            0,
+        )?;
         self.file.sync()?;
         Ok(self.count)
     }
@@ -204,7 +212,10 @@ impl Dataset {
     /// Read series `pos` into `out` (`out.len()` must equal `series_len`).
     pub fn read_into(&self, pos: u64, out: &mut [Value]) -> Result<()> {
         if pos >= self.count {
-            return Err(Error::invalid(format!("series {pos} out of range ({})", self.count)));
+            return Err(Error::invalid(format!(
+                "series {pos} out of range ({})",
+                self.count
+            )));
         }
         if out.len() != self.series_len {
             return Err(Error::invalid("output buffer length != series length"));
@@ -278,7 +289,8 @@ impl<'a> DatasetScan<'a> {
             self.buf_values.clear();
             self.buf_values.reserve(n * self.ds.series_len);
             for chunk in self.buf_bytes.chunks_exact(4) {
-                self.buf_values.push(Value::from_le_bytes(chunk.try_into().unwrap()));
+                self.buf_values
+                    .push(Value::from_le_bytes(chunk.try_into().unwrap()));
             }
             self.buf_first_pos = self.next_pos;
             self.buf_count = n;
@@ -287,7 +299,10 @@ impl<'a> DatasetScan<'a> {
         let start = in_buf * self.ds.series_len;
         let pos = self.next_pos;
         self.next_pos += 1;
-        Ok(Some((pos, &self.buf_values[start..start + self.ds.series_len])))
+        Ok(Some((
+            pos,
+            &self.buf_values[start..start + self.ds.series_len],
+        )))
     }
 }
 
@@ -390,7 +405,10 @@ mod tests {
         let dir = TempDir::new("dataset").unwrap();
         let path = dir.path().join("bad.bin");
         std::fs::write(&path, [0u8; 64]).unwrap();
-        assert!(matches!(Dataset::open(&path, stats()), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            Dataset::open(&path, stats()),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -399,7 +417,10 @@ mod tests {
         let path = write_simple(&dir, 10, 8);
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 4]).unwrap();
-        assert!(matches!(Dataset::open(&path, stats()), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            Dataset::open(&path, stats()),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -425,7 +446,7 @@ mod tests {
 
     #[test]
     fn write_dataset_znormalizes() {
-        use crate::gen::{Generator, RandomWalkGen};
+        use crate::gen::RandomWalkGen;
         let dir = TempDir::new("dataset").unwrap();
         let path = dir.path().join("z.bin");
         let mut g = RandomWalkGen::new(7);

@@ -16,7 +16,11 @@ pub fn znormalize(series: &mut [Value]) {
     }
     let n = series.len() as f64;
     let mean = series.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let var = series.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = series
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let std = var.sqrt();
     if std < 1e-12 {
         series.fill(0.0);
@@ -137,7 +141,10 @@ mod tests {
         let b: Vec<Value> = (0..256).map(|i| (i as f32).cos()).collect();
         let full = euclidean_sq(&a, &b);
         assert_eq!(euclidean_sq_early_abandon(&a, &b, full + 1.0), Some(full));
-        assert_eq!(euclidean_sq_early_abandon(&a, &b, f64::INFINITY), Some(full));
+        assert_eq!(
+            euclidean_sq_early_abandon(&a, &b, f64::INFINITY),
+            Some(full)
+        );
     }
 
     #[test]
@@ -160,7 +167,9 @@ mod tests {
     fn distance_is_symmetric_and_triangle_holds() {
         let a: Vec<Value> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
         let b: Vec<Value> = (0..64).map(|i| (i as f32 * 0.2).cos()).collect();
-        let c: Vec<Value> = (0..64).map(|i| (i as f32 * 0.05).tan().clamp(-2.0, 2.0)).collect();
+        let c: Vec<Value> = (0..64)
+            .map(|i| (i as f32 * 0.05).tan().clamp(-2.0, 2.0))
+            .collect();
         assert!((euclidean(&a, &b) - euclidean(&b, &a)).abs() < 1e-12);
         assert!(euclidean(&a, &c) <= euclidean(&a, &b) + euclidean(&b, &c) + 1e-9);
     }

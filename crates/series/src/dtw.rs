@@ -51,8 +51,10 @@ impl Envelope {
 pub fn lb_keogh_sq(envelope: &Envelope, candidate: &[Value]) -> f64 {
     debug_assert_eq!(envelope.lower.len(), candidate.len());
     let mut acc = 0.0f64;
-    for ((&c, &lo), &hi) in
-        candidate.iter().zip(envelope.lower.iter()).zip(envelope.upper.iter())
+    for ((&c, &lo), &hi) in candidate
+        .iter()
+        .zip(envelope.lower.iter())
+        .zip(envelope.upper.iter())
     {
         if c < lo {
             let d = (lo - c) as f64;
@@ -81,12 +83,7 @@ pub fn dtw(a: &[Value], b: &[Value], band: usize) -> f64 {
 /// Squared DTW with early abandoning: returns `None` once every cell of a
 /// row exceeds `cutoff_sq` (the true distance then must exceed it too).
 #[allow(clippy::needless_range_loop)] // the band arithmetic needs explicit i/j
-pub fn dtw_sq_early_abandon(
-    a: &[Value],
-    b: &[Value],
-    band: usize,
-    cutoff_sq: f64,
-) -> Option<f64> {
+pub fn dtw_sq_early_abandon(a: &[Value], b: &[Value], band: usize, cutoff_sq: f64) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
     if n == 0 {
@@ -218,8 +215,8 @@ mod tests {
         let q = wavy(5, 64);
         for band in [0usize, 1, 5, 63] {
             let env = Envelope::new(&q, band);
-            for i in 0..q.len() {
-                assert!(env.lower[i] <= q[i] && q[i] <= env.upper[i]);
+            for (i, &v) in q.iter().enumerate() {
+                assert!(env.lower[i] <= v && v <= env.upper[i]);
             }
             // The query itself has LB_Keogh 0.
             assert_eq!(lb_keogh_sq(&env, &q), 0.0);

@@ -49,7 +49,10 @@ struct Gauss {
 
 impl Gauss {
     fn new(seed: u64) -> Self {
-        Gauss { rng: StdRng::seed_from_u64(seed), spare: None }
+        Gauss {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     #[inline]
@@ -81,7 +84,9 @@ pub struct RandomWalkGen {
 impl RandomWalkGen {
     /// A seeded random-walk generator.
     pub fn new(seed: u64) -> Self {
-        RandomWalkGen { gauss: Gauss::new(seed) }
+        RandomWalkGen {
+            gauss: Gauss::new(seed),
+        }
     }
 }
 
@@ -198,7 +203,12 @@ pub struct AstronomyGen {
 impl AstronomyGen {
     /// A seeded astronomy-like generator.
     pub fn new(seed: u64) -> Self {
-        AstronomyGen { gauss: Gauss::new(seed), window: VecDeque::new(), level: 0.0, flare: 0.0 }
+        AstronomyGen {
+            gauss: Gauss::new(seed),
+            window: VecDeque::new(),
+            level: 0.0,
+            flare: 0.0,
+        }
     }
 
     fn next_sample(&mut self) -> f64 {
@@ -298,8 +308,7 @@ mod tests {
     fn random_walk_steps_are_standard_normal() {
         let mut g = RandomWalkGen::new(3);
         let s = g.generate(100_000);
-        let steps: Vec<Value> =
-            s.windows(2).map(|w| w[1] - w[0]).collect();
+        let steps: Vec<Value> = s.windows(2).map(|w| w[1] - w[0]).collect();
         assert!(mean(&steps).abs() < 0.02);
         assert!((std_dev(&steps) - 1.0).abs() < 0.02);
     }
@@ -394,13 +403,14 @@ mod tests {
         }
         // Empty dataset: no queries.
         let empty_path = dir.path().join("e.bin");
-        let w = crate::dataset::DatasetWriter::create(
-            &empty_path, 64, true, Arc::new(IoStats::new()),
-        )
-        .unwrap();
+        let w =
+            crate::dataset::DatasetWriter::create(&empty_path, 64, true, Arc::new(IoStats::new()))
+                .unwrap();
         w.finish().unwrap();
         let empty = Dataset::open(&empty_path, Arc::new(IoStats::new())).unwrap();
-        assert!(crate::gen::queries_from_members(&empty, 5, 0.0, 1).unwrap().is_empty());
+        assert!(crate::gen::queries_from_members(&empty, 5, 0.0, 1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

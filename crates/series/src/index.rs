@@ -22,7 +22,10 @@ pub struct Answer {
 impl Answer {
     /// A sentinel used before any candidate has been evaluated.
     pub fn none() -> Self {
-        Answer { pos: u64::MAX, dist: f64::INFINITY }
+        Answer {
+            pos: u64::MAX,
+            dist: f64::INFINITY,
+        }
     }
 
     /// Whether this answer holds a real candidate.
@@ -104,8 +107,18 @@ mod tests {
 
     #[test]
     fn query_stats_accumulate() {
-        let mut a = QueryStats { leaves_visited: 1, records_fetched: 2, pruned: 3, lower_bounds: 4 };
-        let b = QueryStats { leaves_visited: 10, records_fetched: 20, pruned: 30, lower_bounds: 40 };
+        let mut a = QueryStats {
+            leaves_visited: 1,
+            records_fetched: 2,
+            pruned: 3,
+            lower_bounds: 4,
+        };
+        let b = QueryStats {
+            leaves_visited: 10,
+            records_fetched: 20,
+            pruned: 30,
+            lower_bounds: 40,
+        };
         a.add(&b);
         assert_eq!(a.leaves_visited, 11);
         assert_eq!(a.records_fetched, 22);

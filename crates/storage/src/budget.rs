@@ -22,7 +22,10 @@ pub struct MemoryBudget {
 impl MemoryBudget {
     /// A budget of `capacity` bytes.
     pub fn new(capacity: u64) -> Arc<Self> {
-        Arc::new(MemoryBudget { capacity, used: AtomicU64::new(0) })
+        Arc::new(MemoryBudget {
+            capacity,
+            used: AtomicU64::new(0),
+        })
     }
 
     /// An effectively unlimited budget (for "ample memory" configurations).
@@ -50,7 +53,9 @@ impl MemoryBudget {
     pub fn try_reserve(&self, bytes: u64) -> bool {
         let mut current = self.used.load(Ordering::Acquire);
         loop {
-            let Some(next) = current.checked_add(bytes) else { return false };
+            let Some(next) = current.checked_add(bytes) else {
+                return false;
+            };
             if next > self.capacity {
                 return false;
             }
@@ -98,7 +103,10 @@ impl Reservation {
     /// Reserve `bytes` from `budget`, or `None` if it does not fit.
     pub fn try_new(budget: &Arc<MemoryBudget>, bytes: u64) -> Option<Self> {
         if budget.try_reserve(bytes) {
-            Some(Reservation { budget: Arc::clone(budget), bytes })
+            Some(Reservation {
+                budget: Arc::clone(budget),
+                bytes,
+            })
         } else {
             None
         }

@@ -71,7 +71,11 @@ impl PageCache {
     pub fn new(capacity_bytes: u64) -> Arc<Self> {
         Arc::new(PageCache {
             capacity_bytes,
-            inner: Mutex::new(Inner { head: NIL, tail: NIL, ..Default::default() }),
+            inner: Mutex::new(Inner {
+                head: NIL,
+                tail: NIL,
+                ..Default::default()
+            }),
         })
     }
 
@@ -139,7 +143,11 @@ impl PageCache {
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock();
-        CacheStats { hits: inner.hits, misses: inner.misses, used_bytes: inner.used_bytes }
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            used_bytes: inner.used_bytes,
+        }
     }
 
     /// Capacity in bytes.
@@ -167,7 +175,12 @@ impl PageCache {
             inner.slab[tail].page = Arc::from(Vec::new().into_boxed_slice());
             inner.free.push(tail);
         }
-        let node = Node { key, page, prev: NIL, next: NIL };
+        let node = Node {
+            key,
+            page,
+            prev: NIL,
+            next: NIL,
+        };
         let idx = if let Some(idx) = inner.free.pop() {
             inner.slab[idx] = node;
             idx
@@ -223,7 +236,7 @@ mod tests {
         let f = CountedFile::create(dir.path().join("c.bin"), Arc::clone(&stats)).unwrap();
         let pf = PageFile::new(Arc::new(f), PAGE).unwrap();
         for i in 0..pages {
-            pf.append_page(&vec![i as u8; PAGE]).unwrap();
+            pf.append_page(&[i as u8; PAGE]).unwrap();
         }
         (pf, stats)
     }
@@ -234,7 +247,10 @@ mod tests {
         let (pf, stats) = make_file(&dir, 4);
         let reads_after_build = stats.snapshot().bytes_read;
         let cache = PageCache::new((PAGE * 2) as u64);
-        let k = PageKey { file_id: 0, page_no: 1 };
+        let k = PageKey {
+            file_id: 0,
+            page_no: 1,
+        };
         let p1 = cache.get(k, &pf).unwrap();
         let p2 = cache.get(k, &pf).unwrap();
         assert_eq!(p1[0], 1);
@@ -249,7 +265,10 @@ mod tests {
         let dir = TempDir::new("cache").unwrap();
         let (pf, _) = make_file(&dir, 4);
         let cache = PageCache::new((PAGE * 2) as u64);
-        let k = |p| PageKey { file_id: 0, page_no: p };
+        let k = |p| PageKey {
+            file_id: 0,
+            page_no: p,
+        };
         cache.get(k(0), &pf).unwrap();
         cache.get(k(1), &pf).unwrap();
         cache.get(k(0), &pf).unwrap(); // page 0 now MRU
@@ -266,7 +285,10 @@ mod tests {
         let dir = TempDir::new("cache").unwrap();
         let (pf, _) = make_file(&dir, 1);
         let cache = PageCache::new(10);
-        let k = PageKey { file_id: 0, page_no: 0 };
+        let k = PageKey {
+            file_id: 0,
+            page_no: 0,
+        };
         let p = cache.get(k, &pf).unwrap();
         assert_eq!(p.len(), PAGE);
         assert_eq!(cache.stats().used_bytes, 0);
@@ -277,7 +299,10 @@ mod tests {
         let dir = TempDir::new("cache").unwrap();
         let (pf, _) = make_file(&dir, 2);
         let cache = PageCache::new((PAGE * 2) as u64);
-        let k = PageKey { file_id: 0, page_no: 0 };
+        let k = PageKey {
+            file_id: 0,
+            page_no: 0,
+        };
         cache.get(k, &pf).unwrap();
         cache.clear();
         assert_eq!(cache.stats().used_bytes, 0);
@@ -290,8 +315,24 @@ mod tests {
         let dir = TempDir::new("cache").unwrap();
         let (pf, _) = make_file(&dir, 2);
         let cache = PageCache::new((PAGE * 4) as u64);
-        cache.get(PageKey { file_id: 1, page_no: 0 }, &pf).unwrap();
-        cache.get(PageKey { file_id: 2, page_no: 0 }, &pf).unwrap();
+        cache
+            .get(
+                PageKey {
+                    file_id: 1,
+                    page_no: 0,
+                },
+                &pf,
+            )
+            .unwrap();
+        cache
+            .get(
+                PageKey {
+                    file_id: 2,
+                    page_no: 0,
+                },
+                &pf,
+            )
+            .unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().used_bytes, (PAGE * 2) as u64);
     }
@@ -299,7 +340,10 @@ mod tests {
     #[test]
     fn get_with_custom_loader_and_invalidate() {
         let cache = PageCache::new(1024);
-        let k = PageKey { file_id: 9, page_no: 0 };
+        let k = PageKey {
+            file_id: 9,
+            page_no: 0,
+        };
         let loaded = std::sync::atomic::AtomicU32::new(0);
         let load = || {
             loaded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -320,7 +364,10 @@ mod tests {
     #[test]
     fn invalidate_missing_key_is_noop() {
         let cache = PageCache::new(1024);
-        cache.invalidate(PageKey { file_id: 1, page_no: 99 });
+        cache.invalidate(PageKey {
+            file_id: 1,
+            page_no: 99,
+        });
         assert_eq!(cache.stats().used_bytes, 0);
     }
 
@@ -331,7 +378,15 @@ mod tests {
         let cache = PageCache::new((PAGE * 4) as u64);
         for round in 0..3 {
             for p in 0..64 {
-                let page = cache.get(PageKey { file_id: 0, page_no: p }, &pf).unwrap();
+                let page = cache
+                    .get(
+                        PageKey {
+                            file_id: 0,
+                            page_no: p,
+                        },
+                        &pf,
+                    )
+                    .unwrap();
                 assert_eq!(page[0], p as u8, "round {round}");
             }
         }

@@ -124,7 +124,8 @@ where
     }
 
     fn run_path(&self, idx: usize) -> PathBuf {
-        self.tmp_dir.join(format!("sort-{}-run-{idx}.bin", self.sort_id))
+        self.tmp_dir
+            .join(format!("sort-{}-run-{idx}.bin", self.sort_id))
     }
 
     fn spill_run(&mut self) -> Result<()> {
@@ -139,7 +140,8 @@ where
         let mut out = vec![0u8; per_flush * record];
         let mut filled = 0usize;
         for item in self.buffer.drain(..) {
-            self.codec.encode(&item, &mut out[filled * record..(filled + 1) * record]);
+            self.codec
+                .encode(&item, &mut out[filled * record..(filled + 1) * record]);
             filled += 1;
             if filled == per_flush {
                 file.append(&out[..filled * record])?;
@@ -164,7 +166,9 @@ where
             return Ok(SortedStream {
                 codec: self.codec,
                 report: self.report,
-                source: StreamSource::Memory { items: items.into_iter() },
+                source: StreamSource::Memory {
+                    items: items.into_iter(),
+                },
             });
         }
         self.spill_run()?;
@@ -204,7 +208,10 @@ where
         Ok(SortedStream {
             codec: self.codec,
             report: self.report,
-            source: StreamSource::Merge { merger, run_paths: runs },
+            source: StreamSource::Merge {
+                merger,
+                run_paths: runs,
+            },
         })
     }
 
@@ -222,7 +229,8 @@ where
         let mut buf = vec![0u8; per_flush * record];
         let mut filled = 0usize;
         while let Some(item) = merger.next_item(&self.codec)? {
-            self.codec.encode(&item, &mut buf[filled * record..(filled + 1) * record]);
+            self.codec
+                .encode(&item, &mut buf[filled * record..(filled + 1) * record]);
             filled += 1;
             if filled == per_flush {
                 out.append(&buf[..filled * record])?;
@@ -249,12 +257,7 @@ struct RunReader {
 }
 
 impl RunReader {
-    fn open(
-        path: &PathBuf,
-        record: usize,
-        buf_bytes: usize,
-        stats: Arc<IoStats>,
-    ) -> Result<Self> {
+    fn open(path: &PathBuf, record: usize, buf_bytes: usize, stats: Arc<IoStats>) -> Result<Self> {
         let file = CountedFile::open(path, stats)?;
         let file_len = file.len();
         if file_len % record as u64 != 0 {
@@ -285,7 +288,8 @@ impl RunReader {
                 return Ok(None);
             }
             let to_read = remaining.min(self.buf.len());
-            self.file.read_exact_at(&mut self.buf[..to_read], self.file_pos)?;
+            self.file
+                .read_exact_at(&mut self.buf[..to_read], self.file_pos)?;
             self.file_pos += to_read as u64;
             self.buf_valid = to_read;
             self.buf_pos = 0;
@@ -327,7 +331,11 @@ struct Merger<T> {
 
 impl<T: Ord> Merger<T> {
     fn new<C: Codec<Item = T>>(readers: Vec<RunReader>, _codec: &C) -> Result<Self> {
-        Ok(Merger { readers, heap: BinaryHeap::new(), primed: false })
+        Ok(Merger {
+            readers,
+            heap: BinaryHeap::new(),
+            primed: false,
+        })
     }
 
     fn prime<C: Codec<Item = T>>(&mut self, codec: &C) -> Result<()> {
@@ -337,7 +345,10 @@ impl<T: Ord> Merger<T> {
         for i in 0..self.readers.len() {
             if let Some(bytes) = self.readers[i].next_record()? {
                 let item = codec.decode(bytes);
-                self.heap.push(HeapEntry { item: Reverse(item), source: i });
+                self.heap.push(HeapEntry {
+                    item: Reverse(item),
+                    source: i,
+                });
             }
         }
         self.primed = true;
@@ -345,20 +356,32 @@ impl<T: Ord> Merger<T> {
     }
 
     fn next_item<C: Codec<Item = T>>(&mut self, codec: &C) -> Result<Option<T>> {
-        let Some(HeapEntry { item: Reverse(item), source }) = self.heap.pop() else {
+        let Some(HeapEntry {
+            item: Reverse(item),
+            source,
+        }) = self.heap.pop()
+        else {
             return Ok(None);
         };
         if let Some(bytes) = self.readers[source].next_record()? {
             let next = codec.decode(bytes);
-            self.heap.push(HeapEntry { item: Reverse(next), source });
+            self.heap.push(HeapEntry {
+                item: Reverse(next),
+                source,
+            });
         }
         Ok(Some(item))
     }
 }
 
 enum StreamSource<C: Codec> {
-    Memory { items: std::vec::IntoIter<C::Item> },
-    Merge { merger: Merger<C::Item>, run_paths: Vec<PathBuf> },
+    Memory {
+        items: std::vec::IntoIter<C::Item>,
+    },
+    Merge {
+        merger: Merger<C::Item>,
+        run_paths: Vec<PathBuf>,
+    },
 }
 
 /// The output of [`ExternalSorter::finish`]: records in globally sorted order.
@@ -450,7 +473,9 @@ mod tests {
 
     #[test]
     fn spills_and_merges_with_tiny_budget() {
-        let values: Vec<u64> = (0..10_000).map(|i| (i * 2_654_435_761u64) % 100_000).collect();
+        let values: Vec<u64> = (0..10_000)
+            .map(|i| (i * 2_654_435_761u64) % 100_000)
+            .collect();
         let mut expected = values.clone();
         expected.sort_unstable();
         let (sorted, report) = sort_values(values, 256); // 32 records per run
@@ -501,7 +526,11 @@ mod tests {
         }
         let stream = sorter.finish().unwrap();
         assert!(stream.report().runs > 2);
-        assert!(stream.report().merge_passes >= 2, "passes: {}", stream.report().merge_passes);
+        assert!(
+            stream.report().merge_passes >= 2,
+            "passes: {}",
+            stream.report().merge_passes
+        );
         let sorted = stream.collect_all().unwrap();
         assert_eq!(sorted, (0..40_000).collect::<Vec<_>>());
     }

@@ -41,7 +41,13 @@ impl CountedFile {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        Ok(CountedFile { file, path, stats, next_offset: AtomicU64::new(0), len: AtomicU64::new(0) })
+        Ok(CountedFile {
+            file,
+            path,
+            stats,
+            next_offset: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+        })
     }
 
     /// Open an existing file read-only.
@@ -141,7 +147,10 @@ mod tests {
     use crate::tempdir::TempDir;
 
     fn setup() -> (TempDir, Arc<IoStats>) {
-        (TempDir::new("countedfile").unwrap(), Arc::new(IoStats::new()))
+        (
+            TempDir::new("countedfile").unwrap(),
+            Arc::new(IoStats::new()),
+        )
     }
 
     #[test]

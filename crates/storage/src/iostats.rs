@@ -58,7 +58,10 @@ impl Default for DiskProfile {
     /// A 7200 RPM SATA drive similar to the paper's testbed: ~8.5 ms per
     /// random access, ~160 MB/s sequential.
     fn default() -> Self {
-        DiskProfile { seek_s: 8.5e-3, seq_bytes_per_s: 160.0 * 1024.0 * 1024.0 }
+        DiskProfile {
+            seek_s: 8.5e-3,
+            seq_bytes_per_s: 160.0 * 1024.0 * 1024.0,
+        }
     }
 }
 
@@ -66,7 +69,10 @@ impl DiskProfile {
     /// An NVMe-like profile, for sensitivity analysis: random accesses are
     /// only ~10x more expensive than sequential ones instead of ~1000x.
     pub fn nvme() -> Self {
-        DiskProfile { seek_s: 60.0e-6, seq_bytes_per_s: 2.5e9 }
+        DiskProfile {
+            seek_s: 60.0e-6,
+            seq_bytes_per_s: 2.5e9,
+        }
     }
 }
 
@@ -202,8 +208,16 @@ mod tests {
     #[test]
     fn modeled_seconds_penalizes_random() {
         let profile = DiskProfile::default();
-        let sequential = IoSnapshot { seq_reads: 1000, bytes_read: 8_192_000, ..Default::default() };
-        let random = IoSnapshot { rand_reads: 1000, bytes_read: 8_192_000, ..Default::default() };
+        let sequential = IoSnapshot {
+            seq_reads: 1000,
+            bytes_read: 8_192_000,
+            ..Default::default()
+        };
+        let random = IoSnapshot {
+            rand_reads: 1000,
+            bytes_read: 8_192_000,
+            ..Default::default()
+        };
         assert!(random.modeled_seconds(&profile) > 10.0 * sequential.modeled_seconds(&profile));
     }
 

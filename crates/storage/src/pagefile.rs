@@ -133,7 +133,7 @@ mod tests {
         let mut buf = vec![0u8; 64];
         assert!(pf.read_page(0, &mut buf).is_err());
         let mut small = vec![0u8; 32];
-        pf.append_page(&vec![0u8; 64]).unwrap();
+        pf.append_page(&[0u8; 64]).unwrap();
         assert!(pf.read_page(0, &mut small).is_err());
         assert!(pf.write_page(0, &small).is_err());
         assert!(PageFile::new(Arc::clone(pf.file()), 0).is_err());

@@ -23,12 +23,12 @@ impl TempDir {
     /// a global counter, so concurrent tests never collide.
     pub fn new(label: &str) -> Result<Self> {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "coconut-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("coconut-{label}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path)?;
-        Ok(TempDir { path, cleanup: true })
+        Ok(TempDir {
+            path,
+            cleanup: true,
+        })
     }
 
     /// The directory path.

@@ -18,7 +18,10 @@ use std::sync::OnceLock;
 /// Inverse CDF (quantile function) of the standard normal distribution,
 /// valid for `0 < p < 1` (Acklam's algorithm).
 pub fn inv_norm_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile argument must be in (0,1), got {p}"
+    );
 
     // Coefficients for the rational approximations.
     const A: [f64; 6] = [
@@ -76,7 +79,9 @@ fn tables() -> &'static [Vec<f64>; 9] {
                 return Vec::new();
             }
             let card = 1usize << bits;
-            (1..card).map(|i| inv_norm_cdf(i as f64 / card as f64)).collect()
+            (1..card)
+                .map(|i| inv_norm_cdf(i as f64 / card as f64))
+                .collect()
         })
     })
 }

@@ -22,7 +22,11 @@ impl SaxConfig {
     /// The standard configuration for a given series length: 16 segments ×
     /// 256 cardinality (fewer segments when the series is shorter than 16).
     pub fn default_for_len(series_len: usize) -> Self {
-        SaxConfig { series_len, segments: 16.min(series_len.max(1)), card_bits: 8 }
+        SaxConfig {
+            series_len,
+            segments: 16.min(series_len.max(1)),
+            card_bits: 8,
+        }
     }
 
     /// Validate the configuration.
@@ -94,17 +98,57 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(SaxConfig { series_len: 0, segments: 1, card_bits: 8 }.validate().is_err());
-        assert!(SaxConfig { series_len: 8, segments: 0, card_bits: 8 }.validate().is_err());
-        assert!(SaxConfig { series_len: 8, segments: 9, card_bits: 8 }.validate().is_err());
-        assert!(SaxConfig { series_len: 256, segments: 16, card_bits: 0 }.validate().is_err());
-        assert!(SaxConfig { series_len: 256, segments: 16, card_bits: 9 }.validate().is_err());
-        assert!(SaxConfig { series_len: 256, segments: 32, card_bits: 8 }.validate().is_err());
+        assert!(SaxConfig {
+            series_len: 0,
+            segments: 1,
+            card_bits: 8
+        }
+        .validate()
+        .is_err());
+        assert!(SaxConfig {
+            series_len: 8,
+            segments: 0,
+            card_bits: 8
+        }
+        .validate()
+        .is_err());
+        assert!(SaxConfig {
+            series_len: 8,
+            segments: 9,
+            card_bits: 8
+        }
+        .validate()
+        .is_err());
+        assert!(SaxConfig {
+            series_len: 256,
+            segments: 16,
+            card_bits: 0
+        }
+        .validate()
+        .is_err());
+        assert!(SaxConfig {
+            series_len: 256,
+            segments: 16,
+            card_bits: 9
+        }
+        .validate()
+        .is_err());
+        assert!(SaxConfig {
+            series_len: 256,
+            segments: 32,
+            card_bits: 8
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn word_bits_fit_key_budget() {
-        let c = SaxConfig { series_len: 256, segments: 32, card_bits: 4 };
+        let c = SaxConfig {
+            series_len: 256,
+            segments: 32,
+            card_bits: 4,
+        };
         c.validate().unwrap();
         assert_eq!(c.word_bits(), 128);
     }

@@ -23,7 +23,9 @@ pub fn supported_len(n: usize) -> bool {
 pub fn haar_transform(series: &[Value]) -> Result<Vec<f64>> {
     let n = series.len();
     if !supported_len(n) {
-        return Err(Error::invalid(format!("Haar transform needs a power-of-two length, got {n}")));
+        return Err(Error::invalid(format!(
+            "Haar transform needs a power-of-two length, got {n}"
+        )));
     }
     let mut cur: Vec<f64> = series.iter().map(|&v| v as f64).collect();
     let mut out = vec![0.0f64; n];
@@ -100,7 +102,9 @@ mod tests {
     use coconut_series::distance::euclidean_sq;
 
     fn wavy(seed: u32, len: usize) -> Vec<Value> {
-        (0..len).map(|i| ((i as f32 * 0.31 + seed as f32) * 0.7).sin() * 2.0).collect()
+        (0..len)
+            .map(|i| ((i as f32 * 0.31 + seed as f32) * 0.7).sin() * 2.0)
+            .collect()
     }
 
     #[test]
@@ -155,7 +159,10 @@ mod tests {
             assert!(lb >= prev - 1e-12, "bound must be monotone");
             prev = lb;
         }
-        assert!((prev - true_sq).abs() < 1e-6, "full prefix must equal the true distance");
+        assert!(
+            (prev - true_sq).abs() < 1e-6,
+            "full prefix must equal the true distance"
+        );
     }
 
     #[test]

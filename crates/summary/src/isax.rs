@@ -29,7 +29,10 @@ impl IsaxMask {
     /// A mask from explicit prefixes and bit counts.
     pub fn new(prefix: Box<[u8]>, bits: Box<[u8]>) -> Self {
         debug_assert_eq!(prefix.len(), bits.len());
-        debug_assert!(prefix.iter().zip(bits.iter()).all(|(&p, &b)| b == 8 || p < (1 << b)));
+        debug_assert!(prefix
+            .iter()
+            .zip(bits.iter())
+            .all(|(&p, &b)| b == 8 || p < (1 << b)));
         IsaxMask { prefix, bits }
     }
 
@@ -49,9 +52,18 @@ impl IsaxMask {
         let prefix: Vec<u8> = symbols
             .iter()
             .zip(bits.iter())
-            .map(|(&s, &b)| if b == 0 { 0 } else { s >> (config.card_bits - b) })
+            .map(|(&s, &b)| {
+                if b == 0 {
+                    0
+                } else {
+                    s >> (config.card_bits - b)
+                }
+            })
             .collect();
-        IsaxMask { prefix: prefix.into(), bits: bits.into() }
+        IsaxMask {
+            prefix: prefix.into(),
+            bits: bits.into(),
+        }
     }
 
     /// Number of segments.
@@ -72,9 +84,11 @@ impl IsaxMask {
     /// Whether a full-cardinality SAX word falls under this mask.
     pub fn matches(&self, symbols: &[u8], card_bits: u8) -> bool {
         debug_assert_eq!(symbols.len(), self.prefix.len());
-        self.prefix.iter().zip(self.bits.iter()).zip(symbols.iter()).all(
-            |((&p, &b), &s)| b == 0 || (s >> (card_bits - b)) == p,
-        )
+        self.prefix
+            .iter()
+            .zip(self.bits.iter())
+            .zip(symbols.iter())
+            .all(|((&p, &b), &s)| b == 0 || (s >> (card_bits - b)) == p)
     }
 
     /// The two children produced by splitting on `segment` (adding one bit).
@@ -91,8 +105,14 @@ impl IsaxMask {
         let mut right_prefix = left_prefix.clone();
         right_prefix[segment] |= 1;
         (
-            IsaxMask { prefix: left_prefix, bits: bits.clone() },
-            IsaxMask { prefix: right_prefix, bits },
+            IsaxMask {
+                prefix: left_prefix,
+                bits: bits.clone(),
+            },
+            IsaxMask {
+                prefix: right_prefix,
+                bits,
+            },
         )
     }
 
@@ -151,7 +171,11 @@ mod tests {
 
     #[test]
     fn zorder_prefix_node_matches_member_keys() {
-        let cfg = SaxConfig { series_len: 64, segments: 4, card_bits: 4 };
+        let cfg = SaxConfig {
+            series_len: 64,
+            segments: 4,
+            card_bits: 4,
+        };
         let symbols = [0b1010u8, 0b0110, 0b0001, 0b1111];
         let key = interleave(&symbols, cfg.card_bits);
         for depth in 0..=16usize {
@@ -164,7 +188,11 @@ mod tests {
 
     #[test]
     fn zorder_prefix_excludes_non_members() {
-        let cfg = SaxConfig { series_len: 64, segments: 2, card_bits: 4 };
+        let cfg = SaxConfig {
+            series_len: 64,
+            segments: 2,
+            card_bits: 4,
+        };
         let a = [0b1010u8, 0b0110];
         let b = [0b0010u8, 0b0110]; // differs in segment 0's top bit
         let key_a = interleave(&a, 4);

@@ -81,8 +81,16 @@ pub fn mindist_paa_isax(query_paa: &[f64], mask: &IsaxMask, config: &SaxConfig) 
 #[inline]
 pub fn mindist_paa_zkey(query_paa: &[f64], key: ZKey, config: &SaxConfig) -> f64 {
     let mut symbols = [0u8; 32];
-    crate::zorder::deinterleave_into(key, config.segments, config.card_bits, &mut symbols[..config.segments]);
-    finish(mindist_sq_raw(query_paa, &symbols[..config.segments], config.card_bits), config)
+    crate::zorder::deinterleave_into(
+        key,
+        config.segments,
+        config.card_bits,
+        &mut symbols[..config.segments],
+    );
+    finish(
+        mindist_sq_raw(query_paa, &symbols[..config.segments], config.card_bits),
+        config,
+    )
 }
 
 /// Squared distance between two intervals (0 when they overlap).
@@ -107,12 +115,7 @@ fn interval_dist_sq(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
 /// the envelope to per-segment min/max intervals only lowers LB_Keogh,
 /// (b) the per-point sum dominates `len_j * d(segment mean, interval)^2`
 /// by convexity, and (c) the segment mean lies inside the SAX region.
-pub fn mindist_env_sax(
-    env_lo: &[f64],
-    env_hi: &[f64],
-    symbols: &[u8],
-    config: &SaxConfig,
-) -> f64 {
+pub fn mindist_env_sax(env_lo: &[f64], env_hi: &[f64], symbols: &[u8], config: &SaxConfig) -> f64 {
     debug_assert_eq!(env_lo.len(), symbols.len());
     let mut acc = 0.0f64;
     for ((&lo, &hi), &s) in env_lo.iter().zip(env_hi.iter()).zip(symbols.iter()) {
@@ -126,7 +129,12 @@ pub fn mindist_env_sax(
 #[inline]
 pub fn mindist_env_zkey(env_lo: &[f64], env_hi: &[f64], key: ZKey, config: &SaxConfig) -> f64 {
     let mut symbols = [0u8; 32];
-    crate::zorder::deinterleave_into(key, config.segments, config.card_bits, &mut symbols[..config.segments]);
+    crate::zorder::deinterleave_into(
+        key,
+        config.segments,
+        config.card_bits,
+        &mut symbols[..config.segments],
+    );
     mindist_env_sax(env_lo, env_hi, &symbols[..config.segments], config)
 }
 
@@ -165,7 +173,11 @@ mod tests {
     use coconut_series::Value;
 
     fn cfg() -> SaxConfig {
-        SaxConfig { series_len: 64, segments: 8, card_bits: 8 }
+        SaxConfig {
+            series_len: 64,
+            segments: 8,
+            card_bits: 8,
+        }
     }
 
     fn wavy(seed: u32, len: usize) -> Vec<Value> {

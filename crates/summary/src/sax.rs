@@ -23,7 +23,9 @@ pub struct SaxWord {
 impl SaxWord {
     /// Build a word directly from symbols.
     pub fn from_symbols(symbols: impl Into<Box<[u8]>>) -> Self {
-        SaxWord { symbols: symbols.into() }
+        SaxWord {
+            symbols: symbols.into(),
+        }
     }
 
     /// The symbols, one per segment.
@@ -66,7 +68,10 @@ pub struct Summarizer {
 impl Summarizer {
     /// A summarizer for `config`.
     pub fn new(config: SaxConfig) -> Self {
-        Summarizer { config, paa_buf: vec![0.0; config.segments] }
+        Summarizer {
+            config,
+            paa_buf: vec![0.0; config.segments],
+        }
     }
 
     /// The configuration.
@@ -100,7 +105,11 @@ mod tests {
     use super::*;
 
     fn config(len: usize, segs: usize, bits: u8) -> SaxConfig {
-        SaxConfig { series_len: len, segments: segs, card_bits: bits }
+        SaxConfig {
+            series_len: len,
+            segments: segs,
+            card_bits: bits,
+        }
     }
 
     #[test]
@@ -120,7 +129,10 @@ mod tests {
         for bits in 1..=8u8 {
             let w = sax_word(&series, &config(256, 16, bits));
             let max = (1u16 << bits) - 1;
-            assert!(w.symbols().iter().all(|&s| (s as u16) <= max), "bits={bits}");
+            assert!(
+                w.symbols().iter().all(|&s| (s as u16) <= max),
+                "bits={bits}"
+            );
         }
     }
 

@@ -53,7 +53,11 @@ impl ZKey {
         let keep = u128::MAX << (total_bits - depth).min(127);
         let keep = if total_bits - depth >= 128 { 0 } else { keep };
         // Mask relative to the used width.
-        let width_mask = if total_bits >= 128 { u128::MAX } else { (1u128 << total_bits) - 1 };
+        let width_mask = if total_bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << total_bits) - 1
+        };
         ZKey(self.0 & keep & width_mask)
     }
 }
@@ -156,7 +160,15 @@ mod tests {
 
     #[test]
     fn roundtrip_all_widths() {
-        for (w, bits) in [(1usize, 8u8), (2, 4), (4, 8), (16, 8), (32, 4), (16, 1), (3, 5)] {
+        for (w, bits) in [
+            (1usize, 8u8),
+            (2, 4),
+            (4, 8),
+            (16, 8),
+            (32, 4),
+            (16, 1),
+            (3, 5),
+        ] {
             let symbols: Vec<u8> = (0..w)
                 .map(|j| ((j * 37 + 11) % (1 << bits)) as u8)
                 .collect();
@@ -220,7 +232,11 @@ mod tests {
 
     #[test]
     fn prefix_bits_at_depth_shape() {
-        let cfg = SaxConfig { series_len: 64, segments: 4, card_bits: 2 };
+        let cfg = SaxConfig {
+            series_len: 64,
+            segments: 4,
+            card_bits: 2,
+        };
         assert_eq!(prefix_bits_at_depth(0, &cfg), vec![0, 0, 0, 0]);
         assert_eq!(prefix_bits_at_depth(1, &cfg), vec![1, 0, 0, 0]);
         assert_eq!(prefix_bits_at_depth(4, &cfg), vec![1, 1, 1, 1]);

@@ -40,12 +40,18 @@ fn main() -> coconut::storage::Result<()> {
         q
     };
 
-    println!("{:<10} {:>10} {:>12} {:>10} {:>10}", "metric", "band", "answer", "dist", "time");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>10}",
+        "metric", "band", "answer", "dist", "time"
+    );
     let t0 = Instant::now();
     let (ed, _) = tree.exact_search(&query)?;
     println!(
         "{:<10} {:>10} {:>12} {:>10.4} {:>8.1}ms",
-        "euclidean", "-", format!("#{}", ed.pos), ed.dist,
+        "euclidean",
+        "-",
+        format!("#{}", ed.pos),
+        ed.dist,
         t0.elapsed().as_secs_f64() * 1e3
     );
     for band in [2usize, 5, 10, 20] {
@@ -53,7 +59,10 @@ fn main() -> coconut::storage::Result<()> {
         let (ans, qstats) = tree.exact_search_dtw(&query, band)?;
         println!(
             "{:<10} {:>10} {:>12} {:>10.4} {:>8.1}ms   ({} fetched, {} pruned by index bound)",
-            "dtw", band, format!("#{}", ans.pos), ans.dist,
+            "dtw",
+            band,
+            format!("#{}", ans.pos),
+            ans.dist,
             t0.elapsed().as_secs_f64() * 1e3,
             qstats.records_fetched,
             qstats.pruned

@@ -9,7 +9,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use coconut::baselines::{AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex};
+use coconut::baselines::{
+    AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
+};
 use coconut::index::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
 use coconut::prelude::*;
 use coconut::summary::SaxConfig;
@@ -25,8 +27,17 @@ fn main() -> coconut::storage::Result<()> {
     let dataset = Dataset::open(&data_path, Arc::clone(&stats))?;
 
     let sax = SaxConfig::default_for_len(len);
-    let config = IndexConfig { sax, leaf_capacity: 100, fill_factor: 1.0, internal_fanout: 64 };
-    let opts = BuildOptions { memory_bytes: 8 << 20, materialized: false, threads: 4 };
+    let config = IndexConfig {
+        sax,
+        leaf_capacity: 100,
+        fill_factor: 1.0,
+        internal_fanout: 64,
+    };
+    let opts = BuildOptions {
+        memory_bytes: 8 << 20,
+        materialized: false,
+        threads: 4,
+    };
     let leaf = 100usize;
     let mem = 8u64 << 20;
 
@@ -39,23 +50,69 @@ fn main() -> coconut::storage::Result<()> {
             (idx, t0.elapsed().as_secs_f64())
         }};
     }
-    indexes.push(timed!(CoconutTree::build(&dataset, &config, dir.path(), opts.clone())?));
     indexes.push(timed!(CoconutTree::build(
-        &dataset, &config, dir.path(), opts.clone().materialized()
+        &dataset,
+        &config,
+        dir.path(),
+        opts.clone()
     )?));
-    indexes.push(timed!(CoconutTrie::build(&dataset, &config, dir.path(), opts.clone())?));
+    indexes.push(timed!(CoconutTree::build(
+        &dataset,
+        &config,
+        dir.path(),
+        opts.clone().materialized()
+    )?));
     indexes.push(timed!(CoconutTrie::build(
-        &dataset, &config, dir.path(), opts.clone().materialized()
+        &dataset,
+        &config,
+        dir.path(),
+        opts.clone()
+    )?));
+    indexes.push(timed!(CoconutTrie::build(
+        &dataset,
+        &config,
+        dir.path(),
+        opts.clone().materialized()
     )?));
     indexes.push(timed!(AdsIndex::build(
-        &dataset, sax, leaf, mem, dir.path(), AdsVariant::Plus, 4
+        &dataset,
+        sax,
+        leaf,
+        mem,
+        dir.path(),
+        AdsVariant::Plus,
+        4
     )?));
     indexes.push(timed!(AdsIndex::build(
-        &dataset, sax, leaf, mem, dir.path(), AdsVariant::Full, 4
+        &dataset,
+        sax,
+        leaf,
+        mem,
+        dir.path(),
+        AdsVariant::Full,
+        4
     )?));
-    indexes.push(timed!(RTreeIndex::build(&dataset, sax, leaf, false, dir.path())?));
-    indexes.push(timed!(RTreeIndex::build(&dataset, sax, leaf, true, dir.path())?));
-    indexes.push(timed!(Isax2Index::build(&dataset, sax, leaf, mem, dir.path())?));
+    indexes.push(timed!(RTreeIndex::build(
+        &dataset,
+        sax,
+        leaf,
+        false,
+        dir.path()
+    )?));
+    indexes.push(timed!(RTreeIndex::build(
+        &dataset,
+        sax,
+        leaf,
+        true,
+        dir.path()
+    )?));
+    indexes.push(timed!(Isax2Index::build(
+        &dataset,
+        sax,
+        leaf,
+        mem,
+        dir.path()
+    )?));
     indexes.push(timed!(DsTree::build(&dataset, leaf, dir.path())?));
     indexes.push(timed!(VerticalIndex::build(&dataset, dir.path())?));
 
@@ -89,6 +146,9 @@ fn main() -> coconut::storage::Result<()> {
             qstats.records_fetched
         );
     }
-    println!("\nall {} indexes returned the same exact nearest neighbor ✓", indexes.len());
+    println!(
+        "\nall {} indexes returned the same exact nearest neighbor ✓",
+        indexes.len()
+    );
     Ok(())
 }

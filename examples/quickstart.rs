@@ -19,7 +19,8 @@ fn main() -> coconut::storage::Result<()> {
     let mut generator = RandomWalkGen::new(42);
     write_dataset(&data_path, &mut generator, n, 256, &stats)?;
     let dataset = Dataset::open(&data_path, Arc::clone(&stats))?;
-    println!("dataset: {} series x {} points ({} MiB raw)",
+    println!(
+        "dataset: {} series x {} points ({} MiB raw)",
         dataset.len(),
         dataset.series_len(),
         dataset.payload_bytes() >> 20
@@ -52,7 +53,10 @@ fn main() -> coconut::storage::Result<()> {
         q
     };
     let approx = tree.approximate_search(&query, 1)?;
-    println!("approximate answer: series #{} at distance {:.3}", approx.pos, approx.dist);
+    println!(
+        "approximate answer: series #{} at distance {:.3}",
+        approx.pos, approx.dist
+    );
 
     let (exact, qstats) = tree.exact_search(&query)?;
     println!(
@@ -66,7 +70,12 @@ fn main() -> coconut::storage::Result<()> {
     let (top5, _) = tree.exact_knn(&query, 5)?;
     println!("top-5 neighbors:");
     for (rank, a) in top5.iter().enumerate() {
-        println!("  {}. series #{} at distance {:.3}", rank + 1, a.pos, a.dist);
+        println!(
+            "  {}. series #{} at distance {:.3}",
+            rank + 1,
+            a.pos,
+            a.dist
+        );
     }
     Ok(())
 }

@@ -17,25 +17,27 @@
 //!
 //! ## Quick start
 //!
-//! ```no_run
+//! ```
 //! use coconut::prelude::*;
 //!
 //! # fn main() -> coconut::storage::Result<()> {
-//! // 1. Generate a dataset of 10k random-walk series of length 256.
+//! // 1. Generate a dataset of 2k random-walk series of length 64 (small so
+//! //    this doctest runs under `cargo test`; scale the numbers freely).
 //! let dir = TempDir::new("quickstart")?;
 //! let stats = std::sync::Arc::new(IoStats::new());
 //! let data_path = dir.path().join("data.bin");
-//! write_dataset(&data_path, &mut RandomWalkGen::new(1), 10_000, 256, &stats)?;
+//! write_dataset(&data_path, &mut RandomWalkGen::new(1), 2_000, 64, &stats)?;
 //!
 //! // 2. Bulk-load a Coconut-Tree (non-materialized) over it.
 //! let dataset = Dataset::open(&data_path, std::sync::Arc::clone(&stats))?;
-//! let config = IndexConfig::default_for_len(256);
+//! let config = IndexConfig::default_for_len(64);
 //! let tree = CoconutTree::build(&dataset, &config, dir.path(), BuildOptions::default())?;
 //!
 //! // 3. Ask for the nearest neighbor of a fresh query.
-//! let query = RandomWalkGen::new(42).generate(256);
+//! let query = RandomWalkGen::new(42).generate(64);
 //! let approx = tree.approximate_search(&query, 1)?;
 //! let (exact, _stats) = tree.exact_search(&query)?;
+//! assert!(exact.is_some());
 //! assert!(exact.dist <= approx.dist);
 //! # Ok(())
 //! # }
@@ -54,9 +56,7 @@ pub mod prelude {
     };
     pub use crate::index::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
     pub use crate::series::dataset::{write_dataset, Dataset, DatasetWriter};
-    pub use crate::series::gen::{
-        AstronomyGen, Generator, RandomWalkGen, SeismicGen,
-    };
+    pub use crate::series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
     pub use crate::series::index::{Answer, QueryStats, SeriesIndex};
     pub use crate::storage::{IoStats, MemoryBudget, TempDir};
     pub use crate::summary::config::SaxConfig;

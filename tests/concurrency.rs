@@ -39,13 +39,18 @@ fn config() -> IndexConfig {
 #[test]
 fn parallel_exact_queries_agree_with_scan() {
     let (dir, dataset, queries) = setup();
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
-    let tree =
-        Arc::new(CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap());
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 1,
+    };
+    let tree = Arc::new(CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap());
     let trie = Arc::new(CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap());
     let scan = SerialScan::new(&dataset);
-    let truths: Vec<u64> =
-        queries.iter().map(|q| scan.exact(q).unwrap().0.pos).collect();
+    let truths: Vec<u64> = queries
+        .iter()
+        .map(|q| scan.exact(q).unwrap().0.pos)
+        .collect();
 
     std::thread::scope(|s| {
         for worker in 0..8usize {
@@ -68,7 +73,11 @@ fn parallel_exact_queries_agree_with_scan() {
 #[test]
 fn shared_buffer_pool_under_contention() {
     let (dir, dataset, queries) = setup();
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: true, threads: 1 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: true,
+        threads: 1,
+    };
     let mut tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     // A deliberately tiny pool: constant eviction churn while 8 threads
     // read through it.
@@ -76,8 +85,10 @@ fn shared_buffer_pool_under_contention() {
     tree.attach_cache(Arc::clone(&cache), 0);
     let tree = Arc::new(tree);
     let scan = SerialScan::new(&dataset);
-    let truths: Vec<u64> =
-        queries.iter().map(|q| scan.exact(q).unwrap().0.pos).collect();
+    let truths: Vec<u64> = queries
+        .iter()
+        .map(|q| scan.exact(q).unwrap().0.pos)
+        .collect();
 
     std::thread::scope(|s| {
         for _ in 0..8usize {
@@ -99,14 +110,20 @@ fn shared_buffer_pool_under_contention() {
 fn lazy_summary_load_races_are_safe() {
     // First exact query after open() loads summaries; fire many at once.
     let (dir, dataset, queries) = setup();
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 2,
+    };
     let built = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     let path = built.index_path().to_path_buf();
     drop(built);
     let tree = Arc::new(CoconutTree::open(&path, &dataset, 2).unwrap());
     let scan = SerialScan::new(&dataset);
-    let truths: Vec<u64> =
-        queries.iter().map(|q| scan.exact(q).unwrap().0.pos).collect();
+    let truths: Vec<u64> = queries
+        .iter()
+        .map(|q| scan.exact(q).unwrap().0.pos)
+        .collect();
     std::thread::scope(|s| {
         for _ in 0..8usize {
             let tree = Arc::clone(&tree);

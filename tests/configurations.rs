@@ -44,10 +44,23 @@ fn exactness_across_sax_configurations() {
     for &(len, segments, card_bits) in cases {
         let dir = TempDir::new("cfg").unwrap();
         let ds = dataset(&dir, 300, len);
-        let sax = SaxConfig { series_len: len, segments, card_bits };
+        let sax = SaxConfig {
+            series_len: len,
+            segments,
+            card_bits,
+        };
         sax.validate().unwrap();
-        let config = IndexConfig { sax, leaf_capacity: 25, fill_factor: 1.0, internal_fanout: 8 };
-        let opts = BuildOptions { memory_bytes: 8192, materialized: false, threads: 2 };
+        let config = IndexConfig {
+            sax,
+            leaf_capacity: 25,
+            fill_factor: 1.0,
+            internal_fanout: 8,
+        };
+        let opts = BuildOptions {
+            memory_bytes: 8192,
+            materialized: false,
+            threads: 2,
+        };
         let tree = CoconutTree::build(&ds, &config, dir.path(), opts.clone()).unwrap();
         let trie = CoconutTrie::build(&ds, &config, dir.path(), opts).unwrap();
         let scan = SerialScan::new(&ds);
@@ -55,8 +68,14 @@ fn exactness_across_sax_configurations() {
             let (truth, _) = scan.exact(&q).unwrap();
             let (a, _) = tree.exact_search(&q).unwrap();
             let (b, _) = trie.exact_search(&q).unwrap();
-            assert_eq!(a.pos, truth.pos, "tree len={len} w={segments} bits={card_bits}");
-            assert_eq!(b.pos, truth.pos, "trie len={len} w={segments} bits={card_bits}");
+            assert_eq!(
+                a.pos, truth.pos,
+                "tree len={len} w={segments} bits={card_bits}"
+            );
+            assert_eq!(
+                b.pos, truth.pos,
+                "trie len={len} w={segments} bits={card_bits}"
+            );
         }
     }
 }
@@ -79,7 +98,11 @@ fn fill_factor_sweep_preserves_answers() {
             &ds,
             &config,
             dir.path(),
-            BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 },
+            BuildOptions {
+                memory_bytes: 1 << 20,
+                materialized: false,
+                threads: 1,
+            },
         )
         .unwrap();
         assert!(
@@ -113,7 +136,11 @@ fn leaf_capacity_extremes() {
             &ds,
             &config,
             dir.path(),
-            BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 },
+            BuildOptions {
+                memory_bytes: 1 << 20,
+                materialized: false,
+                threads: 1,
+            },
         )
         .unwrap();
         if leaf == 1 {
@@ -138,13 +165,26 @@ fn dtw_search_exact_on_odd_config() {
     let dir = TempDir::new("cfg-dtw").unwrap();
     let len = 100usize;
     let ds = dataset(&dir, 150, len);
-    let sax = SaxConfig { series_len: len, segments: 10, card_bits: 6 };
-    let config = IndexConfig { sax, leaf_capacity: 20, fill_factor: 1.0, internal_fanout: 8 };
+    let sax = SaxConfig {
+        series_len: len,
+        segments: 10,
+        card_bits: 6,
+    };
+    let config = IndexConfig {
+        sax,
+        leaf_capacity: 20,
+        fill_factor: 1.0,
+        internal_fanout: 8,
+    };
     let tree = CoconutTree::build(
         &ds,
         &config,
         dir.path(),
-        BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 },
+        BuildOptions {
+            memory_bytes: 1 << 20,
+            materialized: false,
+            threads: 2,
+        },
     )
     .unwrap();
     for q in queries(len) {

@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use coconut::baselines::{AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex};
+use coconut::baselines::{
+    AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
+};
 use coconut::index::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
 use coconut::prelude::*;
 use coconut::series::distance::znormalize;
@@ -38,7 +40,12 @@ fn fixture(kind: u8) -> Fixture {
             q
         })
         .collect();
-    Fixture { dir_path: dir.path().to_path_buf(), _dir: dir, dataset, queries }
+    Fixture {
+        dir_path: dir.path().to_path_buf(),
+        _dir: dir,
+        dataset,
+        queries,
+    }
 }
 
 fn config() -> IndexConfig {
@@ -54,25 +61,55 @@ fn all_indexes_agree_with_scan_on_all_generators() {
     for kind in 0..3u8 {
         let f = fixture(kind);
         let sax = SaxConfig::default_for_len(LEN);
-        let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+        let opts = BuildOptions {
+            memory_bytes: 1 << 20,
+            materialized: false,
+            threads: 2,
+        };
         let indexes: Vec<Box<dyn SeriesIndex>> = vec![
             Box::new(CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts.clone()).unwrap()),
             Box::new(
-                CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts.clone().materialized())
-                    .unwrap(),
+                CoconutTree::build(
+                    &f.dataset,
+                    &config(),
+                    &f.dir_path,
+                    opts.clone().materialized(),
+                )
+                .unwrap(),
             ),
             Box::new(CoconutTrie::build(&f.dataset, &config(), &f.dir_path, opts.clone()).unwrap()),
             Box::new(
-                CoconutTrie::build(&f.dataset, &config(), &f.dir_path, opts.clone().materialized())
-                    .unwrap(),
+                CoconutTrie::build(
+                    &f.dataset,
+                    &config(),
+                    &f.dir_path,
+                    opts.clone().materialized(),
+                )
+                .unwrap(),
             ),
             Box::new(
-                AdsIndex::build(&f.dataset, sax, 40, 1 << 20, &f.dir_path, AdsVariant::Plus, 2)
-                    .unwrap(),
+                AdsIndex::build(
+                    &f.dataset,
+                    sax,
+                    40,
+                    1 << 20,
+                    &f.dir_path,
+                    AdsVariant::Plus,
+                    2,
+                )
+                .unwrap(),
             ),
             Box::new(
-                AdsIndex::build(&f.dataset, sax, 40, 1 << 20, &f.dir_path, AdsVariant::Full, 2)
-                    .unwrap(),
+                AdsIndex::build(
+                    &f.dataset,
+                    sax,
+                    40,
+                    1 << 20,
+                    &f.dir_path,
+                    AdsVariant::Full,
+                    2,
+                )
+                .unwrap(),
             ),
             Box::new(RTreeIndex::build(&f.dataset, sax, 40, false, &f.dir_path).unwrap()),
             Box::new(RTreeIndex::build(&f.dataset, sax, 40, true, &f.dir_path).unwrap()),
@@ -108,7 +145,11 @@ fn all_indexes_agree_with_scan_on_all_generators() {
 #[test]
 fn member_queries_find_themselves() {
     let f = fixture(0);
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 2,
+    };
     let tree = CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts.clone()).unwrap();
     let trie = CoconutTrie::build(&f.dataset, &config(), &f.dir_path, opts).unwrap();
     for pos in [0u64, N / 2, N - 1] {
@@ -117,7 +158,11 @@ fn member_queries_find_themselves() {
             ("tree", tree.exact_search(&member).unwrap()),
             ("trie", trie.exact_search(&member).unwrap()),
         ] {
-            assert!(ans.dist < 1e-4, "{name}: member at {pos} not found (dist {})", ans.dist);
+            assert!(
+                ans.dist < 1e-4,
+                "{name}: member at {pos} not found (dist {})",
+                ans.dist
+            );
         }
     }
 }
@@ -129,7 +174,11 @@ fn answers_independent_of_memory_budget() {
     let budgets = [512u64, 16 << 10, 8 << 20];
     let mut answers: Vec<Vec<u64>> = Vec::new();
     for &b in &budgets {
-        let opts = BuildOptions { memory_bytes: b, materialized: false, threads: 2 };
+        let opts = BuildOptions {
+            memory_bytes: b,
+            materialized: false,
+            threads: 2,
+        };
         let tree = CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts).unwrap();
         answers.push(
             f.queries
@@ -146,7 +195,11 @@ fn answers_independent_of_memory_budget() {
 #[test]
 fn query_stats_are_consistent() {
     let f = fixture(0);
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 2,
+    };
     let tree = CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts).unwrap();
     for q in &f.queries {
         let (_, s) = tree.exact_search(q).unwrap();

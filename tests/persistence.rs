@@ -43,8 +43,10 @@ fn tree_roundtrips_through_disk() {
         };
         let built = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
         let path = built.index_path().to_path_buf();
-        let expected: Vec<_> =
-            queries.iter().map(|q| built.exact_search(q).unwrap().0).collect();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| built.exact_search(q).unwrap().0)
+            .collect();
         drop(built);
 
         let reopened = CoconutTree::open(&path, &dataset, 2).unwrap();
@@ -67,8 +69,10 @@ fn trie_roundtrips_through_disk() {
         };
         let built = CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap();
         let path = built.index_path().to_path_buf();
-        let expected: Vec<_> =
-            queries.iter().map(|q| built.exact_search(q).unwrap().0).collect();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| built.exact_search(q).unwrap().0)
+            .collect();
         drop(built);
 
         let reopened = CoconutTrie::open(&path, &dataset, 2).unwrap();
@@ -82,7 +86,11 @@ fn trie_roundtrips_through_disk() {
 #[test]
 fn opening_wrong_kind_fails_cleanly() {
     let (dir, dataset, _) = setup(100);
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 1,
+    };
     let tree = CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap();
     let trie = CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap();
     assert!(CoconutTrie::open(tree.index_path(), &dataset, 1).is_err());
@@ -92,7 +100,11 @@ fn opening_wrong_kind_fails_cleanly() {
 #[test]
 fn corrupted_index_is_rejected() {
     let (dir, dataset, _) = setup(100);
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 1,
+    };
     let tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     let path = tree.index_path().to_path_buf();
     drop(tree);
@@ -107,7 +119,11 @@ fn corrupted_index_is_rejected() {
 #[test]
 fn dataset_mismatch_is_rejected() {
     let (dir, dataset, _) = setup(100);
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 1,
+    };
     let tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     let path = tree.index_path().to_path_buf();
     drop(tree);

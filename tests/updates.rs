@@ -38,7 +38,11 @@ fn config() -> IndexConfig {
 #[test]
 fn batched_inserts_match_full_rebuild() {
     let (dir, dataset, queries) = setup();
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 2,
+    };
 
     // Reference: a tree bulk-loaded over everything at once.
     let reference = CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap();
@@ -50,8 +54,7 @@ fn batched_inserts_match_full_rebuild() {
         let mut covered = N / 2;
         while covered < N {
             let hi = (covered + batch_size).min(N);
-            let batch: Vec<Vec<f32>> =
-                (covered..hi).map(|p| dataset.get(p).unwrap()).collect();
+            let batch: Vec<Vec<f32>> = (covered..hi).map(|p| dataset.get(p).unwrap()).collect();
             tree.insert_batch(covered, &batch).unwrap();
             covered = hi;
         }
@@ -62,14 +65,22 @@ fn batched_inserts_match_full_rebuild() {
             assert_eq!(a.pos, b.pos, "batch={batch_size}");
         }
         // Leaves stay within capacity and at least half full after splits.
-        assert!(tree.avg_fill() > 0.45, "batch={batch_size} fill={}", tree.avg_fill());
+        assert!(
+            tree.avg_fill() > 0.45,
+            "batch={batch_size} fill={}",
+            tree.avg_fill()
+        );
     }
 }
 
 #[test]
 fn lsm_and_btree_and_ads_agree_under_growth() {
     let (dir, dataset, queries) = setup();
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 2 };
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 2,
+    };
     let sax = SaxConfig::default_for_len(LEN);
 
     let mut tree =
@@ -78,7 +89,14 @@ fn lsm_and_btree_and_ads_agree_under_growth() {
     lsm.set_max_runs(2);
     lsm.ingest_upto(&dataset, 200).unwrap();
     let mut ads = AdsIndex::build_upto(
-        &dataset, sax, 32, 1 << 20, dir.path(), AdsVariant::Plus, 2, 200,
+        &dataset,
+        sax,
+        32,
+        1 << 20,
+        dir.path(),
+        AdsVariant::Plus,
+        2,
+        200,
     )
     .unwrap();
 
@@ -98,7 +116,11 @@ fn lsm_and_btree_and_ads_agree_under_growth() {
             let scan = SerialScan::new(&dataset);
             for q in &queries {
                 let (truth, _) = scan.exact(q).unwrap();
-                assert_eq!(tree.exact_search(q).unwrap().0.pos, truth.pos, "step {step}");
+                assert_eq!(
+                    tree.exact_search(q).unwrap().0.pos,
+                    truth.pos,
+                    "step {step}"
+                );
                 assert_eq!(lsm.exact(q).unwrap().0.pos, truth.pos, "step {step}");
                 assert_eq!(ads.exact_search(q).unwrap().0.pos, truth.pos, "step {step}");
             }
@@ -119,9 +141,12 @@ fn lsm_and_btree_and_ads_agree_under_growth() {
 #[test]
 fn single_inserts_preserve_structure_invariants() {
     let (dir, dataset, _) = setup();
-    let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
-    let mut tree =
-        CoconutTree::build_range(&dataset, 0..100, &config(), dir.path(), opts).unwrap();
+    let opts = BuildOptions {
+        memory_bytes: 1 << 20,
+        materialized: false,
+        threads: 1,
+    };
+    let mut tree = CoconutTree::build_range(&dataset, 0..100, &config(), dir.path(), opts).unwrap();
     let before = tree.contiguity();
     assert_eq!(before, 1.0);
     for pos in 100..300u64 {
