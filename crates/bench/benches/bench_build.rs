@@ -21,6 +21,7 @@ fn bench_builds(c: &mut Criterion) {
         leaf_capacity: 100,
         memory_bytes: (n * len as u64 * 4) / 20,
         threads: 4,
+        shards: 1,
     };
     for algo in [
         Algo::CTree,

@@ -18,6 +18,7 @@ fn bench_queries(c: &mut Criterion) {
         leaf_capacity: 200,
         memory_bytes: 64 << 20,
         threads: 4,
+        shards: 1,
     };
     let build_dir = TempDir::new("bench-query-idx").unwrap();
 
@@ -61,6 +62,7 @@ fn bench_queries(c: &mut Criterion) {
             memory_bytes: 64 << 20,
             materialized: true,
             threads: 4,
+            shards: 1,
         };
         let cold = CoconutTree::build(&w.dataset, &config, build_dir.path(), opts.clone()).unwrap();
         let mut warm = CoconutTree::build(&w.dataset, &config, build_dir.path(), opts).unwrap();
@@ -102,6 +104,7 @@ fn bench_queries(c: &mut Criterion) {
                 memory_bytes: 64 << 20,
                 materialized: false,
                 threads,
+                shards: 1,
             },
         )
         .unwrap();

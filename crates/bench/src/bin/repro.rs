@@ -5,7 +5,7 @@
 //!
 //! experiments: fig7 fig8a fig8b fig8c fig8d fig8e fig8f
 //!              fig9a fig9b fig9c fig9d fig9e fig9f
-//!              fig10a fig10b fig10c
+//!              fig10a fig10b fig10c ablation scaling
 //!              fig8 fig9 fig10 all
 //! ```
 //!
@@ -20,7 +20,7 @@ use coconut_storage::TempDir;
 
 const ALL: &[&str] = &[
     "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig9a", "fig9b", "fig9c",
-    "fig9d", "fig9e", "fig9f", "fig10a", "fig10b", "fig10c", "ablation",
+    "fig9d", "fig9e", "fig9f", "fig10a", "fig10b", "fig10c", "ablation", "scaling",
 ];
 
 fn expand(arg: &str) -> Vec<&'static str> {
@@ -64,6 +64,7 @@ fn run_experiment(name: &str, env: &Env) -> coconut_storage::Result<()> {
         "fig10b" => experiments::fig10::run_10b(env),
         "fig10c" => experiments::fig10::run_10c(env),
         "ablation" => experiments::ablation::run(env),
+        "scaling" => experiments::scaling::run(env),
         _ => unreachable!("expand() only yields known names"),
     }
 }

@@ -52,6 +52,7 @@ pub fn run_10a(env: &Env) -> Result<()> {
         memory_bytes: 16 << 20,
         materialized: false,
         threads: env.scale.threads,
+        shards: 1,
     };
 
     for batch in [n / 100, n / 20, n / 5] {
@@ -205,6 +206,7 @@ fn run_complete(env: &Env, name: &str, kind: DataKind) -> Result<()> {
             leaf_capacity: env.scale.leaf_capacity,
             memory_bytes: memory,
             threads: env.scale.threads,
+            shards: 1,
         };
         for algo in [Algo::CTree, Algo::CTreeFull, Algo::AdsPlus, Algo::AdsFull] {
             let dir = coconut_storage::TempDir::new("fig10bc")?;

@@ -23,6 +23,7 @@ fn build_row(
         leaf_capacity: env.scale.leaf_capacity,
         memory_bytes,
         threads: env.scale.threads,
+        shards: 1,
     };
     let build_dir = coconut_storage::TempDir::new("fig8-build")?;
     let (_idx, m) = measure(&w.stats, || {
@@ -114,6 +115,7 @@ pub fn run_8c(env: &Env) -> Result<()> {
         leaf_capacity: env.scale.leaf_capacity,
         memory_bytes: 64 << 20,
         threads: env.scale.threads,
+        shards: 1,
     };
     let algos = [
         Algo::CTreeFull,

@@ -15,6 +15,7 @@ fn params(env: &Env) -> BuildParams {
         leaf_capacity: env.scale.leaf_capacity,
         memory_bytes: 64 << 20,
         threads: env.scale.threads,
+        shards: 1,
     }
 }
 
@@ -174,6 +175,7 @@ fn build_ctree(env: &Env, w: &Workload, dir: &std::path::Path) -> Result<Coconut
             memory_bytes: 64 << 20,
             materialized: false,
             threads: env.scale.threads,
+            shards: 1,
         },
     )
 }

@@ -19,12 +19,14 @@
 //! | fig10b | astronomy end-to-end vs memory | [`fig10::run_10b`] |
 //! | fig10c | seismic end-to-end vs memory | [`fig10::run_10c`] |
 //! | ablation | z-order vs lexicographic ordering (Figs. 2/4) | [`ablation::run`] |
+//! | scaling | sharded construction: build time vs shard count | [`scaling::run`] |
 
 pub mod ablation;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scaling;
 
 use std::path::PathBuf;
 

@@ -1,0 +1,150 @@
+//! Sharded-construction scaling: build time vs shard count.
+//!
+//! Not a figure of the paper — it measures the workspace's multi-threaded
+//! extension of the paper's bottom-up recipe (`coconut_core::shard`): the
+//! scan→summarize→sort phase split across K key-range shards, K-way merged
+//! into the bulk loader. For every shard count the experiment verifies the
+//! two properties the design promises before reporting any timing:
+//!
+//! * the index file is **bit-identical** to the single-sorter build, and
+//! * the raw file is read in **one pass** (I/O bytes do not grow with K).
+
+use std::sync::Arc;
+
+use coconut_core::{BuildOptions, CoconutTree, IndexConfig};
+use coconut_storage::{Error, Result};
+use coconut_summary::SaxConfig;
+
+use crate::data::{prepare, DataKind};
+use crate::experiments::Env;
+use crate::harness::{fmt_mib, fmt_secs, measure, Table};
+
+/// Shard counts to sweep (1 is the single-sorter baseline).
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Run the experiment: for each variant and shard count, build a
+/// Coconut-Tree over the standard random-walk dataset and report wall
+/// time, modeled disk time, and bytes moved.
+pub fn run(env: &Env) -> Result<()> {
+    let mut table = Table::new(
+        "scaling",
+        "sharded bottom-up construction: build time vs shard count",
+        &[
+            "algorithm",
+            "shards",
+            "wall",
+            "modeled_disk",
+            "io_bytes",
+            "identical",
+        ],
+    );
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        env.scale.n,
+        env.scale.series_len,
+        1,
+        7,
+    )?;
+    let config = IndexConfig {
+        sax: SaxConfig::default_for_len(env.scale.series_len),
+        leaf_capacity: env.scale.leaf_capacity,
+        fill_factor: 1.0,
+        internal_fanout: 64,
+    };
+    // A budget a little under the raw size so shards actually spill and
+    // merge (the regime the paper's Figure 8 studies).
+    let memory_bytes = (w.dataset.payload_bytes() / 2).max(1 << 20);
+    for materialized in [false, true] {
+        let name = if materialized { "CTreeFull" } else { "CTree" };
+        let mut baseline_bytes: Option<Vec<u8>> = None;
+        for shards in SHARD_COUNTS {
+            let build_dir = coconut_storage::TempDir::new("scaling-build")?;
+            let opts = BuildOptions {
+                memory_bytes,
+                materialized,
+                threads: env.scale.threads,
+                shards,
+            };
+            let (tree, m) = measure(&w.stats, || {
+                CoconutTree::build(&w.dataset, &config, build_dir.path(), opts)
+            })?;
+            let index_bytes = std::fs::read(tree.index_path())?;
+            let identical = match &baseline_bytes {
+                None => {
+                    baseline_bytes = Some(index_bytes);
+                    true
+                }
+                Some(base) => *base == index_bytes,
+            };
+            if !identical {
+                return Err(Error::corrupt(format!(
+                    "{name} with {shards} shards is not bit-identical to 1 shard"
+                )));
+            }
+            table.push_row(vec![
+                name.to_string(),
+                shards.to_string(),
+                fmt_secs(m.wall_s),
+                fmt_secs(m.modeled_s()),
+                fmt_mib(m.io.total_bytes()),
+                "yes".to_string(),
+            ]);
+        }
+    }
+    // One-pass check: raw-file read volume of a sharded build equals the
+    // payload (plus sort spills), never K payloads.
+    let stats = Arc::clone(&w.stats);
+    let before = stats.snapshot();
+    let build_dir = coconut_storage::TempDir::new("scaling-onepass")?;
+    let opts = BuildOptions {
+        memory_bytes: 256 << 20, // ample: no spills, reads == one pass
+        materialized: false,
+        threads: env.scale.threads,
+        shards: 4,
+    };
+    CoconutTree::build(&w.dataset, &config, build_dir.path(), opts)?;
+    let delta = stats.snapshot().since(&before);
+    if delta.bytes_read != w.dataset.payload_bytes() {
+        return Err(Error::corrupt(format!(
+            "4-shard build read {} bytes, expected one pass of {}",
+            delta.bytes_read,
+            w.dataset.payload_bytes()
+        )));
+    }
+    println!(
+        "   one-pass check: 4-shard build read {} = raw payload, bit-identical across K\n",
+        fmt_mib(delta.bytes_read)
+    );
+    table.emit(&env.results_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::TempDir;
+
+    #[test]
+    fn scaling_runs_and_verifies_identity() {
+        let (w, r) = (
+            TempDir::new("scaling-w").unwrap(),
+            TempDir::new("scaling-r").unwrap(),
+        );
+        let env = Env {
+            work_dir: w.path().to_path_buf(),
+            results_dir: r.path().to_path_buf(),
+            scale: crate::experiments::Scale {
+                n: 400,
+                series_len: 64,
+                queries: 1,
+                leaf_capacity: 32,
+                threads: 2,
+            },
+        };
+        run(&env).unwrap();
+        let csv = std::fs::read_to_string(r.path().join("scaling.csv")).unwrap();
+        assert!(csv.starts_with("algorithm,shards,wall"));
+        // Two variants x three shard counts.
+        assert_eq!(csv.lines().count(), 1 + 6, "{csv}");
+    }
+}

@@ -88,6 +88,8 @@ pub struct BuildParams {
     pub memory_bytes: u64,
     /// Threads for the SIMS scans.
     pub threads: usize,
+    /// Key-range shards for the build's scan/sort phase (1 = single sorter).
+    pub shards: usize,
 }
 
 impl Default for BuildParams {
@@ -96,6 +98,7 @@ impl Default for BuildParams {
             leaf_capacity: 200,
             memory_bytes: 64 << 20,
             threads: 4,
+            shards: 1,
         }
     }
 }
@@ -120,6 +123,7 @@ pub fn build_index(
         memory_bytes: params.memory_bytes,
         materialized: false,
         threads: params.threads,
+        shards: params.shards,
     };
     Ok(match algo {
         Algo::CTree => Box::new(CoconutTree::build(&w.dataset, &config, dir, opts)?),
@@ -195,6 +199,7 @@ mod tests {
             leaf_capacity: 32,
             memory_bytes: 1 << 20,
             threads: 2,
+            shards: 1,
         };
         let algos = [
             Algo::CTree,

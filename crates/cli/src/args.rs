@@ -9,7 +9,7 @@ usage:
   coconut gen   --kind <randomwalk|seismic|astronomy> --count N --len L [--seed S] <out.ds>
   coconut info  <data.ds>
   coconut build --index <ctree|ctrie> [--materialized] [--leaf N]
-                [--memory-mb M] [--out-dir DIR] <data.ds>
+                [--memory-mb M] [--shards N] [--out-dir DIR] <data.ds>
   coconut query --index <path.idx> --data <data.ds>
                 (--seed S | --pos P) [--k K] [--radius R]
                 [--dtw BAND] [--range EPS] [--approximate]";
@@ -33,6 +33,9 @@ pub enum Command {
         materialized: bool,
         leaf: usize,
         memory_mb: u64,
+        /// Parallel build shards; defaults to the machine's available
+        /// parallelism.
+        shards: usize,
         out_dir: PathBuf,
         data: PathBuf,
     },
@@ -128,6 +131,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 memory_mb: opts
                     .get("--memory-mb")
                     .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
+                shards: match opts.get("--shards") {
+                    Some(s) => {
+                        let n: usize = parse_num(s, "shards")?;
+                        if n == 0 {
+                            return Err("shards must be at least 1".into());
+                        }
+                        n
+                    }
+                    None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+                },
                 out_dir: PathBuf::from(opts.get("--out-dir").map_or(".", |s| s.as_str())),
                 data: PathBuf::from(data),
             })
@@ -210,6 +223,7 @@ mod tests {
             index,
             materialized,
             leaf,
+            shards,
             out_dir,
             data,
             ..
@@ -220,8 +234,20 @@ mod tests {
         assert_eq!(index, "ctree");
         assert!(materialized);
         assert_eq!(leaf, 100);
+        assert!(shards >= 1, "defaults to available parallelism");
         assert_eq!(out_dir, PathBuf::from("/tmp"));
         assert_eq!(data, PathBuf::from("x.ds"));
+    }
+
+    #[test]
+    fn parses_build_shards() {
+        let c = parse(&argv("build --index ctree --shards 4 x.ds")).unwrap();
+        let Command::Build { shards, .. } = c else {
+            panic!()
+        };
+        assert_eq!(shards, 4);
+        assert!(parse(&argv("build --index ctree --shards 0 x.ds")).is_err());
+        assert!(parse(&argv("build --index ctree --shards nope x.ds")).is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn run(cmd: Command) -> Result<()> {
             materialized,
             leaf,
             memory_mb,
+            shards,
             out_dir,
             data,
         } => {
@@ -83,7 +84,9 @@ pub fn run(cmd: Command) -> Result<()> {
                 memory_bytes: memory_mb << 20,
                 materialized,
                 threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+                shards: shards.max(1),
             };
+            let shard_count = opts.shards;
             let t0 = Instant::now();
             let (name, path, leaves, fill, bytes): (String, _, _, _, _) = match index.as_str() {
                 "ctree" => {
@@ -113,7 +116,12 @@ pub fn run(cmd: Command) -> Result<()> {
                 }
             };
             let io = stats.snapshot();
-            println!("built {name} in {:.2}s", t0.elapsed().as_secs_f64());
+            println!(
+                "built {name} in {:.2}s ({} build shard{})",
+                t0.elapsed().as_secs_f64(),
+                shard_count,
+                if shard_count == 1 { "" } else { "s" }
+            );
             println!("index file    {}", path.display());
             println!("leaves        {leaves} (avg fill {:.0}%)", fill * 100.0);
             println!("size          {:.1} MiB", bytes as f64 / (1 << 20) as f64);
@@ -263,6 +271,7 @@ mod tests {
                 memory_mb: 1,
                 out_dir: out_dir.clone(),
                 data: data.clone(),
+                shards: 3,
             })
             .unwrap();
             let idx = std::fs::read_dir(&out_dir)
@@ -310,6 +319,7 @@ mod tests {
             memory_mb: 1,
             out_dir: tree_dir.clone(),
             data: data.clone(),
+            shards: 1,
         })
         .unwrap();
         let tree_idx = std::fs::read_dir(&tree_dir)
@@ -340,6 +350,7 @@ mod tests {
             memory_mb: 1,
             out_dir: trie_dir.clone(),
             data: data.clone(),
+            shards: 1,
         })
         .unwrap();
         let trie_idx = std::fs::read_dir(&trie_dir)
@@ -387,6 +398,7 @@ mod tests {
             memory_mb: 1,
             out_dir: dir.path().to_path_buf(),
             data,
+            shards: 1,
         })
         .is_err());
     }

@@ -29,14 +29,11 @@ pub fn sorted_key_pos(
     debug_assert!(range.end <= dataset.len());
     let mut summarizer = Summarizer::new(*sax);
     let mut sorter = ExternalSorter::new(KeyPosCodec, memory_bytes, tmp_dir, Arc::clone(stats))?;
-    let mut scan = dataset.scan();
+    // Seek straight to `range.start`: partitioned builds scan K disjoint
+    // ranges, and skip-scanning from position 0 would read the raw file K
+    // times end-to-end (quadratic in the shard count).
+    let mut scan = dataset.scan_range(range);
     while let Some((pos, series)) = scan.next_series()? {
-        if pos < range.start {
-            continue;
-        }
-        if pos >= range.end {
-            break;
-        }
         let key = summarizer.zkey(series);
         sorter.push(KeyPos { key, pos })?;
     }
@@ -59,14 +56,9 @@ pub fn sorted_key_series(
     let mut summarizer = Summarizer::new(*sax);
     let codec = KeySeriesCodec::new(dataset.series_len());
     let mut sorter = ExternalSorter::new(codec, memory_bytes, tmp_dir, Arc::clone(stats))?;
-    let mut scan = dataset.scan();
+    // Positioned scan for the same reason as `sorted_key_pos`.
+    let mut scan = dataset.scan_range(range);
     while let Some((pos, series)) = scan.next_series()? {
-        if pos < range.start {
-            continue;
-        }
-        if pos >= range.end {
-            break;
-        }
         let key = summarizer.zkey(series);
         sorter.push(KeySeries {
             key,
@@ -147,6 +139,28 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn tail_range_reads_io_proportional_to_range() {
+        // The headline bugfix: building over `start..end` must seek to
+        // `start`, not skip-scan from position 0.
+        let dir = TempDir::new("builder").unwrap();
+        let (ds, stats) = small_dataset(&dir, 2000, 64);
+        let sax = SaxConfig::default_for_len(64);
+        let before = stats.snapshot();
+        let mut stream =
+            sorted_key_pos(&ds, 1900..2000, &sax, 1 << 20, dir.path(), &stats).unwrap();
+        let mut n = 0;
+        while let Some(kp) = stream.next_item().unwrap() {
+            assert!((1900..2000).contains(&kp.pos));
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        let delta = stats.snapshot().since(&before);
+        // Exactly the 100-series tail (100 * 64 points * 4 bytes), not the
+        // 2000-series file.
+        assert_eq!(delta.bytes_read, 100 * 64 * 4, "tail build read too much");
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub struct BuildOptions {
     pub materialized: bool,
     /// Threads used by the parallel SIMS lower-bound scan.
     pub threads: usize,
+    /// Key-range shards for the build's scan→summarize→sort phase: each
+    /// shard runs on its own worker thread with `memory_bytes / shards` of
+    /// sort budget, and the per-shard sorted streams are K-way merged into
+    /// the bulk loader. `0` and `1` both mean the single-sorter path; any
+    /// shard count produces a bit-identical index (see
+    /// `crate::shard`).
+    pub shards: usize,
 }
 
 impl Default for BuildOptions {
@@ -76,6 +83,7 @@ impl Default for BuildOptions {
             memory_bytes: 256 << 20,
             materialized: false,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            shards: 1,
         }
     }
 }
@@ -90,6 +98,12 @@ impl BuildOptions {
     /// Same options with a specific memory budget.
     pub fn with_memory(mut self, bytes: u64) -> Self {
         self.memory_bytes = bytes;
+        self
+    }
+
+    /// Same options with `shards` build shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -144,9 +158,14 @@ mod tests {
 
     #[test]
     fn build_options_builders() {
-        let o = BuildOptions::default().materialized().with_memory(1024);
+        let o = BuildOptions::default()
+            .materialized()
+            .with_memory(1024)
+            .with_shards(4);
         assert!(o.materialized);
         assert_eq!(o.memory_bytes, 1024);
         assert!(o.threads >= 1);
+        assert_eq!(o.shards, 4);
+        assert_eq!(BuildOptions::default().shards, 1);
     }
 }

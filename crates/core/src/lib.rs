@@ -25,12 +25,18 @@
 //!
 //! [`lsm::LsmCoconut`] implements the paper's future-work suggestion: an
 //! LSM-style collection of bulk-loaded runs for efficient updates.
+//!
+//! [`shard`] parallelizes construction: the scan→summarize→sort phase runs
+//! on K worker threads over disjoint key-range shards, and the per-shard
+//! sorted streams are K-way merged into the same bulk loaders, producing
+//! bit-identical indexes (enable via [`BuildOptions::shards`]).
 
 pub mod builder;
 pub mod config;
 pub mod layout;
 pub mod lsm;
 pub mod records;
+pub mod shard;
 pub mod sims;
 pub mod tree;
 pub mod trie;

@@ -1,0 +1,447 @@
+//! Sharded, multi-threaded bottom-up construction.
+//!
+//! The paper's construction recipe (scan → summarize → external sort →
+//! bulk load) is embarrassingly parallel in its first three stages: split
+//! `0..dataset.len()` into K contiguous position ranges, run each shard's
+//! pipeline on its own worker thread — each with its own [`ExternalSorter`],
+//! tmp subdirectory, private [`IoStats`], and `1/K` of the memory budget —
+//! and K-way merge the per-shard sorted streams into the existing tree /
+//! trie bulk loaders.
+//!
+//! Two invariants make this safe and exact:
+//!
+//! * **One pass over the raw file.** Shards scan *disjoint* ranges via
+//!   [`Dataset::scan_range`], whose reads never extend past the shard
+//!   boundary, so a K-shard build reads every data byte exactly once
+//!   (the bug this module was built on top of: the old skip-scan restarted
+//!   at position 0 per shard, making partitioned builds quadratic).
+//! * **Deterministic total order.** Records are ordered by the unique
+//!   `(key, position)` pair, so merging K sorted shard streams yields the
+//!   exact sequence one big sort would — sharded builds are bit-identical
+//!   to single-sorter builds, only faster.
+
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::Value;
+use coconut_storage::{
+    Codec, Error, ExternalSorter, IoSnapshot, IoStats, MergedStream, RecordStream, Result,
+    SortReport, SortedStream,
+};
+use coconut_summary::sax::Summarizer;
+use coconut_summary::SaxConfig;
+
+use crate::records::{KeyPos, KeyPosCodec, KeySeries, KeySeriesCodec};
+
+/// Uniquifies scratch directories so concurrent builds sharing one tmp dir
+/// never collide.
+static SHARD_BUILD_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory removed (recursively) on drop.
+struct ScratchDir(PathBuf);
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Split `range` into at most `shards` contiguous, non-empty, gap-free
+/// subranges of near-equal size (sizes differ by at most one).
+pub fn shard_ranges(range: Range<u64>, shards: usize) -> Vec<Range<u64>> {
+    let n = range.end.saturating_sub(range.start);
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = (shards.max(1) as u64).min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k as usize);
+    let mut start = range.start;
+    for i in 0..k {
+        let len = base + u64::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, range.end);
+    out
+}
+
+/// The output of a sharded sort: a K-way [`MergedStream`] plus the
+/// bookkeeping that keeps I/O accounting and scratch space exact.
+///
+/// Each worker accounts I/O into a private [`IoStats`] (the join folds
+/// those into the shared sink promptly), but spilled runs are *read back*
+/// lazily on the caller's thread as the merge is consumed — still through
+/// the worker's private sink. Dropping this stream absorbs that residual
+/// into the shared sink and removes the build's scratch directory, so
+/// nothing is lost and nothing is left behind.
+pub struct ShardedStream<C: Codec> {
+    inner: MergedStream<C>,
+    shared: Arc<IoStats>,
+    /// Per-worker private sinks with the snapshot already absorbed at join.
+    workers: Vec<(Arc<IoStats>, IoSnapshot)>,
+    /// Dropped after `inner` (declaration order), i.e. after the run files
+    /// inside it are deleted.
+    _scratch: ScratchDir,
+}
+
+impl<C: Codec> ShardedStream<C>
+where
+    C::Item: Ord,
+{
+    /// The next record in global key order, or `None` when exhausted.
+    pub fn next_item(&mut self) -> Result<Option<C::Item>> {
+        self.inner.next_item()
+    }
+
+    /// The aggregated sort report.
+    pub fn report(&self) -> SortReport {
+        self.inner.report()
+    }
+
+    /// Drain into a vector (tests and small merges).
+    pub fn collect_all(mut self) -> Result<Vec<C::Item>> {
+        let mut out = Vec::new();
+        while let Some(item) = self.next_item()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<C: Codec> RecordStream for ShardedStream<C>
+where
+    C::Item: Ord,
+{
+    type Item = C::Item;
+
+    fn next_item(&mut self) -> Result<Option<C::Item>> {
+        ShardedStream::next_item(self)
+    }
+
+    fn report(&self) -> SortReport {
+        ShardedStream::report(self)
+    }
+}
+
+impl<C: Codec> Drop for ShardedStream<C> {
+    fn drop(&mut self) {
+        // Fold the merge-phase run reads (accounted privately after the
+        // join snapshot) into the shared sink.
+        for (worker, absorbed) in &self.workers {
+            self.shared.absorb(&worker.snapshot().since(absorbed));
+        }
+    }
+}
+
+/// The generic sharded pipeline: one worker thread per shard, each scanning
+/// its range, summarizing, and sorting under `memory_bytes / K`; the sorted
+/// shard streams are returned as one K-way merge.
+///
+/// Workers account I/O into private [`IoStats`]; the totals are folded into
+/// `stats` when the workers join, and the remainder (run reads during merge
+/// consumption) when the returned stream drops. Raw-file reads go through
+/// the dataset's own shared sink as usual. All sort scratch lives in one
+/// unique subdirectory of `tmp_dir`, removed when the stream drops.
+#[allow(clippy::too_many_arguments)]
+fn sharded_sort<C, F>(
+    dataset: &Dataset,
+    range: Range<u64>,
+    sax: SaxConfig,
+    memory_bytes: u64,
+    tmp_dir: &Path,
+    stats: &Arc<IoStats>,
+    shards: usize,
+    codec: C,
+    make_record: F,
+) -> Result<ShardedStream<C>>
+where
+    C: Codec + Copy + Send,
+    C::Item: Ord + Send,
+    F: Fn(&mut Summarizer, u64, &[Value]) -> C::Item + Sync,
+{
+    debug_assert!(range.end <= dataset.len());
+    let ranges = shard_ranges(range, shards);
+    // The budget invariant on `ExternalSorter::new`: K concurrent sorters
+    // share the build's memory, so each gets 1/K of it.
+    let per_shard_budget = (memory_bytes / ranges.len().max(1) as u64).max(1);
+    // One unique scratch tree per build (concurrent builds may share
+    // `tmp_dir`); the guard removes it on every exit path — declared before
+    // the streams so it drops after them.
+    let scratch = ScratchDir(tmp_dir.join(format!(
+        "shards-{}-{}",
+        std::process::id(),
+        SHARD_BUILD_ID.fetch_add(1, Ordering::Relaxed)
+    )));
+    let make_record = &make_record;
+    type WorkerOut<C> = (SortedStream<C>, Arc<IoStats>, IoSnapshot);
+    type Joined<C> = (Vec<SortedStream<C>>, Vec<(Arc<IoStats>, IoSnapshot)>);
+    let (streams, workers) = std::thread::scope(|scope| -> Result<Joined<C>> {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (i, shard_range) in ranges.into_iter().enumerate() {
+            let shard_dir = scratch.0.join(format!("shard-{i}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            handles.push(scope.spawn(move || -> Result<WorkerOut<C>> {
+                let shard_stats = Arc::new(IoStats::new());
+                let mut summarizer = Summarizer::new(sax);
+                let mut sorter = ExternalSorter::new(
+                    codec,
+                    per_shard_budget,
+                    &shard_dir,
+                    Arc::clone(&shard_stats),
+                )?;
+                let mut scan = dataset.scan_range(shard_range);
+                while let Some((pos, series)) = scan.next_series()? {
+                    sorter.push(make_record(&mut summarizer, pos, series))?;
+                }
+                let stream = sorter.finish()?;
+                let snap = shard_stats.snapshot();
+                Ok((stream, shard_stats, snap))
+            }));
+        }
+        let mut streams = Vec::with_capacity(handles.len());
+        let mut workers = Vec::with_capacity(handles.len());
+        for handle in handles {
+            let (stream, shard_stats, snap) = handle
+                .join()
+                .map_err(|_| Error::invalid("shard worker panicked"))??;
+            stats.absorb(&snap);
+            streams.push(stream);
+            workers.push((shard_stats, snap));
+        }
+        Ok((streams, workers))
+    })?;
+    Ok(ShardedStream {
+        inner: MergedStream::new(streams)?,
+        shared: Arc::clone(stats),
+        workers,
+        _scratch: scratch,
+    })
+}
+
+/// Sharded counterpart of [`crate::builder::sorted_key_pos`]: the
+/// non-materialized pipeline, parallelized over `shards` key-range shards.
+/// Yields the identical record sequence.
+#[allow(clippy::too_many_arguments)]
+pub fn sorted_key_pos_sharded(
+    dataset: &Dataset,
+    range: Range<u64>,
+    sax: &SaxConfig,
+    memory_bytes: u64,
+    tmp_dir: &Path,
+    stats: &Arc<IoStats>,
+    shards: usize,
+) -> Result<ShardedStream<KeyPosCodec>> {
+    sharded_sort(
+        dataset,
+        range,
+        *sax,
+        memory_bytes,
+        tmp_dir,
+        stats,
+        shards,
+        KeyPosCodec,
+        |summarizer, pos, series| KeyPos {
+            key: summarizer.zkey(series),
+            pos,
+        },
+    )
+}
+
+/// Sharded counterpart of [`crate::builder::sorted_key_series`]: the
+/// materialized (`-Full`) pipeline, parallelized over `shards` shards.
+#[allow(clippy::too_many_arguments)]
+pub fn sorted_key_series_sharded(
+    dataset: &Dataset,
+    range: Range<u64>,
+    sax: &SaxConfig,
+    memory_bytes: u64,
+    tmp_dir: &Path,
+    stats: &Arc<IoStats>,
+    shards: usize,
+) -> Result<ShardedStream<KeySeriesCodec>> {
+    sharded_sort(
+        dataset,
+        range,
+        *sax,
+        memory_bytes,
+        tmp_dir,
+        stats,
+        shards,
+        KeySeriesCodec::new(dataset.series_len()),
+        |summarizer, pos, series| KeySeries {
+            key: summarizer.zkey(series),
+            pos,
+            series: series.to_vec(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{sorted_key_pos, sorted_key_series};
+    use coconut_series::dataset::write_dataset;
+    use coconut_series::gen::RandomWalkGen;
+    use coconut_storage::TempDir;
+
+    fn small_dataset(dir: &TempDir, n: u64, len: usize) -> (Dataset, Arc<IoStats>) {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        write_dataset(&path, &mut RandomWalkGen::new(41), n, len, &stats).unwrap();
+        (Dataset::open(&path, Arc::clone(&stats)).unwrap(), stats)
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        assert_eq!(shard_ranges(0..10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(5..8, 1), vec![5..8]);
+        // More shards than items: one shard per item, never an empty shard.
+        assert_eq!(shard_ranges(2..4, 16), vec![2..3, 3..4]);
+        assert!(shard_ranges(7..7, 4).is_empty());
+        assert_eq!(shard_ranges(0..10, 0), vec![0..10]);
+    }
+
+    #[test]
+    fn sharded_key_pos_equals_single_sorter() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 1200, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let expected = sorted_key_pos(&ds, 0..1200, &sax, 1 << 20, dir.path(), &stats)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        for shards in [1usize, 2, 3, 7, 64] {
+            let got =
+                sorted_key_pos_sharded(&ds, 0..1200, &sax, 1 << 20, dir.path(), &stats, shards)
+                    .unwrap()
+                    .collect_all()
+                    .unwrap();
+            assert_eq!(got, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_key_series_equals_single_sorter_with_spills() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 500, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let expected = sorted_key_series(&ds, 0..500, &sax, 1 << 20, dir.path(), &stats)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        // A budget small enough that every shard spills.
+        let merged =
+            sorted_key_series_sharded(&ds, 0..500, &sax, 16 << 10, dir.path(), &stats, 4).unwrap();
+        assert!(merged.report().runs >= 4, "{:?}", merged.report());
+        let got = merged.collect_all().unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert_eq!((g.key, g.pos), (e.key, e.pos));
+            assert_eq!(g.series, e.series);
+        }
+    }
+
+    #[test]
+    fn sharded_build_reads_dataset_exactly_once() {
+        // The acceptance bar: total raw-file bytes read by a K-shard build
+        // equal one full pass, not K passes.
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 2000, 64);
+        let sax = SaxConfig::default_for_len(64);
+        let before = stats.snapshot();
+        let mut merged =
+            sorted_key_pos_sharded(&ds, 0..2000, &sax, 1 << 20, dir.path(), &stats, 8).unwrap();
+        let mut n = 0u64;
+        while merged.next_item().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2000);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(
+            delta.bytes_read,
+            ds.payload_bytes(),
+            "K shards must read one pass, not K"
+        );
+    }
+
+    #[test]
+    fn sharded_sub_range_respects_bounds() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 300, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let expected = sorted_key_pos(&ds, 60..260, &sax, 1 << 20, dir.path(), &stats)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        let got = sorted_key_pos_sharded(&ds, 60..260, &sax, 1 << 20, dir.path(), &stats, 5)
+            .unwrap()
+            .collect_all()
+            .unwrap();
+        assert_eq!(got, expected);
+        assert!(got.iter().all(|kp| (60..260).contains(&kp.pos)));
+    }
+
+    #[test]
+    fn empty_range_yields_empty_stream() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 10, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let mut merged =
+            sorted_key_pos_sharded(&ds, 0..0, &sax, 1 << 20, dir.path(), &stats, 4).unwrap();
+        assert!(merged.next_item().unwrap().is_none());
+        assert_eq!(merged.report().items, 0);
+    }
+
+    #[test]
+    fn shard_spill_io_is_absorbed_into_shared_stats() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 800, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let before = stats.snapshot();
+        // Tiny budget: every shard spills runs through its private stats.
+        let merged =
+            sorted_key_pos_sharded(&ds, 0..800, &sax, 2048, dir.path(), &stats, 4).unwrap();
+        assert!(merged.report().runs >= 4);
+        let delta = stats.snapshot().since(&before);
+        // Spilled run bytes (24 bytes per record, written at least once)
+        // must show up in the shared sink after the workers join.
+        assert!(
+            delta.bytes_written >= 800 * 24,
+            "spill writes not absorbed: {delta:?}"
+        );
+        // Draining the merge reads the runs back on this thread; dropping
+        // the stream must fold those reads into the shared sink too.
+        let n = merged.collect_all().unwrap().len();
+        assert_eq!(n, 800);
+        let delta = stats.snapshot().since(&before);
+        let raw = ds.payload_bytes();
+        assert!(
+            delta.bytes_read >= raw + 800 * 24,
+            "merge-phase run reads not absorbed: {delta:?}"
+        );
+    }
+
+    #[test]
+    fn scratch_dirs_are_removed_after_stream_drop() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 400, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let tmp = dir.path().join("tmp");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let merged = sorted_key_pos_sharded(&ds, 0..400, &sax, 1024, &tmp, &stats, 3).unwrap();
+        assert!(
+            std::fs::read_dir(&tmp).unwrap().next().is_some(),
+            "scratch tree should exist while the stream lives"
+        );
+        let _ = merged.collect_all().unwrap();
+        assert!(
+            std::fs::read_dir(&tmp).unwrap().next().is_none(),
+            "scratch tree must be removed once the stream is dropped"
+        );
+    }
+}

@@ -34,7 +34,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::distance::euclidean_sq;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
-use coconut_storage::{CountedFile, Error, IoStats, Result};
+use coconut_storage::{CountedFile, Error, IoStats, RecordStream, Result};
 use coconut_summary::paa::paa;
 use coconut_summary::sax::Summarizer;
 use coconut_summary::ZKey;
@@ -44,6 +44,7 @@ use crate::config::{BuildOptions, IndexConfig};
 use crate::layout::{
     read_directory, write_directory, EntryLayout, IndexHeader, LeafMeta, LeafStore,
 };
+use crate::shard::{sorted_key_pos_sharded, sorted_key_series_sharded};
 use crate::sims::{sims_exact, sims_exact_knn, SeriesFetcher};
 
 static TREE_ID: AtomicU64 = AtomicU64::new(0);
@@ -179,14 +180,30 @@ impl CoconutTree {
 
         let stats = Arc::clone(self.dataset.file().stats());
         if opts.materialized {
-            let mut stream = sorted_key_series(
-                &self.dataset,
-                self.range.clone(),
-                &self.config.sax,
-                opts.memory_bytes,
-                tmp_dir,
-                &stats,
-            )?;
+            // Sharded builds sort K ranges in parallel and K-way merge; the
+            // merged stream is record-for-record identical to one big sort,
+            // so either source feeds the same loader loop.
+            let mut stream: Box<dyn RecordStream<Item = crate::records::KeySeries>> =
+                if opts.shards > 1 {
+                    Box::new(sorted_key_series_sharded(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                        opts.shards,
+                    )?)
+                } else {
+                    Box::new(sorted_key_series(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                    )?)
+                };
             self.build_report.sort = stream.report();
             while let Some(rec) = stream.next_item()? {
                 entry.encode(rec.key, rec.pos, Some(&rec.series), &mut entry_buf);
@@ -205,14 +222,27 @@ impl CoconutTree {
             }
             self.build_report.sort = stream.report();
         } else {
-            let mut stream = sorted_key_pos(
-                &self.dataset,
-                self.range.clone(),
-                &self.config.sax,
-                opts.memory_bytes,
-                tmp_dir,
-                &stats,
-            )?;
+            let mut stream: Box<dyn RecordStream<Item = crate::records::KeyPos>> =
+                if opts.shards > 1 {
+                    Box::new(sorted_key_pos_sharded(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                        opts.shards,
+                    )?)
+                } else {
+                    Box::new(sorted_key_pos(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                    )?)
+                };
             while let Some(rec) = stream.next_item()? {
                 entry.encode(rec.key, rec.pos, None, &mut entry_buf);
                 if in_leaf == 0 {
@@ -1377,6 +1407,65 @@ mod tests {
             tree.avg_fill()
         );
         assert_eq!(tree.leaf_count(), 20);
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical() {
+        let dir = TempDir::new("ctree").unwrap();
+        let ds = make_dataset(&dir, 1100);
+        for materialized in [false, true] {
+            let base_opts = BuildOptions {
+                materialized,
+                memory_bytes: 1 << 20, // small enough that shards spill
+                ..BuildOptions::default()
+            };
+            let single =
+                CoconutTree::build(&ds, &small_config(), dir.path(), base_opts.clone()).unwrap();
+            let single_bytes = std::fs::read(single.index_path()).unwrap();
+            for shards in [2usize, 4, 7] {
+                let sharded = CoconutTree::build(
+                    &ds,
+                    &small_config(),
+                    dir.path(),
+                    base_opts.clone().with_shards(shards),
+                )
+                .unwrap();
+                let sharded_bytes = std::fs::read(sharded.index_path()).unwrap();
+                assert_eq!(
+                    single_bytes, sharded_bytes,
+                    "mat={materialized} shards={shards}: index files differ"
+                );
+                assert_eq!(sharded.len(), single.len());
+                assert_eq!(sharded.leaf_count(), single.leaf_count());
+                // The sharded index answers identically.
+                for seed in 900..905 {
+                    let q = query(seed);
+                    let (a, _) = single.exact_search(&q).unwrap();
+                    let (b, _) = sharded.exact_search(&q).unwrap();
+                    assert_eq!(a.pos, b.pos, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_reads_one_pass() {
+        let dir = TempDir::new("ctree").unwrap();
+        let ds = make_dataset(&dir, 3000);
+        let stats = Arc::clone(ds.file().stats());
+        let before = stats.snapshot();
+        let tree = CoconutTree::build(
+            &ds,
+            &small_config(),
+            dir.path(),
+            BuildOptions::default().with_shards(6),
+        )
+        .unwrap();
+        assert_eq!(tree.len(), 3000);
+        let delta = stats.snapshot().since(&before);
+        // With ample memory no shard spills, so bytes read equal exactly
+        // one pass over the raw payload.
+        assert_eq!(delta.bytes_read, ds.payload_bytes());
     }
 
     #[test]

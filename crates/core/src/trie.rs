@@ -26,7 +26,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::distance::euclidean_sq;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
-use coconut_storage::{CountedFile, Error, Result};
+use coconut_storage::{CountedFile, Error, RecordStream, Result};
 use coconut_summary::paa::paa;
 use coconut_summary::sax::Summarizer;
 use coconut_summary::ZKey;
@@ -36,7 +36,8 @@ use crate::config::{BuildOptions, IndexConfig};
 use crate::layout::{
     read_directory, write_directory, EntryLayout, IndexHeader, LeafMeta, LeafStore,
 };
-use crate::records::KeyPos;
+use crate::records::{KeyPos, KeySeries};
+use crate::shard::{sorted_key_pos_sharded, sorted_key_series_sharded};
 use crate::sims::{sims_exact, SeriesFetcher};
 use crate::tree::RawFileFetcher;
 
@@ -143,14 +144,26 @@ impl CoconutTrie {
         let mut sorted: Vec<KeyPos> =
             Vec::with_capacity((self.range.end - self.range.start) as usize);
         {
-            let mut stream = sorted_key_pos(
-                &self.dataset,
-                self.range.clone(),
-                &self.config.sax,
-                opts.memory_bytes,
-                tmp_dir,
-                &stats,
-            )?;
+            let mut stream: Box<dyn RecordStream<Item = KeyPos>> = if opts.shards > 1 {
+                Box::new(sorted_key_pos_sharded(
+                    &self.dataset,
+                    self.range.clone(),
+                    &self.config.sax,
+                    opts.memory_bytes,
+                    tmp_dir,
+                    &stats,
+                    opts.shards,
+                )?)
+            } else {
+                Box::new(sorted_key_pos(
+                    &self.dataset,
+                    self.range.clone(),
+                    &self.config.sax,
+                    opts.memory_bytes,
+                    tmp_dir,
+                    &stats,
+                )?)
+            };
             self.build_report.sort = stream.report();
             while let Some(kp) = stream.next_item()? {
                 sorted.push(kp);
@@ -176,14 +189,26 @@ impl CoconutTrie {
             // The -Full variant re-sorts with payloads and streams them into
             // the leaf layout (the extra sort-merge passes the paper charges
             // Coconut-Trie-Full for).
-            let mut stream = sorted_key_series(
-                &self.dataset,
-                self.range.clone(),
-                &self.config.sax,
-                opts.memory_bytes,
-                tmp_dir,
-                &stats,
-            )?;
+            let mut stream: Box<dyn RecordStream<Item = KeySeries>> = if opts.shards > 1 {
+                Box::new(sorted_key_series_sharded(
+                    &self.dataset,
+                    self.range.clone(),
+                    &self.config.sax,
+                    opts.memory_bytes,
+                    tmp_dir,
+                    &stats,
+                    opts.shards,
+                )?)
+            } else {
+                Box::new(sorted_key_series(
+                    &self.dataset,
+                    self.range.clone(),
+                    &self.config.sax,
+                    opts.memory_bytes,
+                    tmp_dir,
+                    &stats,
+                )?)
+            };
             let mut entry_buf = vec![0u8; eb];
             let mut block_buf: Vec<u8> = Vec::new();
             for &(lo, hi) in &ranges {
@@ -1036,6 +1061,37 @@ mod tests {
         let mut want = expected;
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = make_dataset(&dir, 900);
+        for materialized in [false, true] {
+            let base_opts = BuildOptions {
+                materialized,
+                memory_bytes: 1 << 20,
+                ..BuildOptions::default()
+            };
+            let single =
+                CoconutTrie::build(&ds, &small_config(), dir.path(), base_opts.clone()).unwrap();
+            let single_bytes = std::fs::read(single.index_path()).unwrap();
+            for shards in [3usize, 8] {
+                let sharded = CoconutTrie::build(
+                    &ds,
+                    &small_config(),
+                    dir.path(),
+                    base_opts.clone().with_shards(shards),
+                )
+                .unwrap();
+                let sharded_bytes = std::fs::read(sharded.index_path()).unwrap();
+                assert_eq!(
+                    single_bytes, sharded_bytes,
+                    "mat={materialized} shards={shards}: index files differ"
+                );
+                assert_eq!(sharded.node_count(), single.node_count());
+            }
+        }
     }
 
     #[test]

@@ -237,19 +237,36 @@ impl Dataset {
 
     /// A sequential scanner over all series, reading in large chunks.
     pub fn scan(&self) -> DatasetScan<'_> {
-        DatasetScan::new(self, 1 << 20)
+        DatasetScan::new(self, 0..self.count, 1 << 20)
+    }
+
+    /// A sequential scanner starting at position `pos` (clamped to the end):
+    /// the first read seeks directly to `pos`'s byte offset, so scanning a
+    /// tail of the file costs I/O proportional to the tail, not the file.
+    pub fn scan_from(&self, pos: u64) -> DatasetScan<'_> {
+        DatasetScan::new(self, pos..self.count, 1 << 20)
+    }
+
+    /// A sequential scanner over exactly the positions in `range` (clamped
+    /// to the dataset bounds). Reads never extend past `range.end`, so
+    /// partitioned builds scanning disjoint ranges together read each byte
+    /// of the file exactly once.
+    pub fn scan_range(&self, range: std::ops::Range<u64>) -> DatasetScan<'_> {
+        DatasetScan::new(self, range, 1 << 20)
     }
 
     /// A sequential scanner with a custom chunk size in bytes (tests).
     pub fn scan_with_chunk(&self, chunk_bytes: usize) -> DatasetScan<'_> {
-        DatasetScan::new(self, chunk_bytes)
+        DatasetScan::new(self, 0..self.count, chunk_bytes)
     }
 }
 
-/// Sequential reader yielding `(position, &[Value])` pairs.
+/// Sequential reader yielding `(position, &[Value])` pairs over a
+/// contiguous position range (the whole dataset for [`Dataset::scan`]).
 pub struct DatasetScan<'a> {
     ds: &'a Dataset,
     next_pos: u64,
+    end_pos: u64,
     buf_bytes: Vec<u8>,
     buf_values: Vec<Value>,
     buf_first_pos: u64,
@@ -258,14 +275,17 @@ pub struct DatasetScan<'a> {
 }
 
 impl<'a> DatasetScan<'a> {
-    fn new(ds: &'a Dataset, chunk_bytes: usize) -> Self {
+    fn new(ds: &'a Dataset, range: std::ops::Range<u64>, chunk_bytes: usize) -> Self {
         let series_per_chunk = (chunk_bytes / ds.series_bytes()).max(1);
+        let end_pos = range.end.min(ds.count);
+        let next_pos = range.start.min(end_pos);
         DatasetScan {
             ds,
-            next_pos: 0,
+            next_pos,
+            end_pos,
             buf_bytes: Vec::new(),
             buf_values: Vec::new(),
-            buf_first_pos: 0,
+            buf_first_pos: next_pos,
             buf_count: 0,
             series_per_chunk,
         }
@@ -273,13 +293,13 @@ impl<'a> DatasetScan<'a> {
 
     /// The next `(position, series)` pair, or `None` at the end.
     pub fn next_series(&mut self) -> Result<Option<(u64, &[Value])>> {
-        if self.next_pos >= self.ds.count {
+        if self.next_pos >= self.end_pos {
             return Ok(None);
         }
         let in_buf = (self.next_pos - self.buf_first_pos) as usize;
         if self.buf_count == 0 || in_buf >= self.buf_count {
-            // Refill.
-            let remaining = (self.ds.count - self.next_pos) as usize;
+            // Refill; never read past the scan's end position.
+            let remaining = (self.end_pos - self.next_pos) as usize;
             let n = remaining.min(self.series_per_chunk);
             let bytes = n * self.ds.series_bytes();
             self.buf_bytes.resize(bytes, 0);
@@ -390,6 +410,62 @@ mod tests {
         // First chunk read follows the header read, so at most one seek.
         assert!(after.rand_reads <= 1, "rand reads: {}", after.rand_reads);
         assert!(after.seq_reads > 10);
+    }
+
+    #[test]
+    fn scan_from_starts_mid_file() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 100, 8);
+        let ds = Dataset::open(&path, stats()).unwrap();
+        let mut scan = ds.scan_from(90);
+        let mut seen = Vec::new();
+        while let Some((pos, s)) = scan.next_series().unwrap() {
+            assert_eq!(s[0], (pos * 1000) as Value);
+            seen.push(pos);
+        }
+        assert_eq!(seen, (90..100).collect::<Vec<_>>());
+        // Starting past the end is an empty scan, not an error.
+        assert!(ds.scan_from(100).next_series().unwrap().is_none());
+        assert!(ds.scan_from(u64::MAX).next_series().unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_range_reads_only_the_range() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 1000, 64);
+        let st = stats();
+        let ds = Dataset::open(&path, Arc::clone(&st)).unwrap();
+        let before = st.snapshot();
+        let mut scan = ds.scan_range(900..950);
+        let mut n = 0u64;
+        while let Some((pos, _)) = scan.next_series().unwrap() {
+            assert!((900..950).contains(&pos));
+            n += 1;
+        }
+        assert_eq!(n, 50);
+        // A tail scan must cost I/O proportional to the range, not the file:
+        // exactly 50 series of 256 bytes each, regardless of chunking.
+        let delta = st.snapshot().since(&before);
+        assert_eq!(delta.bytes_read, 50 * 64 * 4, "tail scan over-read");
+    }
+
+    #[test]
+    fn disjoint_scan_ranges_cover_one_pass() {
+        let dir = TempDir::new("dataset").unwrap();
+        let path = write_simple(&dir, 257, 16);
+        let st = stats();
+        let ds = Dataset::open(&path, Arc::clone(&st)).unwrap();
+        let before = st.snapshot();
+        let mut positions = Vec::new();
+        for range in [0..100, 100..200, 200..257] {
+            let mut scan = ds.scan_range(range);
+            while let Some((pos, _)) = scan.next_series().unwrap() {
+                positions.push(pos);
+            }
+        }
+        assert_eq!(positions, (0..257).collect::<Vec<_>>());
+        let delta = st.snapshot().since(&before);
+        assert_eq!(delta.bytes_read, 257 * 16 * 4, "shards must not re-read");
     }
 
     #[test]

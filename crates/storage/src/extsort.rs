@@ -55,6 +55,21 @@ pub struct SortReport {
 
 static SORT_ID: AtomicU64 = AtomicU64::new(0);
 
+/// A set of spilled run files, deleted from disk when dropped. Ownership
+/// moves from the sorter to the merge stream on a successful `finish`, so
+/// whichever side holds the files last cleans them up — a build that errors
+/// (or is dropped) between `spill_run` and `finish` leaks nothing.
+#[derive(Debug, Default)]
+struct RunFiles(Vec<PathBuf>);
+
+impl Drop for RunFiles {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
 /// Streaming external sorter. `push` records, then `finish` to obtain the
 /// globally sorted stream.
 pub struct ExternalSorter<C: Codec> {
@@ -64,7 +79,7 @@ pub struct ExternalSorter<C: Codec> {
     stats: Arc<IoStats>,
     buffer: Vec<C::Item>,
     buffer_capacity: usize,
-    runs: Vec<PathBuf>,
+    runs: RunFiles,
     report: SortReport,
     sort_id: u64,
     io_buf_bytes: usize,
@@ -76,6 +91,12 @@ where
 {
     /// A sorter that holds at most `budget_bytes` of records in memory and
     /// spills runs into `tmp_dir`.
+    ///
+    /// **Budget invariant:** `budget_bytes` is *per sorter*, not global.
+    /// A caller that runs K sorters concurrently (e.g. the sharded build in
+    /// `coconut-core`) must divide its memory budget across them — K
+    /// sorters created with the full budget would claim K times the
+    /// intended memory.
     pub fn new(
         codec: C,
         budget_bytes: u64,
@@ -96,7 +117,7 @@ where
             stats,
             buffer: Vec::new(),
             buffer_capacity,
-            runs: Vec::new(),
+            runs: RunFiles::default(),
             report: SortReport::default(),
             sort_id: SORT_ID.fetch_add(1, Ordering::Relaxed),
             io_buf_bytes: 256 * 1024,
@@ -133,8 +154,11 @@ where
             return Ok(());
         }
         self.buffer.sort_unstable();
-        let path = self.run_path(self.runs.len());
+        let path = self.run_path(self.runs.0.len());
         let file = CountedFile::create(&path, Arc::clone(&self.stats))?;
+        // Register the file with the drop-guard *before* writing so a
+        // mid-spill I/O error (e.g. disk full) cannot leak a partial run.
+        self.runs.0.push(path);
         let record = self.codec.record_size();
         let per_flush = (self.io_buf_bytes / record).max(1);
         let mut out = vec![0u8; per_flush * record];
@@ -152,14 +176,13 @@ where
             file.append(&out[..filled * record])?;
         }
         file.sync()?;
-        self.runs.push(path);
         self.report.runs += 1;
         Ok(())
     }
 
     /// Finish pushing and return the globally sorted stream.
     pub fn finish(mut self) -> Result<SortedStream<C>> {
-        if self.runs.is_empty() {
+        if self.runs.0.is_empty() {
             // Fully in-memory: one sort, no I/O at all.
             self.buffer.sort_unstable();
             let items = std::mem::take(&mut self.buffer);
@@ -179,32 +202,38 @@ where
         let record = self.codec.record_size();
         let min_read_buf = record.max(4096);
         let max_fanin = (self.budget_bytes / min_read_buf).clamp(2, 128);
-        let mut runs = std::mem::take(&mut self.runs);
+        // Every generation of run files lives inside a `RunFiles` guard, so
+        // an error (or drop) at any point deletes whatever is on disk.
         let mut pass_no = 0usize;
-        while runs.len() > max_fanin {
+        while self.runs.0.len() > max_fanin {
             self.report.merge_passes += 1;
-            let mut next = Vec::new();
-            for (gi, group) in runs.chunks(max_fanin).enumerate() {
+            let mut next = RunFiles::default();
+            for (gi, group) in self.runs.0.chunks(max_fanin).enumerate() {
                 let out_path = self
                     .tmp_dir
                     .join(format!("sort-{}-pass{pass_no}-{gi}.bin", self.sort_id));
-                self.merge_group(group, &out_path)?;
-                next.push(out_path);
+                if let Err(e) = self.merge_group(group, &out_path) {
+                    let _ = std::fs::remove_file(&out_path);
+                    return Err(e); // `next` and `self.runs` clean up on drop
+                }
+                next.0.push(out_path);
             }
-            for r in &runs {
-                let _ = std::fs::remove_file(r);
-            }
-            runs = next;
+            self.runs = next; // dropping the old generation deletes it
             pass_no += 1;
         }
         self.report.merge_passes += 1;
-        let readers = runs
+        let readers = self
+            .runs
+            .0
             .iter()
             .map(|p| RunReader::open(p, record, min_read_buf, Arc::clone(&self.stats)))
             .collect::<Result<Vec<_>>>()?;
         let mut merger = Merger::new(readers, &self.codec)?;
         // Prime the heap.
         merger.prime(&self.codec)?;
+        // Success: run-file ownership moves into the stream, which deletes
+        // them once it is dropped.
+        let runs = std::mem::take(&mut self.runs);
         Ok(SortedStream {
             codec: self.codec,
             report: self.report,
@@ -380,7 +409,9 @@ enum StreamSource<C: Codec> {
     },
     Merge {
         merger: Merger<C::Item>,
-        run_paths: Vec<PathBuf>,
+        /// Owned so the run files are deleted when the stream is dropped.
+        #[allow(dead_code)]
+        run_paths: RunFiles,
     },
 }
 
@@ -418,13 +449,124 @@ where
     }
 }
 
-impl<C: Codec> Drop for SortedStream<C> {
-    fn drop(&mut self) {
-        if let StreamSource::Merge { run_paths, .. } = &self.source {
-            for p in run_paths {
-                let _ = std::fs::remove_file(p);
+/// A stream of records in globally non-decreasing order, with a sort
+/// report. Implemented by [`SortedStream`] (one sorter's output) and
+/// [`MergedStream`] (K sorters' outputs merged) so bulk loaders can consume
+/// either through one interface.
+pub trait RecordStream {
+    /// The record type.
+    type Item;
+
+    /// The next record, or `None` when exhausted.
+    fn next_item(&mut self) -> Result<Option<Self::Item>>;
+
+    /// How the underlying sort(s) behaved.
+    fn report(&self) -> SortReport;
+}
+
+impl<C: Codec> RecordStream for SortedStream<C>
+where
+    C::Item: Ord,
+{
+    type Item = C::Item;
+
+    fn next_item(&mut self) -> Result<Option<C::Item>> {
+        SortedStream::next_item(self)
+    }
+
+    fn report(&self) -> SortReport {
+        SortedStream::report(self)
+    }
+}
+
+/// A K-way merge over per-shard [`SortedStream`]s: each input is already
+/// sorted, so a small binary heap (one entry per stream, the same
+/// loser-selection the run merger uses) yields the globally sorted order.
+/// Because record ordering is total (`(key, pos)` is unique), the merged
+/// order is *identical* to what one big sort of all inputs would produce —
+/// the property that makes sharded builds bit-identical to single-sorter
+/// builds.
+pub struct MergedStream<C: Codec> {
+    streams: Vec<SortedStream<C>>,
+    heap: BinaryHeap<HeapEntry<C::Item>>,
+    report: SortReport,
+}
+
+impl<C: Codec> MergedStream<C>
+where
+    C::Item: Ord,
+{
+    /// Merge `streams`; the aggregate report sums items and spilled runs
+    /// across shards and takes the worst shard's merge-pass count.
+    pub fn new(streams: Vec<SortedStream<C>>) -> Result<Self> {
+        let mut report = SortReport::default();
+        for s in &streams {
+            let r = s.report();
+            report.items += r.items;
+            report.runs += r.runs;
+            report.merge_passes = report.merge_passes.max(r.merge_passes);
+        }
+        let mut merged = MergedStream {
+            streams,
+            heap: BinaryHeap::new(),
+            report,
+        };
+        for i in 0..merged.streams.len() {
+            if let Some(item) = merged.streams[i].next_item()? {
+                merged.heap.push(HeapEntry {
+                    item: Reverse(item),
+                    source: i,
+                });
             }
         }
+        Ok(merged)
+    }
+
+    /// The next record in global order, or `None` when all streams are dry.
+    pub fn next_item(&mut self) -> Result<Option<C::Item>> {
+        let Some(HeapEntry {
+            item: Reverse(item),
+            source,
+        }) = self.heap.pop()
+        else {
+            return Ok(None);
+        };
+        if let Some(next) = self.streams[source].next_item()? {
+            self.heap.push(HeapEntry {
+                item: Reverse(next),
+                source,
+            });
+        }
+        Ok(Some(item))
+    }
+
+    /// The aggregated sort report.
+    pub fn report(&self) -> SortReport {
+        self.report
+    }
+
+    /// Drain into a vector (tests and small merges).
+    pub fn collect_all(mut self) -> Result<Vec<C::Item>> {
+        let mut out = Vec::new();
+        while let Some(item) = self.next_item()? {
+            out.push(item);
+        }
+        Ok(out)
+    }
+}
+
+impl<C: Codec> RecordStream for MergedStream<C>
+where
+    C::Item: Ord,
+{
+    type Item = C::Item;
+
+    fn next_item(&mut self) -> Result<Option<C::Item>> {
+        MergedStream::next_item(self)
+    }
+
+    fn report(&self) -> SortReport {
+        MergedStream::report(self)
     }
 }
 
@@ -533,6 +675,93 @@ mod tests {
         );
         let sorted = stream.collect_all().unwrap();
         assert_eq!(sorted, (0..40_000).collect::<Vec<_>>());
+    }
+
+    fn run_files_in(dir: &TempDir) -> Vec<std::path::PathBuf> {
+        std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect()
+    }
+
+    #[test]
+    fn dropped_sorter_leaves_no_run_files() {
+        // A build that errors between `spill_run` and `finish` drops the
+        // sorter with spilled runs on disk; they must be cleaned up.
+        let dir = TempDir::new("extsort-drop").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(U64Codec, 64, dir.path(), stats).unwrap();
+        for v in (0..1000u64).rev() {
+            sorter.push(v).unwrap();
+        }
+        assert!(
+            !run_files_in(&dir).is_empty(),
+            "test needs spilled runs on disk"
+        );
+        drop(sorter);
+        assert_eq!(run_files_in(&dir), Vec::<std::path::PathBuf>::new());
+    }
+
+    #[test]
+    fn finished_stream_cleans_runs_on_drop() {
+        let dir = TempDir::new("extsort-drop2").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(U64Codec, 64, dir.path(), stats).unwrap();
+        for v in (0..1000u64).rev() {
+            sorter.push(v).unwrap();
+        }
+        let mut stream = sorter.finish().unwrap();
+        assert!(stream.report().runs > 1);
+        // Partially consumed, then dropped.
+        assert_eq!(stream.next_item().unwrap(), Some(0));
+        drop(stream);
+        assert_eq!(run_files_in(&dir), Vec::<std::path::PathBuf>::new());
+    }
+
+    #[test]
+    fn merged_stream_equals_one_big_sort() {
+        let dir = TempDir::new("extsort-merge").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let values: Vec<u64> = (0..9_000).map(|i| (i * 2_654_435_761u64) % 7000).collect();
+        // Three shards with different budgets (one stays in memory, two
+        // spill), merged.
+        let mut streams = Vec::new();
+        for (shard, budget) in [(0u64, 1u64 << 20), (1, 128), (2, 256)] {
+            let sub = dir.path().join(format!("shard-{shard}"));
+            std::fs::create_dir_all(&sub).unwrap();
+            let mut sorter =
+                ExternalSorter::new(U64Codec, budget, &sub, Arc::clone(&stats)).unwrap();
+            for &v in values.iter().skip(shard as usize).step_by(3) {
+                sorter.push(v).unwrap();
+            }
+            streams.push(sorter.finish().unwrap());
+        }
+        let merged = MergedStream::new(streams).unwrap();
+        assert_eq!(merged.report().items, values.len() as u64);
+        assert!(merged.report().runs > 1);
+        let got = merged.collect_all().unwrap();
+        let mut expected = values;
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merged_stream_of_one_is_identity() {
+        let dir = TempDir::new("extsort-merge1").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let mut sorter = ExternalSorter::new(U64Codec, 1 << 20, dir.path(), stats).unwrap();
+        for v in [5u64, 3, 9, 1] {
+            sorter.push(v).unwrap();
+        }
+        let merged = MergedStream::new(vec![sorter.finish().unwrap()]).unwrap();
+        assert_eq!(merged.collect_all().unwrap(), vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn merged_stream_of_none_is_empty() {
+        let merged = MergedStream::<U64Codec>::new(Vec::new()).unwrap();
+        assert_eq!(merged.report(), SortReport::default());
+        assert!(merged.collect_all().unwrap().is_empty());
     }
 
     #[test]

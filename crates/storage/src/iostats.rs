@@ -117,6 +117,24 @@ impl IoStats {
         }
     }
 
+    /// Add every counter of `snap` to this sink. Used by parallel pipelines
+    /// whose workers account I/O privately (so per-worker locality
+    /// classification is not scrambled by interleaving) and fold their
+    /// totals into the shared experiment stats when they join.
+    pub fn absorb(&self, snap: &IoSnapshot) {
+        self.seq_reads.fetch_add(snap.seq_reads, Ordering::Relaxed);
+        self.rand_reads
+            .fetch_add(snap.rand_reads, Ordering::Relaxed);
+        self.seq_writes
+            .fetch_add(snap.seq_writes, Ordering::Relaxed);
+        self.rand_writes
+            .fetch_add(snap.rand_writes, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(snap.bytes_read, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(snap.bytes_written, Ordering::Relaxed);
+    }
+
     /// Reset all counters to zero.
     pub fn reset(&self) {
         self.seq_reads.store(0, Ordering::Relaxed);
@@ -219,6 +237,22 @@ mod tests {
             ..Default::default()
         };
         assert!(random.modeled_seconds(&profile) > 10.0 * sequential.modeled_seconds(&profile));
+    }
+
+    #[test]
+    fn absorb_adds_counters() {
+        let worker = IoStats::new();
+        worker.record_read(100, true);
+        worker.record_write(30, false);
+        let shared = IoStats::new();
+        shared.record_read(1, false);
+        shared.absorb(&worker.snapshot());
+        let snap = shared.snapshot();
+        assert_eq!(snap.seq_reads, 1);
+        assert_eq!(snap.rand_reads, 1);
+        assert_eq!(snap.rand_writes, 1);
+        assert_eq!(snap.bytes_read, 101);
+        assert_eq!(snap.bytes_written, 30);
     }
 
     #[test]

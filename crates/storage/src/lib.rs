@@ -33,7 +33,7 @@ pub mod tempdir;
 pub use budget::MemoryBudget;
 pub use cache::PageCache;
 pub use error::{Error, Result};
-pub use extsort::{Codec, ExternalSorter, SortReport, SortedStream};
+pub use extsort::{Codec, ExternalSorter, MergedStream, RecordStream, SortReport, SortedStream};
 pub use file::CountedFile;
 pub use iostats::{DiskProfile, IoSnapshot, IoStats};
 pub use pagefile::PageFile;

@@ -37,6 +37,7 @@ fn main() -> coconut::storage::Result<()> {
         memory_bytes: 8 << 20,
         materialized: false,
         threads: 4,
+        shards: 1,
     };
     let leaf = 100usize;
     let mem = 8u64 << 20;

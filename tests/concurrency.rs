@@ -43,6 +43,7 @@ fn parallel_exact_queries_agree_with_scan() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 1,
+        shards: 1,
     };
     let tree = Arc::new(CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap());
     let trie = Arc::new(CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap());
@@ -77,6 +78,7 @@ fn shared_buffer_pool_under_contention() {
         memory_bytes: 1 << 20,
         materialized: true,
         threads: 1,
+        shards: 1,
     };
     let mut tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     // A deliberately tiny pool: constant eviction churn while 8 threads
@@ -114,6 +116,7 @@ fn lazy_summary_load_races_are_safe() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 2,
+        shards: 1,
     };
     let built = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     let path = built.index_path().to_path_buf();
@@ -132,6 +135,62 @@ fn lazy_summary_load_races_are_safe() {
             s.spawn(move || {
                 for (q, &want) in queries.iter().zip(truths.iter()) {
                     let (a, _) = tree.exact_search(q).unwrap();
+                    assert_eq!(a.pos, want);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_sharded_builds_are_deterministic_under_query_load() {
+    // Stress the sharded construction path: four builder threads each run a
+    // multi-shard build over the same dataset (nested parallelism — every
+    // build spawns its own shard workers) while four query threads hammer a
+    // finished index, racing its lazy-summary RwLock. All concurrently built
+    // indexes must be bit-identical to the single-shard baseline.
+    let (dir, dataset, queries) = setup();
+    let opts = BuildOptions {
+        memory_bytes: 1 << 18, // small: every shard spills and merges
+        materialized: false,
+        threads: 2,
+        shards: 1,
+    };
+    let baseline = CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap();
+    let baseline_bytes = std::fs::read(baseline.index_path()).unwrap();
+    let reference = Arc::new(baseline);
+    let scan = SerialScan::new(&dataset);
+    let truths: Vec<u64> = queries
+        .iter()
+        .map(|q| scan.exact(q).unwrap().0.pos)
+        .collect();
+
+    std::thread::scope(|s| {
+        for worker in 0..4usize {
+            let dataset = &dataset;
+            let dir = &dir;
+            let opts = opts.clone();
+            let baseline_bytes = &baseline_bytes;
+            s.spawn(move || {
+                let sub = dir.path().join(format!("builder-{worker}"));
+                std::fs::create_dir_all(&sub).unwrap();
+                let shards = 2 + worker; // 2..=5 shards across workers
+                let tree =
+                    CoconutTree::build(dataset, &config(), &sub, opts.with_shards(shards)).unwrap();
+                let bytes = std::fs::read(tree.index_path()).unwrap();
+                assert_eq!(
+                    &bytes, baseline_bytes,
+                    "worker {worker} ({shards} shards) diverged"
+                );
+            });
+        }
+        for _ in 0..4usize {
+            let reference = Arc::clone(&reference);
+            let queries = &queries;
+            let truths = &truths;
+            s.spawn(move || {
+                for (q, &want) in queries.iter().zip(truths.iter()) {
+                    let (a, _) = reference.exact_search(q).unwrap();
                     assert_eq!(a.pos, want);
                 }
             });

@@ -60,6 +60,7 @@ fn exactness_across_sax_configurations() {
             memory_bytes: 8192,
             materialized: false,
             threads: 2,
+            shards: 1,
         };
         let tree = CoconutTree::build(&ds, &config, dir.path(), opts.clone()).unwrap();
         let trie = CoconutTrie::build(&ds, &config, dir.path(), opts).unwrap();
@@ -102,6 +103,7 @@ fn fill_factor_sweep_preserves_answers() {
                 memory_bytes: 1 << 20,
                 materialized: false,
                 threads: 1,
+                shards: 1,
             },
         )
         .unwrap();
@@ -140,6 +142,7 @@ fn leaf_capacity_extremes() {
                 memory_bytes: 1 << 20,
                 materialized: false,
                 threads: 1,
+                shards: 1,
             },
         )
         .unwrap();
@@ -184,6 +187,7 @@ fn dtw_search_exact_on_odd_config() {
             memory_bytes: 1 << 20,
             materialized: false,
             threads: 2,
+            shards: 1,
         },
     )
     .unwrap();

@@ -65,6 +65,7 @@ fn all_indexes_agree_with_scan_on_all_generators() {
             memory_bytes: 1 << 20,
             materialized: false,
             threads: 2,
+            shards: 1,
         };
         let indexes: Vec<Box<dyn SeriesIndex>> = vec![
             Box::new(CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts.clone()).unwrap()),
@@ -149,6 +150,7 @@ fn member_queries_find_themselves() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 2,
+        shards: 1,
     };
     let tree = CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts.clone()).unwrap();
     let trie = CoconutTrie::build(&f.dataset, &config(), &f.dir_path, opts).unwrap();
@@ -178,6 +180,7 @@ fn answers_independent_of_memory_budget() {
             memory_bytes: b,
             materialized: false,
             threads: 2,
+            shards: 1,
         };
         let tree = CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts).unwrap();
         answers.push(
@@ -199,6 +202,7 @@ fn query_stats_are_consistent() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 2,
+        shards: 1,
     };
     let tree = CoconutTree::build(&f.dataset, &config(), &f.dir_path, opts).unwrap();
     for q in &f.queries {

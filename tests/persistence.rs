@@ -40,6 +40,7 @@ fn tree_roundtrips_through_disk() {
             memory_bytes: 1 << 20,
             materialized,
             threads: 2,
+            shards: 1,
         };
         let built = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
         let path = built.index_path().to_path_buf();
@@ -66,6 +67,7 @@ fn trie_roundtrips_through_disk() {
             memory_bytes: 1 << 20,
             materialized,
             threads: 2,
+            shards: 1,
         };
         let built = CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap();
         let path = built.index_path().to_path_buf();
@@ -90,6 +92,7 @@ fn opening_wrong_kind_fails_cleanly() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 1,
+        shards: 1,
     };
     let tree = CoconutTree::build(&dataset, &config(), dir.path(), opts.clone()).unwrap();
     let trie = CoconutTrie::build(&dataset, &config(), dir.path(), opts).unwrap();
@@ -104,6 +107,7 @@ fn corrupted_index_is_rejected() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 1,
+        shards: 1,
     };
     let tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     let path = tree.index_path().to_path_buf();
@@ -123,6 +127,7 @@ fn dataset_mismatch_is_rejected() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 1,
+        shards: 1,
     };
     let tree = CoconutTree::build(&dataset, &config(), dir.path(), opts).unwrap();
     let path = tree.index_path().to_path_buf();

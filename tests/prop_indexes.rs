@@ -49,7 +49,7 @@ proptest! {
     ) {
         let dir = TempDir::new("prop-tree").unwrap();
         let dataset = write_series(&dir, &data);
-        let opts = BuildOptions { memory_bytes: 4096, materialized, threads: 1 };
+        let opts = BuildOptions { memory_bytes: 4096, materialized, threads: 1, shards: 1 };
         let tree = CoconutTree::build(&dataset, &config(leaf), dir.path(), opts).unwrap();
         let scan = SerialScan::new(&dataset);
         let (truth, _) = scan.exact(&query).unwrap();
@@ -66,7 +66,7 @@ proptest! {
     ) {
         let dir = TempDir::new("prop-trie").unwrap();
         let dataset = write_series(&dir, &data);
-        let opts = BuildOptions { memory_bytes: 4096, materialized: false, threads: 1 };
+        let opts = BuildOptions { memory_bytes: 4096, materialized: false, threads: 1, shards: 1 };
         let trie = CoconutTrie::build(&dataset, &config(leaf), dir.path(), opts).unwrap();
         let scan = SerialScan::new(&dataset);
         let (truth, _) = scan.exact(&query).unwrap();
@@ -82,7 +82,7 @@ proptest! {
     ) {
         let dir = TempDir::new("prop-knn").unwrap();
         let dataset = write_series(&dir, &data);
-        let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1 };
+        let opts = BuildOptions { memory_bytes: 1 << 20, materialized: false, threads: 1, shards: 1 };
         let tree = CoconutTree::build(&dataset, &config(16), dir.path(), opts).unwrap();
         let (top, _) = tree.exact_knn(&query, k).unwrap();
         // Brute-force top-k distances.

@@ -42,6 +42,7 @@ fn batched_inserts_match_full_rebuild() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 2,
+        shards: 1,
     };
 
     // Reference: a tree bulk-loaded over everything at once.
@@ -80,6 +81,7 @@ fn lsm_and_btree_and_ads_agree_under_growth() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 2,
+        shards: 1,
     };
     let sax = SaxConfig::default_for_len(LEN);
 
@@ -145,6 +147,7 @@ fn single_inserts_preserve_structure_invariants() {
         memory_bytes: 1 << 20,
         materialized: false,
         threads: 1,
+        shards: 1,
     };
     let mut tree = CoconutTree::build_range(&dataset, 0..100, &config(), dir.path(), opts).unwrap();
     let before = tree.contiguity();
