@@ -1,14 +1,18 @@
-//! Microbenchmarks of the distance kernels that dominate query CPU time.
+//! Microbenchmarks of the distance kernels that dominate query CPU time,
+//! with explicit scalar-vs-SIMD groups for the runtime-dispatched kernels
+//! (`coconut_series::simd`): the same measurements `repro bench_distance`
+//! records to `results/BENCH_distance.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use coconut_series::distance::{euclidean_sq, euclidean_sq_early_abandon, znormalize};
 use coconut_series::gen::{Generator, RandomWalkGen};
-use coconut_summary::mindist::{mindist_paa_sax, mindist_paa_zkey};
+use coconut_series::simd::{detect, kernels_for, Dispatch};
+use coconut_summary::mindist::{mindist_paa_sax, mindist_paa_zkey, QueryDistTable};
 use coconut_summary::paa::paa;
 use coconut_summary::sax::{sax_word, Summarizer};
 use coconut_summary::zorder::interleave;
-use coconut_summary::SaxConfig;
+use coconut_summary::{SaxConfig, ZKey};
 
 fn series(seed: u64, len: usize) -> Vec<f32> {
     let mut s = RandomWalkGen::new(seed).generate(len);
@@ -18,11 +22,21 @@ fn series(seed: u64, len: usize) -> Vec<f32> {
 
 fn bench_euclidean(c: &mut Criterion) {
     let mut group = c.benchmark_group("euclidean");
+    let scalar = kernels_for(Dispatch::Scalar);
+    let simd = kernels_for(detect());
     for len in [64usize, 256, 1024] {
         let a = series(1, len);
         let b = series(2, len);
+        // The dispatched path (what the query path actually calls)...
         group.bench_with_input(BenchmarkId::new("full", len), &len, |bench, _| {
             bench.iter(|| euclidean_sq(black_box(&a), black_box(&b)))
+        });
+        // ...and the two implementations pinned, for the A/B trajectory.
+        group.bench_with_input(BenchmarkId::new("full_scalar", len), &len, |bench, _| {
+            bench.iter(|| (scalar.euclidean_sq)(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_simd", len), &len, |bench, _| {
+            bench.iter(|| (simd.euclidean_sq)(black_box(&a), black_box(&b)))
         });
         // Early abandoning with a tight cutoff (the common case once a good
         // best-so-far exists).
@@ -39,6 +53,15 @@ fn bench_euclidean(c: &mut Criterion) {
             &len,
             |bench, _| {
                 bench.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 10.0))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("early_abandon_loose_scalar", len),
+            &len,
+            |bench, _| {
+                bench.iter(|| {
+                    (scalar.euclidean_sq_early_abandon)(black_box(&a), black_box(&b), full * 10.0)
+                })
             },
         );
     }
@@ -63,6 +86,45 @@ fn bench_mindist(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched SIMS scan: MINDIST of a whole in-memory key array, one-at-a-
+/// time versus the block-decoded batch kernel on each dispatch.
+fn bench_mindist_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mindist_batch");
+    group.sample_size(30);
+    let config = SaxConfig::default_for_len(256);
+    let q = series(5, 256);
+    let qp = paa(&q, config.segments);
+    let keys: Vec<ZKey> = (0..4096u64)
+        .map(|i| {
+            let s = series(100 + i, 256);
+            interleave(sax_word(&s, &config).symbols(), config.card_bits)
+        })
+        .collect();
+    let table = QueryDistTable::new(&qp, &config);
+    let mut out = vec![0.0f64; keys.len()];
+    group.bench_function("per_key_4096", |b| {
+        b.iter(|| {
+            for (o, &k) in out.iter_mut().zip(keys.iter()) {
+                *o = mindist_paa_zkey(black_box(&qp), k, &config);
+            }
+            black_box(out[0])
+        })
+    });
+    group.bench_function("batch_scalar_4096", |b| {
+        b.iter(|| {
+            table.mindist_batch_into_with(Dispatch::Scalar, black_box(&keys), &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("batch_simd_4096", |b| {
+        b.iter(|| {
+            table.mindist_batch_into_with(detect(), black_box(&keys), &mut out);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
 fn bench_summarizer_pipeline(c: &mut Criterion) {
     let config = SaxConfig::default_for_len(256);
     let mut summarizer = Summarizer::new(config);
@@ -70,6 +132,19 @@ fn bench_summarizer_pipeline(c: &mut Criterion) {
     c.bench_function("series_to_zkey", |b| {
         b.iter(|| summarizer.zkey(black_box(&s)))
     });
+
+    let mut group = c.benchmark_group("znormalize");
+    let scalar = kernels_for(Dispatch::Scalar);
+    let simd = kernels_for(detect());
+    let raw = RandomWalkGen::new(9).generate(256);
+    let shift = raw[0] as f64;
+    group.bench_function("stats_scalar", |b| {
+        b.iter(|| (scalar.sum_sumsq)(black_box(&raw), shift))
+    });
+    group.bench_function("stats_simd", |b| {
+        b.iter(|| (simd.sum_sumsq)(black_box(&raw), shift))
+    });
+    group.finish();
 }
 
 criterion_group! {
@@ -77,6 +152,6 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_euclidean, bench_mindist, bench_summarizer_pipeline
+    targets = bench_euclidean, bench_mindist, bench_mindist_batch, bench_summarizer_pipeline
 }
 criterion_main!(benches);

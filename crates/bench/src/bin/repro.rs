@@ -19,8 +19,25 @@ use coconut_bench::experiments::{self, Env, Scale};
 use coconut_storage::TempDir;
 
 const ALL: &[&str] = &[
-    "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig9a", "fig9b", "fig9c",
-    "fig9d", "fig9e", "fig9f", "fig10a", "fig10b", "fig10c", "ablation", "scaling",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d",
+    "fig8e",
+    "fig8f",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig9e",
+    "fig9f",
+    "fig10a",
+    "fig10b",
+    "fig10c",
+    "ablation",
+    "scaling",
+    "bench_distance",
 ];
 
 fn expand(arg: &str) -> Vec<&'static str> {
@@ -65,6 +82,7 @@ fn run_experiment(name: &str, env: &Env) -> coconut_storage::Result<()> {
         "fig10c" => experiments::fig10::run_10c(env),
         "ablation" => experiments::ablation::run(env),
         "scaling" => experiments::scaling::run(env),
+        "bench_distance" => experiments::bench_distance::run(env),
         _ => unreachable!("expand() only yields known names"),
     }
 }

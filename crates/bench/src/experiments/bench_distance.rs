@@ -1,0 +1,202 @@
+//! Distance-kernel baseline: scalar vs dispatched SIMD throughput,
+//! recorded to `results/BENCH_distance.json` so the perf trajectory of the
+//! query hot path is tracked PR over PR.
+//!
+//! Not a figure of the paper — it measures the workspace's runtime-
+//! dispatched vector kernels (`coconut_series::simd`,
+//! `coconut_summary::mindist::QueryDistTable`): full and early-abandoning
+//! Euclidean distance, the batched MINDIST scan kernel, and the fused
+//! z-normalization statistics. Each entry reports the pinned-scalar and
+//! pinned-SIMD timings plus their ratio. Both columns pin their
+//! implementation explicitly (`kernels_for`), deliberately bypassing the
+//! `COCONUT_FORCE_SCALAR` process-wide dispatch so the A/B comparison
+//! stays meaningful regardless of the environment; the env state is still
+//! recorded in the JSON (`force_scalar`). Only on hardware without AVX2 do
+//! both columns collapse to scalar and the ratio sit at ~1.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use coconut_series::distance::znormalize;
+use coconut_series::gen::{Generator, RandomWalkGen};
+use coconut_series::simd::{detect, kernels_for, Dispatch};
+use coconut_storage::Result;
+use coconut_summary::mindist::{mindist_paa_zkey, QueryDistTable};
+use coconut_summary::paa::paa;
+use coconut_summary::sax::sax_word;
+use coconut_summary::zorder::interleave;
+use coconut_summary::{SaxConfig, ZKey};
+
+use crate::experiments::Env;
+use crate::harness::Table;
+
+/// Keys in the batched-MINDIST measurement (a small SIMS scan).
+const SCAN_KEYS: usize = 16 * 1024;
+
+/// Median ns per iteration of `f`, over `samples` timed samples of `iters`
+/// calls each (after one warm-up sample).
+fn time_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters {
+        f();
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.total_cmp(b));
+    timings[timings.len() / 2]
+}
+
+struct Entry {
+    name: String,
+    scalar_ns: f64,
+    simd_ns: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.simd_ns
+    }
+}
+
+fn series(seed: u64, len: usize) -> Vec<f32> {
+    let mut s = RandomWalkGen::new(seed).generate(len);
+    znormalize(&mut s);
+    s
+}
+
+/// Run the baseline and write `BENCH_distance.json`.
+pub fn run(env: &Env) -> Result<()> {
+    let scalar = kernels_for(Dispatch::Scalar);
+    let simd = kernels_for(detect());
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for len in [64usize, 256, 1024] {
+        let a = series(1, len);
+        let b = series(2, len);
+        entries.push(Entry {
+            name: format!("euclidean/full/{len}"),
+            scalar_ns: time_ns(30, 20_000, || {
+                std::hint::black_box((scalar.euclidean_sq)(&a, &b));
+            }),
+            simd_ns: time_ns(30, 20_000, || {
+                std::hint::black_box((simd.euclidean_sq)(&a, &b));
+            }),
+        });
+        let full = (scalar.euclidean_sq)(&a, &b);
+        entries.push(Entry {
+            name: format!("euclidean/early_abandon_loose/{len}"),
+            scalar_ns: time_ns(30, 20_000, || {
+                std::hint::black_box((scalar.euclidean_sq_early_abandon)(&a, &b, full * 10.0));
+            }),
+            simd_ns: time_ns(30, 20_000, || {
+                std::hint::black_box((simd.euclidean_sq_early_abandon)(&a, &b, full * 10.0));
+            }),
+        });
+    }
+
+    // The SIMS scan: MINDIST of every in-memory key. `scalar` pins the
+    // batch kernel's mirror; `per_key` is the pre-batching one-at-a-time
+    // loop, kept as the historical reference column.
+    let config = SaxConfig::default_for_len(256);
+    let q = series(3, 256);
+    let qp = paa(&q, config.segments);
+    let keys: Vec<ZKey> = (0..SCAN_KEYS as u64)
+        .map(|i| {
+            let s = series(100 + i, 256);
+            interleave(sax_word(&s, &config).symbols(), config.card_bits)
+        })
+        .collect();
+    let table = QueryDistTable::new(&qp, &config);
+    let mut out = vec![0.0f64; keys.len()];
+    let per_key_ns = time_ns(15, 3, || {
+        for (o, &k) in out.iter_mut().zip(keys.iter()) {
+            *o = mindist_paa_zkey(&qp, k, &config);
+        }
+        std::hint::black_box(out[0]);
+    });
+    let batch = Entry {
+        name: format!("mindist_batch/{SCAN_KEYS}_keys"),
+        scalar_ns: time_ns(15, 3, || {
+            table.mindist_batch_into_with(Dispatch::Scalar, &keys, &mut out);
+            std::hint::black_box(out[0]);
+        }),
+        simd_ns: time_ns(15, 3, || {
+            table.mindist_batch_into_with(detect(), &keys, &mut out);
+            std::hint::black_box(out[0]);
+        }),
+    };
+    // Cross-kernel reference ratio, not a scalar/SIMD A/B of one kernel:
+    // the pre-batching one-key-at-a-time loop vs the batched SIMD scan —
+    // the end-to-end speedup of the SIMS scan restructure.
+    let vs_prebatch = Entry {
+        name: format!("mindist_prebatch_loop_vs_batch_simd/{SCAN_KEYS}_keys"),
+        scalar_ns: per_key_ns,
+        simd_ns: batch.simd_ns,
+    };
+    entries.push(batch);
+    entries.push(vs_prebatch);
+
+    let raw = RandomWalkGen::new(9).generate(256);
+    let shift = raw[0] as f64;
+    entries.push(Entry {
+        name: "znormalize_stats/256".to_string(),
+        scalar_ns: time_ns(30, 20_000, || {
+            std::hint::black_box((scalar.sum_sumsq)(&raw, shift));
+        }),
+        simd_ns: time_ns(30, 20_000, || {
+            std::hint::black_box((simd.sum_sumsq)(&raw, shift));
+        }),
+    });
+
+    let mut table_out = Table::new(
+        "bench_distance",
+        "distance-kernel baseline: scalar vs dispatched SIMD (ns/op, median)",
+        &["kernel", "scalar_ns", "simd_ns", "speedup"],
+    );
+    for e in &entries {
+        table_out.push_row(vec![
+            e.name.clone(),
+            format!("{:.1}", e.scalar_ns),
+            format!("{:.1}", e.simd_ns),
+            format!("{:.2}x", e.speedup()),
+        ]);
+    }
+    table_out.emit(&env.results_dir)?;
+
+    // Hand-rolled JSON (no serde in the offline workspace); one object per
+    // entry keeps the baseline diffable PR over PR.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"bench_distance\",");
+    let _ = writeln!(json, "  \"dispatch\": \"{}\",", detect().name());
+    let _ = writeln!(
+        json,
+        "  \"force_scalar\": {},",
+        coconut_series::simd::force_scalar()
+    );
+    let _ = writeln!(json, "  \"scan_keys\": {SCAN_KEYS},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"scalar_ns\": {:.1}, \"simd_ns\": {:.1}, \"speedup\": {:.2}}}",
+            e.name,
+            e.scalar_ns,
+            e.simd_ns,
+            e.speedup()
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all(&env.results_dir)?;
+    let path = env.results_dir.join("BENCH_distance.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -20,8 +20,10 @@
 //! | fig10c | seismic end-to-end vs memory | [`fig10::run_10c`] |
 //! | ablation | z-order vs lexicographic ordering (Figs. 2/4) | [`ablation::run`] |
 //! | scaling | sharded construction: build time vs shard count | [`scaling::run`] |
+//! | bench_distance | distance-kernel baseline: scalar vs SIMD | [`bench_distance::run`] |
 
 pub mod ablation;
+pub mod bench_distance;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;

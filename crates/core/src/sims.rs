@@ -20,7 +20,7 @@ use coconut_series::dtw::{dtw_sq_early_abandon, lb_keogh_sq, Envelope};
 use coconut_series::index::{Answer, QueryStats};
 use coconut_series::Value;
 use coconut_storage::Result;
-use coconut_summary::mindist::{envelope_segment_bounds, mindist_env_zkey, mindist_paa_zkey};
+use coconut_summary::mindist::{envelope_segment_bounds, mindist_env_zkey, QueryDistTable};
 use coconut_summary::{SaxConfig, ZKey};
 
 /// Fetches the raw series for scan index `i` (in the summary array's order).
@@ -41,6 +41,12 @@ pub const PARALLEL_MIN_KEYS: usize = 1 << 17;
 
 /// Compute the MINDIST lower bound of every key against `query_paa`, using
 /// `threads` worker threads (step 2 of Algorithm 5).
+///
+/// The scan is batched: the query's squared distance to every SAX region is
+/// tabulated once ([`QueryDistTable`]), then keys are block-decoded into
+/// struct-of-arrays scratch and bounded [`coconut_summary::mindist::MINDIST_BATCH`]
+/// at a time by the runtime-dispatched vector kernel (AVX2 gathers + BMI2
+/// decode where available, a bit-identical scalar mirror otherwise).
 pub fn parallel_mindists(
     query_paa: &[f64],
     keys: &[ZKey],
@@ -61,20 +67,18 @@ pub fn parallel_mindists_with_threshold(
 ) -> Vec<f64> {
     let n = keys.len();
     let mut out = vec![0.0f64; n];
+    let table = QueryDistTable::new(query_paa, config);
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 || n < min_parallel_keys {
-        for (o, &k) in out.iter_mut().zip(keys.iter()) {
-            *o = mindist_paa_zkey(query_paa, k, config);
-        }
+        table.mindist_batch_into(keys, &mut out);
         return out;
     }
     let chunk = n.div_ceil(threads);
     std::thread::scope(|s| {
         for (keys_chunk, out_chunk) in keys.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let table = &table;
             s.spawn(move || {
-                for (o, &k) in out_chunk.iter_mut().zip(keys_chunk.iter()) {
-                    *o = mindist_paa_zkey(query_paa, k, config);
-                }
+                table.mindist_batch_into(keys_chunk, out_chunk);
             });
         }
     });

@@ -5,31 +5,46 @@
 //! equivalent to maximizing Pearson correlation (Section 2). Distances are
 //! accumulated in `f64` even though values are stored as `f32`, so results
 //! are stable regardless of series length.
+//!
+//! Every function here delegates to the runtime-dispatched kernels in
+//! [`crate::simd`]: AVX2 on hardware that has it, a bit-identical scalar
+//! mirror otherwise (or when `COCONUT_FORCE_SCALAR=1`).
 
+use crate::simd;
 use crate::Value;
 
 /// z-normalize `series` in place: subtract the mean, divide by the standard
 /// deviation. A (near-)constant series becomes all zeros rather than NaN.
+///
+/// Mean and variance come from one fused pass over the data
+/// (`Σ(v−v₀)` and `Σ(v−v₀)²` together, shifted by the first element so the
+/// one-pass moment identity stays numerically stable for data with a large
+/// mean), so the series is read twice in total — once for the statistics,
+/// once for the rewrite — instead of three times.
 pub fn znormalize(series: &mut [Value]) {
     if series.is_empty() {
         return;
     }
+    let k = simd::kernels();
     let n = series.len() as f64;
-    let mean = series.iter().map(|&v| v as f64).sum::<f64>() / n;
-    let var = series
-        .iter()
-        .map(|&v| (v as f64 - mean).powi(2))
-        .sum::<f64>()
-        / n;
+    let shift = series[0] as f64;
+    let (sum_d, sumsq_d) = (k.sum_sumsq)(series, shift);
+    let mean_d = sum_d / n;
+    let raw_var = sumsq_d / n - mean_d * mean_d;
+    // Clamp only the tiny negative rounding results; a non-finite variance
+    // (NaN/inf input) must stay visible, not be absorbed into the
+    // constant-series branch as a fake all-zeros record.
+    let var = if raw_var.is_finite() {
+        raw_var.max(0.0)
+    } else {
+        raw_var
+    };
     let std = var.sqrt();
     if std < 1e-12 {
         series.fill(0.0);
         return;
     }
-    let inv = 1.0 / std;
-    for v in series.iter_mut() {
-        *v = ((*v as f64 - mean) * inv) as Value;
-    }
+    (k.normalize_affine)(series, shift + mean_d, 1.0 / std);
 }
 
 /// A z-normalized copy of `series`.
@@ -43,12 +58,7 @@ pub fn znormalized(series: &[Value]) -> Vec<Value> {
 #[inline]
 pub fn euclidean_sq(a: &[Value], b: &[Value]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f64;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        let d = (x - y) as f64;
-        acc += d * d;
-    }
-    acc
+    (simd::kernels().euclidean_sq)(a, b)
 }
 
 /// Euclidean distance between two equal-length series.
@@ -63,24 +73,10 @@ pub fn euclidean(a: &[Value], b: &[Value]) -> f64 {
 #[inline]
 pub fn euclidean_sq_early_abandon(a: &[Value], b: &[Value], cutoff_sq: f64) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f64;
-    // Check the cutoff once per small block: checking every element costs
-    // more in branches than it saves for realistic series lengths.
-    const BLOCK: usize = 16;
-    let mut i = 0;
-    let n = a.len();
-    while i < n {
-        let end = (i + BLOCK).min(n);
-        for j in i..end {
-            let d = (a[j] - b[j]) as f64;
-            acc += d * d;
-        }
-        if acc > cutoff_sq {
-            return None;
-        }
-        i = end;
-    }
-    Some(acc)
+    // The cutoff is checked once per [`simd::ABANDON_BLOCK`] elements:
+    // checking every element costs more in horizontal reductions and
+    // branches than it saves for realistic series lengths.
+    (simd::kernels().euclidean_sq_early_abandon)(a, b, cutoff_sq)
 }
 
 /// Mean of a slice (used by generators and tests).
@@ -88,16 +84,26 @@ pub fn mean(series: &[Value]) -> f64 {
     if series.is_empty() {
         return 0.0;
     }
-    series.iter().map(|&v| v as f64).sum::<f64>() / series.len() as f64
+    (simd::kernels().sum)(series) / series.len() as f64
 }
 
-/// Population standard deviation of a slice.
+/// Population standard deviation of a slice, from the same fused
+/// single-pass shifted statistics as [`znormalize`].
 pub fn std_dev(series: &[Value]) -> f64 {
     if series.is_empty() {
         return 0.0;
     }
-    let m = mean(series);
-    (series.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / series.len() as f64).sqrt()
+    let n = series.len() as f64;
+    let shift = series[0] as f64;
+    let (sum_d, sumsq_d) = (simd::kernels().sum_sumsq)(series, shift);
+    let m = sum_d / n;
+    let raw_var = sumsq_d / n - m * m;
+    // As in `znormalize`: never clamp a NaN/inf variance to zero.
+    if raw_var.is_finite() {
+        raw_var.max(0.0).sqrt()
+    } else {
+        raw_var.sqrt()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +123,33 @@ mod tests {
         let mut s = vec![5.0f32; 64];
         znormalize(&mut s);
         assert!(s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn znormalize_propagates_nan_instead_of_zeroing() {
+        // A corrupt record must stay visibly poisoned, not be indexed as a
+        // perfectly valid constant (all-zero) series.
+        let mut s: Vec<Value> = (0..32).map(|i| i as Value).collect();
+        s[7] = Value::NAN;
+        znormalize(&mut s);
+        assert!(s.iter().any(|v| v.is_nan()), "{s:?}");
+        let mut t: Vec<Value> = (0..32).map(|i| i as Value).collect();
+        t[3] = Value::NAN;
+        assert!(std_dev(&t).is_nan());
+    }
+
+    #[test]
+    fn znormalize_is_stable_under_large_offsets() {
+        // The one-pass moment identity is shifted by the first element, so
+        // a huge mean must not cancel away the (small but real) variance —
+        // nor may a large constant series produce spurious variance.
+        let mut s: Vec<Value> = (0..128).map(|i| 1.0e7 + (i % 5) as Value).collect();
+        znormalize(&mut s);
+        assert!(mean(&s).abs() < 1e-4);
+        assert!((std_dev(&s) - 1.0).abs() < 1e-4, "std {}", std_dev(&s));
+        let mut c = vec![1.0e7f32; 128];
+        znormalize(&mut c);
+        assert!(c.iter().all(|&v| v == 0.0), "constant at offset must zero");
     }
 
     #[test]

@@ -15,12 +15,16 @@
 //! * [`index`] — the `SeriesIndex` trait implemented by every index in the
 //!   workspace, plus the shared [`index::Answer`]/[`index::QueryStats`]
 //!   types, so the experiment harness can drive all indexes uniformly.
+//! * [`simd`] — the runtime-dispatched vector kernels (AVX2 with a
+//!   bit-identical scalar mirror) behind the distance and summarization
+//!   hot paths; `COCONUT_FORCE_SCALAR=1` pins the scalar path.
 
 pub mod dataset;
 pub mod distance;
 pub mod dtw;
 pub mod gen;
 pub mod index;
+pub mod simd;
 
 pub use coconut_storage::{Error, Result};
 

@@ -102,17 +102,65 @@ pub fn symbol_for(bits: u8, value: f64) -> u8 {
     bp.partition_point(|&b| b <= value) as u8
 }
 
+/// Precomputed `[lo, hi)` bounds of every symbol at one cardinality, laid
+/// out as two contiguous `f64` arrays (struct-of-arrays, ready to feed
+/// vector lanes). Computing [`region`] inside a MINDIST inner loop costs a
+/// table access plus bound branches per segment; this table removes both.
+#[derive(Debug)]
+pub struct RegionTable {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl RegionTable {
+    fn new(bits: u8) -> Self {
+        let bp = breakpoints(bits);
+        let card = 1usize << bits;
+        let lo = (0..card)
+            .map(|s| if s == 0 { f64::NEG_INFINITY } else { bp[s - 1] })
+            .collect();
+        let hi = (0..card)
+            .map(|s| if s == card - 1 { f64::INFINITY } else { bp[s] })
+            .collect();
+        RegionTable { lo, hi }
+    }
+
+    /// Lower bounds, indexed by symbol (`2^bits` entries).
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds, indexed by symbol (`2^bits` entries).
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// The `[lo, hi)` interval of `symbol`.
+    #[inline]
+    pub fn bounds(&self, symbol: u8) -> (f64, f64) {
+        (self.lo[symbol as usize], self.hi[symbol as usize])
+    }
+}
+
+/// The per-cardinality region lookup table (`1 <= bits <= 8`), built once
+/// per process.
+pub fn region_table(bits: u8) -> &'static RegionTable {
+    static TABLES: OnceLock<[RegionTable; 9]> = OnceLock::new();
+    assert!((1..=8).contains(&bits), "bits must be in 1..=8, got {bits}");
+    &TABLES.get_or_init(|| std::array::from_fn(|b| RegionTable::new(b.max(1) as u8)))[bits as usize]
+}
+
 /// The value interval `[lo, hi)` covered by `symbol` at cardinality
 /// `2^bits`; the extremes are unbounded.
 #[inline]
 pub fn region(bits: u8, symbol: u8) -> (f64, f64) {
-    let bp = breakpoints(bits);
+    let t = region_table(bits);
     let card = 1usize << bits;
     let s = symbol as usize;
     assert!(s < card, "symbol {s} out of range for cardinality {card}");
-    let lo = if s == 0 { f64::NEG_INFINITY } else { bp[s - 1] };
-    let hi = if s == card - 1 { f64::INFINITY } else { bp[s] };
-    (lo, hi)
+    (t.lo[s], t.hi[s])
 }
 
 #[cfg(test)]

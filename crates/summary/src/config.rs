@@ -40,6 +40,15 @@ impl SaxConfig {
                 self.segments, self.series_len
             )));
         }
+        if self.segments > 32 {
+            // The query and summarization hot paths decode words into
+            // fixed 32-byte stack scratch (`mindist`, `Summarizer`); more
+            // segments than that would overrun it at query time.
+            return Err(Error::invalid(format!(
+                "segments ({}) exceeds the supported maximum of 32",
+                self.segments
+            )));
+        }
         if self.card_bits == 0 || self.card_bits > 8 {
             return Err(Error::invalid("card_bits must be in 1..=8"));
         }
@@ -137,6 +146,15 @@ mod tests {
             series_len: 256,
             segments: 32,
             card_bits: 8
+        }
+        .validate()
+        .is_err());
+        // Fits the 128-bit key budget but overruns the 32-segment stack
+        // scratch the query path decodes into.
+        assert!(SaxConfig {
+            series_len: 128,
+            segments: 64,
+            card_bits: 2
         }
         .validate()
         .is_err());

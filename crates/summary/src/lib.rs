@@ -32,4 +32,5 @@ pub mod zorder;
 
 pub use coconut_storage::{Error, Result};
 pub use config::SaxConfig;
+pub use mindist::QueryDistTable;
 pub use zorder::ZKey;

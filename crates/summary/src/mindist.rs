@@ -16,10 +16,11 @@
 //! iSAX masks (index nodes), and z-order keys (records in Coconut indexes,
 //! decoded on the fly without allocation).
 
-use crate::breakpoints::region;
+use crate::breakpoints::{region, region_table};
 use crate::config::SaxConfig;
 use crate::isax::IsaxMask;
 use crate::zorder::ZKey;
+use coconut_series::simd::Dispatch;
 
 /// Squared distance from `value` to the interval `[lo, hi)`; zero inside.
 #[inline]
@@ -41,10 +42,11 @@ fn dist_to_region_sq(value: f64, lo: f64, hi: f64) -> f64 {
 #[inline]
 pub fn mindist_sq_raw(query_paa: &[f64], symbols: &[u8], card_bits: u8) -> f64 {
     debug_assert_eq!(query_paa.len(), symbols.len());
+    let rt = region_table(card_bits);
+    let (lo, hi) = (rt.lo(), rt.hi());
     let mut acc = 0.0f64;
     for (&p, &s) in query_paa.iter().zip(symbols.iter()) {
-        let (lo, hi) = region(card_bits, s);
-        acc += dist_to_region_sq(p, lo, hi);
+        acc += dist_to_region_sq(p, lo[s as usize], hi[s as usize]);
     }
     acc
 }
@@ -117,9 +119,10 @@ fn interval_dist_sq(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
 /// by convexity, and (c) the segment mean lies inside the SAX region.
 pub fn mindist_env_sax(env_lo: &[f64], env_hi: &[f64], symbols: &[u8], config: &SaxConfig) -> f64 {
     debug_assert_eq!(env_lo.len(), symbols.len());
+    let rt = region_table(config.card_bits);
     let mut acc = 0.0f64;
     for ((&lo, &hi), &s) in env_lo.iter().zip(env_hi.iter()).zip(symbols.iter()) {
-        let (r_lo, r_hi) = region(config.card_bits, s);
+        let (r_lo, r_hi) = rt.bounds(s);
         acc += interval_dist_sq(lo, hi, r_lo, r_hi);
     }
     finish(acc, config)
@@ -161,6 +164,269 @@ pub fn envelope_segment_bounds(
         }
     }
     (lo, hi)
+}
+
+/// Keys per block of the batched MINDIST kernel (one AVX2 gather pair).
+pub const MINDIST_BATCH: usize = 8;
+
+/// Most segments any stack scratch buffer supports (the workspace-wide
+/// assumption already baked into [`mindist_paa_zkey`] and the summarizer).
+const MAX_SEGMENTS: usize = 32;
+
+/// Per-segment `pext` masks recovering SAX symbols from a z-order key in
+/// two `PEXT` instructions per segment instead of `card_bits` shift/mask
+/// steps per *bit*. Symbol `j`'s bits sit at key positions
+/// `total-1-(card_bits-1-i)*segments-j` (LSB `i` first, matching
+/// [`crate::zorder::interleave`]); `pext` packs them LSB-to-MSB, which is
+/// exactly ascending `i`, so the extracted word *is* the symbol.
+#[derive(Debug, Clone, Copy)]
+struct PextMask {
+    lo: u64,
+    hi: u64,
+    shift: u32,
+}
+
+fn pext_masks(segments: usize, card_bits: u8) -> Vec<PextMask> {
+    let total = segments * card_bits as usize;
+    (0..segments)
+        .map(|j| {
+            let (mut lo, mut hi) = (0u64, 0u64);
+            for i in 0..card_bits as usize {
+                let p = total - 1 - (card_bits as usize - 1 - i) * segments - j;
+                if p < 64 {
+                    lo |= 1u64 << p;
+                } else {
+                    hi |= 1u64 << (p - 64);
+                }
+            }
+            PextMask {
+                lo,
+                hi,
+                shift: lo.count_ones(),
+            }
+        })
+        .collect()
+}
+
+/// A query's precomputed squared distances to every SAX region: entry
+/// `j * cardinality + s` is `dist_to_region_sq(paa[j], region(s))`. With it,
+/// a record's raw MINDIST is a pure sum of `segments` table loads — no
+/// breakpoint lookups, no branches — which is what the batched kernel
+/// vectorizes with AVX2 gathers. Built once per query (Algorithm 5 computes
+/// millions of MINDISTs per query against one PAA).
+///
+/// All paths — single-key, scalar batch, AVX2 batch — add the same table
+/// entries in the same segment order, so their results are bit-identical.
+#[derive(Debug, Clone)]
+pub struct QueryDistTable {
+    config: SaxConfig,
+    card: usize,
+    scale: f64,
+    table: Vec<f64>,
+    masks: Vec<PextMask>,
+}
+
+impl QueryDistTable {
+    /// Build the table for `query_paa` under `config`.
+    pub fn new(query_paa: &[f64], config: &SaxConfig) -> Self {
+        debug_assert_eq!(query_paa.len(), config.segments);
+        debug_assert!(config.segments <= MAX_SEGMENTS);
+        let card = config.cardinality();
+        let rt = region_table(config.card_bits);
+        let mut table = Vec::with_capacity(config.segments * card);
+        for &p in query_paa {
+            for s in 0..card {
+                table.push(dist_to_region_sq(p, rt.lo()[s], rt.hi()[s]));
+            }
+        }
+        QueryDistTable {
+            config: *config,
+            card,
+            scale: config.series_len as f64 / config.segments as f64,
+            table,
+            masks: pext_masks(config.segments, config.card_bits),
+        }
+    }
+
+    /// The configuration the table was built for.
+    pub fn config(&self) -> &SaxConfig {
+        &self.config
+    }
+
+    /// Raw squared MINDIST of a full-cardinality symbol vector.
+    #[inline]
+    pub fn mindist_sq_raw(&self, symbols: &[u8]) -> f64 {
+        debug_assert_eq!(symbols.len(), self.config.segments);
+        let mut acc = 0.0f64;
+        for (j, &s) in symbols.iter().enumerate() {
+            acc += self.table[j * self.card + s as usize];
+        }
+        acc
+    }
+
+    /// MINDIST of one z-order key, as a distance (decode + table sum).
+    #[inline]
+    pub fn mindist_zkey(&self, key: ZKey) -> f64 {
+        let mut symbols = [0u8; MAX_SEGMENTS];
+        let w = self.config.segments;
+        crate::zorder::deinterleave_into(key, w, self.config.card_bits, &mut symbols[..w]);
+        (self.scale * self.mindist_sq_raw(&symbols[..w])).sqrt()
+    }
+
+    /// MINDIST of every key into `out` (`out.len() == keys.len()`), using
+    /// the process-wide dispatch: blocks of [`MINDIST_BATCH`] keys are
+    /// decoded into a segment-major scratch buffer and summed 8 lanes at a
+    /// time; the remainder runs per key. Results are bit-identical to
+    /// [`QueryDistTable::mindist_zkey`] on every dispatch.
+    pub fn mindist_batch_into(&self, keys: &[ZKey], out: &mut [f64]) {
+        self.mindist_batch_into_with(coconut_series::simd::active(), keys, out);
+    }
+
+    /// [`QueryDistTable::mindist_batch_into`] with an explicit dispatch
+    /// (exposed so tests and benchmarks can force either path).
+    pub fn mindist_batch_into_with(&self, dispatch: Dispatch, keys: &[ZKey], out: &mut [f64]) {
+        assert_eq!(keys.len(), out.len());
+        let w = self.config.segments;
+        // Segment-major scratch: symbol of key `b`, segment `j`, lives at
+        // `j * MINDIST_BATCH + b`, so each segment's 8 symbols are one
+        // contiguous 8-byte lane load.
+        let mut sym = [0u8; MAX_SEGMENTS * MINDIST_BATCH];
+        let sym = &mut sym[..w * MINDIST_BATCH];
+        let n8 = keys.len() - keys.len() % MINDIST_BATCH;
+        let mut i = 0;
+        #[cfg(target_arch = "x86_64")]
+        let use_avx2 = dispatch == Dispatch::Avx2 && std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(target_arch = "x86_64")]
+        let use_pext = use_avx2 && std::arch::is_x86_feature_detected!("bmi2");
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = dispatch;
+        while i < n8 {
+            let block = &keys[i..i + MINDIST_BATCH];
+            #[cfg(target_arch = "x86_64")]
+            if use_pext {
+                // SAFETY: BMI2 support verified above.
+                unsafe { x86::decode_block_pext(&self.masks, block, sym) };
+            } else {
+                self.decode_block_scalar(block, sym);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            self.decode_block_scalar(block, sym);
+
+            let mut raw = [0.0f64; MINDIST_BATCH];
+            #[cfg(target_arch = "x86_64")]
+            if use_avx2 {
+                // SAFETY: AVX2 support verified above; `sym` holds `w`
+                // 8-byte lanes and every index is below `w * card`.
+                unsafe { x86::accumulate_block_avx2(&self.table, self.card, w, sym, &mut raw) };
+            } else {
+                accumulate_block_scalar(&self.table, self.card, w, sym, &mut raw);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            accumulate_block_scalar(&self.table, self.card, w, sym, &mut raw);
+
+            for (o, &r) in out[i..i + MINDIST_BATCH].iter_mut().zip(raw.iter()) {
+                *o = (self.scale * r).sqrt();
+            }
+            i += MINDIST_BATCH;
+        }
+        for (o, &k) in out[n8..].iter_mut().zip(keys[n8..].iter()) {
+            *o = self.mindist_zkey(k);
+        }
+    }
+
+    /// Decode [`MINDIST_BATCH`] keys into the segment-major scratch with
+    /// the portable bit-by-bit deinterleave.
+    fn decode_block_scalar(&self, keys: &[ZKey], sym: &mut [u8]) {
+        let w = self.config.segments;
+        let bits = self.config.card_bits;
+        let mut row = [0u8; MAX_SEGMENTS];
+        for (b, &k) in keys.iter().enumerate() {
+            crate::zorder::deinterleave_into(k, w, bits, &mut row[..w]);
+            for (j, &s) in row[..w].iter().enumerate() {
+                sym[j * MINDIST_BATCH + b] = s;
+            }
+        }
+    }
+}
+
+/// Scalar mirror of the AVX2 gather kernel: 8 independent per-key
+/// accumulators, segments added in ascending order — the same additions in
+/// the same order as both the vector path and the single-key path.
+fn accumulate_block_scalar(
+    table: &[f64],
+    card: usize,
+    segments: usize,
+    sym: &[u8],
+    out: &mut [f64; MINDIST_BATCH],
+) {
+    let mut acc = [0.0f64; MINDIST_BATCH];
+    for j in 0..segments {
+        let row = &table[j * card..(j + 1) * card];
+        let lane = &sym[j * MINDIST_BATCH..(j + 1) * MINDIST_BATCH];
+        for (a, &s) in acc.iter_mut().zip(lane.iter()) {
+            *a += row[s as usize];
+        }
+    }
+    *out = acc;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{PextMask, ZKey, MINDIST_BATCH};
+    use std::arch::x86_64::*;
+
+    /// Decode a block of keys via BMI2 `PEXT`: two extracts per segment
+    /// instead of one shift/mask step per bit. Bit-exact equal to
+    /// [`crate::zorder::deinterleave_into`].
+    ///
+    /// # Safety
+    /// Caller must verify BMI2 support; `sym` must hold
+    /// `masks.len() * MINDIST_BATCH` bytes and `keys` exactly
+    /// [`MINDIST_BATCH`] keys.
+    #[target_feature(enable = "bmi2")]
+    pub unsafe fn decode_block_pext(masks: &[PextMask], keys: &[ZKey], sym: &mut [u8]) {
+        debug_assert_eq!(keys.len(), MINDIST_BATCH);
+        for (b, &k) in keys.iter().enumerate() {
+            let klo = k.0 as u64;
+            let khi = (k.0 >> 64) as u64;
+            for (j, m) in masks.iter().enumerate() {
+                let s = _pext_u64(klo, m.lo) | (_pext_u64(khi, m.hi) << m.shift);
+                sym[j * MINDIST_BATCH + b] = s as u8;
+            }
+        }
+    }
+
+    /// Sum the per-segment table entries of 8 keys at once: zero-extend
+    /// each segment's 8 symbols to i32 lane indices, gather 2×4 `f64`
+    /// distances, and add into two 4-lane accumulators.
+    ///
+    /// # Safety
+    /// Caller must verify AVX2 support; `table` must hold
+    /// `segments * card` entries and `sym` `segments` 8-byte lanes of
+    /// symbols `< card`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_block_avx2(
+        table: &[f64],
+        card: usize,
+        segments: usize,
+        sym: &[u8],
+        out: &mut [f64; MINDIST_BATCH],
+    ) {
+        let mut acc_lo = _mm256_setzero_pd();
+        let mut acc_hi = _mm256_setzero_pd();
+        let base = table.as_ptr();
+        for j in 0..segments {
+            let bytes = _mm_loadl_epi64(sym.as_ptr().add(j * MINDIST_BATCH) as *const __m128i);
+            let idx = _mm256_cvtepu8_epi32(bytes);
+            let idx = _mm256_add_epi32(idx, _mm256_set1_epi32((j * card) as i32));
+            let idx_lo = _mm256_castsi256_si128(idx);
+            let idx_hi = _mm256_extracti128_si256::<1>(idx);
+            acc_lo = _mm256_add_pd(acc_lo, _mm256_i32gather_pd::<8>(base, idx_lo));
+            acc_hi = _mm256_add_pd(acc_hi, _mm256_i32gather_pd::<8>(base, idx_hi));
+        }
+        _mm256_storeu_pd(out.as_mut_ptr(), acc_lo);
+        _mm256_storeu_pd(out.as_mut_ptr().add(4), acc_hi);
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +578,90 @@ mod tests {
             let env_md = mindist_env_sax(&lo, &hi, word.symbols(), &c);
             let ed_md = mindist_paa_sax(&qp, word.symbols(), &c);
             assert!(env_md <= ed_md + 1e-9);
+        }
+    }
+
+    #[test]
+    fn query_dist_table_matches_per_key_mindist() {
+        let c = cfg();
+        let q = wavy(11, c.series_len);
+        let qp = paa(&q, c.segments);
+        let table = QueryDistTable::new(&qp, &c);
+        for sb in 0..40u32 {
+            let s = wavy(sb + 100, c.series_len);
+            let word = sax_word(&s, &c);
+            let key = interleave(word.symbols(), c.card_bits);
+            let direct = mindist_paa_zkey(&qp, key, &c);
+            let via_table = table.mindist_zkey(key);
+            assert_eq!(direct.to_bits(), via_table.to_bits(), "seed {sb}");
+        }
+    }
+
+    #[test]
+    fn batch_mindist_matches_single_key_on_every_dispatch() {
+        use coconut_series::simd::Dispatch;
+        // Cover non-multiple-of-8 remainders and >64-bit keys.
+        for (series_len, segments, card_bits, n) in [
+            (64usize, 8usize, 8u8, 37usize),
+            (256, 16, 8, 64),
+            (60, 20, 3, 9),
+        ] {
+            let c = SaxConfig {
+                series_len,
+                segments,
+                card_bits,
+            };
+            let q = wavy(5, series_len);
+            let qp = paa(&q, segments);
+            let table = QueryDistTable::new(&qp, &c);
+            let keys: Vec<_> = (0..n as u32)
+                .map(|i| {
+                    let s = wavy(i + 200, series_len);
+                    interleave(sax_word(&s, &c).symbols(), card_bits)
+                })
+                .collect();
+            let expect: Vec<f64> = keys.iter().map(|&k| mindist_paa_zkey(&qp, k, &c)).collect();
+            for dispatch in [Dispatch::Scalar, Dispatch::Avx2] {
+                let mut out = vec![0.0f64; n];
+                table.mindist_batch_into_with(dispatch, &keys, &mut out);
+                for (i, (&got, &want)) in out.iter().zip(expect.iter()).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{dispatch:?} w={segments} b={card_bits} key {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pext_masks_recover_symbols() {
+        // The pext plan must describe exactly the interleave layout; check
+        // by re-extracting bits with portable shifts.
+        for (segments, bits) in [(16usize, 8u8), (8, 8), (20, 3), (32, 4), (1, 8), (3, 5)] {
+            let symbols: Vec<u8> = (0..segments)
+                .map(|j| ((j * 41 + 13) % (1usize << bits)) as u8)
+                .collect();
+            let key = interleave(&symbols, bits);
+            let masks = pext_masks(segments, bits);
+            let (klo, khi) = (key.0 as u64, (key.0 >> 64) as u64);
+            for (j, m) in masks.iter().enumerate() {
+                // Portable pext.
+                let extract = |word: u64, mask: u64| -> u64 {
+                    let mut out = 0u64;
+                    let mut pos = 0;
+                    for p in 0..64 {
+                        if mask & (1u64 << p) != 0 {
+                            out |= ((word >> p) & 1) << pos;
+                            pos += 1;
+                        }
+                    }
+                    out
+                };
+                let s = extract(klo, m.lo) | (extract(khi, m.hi) << m.shift);
+                assert_eq!(s as u8, symbols[j], "w={segments} b={bits} j={j}");
+            }
         }
     }
 

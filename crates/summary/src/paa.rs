@@ -14,15 +14,12 @@ pub fn paa_into(series: &[Value], out: &mut [f64]) {
     let w = out.len();
     debug_assert!(w > 0 && w <= n);
     if n.is_multiple_of(w) {
-        // Fast path: equal integer segments.
+        // Fast path: equal integer segments, summed by the dispatched
+        // vector kernel (build-time summarization calls this per series).
         let seg = n / w;
-        for (j, o) in out.iter_mut().enumerate() {
-            let start = j * seg;
-            let mut acc = 0.0f64;
-            for &v in &series[start..start + seg] {
-                acc += v as f64;
-            }
-            *o = acc / seg as f64;
+        (coconut_series::simd::kernels().segment_sums)(series, seg, out);
+        for o in out.iter_mut() {
+            *o /= seg as f64;
         }
         return;
     }

@@ -159,4 +159,51 @@ proptest! {
             prop_assert_eq!(ka < kb, a[0] < b[0]);
         }
     }
+
+    #[test]
+    fn batched_mindist_is_dispatch_invariant(
+        q in znormed(64),
+        words in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 8), 1..40),
+    ) {
+        // The batched kernel (block decode + table gather) must produce
+        // bit-identical bounds to the one-key-at-a-time path on every
+        // dispatch, for any key count (incl. non-multiple-of-8 remainders).
+        use coconut_series::simd::Dispatch;
+        use coconut_summary::mindist::QueryDistTable;
+        let cfg = SaxConfig { series_len: 64, segments: 8, card_bits: 8 };
+        let qp = paa(&q, cfg.segments);
+        let keys: Vec<_> = words.iter().map(|w| interleave(w, cfg.card_bits)).collect();
+        let table = QueryDistTable::new(&qp, &cfg);
+        let expect: Vec<f64> =
+            keys.iter().map(|&k| mindist_paa_zkey(&qp, k, &cfg)).collect();
+        for dispatch in [Dispatch::Scalar, Dispatch::Avx2] {
+            let mut out = vec![0.0f64; keys.len()];
+            table.mindist_batch_into_with(dispatch, &keys, &mut out);
+            for (got, want) in out.iter().zip(expect.iter()) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mindist_handles_wide_configs(
+        q in znormed(120),
+        words in proptest::collection::vec(proptest::collection::vec(0u8..16, 30), 1..20),
+    ) {
+        // 30 segments × 4 bits = 120-bit keys: exercises the high-word half
+        // of the pext decode plan and the widest stack scratch.
+        use coconut_series::simd::Dispatch;
+        use coconut_summary::mindist::QueryDistTable;
+        let cfg = SaxConfig { series_len: 120, segments: 30, card_bits: 4 };
+        let qp = paa(&q, cfg.segments);
+        let keys: Vec<_> = words.iter().map(|w| interleave(w, cfg.card_bits)).collect();
+        let table = QueryDistTable::new(&qp, &cfg);
+        for dispatch in [Dispatch::Scalar, Dispatch::Avx2] {
+            let mut out = vec![0.0f64; keys.len()];
+            table.mindist_batch_into_with(dispatch, &keys, &mut out);
+            for (&got, &k) in out.iter().zip(keys.iter()) {
+                prop_assert_eq!(got.to_bits(), mindist_paa_zkey(&qp, k, &cfg).to_bits());
+            }
+        }
+    }
 }
