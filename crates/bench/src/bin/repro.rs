@@ -5,7 +5,8 @@
 //!
 //! experiments: fig7 fig8a fig8b fig8c fig8d fig8e fig8f
 //!              fig9a fig9b fig9c fig9d fig9e fig9f
-//!              fig10a fig10b fig10c ablation scaling
+//!              fig10a fig10b fig10c ablation scaling bench_distance
+//!              streaming
 //!              fig8 fig9 fig10 all
 //! ```
 //!
@@ -38,6 +39,7 @@ const ALL: &[&str] = &[
     "ablation",
     "scaling",
     "bench_distance",
+    "streaming",
 ];
 
 fn expand(arg: &str) -> Vec<&'static str> {
@@ -83,6 +85,7 @@ fn run_experiment(name: &str, env: &Env) -> coconut_storage::Result<()> {
         "ablation" => experiments::ablation::run(env),
         "scaling" => experiments::scaling::run(env),
         "bench_distance" => experiments::bench_distance::run(env),
+        "streaming" => experiments::streaming::run(env),
         _ => unreachable!("expand() only yields known names"),
     }
 }

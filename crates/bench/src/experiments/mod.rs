@@ -21,6 +21,7 @@
 //! | ablation | z-order vs lexicographic ordering (Figs. 2/4) | [`ablation::run`] |
 //! | scaling | sharded construction: build time vs shard count | [`scaling::run`] |
 //! | bench_distance | distance-kernel baseline: scalar vs SIMD | [`bench_distance::run`] |
+//! | streaming | LSM streaming ingest: throughput + latency vs run count | [`streaming::run`] |
 
 pub mod ablation;
 pub mod bench_distance;
@@ -29,6 +30,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scaling;
+pub mod streaming;
 
 use std::path::PathBuf;
 

@@ -1,0 +1,247 @@
+//! Sustained streaming ingest: Coconut-LSM throughput, read amplification,
+//! and query latency as runs accumulate and compact, recorded to
+//! `results/BENCH_streaming.json` so the streaming path's trajectory is
+//! tracked PR over PR.
+//!
+//! Not a figure of the paper — it measures the workspace's LSM subsystem
+//! (`coconut_core::lsm`, cf. the paper's future-work proposal and the
+//! follow-up *"Sortable Summarizations for Static and Streaming Data
+//! Series"*). The raw file is revealed in equal batches; every batch is
+//! ingested as a bulk-loaded run (tiered compaction running on the worker
+//! thread alongside), and after each batch a fixed query workload runs over
+//! the covered prefix. Per phase the experiment reports ingest throughput,
+//! the live run count (the read amplification of a query), mean exact-query
+//! latency, and the mean records fetched per query.
+//!
+//! **Every answer is checked against a brute-force oracle over the covered
+//! prefix; any divergence fails the experiment** — CI runs this per PR, so
+//! the streaming path cannot silently lose or corrupt data. The final phase
+//! waits for compactions, fully compacts, and re-verifies.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use coconut_core::{BuildOptions, IndexConfig, LsmCoconut, TieredPolicy};
+use coconut_series::distance::euclidean;
+use coconut_series::index::{Answer, SeriesIndex};
+use coconut_series::Value;
+use coconut_storage::{Error, Result};
+use coconut_summary::SaxConfig;
+
+use crate::data::{prepare, DataKind};
+use crate::experiments::Env;
+use crate::harness::Table;
+
+/// Batches the raw file is revealed in.
+const BATCHES: u64 = 8;
+
+/// One measured ingest-then-query phase.
+struct Phase {
+    covered: u64,
+    ingest_s: f64,
+    series_per_s: f64,
+    runs: usize,
+    avg_query_ms: f64,
+    avg_records_fetched: f64,
+}
+
+fn brute_force(prefix: &[Vec<Value>], q: &[Value]) -> Answer {
+    let mut best = Answer::none();
+    for (i, s) in prefix.iter().enumerate() {
+        best.merge(Answer {
+            pos: i as u64,
+            dist: euclidean(q, s),
+        });
+    }
+    best
+}
+
+/// Run the experiment and write `BENCH_streaming.json`.
+pub fn run(env: &Env) -> Result<()> {
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        env.scale.n,
+        env.scale.series_len,
+        env.scale.queries.clamp(1, 10),
+        11,
+    )?;
+    let config = IndexConfig {
+        sax: SaxConfig::default_for_len(env.scale.series_len),
+        leaf_capacity: env.scale.leaf_capacity,
+        fill_factor: 1.0,
+        internal_fanout: 64,
+    };
+    let opts = BuildOptions {
+        memory_bytes: (w.dataset.payload_bytes() / 2).max(1 << 20),
+        materialized: false,
+        threads: env.scale.threads,
+        shards: 1,
+    };
+    let idx_dir = env.work_dir.join("streaming-lsm");
+    // A fresh directory per invocation: the experiment measures ingest from
+    // scratch (recovery is covered by the test suites).
+    if idx_dir.exists() {
+        std::fs::remove_dir_all(&idx_dir)?;
+    }
+    let mut lsm = LsmCoconut::new(config, opts, &idx_dir)?;
+    lsm.set_policy(Box::new(TieredPolicy {
+        size_ratio: 4,
+        tier_runs: 3,
+        max_runs: 6,
+    }));
+
+    let n = w.dataset.len();
+    let batch = n.div_ceil(BATCHES).max(1);
+    let mut prefix: Vec<Vec<Value>> = Vec::with_capacity(n as usize);
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut covered = 0u64;
+    while covered < n {
+        let upto = (covered + batch).min(n);
+        let ingested = upto - covered;
+        let t0 = Instant::now();
+        lsm.ingest_upto(&w.dataset, upto)?;
+        let ingest_s = t0.elapsed().as_secs_f64();
+        for p in covered..upto {
+            prefix.push(w.dataset.get(p)?);
+        }
+        covered = upto;
+
+        let mut query_s = 0.0;
+        let mut records = 0u64;
+        for (qi, q) in w.queries.iter().enumerate() {
+            let t0 = Instant::now();
+            let (ans, stats) = lsm.exact(q)?;
+            query_s += t0.elapsed().as_secs_f64();
+            records += stats.records_fetched;
+            let oracle = brute_force(&prefix, q);
+            if ans.pos != oracle.pos {
+                return Err(Error::corrupt(format!(
+                    "streaming divergence at covered={covered}, query {qi}: \
+                     LSM answered #{} at {:.6}, oracle #{} at {:.6}",
+                    ans.pos, ans.dist, oracle.pos, oracle.dist
+                )));
+            }
+        }
+        let queries = w.queries.len() as f64;
+        phases.push(Phase {
+            covered,
+            ingest_s,
+            series_per_s: ingested as f64 / ingest_s.max(1e-9),
+            runs: lsm.run_count(),
+            avg_query_ms: query_s * 1e3 / queries,
+            avg_records_fetched: records as f64 / queries,
+        });
+    }
+
+    // Settle and fully compact; answers must survive both.
+    lsm.wait_for_compactions()?;
+    let t0 = Instant::now();
+    lsm.compact()?;
+    let compact_s = t0.elapsed().as_secs_f64();
+    if lsm.run_count() != 1 {
+        return Err(Error::corrupt("full compaction left more than one run"));
+    }
+    for (qi, q) in w.queries.iter().enumerate() {
+        let (ans, _) = lsm.exact(q)?;
+        let oracle = brute_force(&prefix, q);
+        if ans.pos != oracle.pos {
+            return Err(Error::corrupt(format!(
+                "post-compaction divergence on query {qi}"
+            )));
+        }
+    }
+
+    let mut table = Table::new(
+        "streaming",
+        "LSM streaming ingest: throughput, run count, and query latency per batch",
+        &[
+            "covered",
+            "ingest_s",
+            "series_per_s",
+            "runs",
+            "avg_query_ms",
+            "avg_records",
+        ],
+    );
+    for p in &phases {
+        table.push_row(vec![
+            p.covered.to_string(),
+            format!("{:.3}", p.ingest_s),
+            format!("{:.0}", p.series_per_s),
+            p.runs.to_string(),
+            format!("{:.2}", p.avg_query_ms),
+            format!("{:.0}", p.avg_records_fetched),
+        ]);
+    }
+    table.emit(&env.results_dir)?;
+    println!(
+        "   oracle check: {} queries x {} phases identical to brute force; \
+         full compaction to 1 run in {compact_s:.2}s\n",
+        w.queries.len(),
+        phases.len()
+    );
+
+    // Hand-rolled JSON (no serde in the offline workspace); one object per
+    // phase keeps the baseline diffable PR over PR.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"streaming\",");
+    let _ = writeln!(json, "  \"series\": {n},");
+    let _ = writeln!(json, "  \"series_len\": {},", env.scale.series_len);
+    let _ = writeln!(json, "  \"batches\": {},", phases.len());
+    let _ = writeln!(json, "  \"queries_per_phase\": {},", w.queries.len());
+    let _ = writeln!(
+        json,
+        "  \"policy\": \"tiered(ratio=4, tier_runs=3, max_runs=6)\","
+    );
+    let _ = writeln!(json, "  \"compact_all_s\": {compact_s:.3},");
+    json.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"covered\": {}, \"ingest_s\": {:.3}, \"series_per_s\": {:.0}, \
+             \"runs\": {}, \"avg_query_ms\": {:.3}, \"avg_records_fetched\": {:.1}}}",
+            p.covered, p.ingest_s, p.series_per_s, p.runs, p.avg_query_ms, p.avg_records_fetched
+        );
+        json.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all(&env.results_dir)?;
+    let path = env.results_dir.join("BENCH_streaming.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::TempDir;
+
+    #[test]
+    fn streaming_runs_verifies_and_writes_outputs() {
+        let (w, r) = (
+            TempDir::new("streaming-w").unwrap(),
+            TempDir::new("streaming-r").unwrap(),
+        );
+        let env = Env {
+            work_dir: w.path().to_path_buf(),
+            results_dir: r.path().to_path_buf(),
+            scale: crate::experiments::Scale {
+                n: 600,
+                series_len: 64,
+                queries: 3,
+                leaf_capacity: 32,
+                threads: 2,
+            },
+        };
+        run(&env).unwrap();
+        let csv = std::fs::read_to_string(r.path().join("streaming.csv")).unwrap();
+        assert!(csv.starts_with("covered,ingest_s"));
+        assert_eq!(csv.lines().count(), 1 + 8, "{csv}");
+        let json = std::fs::read_to_string(r.path().join("BENCH_streaming.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"streaming\""));
+        assert!(json.contains("\"phases\""));
+    }
+}

@@ -12,7 +12,10 @@ usage:
                 [--memory-mb M] [--shards N] [--out-dir DIR] <data.ds>
   coconut query --index <path.idx> --data <data.ds>
                 (--seed S | --pos P) [--k K] [--radius R]
-                [--dtw BAND] [--range EPS] [--approximate]";
+                [--dtw BAND] [--range EPS] [--approximate]
+  coconut ingest  --data <data.ds> --index-dir DIR [--materialized]
+                  [--leaf N] [--memory-mb M] [--batch N] [--max-runs N]
+  coconut compact --data <data.ds> --index-dir DIR";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +54,25 @@ pub enum Command {
         range_eps: Option<f64>,
         approximate: bool,
     },
+    /// Stream new series of a growing dataset into an LSM index directory
+    /// (creating the index on first use, recovering it afterwards).
+    Ingest {
+        data: PathBuf,
+        index_dir: PathBuf,
+        materialized: bool,
+        /// Leaf capacity for a *fresh* index (defaults to 2000); an
+        /// explicit value that conflicts with a recovered index's manifest
+        /// is an error rather than silently ignored.
+        leaf: Option<usize>,
+        memory_mb: u64,
+        /// Ingest the uncovered tail in batches of this many series (one
+        /// run per batch); `None` means one run for the whole tail.
+        batch: Option<u64>,
+        /// Cap on live runs (tiered-policy read-amplification bound).
+        max_runs: Option<usize>,
+    },
+    /// Merge every run of an LSM index directory into one.
+    Compact { data: PathBuf, index_dir: PathBuf },
     /// Print usage.
     Help,
 }
@@ -174,6 +196,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 approximate: opts.contains_key("--approximate"),
             })
         }
+        "ingest" => Ok(Command::Ingest {
+            data: PathBuf::from(req(&opts, "--data")?),
+            index_dir: PathBuf::from(req(&opts, "--index-dir")?),
+            materialized: opts.contains_key("--materialized"),
+            leaf: opts
+                .get("--leaf")
+                .map(|s| parse_num(s, "leaf"))
+                .transpose()?,
+            memory_mb: opts
+                .get("--memory-mb")
+                .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
+            batch: match opts.get("--batch") {
+                Some(s) => {
+                    let n: u64 = parse_num(s, "batch")?;
+                    if n == 0 {
+                        return Err("batch must be at least 1".into());
+                    }
+                    Some(n)
+                }
+                None => None,
+            },
+            max_runs: match opts.get("--max-runs") {
+                Some(s) => {
+                    let n: usize = parse_num(s, "max-runs")?;
+                    if n == 0 {
+                        return Err("max-runs must be at least 1".into());
+                    }
+                    Some(n)
+                }
+                None => None,
+            },
+        }),
+        "compact" => Ok(Command::Compact {
+            data: PathBuf::from(req(&opts, "--data")?),
+            index_dir: PathBuf::from(req(&opts, "--index-dir")?),
+        }),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -299,6 +357,57 @@ mod tests {
         assert!(parse(&argv("gen --kind x --count 5 o.ds")).is_err()); // missing --len
         assert!(parse(&argv("query --index i --data d")).is_err()); // no seed/pos
         assert!(parse(&argv("gen --kind")).is_err()); // dangling option
+    }
+
+    #[test]
+    fn parses_ingest_and_compact() {
+        let c = parse(&argv(
+            "ingest --data d.ds --index-dir ./lsm --batch 500 --max-runs 4 --leaf 64",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Ingest {
+                data: PathBuf::from("d.ds"),
+                index_dir: PathBuf::from("./lsm"),
+                materialized: false,
+                leaf: Some(64),
+                memory_mb: 256,
+                batch: Some(500),
+                max_runs: Some(4),
+            }
+        );
+        let c = parse(&argv("ingest --data d.ds --index-dir ./lsm --materialized")).unwrap();
+        let Command::Ingest {
+            materialized,
+            batch,
+            max_runs,
+            leaf,
+            ..
+        } = c
+        else {
+            panic!()
+        };
+        assert!(materialized);
+        assert_eq!(batch, None);
+        assert_eq!(max_runs, None);
+        assert_eq!(leaf, None);
+
+        let c = parse(&argv("compact --data d.ds --index-dir ./lsm")).unwrap();
+        assert_eq!(
+            c,
+            Command::Compact {
+                data: PathBuf::from("d.ds"),
+                index_dir: PathBuf::from("./lsm"),
+            }
+        );
+
+        // Missing/invalid options fail cleanly.
+        assert!(parse(&argv("ingest --data d.ds")).is_err()); // no --index-dir
+        assert!(parse(&argv("ingest --index-dir x")).is_err()); // no --data
+        assert!(parse(&argv("ingest --data d --index-dir x --batch 0")).is_err());
+        assert!(parse(&argv("ingest --data d --index-dir x --max-runs 0")).is_err());
+        assert!(parse(&argv("compact --data d.ds")).is_err());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use coconut_core::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
+use coconut_core::manifest::Manifest;
+use coconut_core::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig, LsmCoconut};
 use coconut_series::dataset::{write_dataset, Dataset};
 use coconut_series::distance::znormalize;
 use coconut_series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
@@ -213,6 +214,114 @@ pub fn run(cmd: Command) -> Result<()> {
             }
             Ok(())
         }
+        Command::Ingest {
+            data,
+            index_dir,
+            materialized,
+            leaf,
+            memory_mb,
+            batch,
+            max_runs,
+        } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            let opts = BuildOptions {
+                memory_bytes: memory_mb << 20,
+                materialized,
+                threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+                shards: 1,
+            };
+            // First use creates the index; later uses recover the manifest
+            // (and tolerate a crash of the previous process).
+            let fresh = !Manifest::path_in(&index_dir).exists();
+            let mut lsm = if fresh {
+                let config = IndexConfig {
+                    sax: SaxConfig::default_for_len(ds.series_len()),
+                    leaf_capacity: leaf.unwrap_or(2000),
+                    fill_factor: 1.0,
+                    internal_fanout: 64,
+                };
+                LsmCoconut::new(config, opts, &index_dir)?
+            } else {
+                let lsm = LsmCoconut::open(&index_dir, &ds, opts)?;
+                // A recovered index keeps its manifest's configuration;
+                // reject explicit flags that contradict it instead of
+                // silently ignoring them.
+                if materialized && !lsm.is_materialized() {
+                    return Err(Error::invalid(format!(
+                        "--materialized conflicts with the recovered index in {} \
+                         (built non-materialized); use a fresh --index-dir",
+                        index_dir.display()
+                    )));
+                }
+                if let Some(l) = leaf {
+                    let have = lsm.config().leaf_capacity;
+                    if l != have {
+                        return Err(Error::invalid(format!(
+                            "--leaf {l} conflicts with the recovered index in {} \
+                             (built with leaf capacity {have}); omit --leaf or use \
+                             a fresh --index-dir",
+                            index_dir.display()
+                        )));
+                    }
+                }
+                lsm
+            };
+            if let Some(n) = max_runs {
+                lsm.set_max_runs(n);
+            }
+            let already = lsm.covered_end();
+            if already > ds.len() {
+                return Err(Error::invalid(format!(
+                    "index already covers {already} series but the dataset holds {}",
+                    ds.len()
+                )));
+            }
+            let t0 = Instant::now();
+            let step = batch.unwrap_or(ds.len().saturating_sub(already).max(1));
+            let mut upto = already;
+            while upto < ds.len() {
+                upto = (upto + step).min(ds.len());
+                lsm.ingest_upto(&ds, upto)?;
+            }
+            lsm.wait_for_compactions()?;
+            let secs = t0.elapsed().as_secs_f64();
+            let new = ds.len() - already;
+            println!(
+                "{} {} series into {} in {secs:.2}s ({:.0} series/s)",
+                if fresh { "created;" } else { "recovered;" },
+                new,
+                index_dir.display(),
+                if secs > 0.0 { new as f64 / secs } else { 0.0 }
+            );
+            println!(
+                "covered       0..{} in {} run{}",
+                lsm.covered_end(),
+                lsm.run_count(),
+                if lsm.run_count() == 1 { "" } else { "s" }
+            );
+            println!(
+                "size          {:.1} MiB",
+                lsm.disk_bytes() as f64 / (1 << 20) as f64
+            );
+            Ok(())
+        }
+        Command::Compact { data, index_dir } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            let lsm = LsmCoconut::open(&index_dir, &ds, BuildOptions::default())?;
+            let before = lsm.run_count();
+            let t0 = Instant::now();
+            lsm.compact()?;
+            println!(
+                "compacted {before} run{} into {} in {:.2}s ({} entries)",
+                if before == 1 { "" } else { "s" },
+                lsm.run_count(),
+                t0.elapsed().as_secs_f64(),
+                lsm.len()
+            );
+            Ok(())
+        }
     }
 }
 
@@ -370,6 +479,68 @@ mod tests {
             approximate: false,
         };
         assert!(run(bad).is_err());
+    }
+
+    #[test]
+    fn ingest_then_recover_then_compact_pipeline() {
+        let dir = TempDir::new("cli-lsm").unwrap();
+        let idx_dir = dir.path().join("lsm");
+        let data = gen_cmd(&dir, "d.ds", 240);
+        // First ingest creates the index, batching into multiple runs.
+        run(Command::Ingest {
+            data: data.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: false,
+            leaf: Some(32),
+            memory_mb: 1,
+            batch: Some(60),
+            max_runs: Some(3),
+        })
+        .unwrap();
+        // A grown dataset: the second ingest recovers and covers the tail
+        // (an explicit matching --leaf is fine; a conflicting one is not).
+        let data2 = gen_cmd(&dir, "d2.ds", 300);
+        assert!(run(Command::Ingest {
+            data: data2.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: false,
+            leaf: Some(64),
+            memory_mb: 1,
+            batch: None,
+            max_runs: None,
+        })
+        .is_err());
+        assert!(run(Command::Ingest {
+            data: data2.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: true,
+            leaf: None,
+            memory_mb: 1,
+            batch: None,
+            max_runs: None,
+        })
+        .is_err());
+        run(Command::Ingest {
+            data: data2.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: false,
+            leaf: Some(32),
+            memory_mb: 1,
+            batch: None,
+            max_runs: None,
+        })
+        .unwrap();
+        // Compact everything into one run.
+        run(Command::Compact {
+            data: data2.clone(),
+            index_dir: idx_dir.clone(),
+        })
+        .unwrap();
+        let stats = Arc::new(IoStats::new());
+        let ds = Dataset::open(&data2, Arc::clone(&stats)).unwrap();
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.run_count(), 1);
+        assert_eq!(lsm.len(), 300);
     }
 
     #[test]

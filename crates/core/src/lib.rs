@@ -23,18 +23,26 @@
 //!   scan over in-memory summarizations, pruned by the approximate answer,
 //!   with lower bounds computed by parallel threads.
 //!
-//! [`lsm::LsmCoconut`] implements the paper's future-work suggestion: an
-//! LSM-style collection of bulk-loaded runs for efficient updates.
+//! [`lsm::LsmCoconut`] grows the paper's future-work suggestion into a
+//! streaming subsystem: batches bulk-load into LSM runs, a
+//! [`compaction::CompactionPolicy`] merges them on a worker thread (K-way
+//! merges of sorted leaf streams, never re-sorts), and a crash-safe
+//! [`manifest::Manifest`] makes the run set durable across process
+//! restarts.
 //!
 //! [`shard`] parallelizes construction: the scan→summarize→sort phase runs
 //! on K worker threads over disjoint key-range shards, and the per-shard
 //! sorted streams are K-way merged into the same bulk loaders, producing
 //! bit-identical indexes (enable via [`BuildOptions::shards`]).
 
+#![deny(missing_docs)]
+
 pub mod builder;
+pub mod compaction;
 pub mod config;
 pub mod layout;
 pub mod lsm;
+pub mod manifest;
 pub mod records;
 pub mod shard;
 pub mod sims;
@@ -42,7 +50,8 @@ pub mod tree;
 pub mod trie;
 
 pub use coconut_storage::{Error, Result};
+pub use compaction::{CompactionPolicy, TieredPolicy};
 pub use config::{BuildOptions, IndexConfig};
-pub use lsm::LsmCoconut;
+pub use lsm::{KillPoint, LsmCoconut};
 pub use tree::CoconutTree;
 pub use trie::CoconutTrie;

@@ -1,133 +1,702 @@
-//! LSM-style Coconut: the paper's future-work proposal, implemented.
+//! LSM-style Coconut: crash-safe streaming ingest over bulk-loaded runs.
 //!
-//! The conclusion of the paper suggests that "ideas from LSM trees could be
-//! used to enable efficient updates". `LsmCoconut` does exactly that: new
-//! batches are bulk-loaded into fresh Coconut-Tree *runs* (each covering a
-//! contiguous position range of the growing raw file), and when the number
-//! of runs exceeds a threshold, adjacent runs are merged by re-bulk-loading
-//! their combined range — every write stays a large sequential write, at
-//! the cost of queries consulting several runs (classic LSM read
-//! amplification).
+//! The paper's conclusion suggests that "ideas from LSM trees could be used
+//! to enable efficient updates"; the follow-up work (*"Coconut: Sortable
+//! Summarizations for Scalable Indexes over Static and Streaming Data
+//! Series"*) makes streaming a first-class workload. [`LsmCoconut`] is that
+//! subsystem:
+//!
+//! * **Ingest** ([`LsmCoconut::ingest_upto`]): every revealed batch of the
+//!   growing raw file is bulk-loaded bottom-up into a fresh Coconut-Tree
+//!   *run* in its own `run-<id>/` directory — all large sequential writes,
+//!   exactly the paper's construction path.
+//! * **Compaction**: a [`CompactionPolicy`] (default
+//!   [`TieredPolicy`]) decides which adjacent runs to merge; the merge
+//!   itself is a K-way [`MergedStream`] over the runs' already-sorted leaf
+//!   streams ([`CoconutTree::leaf_entries`]), bulk-loaded into a new run —
+//!   **never** a re-sort of the raw range. Compactions execute on a
+//!   dedicated worker thread, so ingest and queries proceed alongside them;
+//!   [`LsmCoconut::wait_for_compactions`] is the synchronization point.
+//! * **Crash safety**: the live run set lives in a versioned, checksummed
+//!   [`crate::manifest::Manifest`] written atomically on every run addition
+//!   and compaction. [`LsmCoconut::open`] recovers the exact committed run
+//!   set after a crash, deletes orphaned run directories (from interrupted
+//!   ingests or compactions) and leftover manifest temp files, and resumes.
+//!   [`KillPoint`] injects simulated crashes at the three interesting
+//!   instants for the crash-safety test suite.
+//! * **Queries**: exact / kNN / range answers are merged across runs with
+//!   per-run [`QueryStats`] aggregated into one set of work counters; read
+//!   amplification is the run count, which the policy bounds.
+//!
+//! A dropped (or killed) `LsmCoconut` never loses committed data: anything
+//! acknowledged by a successful `ingest_upto` return is durable. An ingest
+//! or compaction that *fails* (including simulated kills) poisons the
+//! instance — subsequent calls surface the error — mirroring a crashed
+//! process; reopen from disk to continue.
 
-use std::path::PathBuf;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
 
 use coconut_series::dataset::Dataset;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
-use coconut_storage::{Error, Result};
+use coconut_storage::atomic::{atomic_write, atomic_write_torn, temp_path};
+use coconut_storage::{Error, MergedStream, Result};
 
+use crate::compaction::{CompactionPolicy, TieredPolicy};
 use crate::config::{BuildOptions, IndexConfig};
-use crate::tree::CoconutTree;
+use crate::manifest::{run_dir_name, Manifest, RunMeta};
+use crate::records::{KeyPos, KeySeries};
+use crate::tree::{CoconutTree, LeafEntryStream};
 
-/// An LSM collection of bulk-loaded Coconut-Tree runs.
-pub struct LsmCoconut {
+/// Simulated crash instants for the crash-safety test suite, armed with
+/// [`LsmCoconut::set_kill_point`]. The *next* manifest commit (run addition
+/// or compaction, whichever comes first) consumes the kill point, leaves
+/// the on-disk state exactly as a real crash at that instant would, and
+/// fails with an error — after which the instance behaves as poisoned and
+/// should be reopened from disk, like a crashed process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Die before anything reaches disk: neither the manifest nor its temp
+    /// file change. The operation's new run directory becomes an orphan.
+    BeforeManifestWrite,
+    /// Die halfway through writing the manifest temp file, before the
+    /// rename: the committed manifest survives untouched and a torn
+    /// `MANIFEST.tmp` is left for recovery to discard.
+    MidManifestWrite,
+    /// Die after the new manifest is durably renamed into place but before
+    /// the obsolete run directories of a compaction are deleted: recovery
+    /// must clean up the orphans.
+    AfterManifestCommit,
+}
+
+/// One live run and its open index.
+struct Run {
+    meta: RunMeta,
+    tree: Arc<CoconutTree>,
+}
+
+/// Mutable LSM state, guarded by one mutex (manifest commits happen under
+/// it, so commits are serialized and always snapshot a consistent run set).
+struct State {
+    runs: Vec<Run>,
+    covered_end: u64,
+    next_run_id: u64,
+    seq: u64,
+    /// The freshest dataset handle seen; compactions build against it.
+    dataset: Option<Dataset>,
+}
+
+/// State shared with the compaction worker thread.
+struct Shared {
     config: IndexConfig,
     opts: BuildOptions,
     dir: PathBuf,
-    runs: Vec<CoconutTree>,
-    /// Merge when the number of runs exceeds this.
-    max_runs: usize,
-    /// End of the covered position range.
-    covered_end: u64,
+    state: Mutex<State>,
+    /// Serializes manifest commits *around* the state lock: a committer
+    /// holds this across {mutate state, encode} and the manifest I/O, so
+    /// commits hit disk in mutation order — while queries, which take only
+    /// the brief `state` lock, never wait on an fsync.
+    commit_order: Mutex<()>,
+    policy: Mutex<Box<dyn CompactionPolicy>>,
+    kill: Mutex<Option<KillPoint>>,
+    /// First commit/compaction error; sticky — it poisons the instance
+    /// (in-memory state may be ahead of the durable manifest, exactly like
+    /// a crashed process; reopen from disk to continue).
+    poisoned: Mutex<Option<String>>,
+}
+
+/// Work items for the compaction thread, processed in order.
+enum Job {
+    /// Apply the policy repeatedly until it proposes nothing.
+    Maintain,
+    /// Merge every live run into a single run.
+    CompactAll,
+    /// Acknowledge once every previously queued job has finished.
+    Sync(Sender<()>),
+}
+
+/// An LSM collection of bulk-loaded Coconut-Tree runs with tiered
+/// compaction and a crash-safe manifest. See the module docs for the
+/// design; see [`LsmCoconut::new`] / [`LsmCoconut::open`] for the two ways
+/// in.
+pub struct LsmCoconut {
+    shared: Arc<Shared>,
+    jobs: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
 }
 
 impl LsmCoconut {
-    /// An empty LSM index that will build its runs in `dir`.
+    /// Create a **fresh** LSM index in `dir` (created if missing). Errors
+    /// if `dir` already holds an LSM index — a `MANIFEST` or `run-*`
+    /// directories from a previous process — instead of silently mixing
+    /// stale runs into a new build; use [`LsmCoconut::open`] to recover an
+    /// existing index.
     pub fn new(config: IndexConfig, opts: BuildOptions, dir: impl Into<PathBuf>) -> Result<Self> {
         config.validate()?;
-        Ok(LsmCoconut {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if Manifest::path_in(&dir).exists() {
+            return Err(Error::invalid(format!(
+                "{} already contains an LSM index (MANIFEST present); \
+                 use LsmCoconut::open to recover it",
+                dir.display()
+            )));
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            if name.to_string_lossy().starts_with("run-") {
+                return Err(Error::invalid(format!(
+                    "{} contains stale run directory {:?} from a previous \
+                     index; remove it or open the index it belongs to",
+                    dir.display(),
+                    name
+                )));
+            }
+        }
+        let shared = Arc::new(Shared {
             config,
             opts,
-            dir: dir.into(),
-            runs: Vec::new(),
-            max_runs: 4,
-            covered_end: 0,
+            dir,
+            state: Mutex::new(State {
+                runs: Vec::new(),
+                covered_end: 0,
+                next_run_id: 0,
+                seq: 0,
+                dataset: None,
+            }),
+            commit_order: Mutex::new(()),
+            policy: Mutex::new(Box::new(TieredPolicy::default())),
+            kill: Mutex::new(None),
+            poisoned: Mutex::new(None),
+        });
+        {
+            // Commit the (empty) initial manifest so even a never-ingested
+            // index can be reopened.
+            let _order = shared.commit_order.lock();
+            let bytes = {
+                let mut st = shared.state.lock();
+                st.seq += 1;
+                encode_manifest(&shared, &st)
+            };
+            write_manifest(&shared, &bytes, &[])?;
+        }
+        Self::spawn(shared)
+    }
+
+    /// Open (recover) the LSM index in `dir`: load the manifest, verify its
+    /// checksum, reopen exactly the committed run set against `dataset`,
+    /// and delete anything a crash left behind (orphaned `run-*`
+    /// directories, a torn `MANIFEST.tmp`). The index configuration and
+    /// materialization come from the manifest; `opts` supplies the runtime
+    /// knobs (threads, memory budget, shards) for future builds.
+    pub fn open(dir: impl Into<PathBuf>, dataset: &Dataset, opts: BuildOptions) -> Result<Self> {
+        let dir = dir.into();
+        let manifest = Manifest::load(&dir)?;
+        if manifest.covered_end > dataset.len() {
+            return Err(Error::corrupt(format!(
+                "manifest covers 0..{} but the dataset holds only {} series",
+                manifest.covered_end,
+                dataset.len()
+            )));
+        }
+        let mut opts = opts;
+        opts.materialized = manifest.materialized;
+
+        // Recovery cleanup: a torn manifest temp and run directories the
+        // committed manifest does not reference.
+        let _ = std::fs::remove_file(temp_path(&Manifest::path_in(&dir)));
+        let live: HashSet<String> = manifest.runs.iter().map(|r| r.dir_name()).collect();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("run-") && !live.contains(&name) {
+                let _ = std::fs::remove_dir_all(entry.path());
+            }
+        }
+
+        let mut runs = Vec::with_capacity(manifest.runs.len());
+        for meta in &manifest.runs {
+            let tree = CoconutTree::open_range(
+                &dir.join(&meta.file),
+                dataset,
+                opts.threads,
+                meta.start..meta.end,
+            )?;
+            runs.push(Run {
+                meta: meta.clone(),
+                tree: Arc::new(tree),
+            });
+        }
+        let shared = Arc::new(Shared {
+            config: manifest.config,
+            opts,
+            dir,
+            state: Mutex::new(State {
+                runs,
+                covered_end: manifest.covered_end,
+                next_run_id: manifest.next_run_id,
+                seq: manifest.seq,
+                dataset: Some(dataset.clone()),
+            }),
+            commit_order: Mutex::new(()),
+            policy: Mutex::new(Box::new(TieredPolicy::default())),
+            kill: Mutex::new(None),
+            poisoned: Mutex::new(None),
+        });
+        Self::spawn(shared)
+    }
+
+    fn spawn(shared: Arc<Shared>) -> Result<Self> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("coconut-lsm-compactor".into())
+            .spawn(move || worker_loop(worker_shared, rx))?;
+        Ok(LsmCoconut {
+            shared,
+            jobs: Some(tx),
+            worker: Some(worker),
         })
     }
 
-    /// Change the run threshold that triggers merging.
+    /// Replace the compaction policy (takes effect from the next decision).
+    pub fn set_policy(&mut self, policy: Box<dyn CompactionPolicy>) {
+        *self.shared.policy.lock() = policy;
+    }
+
+    /// Bound read amplification: install a [`TieredPolicy`] that keeps at
+    /// most `max_runs` live runs.
     pub fn set_max_runs(&mut self, max_runs: usize) {
-        self.max_runs = max_runs.max(1);
+        self.set_policy(Box::new(TieredPolicy::with_max_runs(max_runs)));
+    }
+
+    /// Arm (or clear) a simulated crash for the next manifest commit.
+    pub fn set_kill_point(&self, kill: Option<KillPoint>) {
+        *self.shared.kill.lock() = kill;
+    }
+
+    /// Surface a sticky worker error, mirroring a crashed process.
+    fn check_poisoned(&self) -> Result<()> {
+        if let Some(msg) = self.shared.poisoned.lock().clone() {
+            return Err(Error::invalid(format!(
+                "LSM instance poisoned by a failed commit (reopen the index \
+                 from disk to recover): {msg}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn send(&self, job: Job) -> Result<()> {
+        self.jobs
+            .as_ref()
+            .expect("job channel lives as long as self")
+            .send(job)
+            .map_err(|_| Error::invalid("LSM compaction worker exited"))
     }
 
     /// Index every position of `dataset` not yet covered (the dataset must
-    /// only ever grow) as one new run, merging if the run count overflows.
+    /// only ever grow) as one new run; compaction follows on the worker
+    /// thread if the policy asks for it.
     pub fn ingest(&mut self, dataset: &Dataset) -> Result<()> {
         self.ingest_upto(dataset, dataset.len())
     }
 
     /// Index positions up to `upto` (exclusive) that are not yet covered —
-    /// used by workloads that reveal an on-disk dataset in batches.
+    /// used by workloads that reveal an on-disk dataset in batches. On
+    /// success the new run is committed to the manifest and durable.
     pub fn ingest_upto(&mut self, dataset: &Dataset, upto: u64) -> Result<()> {
+        self.check_poisoned()?;
         if upto > dataset.len() {
             return Err(Error::invalid("upto exceeds the dataset length"));
         }
-        if upto < self.covered_end {
-            return Err(Error::invalid("dataset shrank below the covered range"));
-        }
-        if upto == self.covered_end {
-            return Ok(());
-        }
-        let range = self.covered_end..upto;
-        let run = CoconutTree::build_range(
-            dataset,
-            range.clone(),
-            &self.config,
-            &self.dir,
-            self.opts.clone(),
-        )?;
-        self.covered_end = range.end;
-        self.runs.push(run);
-        self.maybe_merge(dataset)?;
-        Ok(())
-    }
-
-    fn maybe_merge(&mut self, dataset: &Dataset) -> Result<()> {
-        while self.runs.len() > self.max_runs {
-            // Merge the adjacent pair with the smallest combined size
-            // (runs cover contiguous, increasing ranges).
-            let mut best = 0usize;
-            let mut best_size = u64::MAX;
-            for i in 0..self.runs.len() - 1 {
-                let size = self.runs[i].len() + self.runs[i + 1].len();
-                if size < best_size {
-                    best_size = size;
-                    best = i;
-                }
+        let (start, run_id) = {
+            let mut st = self.shared.state.lock();
+            if upto < st.covered_end {
+                return Err(Error::invalid("dataset shrank below the covered range"));
             }
-            let lo = self.runs[best].covered_range().start;
-            let hi = self.runs[best + 1].covered_range().end;
-            let merged = CoconutTree::build_range(
-                dataset,
-                lo..hi,
-                &self.config,
-                &self.dir,
-                self.opts.clone(),
-            )?;
-            // Drop the two old runs (their files are removed).
-            let old_b = self.runs.remove(best + 1);
-            let old_a = self.runs.remove(best);
-            let _ = std::fs::remove_file(old_a.index_path());
-            let _ = std::fs::remove_file(old_b.index_path());
-            self.runs.insert(best, merged);
+            st.dataset = Some(dataset.clone());
+            if upto == st.covered_end {
+                return Ok(());
+            }
+            let id = st.next_run_id;
+            st.next_run_id += 1;
+            (st.covered_end, id)
+        };
+
+        // Build the run outside the lock: queries and compactions proceed.
+        let run_dir = self.shared.dir.join(run_dir_name(run_id));
+        std::fs::create_dir_all(&run_dir)?;
+        let tree = CoconutTree::build_range(
+            dataset,
+            start..upto,
+            &self.shared.config,
+            &run_dir,
+            self.shared.opts.clone(),
+        )?;
+        // The index file is fsynced by the build; fsync the run directory
+        // too, or a power loss after the manifest commit could lose the
+        // file's directory entry and leave the manifest pointing nowhere.
+        coconut_storage::atomic::sync_dir(&run_dir)?;
+        let file = relative_index_path(&self.shared.dir, tree.index_path())?;
+
+        let commit = {
+            let _order = self.shared.commit_order.lock();
+            let bytes = {
+                let mut st = self.shared.state.lock();
+                debug_assert_eq!(
+                    st.covered_end, start,
+                    "only ingest advances covered_end, and ingest takes &mut self"
+                );
+                st.runs.push(Run {
+                    meta: RunMeta {
+                        id: run_id,
+                        start,
+                        end: upto,
+                        file,
+                    },
+                    tree: Arc::new(tree),
+                });
+                st.covered_end = upto;
+                st.seq += 1;
+                encode_manifest(&self.shared, &st)
+            };
+            write_manifest(&self.shared, &bytes, &[])
+        };
+        if let Err(e) = commit {
+            // In-memory state is now ahead of the durable manifest — the
+            // situation a crash leaves behind. Poison the instance so every
+            // subsequent call fails until the index is reopened from disk.
+            *self.shared.poisoned.lock() = Some(e.to_string());
+            return Err(e);
         }
-        Ok(())
+        self.send(Job::Maintain)
     }
 
-    /// Number of live runs.
+    /// Merge every live run into one and wait for it to finish — the
+    /// "defragment everything" operation (CLI `compact`). The resulting
+    /// single run is bit-identical to a from-scratch bulk load over the
+    /// covered range.
+    pub fn compact(&self) -> Result<()> {
+        self.check_poisoned()?;
+        self.send(Job::CompactAll)?;
+        self.wait_for_compactions()
+    }
+
+    /// Block until every queued compaction has completed, then surface any
+    /// worker error. Queries never need this — they see consistent
+    /// snapshots throughout — but tests and benchmarks use it to observe a
+    /// settled run count.
+    pub fn wait_for_compactions(&self) -> Result<()> {
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        self.send(Job::Sync(ack_tx))?;
+        ack_rx
+            .recv()
+            .map_err(|_| Error::invalid("LSM compaction worker exited"))?;
+        self.check_poisoned()
+    }
+
+    /// Number of live runs (the read amplification of the next query).
     pub fn run_count(&self) -> usize {
-        self.runs.len()
+        self.shared.state.lock().runs.len()
+    }
+
+    /// End (exclusive) of the covered raw-file position range.
+    pub fn covered_end(&self) -> u64 {
+        self.shared.state.lock().covered_end
     }
 
     /// Total entries across runs.
     pub fn len(&self) -> u64 {
-        self.runs.iter().map(|r| r.len()).sum()
+        self.shared
+            .state
+            .lock()
+            .runs
+            .iter()
+            .map(|r| r.tree.len())
+            .sum()
     }
 
     /// True when no run holds any entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The directory this index lives in.
+    pub fn dir(&self) -> PathBuf {
+        self.shared.dir.clone()
+    }
+
+    /// The index configuration every run is (and will be) built with —
+    /// fixed at [`LsmCoconut::new`] time and recovered from the manifest by
+    /// [`LsmCoconut::open`].
+    pub fn config(&self) -> IndexConfig {
+        self.shared.config
+    }
+
+    /// Whether runs embed raw series (the `-Full` layout; recorded in the
+    /// manifest, so it survives reopening).
+    pub fn is_materialized(&self) -> bool {
+        self.shared.opts.materialized
+    }
+
+    /// A consistent snapshot of the live runs' trees.
+    fn snapshot(&self) -> Vec<Arc<CoconutTree>> {
+        self.shared
+            .state
+            .lock()
+            .runs
+            .iter()
+            .map(|r| Arc::clone(&r.tree))
+            .collect()
+    }
+
+    /// Exact k-nearest-neighbors merged across runs (per-run answer lists
+    /// are merged by distance; per-run stats are aggregated).
+    pub fn exact_knn(&self, query: &[Value], k: usize) -> Result<(Vec<Answer>, QueryStats)> {
+        let mut all = Vec::new();
+        let mut stats = QueryStats::default();
+        for run in self.snapshot() {
+            let (answers, s) = run.exact_knn(query, k)?;
+            all.extend(answers);
+            stats.add(&s);
+        }
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
+        all.truncate(k);
+        Ok((all, stats))
+    }
+
+    /// Exact range query merged across runs: every series within Euclidean
+    /// distance `epsilon`, sorted by distance.
+    pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
+        let mut all = Vec::new();
+        let mut stats = QueryStats::default();
+        for run in self.snapshot() {
+            let (answers, s) = run.exact_range(query, epsilon)?;
+            all.extend(answers);
+            stats.add(&s);
+        }
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
+        Ok((all, stats))
+    }
+}
+
+impl Drop for LsmCoconut {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loop; join so no compaction
+        // outlives the index (its builds write into our directory).
+        drop(self.jobs.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Compute the manifest-relative path of a run's index file.
+fn relative_index_path(dir: &Path, index_path: &Path) -> Result<String> {
+    let rel = index_path
+        .strip_prefix(dir)
+        .map_err(|_| Error::invalid("run index file escaped the LSM directory"))?;
+    rel.to_str()
+        .map(String::from)
+        .ok_or_else(|| Error::invalid("run index path is not UTF-8"))
+}
+
+fn simulated_crash(what: &str) -> Error {
+    Error::invalid(format!("simulated crash: killed {what}"))
+}
+
+/// Serialize the state to manifest bytes. The caller must have bumped
+/// `st.seq` already, under the state lock and while holding `commit_order`.
+fn encode_manifest(shared: &Shared, st: &State) -> Vec<u8> {
+    Manifest {
+        seq: st.seq,
+        config: shared.config,
+        materialized: shared.opts.materialized,
+        covered_end: st.covered_end,
+        next_run_id: st.next_run_id,
+        runs: st.runs.iter().map(|r| r.meta.clone()).collect(),
+    }
+    .encode()
+}
+
+/// The disk half of a commit: write the manifest atomically (honoring an
+/// armed kill point), then delete `obsolete` run directories. Called while
+/// holding `commit_order` but **not** the state lock, so queries never wait
+/// on the fsyncs.
+fn write_manifest(shared: &Shared, bytes: &[u8], obsolete: &[PathBuf]) -> Result<()> {
+    let path = Manifest::path_in(&shared.dir);
+    match shared.kill.lock().take() {
+        Some(KillPoint::BeforeManifestWrite) => {
+            return Err(simulated_crash("before the manifest write"))
+        }
+        Some(KillPoint::MidManifestWrite) => {
+            atomic_write_torn(&path, bytes, bytes.len() / 2)?;
+            return Err(simulated_crash("mid manifest write"));
+        }
+        Some(KillPoint::AfterManifestCommit) => {
+            atomic_write(&path, bytes)?;
+            return Err(simulated_crash("after the manifest commit"));
+        }
+        None => atomic_write(&path, bytes)?,
+    }
+    for dir in obsolete {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Ok(())
+}
+
+/// The compaction worker: drains jobs in order; the first error is sticky.
+fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        if shared.poisoned.lock().is_some() {
+            // Poisoned: only acknowledge syncs so waiters can observe it.
+            if let Job::Sync(ack) = job {
+                let _ = ack.send(());
+            }
+            continue;
+        }
+        let result = match job {
+            Job::Maintain => maintain(&shared),
+            Job::CompactAll => {
+                let ids: Vec<u64> = shared.state.lock().runs.iter().map(|r| r.meta.id).collect();
+                compact_ids(&shared, &ids)
+            }
+            Job::Sync(ack) => {
+                let _ = ack.send(());
+                Ok(())
+            }
+        };
+        if let Err(e) = result {
+            *shared.poisoned.lock() = Some(e.to_string());
+        }
+    }
+}
+
+/// Apply the policy until it proposes nothing (merges cascade).
+fn maintain(shared: &Arc<Shared>) -> Result<()> {
+    loop {
+        let ids: Vec<u64> = {
+            let st = shared.state.lock();
+            let entries: Vec<u64> = st.runs.iter().map(|r| r.meta.entries()).collect();
+            match shared.policy.lock().plan(&entries) {
+                Some(window) if window.len() >= 2 && window.end <= st.runs.len() => {
+                    st.runs[window].iter().map(|r| r.meta.id).collect()
+                }
+                _ => return Ok(()),
+            }
+        };
+        compact_ids(shared, &ids)?;
+    }
+}
+
+/// Merge the adjacent runs with the given ids into one new run: K-way merge
+/// of their sorted leaf streams, bulk-loaded into a fresh `run-<id>/`,
+/// swapped into the run set under the lock, committed to the manifest, and
+/// only then are the old run directories deleted.
+fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
+    if ids.len() < 2 {
+        return Ok(());
+    }
+    let (trees, start, end, new_id, dataset) = {
+        let mut st = shared.state.lock();
+        // The window may have been invalidated by the time the job runs
+        // (only ever by our own earlier merges — the worker is the sole
+        // remover of runs); skip silently if so.
+        let Some(first) = st.runs.iter().position(|r| r.meta.id == ids[0]) else {
+            return Ok(());
+        };
+        if first + ids.len() > st.runs.len()
+            || !ids
+                .iter()
+                .enumerate()
+                .all(|(i, id)| st.runs[first + i].meta.id == *id)
+        {
+            return Ok(());
+        }
+        let window = &st.runs[first..first + ids.len()];
+        let start = window[0].meta.start;
+        let end = window[ids.len() - 1].meta.end;
+        let trees: Vec<Arc<CoconutTree>> = window.iter().map(|r| Arc::clone(&r.tree)).collect();
+        let dataset = st
+            .dataset
+            .clone()
+            .ok_or_else(|| Error::invalid("no dataset attached to the LSM index"))?;
+        let id = st.next_run_id;
+        st.next_run_id += 1;
+        (trees, start, end, id, dataset)
+    };
+
+    // The expensive part runs without the lock: ingest and queries proceed.
+    let run_dir = shared.dir.join(run_dir_name(new_id));
+    std::fs::create_dir_all(&run_dir)?;
+    let merged_tree = if shared.opts.materialized {
+        merge_runs::<KeySeries>(shared, &trees, start..end, &dataset, &run_dir)?
+    } else {
+        merge_runs::<KeyPos>(shared, &trees, start..end, &dataset, &run_dir)?
+    };
+    // As in ingest: make the new run's directory entry durable before the
+    // manifest can reference it.
+    coconut_storage::atomic::sync_dir(&run_dir)?;
+    let file = relative_index_path(&shared.dir, merged_tree.index_path())?;
+
+    let _order = shared.commit_order.lock();
+    let mut st = shared.state.lock();
+    let first = st
+        .runs
+        .iter()
+        .position(|r| r.meta.id == ids[0])
+        .expect("the worker is the only remover of runs");
+    let obsolete: Vec<PathBuf> = ids
+        .iter()
+        .map(|id| shared.dir.join(run_dir_name(*id)))
+        .collect();
+    let replacement = Run {
+        meta: RunMeta {
+            id: new_id,
+            start,
+            end,
+            file,
+        },
+        tree: Arc::new(merged_tree),
+    };
+    // `splice` drops the old runs' trees (closing their files); the
+    // directories are removed after the manifest commit.
+    drop(
+        st.runs
+            .splice(first..first + ids.len(), std::iter::once(replacement)),
+    );
+    st.seq += 1;
+    let bytes = encode_manifest(shared, &st);
+    drop(st); // queries proceed while the commit hits disk
+    write_manifest(shared, &bytes, &obsolete)
+}
+
+/// K-way merge `trees`' sorted leaf streams and bulk-load the result as one
+/// new run in `run_dir`. `R` selects the record flavor and must match
+/// `shared.opts.materialized`.
+fn merge_runs<R: crate::records::SortedRecord>(
+    shared: &Shared,
+    trees: &[Arc<CoconutTree>],
+    range: std::ops::Range<u64>,
+    dataset: &Dataset,
+    run_dir: &Path,
+) -> Result<CoconutTree> {
+    let streams: Vec<LeafEntryStream<'_, R>> = trees.iter().map(|t| t.leaf_entries()).collect();
+    let mut merged = MergedStream::new(streams)?;
+    CoconutTree::build_range_from_stream(
+        dataset,
+        range,
+        &shared.config,
+        run_dir,
+        shared.opts.clone(),
+        &mut merged,
+    )
 }
 
 impl SeriesIndex for LsmCoconut {
@@ -137,7 +706,7 @@ impl SeriesIndex for LsmCoconut {
 
     fn approximate(&self, query: &[Value]) -> Result<Answer> {
         let mut best = Answer::none();
-        for run in &self.runs {
+        for run in self.snapshot() {
             best.merge(run.approximate(query)?);
         }
         Ok(best)
@@ -146,7 +715,7 @@ impl SeriesIndex for LsmCoconut {
     fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
         let mut best = Answer::none();
         let mut stats = QueryStats::default();
-        for run in &self.runs {
+        for run in self.snapshot() {
             let (a, s) = run.exact(query)?;
             best.merge(a);
             stats.add(&s);
@@ -155,23 +724,20 @@ impl SeriesIndex for LsmCoconut {
     }
 
     fn disk_bytes(&self) -> u64 {
-        self.runs.iter().map(|r| r.disk_bytes()).sum()
+        self.snapshot().iter().map(|r| r.disk_bytes()).sum()
     }
 
     fn leaf_count(&self) -> u64 {
-        self.runs.iter().map(|r| r.leaf_count()).sum()
+        self.snapshot().iter().map(|r| r.leaf_count()).sum()
     }
 
     fn avg_leaf_fill(&self) -> f64 {
-        if self.runs.is_empty() {
-            return 0.0;
-        }
-        let leaves: u64 = self.runs.iter().map(|r| r.leaf_count()).sum();
+        let runs = self.snapshot();
+        let leaves: u64 = runs.iter().map(|r| r.leaf_count()).sum();
         if leaves == 0 {
             return 0.0;
         }
-        self.runs
-            .iter()
+        runs.iter()
             .map(|r| r.avg_leaf_fill() * r.leaf_count() as f64)
             .sum::<f64>()
             / leaves as f64
@@ -185,7 +751,6 @@ mod tests {
     use coconut_series::distance::{euclidean, znormalize};
     use coconut_series::gen::{Generator, RandomWalkGen};
     use coconut_storage::{IoStats, TempDir};
-    use std::sync::Arc;
 
     const LEN: usize = 64;
 
@@ -229,13 +794,20 @@ mod tests {
         best
     }
 
+    fn query(seed: u64) -> Vec<Value> {
+        let mut q = RandomWalkGen::new(seed).generate(LEN);
+        znormalize(&mut q);
+        q
+    }
+
     #[test]
     fn ingest_batches_and_query_exactly() {
         let dir = TempDir::new("lsm").unwrap();
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
+        let idx_dir = dir.path().join("idx");
         let mut gen = RandomWalkGen::new(31);
-        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
         lsm.set_max_runs(3);
 
         let mut all = Vec::new();
@@ -244,18 +816,21 @@ mod tests {
             all = new_all;
             lsm.ingest(&ds).unwrap();
             assert_eq!(lsm.len(), all.len() as u64, "round {round}");
-            assert!(
-                lsm.run_count() <= 3,
-                "round {round}: {} runs",
-                lsm.run_count()
-            );
-
-            let mut q = RandomWalkGen::new(100 + round).generate(LEN);
-            znormalize(&mut q);
-            let (ans, _) = lsm.exact(&q).unwrap();
-            let expect = brute_force(&all, &q);
+            let (ans, stats_q) = lsm.exact(&query(100 + round)).unwrap();
+            let expect = brute_force(&all, &query(100 + round));
             assert_eq!(ans.pos, expect.pos, "round {round}");
+            assert!(stats_q.lower_bounds >= all.len() as u64, "round {round}");
         }
+        lsm.wait_for_compactions().unwrap();
+        assert!(
+            lsm.run_count() <= 3,
+            "{} runs after settling",
+            lsm.run_count()
+        );
+        // Queries stay exact after compaction settles too.
+        let q = query(999);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
     }
 
     #[test]
@@ -264,14 +839,18 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
         let mut gen = RandomWalkGen::new(77);
-        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        let mut lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
         let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 300);
         lsm.ingest(&ds).unwrap();
         let (ds, all) = grow_dataset(&path, &stats, &mut gen, &all, 100);
         lsm.ingest(&ds).unwrap();
         assert_eq!(all.len(), 400);
-        let mut q = RandomWalkGen::new(5).generate(LEN);
-        znormalize(&mut q);
+        let q = query(5);
         let approx = lsm.approximate(&q).unwrap();
         let (exact, _) = lsm.exact(&q).unwrap();
         assert!(exact.dist <= approx.dist + 1e-9);
@@ -283,7 +862,12 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
         let mut gen = RandomWalkGen::new(1);
-        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        let mut lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
         assert!(lsm.is_empty());
         let (ds, _) = grow_dataset(&path, &stats, &mut gen, &[], 50);
         lsm.ingest(&ds).unwrap();
@@ -291,15 +875,17 @@ mod tests {
         lsm.ingest(&ds).unwrap(); // nothing new
         assert_eq!(lsm.run_count(), runs);
         assert_eq!(lsm.len(), 50);
+        assert_eq!(lsm.covered_end(), 50);
     }
 
     #[test]
-    fn merging_reduces_runs_and_removes_files() {
+    fn compaction_reduces_runs_and_removes_directories() {
         let dir = TempDir::new("lsm").unwrap();
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
+        let idx_dir = dir.path().join("idx");
         let mut gen = RandomWalkGen::new(13);
-        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), dir.path()).unwrap();
+        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
         lsm.set_max_runs(2);
         let mut all = Vec::new();
         for _ in 0..5 {
@@ -307,18 +893,241 @@ mod tests {
             all = new_all;
             lsm.ingest(&ds).unwrap();
         }
-        assert!(lsm.run_count() <= 2);
-        // Only the live runs' index files remain.
-        let idx_files = std::fs::read_dir(dir.path())
+        lsm.wait_for_compactions().unwrap();
+        assert!(lsm.run_count() <= 2, "{} runs", lsm.run_count());
+        // Only the live runs' directories remain on disk.
+        let run_dirs = std::fs::read_dir(&idx_dir)
             .unwrap()
             .filter(|e| {
                 e.as_ref()
                     .unwrap()
                     .file_name()
                     .to_string_lossy()
-                    .starts_with("ctree-")
+                    .starts_with("run-")
             })
             .count();
-        assert_eq!(idx_files, lsm.run_count());
+        assert_eq!(run_dirs, lsm.run_count());
+        // Answers survive the merges.
+        let q = query(44);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    #[test]
+    fn full_compaction_is_bit_identical_to_direct_bulk_load() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(5);
+        for materialized in [false, true] {
+            let opts = BuildOptions {
+                materialized,
+                ..BuildOptions::default()
+            };
+            let idx_dir = dir.path().join(format!("idx-{materialized}"));
+            let mut lsm = LsmCoconut::new(small_config(), opts.clone(), &idx_dir).unwrap();
+            let mut all = Vec::new();
+            let mut ds = None;
+            for _ in 0..4 {
+                let (d, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 110);
+                all = new_all;
+                lsm.ingest(&d).unwrap();
+                ds = Some(d);
+            }
+            lsm.compact().unwrap();
+            assert_eq!(lsm.run_count(), 1);
+            // The single surviving run's file equals a from-scratch build.
+            let run_file = {
+                let st = lsm.shared.state.lock();
+                lsm.shared.dir.join(&st.runs[0].meta.file)
+            };
+            let lsm_bytes = std::fs::read(run_file).unwrap();
+            let ref_dir = dir.path().join(format!("ref-{materialized}"));
+            std::fs::create_dir_all(&ref_dir).unwrap();
+            let reference =
+                CoconutTree::build(ds.as_ref().unwrap(), &small_config(), &ref_dir, opts).unwrap();
+            let ref_bytes = std::fs::read(reference.index_path()).unwrap();
+            assert_eq!(lsm_bytes, ref_bytes, "materialized={materialized}");
+        }
+    }
+
+    #[test]
+    fn knn_and_range_merge_across_runs() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(21);
+        let mut lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            let (ds, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 120);
+            all = new_all;
+            lsm.ingest(&ds).unwrap();
+        }
+        let q = query(7);
+        // kNN: matches the brute-force top-k.
+        let mut dists: Vec<(u64, f64)> = all
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, euclidean(&q, s)))
+            .collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let (top, stats_q) = lsm.exact_knn(&q, 5).unwrap();
+        assert_eq!(top.len(), 5);
+        for (got, want) in top.iter().zip(dists.iter()) {
+            assert_eq!(got.pos, want.0);
+        }
+        assert!(stats_q.lower_bounds >= all.len() as u64);
+        // Range: every series within the 8th-nearest distance.
+        let eps = dists[7].1;
+        let (hits, _) = lsm.exact_range(&q, eps).unwrap();
+        let expected: Vec<u64> = dists
+            .iter()
+            .take_while(|&&(_, d)| d <= eps)
+            .map(|&(p, _)| p)
+            .collect();
+        let mut got: Vec<u64> = hits.iter().map(|a| a.pos).collect();
+        got.sort_unstable();
+        let mut want = expected;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn new_refuses_stale_directories_and_open_recovers() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let idx_dir = dir.path().join("idx");
+        let mut gen = RandomWalkGen::new(3);
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 200);
+        {
+            let mut lsm =
+                LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+            lsm.ingest(&ds).unwrap();
+            lsm.wait_for_compactions().unwrap();
+        }
+        // The satellite fix: a fresh `new` over a stale index errors...
+        let err = match LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir) {
+            Ok(_) => panic!("new over a stale index must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("LsmCoconut::open"), "{err}");
+        // ...while `open` recovers it with answers intact.
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.len(), 200);
+        let q = query(17);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    #[test]
+    fn kill_points_crash_then_open_recovers_consistently() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(9);
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 240);
+
+        for (i, kill) in [
+            KillPoint::BeforeManifestWrite,
+            KillPoint::MidManifestWrite,
+            KillPoint::AfterManifestCommit,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let idx_dir = dir.path().join(format!("idx-{i}"));
+            let committed_end;
+            {
+                let mut lsm =
+                    LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+                lsm.ingest_upto(&ds, 120).unwrap();
+                lsm.wait_for_compactions().unwrap();
+                committed_end = lsm.covered_end();
+                // Crash while committing the second run.
+                lsm.set_kill_point(Some(kill));
+                let err = lsm.ingest_upto(&ds, 240).unwrap_err();
+                assert!(err.to_string().contains("simulated crash"), "{err}");
+                // The instance is poisoned from here on — like a dead
+                // process, everything else must go through recovery. In
+                // particular the "failed" batch can never be silently
+                // committed by a later call.
+                let err = lsm.ingest_upto(&ds, 240).unwrap_err();
+                assert!(err.to_string().contains("poisoned"), "{err}");
+                assert!(lsm.compact().unwrap_err().to_string().contains("poisoned"));
+            }
+            let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+            match kill {
+                // The commit never (or only torn) reached disk: the second
+                // run is lost, recovery restores the first commit exactly.
+                KillPoint::BeforeManifestWrite | KillPoint::MidManifestWrite => {
+                    assert_eq!(lsm.covered_end(), committed_end, "{kill:?}");
+                }
+                // The commit is durable; only cleanup was skipped.
+                KillPoint::AfterManifestCommit => {
+                    assert_eq!(lsm.covered_end(), 240, "{kill:?}");
+                }
+            }
+            // No orphan run directories survive recovery, and no manifest
+            // temp file either.
+            let on_disk: Vec<String> = std::fs::read_dir(&idx_dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with("run-"))
+                .collect();
+            assert_eq!(on_disk.len(), lsm.run_count(), "{kill:?}: {on_disk:?}");
+            assert!(!temp_path(&Manifest::path_in(&idx_dir)).exists());
+            // Queries over the recovered prefix match the oracle.
+            let covered = lsm.covered_end() as usize;
+            let q = query(60 + i as u64);
+            let (ans, _) = lsm.exact(&q).unwrap();
+            assert_eq!(ans.pos, brute_force(&all[..covered], &q).pos, "{kill:?}");
+        }
+    }
+
+    #[test]
+    fn mid_compaction_crash_recovers_and_reingests() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let idx_dir = dir.path().join("idx");
+        let mut gen = RandomWalkGen::new(29);
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 300);
+        {
+            let mut lsm =
+                LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+            for upto in [100, 200, 300] {
+                lsm.ingest_upto(&ds, upto).unwrap();
+            }
+            lsm.wait_for_compactions().unwrap();
+            // Crash inside the compaction's manifest commit.
+            lsm.set_kill_point(Some(KillPoint::MidManifestWrite));
+            let err = lsm.compact().unwrap_err();
+            assert!(err.to_string().contains("simulated crash"), "{err}");
+        }
+        // Recovery: the pre-compaction run set answers exactly; the torn
+        // temp and the half-built merged run are gone.
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.covered_end(), 300);
+        let q = query(88);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+        let run_dirs = std::fs::read_dir(&idx_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("run-"))
+            .count();
+        assert_eq!(run_dirs, lsm.run_count());
+        // And the recovered index keeps working: compact for real this time.
+        lsm.compact().unwrap();
+        assert_eq!(lsm.run_count(), 1);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
     }
 }

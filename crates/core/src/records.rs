@@ -12,6 +12,31 @@ use coconut_series::Value;
 use coconut_storage::Codec;
 use coconut_summary::ZKey;
 
+use crate::layout::EntryLayout;
+
+/// A record the bulk loader can consume from any sorted stream, and that a
+/// built index can stream back out of its leaves (the LSM compaction path).
+///
+/// Implemented by [`KeyPos`] (non-materialized builds) and [`KeySeries`]
+/// (materialized `-Full` builds). The `Ord` supertrait is the total
+/// `(key, pos)` order every sorted stream in the workspace shares.
+pub trait SortedRecord: Ord {
+    /// The sortable summarization key.
+    fn key(&self) -> ZKey;
+
+    /// Position of the record's series in the raw dataset file.
+    fn pos(&self) -> u64;
+
+    /// The raw series payload (`Some` for materialized records only).
+    fn series(&self) -> Option<&[Value]>;
+
+    /// Decode one on-disk leaf entry back into a record — the inverse of
+    /// the bulk loader's [`EntryLayout::encode`]. [`KeySeries`] requires a
+    /// materialized layout; [`KeyPos`] accepts either (it reads only the
+    /// 24-byte header).
+    fn from_entry(layout: &EntryLayout, entry: &[u8]) -> Self;
+}
+
 /// A `(key, position)` pair — the record of non-materialized builds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct KeyPos {
@@ -47,6 +72,27 @@ impl Codec for KeyPosCodec {
     }
 }
 
+impl SortedRecord for KeyPos {
+    fn key(&self) -> ZKey {
+        self.key
+    }
+
+    fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    fn series(&self) -> Option<&[Value]> {
+        None
+    }
+
+    fn from_entry(layout: &EntryLayout, entry: &[u8]) -> Self {
+        KeyPos {
+            key: layout.key(entry),
+            pos: layout.pos(entry),
+        }
+    }
+}
+
 /// A `(key, position, raw series)` record — the record of materialized
 /// (`-Full`) builds.
 #[derive(Debug, Clone)]
@@ -75,6 +121,31 @@ impl Ord for KeySeries {
         // Order by key, then position; payloads ride along. (key, pos) is
         // unique per dataset so this is consistent with Eq.
         (self.key, self.pos).cmp(&(other.key, other.pos))
+    }
+}
+
+impl SortedRecord for KeySeries {
+    fn key(&self) -> ZKey {
+        self.key
+    }
+
+    fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    fn series(&self) -> Option<&[Value]> {
+        Some(&self.series)
+    }
+
+    fn from_entry(layout: &EntryLayout, entry: &[u8]) -> Self {
+        debug_assert!(layout.materialized, "KeySeries needs an embedded payload");
+        let mut series = vec![0.0 as Value; layout.series_len];
+        layout.series_into(entry, &mut series);
+        KeySeries {
+            key: layout.key(entry),
+            pos: layout.pos(entry),
+            series,
+        }
     }
 }
 

@@ -79,8 +79,11 @@ pub fn shard_ranges(range: Range<u64>, shards: usize) -> Vec<Range<u64>> {
 /// the worker's private sink. Dropping this stream absorbs that residual
 /// into the shared sink and removes the build's scratch directory, so
 /// nothing is lost and nothing is left behind.
-pub struct ShardedStream<C: Codec> {
-    inner: MergedStream<C>,
+pub struct ShardedStream<C: Codec>
+where
+    C::Item: Ord,
+{
+    inner: MergedStream<SortedStream<C>>,
     shared: Arc<IoStats>,
     /// Per-worker private sinks with the snapshot already absorbed at join.
     workers: Vec<(Arc<IoStats>, IoSnapshot)>,
@@ -128,7 +131,10 @@ where
     }
 }
 
-impl<C: Codec> Drop for ShardedStream<C> {
+impl<C: Codec> Drop for ShardedStream<C>
+where
+    C::Item: Ord,
+{
     fn drop(&mut self) {
         // Fold the merge-phase run reads (accounted privately after the
         // join snapshot) into the shared sink.

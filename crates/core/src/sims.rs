@@ -14,6 +14,26 @@
 //! The scan order differs per index flavor (raw-file order for
 //! non-materialized indexes, leaf order for materialized ones); the fetch
 //! is abstracted behind [`SeriesFetcher`].
+//!
+//! # Invariants
+//!
+//! * **Monotone fetches.** The scan visits indexes in strictly increasing
+//!   order, and [`SeriesFetcher`] implementations rely on it: they are
+//!   forward-only cursors, which is what makes the scan *skip-sequential*
+//!   (every raw-file/leaf read moves forward, never seeks back).
+//! * **Kernel dispatch is process-wide and answer-invariant.** The MINDIST
+//!   batch kernel and the early-abandoning Euclidean distance go through
+//!   `coconut_series::simd`'s runtime dispatch (AVX2 where available, a
+//!   bit-identical scalar mirror otherwise). Setting the environment
+//!   variable `COCONUT_FORCE_SCALAR=1` before the first query pins the
+//!   scalar mirror; answers are bit-identical either way (enforced by
+//!   `tests/simd_parity.rs` and the per-kernel property suites).
+//! * **Threads share nothing but the bound array.** The parallel MINDIST
+//!   pass splits the key array into disjoint chunks, one per worker, each
+//!   with its own [`QueryDistTable`]-driven scratch. Note this is *query*
+//!   parallelism; the *build*-side rule that concurrent workers divide the
+//!   memory budget (K sorters get `budget / K` each) is documented on
+//!   [`coconut_storage::ExternalSorter::new`] and `crate::shard`.
 
 use coconut_series::distance::euclidean_sq_early_abandon;
 use coconut_series::dtw::{dtw_sq_early_abandon, lb_keogh_sq, Envelope};

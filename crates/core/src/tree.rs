@@ -34,7 +34,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::distance::euclidean_sq;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
-use coconut_storage::{CountedFile, Error, IoStats, RecordStream, Result};
+use coconut_storage::{CountedFile, Error, IoStats, RecordStream, Result, SortReport};
 use coconut_summary::paa::paa;
 use coconut_summary::sax::Summarizer;
 use coconut_summary::ZKey;
@@ -44,6 +44,7 @@ use crate::config::{BuildOptions, IndexConfig};
 use crate::layout::{
     read_directory, write_directory, EntryLayout, IndexHeader, LeafMeta, LeafStore,
 };
+use crate::records::SortedRecord;
 use crate::shard::{sorted_key_pos_sharded, sorted_key_series_sharded};
 use crate::sims::{sims_exact, sims_exact_knn, SeriesFetcher};
 
@@ -103,6 +104,42 @@ impl CoconutTree {
         dir: &Path,
         opts: BuildOptions,
     ) -> Result<Self> {
+        let mut tree = Self::new_empty(dataset, range, config, dir, &opts)?;
+        tree.bulk_load(dir, &opts)?;
+        Ok(tree)
+    }
+
+    /// Bulk-load a tree from an already-sorted record stream covering
+    /// exactly the positions of `range` — the LSM compaction path, where
+    /// `stream` is a K-way [`coconut_storage::MergedStream`] over the leaf
+    /// streams of existing runs. The record type must match
+    /// `opts.materialized` ([`crate::records::KeySeries`] when materialized,
+    /// [`crate::records::KeyPos`] otherwise).
+    ///
+    /// Because the loader consumes the same `(key, pos)`-ordered sequence a
+    /// from-scratch sort would produce, the resulting index file is
+    /// bit-identical to [`CoconutTree::build_range`] over the same range.
+    pub fn build_range_from_stream<R: SortedRecord>(
+        dataset: &Dataset,
+        range: std::ops::Range<u64>,
+        config: &IndexConfig,
+        dir: &Path,
+        opts: BuildOptions,
+        stream: &mut dyn RecordStream<Item = R>,
+    ) -> Result<Self> {
+        let mut tree = Self::new_empty(dataset, range, config, dir, &opts)?;
+        tree.load_stream(stream)?;
+        Ok(tree)
+    }
+
+    /// Validate inputs and create the (empty) index file in `dir`.
+    fn new_empty(
+        dataset: &Dataset,
+        range: std::ops::Range<u64>,
+        config: &IndexConfig,
+        dir: &Path,
+        opts: &BuildOptions,
+    ) -> Result<Self> {
         config.validate()?;
         if dataset.series_len() != config.sax.series_len {
             return Err(Error::invalid(format!(
@@ -125,7 +162,7 @@ impl CoconutTree {
         };
         let store = LeafStore::new(Arc::clone(&file), entry, config.leaf_capacity);
 
-        let mut tree = CoconutTree {
+        Ok(CoconutTree {
             config: *config,
             materialized: opts.materialized,
             threads: opts.threads.max(1),
@@ -137,15 +174,74 @@ impl CoconutTree {
             summaries: RwLock::new(None),
             entry_count: 0,
             next_block: 0,
-            range: range.clone(),
+            range,
             build_report: BuildReport::default(),
             default_radius: 1,
-        };
-        tree.bulk_load(dir, &opts)?;
-        Ok(tree)
+        })
     }
 
+    /// Sort the range's records and feed them to the loader. Sharded builds
+    /// sort K subranges in parallel and K-way merge; the merged stream is
+    /// record-for-record identical to one big sort, so either source feeds
+    /// the same loader loop.
     fn bulk_load(&mut self, tmp_dir: &Path, opts: &BuildOptions) -> Result<()> {
+        let stats = Arc::clone(self.dataset.file().stats());
+        if opts.materialized {
+            let mut stream: Box<dyn RecordStream<Item = crate::records::KeySeries>> =
+                if opts.shards > 1 {
+                    Box::new(sorted_key_series_sharded(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                        opts.shards,
+                    )?)
+                } else {
+                    Box::new(sorted_key_series(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                    )?)
+                };
+            self.load_stream(stream.as_mut())
+        } else {
+            let mut stream: Box<dyn RecordStream<Item = crate::records::KeyPos>> =
+                if opts.shards > 1 {
+                    Box::new(sorted_key_pos_sharded(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                        opts.shards,
+                    )?)
+                } else {
+                    Box::new(sorted_key_pos(
+                        &self.dataset,
+                        self.range.clone(),
+                        &self.config.sax,
+                        opts.memory_bytes,
+                        tmp_dir,
+                        &stats,
+                    )?)
+                };
+            self.load_stream(stream.as_mut())
+        }
+    }
+
+    /// The bottom-up loader loop (Algorithm 3, lines 13–20): pack sorted
+    /// records into left-to-right leaves, then build the in-memory levels,
+    /// persist the directory, and keep the summarization arrays.
+    fn load_stream<R: SortedRecord>(
+        &mut self,
+        stream: &mut dyn RecordStream<Item = R>,
+    ) -> Result<()> {
         let n = self.range.end - self.range.start;
         let entry = *self.store.entry();
         let eb = entry.entry_bytes();
@@ -178,88 +274,34 @@ impl CoconutTree {
             };
         }
 
-        let stats = Arc::clone(self.dataset.file().stats());
-        if opts.materialized {
-            // Sharded builds sort K ranges in parallel and K-way merge; the
-            // merged stream is record-for-record identical to one big sort,
-            // so either source feeds the same loader loop.
-            let mut stream: Box<dyn RecordStream<Item = crate::records::KeySeries>> =
-                if opts.shards > 1 {
-                    Box::new(sorted_key_series_sharded(
-                        &self.dataset,
-                        self.range.clone(),
-                        &self.config.sax,
-                        opts.memory_bytes,
-                        tmp_dir,
-                        &stats,
-                        opts.shards,
-                    )?)
-                } else {
-                    Box::new(sorted_key_series(
-                        &self.dataset,
-                        self.range.clone(),
-                        &self.config.sax,
-                        opts.memory_bytes,
-                        tmp_dir,
-                        &stats,
-                    )?)
-                };
-            self.build_report.sort = stream.report();
-            while let Some(rec) = stream.next_item()? {
-                entry.encode(rec.key, rec.pos, Some(&rec.series), &mut entry_buf);
-                if in_leaf == 0 {
-                    first_key = rec.key;
-                }
-                block_buf.extend_from_slice(&entry_buf);
-                keys_by_pos[(rec.pos - self.range.start) as usize] = rec.key;
-                keys_leaf_order.push(rec.key);
-                pos_leaf_order.push(rec.pos);
-                in_leaf += 1;
-                self.entry_count += 1;
-                if in_leaf == per_leaf {
-                    flush_leaf!();
-                }
+        while let Some(rec) = stream.next_item()? {
+            if self.materialized && rec.series().is_none() {
+                return Err(Error::invalid(
+                    "materialized build fed a stream without payloads",
+                ));
             }
-            self.build_report.sort = stream.report();
-        } else {
-            let mut stream: Box<dyn RecordStream<Item = crate::records::KeyPos>> =
-                if opts.shards > 1 {
-                    Box::new(sorted_key_pos_sharded(
-                        &self.dataset,
-                        self.range.clone(),
-                        &self.config.sax,
-                        opts.memory_bytes,
-                        tmp_dir,
-                        &stats,
-                        opts.shards,
-                    )?)
-                } else {
-                    Box::new(sorted_key_pos(
-                        &self.dataset,
-                        self.range.clone(),
-                        &self.config.sax,
-                        opts.memory_bytes,
-                        tmp_dir,
-                        &stats,
-                    )?)
-                };
-            while let Some(rec) = stream.next_item()? {
-                entry.encode(rec.key, rec.pos, None, &mut entry_buf);
-                if in_leaf == 0 {
-                    first_key = rec.key;
-                }
-                block_buf.extend_from_slice(&entry_buf);
-                keys_by_pos[(rec.pos - self.range.start) as usize] = rec.key;
-                keys_leaf_order.push(rec.key);
-                pos_leaf_order.push(rec.pos);
-                in_leaf += 1;
-                self.entry_count += 1;
-                if in_leaf == per_leaf {
-                    flush_leaf!();
-                }
+            let (key, pos) = (rec.key(), rec.pos());
+            if !self.range.contains(&pos) {
+                return Err(Error::invalid(format!(
+                    "record position {pos} outside build range {:?}",
+                    self.range
+                )));
             }
-            self.build_report.sort = stream.report();
+            entry.encode(key, pos, rec.series(), &mut entry_buf);
+            if in_leaf == 0 {
+                first_key = key;
+            }
+            block_buf.extend_from_slice(&entry_buf);
+            keys_by_pos[(pos - self.range.start) as usize] = key;
+            keys_leaf_order.push(key);
+            pos_leaf_order.push(pos);
+            in_leaf += 1;
+            self.entry_count += 1;
+            if in_leaf == per_leaf {
+                flush_leaf!();
+            }
         }
+        self.build_report.sort = stream.report();
         flush_leaf!();
         debug_assert_eq!(in_leaf, 0);
 
@@ -280,6 +322,36 @@ impl CoconutTree {
     /// Open a previously built index file. `dataset` must be the raw file it
     /// was built over.
     pub fn open(path: &Path, dataset: &Dataset, threads: usize) -> Result<Self> {
+        let range = 0..dataset.len();
+        Self::open_impl(path, dataset, threads, range, false)
+    }
+
+    /// Open a previously built index file as a run covering exactly the
+    /// positions `range` of `dataset` — the LSM recovery path, where the
+    /// manifest records each run's covered range. Unlike
+    /// [`CoconutTree::open`] (which assumes the whole dataset), this
+    /// validates that the file's entry count matches the range, so a
+    /// manifest/run mismatch is caught at open time rather than at query
+    /// time.
+    pub fn open_range(
+        path: &Path,
+        dataset: &Dataset,
+        threads: usize,
+        range: std::ops::Range<u64>,
+    ) -> Result<Self> {
+        Self::open_impl(path, dataset, threads, range, true)
+    }
+
+    fn open_impl(
+        path: &Path,
+        dataset: &Dataset,
+        threads: usize,
+        range: std::ops::Range<u64>,
+        check_count: bool,
+    ) -> Result<Self> {
+        if range.start > range.end || range.end > dataset.len() {
+            return Err(Error::invalid("open range out of dataset bounds"));
+        }
         let stats = Arc::clone(dataset.file().stats());
         let file = Arc::new(CountedFile::open_rw(path, stats)?);
         let header = IndexHeader::read_from(&file)?;
@@ -288,6 +360,13 @@ impl CoconutTree {
         }
         if header.series_len as usize != dataset.series_len() {
             return Err(Error::corrupt("index/dataset series length mismatch"));
+        }
+        if check_count && header.entry_count != range.end - range.start {
+            return Err(Error::corrupt(format!(
+                "index holds {} entries but its recorded range {range:?} spans {}",
+                header.entry_count,
+                range.end - range.start
+            )));
         }
         let config = IndexConfig {
             sax: coconut_summary::SaxConfig {
@@ -318,15 +397,37 @@ impl CoconutTree {
             summaries: RwLock::new(None),
             entry_count: header.entry_count,
             next_block: header.num_blocks as u32,
-            range: 0..dataset.len(),
+            range,
             build_report: BuildReport::default(),
             default_radius: 1,
         };
-        // The on-disk index does not record its range; recover it from the
-        // entries' positions lazily with the summaries. For now assume the
-        // common whole-dataset case, corrected in load_summaries().
+        // The on-disk index does not record its own range; `open` assumes
+        // the common whole-dataset case (`open_range` is told it by the LSM
+        // manifest), and `load_summaries` re-derives and cross-checks the
+        // contiguous position range from the entries themselves.
         tree.rebuild_levels();
         Ok(tree)
+    }
+
+    /// Stream this tree's entries in leaf order — which, for a bulk-loaded
+    /// run, is exactly `(key, pos)`-sorted order. LSM compaction feeds K of
+    /// these into a [`coconut_storage::MergedStream`] and bulk-loads the
+    /// merged run from the result, so a compaction is a K-way merge of
+    /// sorted runs, never a re-sort of the raw range.
+    ///
+    /// `R` must match the tree's layout: [`crate::records::KeySeries`] for
+    /// materialized trees, [`crate::records::KeyPos`] otherwise.
+    pub fn leaf_entries<R: SortedRecord>(&self) -> LeafEntryStream<'_, R> {
+        LeafEntryStream {
+            store: &self.store,
+            leaves: &self.leaves,
+            entry_count: self.entry_count,
+            leaf: 0,
+            slot: 0,
+            buf: Vec::new(),
+            loaded: false,
+            _record: std::marker::PhantomData,
+        }
     }
 
     fn persist_directory(&mut self) -> Result<()> {
@@ -1059,6 +1160,52 @@ impl CoconutTree {
     /// Path of the index file.
     pub fn index_path(&self) -> &Path {
         self.file.path()
+    }
+}
+
+/// A forward scan over a tree's leaf entries in leaf (= sorted) order,
+/// yielding decoded records; created by [`CoconutTree::leaf_entries`].
+/// Reads each leaf block once, sequentially.
+pub struct LeafEntryStream<'a, R> {
+    store: &'a LeafStore,
+    leaves: &'a [LeafMeta],
+    entry_count: u64,
+    leaf: usize,
+    slot: usize,
+    buf: Vec<u8>,
+    loaded: bool,
+    _record: std::marker::PhantomData<R>,
+}
+
+impl<R: SortedRecord> RecordStream for LeafEntryStream<'_, R> {
+    type Item = R;
+
+    fn next_item(&mut self) -> Result<Option<R>> {
+        loop {
+            let Some(meta) = self.leaves.get(self.leaf) else {
+                return Ok(None);
+            };
+            if self.slot < meta.count as usize {
+                if !self.loaded {
+                    self.store.read_leaf(meta, &mut self.buf)?;
+                    self.loaded = true;
+                }
+                let e = self.store.entry_slice(&self.buf, self.slot);
+                self.slot += 1;
+                return Ok(Some(R::from_entry(self.store.entry(), e)));
+            }
+            self.leaf += 1;
+            self.slot = 0;
+            self.loaded = false;
+        }
+    }
+
+    fn report(&self) -> SortReport {
+        SortReport {
+            items: self.entry_count,
+            runs: 0,
+            merge_passes: 0,
+        }
     }
 }
 

@@ -479,26 +479,30 @@ where
     }
 }
 
-/// A K-way merge over per-shard [`SortedStream`]s: each input is already
-/// sorted, so a small binary heap (one entry per stream, the same
-/// loser-selection the run merger uses) yields the globally sorted order.
-/// Because record ordering is total (`(key, pos)` is unique), the merged
-/// order is *identical* to what one big sort of all inputs would produce —
-/// the property that makes sharded builds bit-identical to single-sorter
-/// builds.
-pub struct MergedStream<C: Codec> {
-    streams: Vec<SortedStream<C>>,
-    heap: BinaryHeap<HeapEntry<C::Item>>,
+/// A K-way merge over already-sorted [`RecordStream`]s: a small binary heap
+/// (one entry per stream, the same loser-selection the run merger uses)
+/// yields the globally sorted order. Because record ordering is total
+/// (`(key, pos)` is unique), the merged order is *identical* to what one
+/// big sort of all inputs would produce — the property that makes sharded
+/// builds bit-identical to single-sorter builds, and LSM compactions
+/// bit-identical to a from-scratch bulk load.
+///
+/// The inputs are any [`RecordStream`]s with `Ord` items: per-shard
+/// [`SortedStream`]s during construction, or the leaf-order entry streams
+/// of existing index runs during an LSM compaction.
+pub struct MergedStream<S: RecordStream> {
+    streams: Vec<S>,
+    heap: BinaryHeap<HeapEntry<S::Item>>,
     report: SortReport,
 }
 
-impl<C: Codec> MergedStream<C>
+impl<S: RecordStream> MergedStream<S>
 where
-    C::Item: Ord,
+    S::Item: Ord,
 {
     /// Merge `streams`; the aggregate report sums items and spilled runs
     /// across shards and takes the worst shard's merge-pass count.
-    pub fn new(streams: Vec<SortedStream<C>>) -> Result<Self> {
+    pub fn new(streams: Vec<S>) -> Result<Self> {
         let mut report = SortReport::default();
         for s in &streams {
             let r = s.report();
@@ -523,7 +527,7 @@ where
     }
 
     /// The next record in global order, or `None` when all streams are dry.
-    pub fn next_item(&mut self) -> Result<Option<C::Item>> {
+    pub fn next_item(&mut self) -> Result<Option<S::Item>> {
         let Some(HeapEntry {
             item: Reverse(item),
             source,
@@ -546,7 +550,7 @@ where
     }
 
     /// Drain into a vector (tests and small merges).
-    pub fn collect_all(mut self) -> Result<Vec<C::Item>> {
+    pub fn collect_all(mut self) -> Result<Vec<S::Item>> {
         let mut out = Vec::new();
         while let Some(item) = self.next_item()? {
             out.push(item);
@@ -555,13 +559,13 @@ where
     }
 }
 
-impl<C: Codec> RecordStream for MergedStream<C>
+impl<S: RecordStream> RecordStream for MergedStream<S>
 where
-    C::Item: Ord,
+    S::Item: Ord,
 {
-    type Item = C::Item;
+    type Item = S::Item;
 
-    fn next_item(&mut self) -> Result<Option<C::Item>> {
+    fn next_item(&mut self) -> Result<Option<S::Item>> {
         MergedStream::next_item(self)
     }
 
@@ -759,7 +763,7 @@ mod tests {
 
     #[test]
     fn merged_stream_of_none_is_empty() {
-        let merged = MergedStream::<U64Codec>::new(Vec::new()).unwrap();
+        let merged = MergedStream::<SortedStream<U64Codec>>::new(Vec::new()).unwrap();
         assert_eq!(merged.report(), SortReport::default());
         assert!(merged.collect_all().unwrap().is_empty());
     }

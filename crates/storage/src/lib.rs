@@ -17,10 +17,16 @@
 //! * [`ExternalSorter`] — bottom-up bulk loading's workhorse: run
 //!   generation under a memory budget followed by k-way merge
 //!   (the "partitioning" and "merging" phases of Section 3.1).
+//! * [`atomic`] — crash-safe file replacement (write-temp + fsync + rename)
+//!   and CRC-64 payload checksumming, used by the LSM manifest in
+//!   `coconut-core`.
 //!
 //! Nothing in this crate knows about data series; it works on fixed-size
 //! binary records and raw pages.
 
+#![deny(missing_docs)]
+
+pub mod atomic;
 pub mod budget;
 pub mod cache;
 pub mod error;
@@ -30,6 +36,7 @@ pub mod iostats;
 pub mod pagefile;
 pub mod tempdir;
 
+pub use atomic::{atomic_write, crc64};
 pub use budget::MemoryBudget;
 pub use cache::PageCache;
 pub use error::{Error, Result};

@@ -69,7 +69,9 @@ fn main() -> coconut::storage::Result<()> {
         );
     }
 
-    // Sanity: the LSM answer matches a brute-force scan over everything.
+    // Let background compactions settle so the final run count is the
+    // policy's steady state, then sanity-check against brute force.
+    lsm.wait_for_compactions()?;
     let scan = SerialScan::new(&dataset);
     let (truth, _) = scan.exact(&target)?;
     let (lsm_best, _) = lsm.exact(&target)?;

@@ -42,6 +42,48 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Streaming ingest
+//!
+//! The same example as the README's "Streaming ingest" section: batches of
+//! a growing dataset bulk-load into LSM runs, a simulated crash loses only
+//! the un-acknowledged batch, and [`index::LsmCoconut::open`] recovers the
+//! committed state.
+//!
+//! ```
+//! use coconut::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> coconut::storage::Result<()> {
+//! let dir = TempDir::new("streaming")?;
+//! let stats = Arc::new(IoStats::new());
+//! let data_path = dir.path().join("data.bin");
+//! write_dataset(&data_path, &mut RandomWalkGen::new(1), 1_000, 64, &stats)?;
+//! let dataset = Dataset::open(&data_path, Arc::clone(&stats))?;
+//!
+//! // Ingest the "stream" in batches; each batch becomes a bulk-loaded run.
+//! let idx_dir = dir.path().join("lsm");
+//! let mut lsm = LsmCoconut::new(IndexConfig::default_for_len(64),
+//!                               BuildOptions::default(), &idx_dir)?;
+//! lsm.ingest_upto(&dataset, 400)?;          // committed & durable on return
+//! lsm.wait_for_compactions()?;
+//!
+//! // Simulate a crash halfway through the next commit's manifest write...
+//! lsm.set_kill_point(Some(KillPoint::MidManifestWrite));
+//! assert!(lsm.ingest_upto(&dataset, 1_000).is_err());
+//! drop(lsm);                                // the "dead process"
+//!
+//! // ...and recover: the committed prefix survives, the torn write does not.
+//! let mut lsm = LsmCoconut::open(&idx_dir, &dataset, BuildOptions::default())?;
+//! assert_eq!(lsm.covered_end(), 400);
+//! lsm.ingest(&dataset)?;                    // re-ingest the lost tail
+//! let (nearest, _stats) = lsm.exact(&RandomWalkGen::new(9).generate(64))?;
+//! assert!(nearest.is_some());
+//! lsm.compact()?;                           // optional: merge to a single run
+//! assert_eq!(lsm.run_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use coconut_baselines as baselines;
 pub use coconut_core as index;
@@ -54,7 +96,9 @@ pub mod prelude {
     pub use crate::baselines::{
         AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
     };
-    pub use crate::index::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig};
+    pub use crate::index::{
+        BuildOptions, CoconutTree, CoconutTrie, IndexConfig, KillPoint, LsmCoconut, TieredPolicy,
+    };
     pub use crate::series::dataset::{write_dataset, Dataset, DatasetWriter};
     pub use crate::series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
     pub use crate::series::index::{Answer, QueryStats, SeriesIndex};
