@@ -6,7 +6,7 @@
 //! experiments: fig7 fig8a fig8b fig8c fig8d fig8e fig8f
 //!              fig9a fig9b fig9c fig9d fig9e fig9f
 //!              fig10a fig10b fig10c ablation scaling bench_distance
-//!              streaming
+//!              streaming serve
 //!              fig8 fig9 fig10 all
 //! ```
 //!
@@ -40,6 +40,7 @@ const ALL: &[&str] = &[
     "scaling",
     "bench_distance",
     "streaming",
+    "serve",
 ];
 
 fn expand(arg: &str) -> Vec<&'static str> {
@@ -86,6 +87,7 @@ fn run_experiment(name: &str, env: &Env) -> coconut_storage::Result<()> {
         "scaling" => experiments::scaling::run(env),
         "bench_distance" => experiments::bench_distance::run(env),
         "streaming" => experiments::streaming::run(env),
+        "serve" => experiments::serve::run(env),
         _ => unreachable!("expand() only yields known names"),
     }
 }

@@ -103,7 +103,7 @@ pub fn run_10a(env: &Env) -> Result<()> {
             let dir = coconut_storage::TempDir::new("fig10a-lsm")?;
             let before = w.stats.snapshot();
             let t0 = Instant::now();
-            let mut lsm = LsmCoconut::new(config, opts.clone(), dir.path())?;
+            let lsm = LsmCoconut::new(config, opts.clone(), dir.path())?;
             lsm.ingest_upto(&w.dataset, initial)?;
             let mut update_s = 0.0;
             let mut covered = initial;

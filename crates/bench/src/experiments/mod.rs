@@ -22,6 +22,7 @@
 //! | scaling | sharded construction: build time vs shard count | [`scaling::run`] |
 //! | bench_distance | distance-kernel baseline: scalar vs SIMD | [`bench_distance::run`] |
 //! | streaming | LSM streaming ingest: throughput + latency vs run count | [`streaming::run`] |
+//! | serve | open-loop socket load on the query server under churn | [`serve::run`] |
 
 pub mod ablation;
 pub mod bench_distance;
@@ -30,6 +31,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scaling;
+pub mod serve;
 pub mod streaming;
 
 use std::path::PathBuf;

@@ -1,0 +1,423 @@
+//! End-to-end load test of the query server: an **open-loop** generator
+//! drives concurrent clients over real sockets against a server whose
+//! index is churning (ingest + compaction) underneath, recording latency
+//! percentiles and throughput to `results/BENCH_serve.json`.
+//!
+//! Open-loop means each client sends on a fixed arrival schedule and
+//! measures latency **from the scheduled arrival**, not from the moment
+//! the previous reply came back — so server-side queueing shows up in the
+//! tail instead of silently throttling the offered load (the classic
+//! coordinated-omission mistake).
+//!
+//! **Every reply is checked against a brute-force oracle.** Replies carry
+//! `covered=<n>`, the covered prefix of the *snapshot the server pinned*,
+//! so the oracle scans exactly that prefix even though ingest keeps
+//! advancing while requests are in flight. Any divergence, dropped reply,
+//! or server-side timeout fails the experiment — CI runs this per PR.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coconut_core::{BuildOptions, IndexConfig, LsmCoconut, TieredPolicy};
+use coconut_series::distance::{euclidean, znormalize};
+use coconut_series::gen::{Generator, RandomWalkGen};
+use coconut_series::Value;
+use coconut_server::{Engine, Server, ServerConfig};
+use coconut_storage::{Error, Result};
+use coconut_summary::SaxConfig;
+
+use crate::data::{prepare, DataKind};
+use crate::experiments::Env;
+use crate::harness::{Percentiles, Table};
+
+/// Concurrent clients (the acceptance bar is at least 8).
+const CLIENTS: usize = 8;
+
+/// Requests per client.
+const REQUESTS_PER_CLIENT: usize = 30;
+
+/// Open-loop arrival interval per client (aggregate offered load is
+/// `CLIENTS / ARRIVAL_INTERVAL` requests per second).
+const ARRIVAL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Per-request deadline — generous, so timeouts mean real trouble.
+const DEADLINE_MS: u64 = 10_000;
+
+/// Ingest churn steps while the clients run.
+const CHURN_STEPS: u64 = 8;
+
+/// What one client measured.
+struct ClientReport {
+    latencies_ms: Vec<f64>,
+    sent: usize,
+    replied: usize,
+    divergences: usize,
+}
+
+fn brute_force_pos(prefix: &[Vec<Value>], q: &[Value]) -> Option<u64> {
+    let mut best: Option<(u64, f64)> = None;
+    for (i, s) in prefix.iter().enumerate() {
+        let d = euclidean(q, s);
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i as u64, d));
+        }
+    }
+    best.map(|(p, _)| p)
+}
+
+/// Pull `key=<u64>` out of a reply line.
+fn field_u64(reply: &str, key: &str) -> Option<u64> {
+    reply
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// First `pos` of a `hits=pos:dist,...` list.
+fn first_hit_pos(reply: &str) -> Option<u64> {
+    reply
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("hits="))
+        .and_then(|hits| hits.split(',').next())
+        .and_then(|h| h.split(':').next())
+        .and_then(|p| p.parse().ok())
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    client_id: usize,
+    series_len: usize,
+    all_series: Arc<Vec<Vec<Value>>>,
+    start_at: Instant,
+) -> Result<ClientReport> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| Error::invalid(format!("client {client_id}: connect: {e}")))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| Error::invalid(format!("client {client_id}: clone: {e}")))?,
+    );
+    let mut out = stream;
+    let mut report = ClientReport {
+        latencies_ms: Vec::with_capacity(REQUESTS_PER_CLIENT),
+        sent: 0,
+        replied: 0,
+        divergences: 0,
+    };
+    for i in 0..REQUESTS_PER_CLIENT {
+        // Open loop: wait for the scheduled arrival, then measure from it.
+        let scheduled = start_at + ARRIVAL_INTERVAL * (i as u32 + 1);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let seed = (client_id as u64) * 100_000 + i as u64 + 1;
+        let knn = i % 5 == 4;
+        let request = if knn {
+            format!("KNN k=3 q=seed:{seed} deadline_ms={DEADLINE_MS}\n")
+        } else {
+            format!("EXACT q=seed:{seed} deadline_ms={DEADLINE_MS}\n")
+        };
+        out.write_all(request.as_bytes())
+            .map_err(|e| Error::invalid(format!("client {client_id}: send: {e}")))?;
+        report.sent += 1;
+
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| Error::invalid(format!("client {client_id}: recv: {e}")))?;
+        let latency_ms = (Instant::now() - scheduled).as_secs_f64() * 1e3;
+        if reply.is_empty() {
+            break; // server closed on us: counts as a dropped request
+        }
+        report.replied += 1;
+        report.latencies_ms.push(latency_ms);
+        let reply = reply.trim();
+        if !reply.starts_with("OK") {
+            return Err(Error::corrupt(format!(
+                "client {client_id} request {i}: server answered {reply:?}"
+            )));
+        }
+
+        // Oracle: regenerate the query, scan exactly the snapshot's prefix.
+        let covered = field_u64(reply, "covered")
+            .ok_or_else(|| Error::corrupt(format!("no covered= in {reply:?}")))?
+            as usize;
+        let mut q = RandomWalkGen::new(seed).generate(series_len);
+        znormalize(&mut q);
+        let oracle = brute_force_pos(&all_series[..covered.min(all_series.len())], &q);
+        let answered = if knn {
+            first_hit_pos(reply)
+        } else {
+            field_u64(reply, "pos")
+        };
+        if answered != oracle {
+            report.divergences += 1;
+            eprintln!(
+                "client {client_id} request {i}: server {answered:?} vs oracle {oracle:?} \
+                 over covered={covered} ({reply})"
+            );
+        }
+    }
+    let _ = out.write_all(b"QUIT\n");
+    Ok(report)
+}
+
+/// Fetch `/metrics` over HTTP (exercising the curl-compatible path) and
+/// return the body.
+fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| Error::invalid(format!("scrape: connect: {e}")))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: bench\r\n\r\n")
+        .map_err(|e| Error::invalid(format!("scrape: send: {e}")))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| Error::invalid(format!("scrape: recv: {e}")))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| Error::corrupt("scrape: no HTTP header/body split"))?;
+    if !head.starts_with("HTTP/1.0 200") {
+        return Err(Error::corrupt(format!("scrape: bad status in {head:?}")));
+    }
+    Ok(body.to_string())
+}
+
+/// Run the experiment and write `BENCH_serve.json`.
+pub fn run(env: &Env) -> Result<()> {
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        env.scale.n,
+        env.scale.series_len,
+        1,
+        13,
+    )?;
+    let n = w.dataset.len();
+    // The oracle's copy of every series (replies tell it how much to scan).
+    let mut all_series: Vec<Vec<Value>> = Vec::with_capacity(n as usize);
+    for p in 0..n {
+        all_series.push(w.dataset.get(p)?);
+    }
+    let all_series = Arc::new(all_series);
+
+    let idx_dir = env.work_dir.join("serve-lsm");
+    if idx_dir.exists() {
+        std::fs::remove_dir_all(&idx_dir)?;
+    }
+    let config = IndexConfig {
+        sax: SaxConfig::default_for_len(env.scale.series_len),
+        leaf_capacity: env.scale.leaf_capacity,
+        fill_factor: 1.0,
+        internal_fanout: 64,
+    };
+    let opts = BuildOptions {
+        memory_bytes: (w.dataset.payload_bytes() / 2).max(1 << 20),
+        materialized: false,
+        threads: env.scale.threads,
+        shards: 1,
+    };
+    let lsm = Arc::new(LsmCoconut::new(config, opts, &idx_dir)?);
+    lsm.set_policy(Box::new(TieredPolicy {
+        size_ratio: 4,
+        tier_runs: 3,
+        max_runs: 6,
+    }));
+    // Cover the first half before opening the doors; the rest arrives as
+    // churn while the clients are querying.
+    lsm.ingest_upto(&w.dataset, n / 2)?;
+
+    let engine = Arc::new(Engine::new(
+        Arc::clone(&lsm),
+        w.dataset.clone(),
+        Some(Duration::from_millis(DEADLINE_MS)),
+    ));
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        // Connections are persistent, so one worker per client plus slack
+        // for the metrics scrape.
+        workers: CLIENTS + 2,
+        queue: CLIENTS,
+        default_deadline_ms: Some(DEADLINE_MS),
+    };
+    let mut server = Server::start(Arc::clone(&engine), &server_config)?;
+    let addr = server.addr();
+
+    // Churn: keep ingesting (and finally compacting) while clients query.
+    let churn_stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let lsm = Arc::clone(&lsm);
+        let dataset = w.dataset.clone();
+        let stop = Arc::clone(&churn_stop);
+        std::thread::spawn(move || -> Result<()> {
+            let step = (n - n / 2).div_ceil(CHURN_STEPS).max(1);
+            let mut upto = n / 2;
+            while upto < n && !stop.load(Ordering::Relaxed) {
+                upto = (upto + step).min(n);
+                lsm.ingest_upto(&dataset, upto)?;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            lsm.compact()?;
+            Ok(())
+        })
+    };
+
+    let wall_start = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let all_series = Arc::clone(&all_series);
+            let series_len = env.scale.series_len;
+            let start_at = wall_start;
+            std::thread::spawn(move || client_loop(addr, c, series_len, all_series, start_at))
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut sent = 0usize;
+    let mut replied = 0usize;
+    let mut divergences = 0usize;
+    for c in clients {
+        let report = c
+            .join()
+            .map_err(|_| Error::corrupt("a client thread panicked"))??;
+        latencies_ms.extend_from_slice(&report.latencies_ms);
+        sent += report.sent;
+        replied += report.replied;
+        divergences += report.divergences;
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    churn_stop.store(true, Ordering::Relaxed);
+    churn
+        .join()
+        .map_err(|_| Error::corrupt("the churn thread panicked"))??;
+
+    // The curl-facing metrics endpoint must expose the core signals.
+    let metrics = scrape_metrics(addr)?;
+    for required in [
+        "coconut_qps",
+        "coconut_query_latency_p50_seconds",
+        "coconut_query_latency_p99_seconds",
+        "coconut_records_fetched_total",
+        "coconut_compaction_debt_bytes",
+    ] {
+        if !metrics.contains(required) {
+            return Err(Error::corrupt(format!(
+                "metrics endpoint is missing {required}"
+            )));
+        }
+    }
+    let timeouts = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("coconut_query_timeouts_total "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(0.0) as u64;
+    server.shutdown();
+
+    // The acceptance bar: nothing diverged, nothing dropped, nothing
+    // timed out under a 10 s deadline.
+    if divergences > 0 {
+        return Err(Error::corrupt(format!(
+            "{divergences} answers diverged from the brute-force oracle"
+        )));
+    }
+    if replied != sent {
+        return Err(Error::corrupt(format!(
+            "{} requests were dropped without a reply",
+            sent - replied
+        )));
+    }
+    if timeouts > 0 {
+        return Err(Error::corrupt(format!(
+            "{timeouts} queries hit the {DEADLINE_MS} ms deadline"
+        )));
+    }
+
+    let p = Percentiles::of(&mut latencies_ms);
+    let qps = replied as f64 / wall_s.max(1e-9);
+    let mut table = Table::new(
+        "serve",
+        "open-loop socket load against the query server under ingest churn",
+        &[
+            "clients", "requests", "qps", "p50_ms", "p90_ms", "p99_ms", "diverged",
+        ],
+    );
+    table.push_row(vec![
+        CLIENTS.to_string(),
+        replied.to_string(),
+        format!("{qps:.0}"),
+        format!("{:.2}", p.p50),
+        format!("{:.2}", p.p90),
+        format!("{:.2}", p.p99),
+        divergences.to_string(),
+    ]);
+    table.emit(&env.results_dir)?;
+    println!(
+        "   oracle check: {replied} replies over pinned snapshots identical to \
+         brute force; 0 dropped, 0 timeouts\n"
+    );
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"serve\",");
+    let _ = writeln!(json, "  \"series\": {n},");
+    let _ = writeln!(json, "  \"series_len\": {},", env.scale.series_len);
+    let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(json, "  \"requests\": {replied},");
+    let _ = writeln!(
+        json,
+        "  \"arrival_interval_ms\": {},",
+        ARRIVAL_INTERVAL.as_millis()
+    );
+    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
+    let _ = writeln!(json, "  \"qps\": {qps:.1},");
+    let _ = writeln!(json, "  \"p50_ms\": {:.3},", p.p50);
+    let _ = writeln!(json, "  \"p90_ms\": {:.3},", p.p90);
+    let _ = writeln!(json, "  \"p99_ms\": {:.3},", p.p99);
+    let _ = writeln!(json, "  \"divergences\": {divergences},");
+    let _ = writeln!(json, "  \"dropped\": {},", sent - replied);
+    let _ = writeln!(json, "  \"timeouts\": {timeouts}");
+    json.push_str("}\n");
+    std::fs::create_dir_all(&env.results_dir)?;
+    let path = env.results_dir.join("BENCH_serve.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coconut_storage::TempDir;
+
+    #[test]
+    fn serve_load_runs_verifies_and_writes_outputs() {
+        let (w, r) = (
+            TempDir::new("serve-w").unwrap(),
+            TempDir::new("serve-r").unwrap(),
+        );
+        let env = Env {
+            work_dir: w.path().to_path_buf(),
+            results_dir: r.path().to_path_buf(),
+            scale: crate::experiments::Scale {
+                n: 600,
+                series_len: 64,
+                queries: 3,
+                leaf_capacity: 32,
+                threads: 2,
+            },
+        };
+        run(&env).unwrap();
+        let json = std::fs::read_to_string(r.path().join("BENCH_serve.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"divergences\": 0"));
+        assert!(json.contains("\"dropped\": 0"));
+        let csv = std::fs::read_to_string(r.path().join("serve.csv")).unwrap();
+        assert!(csv.starts_with("clients,requests,qps"));
+    }
+}

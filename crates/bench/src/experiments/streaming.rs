@@ -30,7 +30,7 @@ use coconut_summary::SaxConfig;
 
 use crate::data::{prepare, DataKind};
 use crate::experiments::Env;
-use crate::harness::Table;
+use crate::harness::{Percentiles, Table};
 
 /// Batches the raw file is revealed in.
 const BATCHES: u64 = 8;
@@ -43,6 +43,7 @@ struct Phase {
     runs: usize,
     avg_query_ms: f64,
     avg_records_fetched: f64,
+    latency_ms: Percentiles,
 }
 
 fn brute_force(prefix: &[Vec<Value>], q: &[Value]) -> Answer {
@@ -84,7 +85,7 @@ pub fn run(env: &Env) -> Result<()> {
     if idx_dir.exists() {
         std::fs::remove_dir_all(&idx_dir)?;
     }
-    let mut lsm = LsmCoconut::new(config, opts, &idx_dir)?;
+    let lsm = LsmCoconut::new(config, opts, &idx_dir)?;
     lsm.set_policy(Box::new(TieredPolicy {
         size_ratio: 4,
         tier_runs: 3,
@@ -108,11 +109,14 @@ pub fn run(env: &Env) -> Result<()> {
         covered = upto;
 
         let mut query_s = 0.0;
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(w.queries.len());
         let mut records = 0u64;
         for (qi, q) in w.queries.iter().enumerate() {
             let t0 = Instant::now();
             let (ans, stats) = lsm.exact(q)?;
-            query_s += t0.elapsed().as_secs_f64();
+            let elapsed = t0.elapsed().as_secs_f64();
+            query_s += elapsed;
+            latencies_ms.push(elapsed * 1e3);
             records += stats.records_fetched;
             let oracle = brute_force(&prefix, q);
             if ans.pos != oracle.pos {
@@ -131,6 +135,7 @@ pub fn run(env: &Env) -> Result<()> {
             runs: lsm.run_count(),
             avg_query_ms: query_s * 1e3 / queries,
             avg_records_fetched: records as f64 / queries,
+            latency_ms: Percentiles::of(&mut latencies_ms),
         });
     }
 
@@ -162,6 +167,8 @@ pub fn run(env: &Env) -> Result<()> {
             "runs",
             "avg_query_ms",
             "avg_records",
+            "p50_ms",
+            "p99_ms",
         ],
     );
     for p in &phases {
@@ -172,6 +179,8 @@ pub fn run(env: &Env) -> Result<()> {
             p.runs.to_string(),
             format!("{:.2}", p.avg_query_ms),
             format!("{:.0}", p.avg_records_fetched),
+            format!("{:.2}", p.latency_ms.p50),
+            format!("{:.2}", p.latency_ms.p99),
         ]);
     }
     table.emit(&env.results_dir)?;
@@ -201,8 +210,16 @@ pub fn run(env: &Env) -> Result<()> {
         let _ = write!(
             json,
             "    {{\"covered\": {}, \"ingest_s\": {:.3}, \"series_per_s\": {:.0}, \
-             \"runs\": {}, \"avg_query_ms\": {:.3}, \"avg_records_fetched\": {:.1}}}",
-            p.covered, p.ingest_s, p.series_per_s, p.runs, p.avg_query_ms, p.avg_records_fetched
+             \"runs\": {}, \"avg_query_ms\": {:.3}, \"avg_records_fetched\": {:.1}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            p.covered,
+            p.ingest_s,
+            p.series_per_s,
+            p.runs,
+            p.avg_query_ms,
+            p.avg_records_fetched,
+            p.latency_ms.p50,
+            p.latency_ms.p99
         );
         json.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
     }

@@ -15,7 +15,10 @@ usage:
                 [--dtw BAND] [--range EPS] [--approximate]
   coconut ingest  --data <data.ds> --index-dir DIR [--materialized]
                   [--leaf N] [--memory-mb M] [--batch N] [--max-runs N]
-  coconut compact --data <data.ds> --index-dir DIR";
+  coconut compact --data <data.ds> --index-dir DIR
+  coconut serve   --data <data.ds> --index-dir DIR [--addr HOST:PORT]
+                  [--workers N] [--queue N] [--deadline-ms MS]
+                  [--initial N] [--leaf N] [--memory-mb M]";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +76,23 @@ pub enum Command {
     },
     /// Merge every run of an LSM index directory into one.
     Compact { data: PathBuf, index_dir: PathBuf },
+    /// Serve queries over TCP from an LSM index directory (creating the
+    /// index on first use, recovering it afterwards).
+    Serve {
+        data: PathBuf,
+        index_dir: PathBuf,
+        /// Bind address; port 0 picks a free port.
+        addr: String,
+        workers: usize,
+        queue: usize,
+        /// Default per-query deadline when a request sets none.
+        deadline_ms: Option<u64>,
+        /// Ingest this dataset prefix before accepting connections
+        /// (`None` = serve whatever the recovered index already covers).
+        initial: Option<u64>,
+        leaf: Option<usize>,
+        memory_mb: u64,
+    },
     /// Print usage.
     Help,
 }
@@ -231,6 +251,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "compact" => Ok(Command::Compact {
             data: PathBuf::from(req(&opts, "--data")?),
             index_dir: PathBuf::from(req(&opts, "--index-dir")?),
+        }),
+        "serve" => Ok(Command::Serve {
+            data: PathBuf::from(req(&opts, "--data")?),
+            index_dir: PathBuf::from(req(&opts, "--index-dir")?),
+            addr: opts
+                .get("--addr")
+                .map_or("127.0.0.1:6381", |s| s.as_str())
+                .to_string(),
+            workers: match opts.get("--workers") {
+                Some(s) => {
+                    let n: usize = parse_num(s, "workers")?;
+                    if n == 0 {
+                        return Err("workers must be at least 1".into());
+                    }
+                    n
+                }
+                None => std::thread::available_parallelism().map_or(4, |n| n.get()),
+            },
+            queue: opts
+                .get("--queue")
+                .map_or(Ok(64), |s| parse_num(s, "queue"))?,
+            deadline_ms: opts
+                .get("--deadline-ms")
+                .map(|s| parse_num(s, "deadline-ms"))
+                .transpose()?,
+            initial: opts
+                .get("--initial")
+                .map(|s| parse_num(s, "initial"))
+                .transpose()?,
+            leaf: opts
+                .get("--leaf")
+                .map(|s| parse_num(s, "leaf"))
+                .transpose()?,
+            memory_mb: opts
+                .get("--memory-mb")
+                .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
         }),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -408,6 +464,51 @@ mod tests {
         assert!(parse(&argv("ingest --data d --index-dir x --batch 0")).is_err());
         assert!(parse(&argv("ingest --data d --index-dir x --max-runs 0")).is_err());
         assert!(parse(&argv("compact --data d.ds")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let c = parse(&argv(
+            "serve --data d.ds --index-dir ./lsm --addr 0.0.0.0:7000 \
+             --workers 8 --queue 32 --deadline-ms 250 --initial 5000",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                data: PathBuf::from("d.ds"),
+                index_dir: PathBuf::from("./lsm"),
+                addr: "0.0.0.0:7000".into(),
+                workers: 8,
+                queue: 32,
+                deadline_ms: Some(250),
+                initial: Some(5000),
+                leaf: None,
+                memory_mb: 256,
+            }
+        );
+        let c = parse(&argv("serve --data d.ds --index-dir ./lsm")).unwrap();
+        let Command::Serve {
+            addr,
+            workers,
+            queue,
+            deadline_ms,
+            initial,
+            ..
+        } = c
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:6381");
+        assert!(workers >= 1, "defaults to available parallelism");
+        assert_eq!(queue, 64);
+        assert_eq!(deadline_ms, None);
+        assert_eq!(initial, None);
+
+        assert!(parse(&argv("serve --data d.ds")).is_err()); // no --index-dir
+        assert!(parse(&argv("serve --index-dir x")).is_err()); // no --data
+        assert!(parse(&argv("serve --data d --index-dir x --workers 0")).is_err());
+        assert!(parse(&argv("serve --data d --index-dir x --workers abc")).is_err());
     }
 
     #[test]

@@ -225,48 +225,7 @@ pub fn run(cmd: Command) -> Result<()> {
         } => {
             let stats = Arc::new(IoStats::new());
             let ds = Dataset::open(&data, Arc::clone(&stats))?;
-            let opts = BuildOptions {
-                memory_bytes: memory_mb << 20,
-                materialized,
-                threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-                shards: 1,
-            };
-            // First use creates the index; later uses recover the manifest
-            // (and tolerate a crash of the previous process).
-            let fresh = !Manifest::path_in(&index_dir).exists();
-            let mut lsm = if fresh {
-                let config = IndexConfig {
-                    sax: SaxConfig::default_for_len(ds.series_len()),
-                    leaf_capacity: leaf.unwrap_or(2000),
-                    fill_factor: 1.0,
-                    internal_fanout: 64,
-                };
-                LsmCoconut::new(config, opts, &index_dir)?
-            } else {
-                let lsm = LsmCoconut::open(&index_dir, &ds, opts)?;
-                // A recovered index keeps its manifest's configuration;
-                // reject explicit flags that contradict it instead of
-                // silently ignoring them.
-                if materialized && !lsm.is_materialized() {
-                    return Err(Error::invalid(format!(
-                        "--materialized conflicts with the recovered index in {} \
-                         (built non-materialized); use a fresh --index-dir",
-                        index_dir.display()
-                    )));
-                }
-                if let Some(l) = leaf {
-                    let have = lsm.config().leaf_capacity;
-                    if l != have {
-                        return Err(Error::invalid(format!(
-                            "--leaf {l} conflicts with the recovered index in {} \
-                             (built with leaf capacity {have}); omit --leaf or use \
-                             a fresh --index-dir",
-                            index_dir.display()
-                        )));
-                    }
-                }
-                lsm
-            };
+            let (lsm, fresh) = open_or_create_lsm(&ds, &index_dir, materialized, leaf, memory_mb)?;
             if let Some(n) = max_runs {
                 lsm.set_max_runs(n);
             }
@@ -322,7 +281,111 @@ pub fn run(cmd: Command) -> Result<()> {
             );
             Ok(())
         }
+        Command::Serve {
+            data,
+            index_dir,
+            addr,
+            workers,
+            queue,
+            deadline_ms,
+            initial,
+            leaf,
+            memory_mb,
+        } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            let (lsm, fresh) = open_or_create_lsm(&ds, &index_dir, false, leaf, memory_mb)?;
+            if let Some(n) = initial {
+                lsm.ingest_upto(&ds, n.min(ds.len()))?;
+            }
+            let lsm = Arc::new(lsm);
+            let engine = Arc::new(coconut_server::Engine::new(
+                Arc::clone(&lsm),
+                ds,
+                deadline_ms.map(std::time::Duration::from_millis),
+            ));
+            let config = coconut_server::ServerConfig {
+                addr,
+                workers,
+                queue,
+                default_deadline_ms: deadline_ms,
+            };
+            let server = coconut_server::Server::start(engine, &config)?;
+            println!(
+                "{} index in {}; serving on {} ({} workers, queue {})",
+                if fresh { "created" } else { "recovered" },
+                index_dir.display(),
+                server.addr(),
+                workers,
+                queue
+            );
+            println!(
+                "covered 0..{} in {} run{}; try: printf 'HEALTH\\n' | nc {} {}",
+                lsm.covered_end(),
+                lsm.run_count(),
+                if lsm.run_count() == 1 { "" } else { "s" },
+                server.addr().ip(),
+                server.addr().port()
+            );
+            // Serve until the process is killed; `server` stays in scope
+            // (its Drop would shut the listener down on unwind).
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
     }
+}
+
+/// Open an existing LSM index directory (recovering its manifest) or
+/// create a fresh one. Explicit flags that contradict a recovered
+/// manifest's configuration are errors rather than silently ignored.
+fn open_or_create_lsm(
+    ds: &Dataset,
+    index_dir: &std::path::Path,
+    materialized: bool,
+    leaf: Option<usize>,
+    memory_mb: u64,
+) -> Result<(LsmCoconut, bool)> {
+    let opts = BuildOptions {
+        memory_bytes: memory_mb << 20,
+        materialized,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        shards: 1,
+    };
+    // First use creates the index; later uses recover the manifest (and
+    // tolerate a crash of the previous process).
+    let fresh = !Manifest::path_in(index_dir).exists();
+    let lsm = if fresh {
+        let config = IndexConfig {
+            sax: SaxConfig::default_for_len(ds.series_len()),
+            leaf_capacity: leaf.unwrap_or(2000),
+            fill_factor: 1.0,
+            internal_fanout: 64,
+        };
+        LsmCoconut::new(config, opts, index_dir)?
+    } else {
+        let lsm = LsmCoconut::open(index_dir, ds, opts)?;
+        if materialized && !lsm.is_materialized() {
+            return Err(Error::invalid(format!(
+                "--materialized conflicts with the recovered index in {} \
+                 (built non-materialized); use a fresh --index-dir",
+                index_dir.display()
+            )));
+        }
+        if let Some(l) = leaf {
+            let have = lsm.config().leaf_capacity;
+            if l != have {
+                return Err(Error::invalid(format!(
+                    "--leaf {l} conflicts with the recovered index in {} \
+                     (built with leaf capacity {have}); omit --leaf or use \
+                     a fresh --index-dir",
+                    index_dir.display()
+                )));
+            }
+        }
+        lsm
+    };
+    Ok((lsm, fresh))
 }
 
 fn make_query(ds: &Dataset, seed: Option<u64>, pos: Option<u64>) -> Result<Vec<Value>> {

@@ -28,7 +28,9 @@
 //! [`compaction::CompactionPolicy`] merges them on a worker thread (K-way
 //! merges of sorted leaf streams, never re-sorts), and a crash-safe
 //! [`manifest::Manifest`] makes the run set durable across process
-//! restarts.
+//! restarts. Readers pin an immutable [`lsm::Snapshot`] and query it
+//! lock-free under an optional cooperative [`Deadline`] — the concurrency
+//! model the query server (`coconut-server`) is built on.
 //!
 //! [`shard`] parallelizes construction: the scan→summarize→sort phase runs
 //! on K worker threads over disjoint key-range shards, and the per-shard
@@ -49,9 +51,9 @@ pub mod sims;
 pub mod tree;
 pub mod trie;
 
-pub use coconut_storage::{Error, Result};
+pub use coconut_storage::{Deadline, Error, Result};
 pub use compaction::{CompactionPolicy, TieredPolicy};
 pub use config::{BuildOptions, IndexConfig};
-pub use lsm::{KillPoint, LsmCoconut};
+pub use lsm::{KillPoint, LsmCoconut, Snapshot};
 pub use tree::CoconutTree;
 pub use trie::CoconutTrie;

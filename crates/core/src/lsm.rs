@@ -27,6 +27,14 @@
 //! * **Queries**: exact / kNN / range answers are merged across runs with
 //!   per-run [`QueryStats`] aggregated into one set of work counters; read
 //!   amplification is the run count, which the policy bounds.
+//! * **Snapshot isolation** ([`LsmCoconut::snapshot`]): a query pins an
+//!   immutable [`Snapshot`] — the committed run set plus its manifest
+//!   sequence number — under one brief lock acquisition, then executes
+//!   entirely lock-free. Concurrent ingests and compactions never block a
+//!   pinned reader, and a compaction that obsoletes a run a snapshot still
+//!   references defers the run directory's deletion until the last snapshot
+//!   drops (refcount-based garbage collection; see
+//!   [`LsmCoconut::collect_garbage`]).
 //!
 //! A dropped (or killed) `LsmCoconut` never loses committed data: anything
 //! acknowledged by a successful `ingest_upto` return is durable. An ingest
@@ -46,7 +54,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
 use coconut_storage::atomic::{atomic_write, atomic_write_torn, temp_path};
-use coconut_storage::{Error, MergedStream, Result};
+use coconut_storage::{Deadline, Error, MergedStream, Result};
 
 use crate::compaction::{CompactionPolicy, TieredPolicy};
 use crate::config::{BuildOptions, IndexConfig};
@@ -92,6 +100,15 @@ struct State {
     dataset: Option<Dataset>,
 }
 
+/// A run retired by compaction whose directory may still be pinned by a
+/// live [`Snapshot`]. The `tree` Arc doubles as the refcount: once the GC
+/// list holds the only reference, no snapshot (or in-flight query) can
+/// still read the run and its directory is safe to delete.
+struct GcRun {
+    tree: Arc<CoconutTree>,
+    dir: PathBuf,
+}
+
 /// State shared with the compaction worker thread.
 struct Shared {
     config: IndexConfig,
@@ -103,6 +120,14 @@ struct Shared {
     /// commits hit disk in mutation order — while queries, which take only
     /// the brief `state` lock, never wait on an fsync.
     commit_order: Mutex<()>,
+    /// Serializes ingest: building a run outside the state lock is only
+    /// correct with a single writer, and holding this (not `&mut self`)
+    /// lets a server share one `LsmCoconut` behind an `Arc` — ingest never
+    /// blocks snapshot acquisition or queries.
+    writer: Mutex<()>,
+    /// Runs retired by compaction but possibly pinned by snapshots; swept
+    /// by [`sweep_gc`] when snapshots drop.
+    gc: Mutex<Vec<GcRun>>,
     policy: Mutex<Box<dyn CompactionPolicy>>,
     kill: Mutex<Option<KillPoint>>,
     /// First commit/compaction error; sticky — it poisons the instance
@@ -171,6 +196,8 @@ impl LsmCoconut {
                 dataset: None,
             }),
             commit_order: Mutex::new(()),
+            writer: Mutex::new(()),
+            gc: Mutex::new(Vec::new()),
             policy: Mutex::new(Box::new(TieredPolicy::default())),
             kill: Mutex::new(None),
             poisoned: Mutex::new(None),
@@ -184,7 +211,7 @@ impl LsmCoconut {
                 st.seq += 1;
                 encode_manifest(&shared, &st)
             };
-            write_manifest(&shared, &bytes, &[])?;
+            write_manifest(&shared, &bytes)?;
         }
         Self::spawn(shared)
     }
@@ -245,6 +272,8 @@ impl LsmCoconut {
                 dataset: Some(dataset.clone()),
             }),
             commit_order: Mutex::new(()),
+            writer: Mutex::new(()),
+            gc: Mutex::new(Vec::new()),
             policy: Mutex::new(Box::new(TieredPolicy::default())),
             kill: Mutex::new(None),
             poisoned: Mutex::new(None),
@@ -266,13 +295,13 @@ impl LsmCoconut {
     }
 
     /// Replace the compaction policy (takes effect from the next decision).
-    pub fn set_policy(&mut self, policy: Box<dyn CompactionPolicy>) {
+    pub fn set_policy(&self, policy: Box<dyn CompactionPolicy>) {
         *self.shared.policy.lock() = policy;
     }
 
     /// Bound read amplification: install a [`TieredPolicy`] that keeps at
     /// most `max_runs` live runs.
-    pub fn set_max_runs(&mut self, max_runs: usize) {
+    pub fn set_max_runs(&self, max_runs: usize) {
         self.set_policy(Box::new(TieredPolicy::with_max_runs(max_runs)));
     }
 
@@ -293,9 +322,11 @@ impl LsmCoconut {
     }
 
     fn send(&self, job: Job) -> Result<()> {
+        // `jobs` is only taken in Drop, but surface a typed error rather
+        // than panicking if a send ever races shutdown.
         self.jobs
             .as_ref()
-            .expect("job channel lives as long as self")
+            .ok_or_else(|| Error::invalid("LSM index is shutting down"))?
             .send(job)
             .map_err(|_| Error::invalid("LSM compaction worker exited"))
     }
@@ -303,14 +334,19 @@ impl LsmCoconut {
     /// Index every position of `dataset` not yet covered (the dataset must
     /// only ever grow) as one new run; compaction follows on the worker
     /// thread if the policy asks for it.
-    pub fn ingest(&mut self, dataset: &Dataset) -> Result<()> {
+    pub fn ingest(&self, dataset: &Dataset) -> Result<()> {
         self.ingest_upto(dataset, dataset.len())
     }
 
     /// Index positions up to `upto` (exclusive) that are not yet covered —
     /// used by workloads that reveal an on-disk dataset in batches. On
     /// success the new run is committed to the manifest and durable.
-    pub fn ingest_upto(&mut self, dataset: &Dataset, upto: u64) -> Result<()> {
+    ///
+    /// Takes `&self`: concurrent ingests serialize on an internal writer
+    /// lock (never the state lock), so a server can share one `LsmCoconut`
+    /// behind an [`Arc`] and queries pin snapshots while a batch builds.
+    pub fn ingest_upto(&self, dataset: &Dataset, upto: u64) -> Result<()> {
+        let _writer = self.shared.writer.lock();
         self.check_poisoned()?;
         if upto > dataset.len() {
             return Err(Error::invalid("upto exceeds the dataset length"));
@@ -351,7 +387,7 @@ impl LsmCoconut {
                 let mut st = self.shared.state.lock();
                 debug_assert_eq!(
                     st.covered_end, start,
-                    "only ingest advances covered_end, and ingest takes &mut self"
+                    "only ingest advances covered_end, under the writer lock"
                 );
                 st.runs.push(Run {
                     meta: RunMeta {
@@ -366,7 +402,7 @@ impl LsmCoconut {
                 st.seq += 1;
                 encode_manifest(&self.shared, &st)
             };
-            write_manifest(&self.shared, &bytes, &[])
+            write_manifest(&self.shared, &bytes)
         };
         if let Err(e) = commit {
             // In-memory state is now ahead of the durable manifest — the
@@ -445,24 +481,137 @@ impl LsmCoconut {
         self.shared.opts.materialized
     }
 
-    /// A consistent snapshot of the live runs' trees.
-    fn snapshot(&self) -> Vec<Arc<CoconutTree>> {
-        self.shared
-            .state
-            .lock()
-            .runs
-            .iter()
-            .map(|r| Arc::clone(&r.tree))
-            .collect()
+    /// Pin a consistent, immutable view of the committed run set. The state
+    /// lock is held only for the duration of the Arc clones; everything the
+    /// returned [`Snapshot`] does afterwards — exact, kNN, and range
+    /// queries — is lock-free, so concurrent ingests and compactions never
+    /// stall a pinned reader. Run directories a compaction obsoletes while
+    /// the snapshot is live are garbage-collected after the snapshot drops.
+    pub fn snapshot(&self) -> Snapshot {
+        let st = self.shared.state.lock();
+        Snapshot {
+            runs: st.runs.iter().map(|r| Arc::clone(&r.tree)).collect(),
+            covered_end: st.covered_end,
+            seq: st.seq,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Delete the directories of compacted-away runs that are no longer
+    /// pinned by any [`Snapshot`]; returns how many were removed. Runs are
+    /// swept automatically when snapshots drop — this is for callers that
+    /// want a deterministic cleanup point (tests, shutdown paths).
+    pub fn collect_garbage(&self) -> usize {
+        sweep_gc(&self.shared)
+    }
+
+    /// Number of compacted-away runs whose directories are still pinned by
+    /// live snapshots (observability: `coconut_gc_pinned_runs`).
+    pub fn pinned_garbage(&self) -> usize {
+        self.shared.gc.lock().len()
+    }
+
+    /// Bytes of index not yet merged into the largest run — the work a full
+    /// compaction would perform now. Zero when at most one run is live;
+    /// grows as ingest outpaces the policy (observability: the server
+    /// exports this as `coconut_compaction_debt_bytes`).
+    pub fn compaction_debt(&self) -> u64 {
+        let snap = self.snapshot();
+        let total: u64 = snap.runs.iter().map(|r| r.disk_bytes()).sum();
+        let largest = snap.runs.iter().map(|r| r.disk_bytes()).max().unwrap_or(0);
+        total - largest
     }
 
     /// Exact k-nearest-neighbors merged across runs (per-run answer lists
     /// are merged by distance; per-run stats are aggregated).
     pub fn exact_knn(&self, query: &[Value], k: usize) -> Result<(Vec<Answer>, QueryStats)> {
+        self.snapshot().exact_knn(query, k, Deadline::NONE)
+    }
+
+    /// Exact range query merged across runs: every series within Euclidean
+    /// distance `epsilon`, sorted by distance.
+    pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
+        self.snapshot().exact_range(query, epsilon, Deadline::NONE)
+    }
+}
+
+/// An immutable, pinned view of an [`LsmCoconut`]'s committed run set.
+///
+/// Acquired by [`LsmCoconut::snapshot`] under one brief lock; every query
+/// on it is lock-free and sees exactly the runs (and covered prefix) that
+/// were committed at pin time, no matter how much ingest and compaction
+/// churn happens meanwhile. Holding a snapshot pins the run files it
+/// references: a compaction that obsoletes them defers directory deletion
+/// until the last pinning snapshot is dropped.
+pub struct Snapshot {
+    runs: Vec<Arc<CoconutTree>>,
+    covered_end: u64,
+    seq: u64,
+    shared: Arc<Shared>,
+}
+
+impl Snapshot {
+    /// End (exclusive) of the raw-file position range this snapshot covers.
+    /// An oracle checking answers must brute-force exactly this prefix.
+    pub fn covered_end(&self) -> u64 {
+        self.covered_end
+    }
+
+    /// The manifest sequence number this snapshot was pinned at.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of pinned runs (the read amplification of queries on this
+    /// snapshot).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total entries across the pinned runs.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|r| r.len()).sum()
+    }
+
+    /// True when no pinned run holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate 1-NN over the pinned runs (best leaf per run, merged).
+    pub fn approximate(&self, query: &[Value]) -> Result<Answer> {
+        let mut best = Answer::none();
+        for run in &self.runs {
+            best.merge(run.approximate(query)?);
+        }
+        Ok(best)
+    }
+
+    /// Exact 1-NN merged across the pinned runs, under a cooperative
+    /// `deadline` (pass [`Deadline::NONE`] for no limit).
+    pub fn exact(&self, query: &[Value], deadline: Deadline) -> Result<(Answer, QueryStats)> {
+        let mut best = Answer::none();
+        let mut stats = QueryStats::default();
+        for run in &self.runs {
+            let (a, s) = run.exact_search_deadline(query, deadline)?;
+            best.merge(a);
+            stats.add(&s);
+        }
+        Ok((best, stats))
+    }
+
+    /// Exact k-NN merged across the pinned runs, under a cooperative
+    /// `deadline`.
+    pub fn exact_knn(
+        &self,
+        query: &[Value],
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
         let mut all = Vec::new();
         let mut stats = QueryStats::default();
-        for run in self.snapshot() {
-            let (answers, s) = run.exact_knn(query, k)?;
+        for run in &self.runs {
+            let (answers, s) = run.exact_knn_deadline(query, k, deadline)?;
             all.extend(answers);
             stats.add(&s);
         }
@@ -471,19 +620,56 @@ impl LsmCoconut {
         Ok((all, stats))
     }
 
-    /// Exact range query merged across runs: every series within Euclidean
-    /// distance `epsilon`, sorted by distance.
-    pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
+    /// Exact range query merged across the pinned runs, under a cooperative
+    /// `deadline`: every series within Euclidean distance `epsilon`, sorted
+    /// by distance.
+    pub fn exact_range(
+        &self,
+        query: &[Value],
+        epsilon: f64,
+        deadline: Deadline,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
         let mut all = Vec::new();
         let mut stats = QueryStats::default();
-        for run in self.snapshot() {
-            let (answers, s) = run.exact_range(query, epsilon)?;
+        for run in &self.runs {
+            let (answers, s) = run.exact_range_deadline(query, epsilon, deadline)?;
             all.extend(answers);
             stats.add(&s);
         }
         all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
         Ok((all, stats))
     }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        // Release the pins first, then sweep: runs this snapshot was the
+        // last reader of become deletable in the same sweep.
+        self.runs.clear();
+        sweep_gc(&self.shared);
+    }
+}
+
+/// Delete the run directories on the GC list whose trees nothing else
+/// references anymore; returns how many directories were removed. The GC
+/// lock is dropped before any filesystem work.
+fn sweep_gc(shared: &Shared) -> usize {
+    let doomed: Vec<GcRun> = {
+        let mut gc = shared.gc.lock();
+        // The GC list itself holds one reference; any second one is a
+        // pinned snapshot or an in-flight query.
+        let (doomed, keep) = std::mem::take(&mut *gc)
+            .into_iter()
+            .partition(|r| Arc::strong_count(&r.tree) == 1);
+        *gc = keep;
+        doomed
+    };
+    let n = doomed.len();
+    for run in doomed {
+        drop(run.tree); // close the file before unlinking its directory
+        let _ = std::fs::remove_dir_all(&run.dir);
+    }
+    n
 }
 
 impl Drop for LsmCoconut {
@@ -525,11 +711,12 @@ fn encode_manifest(shared: &Shared, st: &State) -> Vec<u8> {
     .encode()
 }
 
-/// The disk half of a commit: write the manifest atomically (honoring an
-/// armed kill point), then delete `obsolete` run directories. Called while
-/// holding `commit_order` but **not** the state lock, so queries never wait
-/// on the fsyncs.
-fn write_manifest(shared: &Shared, bytes: &[u8], obsolete: &[PathBuf]) -> Result<()> {
+/// The disk half of a commit: write the manifest atomically, honoring an
+/// armed kill point. Called while holding `commit_order` but **not** the
+/// state lock, so queries never wait on the fsyncs. Obsolete run
+/// directories are *not* deleted here — the committer hands them to the GC
+/// list, where pinned snapshots keep them alive until released.
+fn write_manifest(shared: &Shared, bytes: &[u8]) -> Result<()> {
     let path = Manifest::path_in(&shared.dir);
     match shared.kill.lock().take() {
         Some(KillPoint::BeforeManifestWrite) => {
@@ -544,9 +731,6 @@ fn write_manifest(shared: &Shared, bytes: &[u8], obsolete: &[PathBuf]) -> Result
             return Err(simulated_crash("after the manifest commit"));
         }
         None => atomic_write(&path, bytes)?,
-    }
-    for dir in obsolete {
-        let _ = std::fs::remove_dir_all(dir);
     }
     Ok(())
 }
@@ -647,15 +831,19 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
 
     let _order = shared.commit_order.lock();
     let mut st = shared.state.lock();
+    // The worker is the only remover of runs, so the window it validated
+    // above must still be present; a typed error (not a panic) keeps a
+    // would-be violation observable through the poisoned state.
     let first = st
         .runs
         .iter()
         .position(|r| r.meta.id == ids[0])
-        .expect("the worker is the only remover of runs");
-    let obsolete: Vec<PathBuf> = ids
-        .iter()
-        .map(|id| shared.dir.join(run_dir_name(*id)))
-        .collect();
+        .ok_or_else(|| {
+            Error::corrupt(format!(
+                "compaction window lost run {} between planning and commit",
+                ids[0]
+            ))
+        })?;
     let replacement = Run {
         meta: RunMeta {
             id: new_id,
@@ -665,8 +853,8 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
         },
         tree: Arc::new(merged_tree),
     };
-    // `splice` drops the old runs' trees (closing their files); the
-    // directories are removed after the manifest commit.
+    // `splice` removes the old runs from the live set; their trees stay
+    // open (we still hold `trees`) so pinned snapshots keep reading them.
     drop(
         st.runs
             .splice(first..first + ids.len(), std::iter::once(replacement)),
@@ -674,7 +862,22 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
     st.seq += 1;
     let bytes = encode_manifest(shared, &st);
     drop(st); // queries proceed while the commit hits disk
-    write_manifest(shared, &bytes, &obsolete)
+    write_manifest(shared, &bytes)?;
+    // The commit is durable: retire the old runs to the GC list (snapshots
+    // pinned before the swap keep their directories alive) and sweep
+    // whatever is already unpinned. On commit *failure* nothing is queued —
+    // recovery deletes the unreferenced directories, same as a crash.
+    {
+        let mut gc = shared.gc.lock();
+        for (tree, id) in trees.into_iter().zip(ids.iter()) {
+            gc.push(GcRun {
+                tree,
+                dir: shared.dir.join(run_dir_name(*id)),
+            });
+        }
+    }
+    sweep_gc(shared);
+    Ok(())
 }
 
 /// K-way merge `trees`' sorted leaf streams and bulk-load the result as one
@@ -705,39 +908,29 @@ impl SeriesIndex for LsmCoconut {
     }
 
     fn approximate(&self, query: &[Value]) -> Result<Answer> {
-        let mut best = Answer::none();
-        for run in self.snapshot() {
-            best.merge(run.approximate(query)?);
-        }
-        Ok(best)
+        self.snapshot().approximate(query)
     }
 
     fn exact(&self, query: &[Value]) -> Result<(Answer, QueryStats)> {
-        let mut best = Answer::none();
-        let mut stats = QueryStats::default();
-        for run in self.snapshot() {
-            let (a, s) = run.exact(query)?;
-            best.merge(a);
-            stats.add(&s);
-        }
-        Ok((best, stats))
+        self.snapshot().exact(query, Deadline::NONE)
     }
 
     fn disk_bytes(&self) -> u64 {
-        self.snapshot().iter().map(|r| r.disk_bytes()).sum()
+        self.snapshot().runs.iter().map(|r| r.disk_bytes()).sum()
     }
 
     fn leaf_count(&self) -> u64 {
-        self.snapshot().iter().map(|r| r.leaf_count()).sum()
+        self.snapshot().runs.iter().map(|r| r.leaf_count()).sum()
     }
 
     fn avg_leaf_fill(&self) -> f64 {
-        let runs = self.snapshot();
-        let leaves: u64 = runs.iter().map(|r| r.leaf_count()).sum();
+        let snap = self.snapshot();
+        let leaves: u64 = snap.runs.iter().map(|r| r.leaf_count()).sum();
         if leaves == 0 {
             return 0.0;
         }
-        runs.iter()
+        snap.runs
+            .iter()
             .map(|r| r.avg_leaf_fill() * r.leaf_count() as f64)
             .sum::<f64>()
             / leaves as f64
@@ -807,7 +1000,7 @@ mod tests {
         let path = dir.path().join("data.bin");
         let idx_dir = dir.path().join("idx");
         let mut gen = RandomWalkGen::new(31);
-        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+        let lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
         lsm.set_max_runs(3);
 
         let mut all = Vec::new();
@@ -839,7 +1032,7 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
         let mut gen = RandomWalkGen::new(77);
-        let mut lsm = LsmCoconut::new(
+        let lsm = LsmCoconut::new(
             small_config(),
             BuildOptions::default(),
             dir.path().join("i"),
@@ -862,7 +1055,7 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
         let mut gen = RandomWalkGen::new(1);
-        let mut lsm = LsmCoconut::new(
+        let lsm = LsmCoconut::new(
             small_config(),
             BuildOptions::default(),
             dir.path().join("i"),
@@ -885,7 +1078,7 @@ mod tests {
         let path = dir.path().join("data.bin");
         let idx_dir = dir.path().join("idx");
         let mut gen = RandomWalkGen::new(13);
-        let mut lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+        let lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
         lsm.set_max_runs(2);
         let mut all = Vec::new();
         for _ in 0..5 {
@@ -925,7 +1118,7 @@ mod tests {
                 ..BuildOptions::default()
             };
             let idx_dir = dir.path().join(format!("idx-{materialized}"));
-            let mut lsm = LsmCoconut::new(small_config(), opts.clone(), &idx_dir).unwrap();
+            let lsm = LsmCoconut::new(small_config(), opts.clone(), &idx_dir).unwrap();
             let mut all = Vec::new();
             let mut ds = None;
             for _ in 0..4 {
@@ -957,7 +1150,7 @@ mod tests {
         let stats = Arc::new(IoStats::new());
         let path = dir.path().join("data.bin");
         let mut gen = RandomWalkGen::new(21);
-        let mut lsm = LsmCoconut::new(
+        let lsm = LsmCoconut::new(
             small_config(),
             BuildOptions::default(),
             dir.path().join("i"),
@@ -1007,8 +1200,7 @@ mod tests {
         let mut gen = RandomWalkGen::new(3);
         let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 200);
         {
-            let mut lsm =
-                LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+            let lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
             lsm.ingest(&ds).unwrap();
             lsm.wait_for_compactions().unwrap();
         }
@@ -1045,7 +1237,7 @@ mod tests {
             let idx_dir = dir.path().join(format!("idx-{i}"));
             let committed_end;
             {
-                let mut lsm =
+                let lsm =
                     LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
                 lsm.ingest_upto(&ds, 120).unwrap();
                 lsm.wait_for_compactions().unwrap();
@@ -1092,6 +1284,153 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_pins_run_set_and_covered_prefix_across_churn() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(51);
+        let lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let (ds, all_1) = grow_dataset(&path, &stats, &mut gen, &[], 200);
+        lsm.ingest(&ds).unwrap();
+
+        let snap = lsm.snapshot();
+        assert_eq!(snap.covered_end(), 200);
+        let pinned_seq = snap.seq();
+
+        // Churn after the pin: more ingest and a full compaction.
+        let (ds, all_2) = grow_dataset(&path, &stats, &mut gen, &all_1, 200);
+        lsm.ingest(&ds).unwrap();
+        lsm.compact().unwrap();
+        assert_eq!(lsm.covered_end(), 400);
+
+        // The pinned snapshot still answers over exactly its 200-prefix.
+        let q = query(23);
+        let (ans, _) = snap.exact(&q, Deadline::NONE).unwrap();
+        assert_eq!(ans.pos, brute_force(&all_1, &q).pos);
+        assert_eq!(snap.covered_end(), 200);
+        assert_eq!(snap.seq(), pinned_seq);
+
+        // A fresh snapshot sees the full 400.
+        let snap2 = lsm.snapshot();
+        let (ans, _) = snap2.exact(&q, Deadline::NONE).unwrap();
+        assert_eq!(ans.pos, brute_force(&all_2, &q).pos);
+        assert!(snap2.seq() > pinned_seq);
+    }
+
+    #[test]
+    fn gc_defers_run_deletion_until_snapshot_drops() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let idx_dir = dir.path().join("idx");
+        let mut gen = RandomWalkGen::new(61);
+        let lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            let (ds, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 80);
+            all = new_all;
+            lsm.ingest(&ds).unwrap();
+        }
+        lsm.wait_for_compactions().unwrap();
+        let run_dirs = |d: &std::path::Path| {
+            std::fs::read_dir(d)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("run-")
+                })
+                .count()
+        };
+        let before = run_dirs(&idx_dir);
+        assert!(before >= 2, "need multiple runs to compact, got {before}");
+
+        // Pin, then compact everything: the pinned runs' directories must
+        // survive as long as the snapshot does.
+        let snap = lsm.snapshot();
+        let pinned_runs = snap.run_count();
+        lsm.compact().unwrap();
+        assert_eq!(lsm.run_count(), 1);
+        assert_eq!(lsm.pinned_garbage(), pinned_runs);
+        assert_eq!(run_dirs(&idx_dir), before + 1, "old dirs + the merged run");
+
+        // The pinned snapshot still reads the retired runs.
+        let q = query(31);
+        let (ans, _) = snap.exact(&q, Deadline::NONE).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+
+        // Dropping the snapshot sweeps them.
+        drop(snap);
+        assert_eq!(lsm.pinned_garbage(), 0);
+        assert_eq!(run_dirs(&idx_dir), 1);
+        assert_eq!(lsm.collect_garbage(), 0, "nothing left to sweep");
+    }
+
+    #[test]
+    fn expired_deadline_fails_snapshot_queries_with_typed_error() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(71);
+        let lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let (ds, _) = grow_dataset(&path, &stats, &mut gen, &[], 150);
+        lsm.ingest(&ds).unwrap();
+        let snap = lsm.snapshot();
+        let q = query(3);
+        let expired = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert!(snap.exact(&q, expired).unwrap_err().is_deadline());
+        assert!(snap.exact_knn(&q, 3, expired).unwrap_err().is_deadline());
+        assert!(snap
+            .exact_range(&q, 1.0, expired)
+            .unwrap_err()
+            .is_deadline());
+        // And an unexpired one leaves answers intact.
+        let far = Deadline::after(std::time::Duration::from_secs(3600));
+        let (a1, _) = snap.exact(&q, far).unwrap();
+        let (a2, _) = snap.exact(&q, Deadline::NONE).unwrap();
+        assert_eq!(a1.pos, a2.pos);
+    }
+
+    #[test]
+    fn compaction_debt_shrinks_after_compaction() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(81);
+        let lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            let (ds, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 70);
+            all = new_all;
+            lsm.ingest(&ds).unwrap();
+        }
+        lsm.wait_for_compactions().unwrap();
+        if lsm.run_count() > 1 {
+            assert!(lsm.compaction_debt() > 0);
+        }
+        lsm.compact().unwrap();
+        assert_eq!(lsm.run_count(), 1);
+        assert_eq!(lsm.compaction_debt(), 0);
+    }
+
+    #[test]
     fn mid_compaction_crash_recovers_and_reingests() {
         let dir = TempDir::new("lsm").unwrap();
         let stats = Arc::new(IoStats::new());
@@ -1100,8 +1439,7 @@ mod tests {
         let mut gen = RandomWalkGen::new(29);
         let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 300);
         {
-            let mut lsm =
-                LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+            let lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
             for upto in [100, 200, 300] {
                 lsm.ingest_upto(&ds, upto).unwrap();
             }

@@ -39,9 +39,26 @@ use coconut_series::distance::euclidean_sq_early_abandon;
 use coconut_series::dtw::{dtw_sq_early_abandon, lb_keogh_sq, Envelope};
 use coconut_series::index::{Answer, QueryStats};
 use coconut_series::Value;
-use coconut_storage::Result;
+use coconut_storage::{Deadline, Result};
 use coconut_summary::mindist::{envelope_segment_bounds, mindist_env_zkey, QueryDistTable};
 use coconut_summary::{SaxConfig, ZKey};
+
+/// How many scan iterations pass between two [`Deadline`] checks. The scan
+/// body is tens-to-hundreds of nanoseconds per record, so checking the
+/// clock every 64 records bounds overrun to microseconds while keeping the
+/// check itself off the per-record path.
+const DEADLINE_STRIDE: usize = 64;
+
+/// Check `deadline` once every [`DEADLINE_STRIDE`] iterations — the scan's
+/// cancellation checkpoints sit at the same cadence as its early-abandon
+/// cutoff tests.
+#[inline]
+fn checkpoint(deadline: Deadline, i: usize) -> Result<()> {
+    if i.is_multiple_of(DEADLINE_STRIDE) {
+        deadline.check()?;
+    }
+    Ok(())
+}
 
 /// Fetches the raw series for scan index `i` (in the summary array's order).
 ///
@@ -107,7 +124,10 @@ pub fn parallel_mindists_with_threshold(
 
 /// Exact 1-NN via SIMS. `keys[i]` must be the summarization of the record
 /// the fetcher returns for scan index `i`; `bsf` is the approximate-search
-/// seed (merged into the result).
+/// seed (merged into the result). `deadline` is checked at the scan's
+/// early-abandon checkpoints; an expired deadline aborts with
+/// [`coconut_storage::Error::Deadline`].
+#[allow(clippy::too_many_arguments)] // the full Algorithm 5 parameter set
 pub fn sims_exact(
     query: &[Value],
     query_paa: &[f64],
@@ -116,14 +136,17 @@ pub fn sims_exact(
     threads: usize,
     mut bsf: Answer,
     fetcher: &mut dyn SeriesFetcher,
+    deadline: Deadline,
 ) -> Result<(Answer, QueryStats)> {
     let mut stats = QueryStats::default();
+    deadline.check()?;
     let mindists = parallel_mindists(query_paa, keys, config, threads);
     stats.lower_bounds += keys.len() as u64;
 
     let mut buf = vec![0.0 as Value; query.len()];
     let mut bsf_sq = bsf.dist * bsf.dist;
     for (i, &md) in mindists.iter().enumerate() {
+        checkpoint(deadline, i)?;
         if md >= bsf.dist {
             stats.pruned += 1;
             continue;
@@ -144,7 +167,9 @@ pub fn sims_exact(
 }
 
 /// Exact range query via SIMS (extension): every record whose Euclidean
-/// distance to `query` is at most `epsilon`, sorted by distance.
+/// distance to `query` is at most `epsilon`, sorted by distance. `deadline`
+/// is checked at the scan's early-abandon checkpoints.
+#[allow(clippy::too_many_arguments)] // mirrors sims_exact plus epsilon
 pub fn sims_range(
     query: &[Value],
     query_paa: &[f64],
@@ -153,8 +178,10 @@ pub fn sims_range(
     threads: usize,
     epsilon: f64,
     fetcher: &mut dyn SeriesFetcher,
+    deadline: Deadline,
 ) -> Result<(Vec<Answer>, QueryStats)> {
     let mut stats = QueryStats::default();
+    deadline.check()?;
     let mindists = parallel_mindists(query_paa, keys, config, threads);
     stats.lower_bounds += keys.len() as u64;
     // The inclusion test is `sqrt(d_sq) <= epsilon`, but the abandon cutoff
@@ -165,6 +192,7 @@ pub fn sims_range(
     let mut out = Vec::new();
     let mut buf = vec![0.0 as Value; query.len()];
     for (i, &md) in mindists.iter().enumerate() {
+        checkpoint(deadline, i)?;
         if md > epsilon {
             stats.pruned += 1;
             continue;
@@ -186,7 +214,9 @@ pub fn sims_range(
 /// paper notes DTW compatibility in Section 2). Pruning cascade per
 /// record: index-level envelope bound → LB_Keogh on the raw series → full
 /// banded DTW with early abandoning. `bsf` must hold a *DTW* distance (or
-/// be `Answer::none()`).
+/// be `Answer::none()`). `deadline` is checked at the scan's early-abandon
+/// checkpoints.
+#[allow(clippy::too_many_arguments)] // mirrors sims_exact plus the warping band
 pub fn sims_exact_dtw(
     query: &[Value],
     band: usize,
@@ -195,8 +225,10 @@ pub fn sims_exact_dtw(
     threads: usize,
     mut bsf: Answer,
     fetcher: &mut dyn SeriesFetcher,
+    deadline: Deadline,
 ) -> Result<(Answer, QueryStats)> {
     let mut stats = QueryStats::default();
+    deadline.check()?;
     let envelope = Envelope::new(query, band);
     let (env_lo, env_hi) =
         envelope_segment_bounds(&envelope.lower, &envelope.upper, config.segments);
@@ -227,6 +259,7 @@ pub fn sims_exact_dtw(
     let mut buf = vec![0.0 as Value; query.len()];
     let mut bsf_sq = bsf.dist * bsf.dist;
     for (i, &lb) in index_lbs.iter().enumerate() {
+        checkpoint(deadline, i)?;
         if lb >= bsf.dist {
             stats.pruned += 1;
             continue;
@@ -251,7 +284,8 @@ pub fn sims_exact_dtw(
 }
 
 /// Exact k-NN via SIMS (an extension beyond the paper, which reports 1-NN).
-/// Returns up to `k` answers sorted by distance.
+/// Returns up to `k` answers sorted by distance. `deadline` is checked at
+/// the scan's early-abandon checkpoints.
 #[allow(clippy::too_many_arguments)] // mirrors sims_exact plus (k, seeds)
 pub fn sims_exact_knn(
     query: &[Value],
@@ -262,11 +296,13 @@ pub fn sims_exact_knn(
     k: usize,
     seed: &[Answer],
     fetcher: &mut dyn SeriesFetcher,
+    deadline: Deadline,
 ) -> Result<(Vec<Answer>, QueryStats)> {
     let mut stats = QueryStats::default();
     if k == 0 {
         return Ok((Vec::new(), stats));
     }
+    deadline.check()?;
     // A simple bounded set: k is small (the paper's experiments use 1).
     let mut best: Vec<Answer> = Vec::with_capacity(k + 1);
     let insert = |best: &mut Vec<Answer>, a: Answer| {
@@ -287,6 +323,7 @@ pub fn sims_exact_knn(
 
     let mut buf = vec![0.0 as Value; query.len()];
     for (i, &md) in mindists.iter().enumerate() {
+        checkpoint(deadline, i)?;
         let cutoff = if best.len() == k {
             best[k - 1].dist
         } else {
@@ -370,8 +407,17 @@ mod tests {
             znormalize(&mut q);
             let qp = paa(&q, config.segments);
             let mut fetcher = VecFetcher { data: &data };
-            let (ans, stats) =
-                sims_exact(&q, &qp, &keys, &config, 2, Answer::none(), &mut fetcher).unwrap();
+            let (ans, stats) = sims_exact(
+                &q,
+                &qp,
+                &keys,
+                &config,
+                2,
+                Answer::none(),
+                &mut fetcher,
+                Deadline::NONE,
+            )
+            .unwrap();
             let expect = brute_force(&q, &data);
             assert_eq!(ans.pos, expect.pos);
             assert!((ans.dist - expect.dist).abs() < 1e-9);
@@ -389,9 +435,20 @@ mod tests {
         let exact = brute_force(&q, &data);
 
         let mut f1 = VecFetcher { data: &data };
-        let (_, cold) = sims_exact(&q, &qp, &keys, &config, 1, Answer::none(), &mut f1).unwrap();
+        let (_, cold) = sims_exact(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            1,
+            Answer::none(),
+            &mut f1,
+            Deadline::NONE,
+        )
+        .unwrap();
         let mut f2 = VecFetcher { data: &data };
-        let (ans, warm) = sims_exact(&q, &qp, &keys, &config, 1, exact, &mut f2).unwrap();
+        let (ans, warm) =
+            sims_exact(&q, &qp, &keys, &config, 1, exact, &mut f2, Deadline::NONE).unwrap();
         assert_eq!(ans.pos, exact.pos);
         assert!(
             warm.records_fetched <= cold.records_fetched,
@@ -424,7 +481,18 @@ mod tests {
         znormalize(&mut q);
         let qp = paa(&q, config.segments);
         let mut fetcher = VecFetcher { data: &data };
-        let (top, _) = sims_exact_knn(&q, &qp, &keys, &config, 2, 5, &[], &mut fetcher).unwrap();
+        let (top, _) = sims_exact_knn(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            2,
+            5,
+            &[],
+            &mut fetcher,
+            Deadline::NONE,
+        )
+        .unwrap();
         let mut all: Vec<Answer> = data
             .iter()
             .enumerate()
@@ -447,13 +515,64 @@ mod tests {
         znormalize(&mut q);
         let qp = paa(&q, config.segments);
         let mut fetcher = VecFetcher { data: &data };
-        let (none, _) = sims_exact_knn(&q, &qp, &keys, &config, 1, 0, &[], &mut fetcher).unwrap();
+        let (none, _) = sims_exact_knn(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            1,
+            0,
+            &[],
+            &mut fetcher,
+            Deadline::NONE,
+        )
+        .unwrap();
         assert!(none.is_empty());
         let mut fetcher = VecFetcher { data: &data };
-        let (all, _) = sims_exact_knn(&q, &qp, &keys, &config, 1, 50, &[], &mut fetcher).unwrap();
+        let (all, _) = sims_exact_knn(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            1,
+            50,
+            &[],
+            &mut fetcher,
+            Deadline::NONE,
+        )
+        .unwrap();
         assert_eq!(all.len(), 10);
         for w in all.windows(2) {
             assert!(w[0].dist <= w[1].dist);
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_scan() {
+        let (data, keys, config) = setup(200, 64);
+        let mut q = RandomWalkGen::new(11).generate(64);
+        znormalize(&mut q);
+        let qp = paa(&q, config.segments);
+        let expired = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let mut fetcher = VecFetcher { data: &data };
+        let err = sims_exact(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            1,
+            Answer::none(),
+            &mut fetcher,
+            expired,
+        )
+        .unwrap_err();
+        assert!(err.is_deadline(), "{err}");
+        let mut fetcher = VecFetcher { data: &data };
+        let err = sims_range(&q, &qp, &keys, &config, 1, 10.0, &mut fetcher, expired).unwrap_err();
+        assert!(err.is_deadline(), "{err}");
+        let mut fetcher = VecFetcher { data: &data };
+        let err =
+            sims_exact_knn(&q, &qp, &keys, &config, 1, 3, &[], &mut fetcher, expired).unwrap_err();
+        assert!(err.is_deadline(), "{err}");
     }
 }

@@ -34,7 +34,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::distance::euclidean_sq;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
-use coconut_storage::{CountedFile, Error, IoStats, RecordStream, Result, SortReport};
+use coconut_storage::{CountedFile, Deadline, Error, IoStats, RecordStream, Result, SortReport};
 use coconut_summary::paa::paa;
 use coconut_summary::sax::Summarizer;
 use coconut_summary::ZKey;
@@ -711,6 +711,27 @@ impl CoconutTree {
         query: &[Value],
         radius: usize,
     ) -> Result<(Answer, QueryStats)> {
+        self.exact_search_with_radius_deadline(query, radius, Deadline::NONE)
+    }
+
+    /// [`Self::exact_search`] under a cooperative [`Deadline`]: the SIMS scan
+    /// checks the deadline at its early-abandon checkpoints and aborts with
+    /// [`coconut_storage::Error::Deadline`] when it expires.
+    pub fn exact_search_deadline(
+        &self,
+        query: &[Value],
+        deadline: Deadline,
+    ) -> Result<(Answer, QueryStats)> {
+        self.exact_search_with_radius_deadline(query, self.default_radius, deadline)
+    }
+
+    /// [`Self::exact_search_with_radius`] under a cooperative [`Deadline`].
+    pub fn exact_search_with_radius_deadline(
+        &self,
+        query: &[Value],
+        radius: usize,
+        deadline: Deadline,
+    ) -> Result<(Answer, QueryStats)> {
         let (seed, mut stats) = self.approximate_search_with_stats(query, radius)?;
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
@@ -724,6 +745,7 @@ impl CoconutTree {
                 self.threads,
                 seed,
                 &mut fetcher,
+                deadline,
             )?
         } else {
             let mut fetcher = RawFileFetcher {
@@ -738,6 +760,7 @@ impl CoconutTree {
                 self.threads,
                 seed,
                 &mut fetcher,
+                deadline,
             )?
         };
         stats.add(&sims_stats);
@@ -747,6 +770,16 @@ impl CoconutTree {
     /// Exact range query (extension): all series within Euclidean distance
     /// `epsilon` of the query, sorted by distance.
     pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
+        self.exact_range_deadline(query, epsilon, Deadline::NONE)
+    }
+
+    /// [`Self::exact_range`] under a cooperative [`Deadline`].
+    pub fn exact_range_deadline(
+        &self,
+        query: &[Value],
+        epsilon: f64,
+        deadline: Deadline,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
         self.query_key(query)?; // validates the length
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
@@ -760,6 +793,7 @@ impl CoconutTree {
                 self.threads,
                 epsilon,
                 &mut fetcher,
+                deadline,
             )
         } else {
             let mut fetcher = RawFileFetcher {
@@ -774,6 +808,7 @@ impl CoconutTree {
                 self.threads,
                 epsilon,
                 &mut fetcher,
+                deadline,
             )
         }
     }
@@ -827,6 +862,7 @@ impl CoconutTree {
                 self.threads,
                 seed,
                 &mut fetcher,
+                Deadline::NONE,
             )?
         } else {
             let mut fetcher = RawFileFetcher {
@@ -841,6 +877,7 @@ impl CoconutTree {
                 self.threads,
                 seed,
                 &mut fetcher,
+                Deadline::NONE,
             )?
         };
         stats.add(&sims_stats);
@@ -849,6 +886,16 @@ impl CoconutTree {
 
     /// Exact k-nearest-neighbors (extension beyond the paper).
     pub fn exact_knn(&self, query: &[Value], k: usize) -> Result<(Vec<Answer>, QueryStats)> {
+        self.exact_knn_deadline(query, k, Deadline::NONE)
+    }
+
+    /// [`Self::exact_knn`] under a cooperative [`Deadline`].
+    pub fn exact_knn_deadline(
+        &self,
+        query: &[Value],
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
         let (seed, mut stats) = self.approximate_search_with_stats(query, self.default_radius)?;
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
@@ -868,6 +915,7 @@ impl CoconutTree {
                 k,
                 &seeds,
                 &mut fetcher,
+                deadline,
             )?
         } else {
             let mut fetcher = RawFileFetcher {
@@ -883,6 +931,7 @@ impl CoconutTree {
                 k,
                 &seeds,
                 &mut fetcher,
+                deadline,
             )?
         };
         stats.add(&sims_stats);

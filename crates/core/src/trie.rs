@@ -26,7 +26,7 @@ use coconut_series::dataset::Dataset;
 use coconut_series::distance::euclidean_sq;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
-use coconut_storage::{CountedFile, Error, RecordStream, Result};
+use coconut_storage::{CountedFile, Deadline, Error, RecordStream, Result};
 use coconut_summary::paa::paa;
 use coconut_summary::sax::Summarizer;
 use coconut_summary::ZKey;
@@ -654,6 +654,7 @@ impl CoconutTrie {
                 self.threads,
                 seed,
                 &mut fetcher,
+                Deadline::NONE,
             )?
         } else {
             let mut fetcher = RawFileFetcher {
@@ -668,6 +669,7 @@ impl CoconutTrie {
                 self.threads,
                 seed,
                 &mut fetcher,
+                Deadline::NONE,
             )?
         };
         stats.add(&sims_stats);
@@ -703,6 +705,7 @@ impl CoconutTrie {
                 k,
                 &seeds,
                 &mut fetcher,
+                Deadline::NONE,
             )?
         } else {
             let mut fetcher = RawFileFetcher {
@@ -718,6 +721,7 @@ impl CoconutTrie {
                 k,
                 &seeds,
                 &mut fetcher,
+                Deadline::NONE,
             )?
         };
         stats.add(&sims_stats);
@@ -748,6 +752,7 @@ impl CoconutTrie {
                 self.threads,
                 epsilon,
                 &mut fetcher,
+                Deadline::NONE,
             )
         } else {
             let mut fetcher = RawFileFetcher {
@@ -762,6 +767,7 @@ impl CoconutTrie {
                 self.threads,
                 epsilon,
                 &mut fetcher,
+                Deadline::NONE,
             )
         }
     }

@@ -1,0 +1,268 @@
+//! Request execution: each query pins an LSM [`Snapshot`] and runs
+//! lock-free against it under a cooperative [`Deadline`].
+//!
+//! [`Snapshot`]: coconut_core::Snapshot
+//!
+//! Every query response carries `covered=<n> seq=<s>` — the pinned
+//! snapshot's prefix and manifest sequence — so a client checking answers
+//! against a brute-force oracle knows *exactly* which prefix of the dataset
+//! the server answered over, even while ingest is advancing concurrently.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coconut_core::LsmCoconut;
+use coconut_series::dataset::Dataset;
+use coconut_series::distance::znormalize;
+use coconut_series::gen::{Generator, RandomWalkGen};
+use coconut_series::index::Answer;
+use coconut_series::Value;
+use coconut_storage::{Deadline, Error, Result};
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{parse, QuerySpec, Request};
+
+/// The result of executing one request line.
+pub struct Outcome {
+    /// The reply to write back (always newline-terminated by the caller).
+    pub reply: String,
+    /// True when the connection should close after the reply (QUIT).
+    pub close: bool,
+}
+
+/// Shared request executor: one per server, used from every worker thread.
+pub struct Engine {
+    lsm: Arc<LsmCoconut>,
+    dataset: Dataset,
+    metrics: Arc<ServerMetrics>,
+    default_deadline: Option<Duration>,
+}
+
+impl Engine {
+    /// Build an engine over an open index and its dataset.
+    /// `default_deadline` applies to queries that don't set `deadline_ms=`.
+    pub fn new(lsm: Arc<LsmCoconut>, dataset: Dataset, default_deadline: Option<Duration>) -> Self {
+        Engine {
+            lsm,
+            dataset,
+            metrics: Arc::new(ServerMetrics::new()),
+            default_deadline,
+        }
+    }
+
+    /// The engine's metric set (shared with the admission layer).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The underlying index (tests and the load generator use it to settle
+    /// compactions or inspect state).
+    pub fn lsm(&self) -> &Arc<LsmCoconut> {
+        &self.lsm
+    }
+
+    /// Render the Prometheus metrics text.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render(&self.lsm)
+    }
+
+    /// One-line health summary.
+    pub fn health_line(&self) -> String {
+        let snap = self.lsm.snapshot();
+        format!(
+            "OK healthy covered={} runs={} seq={}",
+            snap.covered_end(),
+            snap.run_count(),
+            snap.seq()
+        )
+    }
+
+    /// Execute one request line and format the reply.
+    pub fn execute_line(&self, line: &str) -> Outcome {
+        let request = match parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.record_failure(false);
+                return Outcome {
+                    reply: err_reply(&e),
+                    close: false,
+                };
+            }
+        };
+        if matches!(request, Request::Quit) {
+            return Outcome {
+                reply: "OK bye".into(),
+                close: true,
+            };
+        }
+        let reply = match self.execute(&request) {
+            Ok(reply) => reply,
+            Err(e) => {
+                self.metrics.record_failure(e.is_deadline());
+                err_reply(&e)
+            }
+        };
+        Outcome {
+            reply,
+            close: false,
+        }
+    }
+
+    fn execute(&self, request: &Request) -> Result<String> {
+        match request {
+            Request::Ping => Ok("OK pong".into()),
+            Request::Health => Ok(self.health_line()),
+            Request::Stats => Ok(format!("{}# EOF", self.metrics_text())),
+            Request::Exact { query, deadline_ms } => {
+                let deadline = self.deadline(*deadline_ms);
+                let snap = self.lsm.snapshot();
+                let q = self.resolve_query(query)?;
+                let started = Instant::now();
+                let (answer, stats) = snap.exact(&q, deadline)?;
+                self.metrics
+                    .record_query(started.elapsed().as_secs_f64(), &stats);
+                Ok(format!(
+                    "OK exact {} covered={} seq={} fetched={}",
+                    fmt_answer(&answer),
+                    snap.covered_end(),
+                    snap.seq(),
+                    stats.records_fetched
+                ))
+            }
+            Request::Knn {
+                k,
+                query,
+                deadline_ms,
+            } => {
+                let deadline = self.deadline(*deadline_ms);
+                let snap = self.lsm.snapshot();
+                let q = self.resolve_query(query)?;
+                let started = Instant::now();
+                let (answers, stats) = snap.exact_knn(&q, *k, deadline)?;
+                self.metrics
+                    .record_query(started.elapsed().as_secs_f64(), &stats);
+                Ok(format!(
+                    "OK knn k={} covered={} seq={} hits={}",
+                    k,
+                    snap.covered_end(),
+                    snap.seq(),
+                    fmt_hits(&answers)
+                ))
+            }
+            Request::Range {
+                epsilon,
+                query,
+                deadline_ms,
+            } => {
+                let deadline = self.deadline(*deadline_ms);
+                let snap = self.lsm.snapshot();
+                let q = self.resolve_query(query)?;
+                let started = Instant::now();
+                let (answers, stats) = snap.exact_range(&q, *epsilon, deadline)?;
+                self.metrics
+                    .record_query(started.elapsed().as_secs_f64(), &stats);
+                Ok(format!(
+                    "OK range eps={} covered={} seq={} hits={}",
+                    epsilon,
+                    snap.covered_end(),
+                    snap.seq(),
+                    fmt_hits(&answers)
+                ))
+            }
+            Request::Ingest { upto } => {
+                let upto = upto.unwrap_or_else(|| self.dataset.len());
+                let before = self.lsm.covered_end();
+                self.lsm.ingest_upto(&self.dataset, upto)?;
+                let after = self.lsm.covered_end();
+                self.metrics.record_ingest(after.saturating_sub(before));
+                Ok(format!(
+                    "OK ingest covered={} added={} runs={}",
+                    after,
+                    after.saturating_sub(before),
+                    self.lsm.run_count()
+                ))
+            }
+            Request::Compact => {
+                self.lsm.compact()?;
+                Ok(format!("OK compact runs={}", self.lsm.run_count()))
+            }
+            Request::Gc => Ok(format!("OK gc removed={}", self.lsm.collect_garbage())),
+            Request::Quit => Ok("OK bye".into()),
+        }
+    }
+
+    fn deadline(&self, requested_ms: Option<u64>) -> Deadline {
+        match requested_ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => self
+                .default_deadline
+                .map_or(Deadline::NONE, Deadline::after),
+        }
+    }
+
+    /// Materialize the query vector named by the request.
+    fn resolve_query(&self, spec: &QuerySpec) -> Result<Vec<Value>> {
+        let len = self.dataset.series_len();
+        match spec {
+            QuerySpec::Seed(seed) => {
+                let mut q = RandomWalkGen::new(*seed).generate(len);
+                znormalize(&mut q);
+                Ok(q)
+            }
+            QuerySpec::Pos(pos) => {
+                if *pos >= self.dataset.len() {
+                    return Err(Error::invalid(format!(
+                        "q=pos:{pos} is beyond the dataset ({} series)",
+                        self.dataset.len()
+                    )));
+                }
+                self.dataset.get(*pos)
+            }
+            QuerySpec::Values(values) => {
+                if values.len() != len {
+                    return Err(Error::invalid(format!(
+                        "q=v: has {} values but the dataset's series length is {len}",
+                        values.len()
+                    )));
+                }
+                Ok(values.clone())
+            }
+        }
+    }
+}
+
+/// Map an [`Error`] to its wire category (`ERR <category>: <message>`).
+fn err_reply(e: &Error) -> String {
+    let category = match e {
+        Error::Io(_) => "io",
+        Error::Corrupt(_) => "corrupt",
+        Error::InvalidArg(_) => "invalid",
+        Error::Deadline(_) => "deadline",
+    };
+    // Keep the reply one line no matter what the message holds.
+    let msg: String = e
+        .to_string()
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {category}: {msg}")
+}
+
+fn fmt_answer(a: &Answer) -> String {
+    if a.is_some() {
+        format!("pos={} dist={:.6}", a.pos, a.dist)
+    } else {
+        "pos=none dist=inf".into()
+    }
+}
+
+fn fmt_hits(answers: &[Answer]) -> String {
+    if answers.is_empty() {
+        return "none".into();
+    }
+    answers
+        .iter()
+        .map(|a| format!("{}:{:.6}", a.pos, a.dist))
+        .collect::<Vec<_>>()
+        .join(",")
+}

@@ -1,0 +1,35 @@
+//! # coconut-server — Coconut as a service
+//!
+//! A small concurrent query server over the LSM Coconut index
+//! ([`coconut_core::LsmCoconut`]). The design goal is end-to-end
+//! correctness under churn: every query pins a snapshot of the index
+//! (run set + covered prefix + manifest sequence) under a brief lock,
+//! then executes entirely lock-free against those pinned runs, while
+//! ingest and compaction proceed concurrently. Replies carry
+//! `covered=<n> seq=<s>` so a client can brute-force-check the answer
+//! against exactly the prefix the server saw.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`protocol`] — line-delimited request parsing (`EXACT q=seed:7 ...`);
+//! * [`engine`] — request execution over pinned snapshots with
+//!   cooperative per-request deadlines;
+//! * [`metrics`] — the server's Prometheus metric set (QPS, latency
+//!   percentiles, scan work, compaction debt);
+//! * [`pool`] — worker threads behind a bounded admission queue, plus
+//!   minimal HTTP `GET` handling for `curl`/Prometheus;
+//! * [`server`] — the TCP listener, accept loop, and clean shutdown.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, Outcome};
+pub use metrics::ServerMetrics;
+pub use pool::Pool;
+pub use protocol::{parse, QuerySpec, Request};
+pub use server::{Server, ServerConfig};

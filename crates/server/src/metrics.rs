@@ -1,0 +1,234 @@
+//! The server's metric set: one [`ServerMetrics`] per server process,
+//! built on the lock-free instruments of [`coconut_storage::metrics`].
+//!
+//! Counters and histograms are updated on the request hot path (a handful
+//! of relaxed atomics each); gauges derived from index state (covered
+//! prefix, run count, compaction debt) and from sliding-window meters (QPS,
+//! ingest rate) are refreshed lazily inside [`ServerMetrics::render`], so
+//! an idle server pays nothing for them.
+
+use std::sync::Arc;
+
+use coconut_core::LsmCoconut;
+use coconut_series::index::QueryStats;
+use coconut_storage::metrics::{Counter, Gauge, Histogram, RateMeter, Registry};
+
+/// Latency histogram bounds: 100 µs to ~105 s in ×2 steps — wide enough
+/// for sub-millisecond in-memory hits and multi-second cold scans alike.
+const LATENCY_START: f64 = 1e-4;
+const LATENCY_FACTOR: f64 = 2.0;
+const LATENCY_BUCKETS: usize = 20;
+
+/// QPS / ingest-rate window (seconds); bounded by the meter's ring size.
+const RATE_WINDOW_S: u64 = 10;
+
+/// Every instrument the query server exports, with Prometheus rendering.
+pub struct ServerMetrics {
+    registry: Registry,
+    /// Queries answered (any verb, success or failure).
+    pub queries: Arc<Counter>,
+    /// Queries that failed with a non-deadline error.
+    pub errors: Arc<Counter>,
+    /// Queries aborted by an expired per-request deadline.
+    pub timeouts: Arc<Counter>,
+    /// Connections rejected because the admission queue was full.
+    pub rejected: Arc<Counter>,
+    /// End-to-end query latency in seconds.
+    pub latency: Arc<Histogram>,
+    /// Raw series fetched by SIMS scans, across all queries.
+    pub records_fetched: Arc<Counter>,
+    /// Leaf nodes visited while seeding approximate answers.
+    pub leaves_visited: Arc<Counter>,
+    /// Series added to the index by `INGEST` requests.
+    pub ingested: Arc<Counter>,
+    /// Events feeding the QPS gauge.
+    pub query_meter: RateMeter,
+    /// Events (one per ingested series) feeding the ingest-rate gauge.
+    pub ingest_meter: RateMeter,
+    qps: Arc<Gauge>,
+    ingest_rate: Arc<Gauge>,
+    p50: Arc<Gauge>,
+    p99: Arc<Gauge>,
+    covered: Arc<Gauge>,
+    runs: Arc<Gauge>,
+    debt: Arc<Gauge>,
+    pinned_gc: Arc<Gauge>,
+    disk: Arc<Gauge>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Build the full metric set (registration order is render order).
+    pub fn new() -> Self {
+        let mut reg = Registry::new();
+        let queries = reg.counter("coconut_queries_total", "Queries answered (all verbs).");
+        let errors = reg.counter(
+            "coconut_query_errors_total",
+            "Queries failed with a non-deadline error.",
+        );
+        let timeouts = reg.counter(
+            "coconut_query_timeouts_total",
+            "Queries aborted by an expired per-request deadline.",
+        );
+        let rejected = reg.counter(
+            "coconut_requests_rejected_total",
+            "Connections rejected by the bounded admission queue.",
+        );
+        let latency = reg.histogram(
+            "coconut_query_latency_seconds",
+            "End-to-end query latency.",
+            Histogram::exponential(LATENCY_START, LATENCY_FACTOR, LATENCY_BUCKETS),
+        );
+        let p50 = reg.gauge(
+            "coconut_query_latency_p50_seconds",
+            "Median query latency (estimated from the histogram).",
+        );
+        let p99 = reg.gauge(
+            "coconut_query_latency_p99_seconds",
+            "99th-percentile query latency (estimated from the histogram).",
+        );
+        let qps = reg.gauge(
+            "coconut_qps",
+            "Queries per second over the trailing window.",
+        );
+        let records_fetched = reg.counter(
+            "coconut_records_fetched_total",
+            "Raw series fetched by SIMS scans.",
+        );
+        let leaves_visited = reg.counter(
+            "coconut_leaves_visited_total",
+            "Leaf nodes visited while seeding approximate answers.",
+        );
+        let ingested = reg.counter(
+            "coconut_series_ingested_total",
+            "Series added to the index by INGEST requests.",
+        );
+        let ingest_rate = reg.gauge(
+            "coconut_ingest_series_per_second",
+            "Ingest throughput over the trailing window.",
+        );
+        let covered = reg.gauge(
+            "coconut_covered_series",
+            "End (exclusive) of the indexed raw-file prefix.",
+        );
+        let runs = reg.gauge("coconut_runs", "Live LSM runs (read amplification).");
+        let debt = reg.gauge(
+            "coconut_compaction_debt_bytes",
+            "Index bytes not yet merged into the largest run.",
+        );
+        let pinned_gc = reg.gauge(
+            "coconut_gc_pinned_runs",
+            "Compacted-away runs kept on disk by live snapshots.",
+        );
+        let disk = reg.gauge("coconut_index_disk_bytes", "Total index bytes on disk.");
+        ServerMetrics {
+            registry: reg,
+            queries,
+            errors,
+            timeouts,
+            rejected,
+            latency,
+            records_fetched,
+            leaves_visited,
+            ingested,
+            query_meter: RateMeter::new(),
+            ingest_meter: RateMeter::new(),
+            qps,
+            ingest_rate,
+            p50,
+            p99,
+            covered,
+            runs,
+            debt,
+            pinned_gc,
+            disk,
+        }
+    }
+
+    /// Record one answered query: latency plus the scan's work counters.
+    pub fn record_query(&self, seconds: f64, stats: &QueryStats) {
+        self.queries.inc();
+        self.query_meter.record();
+        self.latency.observe(seconds);
+        self.records_fetched.add(stats.records_fetched);
+        self.leaves_visited.add(stats.leaves_visited);
+    }
+
+    /// Record a query failure; expired deadlines count separately so
+    /// saturation (timeouts) is distinguishable from breakage (errors).
+    pub fn record_failure(&self, is_deadline: bool) {
+        if is_deadline {
+            self.timeouts.inc();
+        } else {
+            self.errors.inc();
+        }
+    }
+
+    /// Record `n` series committed by an ingest. The meter has no bulk
+    /// add; for the batch sizes ingest sees (hundreds to tens of
+    /// thousands) a loop of relaxed atomics is microseconds, at most once
+    /// per batch.
+    pub fn record_ingest(&self, n: u64) {
+        self.ingested.add(n);
+        for _ in 0..n {
+            self.ingest_meter.record();
+        }
+    }
+
+    /// Refresh the derived gauges from the index and the sliding-window
+    /// meters, then render everything as Prometheus text.
+    pub fn render(&self, lsm: &LsmCoconut) -> String {
+        self.qps.set(self.query_meter.per_second(RATE_WINDOW_S));
+        self.ingest_rate
+            .set(self.ingest_meter.per_second(RATE_WINDOW_S));
+        self.p50.set(self.latency.quantile(0.50));
+        self.p99.set(self.latency.quantile(0.99));
+        let snap = lsm.snapshot();
+        self.covered.set(snap.covered_end() as f64);
+        self.runs.set(snap.run_count() as f64);
+        self.debt.set(lsm.compaction_debt() as f64);
+        self.pinned_gc.set(lsm.pinned_garbage() as f64);
+        self.disk
+            .set(coconut_series::index::SeriesIndex::disk_bytes(lsm) as f64);
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_required_metrics() {
+        use coconut_core::{BuildOptions, IndexConfig, LsmCoconut};
+        let dir = coconut_storage::TempDir::new("srv-metrics").unwrap();
+        let lsm = LsmCoconut::new(
+            IndexConfig::default_for_len(64),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let m = ServerMetrics::new();
+        m.record_query(0.004, &QueryStats::default());
+        m.record_failure(true);
+        m.record_ingest(100);
+        let text = m.render(&lsm);
+        for required in [
+            "coconut_qps",
+            "coconut_query_latency_p50_seconds",
+            "coconut_query_latency_p99_seconds",
+            "coconut_query_latency_seconds_bucket",
+            "coconut_records_fetched_total",
+            "coconut_compaction_debt_bytes",
+            "coconut_query_timeouts_total 1",
+            "coconut_series_ingested_total 100",
+        ] {
+            assert!(text.contains(required), "missing {required} in:\n{text}");
+        }
+    }
+}

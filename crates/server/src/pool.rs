@@ -1,0 +1,216 @@
+//! The worker pool and per-connection I/O.
+//!
+//! Accepted connections go through a **bounded admission queue**
+//! ([`std::sync::mpsc::sync_channel`]): when every worker is busy and the
+//! queue is full, the connection is refused immediately with
+//! `ERR busy: ...` instead of piling up latency — the open-loop load
+//! experiment counts these rejections rather than letting them distort
+//! tail latency.
+//!
+//! Workers speak the line protocol of [`crate::protocol`], and also answer
+//! minimal HTTP `GET`s (`/metrics`, `/health`) so `curl` and Prometheus
+//! scrapers work against the same port. Reads poll with a short timeout so
+//! a worker parked on an idle connection still notices server shutdown.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::engine::Engine;
+
+/// How often a blocked read wakes to re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Upper bound on one request line (a `q=v:` vector of a few thousand
+/// floats fits comfortably); longer lines are refused.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A fixed set of worker threads fed connections through a bounded queue.
+pub struct Pool {
+    tx: Mutex<Option<SyncSender<TcpStream>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawn `workers` threads sharing an admission queue of `queue`
+    /// waiting connections (beyond the ones being served).
+    pub fn new(
+        engine: Arc<Engine>,
+        workers: usize,
+        queue: usize,
+        shutdown: Arc<AtomicBool>,
+    ) -> Pool {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = Arc::clone(&rx);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
+                    .name(format!("coconut-serve-{i}"))
+                    .spawn(move || worker_loop(engine, rx, shutdown))
+                    .expect("spawning a server worker thread")
+            })
+            .collect();
+        Pool {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Hand a connection to the pool. Returns `false` (connection refused,
+    /// `ERR busy` already written) when the admission queue is full.
+    pub fn dispatch(&self, stream: TcpStream) -> bool {
+        let tx = match self.tx.lock().clone() {
+            Some(tx) => tx,
+            None => return false,
+        };
+        match tx.try_send(stream) {
+            Ok(()) => true,
+            Err(TrySendError::Full(mut stream)) | Err(TrySendError::Disconnected(mut stream)) => {
+                let _ = stream.write_all(b"ERR busy: admission queue full\n");
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                false
+            }
+        }
+    }
+
+    /// Close the queue and join every worker. Idempotent.
+    pub fn join(&self) {
+        drop(self.tx.lock().take());
+        let workers: Vec<_> = self.workers.lock().drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    engine: Arc<Engine>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        // Hold the receiver lock only while waiting for a connection.
+        let conn = {
+            let rx = rx.lock();
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match conn {
+            Ok(stream) => handle_connection(&engine, stream, &shutdown),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// A line reader over a polling (read-timeout) stream that survives
+/// partial reads and re-checks `shutdown` between polls.
+struct LineReader<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+    /// Bytes read but not yet consumed as lines.
+    pending: Vec<u8>,
+    shutdown: &'a AtomicBool,
+}
+
+impl LineReader<'_> {
+    /// Next newline-terminated line (without the terminator), or `None` on
+    /// EOF / shutdown / oversized line.
+    fn next_line(&mut self) -> Option<String> {
+        loop {
+            if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=nl).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.pending.len() > MAX_LINE_BYTES {
+                return None;
+            }
+            self.buf.resize(4096, 0);
+            let mut stream = self.stream;
+            match stream.read(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(n) => self.pending.extend_from_slice(&self.buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn handle_connection(engine: &Arc<Engine>, stream: TcpStream, shutdown: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = LineReader {
+        stream: &stream,
+        buf: Vec::new(),
+        pending: Vec::new(),
+        shutdown,
+    };
+    let mut out = &stream;
+    while let Some(line) = reader.next_line() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // HTTP sniffing: a GET request line switches the connection to
+        // one-shot HTTP mode so `curl http://.../metrics` just works.
+        if let Some(path) = line.strip_prefix("GET ") {
+            let path = path.split_whitespace().next().unwrap_or("/");
+            // Drain the request headers up to the blank line.
+            while let Some(header) = reader.next_line() {
+                if header.trim().is_empty() {
+                    break;
+                }
+            }
+            let _ = write_http_response(&mut out, engine, path);
+            break;
+        }
+        let outcome = engine.execute_line(&line);
+        if out
+            .write_all(format!("{}\n", outcome.reply).as_bytes())
+            .is_err()
+            || outcome.close
+        {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn write_http_response(
+    out: &mut &TcpStream,
+    engine: &Arc<Engine>,
+    path: &str,
+) -> std::io::Result<()> {
+    let (status, body) = match path {
+        "/metrics" | "/stats" => ("200 OK", engine.metrics_text()),
+        "/health" => ("200 OK", format!("{}\n", engine.health_line())),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    out.write_all(header.as_bytes())?;
+    out.write_all(body.as_bytes())
+}

@@ -1,0 +1,255 @@
+//! The wire protocol: line-delimited requests, plain-text responses.
+//!
+//! A request is one line, `VERB key=value ...` (case-insensitive verb,
+//! order-free arguments). Responses are one line starting `OK` or
+//! `ERR <category>: <message>` — except `STATS`, whose multi-line
+//! Prometheus body is terminated by a `# EOF` line. The same socket also
+//! accepts minimal HTTP `GET`s (for `curl`/Prometheus scrapers); see
+//! `crate::pool`.
+//!
+//! Query vectors come in three forms, so load generators, debuggers, and
+//! real clients all have a convenient entry:
+//!
+//! * `q=seed:<n>` — a z-normalized random walk generated from seed `n`
+//!   (deterministic: client and oracle can regenerate it);
+//! * `q=pos:<n>` — the dataset's own series at position `n`;
+//! * `q=v:<a,b,c,...>` — explicit comma-separated values.
+
+use coconut_series::Value;
+use coconut_storage::{Error, Result};
+
+/// How a request names its query vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// Generate a z-normalized random walk from this seed.
+    Seed(u64),
+    /// Use the dataset's series at this position.
+    Pos(u64),
+    /// Explicit values (must match the dataset's series length).
+    Values(Vec<Value>),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered `OK pong`.
+    Ping,
+    /// One-line health summary (covered prefix, run count).
+    Health,
+    /// Prometheus metrics, terminated by `# EOF`.
+    Stats,
+    /// Exact 1-NN.
+    Exact {
+        /// The query vector.
+        query: QuerySpec,
+        /// Per-request deadline in milliseconds (None = server default).
+        deadline_ms: Option<u64>,
+    },
+    /// Exact k-NN.
+    Knn {
+        /// Number of neighbors.
+        k: usize,
+        /// The query vector.
+        query: QuerySpec,
+        /// Per-request deadline in milliseconds (None = server default).
+        deadline_ms: Option<u64>,
+    },
+    /// Exact range query.
+    Range {
+        /// Inclusive Euclidean distance threshold.
+        epsilon: f64,
+        /// The query vector.
+        query: QuerySpec,
+        /// Per-request deadline in milliseconds (None = server default).
+        deadline_ms: Option<u64>,
+    },
+    /// Index the dataset prefix up to `upto` (None = the whole dataset).
+    Ingest {
+        /// End (exclusive) of the prefix to cover.
+        upto: Option<u64>,
+    },
+    /// Merge every run into one and wait for it.
+    Compact,
+    /// Sweep unpinned garbage run directories now.
+    Gc,
+    /// Close the connection.
+    Quit,
+}
+
+fn bad(msg: impl std::fmt::Display) -> Error {
+    Error::invalid(format!("protocol: {msg}"))
+}
+
+fn parse_query_spec(v: &str) -> Result<QuerySpec> {
+    if let Some(seed) = v.strip_prefix("seed:") {
+        return Ok(QuerySpec::Seed(
+            seed.parse().map_err(|_| bad("q=seed: wants an integer"))?,
+        ));
+    }
+    if let Some(pos) = v.strip_prefix("pos:") {
+        return Ok(QuerySpec::Pos(
+            pos.parse().map_err(|_| bad("q=pos: wants an integer"))?,
+        ));
+    }
+    if let Some(vals) = v.strip_prefix("v:") {
+        let parsed: std::result::Result<Vec<Value>, _> =
+            vals.split(',').map(|x| x.trim().parse::<Value>()).collect();
+        let parsed = parsed.map_err(|_| bad("q=v: wants comma-separated numbers"))?;
+        if parsed.is_empty() {
+            return Err(bad("q=v: needs at least one value"));
+        }
+        return Ok(QuerySpec::Values(parsed));
+    }
+    Err(bad("q= must be seed:<n>, pos:<n>, or v:<a,b,...>"))
+}
+
+/// Key-value arguments after the verb, with typed accessors.
+struct Args<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(tokens: &[&'a str]) -> Result<Self> {
+        let mut pairs = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| bad(format!("argument {t:?} is not key=value")))?;
+            pairs.push((k, v));
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn required_query(&self) -> Result<QuerySpec> {
+        parse_query_spec(self.get("q").ok_or_else(|| bad("missing q="))?)
+    }
+
+    fn u64_opt(&self, key: &str) -> Result<Option<u64>> {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| bad(format!("{key}= wants an integer")))
+            })
+            .transpose()
+    }
+
+    fn f64_req(&self, key: &str) -> Result<f64> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| bad(format!("missing {key}=")))?;
+        let parsed: f64 = v
+            .parse()
+            .map_err(|_| bad(format!("{key}= wants a number")))?;
+        if !parsed.is_finite() || parsed < 0.0 {
+            return Err(bad(format!("{key}= must be finite and non-negative")));
+        }
+        Ok(parsed)
+    }
+}
+
+/// Parse one request line. Empty (or all-whitespace) lines are invalid —
+/// the connection handler skips them before calling this.
+pub fn parse(line: &str) -> Result<Request> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((verb, rest)) = tokens.split_first() else {
+        return Err(bad("empty request"));
+    };
+    let verb = verb.to_ascii_uppercase();
+    let args = Args::parse(rest)?;
+    match verb.as_str() {
+        "PING" => Ok(Request::Ping),
+        "HEALTH" => Ok(Request::Health),
+        "STATS" | "METRICS" => Ok(Request::Stats),
+        "EXACT" => Ok(Request::Exact {
+            query: args.required_query()?,
+            deadline_ms: args.u64_opt("deadline_ms")?,
+        }),
+        "KNN" => {
+            let k = args
+                .u64_opt("k")?
+                .ok_or_else(|| bad("missing k="))?
+                .try_into()
+                .map_err(|_| bad("k= is too large"))?;
+            Ok(Request::Knn {
+                k,
+                query: args.required_query()?,
+                deadline_ms: args.u64_opt("deadline_ms")?,
+            })
+        }
+        "RANGE" => Ok(Request::Range {
+            epsilon: args.f64_req("eps")?,
+            query: args.required_query()?,
+            deadline_ms: args.u64_opt("deadline_ms")?,
+        }),
+        "INGEST" => Ok(Request::Ingest {
+            upto: args.u64_opt("upto")?,
+        }),
+        "COMPACT" => Ok(Request::Compact),
+        "GC" => Ok(Request::Gc),
+        "QUIT" => Ok(Request::Quit),
+        other => Err(bad(format!("unknown verb {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_verbs() {
+        assert_eq!(parse("PING").unwrap(), Request::Ping);
+        assert_eq!(parse("quit").unwrap(), Request::Quit);
+        assert_eq!(
+            parse("EXACT q=seed:7 deadline_ms=250").unwrap(),
+            Request::Exact {
+                query: QuerySpec::Seed(7),
+                deadline_ms: Some(250),
+            }
+        );
+        assert_eq!(
+            parse("KNN k=5 q=pos:12").unwrap(),
+            Request::Knn {
+                k: 5,
+                query: QuerySpec::Pos(12),
+                deadline_ms: None,
+            }
+        );
+        let r = parse("RANGE eps=1.5 q=v:0.5,-1,2.25").unwrap();
+        assert_eq!(
+            r,
+            Request::Range {
+                epsilon: 1.5,
+                query: QuerySpec::Values(vec![0.5, -1.0, 2.25]),
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            parse("INGEST upto=4000").unwrap(),
+            Request::Ingest { upto: Some(4000) }
+        );
+        assert_eq!(parse("INGEST").unwrap(), Request::Ingest { upto: None });
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "",
+            "FROB",
+            "EXACT",
+            "EXACT q=walrus:1",
+            "KNN q=seed:1",
+            "KNN k=abc q=seed:1",
+            "RANGE q=seed:1",
+            "RANGE eps=-1 q=seed:1",
+            "RANGE eps=nan q=seed:1",
+            "EXACT q=v:",
+            "INGEST upto=many",
+        ] {
+            assert!(parse(line).is_err(), "should reject {line:?}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Cooperative per-operation deadlines.
+//!
+//! A [`Deadline`] is a copyable "finish by this instant" token threaded
+//! through long-running operations (the SIMS exact scan, multi-run LSM
+//! queries). The operation calls [`Deadline::check`] at its natural
+//! checkpoints — the same places the early-abandon logic already inspects
+//! the best-so-far — and aborts with [`Error::Deadline`] when the instant
+//! has passed. Checks are a single branch when no deadline is set, so the
+//! unbounded path pays nothing.
+//!
+//! The query server uses this to enforce per-request latency budgets: an
+//! expired deadline surfaces as a typed timeout response, never a hung
+//! worker.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// An optional completion deadline. `Deadline::NONE` never expires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// The absent deadline: [`Deadline::check`] always succeeds.
+    pub const NONE: Deadline = Deadline(None);
+
+    /// A deadline at the given instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline(Some(instant))
+    }
+
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline(Some(Instant::now() + budget))
+    }
+
+    /// True when no deadline is set.
+    pub fn is_none(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// True when a deadline is set and has already passed.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// The underlying instant, if a deadline is set.
+    pub fn instant(&self) -> Option<Instant> {
+        self.0
+    }
+
+    /// Fail with [`Error::Deadline`] if the deadline has passed.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        match self.0 {
+            Some(t) if Instant::now() >= t => Err(Error::deadline(format!(
+                "operation overran its deadline by {:.1} ms",
+                t.elapsed().as_secs_f64() * 1e3
+            ))),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::NONE;
+        assert!(d.is_none());
+        assert!(!d.expired());
+        d.check().unwrap();
+        assert_eq!(Deadline::default(), Deadline::NONE);
+    }
+
+    #[test]
+    fn future_deadline_passes_then_expires() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.is_none());
+        assert!(!d.expired());
+        d.check().unwrap();
+
+        let past = Deadline::at(Instant::now() - Duration::from_millis(5));
+        assert!(past.expired());
+        let err = past.check().unwrap_err();
+        assert!(err.is_deadline(), "{err}");
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+    }
+}

@@ -16,6 +16,10 @@ pub enum Error {
     /// A caller supplied an argument outside the supported range
     /// (zero-length series, budget too small to hold a single record, ...).
     InvalidArg(String),
+    /// A cooperative deadline expired before the operation finished. Raised
+    /// at the query path's early-abandon checkpoints (see
+    /// [`crate::deadline::Deadline`]); the partial work is discarded.
+    Deadline(String),
 }
 
 /// Convenient alias used throughout the workspace.
@@ -27,6 +31,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -55,6 +60,17 @@ impl Error {
     /// Build an [`Error::InvalidArg`] from anything printable.
     pub fn invalid(msg: impl fmt::Display) -> Self {
         Error::InvalidArg(msg.to_string())
+    }
+
+    /// Build an [`Error::Deadline`] from anything printable.
+    pub fn deadline(msg: impl fmt::Display) -> Self {
+        Error::Deadline(msg.to_string())
+    }
+
+    /// True when this error is an expired [`Error::Deadline`] — servers map
+    /// it to a per-request timeout response rather than a failure.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, Error::Deadline(_))
     }
 }
 

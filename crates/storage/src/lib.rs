@@ -20,6 +20,12 @@
 //! * [`atomic`] — crash-safe file replacement (write-temp + fsync + rename)
 //!   and CRC-64 payload checksumming, used by the LSM manifest in
 //!   `coconut-core`.
+//! * [`metrics`] — lock-free counters, gauges, histograms, and rate meters
+//!   with Prometheus text rendering: the aggregation layer the query
+//!   server's observability is built on.
+//! * [`Deadline`] — a copyable per-operation deadline checked at the query
+//!   path's early-abandon checkpoints, backing the server's per-request
+//!   latency budgets.
 //!
 //! Nothing in this crate knows about data series; it works on fixed-size
 //! binary records and raw pages.
@@ -29,16 +35,19 @@
 pub mod atomic;
 pub mod budget;
 pub mod cache;
+pub mod deadline;
 pub mod error;
 pub mod extsort;
 pub mod file;
 pub mod iostats;
+pub mod metrics;
 pub mod pagefile;
 pub mod tempdir;
 
 pub use atomic::{atomic_write, crc64};
 pub use budget::MemoryBudget;
 pub use cache::PageCache;
+pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use extsort::{Codec, ExternalSorter, MergedStream, RecordStream, SortReport, SortedStream};
 pub use file::CountedFile;

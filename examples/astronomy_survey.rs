@@ -39,7 +39,7 @@ fn main() -> coconut::storage::Result<()> {
     let dataset = Dataset::open(&data_path, Arc::clone(&stats))?;
 
     let config = IndexConfig::default_for_len(len);
-    let mut lsm = LsmCoconut::new(config, BuildOptions::default(), dir.path())?;
+    let lsm = LsmCoconut::new(config, BuildOptions::default(), dir.path())?;
     lsm.set_max_runs(3);
 
     // A target object whose behaviour we watch for (e.g. a known AGN flare

@@ -97,11 +97,12 @@ pub mod prelude {
         AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
     };
     pub use crate::index::{
-        BuildOptions, CoconutTree, CoconutTrie, IndexConfig, KillPoint, LsmCoconut, TieredPolicy,
+        BuildOptions, CoconutTree, CoconutTrie, IndexConfig, KillPoint, LsmCoconut, Snapshot,
+        TieredPolicy,
     };
     pub use crate::series::dataset::{write_dataset, Dataset, DatasetWriter};
     pub use crate::series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
     pub use crate::series::index::{Answer, QueryStats, SeriesIndex};
-    pub use crate::storage::{IoStats, MemoryBudget, TempDir};
+    pub use crate::storage::{Deadline, IoStats, MemoryBudget, TempDir};
     pub use crate::summary::config::SaxConfig;
 }

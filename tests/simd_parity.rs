@@ -55,8 +55,17 @@ fn answers_digest() -> String {
         let qp = paa(&q, config.segments);
 
         let mut fetcher = VecFetcher { data: &data };
-        let (ans, _) =
-            sims_exact(&q, &qp, &keys, &config, 2, Answer::none(), &mut fetcher).unwrap();
+        let (ans, _) = sims_exact(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            2,
+            Answer::none(),
+            &mut fetcher,
+            Deadline::NONE,
+        )
+        .unwrap();
         let _ = writeln!(
             digest,
             "q{qi} exact pos={} dist={:016x}",
@@ -65,7 +74,18 @@ fn answers_digest() -> String {
         );
 
         let mut fetcher = VecFetcher { data: &data };
-        let (knn, _) = sims_exact_knn(&q, &qp, &keys, &config, 2, 3, &[], &mut fetcher).unwrap();
+        let (knn, _) = sims_exact_knn(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            2,
+            3,
+            &[],
+            &mut fetcher,
+            Deadline::NONE,
+        )
+        .unwrap();
         for (r, a) in knn.iter().enumerate() {
             let _ = writeln!(
                 digest,
@@ -77,7 +97,17 @@ fn answers_digest() -> String {
 
         let mut fetcher = VecFetcher { data: &data };
         let eps = ans.dist * 1.5 + 0.1;
-        let (range, _) = sims_range(&q, &qp, &keys, &config, 2, eps, &mut fetcher).unwrap();
+        let (range, _) = sims_range(
+            &q,
+            &qp,
+            &keys,
+            &config,
+            2,
+            eps,
+            &mut fetcher,
+            Deadline::NONE,
+        )
+        .unwrap();
         let _ = writeln!(digest, "q{qi} range n={}", range.len());
         for a in range.iter().take(5) {
             let _ = writeln!(

@@ -35,7 +35,7 @@ fn batch_ingest_survives_clean_restart() {
     let (dir, dataset) = setup(500);
     let idx_dir = dir.path().join("lsm");
     {
-        let mut lsm = LsmCoconut::new(config(), BuildOptions::default(), &idx_dir).unwrap();
+        let lsm = LsmCoconut::new(config(), BuildOptions::default(), &idx_dir).unwrap();
         for upto in [100u64, 250, 400, 500] {
             lsm.ingest_upto(&dataset, upto).unwrap();
         }
@@ -57,14 +57,14 @@ fn simulated_crash_recovers_committed_prefix() {
     let (dir, dataset) = setup(600);
     let idx_dir = dir.path().join("lsm");
     {
-        let mut lsm = LsmCoconut::new(config(), BuildOptions::default(), &idx_dir).unwrap();
+        let lsm = LsmCoconut::new(config(), BuildOptions::default(), &idx_dir).unwrap();
         lsm.ingest_upto(&dataset, 300).unwrap();
         lsm.wait_for_compactions().unwrap();
         // Die halfway through the next commit's manifest write.
         lsm.set_kill_point(Some(KillPoint::MidManifestWrite));
         assert!(lsm.ingest_upto(&dataset, 600).is_err());
     } // the "crashed process"
-    let mut lsm = LsmCoconut::open(&idx_dir, &dataset, BuildOptions::default()).unwrap();
+    let lsm = LsmCoconut::open(&idx_dir, &dataset, BuildOptions::default()).unwrap();
     // The un-committed batch is lost — exactly crash semantics — and the
     // committed prefix answers exactly.
     assert_eq!(lsm.covered_end(), 300);
@@ -84,7 +84,7 @@ fn simulated_crash_recovers_committed_prefix() {
 fn tiered_policy_bounds_read_amplification() {
     let (dir, dataset) = setup(800);
     let idx_dir = dir.path().join("lsm");
-    let mut lsm = LsmCoconut::new(config(), BuildOptions::default(), &idx_dir).unwrap();
+    let lsm = LsmCoconut::new(config(), BuildOptions::default(), &idx_dir).unwrap();
     lsm.set_policy(Box::new(TieredPolicy {
         size_ratio: 4,
         tier_runs: 2,

@@ -87,7 +87,7 @@ fn lsm_and_btree_and_ads_agree_under_growth() {
 
     let mut tree =
         CoconutTree::build_range(&dataset, 0..200, &config(), dir.path(), opts.clone()).unwrap();
-    let mut lsm = LsmCoconut::new(config(), opts, dir.path()).unwrap();
+    let lsm = LsmCoconut::new(config(), opts, dir.path()).unwrap();
     lsm.set_max_runs(2);
     lsm.ingest_upto(&dataset, 200).unwrap();
     let mut ads = AdsIndex::build_upto(
