@@ -23,9 +23,11 @@
 //! | bench_distance | distance-kernel baseline: scalar vs SIMD | [`bench_distance::run`] |
 //! | streaming | LSM streaming ingest: throughput + latency vs run count | [`streaming::run`] |
 //! | serve | open-loop socket load on the query server under churn | [`serve::run`] |
+//! | distributed | scatter-gather kNN across shard worker processes | [`distributed::run`] |
 
 pub mod ablation;
 pub mod bench_distance;
+pub mod distributed;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;

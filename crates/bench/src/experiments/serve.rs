@@ -94,8 +94,17 @@ fn client_loop(
     all_series: Arc<Vec<Vec<Value>>>,
     start_at: Instant,
 ) -> Result<ClientReport> {
-    let stream = TcpStream::connect(addr)
-        .map_err(|e| Error::invalid(format!("client {client_id}: connect: {e}")))?;
+    // The server may still be settling into its accept loop (or the
+    // admission queue may briefly refuse) when many clients start at once:
+    // retry refused connections with capped backoff instead of failing the
+    // whole experiment on the first ECONNREFUSED.
+    let stream = coconut_server::connect_with_retry(
+        &addr.to_string(),
+        10,
+        Duration::from_millis(20),
+        Duration::from_millis(400),
+    )
+    .map_err(|e| Error::invalid(format!("client {client_id}: connect: {e}")))?;
     let mut reader = BufReader::new(
         stream
             .try_clone()

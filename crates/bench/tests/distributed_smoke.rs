@@ -1,0 +1,44 @@
+//! End-to-end smoke test of `repro distributed`: drives the real binary
+//! (which re-execs itself as shard worker processes) at a micro scale and
+//! checks the committed artifacts. This is the same path CI runs per PR.
+
+use std::process::Command;
+
+use coconut_storage::TempDir;
+
+#[test]
+fn repro_distributed_runs_and_verifies() {
+    let work = TempDir::new("dist-smoke-w").unwrap();
+    let results = TempDir::new("dist-smoke-r").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "distributed",
+            "--n",
+            "700",
+            "--len",
+            "64",
+            "--queries",
+            "3",
+            "--work-dir",
+        ])
+        .arg(work.path())
+        .arg("--results-dir")
+        .arg(results.path())
+        .output()
+        .expect("repro binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "repro distributed failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+
+    let json = std::fs::read_to_string(results.path().join("BENCH_distributed.json")).unwrap();
+    assert!(json.contains("\"experiment\": \"distributed\""), "{json}");
+    assert!(json.contains("\"divergences\": 0"), "{json}");
+    for shards in [1, 2, 4] {
+        assert!(json.contains(&format!("\"shards\": {shards}")), "{json}");
+    }
+    let csv = std::fs::read_to_string(results.path().join("distributed.csv")).unwrap();
+    assert!(csv.starts_with("shards,requests,qps,p50_ms,p99_ms,diverged"));
+}

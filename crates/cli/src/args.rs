@@ -18,7 +18,10 @@ usage:
   coconut compact --data <data.ds> --index-dir DIR
   coconut serve   --data <data.ds> --index-dir DIR [--addr HOST:PORT]
                   [--workers N] [--queue N] [--deadline-ms MS]
-                  [--initial N] [--leaf N] [--memory-mb M]";
+                  [--initial N] [--leaf N] [--memory-mb M] [--shard]
+  coconut serve   --data <data.ds> --coordinator --shards H:P,H:P,...
+                  [--addr HOST:PORT] [--workers N] [--queue N]
+                  [--deadline-ms MS]";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,10 +80,13 @@ pub enum Command {
     /// Merge every run of an LSM index directory into one.
     Compact { data: PathBuf, index_dir: PathBuf },
     /// Serve queries over TCP from an LSM index directory (creating the
-    /// index on first use, recovering it afterwards).
+    /// index on first use, recovering it afterwards), as a single node, a
+    /// shard worker, or a coordinator over shard workers.
     Serve {
         data: PathBuf,
-        index_dir: PathBuf,
+        /// Index directory; required except in coordinator mode, which
+        /// holds no local index.
+        index_dir: Option<PathBuf>,
         /// Bind address; port 0 picks a free port.
         addr: String,
         workers: usize,
@@ -92,6 +98,13 @@ pub enum Command {
         initial: Option<u64>,
         leaf: Option<usize>,
         memory_mb: u64,
+        /// Shard-worker mode: serve one key-range slice, assigned by a
+        /// coordinator's `BUILD` request (recovered from the index
+        /// directory after a restart).
+        shard: bool,
+        /// Coordinator mode: the shard workers' addresses in slice order
+        /// (non-empty enables the mode).
+        shards: Vec<String>,
     },
     /// Print usage.
     Help,
@@ -99,7 +112,14 @@ pub enum Command {
 
 /// Split argv into `--key value` / `--flag` options and positionals.
 fn split(argv: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
-    const FLAGS: &[&str] = &["--materialized", "--approximate", "--help", "-h"];
+    const FLAGS: &[&str] = &[
+        "--materialized",
+        "--approximate",
+        "--shard",
+        "--coordinator",
+        "--help",
+        "-h",
+    ];
     let mut opts = HashMap::new();
     let mut pos = Vec::new();
     let mut i = 0;
@@ -252,42 +272,84 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             data: PathBuf::from(req(&opts, "--data")?),
             index_dir: PathBuf::from(req(&opts, "--index-dir")?),
         }),
-        "serve" => Ok(Command::Serve {
-            data: PathBuf::from(req(&opts, "--data")?),
-            index_dir: PathBuf::from(req(&opts, "--index-dir")?),
-            addr: opts
-                .get("--addr")
-                .map_or("127.0.0.1:6381", |s| s.as_str())
-                .to_string(),
-            workers: match opts.get("--workers") {
-                Some(s) => {
-                    let n: usize = parse_num(s, "workers")?;
-                    if n == 0 {
-                        return Err("workers must be at least 1".into());
-                    }
-                    n
+        "serve" => {
+            let shard = opts.contains_key("--shard");
+            let coordinator = opts.contains_key("--coordinator");
+            if shard && coordinator {
+                return Err("serve: --shard and --coordinator are mutually exclusive".into());
+            }
+            let shards: Vec<String> = opts
+                .get("--shards")
+                .map(|s| {
+                    s.split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(String::from)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if coordinator && shards.is_empty() {
+                return Err("serve: --coordinator needs --shards host:port,...".into());
+            }
+            if !coordinator && !shards.is_empty() {
+                return Err("serve: --shards only makes sense with --coordinator".into());
+            }
+            let index_dir = if coordinator {
+                if opts.contains_key("--index-dir") {
+                    return Err(
+                        "serve: a coordinator holds no local index; drop --index-dir".into(),
+                    );
                 }
-                None => std::thread::available_parallelism().map_or(4, |n| n.get()),
-            },
-            queue: opts
-                .get("--queue")
-                .map_or(Ok(64), |s| parse_num(s, "queue"))?,
-            deadline_ms: opts
-                .get("--deadline-ms")
-                .map(|s| parse_num(s, "deadline-ms"))
-                .transpose()?,
-            initial: opts
-                .get("--initial")
-                .map(|s| parse_num(s, "initial"))
-                .transpose()?,
-            leaf: opts
-                .get("--leaf")
-                .map(|s| parse_num(s, "leaf"))
-                .transpose()?,
-            memory_mb: opts
-                .get("--memory-mb")
-                .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
-        }),
+                None
+            } else {
+                Some(PathBuf::from(req(&opts, "--index-dir")?))
+            };
+            if shard && opts.contains_key("--initial") {
+                return Err(
+                    "serve: a shard worker's slice is assigned by the coordinator's BUILD; \
+                     drop --initial"
+                        .into(),
+                );
+            }
+            Ok(Command::Serve {
+                data: PathBuf::from(req(&opts, "--data")?),
+                index_dir,
+                addr: opts
+                    .get("--addr")
+                    .map_or("127.0.0.1:6381", |s| s.as_str())
+                    .to_string(),
+                workers: match opts.get("--workers") {
+                    Some(s) => {
+                        let n: usize = parse_num(s, "workers")?;
+                        if n == 0 {
+                            return Err("workers must be at least 1".into());
+                        }
+                        n
+                    }
+                    None => std::thread::available_parallelism().map_or(4, |n| n.get()),
+                },
+                queue: opts
+                    .get("--queue")
+                    .map_or(Ok(64), |s| parse_num(s, "queue"))?,
+                deadline_ms: opts
+                    .get("--deadline-ms")
+                    .map(|s| parse_num(s, "deadline-ms"))
+                    .transpose()?,
+                initial: opts
+                    .get("--initial")
+                    .map(|s| parse_num(s, "initial"))
+                    .transpose()?,
+                leaf: opts
+                    .get("--leaf")
+                    .map(|s| parse_num(s, "leaf"))
+                    .transpose()?,
+                memory_mb: opts
+                    .get("--memory-mb")
+                    .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
+                shard,
+                shards,
+            })
+        }
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -477,7 +539,7 @@ mod tests {
             c,
             Command::Serve {
                 data: PathBuf::from("d.ds"),
-                index_dir: PathBuf::from("./lsm"),
+                index_dir: Some(PathBuf::from("./lsm")),
                 addr: "0.0.0.0:7000".into(),
                 workers: 8,
                 queue: 32,
@@ -485,6 +547,8 @@ mod tests {
                 initial: Some(5000),
                 leaf: None,
                 memory_mb: 256,
+                shard: false,
+                shards: vec![],
             }
         );
         let c = parse(&argv("serve --data d.ds --index-dir ./lsm")).unwrap();
@@ -509,6 +573,46 @@ mod tests {
         assert!(parse(&argv("serve --index-dir x")).is_err()); // no --data
         assert!(parse(&argv("serve --data d --index-dir x --workers 0")).is_err());
         assert!(parse(&argv("serve --data d --index-dir x --workers abc")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_shard_and_coordinator() {
+        let c = parse(&argv("serve --data d.ds --index-dir ./s0 --shard")).unwrap();
+        let Command::Serve { shard, shards, .. } = c else {
+            panic!()
+        };
+        assert!(shard);
+        assert!(shards.is_empty());
+
+        let c = parse(&argv(
+            "serve --data d.ds --coordinator --shards 127.0.0.1:7001,127.0.0.1:7002",
+        ))
+        .unwrap();
+        let Command::Serve {
+            shard,
+            shards,
+            index_dir,
+            ..
+        } = c
+        else {
+            panic!()
+        };
+        assert!(!shard);
+        assert_eq!(shards, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(index_dir, None);
+
+        // Conflicting or incomplete mode selections fail cleanly.
+        assert!(parse(&argv(
+            "serve --data d --index-dir x --shard --coordinator y"
+        ))
+        .is_err());
+        assert!(parse(&argv("serve --data d --coordinator")).is_err()); // no --shards
+        assert!(parse(&argv("serve --data d --index-dir x --shards 1.2.3.4:1")).is_err());
+        assert!(parse(&argv(
+            "serve --data d --coordinator --shards 1.2.3.4:1 --index-dir x"
+        ))
+        .is_err());
+        assert!(parse(&argv("serve --data d --index-dir x --shard --initial 100")).is_err());
     }
 
     #[test]

@@ -291,9 +291,96 @@ pub fn run(cmd: Command) -> Result<()> {
             initial,
             leaf,
             memory_mb,
+            shard,
+            shards,
         } => {
             let stats = Arc::new(IoStats::new());
             let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            let default_deadline = deadline_ms.map(std::time::Duration::from_millis);
+            let config = coconut_server::ServerConfig {
+                addr,
+                workers,
+                queue,
+                default_deadline_ms: deadline_ms,
+            };
+            if !shards.is_empty() {
+                // Coordinator: no local index, just the partition map and
+                // the shard clients.
+                let engine = Arc::new(coconut_server::CoordinatorEngine::new(
+                    &shards,
+                    ds,
+                    coconut_server::ClientConfig::default(),
+                    default_deadline,
+                )?);
+                let server = coconut_server::Server::start(engine, &config)?;
+                println!(
+                    "coordinating {} shard{} ({}); serving on {} ({} workers, queue {})",
+                    shards.len(),
+                    if shards.len() == 1 { "" } else { "s" },
+                    shards.join(", "),
+                    server.addr(),
+                    workers,
+                    queue
+                );
+                println!(
+                    "try: printf 'INGEST\\nSHARD-INFO\\n' | nc {} {}",
+                    server.addr().ip(),
+                    server.addr().port()
+                );
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            let index_dir =
+                index_dir.expect("parser requires --index-dir outside coordinator mode");
+            if shard {
+                // Shard worker: recover the slice index if one exists,
+                // otherwise wait for the coordinator's BUILD to assign it.
+                let opts = BuildOptions {
+                    memory_bytes: memory_mb << 20,
+                    materialized: false,
+                    threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+                    shards: 1,
+                };
+                let idx_config = IndexConfig {
+                    sax: SaxConfig::default_for_len(ds.series_len()),
+                    leaf_capacity: leaf.unwrap_or(2000),
+                    fill_factor: 1.0,
+                    internal_fanout: 64,
+                };
+                let fresh = !Manifest::path_in(&index_dir).exists();
+                let recovered = if fresh {
+                    None
+                } else {
+                    Some(Arc::new(LsmCoconut::open(&index_dir, &ds, opts.clone())?))
+                };
+                let status = match &recovered {
+                    Some(lsm) => format!(
+                        "recovered slice {}..{} (covered {})",
+                        lsm.base(),
+                        lsm.covered_end().max(lsm.base()),
+                        lsm.covered_end()
+                    ),
+                    None => "unassigned (waiting for BUILD)".to_string(),
+                };
+                let engine = Arc::new(coconut_server::Engine::new_shard(
+                    ds,
+                    &index_dir,
+                    idx_config,
+                    opts,
+                    recovered,
+                    default_deadline,
+                ));
+                let server = coconut_server::Server::start(engine, &config)?;
+                // A parseable line so launch scripts can scrape the port.
+                println!("SHARD LISTENING {}", server.addr());
+                println!("shard worker in {}; {status}", index_dir.display());
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
             let (lsm, fresh) = open_or_create_lsm(&ds, &index_dir, false, leaf, memory_mb)?;
             if let Some(n) = initial {
                 lsm.ingest_upto(&ds, n.min(ds.len()))?;
@@ -302,14 +389,8 @@ pub fn run(cmd: Command) -> Result<()> {
             let engine = Arc::new(coconut_server::Engine::new(
                 Arc::clone(&lsm),
                 ds,
-                deadline_ms.map(std::time::Duration::from_millis),
+                default_deadline,
             ));
-            let config = coconut_server::ServerConfig {
-                addr,
-                workers,
-                queue,
-                default_deadline_ms: deadline_ms,
-            };
             let server = coconut_server::Server::start(engine, &config)?;
             println!(
                 "{} index in {}; serving on {} ({} workers, queue {})",

@@ -36,9 +36,17 @@
 //! on K worker threads over disjoint key-range shards, and the per-shard
 //! sorted streams are K-way merged into the same bulk loaders, producing
 //! bit-identical indexes (enable via [`BuildOptions::shards`]).
+//!
+//! [`backend`] promotes a shard to a deployment boundary: a
+//! [`backend::ShardBackend`] is one key-range slice's query surface, and a
+//! [`backend::ShardSet`] owns the partition map and scatter-gathers exact
+//! answers across shards with pruning-bound sharing — the in-process
+//! [`backend::LocalShard`] is the correctness oracle for the remote fabric
+//! in `coconut-server`.
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod builder;
 pub mod compaction;
 pub mod config;
@@ -51,6 +59,7 @@ pub mod sims;
 pub mod tree;
 pub mod trie;
 
+pub use backend::{LocalShard, ShardBackend, ShardInfo, ShardSet};
 pub use coconut_storage::{Deadline, Error, Result};
 pub use compaction::{CompactionPolicy, TieredPolicy};
 pub use config::{BuildOptions, IndexConfig};

@@ -114,6 +114,10 @@ struct Shared {
     config: IndexConfig,
     opts: BuildOptions,
     dir: PathBuf,
+    /// First raw-file position this index covers — 0 for a whole-dataset
+    /// index, the slice start for a shard worker owning one key range.
+    /// Fixed at creation and recorded in the manifest.
+    base: u64,
     state: Mutex<State>,
     /// Serializes manifest commits *around* the state lock: a committer
     /// holds this across {mutate state, encode} and the manifest I/O, so
@@ -163,6 +167,20 @@ impl LsmCoconut {
     /// stale runs into a new build; use [`LsmCoconut::open`] to recover an
     /// existing index.
     pub fn new(config: IndexConfig, opts: BuildOptions, dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::new_based(config, opts, dir, 0)
+    }
+
+    /// [`LsmCoconut::new`] for an index that covers only the raw-file slice
+    /// starting at `base` — the shard-worker flavor: a worker owning the
+    /// key range `base..end` ingests and serves exactly that slice while
+    /// the coordinator owns the partition map. `base` is recorded in the
+    /// manifest, so [`LsmCoconut::open`] recovers it.
+    pub fn new_based(
+        config: IndexConfig,
+        opts: BuildOptions,
+        dir: impl Into<PathBuf>,
+        base: u64,
+    ) -> Result<Self> {
         config.validate()?;
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
@@ -188,9 +206,10 @@ impl LsmCoconut {
             config,
             opts,
             dir,
+            base,
             state: Mutex::new(State {
                 runs: Vec::new(),
-                covered_end: 0,
+                covered_end: base,
                 next_run_id: 0,
                 seq: 0,
                 dataset: None,
@@ -227,7 +246,8 @@ impl LsmCoconut {
         let manifest = Manifest::load(&dir)?;
         if manifest.covered_end > dataset.len() {
             return Err(Error::corrupt(format!(
-                "manifest covers 0..{} but the dataset holds only {} series",
+                "manifest covers {}..{} but the dataset holds only {} series",
+                manifest.base,
                 manifest.covered_end,
                 dataset.len()
             )));
@@ -264,6 +284,7 @@ impl LsmCoconut {
             config: manifest.config,
             opts,
             dir,
+            base: manifest.base,
             state: Mutex::new(State {
                 runs,
                 covered_end: manifest.covered_end,
@@ -447,6 +468,12 @@ impl LsmCoconut {
         self.shared.state.lock().covered_end
     }
 
+    /// First raw-file position this index covers (0 unless created with
+    /// [`LsmCoconut::new_based`]).
+    pub fn base(&self) -> u64 {
+        self.shared.base
+    }
+
     /// Total entries across runs.
     pub fn len(&self) -> u64 {
         self.shared
@@ -491,6 +518,7 @@ impl LsmCoconut {
         let st = self.shared.state.lock();
         Snapshot {
             runs: st.runs.iter().map(|r| Arc::clone(&r.tree)).collect(),
+            base: self.shared.base,
             covered_end: st.covered_end,
             seq: st.seq,
             shared: Arc::clone(&self.shared),
@@ -545,6 +573,7 @@ impl LsmCoconut {
 /// until the last pinning snapshot is dropped.
 pub struct Snapshot {
     runs: Vec<Arc<CoconutTree>>,
+    base: u64,
     covered_end: u64,
     seq: u64,
     shared: Arc<Shared>,
@@ -552,9 +581,16 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// End (exclusive) of the raw-file position range this snapshot covers.
-    /// An oracle checking answers must brute-force exactly this prefix.
+    /// An oracle checking answers must brute-force exactly this prefix
+    /// (from [`Snapshot::base`], which is 0 for a whole-dataset index).
     pub fn covered_end(&self) -> u64 {
         self.covered_end
+    }
+
+    /// First raw-file position this snapshot covers (the shard slice start;
+    /// 0 unless the index was created with [`LsmCoconut::new_based`]).
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// The manifest sequence number this snapshot was pinned at.
@@ -600,6 +636,32 @@ impl Snapshot {
         Ok((best, stats))
     }
 
+    /// [`Snapshot::exact`] with an external pruning `bound`: the scan of
+    /// every run starts with a best-so-far no higher than `bound` (which
+    /// also tightens run to run), so records that cannot beat the caller's
+    /// existing candidate are skipped. When nothing here beats the bound
+    /// the returned answer has `is_some() == false` — the caller's
+    /// candidate stands. `f64::INFINITY` recovers [`Snapshot::exact`]'s
+    /// answer exactly.
+    pub fn exact_bounded(
+        &self,
+        query: &[Value],
+        bound: f64,
+        deadline: Deadline,
+    ) -> Result<(Answer, QueryStats)> {
+        let mut best = Answer {
+            pos: u64::MAX,
+            dist: bound,
+        };
+        let mut stats = QueryStats::default();
+        for run in &self.runs {
+            let (a, s) = run.exact_search_bounded_deadline(query, best.dist, deadline)?;
+            best.merge(a);
+            stats.add(&s);
+        }
+        Ok((best, stats))
+    }
+
     /// Exact k-NN merged across the pinned runs, under a cooperative
     /// `deadline`.
     pub fn exact_knn(
@@ -617,6 +679,39 @@ impl Snapshot {
         }
         all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
         all.truncate(k);
+        Ok((all, stats))
+    }
+
+    /// [`Snapshot::exact_knn`] with an external pruning `bound`: only
+    /// candidates with distance below `bound` can enter the result, and the
+    /// bound tightens run to run as the merged set fills (runs cover
+    /// ascending position ranges, so a later tie at the bound would sort
+    /// after the existing entries under the `(dist, pos)` order anyway).
+    /// `f64::INFINITY` recovers [`Snapshot::exact_knn`]'s answer exactly.
+    pub fn exact_knn_bounded(
+        &self,
+        query: &[Value],
+        k: usize,
+        bound: f64,
+        deadline: Deadline,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
+        let mut all: Vec<Answer> = Vec::new();
+        let mut stats = QueryStats::default();
+        if k == 0 {
+            return Ok((all, stats));
+        }
+        for run in &self.runs {
+            let local = if all.len() == k {
+                all[k - 1].dist.min(bound)
+            } else {
+                bound
+            };
+            let (answers, s) = run.exact_knn_bounded_deadline(query, k, local, deadline)?;
+            all.extend(answers);
+            stats.add(&s);
+            all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
+            all.truncate(k);
+        }
         Ok((all, stats))
     }
 
@@ -704,6 +799,7 @@ fn encode_manifest(shared: &Shared, st: &State) -> Vec<u8> {
         seq: st.seq,
         config: shared.config,
         materialized: shared.opts.materialized,
+        base: shared.base,
         covered_end: st.covered_end,
         next_run_id: st.next_run_id,
         runs: st.runs.iter().map(|r| r.meta.clone()).collect(),

@@ -8,7 +8,9 @@
 //!
 //! * a monotonically increasing sequence number (bumped on every commit),
 //! * the index configuration (so `open` needs no out-of-band config),
-//! * the covered position range of the raw file (`0..covered_end`),
+//! * the covered position range of the raw file (`base..covered_end` —
+//!   `base` is 0 for a whole-dataset index and the slice start for a
+//!   shard-worker index that owns only a key range),
 //! * the next run id to allocate, and
 //! * the live run set: for each run its id, covered `start..end` range, and
 //!   index-file path relative to the index directory.
@@ -21,11 +23,14 @@
 //! the surviving manifest does not reference (orphans of an interrupted
 //! ingest or compaction) plus any leftover temporary file.
 //!
-//! **Invariant:** the run set always covers `0..covered_end` contiguously —
-//! `runs[0].start == 0`, each run starts where the previous one ends, and
-//! the last run ends at `covered_end`. [`Manifest::decode`] rejects
-//! manifests that violate this, so a bug cannot persist an inconsistent
-//! run set that recovery would then trust.
+//! **Invariant:** the run set always covers `base..covered_end`
+//! contiguously — `runs[0].start == base`, each run starts where the
+//! previous one ends, and the last run ends at `covered_end`.
+//! [`Manifest::decode`] rejects manifests that violate this, so a bug
+//! cannot persist an inconsistent run set that recovery would then trust.
+//!
+//! Format version 2 added the `base` field; version-1 manifests (which
+//! always covered `0..covered_end`) still decode, with `base = 0`.
 
 use std::path::{Path, PathBuf};
 
@@ -39,7 +44,9 @@ use crate::config::IndexConfig;
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
 const MAGIC: &[u8; 8] = b"CNUTMAN1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest format version [`Manifest::decode`] still accepts.
+const MIN_VERSION: u32 = 1;
 /// magic + version + payload length + crc64.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -85,6 +92,9 @@ pub struct Manifest {
     pub config: IndexConfig,
     /// Whether runs embed raw series (`-Full` layout).
     pub materialized: bool,
+    /// First raw-file position this index covers: 0 for a whole-dataset
+    /// index, the slice start for a shard worker's key-range slice.
+    pub base: u64,
     /// The raw file is covered up to (exclusive) this position.
     pub covered_end: u64,
     /// Next run id to allocate.
@@ -110,6 +120,7 @@ impl Manifest {
         push_u64(&mut payload, self.config.leaf_capacity as u64);
         push_u64(&mut payload, self.config.fill_factor.to_bits());
         push_u64(&mut payload, self.config.internal_fanout as u64);
+        push_u64(&mut payload, self.base);
         push_u64(&mut payload, self.covered_end);
         push_u64(&mut payload, self.next_run_id);
         push_u64(&mut payload, self.runs.len() as u64);
@@ -139,9 +150,9 @@ impl Manifest {
             return Err(Error::corrupt("bad manifest magic"));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(Error::corrupt(format!(
-                "unsupported manifest version {version} (expected {VERSION})"
+                "unsupported manifest version {version} (expected {MIN_VERSION}..={VERSION})"
             )));
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
@@ -166,6 +177,7 @@ impl Manifest {
         let leaf_capacity = r.u64()? as usize;
         let fill_factor = f64::from_bits(r.u64()?);
         let internal_fanout = r.u64()? as usize;
+        let base = if version >= 2 { r.u64()? } else { 0 };
         let covered_end = r.u64()?;
         let next_run_id = r.u64()?;
         let run_count = r.u64()? as usize;
@@ -200,6 +212,7 @@ impl Manifest {
             seq,
             config,
             materialized,
+            base,
             covered_end,
             next_run_id,
             runs,
@@ -210,7 +223,13 @@ impl Manifest {
 
     /// Enforce the contiguity invariant documented on the module.
     fn check_runs(&self) -> Result<()> {
-        let mut expected_start = 0u64;
+        if self.covered_end < self.base {
+            return Err(Error::corrupt(format!(
+                "manifest covered_end {} is below base {}",
+                self.covered_end, self.base
+            )));
+        }
+        let mut expected_start = self.base;
         for run in &self.runs {
             if run.start != expected_start || run.end <= run.start {
                 return Err(Error::corrupt(format!(
@@ -228,8 +247,8 @@ impl Manifest {
         }
         if expected_start != self.covered_end {
             return Err(Error::corrupt(format!(
-                "manifest runs cover 0..{expected_start} but covered_end is {}",
-                self.covered_end
+                "manifest runs cover {}..{expected_start} but covered_end is {}",
+                self.base, self.covered_end
             )));
         }
         Ok(())
@@ -282,6 +301,7 @@ mod tests {
             seq: 7,
             config: IndexConfig::default_for_len(128),
             materialized: true,
+            base: 0,
             covered_end: 500,
             next_run_id: 5,
             runs: vec![
@@ -348,6 +368,54 @@ mod tests {
         let mut bad = good.clone();
         bad[8] = 99;
         assert!(Manifest::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn based_slice_roundtrips() {
+        // A shard worker's manifest covers base..covered_end, not 0.. .
+        let mut m = sample();
+        m.base = 300;
+        m.runs.remove(0);
+        m.runs[0] = RunMeta {
+            start: 300,
+            ..m.runs[0].clone()
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+
+        // Runs starting below base violate contiguity from base.
+        let mut bad = sample();
+        bad.base = 300;
+        assert!(Manifest::decode(&bad.encode()).is_err());
+        // covered_end below base is inconsistent.
+        let mut bad = sample();
+        bad.base = 900;
+        bad.runs.clear();
+        assert!(Manifest::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn version1_manifests_still_decode() {
+        // Re-encode sample() as a v1 frame (no base field) by hand and
+        // check decode fills base = 0.
+        let m = sample();
+        let v2 = m.encode();
+        let payload = &v2[HEADER_LEN..];
+        // v1 payload = v2 payload minus the 8-byte base at offset 57
+        // (seq + series_len + segments = 24, card_bits + materialized = 2,
+        // leaf + fill + fanout = 24 → base starts at byte 50).
+        let base_off = 8 * 3 + 2 + 8 * 3;
+        let mut v1_payload = Vec::with_capacity(payload.len() - 8);
+        v1_payload.extend_from_slice(&payload[..base_off]);
+        v1_payload.extend_from_slice(&payload[base_off + 8..]);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(v1_payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&crc64(&v1_payload).to_le_bytes());
+        v1.extend_from_slice(&v1_payload);
+        let decoded = Manifest::decode(&v1).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.base, 0);
     }
 
     #[test]

@@ -298,6 +298,40 @@ pub fn sims_exact_knn(
     fetcher: &mut dyn SeriesFetcher,
     deadline: Deadline,
 ) -> Result<(Vec<Answer>, QueryStats)> {
+    sims_exact_knn_bounded(
+        query,
+        query_paa,
+        keys,
+        config,
+        threads,
+        k,
+        f64::INFINITY,
+        seed,
+        fetcher,
+        deadline,
+    )
+}
+
+/// [`sims_exact_knn`] with an external pruning `bound`: only candidates
+/// with distance below `bound` can enter the result. A scatter-gather
+/// coordinator passes the k-th best distance merged from shards queried so
+/// far, so later shards prune with earlier shards' results (candidates at
+/// or beyond the bound could never displace the coordinator's existing
+/// top-k under the global `(dist, pos)` order). Pass `f64::INFINITY` for
+/// the plain unbounded scan — the two are then identical.
+#[allow(clippy::too_many_arguments)] // mirrors sims_exact_knn plus bound
+pub fn sims_exact_knn_bounded(
+    query: &[Value],
+    query_paa: &[f64],
+    keys: &[ZKey],
+    config: &SaxConfig,
+    threads: usize,
+    k: usize,
+    bound: f64,
+    seed: &[Answer],
+    fetcher: &mut dyn SeriesFetcher,
+    deadline: Deadline,
+) -> Result<(Vec<Answer>, QueryStats)> {
     let mut stats = QueryStats::default();
     if k == 0 {
         return Ok((Vec::new(), stats));
@@ -324,10 +358,13 @@ pub fn sims_exact_knn(
     let mut buf = vec![0.0 as Value; query.len()];
     for (i, &md) in mindists.iter().enumerate() {
         checkpoint(deadline, i)?;
+        // The k-th best so far caps the scan as usual; the external bound
+        // caps it even while the local set is not yet full (seeds may sit
+        // beyond the bound, so take the min rather than trusting them).
         let cutoff = if best.len() == k {
-            best[k - 1].dist
+            best[k - 1].dist.min(bound)
         } else {
-            f64::INFINITY
+            bound
         };
         if md >= cutoff {
             stats.pruned += 1;

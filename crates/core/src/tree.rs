@@ -46,7 +46,7 @@ use crate::layout::{
 };
 use crate::records::SortedRecord;
 use crate::shard::{sorted_key_pos_sharded, sorted_key_series_sharded};
-use crate::sims::{sims_exact, sims_exact_knn, SeriesFetcher};
+use crate::sims::{sims_exact, sims_exact_knn_bounded, SeriesFetcher};
 
 static TREE_ID: AtomicU64 = AtomicU64::new(0);
 
@@ -732,7 +732,41 @@ impl CoconutTree {
         radius: usize,
         deadline: Deadline,
     ) -> Result<(Answer, QueryStats)> {
-        let (seed, mut stats) = self.approximate_search_with_stats(query, radius)?;
+        let (seed, stats) = self.approximate_search_with_stats(query, radius)?;
+        self.sims_exact_from_seed(query, seed, stats, deadline)
+    }
+
+    /// [`Self::exact_search_deadline`] with an external pruning `bound`: the
+    /// best-so-far starts no higher than `bound`, so the scan skips every
+    /// record that could not beat it. A scatter-gather coordinator passes
+    /// the best distance merged from shards queried so far. When nothing in
+    /// this index beats the bound the returned answer is
+    /// [`Answer::none`]-like (`pos == u64::MAX`) with `dist == bound` — the
+    /// caller's existing candidate already wins.
+    pub fn exact_search_bounded_deadline(
+        &self,
+        query: &[Value],
+        bound: f64,
+        deadline: Deadline,
+    ) -> Result<(Answer, QueryStats)> {
+        let (mut seed, stats) = self.approximate_search_with_stats(query, self.default_radius)?;
+        seed.merge(Answer {
+            pos: u64::MAX,
+            dist: bound,
+        });
+        self.sims_exact_from_seed(query, seed, stats, deadline)
+    }
+
+    /// The shared SIMS tail of the exact-search entry points: run the scan
+    /// with `seed` as the initial best-so-far and fold its counters into
+    /// `stats`.
+    fn sims_exact_from_seed(
+        &self,
+        query: &[Value],
+        seed: Answer,
+        mut stats: QueryStats,
+        deadline: Deadline,
+    ) -> Result<(Answer, QueryStats)> {
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
         let (answer, sims_stats) = if self.materialized {
@@ -896,6 +930,20 @@ impl CoconutTree {
         k: usize,
         deadline: Deadline,
     ) -> Result<(Vec<Answer>, QueryStats)> {
+        self.exact_knn_bounded_deadline(query, k, f64::INFINITY, deadline)
+    }
+
+    /// [`Self::exact_knn_deadline`] with an external pruning `bound`: only
+    /// candidates with distance below `bound` can enter the result (see
+    /// [`crate::sims::sims_exact_knn_bounded`]). `f64::INFINITY` recovers
+    /// the plain k-NN scan exactly.
+    pub fn exact_knn_bounded_deadline(
+        &self,
+        query: &[Value],
+        k: usize,
+        bound: f64,
+        deadline: Deadline,
+    ) -> Result<(Vec<Answer>, QueryStats)> {
         let (seed, mut stats) = self.approximate_search_with_stats(query, self.default_radius)?;
         let summaries = self.load_summaries()?;
         let query_paa = paa(query, self.config.sax.segments);
@@ -906,13 +954,14 @@ impl CoconutTree {
         };
         let (answers, sims_stats) = if self.materialized {
             let mut fetcher = LeafOrderFetcher::new(&self.store, &self.leaves, &summaries);
-            sims_exact_knn(
+            sims_exact_knn_bounded(
                 query,
                 &query_paa,
                 &summaries.keys_leaf_order,
                 &self.config.sax,
                 self.threads,
                 k,
+                bound,
                 &seeds,
                 &mut fetcher,
                 deadline,
@@ -922,13 +971,14 @@ impl CoconutTree {
                 dataset: &self.dataset,
                 start: self.range.start,
             };
-            sims_exact_knn(
+            sims_exact_knn_bounded(
                 query,
                 &query_paa,
                 &summaries.keys_by_pos,
                 &self.config.sax,
                 self.threads,
                 k,
+                bound,
                 &seeds,
                 &mut fetcher,
                 deadline,

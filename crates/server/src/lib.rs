@@ -11,25 +11,40 @@
 //!
 //! Layers, bottom-up:
 //!
-//! * [`protocol`] — line-delimited request parsing (`EXACT q=seed:7 ...`);
+//! * [`protocol`] — line-delimited request parsing (`EXACT q=seed:7 ...`)
+//!   with typed parse errors naming the offending token;
 //! * [`engine`] — request execution over pinned snapshots with
-//!   cooperative per-request deadlines;
+//!   cooperative per-request deadlines, in whole-dataset or shard-worker
+//!   mode, behind the [`engine::Handler`] trait;
 //! * [`metrics`] — the server's Prometheus metric set (QPS, latency
-//!   percentiles, scan work, compaction debt);
+//!   percentiles, scan work, compaction debt), plus the coordinator's
+//!   per-shard client instruments;
 //! * [`pool`] — worker threads behind a bounded admission queue, plus
 //!   minimal HTTP `GET` handling for `curl`/Prometheus;
-//! * [`server`] — the TCP listener, accept loop, and clean shutdown.
+//! * [`server`] — the TCP listener, accept loop, and clean shutdown,
+//!   generic over the [`engine::Handler`] it serves.
+//!
+//! The distributed layer sits on top:
+//!
+//! * [`client`] — [`client::RemoteShard`], a typed `ShardBackend` over TCP
+//!   with timeouts, bounded retry, and per-shard metrics;
+//! * [`coordinator`] — [`coordinator::CoordinatorEngine`], the partition
+//!   map plus scatter-gather kNN with pruning-bound sharing across shards.
 
 #![deny(missing_docs)]
 
+pub mod client;
+pub mod coordinator;
 pub mod engine;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{Engine, Outcome};
-pub use metrics::ServerMetrics;
+pub use client::{connect_with_retry, ClientConfig, RemoteShard};
+pub use coordinator::CoordinatorEngine;
+pub use engine::{Engine, Handler, Outcome};
+pub use metrics::{CoordinatorMetrics, ServerMetrics, ShardClientMetrics};
 pub use pool::Pool;
-pub use protocol::{parse, QuerySpec, Request};
+pub use protocol::{parse, ParseError, QuerySpec, Request};
 pub use server::{Server, ServerConfig};

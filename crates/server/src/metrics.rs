@@ -180,6 +180,18 @@ impl ServerMetrics {
         }
     }
 
+    /// Refresh only the meter- and histogram-derived gauges, then render.
+    /// For a shard worker whose slice index has not been assigned yet: the
+    /// index gauges stay at their last (or zero) values.
+    pub fn render_without_index(&self) -> String {
+        self.qps.set(self.query_meter.per_second(RATE_WINDOW_S));
+        self.ingest_rate
+            .set(self.ingest_meter.per_second(RATE_WINDOW_S));
+        self.p50.set(self.latency.quantile(0.50));
+        self.p99.set(self.latency.quantile(0.99));
+        self.registry.render()
+    }
+
     /// Refresh the derived gauges from the index and the sliding-window
     /// meters, then render everything as Prometheus text.
     pub fn render(&self, lsm: &LsmCoconut) -> String {
@@ -199,9 +211,176 @@ impl ServerMetrics {
     }
 }
 
+/// Per-shard instruments of a coordinator's client pool. The storage
+/// registry has no label support, so each shard's series are distinguished
+/// by name: `coconut_shard_<i>_requests_total` and friends.
+pub struct ShardClientMetrics {
+    /// Requests sent to this shard (including retried attempts' parents).
+    pub requests: Arc<Counter>,
+    /// Retry attempts after an I/O failure or refused connection.
+    pub retries: Arc<Counter>,
+    /// Requests abandoned after the retry budget was exhausted.
+    pub unavailable: Arc<Counter>,
+    /// Candidate answers this shard contributed to scatter-gather merges.
+    pub candidates: Arc<Counter>,
+    /// Requests currently being serviced by this shard (0 or 1: the client
+    /// serializes requests per connection).
+    pub in_flight: Arc<Gauge>,
+}
+
+impl ShardClientMetrics {
+    /// Register this shard's instruments (as shard number `index`) in the
+    /// coordinator's registry.
+    pub fn new(reg: &mut Registry, index: usize) -> Self {
+        ShardClientMetrics {
+            requests: reg.counter(
+                &format!("coconut_shard_{index}_requests_total"),
+                &format!("Requests sent to shard {index}."),
+            ),
+            retries: reg.counter(
+                &format!("coconut_shard_{index}_retries_total"),
+                &format!("Retried attempts against shard {index}."),
+            ),
+            unavailable: reg.counter(
+                &format!("coconut_shard_{index}_unavailable_total"),
+                &format!("Requests abandoned after shard {index}'s retry budget."),
+            ),
+            candidates: reg.counter(
+                &format!("coconut_shard_{index}_candidates_total"),
+                &format!("Candidate answers shard {index} contributed."),
+            ),
+            in_flight: reg.gauge(
+                &format!("coconut_shard_{index}_in_flight"),
+                &format!("Requests currently in flight to shard {index}."),
+            ),
+        }
+    }
+}
+
+/// The coordinator's metric set: cluster-level query counters plus one
+/// [`ShardClientMetrics`] per shard, rendered from one registry.
+pub struct CoordinatorMetrics {
+    registry: Registry,
+    /// Queries answered by the coordinator (any verb).
+    pub queries: Arc<Counter>,
+    /// Queries failed with a non-deadline, non-unavailable error.
+    pub errors: Arc<Counter>,
+    /// Queries aborted by an expired deadline.
+    pub timeouts: Arc<Counter>,
+    /// Queries that failed because a shard stayed unreachable.
+    pub unavailable: Arc<Counter>,
+    /// Connections rejected by the admission queue.
+    pub rejected: Arc<Counter>,
+    /// End-to-end query latency in seconds (all shards' rounds included).
+    pub latency: Arc<Histogram>,
+    /// Per-shard client instruments, indexed by shard number.
+    pub shards: Vec<Arc<ShardClientMetrics>>,
+    p50: Arc<Gauge>,
+    p99: Arc<Gauge>,
+}
+
+impl CoordinatorMetrics {
+    /// Build the coordinator metric set for `shard_count` shards.
+    pub fn new(shard_count: usize) -> Self {
+        let mut reg = Registry::new();
+        let queries = reg.counter(
+            "coconut_coordinator_queries_total",
+            "Queries answered by the coordinator.",
+        );
+        let errors = reg.counter(
+            "coconut_coordinator_errors_total",
+            "Coordinator queries failed with a non-deadline error.",
+        );
+        let timeouts = reg.counter(
+            "coconut_coordinator_timeouts_total",
+            "Coordinator queries aborted by an expired deadline.",
+        );
+        let unavailable = reg.counter(
+            "coconut_coordinator_unavailable_total",
+            "Coordinator queries that lost a shard past its retry budget.",
+        );
+        let rejected = reg.counter(
+            "coconut_coordinator_rejected_total",
+            "Connections rejected by the coordinator's admission queue.",
+        );
+        let latency = reg.histogram(
+            "coconut_coordinator_latency_seconds",
+            "End-to-end scatter-gather query latency.",
+            Histogram::exponential(LATENCY_START, LATENCY_FACTOR, LATENCY_BUCKETS),
+        );
+        let p50 = reg.gauge(
+            "coconut_coordinator_latency_p50_seconds",
+            "Median coordinator latency (estimated from the histogram).",
+        );
+        let p99 = reg.gauge(
+            "coconut_coordinator_latency_p99_seconds",
+            "99th-percentile coordinator latency (estimated from the histogram).",
+        );
+        let shards = (0..shard_count)
+            .map(|i| Arc::new(ShardClientMetrics::new(&mut reg, i)))
+            .collect();
+        CoordinatorMetrics {
+            registry: reg,
+            queries,
+            errors,
+            timeouts,
+            unavailable,
+            rejected,
+            latency,
+            shards,
+            p50,
+            p99,
+        }
+    }
+
+    /// Record one answered scatter-gather query.
+    pub fn record_query(&self, seconds: f64) {
+        self.queries.inc();
+        self.latency.observe(seconds);
+    }
+
+    /// Record a failed query, classified by error kind.
+    pub fn record_failure(&self, e: &coconut_storage::Error) {
+        if e.is_deadline() {
+            self.timeouts.inc();
+        } else if e.is_unavailable() {
+            self.unavailable.inc();
+        } else {
+            self.errors.inc();
+        }
+    }
+
+    /// Refresh the derived gauges and render everything as Prometheus text.
+    pub fn render(&self) -> String {
+        self.p50.set(self.latency.quantile(0.50));
+        self.p99.set(self.latency.quantile(0.99));
+        self.registry.render()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coordinator_metrics_render_per_shard_series() {
+        let m = CoordinatorMetrics::new(2);
+        m.record_query(0.002);
+        m.record_failure(&coconut_storage::Error::unavailable("shard down"));
+        m.shards[1].retries.inc();
+        m.shards[1].in_flight.set(1.0);
+        let text = m.render();
+        for required in [
+            "coconut_coordinator_queries_total 1",
+            "coconut_coordinator_unavailable_total 1",
+            "coconut_coordinator_latency_p99_seconds",
+            "coconut_shard_0_requests_total 0",
+            "coconut_shard_1_retries_total 1",
+            "coconut_shard_1_in_flight 1",
+        ] {
+            assert!(text.contains(required), "missing {required} in:\n{text}");
+        }
+    }
 
     #[test]
     fn render_lists_required_metrics() {

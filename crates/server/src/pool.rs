@@ -11,6 +11,10 @@
 //! minimal HTTP `GET`s (`/metrics`, `/health`) so `curl` and Prometheus
 //! scrapers work against the same port. Reads poll with a short timeout so
 //! a worker parked on an idle connection still notices server shutdown.
+//!
+//! The pool is generic over the request [`Handler`], so the same
+//! connection machinery serves a single-node [`Engine`], a shard worker,
+//! and the coordinator.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -22,46 +26,49 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Handler};
 
 /// How often a blocked read wakes to re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
 /// Upper bound on one request line (a `q=v:` vector of a few thousand
-/// floats fits comfortably); longer lines are refused.
+/// floats fits comfortably); longer lines are refused with a typed
+/// `ERR parse` before the connection closes.
 const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// A fixed set of worker threads fed connections through a bounded queue.
-pub struct Pool {
+pub struct Pool<H: Handler = Engine> {
     tx: Mutex<Option<SyncSender<TcpStream>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    _marker: std::marker::PhantomData<fn() -> H>,
 }
 
-impl Pool {
+impl<H: Handler> Pool<H> {
     /// Spawn `workers` threads sharing an admission queue of `queue`
     /// waiting connections (beyond the ones being served).
     pub fn new(
-        engine: Arc<Engine>,
+        handler: Arc<H>,
         workers: usize,
         queue: usize,
         shutdown: Arc<AtomicBool>,
-    ) -> Pool {
+    ) -> Pool<H> {
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers.max(1))
             .map(|i| {
-                let engine = Arc::clone(&engine);
+                let handler = Arc::clone(&handler);
                 let rx = Arc::clone(&rx);
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::Builder::new()
                     .name(format!("coconut-serve-{i}"))
-                    .spawn(move || worker_loop(engine, rx, shutdown))
+                    .spawn(move || worker_loop(handler, rx, shutdown))
                     .expect("spawning a server worker thread")
             })
             .collect();
         Pool {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -92,8 +99,8 @@ impl Pool {
     }
 }
 
-fn worker_loop(
-    engine: Arc<Engine>,
+fn worker_loop<H: Handler>(
+    handler: Arc<H>,
     rx: Arc<Mutex<Receiver<TcpStream>>>,
     shutdown: Arc<AtomicBool>,
 ) {
@@ -104,7 +111,7 @@ fn worker_loop(
             rx.recv_timeout(POLL_INTERVAL)
         };
         match conn {
-            Ok(stream) => handle_connection(&engine, stream, &shutdown),
+            Ok(stream) => handle_connection(&*handler, stream, &shutdown),
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
@@ -113,6 +120,17 @@ fn worker_loop(
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// One read step of [`LineReader::next_line`].
+enum Next {
+    /// A complete request line (terminator stripped).
+    Line(String),
+    /// The line grew past [`MAX_LINE_BYTES`] without a newline; the caller
+    /// replies with a typed parse error and closes.
+    Oversized,
+    /// EOF, shutdown, or a fatal read error.
+    Closed,
 }
 
 /// A line reader over a polling (read-timeout) stream that survives
@@ -126,9 +144,9 @@ struct LineReader<'a> {
 }
 
 impl LineReader<'_> {
-    /// Next newline-terminated line (without the terminator), or `None` on
-    /// EOF / shutdown / oversized line.
-    fn next_line(&mut self) -> Option<String> {
+    /// Next newline-terminated line (without the terminator), or why one
+    /// could not be produced.
+    fn next_line(&mut self) -> Next {
         loop {
             if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
                 let mut line: Vec<u8> = self.pending.drain(..=nl).collect();
@@ -136,29 +154,29 @@ impl LineReader<'_> {
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Some(String::from_utf8_lossy(&line).into_owned());
+                return Next::Line(String::from_utf8_lossy(&line).into_owned());
             }
             if self.pending.len() > MAX_LINE_BYTES {
-                return None;
+                return Next::Oversized;
             }
             self.buf.resize(4096, 0);
             let mut stream = self.stream;
             match stream.read(&mut self.buf) {
-                Ok(0) => return None,
+                Ok(0) => return Next::Closed,
                 Ok(n) => self.pending.extend_from_slice(&self.buf[..n]),
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if self.shutdown.load(Ordering::Relaxed) {
-                        return None;
+                        return Next::Closed;
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return None,
+                Err(_) => return Next::Closed,
             }
         }
     }
 }
 
-fn handle_connection(engine: &Arc<Engine>, stream: TcpStream, shutdown: &Arc<AtomicBool>) {
+fn handle_connection<H: Handler>(handler: &H, stream: TcpStream, shutdown: &Arc<AtomicBool>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let _ = stream.set_nodelay(true);
     let mut reader = LineReader {
@@ -168,7 +186,17 @@ fn handle_connection(engine: &Arc<Engine>, stream: TcpStream, shutdown: &Arc<Ato
         shutdown,
     };
     let mut out = &stream;
-    while let Some(line) = reader.next_line() {
+    loop {
+        let line = match reader.next_line() {
+            Next::Line(line) => line,
+            Next::Oversized => {
+                let _ = out.write_all(
+                    format!("ERR parse: request line exceeds {MAX_LINE_BYTES} bytes\n").as_bytes(),
+                );
+                break;
+            }
+            Next::Closed => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -177,15 +205,15 @@ fn handle_connection(engine: &Arc<Engine>, stream: TcpStream, shutdown: &Arc<Ato
         if let Some(path) = line.strip_prefix("GET ") {
             let path = path.split_whitespace().next().unwrap_or("/");
             // Drain the request headers up to the blank line.
-            while let Some(header) = reader.next_line() {
+            while let Next::Line(header) = reader.next_line() {
                 if header.trim().is_empty() {
                     break;
                 }
             }
-            let _ = write_http_response(&mut out, engine, path);
+            let _ = write_http_response(&mut out, handler, path);
             break;
         }
-        let outcome = engine.execute_line(&line);
+        let outcome = handler.execute_line(&line);
         if out
             .write_all(format!("{}\n", outcome.reply).as_bytes())
             .is_err()
@@ -197,14 +225,14 @@ fn handle_connection(engine: &Arc<Engine>, stream: TcpStream, shutdown: &Arc<Ato
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-fn write_http_response(
+fn write_http_response<H: Handler>(
     out: &mut &TcpStream,
-    engine: &Arc<Engine>,
+    handler: &H,
     path: &str,
 ) -> std::io::Result<()> {
     let (status, body) = match path {
-        "/metrics" | "/stats" => ("200 OK", engine.metrics_text()),
-        "/health" => ("200 OK", format!("{}\n", engine.health_line())),
+        "/metrics" | "/stats" => ("200 OK", handler.metrics_text()),
+        "/health" => ("200 OK", format!("{}\n", handler.health_line())),
         _ => ("404 Not Found", "not found\n".to_string()),
     };
     let header = format!(

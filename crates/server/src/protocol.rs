@@ -7,6 +7,11 @@
 //! accepts minimal HTTP `GET`s (for `curl`/Prometheus scrapers); see
 //! `crate::pool`.
 //!
+//! Malformed lines never drop the connection: [`parse`] returns a typed
+//! [`ParseError`] naming the offending token, which the engine surfaces as
+//! a one-line `ERR parse: ...` reply (bounded in length no matter what the
+//! client sent — see [`ParseError::new`]).
+//!
 //! Query vectors come in three forms, so load generators, debuggers, and
 //! real clients all have a convenient entry:
 //!
@@ -14,9 +19,65 @@
 //!   (deterministic: client and oracle can regenerate it);
 //! * `q=pos:<n>` — the dataset's own series at position `n`;
 //! * `q=v:<a,b,c,...>` — explicit comma-separated values.
+//!
+//! The shard fabric adds two verbs and one argument: `SHARD-INFO` reports a
+//! worker's assigned slice and ingest progress, `BUILD start=<s> end=<e>
+//! [upto=<n>]` assigns a slice and indexes it, and `bound=<d>` on
+//! `EXACT`/`KNN` carries the coordinator's pruning bound (candidates at or
+//! beyond it cannot enter the merged answer and are not returned).
 
 use coconut_series::Value;
-use coconut_storage::{Error, Result};
+
+/// A request line the parser could not understand: what was wrong, plus the
+/// offending token so clients can locate the mistake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was expected or violated.
+    pub msg: String,
+    /// The token that failed to parse (empty when the whole line is at
+    /// fault, e.g. an empty request). Truncated to a bounded length so the
+    /// error reply stays small no matter what arrived on the wire.
+    pub token: String,
+}
+
+/// Longest offending-token excerpt kept in a [`ParseError`]; anything
+/// longer is truncated with an ellipsis so replies stay bounded.
+const MAX_TOKEN_EXCERPT: usize = 64;
+
+impl ParseError {
+    /// Build a parse error for `token` (pass `""` when no single token is
+    /// at fault). The token excerpt is truncated to a bounded length.
+    pub fn new(msg: impl std::fmt::Display, token: &str) -> Self {
+        let token = if token.len() > MAX_TOKEN_EXCERPT {
+            let mut cut = MAX_TOKEN_EXCERPT;
+            while !token.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            format!("{}...", &token[..cut])
+        } else {
+            token.to_string()
+        };
+        ParseError {
+            msg: msg.to_string(),
+            token,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.token.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "{} (offending token {:?})", self.msg, self.token)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for the request parser.
+pub type ParseResult<T> = std::result::Result<T, ParseError>;
 
 /// How a request names its query vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +105,9 @@ pub enum Request {
         query: QuerySpec,
         /// Per-request deadline in milliseconds (None = server default).
         deadline_ms: Option<u64>,
+        /// Pruning bound from a coordinator's earlier shards (None = no
+        /// bound); only candidates strictly below it are returned.
+        bound: Option<f64>,
     },
     /// Exact k-NN.
     Knn {
@@ -53,6 +117,9 @@ pub enum Request {
         query: QuerySpec,
         /// Per-request deadline in milliseconds (None = server default).
         deadline_ms: Option<u64>,
+        /// Pruning bound from a coordinator's earlier shards (None = no
+        /// bound); only candidates strictly below it are returned.
+        bound: Option<f64>,
     },
     /// Exact range query.
     Range {
@@ -68,6 +135,20 @@ pub enum Request {
         /// End (exclusive) of the prefix to cover.
         upto: Option<u64>,
     },
+    /// Assign the shard slice `start..end` and index it up to `upto`
+    /// (None = the whole slice). On an unassigned shard worker this creates
+    /// (or recovers) the slice index; elsewhere it must match the existing
+    /// assignment.
+    Build {
+        /// First position of the assigned slice.
+        start: u64,
+        /// One past the last position of the assigned slice.
+        end: u64,
+        /// Index the slice up to here (clamped into `start..end`).
+        upto: Option<u64>,
+    },
+    /// Report the shard's assigned slice and ingest progress.
+    ShardInfo,
     /// Merge every run into one and wait for it.
     Compact,
     /// Sweep unpinned garbage run directories now.
@@ -76,31 +157,32 @@ pub enum Request {
     Quit,
 }
 
-fn bad(msg: impl std::fmt::Display) -> Error {
-    Error::invalid(format!("protocol: {msg}"))
+fn bad(msg: impl std::fmt::Display, token: &str) -> ParseError {
+    ParseError::new(msg, token)
 }
 
-fn parse_query_spec(v: &str) -> Result<QuerySpec> {
+fn parse_query_spec(v: &str) -> ParseResult<QuerySpec> {
     if let Some(seed) = v.strip_prefix("seed:") {
         return Ok(QuerySpec::Seed(
-            seed.parse().map_err(|_| bad("q=seed: wants an integer"))?,
+            seed.parse()
+                .map_err(|_| bad("q=seed: wants an integer", v))?,
         ));
     }
     if let Some(pos) = v.strip_prefix("pos:") {
         return Ok(QuerySpec::Pos(
-            pos.parse().map_err(|_| bad("q=pos: wants an integer"))?,
+            pos.parse().map_err(|_| bad("q=pos: wants an integer", v))?,
         ));
     }
     if let Some(vals) = v.strip_prefix("v:") {
         let parsed: std::result::Result<Vec<Value>, _> =
             vals.split(',').map(|x| x.trim().parse::<Value>()).collect();
-        let parsed = parsed.map_err(|_| bad("q=v: wants comma-separated numbers"))?;
+        let parsed = parsed.map_err(|_| bad("q=v: wants comma-separated numbers", v))?;
         if parsed.is_empty() {
-            return Err(bad("q=v: needs at least one value"));
+            return Err(bad("q=v: needs at least one value", v));
         }
         return Ok(QuerySpec::Values(parsed));
     }
-    Err(bad("q= must be seed:<n>, pos:<n>, or v:<a,b,...>"))
+    Err(bad("q= must be seed:<n>, pos:<n>, or v:<a,b,...>", v))
 }
 
 /// Key-value arguments after the verb, with typed accessors.
@@ -109,12 +191,12 @@ struct Args<'a> {
 }
 
 impl<'a> Args<'a> {
-    fn parse(tokens: &[&'a str]) -> Result<Self> {
+    fn parse(tokens: &[&'a str]) -> ParseResult<Self> {
         let mut pairs = Vec::with_capacity(tokens.len());
         for t in tokens {
             let (k, v) = t
                 .split_once('=')
-                .ok_or_else(|| bad(format!("argument {t:?} is not key=value")))?;
+                .ok_or_else(|| bad("argument is not key=value", t))?;
             pairs.push((k, v));
         }
         Ok(Args { pairs })
@@ -124,39 +206,56 @@ impl<'a> Args<'a> {
         self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
     }
 
-    fn required_query(&self) -> Result<QuerySpec> {
-        parse_query_spec(self.get("q").ok_or_else(|| bad("missing q="))?)
+    fn required_query(&self) -> ParseResult<QuerySpec> {
+        parse_query_spec(self.get("q").ok_or_else(|| bad("missing q=", ""))?)
     }
 
-    fn u64_opt(&self, key: &str) -> Result<Option<u64>> {
+    fn u64_opt(&self, key: &str) -> ParseResult<Option<u64>> {
         self.get(key)
             .map(|v| {
                 v.parse()
-                    .map_err(|_| bad(format!("{key}= wants an integer")))
+                    .map_err(|_| bad(format!("{key}= wants an integer"), v))
             })
             .transpose()
     }
 
-    fn f64_req(&self, key: &str) -> Result<f64> {
+    fn u64_req(&self, key: &str) -> ParseResult<u64> {
+        self.u64_opt(key)?
+            .ok_or_else(|| bad(format!("missing {key}="), ""))
+    }
+
+    fn f64_req(&self, key: &str) -> ParseResult<f64> {
         let v = self
             .get(key)
-            .ok_or_else(|| bad(format!("missing {key}=")))?;
+            .ok_or_else(|| bad(format!("missing {key}="), ""))?;
         let parsed: f64 = v
             .parse()
-            .map_err(|_| bad(format!("{key}= wants a number")))?;
+            .map_err(|_| bad(format!("{key}= wants a number"), v))?;
         if !parsed.is_finite() || parsed < 0.0 {
-            return Err(bad(format!("{key}= must be finite and non-negative")));
+            return Err(bad(format!("{key}= must be finite and non-negative"), v));
         }
         Ok(parsed)
+    }
+
+    /// Optional non-negative bound; `inf` is accepted (meaning: no bound).
+    fn bound_opt(&self) -> ParseResult<Option<f64>> {
+        let Some(v) = self.get("bound") else {
+            return Ok(None);
+        };
+        let parsed: f64 = v.parse().map_err(|_| bad("bound= wants a number", v))?;
+        if parsed.is_nan() || parsed < 0.0 {
+            return Err(bad("bound= must be non-negative (inf allowed)", v));
+        }
+        Ok(Some(parsed))
     }
 }
 
 /// Parse one request line. Empty (or all-whitespace) lines are invalid —
 /// the connection handler skips them before calling this.
-pub fn parse(line: &str) -> Result<Request> {
+pub fn parse(line: &str) -> ParseResult<Request> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
     let Some((verb, rest)) = tokens.split_first() else {
-        return Err(bad("empty request"));
+        return Err(bad("empty request", ""));
     };
     let verb = verb.to_ascii_uppercase();
     let args = Args::parse(rest)?;
@@ -167,17 +266,18 @@ pub fn parse(line: &str) -> Result<Request> {
         "EXACT" => Ok(Request::Exact {
             query: args.required_query()?,
             deadline_ms: args.u64_opt("deadline_ms")?,
+            bound: args.bound_opt()?,
         }),
         "KNN" => {
             let k = args
-                .u64_opt("k")?
-                .ok_or_else(|| bad("missing k="))?
+                .u64_req("k")?
                 .try_into()
-                .map_err(|_| bad("k= is too large"))?;
+                .map_err(|_| bad("k= is too large", args.get("k").unwrap_or("")))?;
             Ok(Request::Knn {
                 k,
                 query: args.required_query()?,
                 deadline_ms: args.u64_opt("deadline_ms")?,
+                bound: args.bound_opt()?,
             })
         }
         "RANGE" => Ok(Request::Range {
@@ -188,10 +288,26 @@ pub fn parse(line: &str) -> Result<Request> {
         "INGEST" => Ok(Request::Ingest {
             upto: args.u64_opt("upto")?,
         }),
+        "BUILD" => {
+            let start = args.u64_req("start")?;
+            let end = args.u64_req("end")?;
+            if end < start {
+                return Err(bad(
+                    "end= must be at least start=",
+                    args.get("end").unwrap_or(""),
+                ));
+            }
+            Ok(Request::Build {
+                start,
+                end,
+                upto: args.u64_opt("upto")?,
+            })
+        }
+        "SHARD-INFO" => Ok(Request::ShardInfo),
         "COMPACT" => Ok(Request::Compact),
         "GC" => Ok(Request::Gc),
         "QUIT" => Ok(Request::Quit),
-        other => Err(bad(format!("unknown verb {other:?}"))),
+        _ => Err(bad("unknown verb", &verb)),
     }
 }
 
@@ -208,6 +324,7 @@ mod tests {
             Request::Exact {
                 query: QuerySpec::Seed(7),
                 deadline_ms: Some(250),
+                bound: None,
             }
         );
         assert_eq!(
@@ -216,6 +333,7 @@ mod tests {
                 k: 5,
                 query: QuerySpec::Pos(12),
                 deadline_ms: None,
+                bound: None,
             }
         );
         let r = parse("RANGE eps=1.5 q=v:0.5,-1,2.25").unwrap();
@@ -235,6 +353,43 @@ mod tests {
     }
 
     #[test]
+    fn parses_shard_verbs_and_bounds() {
+        assert_eq!(parse("SHARD-INFO").unwrap(), Request::ShardInfo);
+        assert_eq!(parse("shard-info").unwrap(), Request::ShardInfo);
+        assert_eq!(
+            parse("BUILD start=100 end=200 upto=150").unwrap(),
+            Request::Build {
+                start: 100,
+                end: 200,
+                upto: Some(150),
+            }
+        );
+        assert_eq!(
+            parse("BUILD start=0 end=50").unwrap(),
+            Request::Build {
+                start: 0,
+                end: 50,
+                upto: None,
+            }
+        );
+        let r = parse("EXACT q=seed:1 bound=2.5").unwrap();
+        assert_eq!(
+            r,
+            Request::Exact {
+                query: QuerySpec::Seed(1),
+                deadline_ms: None,
+                bound: Some(2.5),
+            }
+        );
+        // An explicit infinite bound round-trips (meaning: no bound).
+        let r = parse("KNN k=2 q=seed:1 bound=inf").unwrap();
+        let Request::Knn { bound, .. } = r else {
+            panic!()
+        };
+        assert_eq!(bound, Some(f64::INFINITY));
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for line in [
             "",
@@ -248,8 +403,37 @@ mod tests {
             "RANGE eps=nan q=seed:1",
             "EXACT q=v:",
             "INGEST upto=many",
+            "BUILD end=5",
+            "BUILD start=10 end=5",
+            "EXACT q=seed:1 bound=-2",
+            "EXACT q=seed:1 bound=nan",
         ] {
             assert!(parse(line).is_err(), "should reject {line:?}");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        let e = parse("FROB x=1").unwrap_err();
+        assert!(e.to_string().contains("FROB"), "{e}");
+        let e = parse("EXACT q=walrus:1").unwrap_err();
+        assert!(e.to_string().contains("walrus"), "{e}");
+        let e = parse("KNN k=abc q=seed:1").unwrap_err();
+        assert!(e.to_string().contains("abc"), "{e}");
+        let e = parse("EXACT notkeyvalue").unwrap_err();
+        assert!(e.to_string().contains("notkeyvalue"), "{e}");
+    }
+
+    #[test]
+    fn oversized_tokens_are_truncated_in_errors() {
+        let long = format!("EXACT {}", "x".repeat(100_000));
+        let e = parse(&long).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.len() < 256,
+            "reply must stay bounded: {} bytes",
+            msg.len()
+        );
+        assert!(msg.contains("..."), "{msg}");
     }
 }

@@ -1,4 +1,9 @@
 //! The TCP listener: accept loop, admission, and clean shutdown.
+//!
+//! [`Server`] is generic over the request [`Handler`] it serves — the
+//! default [`Engine`] (single node or shard worker) or the distributed
+//! `CoordinatorEngine` — so every deployment shape shares one listener,
+//! admission queue, and shutdown path.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -8,7 +13,7 @@ use std::time::Duration;
 
 use coconut_storage::{Error, Result};
 
-use crate::engine::Engine;
+use crate::engine::{Engine, Handler};
 use crate::pool::Pool;
 
 /// How the server binds and sizes its worker pool.
@@ -37,17 +42,17 @@ impl Default for ServerConfig {
 
 /// A running query server. Dropping it (or calling [`Server::shutdown`])
 /// stops the accept loop, drains the workers, and joins every thread.
-pub struct Server {
-    engine: Arc<Engine>,
+pub struct Server<H: Handler = Engine> {
+    engine: Arc<H>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    pool: Arc<Pool>,
+    pool: Arc<Pool<H>>,
 }
 
-impl Server {
+impl<H: Handler> Server<H> {
     /// Bind the listener and start the accept loop and worker pool.
-    pub fn start(engine: Arc<Engine>, config: &ServerConfig) -> Result<Server> {
+    pub fn start(engine: Arc<H>, config: &ServerConfig) -> Result<Server<H>> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| Error::invalid(format!("cannot bind {}: {e}", config.addr)))?;
         let addr = listener
@@ -73,7 +78,7 @@ impl Server {
                         }
                         if let Ok(stream) = conn {
                             if !pool.dispatch(stream) {
-                                engine.metrics().rejected.inc();
+                                engine.on_rejected();
                             }
                         }
                     }
@@ -94,8 +99,8 @@ impl Server {
         self.addr
     }
 
-    /// The engine this server executes requests with.
-    pub fn engine(&self) -> &Arc<Engine> {
+    /// The handler this server executes requests with.
+    pub fn engine(&self) -> &Arc<H> {
         &self.engine
     }
 
@@ -117,7 +122,7 @@ impl Server {
     }
 }
 
-impl Drop for Server {
+impl<H: Handler> Drop for Server<H> {
     fn drop(&mut self) {
         self.shutdown();
     }

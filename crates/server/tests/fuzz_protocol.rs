@@ -1,0 +1,72 @@
+//! Fuzz-style robustness properties for the line-protocol parser: random
+//! byte frames must never panic, hang, or produce an unbounded reply.
+//!
+//! The server decodes request lines with `from_utf8_lossy` before parsing,
+//! so the property is driven the same way: arbitrary bytes → lossy string
+//! → `parse`. Every rejection must be a typed `ParseError` whose display
+//! stays one bounded line (the engine turns it into `ERR parse: ...`).
+
+use proptest::prelude::*;
+
+use coconut_server::parse;
+
+/// A reply derived from a parse error must fit one bounded protocol line:
+/// the error display truncates oversized tokens, and the engine strips
+/// newlines before writing.
+fn assert_bounded_error(line: &str) {
+    if let Err(e) = parse(line) {
+        let msg = e.to_string();
+        assert!(
+            msg.len() < 512,
+            "parse error grew past one line ({} bytes) for input {:?}...",
+            msg.len(),
+            &line[..line.len().min(80)]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte frames: no panic, bounded error replies.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        assert_bounded_error(&line);
+    }
+
+    /// Frames that start like real verbs but carry arbitrary argument
+    /// bytes: exercises every per-verb argument path.
+    #[test]
+    fn mangled_verb_frames_never_panic(
+        verb in 0usize..10,
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let verbs = [
+            "EXACT", "KNN", "RANGE", "INGEST", "BUILD",
+            "SHARD-INFO", "STATS", "HEALTH", "PING", "QUIT",
+        ];
+        let tail = String::from_utf8_lossy(&bytes).into_owned();
+        let line = format!("{} {tail}", verbs[verb]);
+        assert_bounded_error(&line);
+    }
+
+    /// Structured-looking key=value garbage after a verb.
+    #[test]
+    fn keyword_salad_never_panics(
+        k in any::<u64>(),
+        junk in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let tail = String::from_utf8_lossy(&junk).into_owned();
+        for line in [
+            format!("KNN k={k} q=seed:{tail}"),
+            format!("EXACT q=v:{tail} bound={tail}"),
+            format!("BUILD start={k} end={tail}"),
+            format!("RANGE eps={tail} q=pos:{k}"),
+        ] {
+            assert_bounded_error(&line);
+        }
+    }
+}

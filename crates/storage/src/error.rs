@@ -20,6 +20,11 @@ pub enum Error {
     /// at the query path's early-abandon checkpoints (see
     /// [`crate::deadline::Deadline`]); the partial work is discarded.
     Deadline(String),
+    /// A remote peer (shard worker) could not be reached within the retry
+    /// budget, or dropped the connection mid-request. Distinguished from
+    /// [`Error::Io`] so a coordinator can surface "that shard is down" as a
+    /// typed, retriable condition rather than a generic I/O failure.
+    Unavailable(String),
 }
 
 /// Convenient alias used throughout the workspace.
@@ -32,6 +37,7 @@ impl fmt::Display for Error {
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
             Error::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
+            Error::Unavailable(msg) => write!(f, "peer unavailable: {msg}"),
         }
     }
 }
@@ -71,6 +77,17 @@ impl Error {
     /// it to a per-request timeout response rather than a failure.
     pub fn is_deadline(&self) -> bool {
         matches!(self, Error::Deadline(_))
+    }
+
+    /// Build an [`Error::Unavailable`] from anything printable.
+    pub fn unavailable(msg: impl fmt::Display) -> Self {
+        Error::Unavailable(msg.to_string())
+    }
+
+    /// True when this error is an [`Error::Unavailable`] — a coordinator
+    /// maps it to a typed per-shard outage instead of a query failure.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, Error::Unavailable(_))
     }
 }
 

@@ -1,0 +1,195 @@
+//! Coordinator fault paths, over real sockets and in-process shard
+//! servers: a shard killed mid-workload must surface a **typed**
+//! `unavailable` error within the deadline (no hang), and a restarted
+//! shard must rejoin through `SHARD-INFO` with its recovered slice.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use coconut::prelude::*;
+use coconut::storage::IoStats;
+use coconut_server::{ClientConfig, CoordinatorEngine, Engine, Server, ServerConfig};
+
+const LEN: usize = 64;
+const N: u64 = 600;
+
+fn make_dataset(dir: &TempDir) -> Dataset {
+    let stats = Arc::new(IoStats::new());
+    let path = dir.path().join("data.bin");
+    write_dataset(&path, &mut RandomWalkGen::new(11), N, LEN, &stats).unwrap();
+    Dataset::open(&path, stats).unwrap()
+}
+
+fn shard_config() -> IndexConfig {
+    let mut config = IndexConfig::default_for_len(LEN);
+    config.leaf_capacity = 32;
+    config
+}
+
+/// An in-process shard worker over `index_dir`, recovering any existing
+/// slice index there (that is exactly what `serve --shard` does).
+fn start_shard(ds: &Dataset, index_dir: &std::path::Path) -> Server {
+    let opts = BuildOptions::default();
+    let recovered = if coconut::index::manifest::Manifest::path_in(index_dir).exists() {
+        Some(Arc::new(
+            LsmCoconut::open(index_dir, ds, opts.clone()).unwrap(),
+        ))
+    } else {
+        None
+    };
+    let engine = Arc::new(Engine::new_shard(
+        ds.clone(),
+        index_dir,
+        shard_config(),
+        opts,
+        recovered,
+        None,
+    ));
+    Server::start(
+        engine,
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 8,
+            default_deadline_ms: None,
+        },
+    )
+    .unwrap()
+}
+
+/// A tight retry budget so fault tests fail fast, not after minutes.
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(250),
+        request_timeout: Duration::from_secs(2),
+        retries: 2,
+        backoff_start: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+    }
+}
+
+fn coordinator_over(ds: &Dataset, addrs: &[String]) -> CoordinatorEngine {
+    CoordinatorEngine::new(addrs, ds.clone(), fast_client(), None).unwrap()
+}
+
+#[test]
+fn killed_shard_surfaces_typed_unavailable_within_deadline() {
+    let dir = TempDir::new("dist-kill").unwrap();
+    let ds = make_dataset(&dir);
+    let mut s0 = start_shard(&ds, &dir.path().join("s0"));
+    let mut s1 = start_shard(&ds, &dir.path().join("s1"));
+    let coord = coordinator_over(&ds, &[s0.addr().to_string(), s1.addr().to_string()]);
+
+    // Healthy path first: build and query.
+    let reply = coord.execute_line(&format!("BUILD start=0 end={N}")).reply;
+    assert!(reply.starts_with("OK build"), "{reply}");
+    assert!(reply.contains(&format!("covered={N}")), "{reply}");
+    let reply = coord.execute_line("EXACT q=seed:3").reply;
+    assert!(reply.starts_with("OK exact pos="), "{reply}");
+
+    // Kill the second shard mid-workload.
+    s1.shutdown();
+    let started = Instant::now();
+    let reply = coord.execute_line("EXACT q=seed:4 deadline_ms=5000").reply;
+    let elapsed = started.elapsed();
+    assert!(
+        reply.starts_with("ERR unavailable:"),
+        "expected a typed unavailable error, got {reply}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "fault path took {elapsed:?}; the deadline/retry budget was not respected"
+    );
+
+    // The coordinator itself stays alive and typed for later requests.
+    let reply = coord.execute_line("HEALTH").reply;
+    assert!(reply.starts_with("ERR unavailable:"), "{reply}");
+    s0.shutdown();
+}
+
+#[test]
+fn restarted_shard_rejoins_with_its_recovered_slice() {
+    let dir = TempDir::new("dist-rejoin").unwrap();
+    let ds = make_dataset(&dir);
+    let s0_dir = dir.path().join("s0");
+    let s1_dir = dir.path().join("s1");
+    let mut s0 = start_shard(&ds, &s0_dir);
+    let mut s1 = start_shard(&ds, &s1_dir);
+    let s1_port = s1.addr().port();
+    let coord = coordinator_over(&ds, &[s0.addr().to_string(), s1.addr().to_string()]);
+
+    let reply = coord.execute_line(&format!("BUILD start=0 end={N}")).reply;
+    assert!(reply.starts_with("OK build"), "{reply}");
+    let before = coord.execute_line("EXACT q=seed:9").reply;
+    assert!(before.starts_with("OK exact"), "{before}");
+
+    // Crash and restart the shard on the same port; its slice index is
+    // recovered from the manifest, so it rejoins without a new BUILD.
+    s1.shutdown();
+    drop(s1);
+    let restarted = {
+        let engine = Arc::new(Engine::new_shard(
+            ds.clone(),
+            &s1_dir,
+            shard_config(),
+            BuildOptions::default(),
+            Some(Arc::new(
+                LsmCoconut::open(&s1_dir, &ds, BuildOptions::default()).unwrap(),
+            )),
+            None,
+        ));
+        let config = ServerConfig {
+            addr: format!("127.0.0.1:{s1_port}"),
+            workers: 2,
+            queue: 8,
+            default_deadline_ms: None,
+        };
+        // The old listener may linger briefly; retry the bind.
+        let mut server = None;
+        for _ in 0..50 {
+            match Server::start(Arc::clone(&engine), &config) {
+                Ok(s) => {
+                    server = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        server.expect("shard could not re-bind its port")
+    };
+
+    // SHARD-INFO sees the full partition again (the client reconnects).
+    let reply = coord.execute_line("SHARD-INFO").reply;
+    assert!(reply.starts_with("OK shard-info shards=2"), "{reply}");
+    assert!(reply.contains(&format!("covered={N}")), "{reply}");
+
+    // And queries return the same answer as before the crash.
+    let after = coord.execute_line("EXACT q=seed:9").reply;
+    assert_eq!(
+        before.split("seq=").next(),
+        after.split("seq=").next(),
+        "rejoined shard changed the answer: {before} vs {after}"
+    );
+    drop(restarted);
+    s0.shutdown();
+}
+
+#[test]
+fn unassigned_shard_is_typed_until_build_assigns_its_slice() {
+    let dir = TempDir::new("dist-unassigned").unwrap();
+    let ds = make_dataset(&dir);
+    let mut s0 = start_shard(&ds, &dir.path().join("s0"));
+    let coord = coordinator_over(&ds, &[s0.addr().to_string()]);
+
+    // Queries before any BUILD surface the shard's typed refusal.
+    let reply = coord.execute_line("EXACT q=seed:1").reply;
+    assert!(reply.starts_with("ERR invalid:"), "{reply}");
+    assert!(reply.contains("BUILD"), "{reply}");
+
+    // BUILD assigns the slice; the same query then succeeds.
+    let reply = coord.execute_line(&format!("BUILD start=0 end={N}")).reply;
+    assert!(reply.starts_with("OK build"), "{reply}");
+    let reply = coord.execute_line("EXACT q=seed:1").reply;
+    assert!(reply.starts_with("OK exact pos="), "{reply}");
+    s0.shutdown();
+}

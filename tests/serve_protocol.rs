@@ -117,9 +117,11 @@ fn readme_line_protocol_session() {
     }
     assert!(saw_qps, "STATS body should carry coconut_qps");
 
-    // Malformed input gets a categorized error, not a dropped connection.
+    // Malformed input gets a typed parse error naming the offending
+    // token, not a dropped connection.
     let reply = roundtrip(&mut reader, &mut out, "FROB x=1");
-    assert!(reply.starts_with("ERR invalid:"), "{reply}");
+    assert!(reply.starts_with("ERR parse:"), "{reply}");
+    assert!(reply.contains("FROB"), "{reply}");
 
     // QUIT closes the connection.
     assert_eq!(roundtrip(&mut reader, &mut out, "QUIT"), "OK bye");
