@@ -57,6 +57,7 @@ fn bench_queries(c: &mut Criterion) {
             leaf_capacity: 200,
             fill_factor: 1.0,
             internal_fanout: 64,
+            split_policy: coconut_core::SplitPolicyKind::Fixed,
         };
         let opts = BuildOptions {
             memory_bytes: 64 << 20,
@@ -95,6 +96,7 @@ fn bench_queries(c: &mut Criterion) {
             leaf_capacity: 200,
             fill_factor: 1.0,
             internal_fanout: 64,
+            split_policy: coconut_core::SplitPolicyKind::Fixed,
         };
         let tree = CoconutTree::build(
             &w.dataset,

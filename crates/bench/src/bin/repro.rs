@@ -7,7 +7,7 @@
 //! experiments: fig7 fig8a fig8b fig8c fig8d fig8e fig8f
 //!              fig9a fig9b fig9c fig9d fig9e fig9f
 //!              fig10a fig10b fig10c ablation scaling bench_distance
-//!              streaming serve distributed
+//!              streaming serve distributed occupancy
 //!              fig8 fig9 fig10 all
 //! ```
 //!
@@ -43,6 +43,7 @@ const ALL: &[&str] = &[
     "streaming",
     "serve",
     "distributed",
+    "occupancy",
 ];
 
 fn expand(arg: &str) -> Vec<&'static str> {
@@ -91,6 +92,7 @@ fn run_experiment(name: &str, env: &Env) -> coconut_storage::Result<()> {
         "streaming" => experiments::streaming::run(env),
         "serve" => experiments::serve::run(env),
         "distributed" => experiments::distributed::run(env),
+        "occupancy" => experiments::occupancy::run(env),
         _ => unreachable!("expand() only yields known names"),
     }
 }

@@ -52,6 +52,7 @@ fn index_config(series_len: usize, leaf: usize) -> IndexConfig {
         leaf_capacity: leaf,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: coconut_core::SplitPolicyKind::Fixed,
     }
 }
 

@@ -47,6 +47,7 @@ pub fn run_10a(env: &Env) -> Result<()> {
         leaf_capacity: env.scale.leaf_capacity,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: coconut_core::SplitPolicyKind::Fixed,
     };
     let opts = BuildOptions {
         memory_bytes: 16 << 20,

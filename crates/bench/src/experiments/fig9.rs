@@ -166,6 +166,7 @@ fn build_ctree(env: &Env, w: &Workload, dir: &std::path::Path) -> Result<Coconut
         leaf_capacity: env.scale.leaf_capacity,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: coconut_core::SplitPolicyKind::Fixed,
     };
     CoconutTree::build(
         &w.dataset,

@@ -24,6 +24,7 @@
 //! | streaming | LSM streaming ingest: throughput + latency vs run count | [`streaming::run`] |
 //! | serve | open-loop socket load on the query server under churn | [`serve::run`] |
 //! | distributed | scatter-gather kNN across shard worker processes | [`distributed::run`] |
+//! | occupancy | leaf occupancy: fixed vs adaptive node splitting | [`occupancy::run`] |
 
 pub mod ablation;
 pub mod bench_distance;
@@ -32,6 +33,7 @@ pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod occupancy;
 pub mod scaling;
 pub mod serve;
 pub mod streaming;

@@ -51,6 +51,7 @@ pub fn run(env: &Env) -> Result<()> {
         leaf_capacity: env.scale.leaf_capacity,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: coconut_core::SplitPolicyKind::Fixed,
     };
     // A budget a little under the raw size so shards actually spill and
     // merge (the regime the paper's Figure 8 studies).

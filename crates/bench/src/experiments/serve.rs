@@ -224,6 +224,7 @@ pub fn run(env: &Env) -> Result<()> {
         leaf_capacity: env.scale.leaf_capacity,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: coconut_core::SplitPolicyKind::Fixed,
     };
     let opts = BuildOptions {
         memory_bytes: (w.dataset.payload_bytes() / 2).max(1 << 20),

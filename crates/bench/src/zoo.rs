@@ -118,6 +118,7 @@ pub fn build_index(
         leaf_capacity: params.leaf_capacity,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: coconut_core::SplitPolicyKind::Fixed,
     };
     let opts = BuildOptions {
         memory_bytes: params.memory_bytes,

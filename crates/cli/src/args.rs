@@ -3,22 +3,27 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+use coconut_core::SplitPolicyKind;
+
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage:
   coconut gen   --kind <randomwalk|seismic|astronomy> --count N --len L [--seed S] <out.ds>
   coconut info  <data.ds>
   coconut build --index <ctree|ctrie> [--materialized] [--leaf N]
+                [--split-policy <fixed|adaptive>]
                 [--memory-mb M] [--shards N] [--out-dir DIR] <data.ds>
   coconut query --index <path.idx> --data <data.ds>
                 (--seed S | --pos P) [--k K] [--radius R]
                 [--dtw BAND] [--range EPS] [--approximate]
   coconut ingest  --data <data.ds> --index-dir DIR [--materialized]
-                  [--leaf N] [--memory-mb M] [--batch N] [--max-runs N]
+                  [--leaf N] [--split-policy <fixed|adaptive>]
+                  [--memory-mb M] [--batch N] [--max-runs N]
   coconut compact --data <data.ds> --index-dir DIR
   coconut serve   --data <data.ds> --index-dir DIR [--addr HOST:PORT]
                   [--workers N] [--queue N] [--deadline-ms MS]
-                  [--initial N] [--leaf N] [--memory-mb M] [--shard]
+                  [--initial N] [--leaf N] [--split-policy P] [--shard]
+                  [--memory-mb M]
   coconut serve   --data <data.ds> --coordinator --shards H:P,H:P,...
                   [--addr HOST:PORT] [--workers N] [--queue N]
                   [--deadline-ms MS]";
@@ -41,6 +46,10 @@ pub enum Command {
         index: String,
         materialized: bool,
         leaf: usize,
+        /// Trie node-splitting policy (`fixed` keeps the paper's binary
+        /// splits; `adaptive` packs leaves by measured density). Ignored by
+        /// `ctree`, whose median packing has no split decision.
+        split_policy: SplitPolicyKind,
         memory_mb: u64,
         /// Parallel build shards; defaults to the machine's available
         /// parallelism.
@@ -70,6 +79,9 @@ pub enum Command {
         /// explicit value that conflicts with a recovered index's manifest
         /// is an error rather than silently ignored.
         leaf: Option<usize>,
+        /// Split policy for a *fresh* index; like `leaf`, an explicit value
+        /// conflicting with a recovered manifest is an error.
+        split_policy: Option<SplitPolicyKind>,
         memory_mb: u64,
         /// Ingest the uncovered tail in batches of this many series (one
         /// run per batch); `None` means one run for the whole tail.
@@ -97,6 +109,8 @@ pub enum Command {
         /// (`None` = serve whatever the recovered index already covers).
         initial: Option<u64>,
         leaf: Option<usize>,
+        /// Split policy for a *fresh* index (see `Ingest::split_policy`).
+        split_policy: Option<SplitPolicyKind>,
         memory_mb: u64,
         /// Shard-worker mode: serve one key-range slice, assigned by a
         /// coordinator's `BUILD` request (recovered from the index
@@ -152,6 +166,14 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
 }
 
+/// Parse `--split-policy`, surfacing the typed core error (which lists the
+/// valid options) as the parse failure.
+fn parse_policy(opts: &HashMap<String, String>) -> Result<Option<SplitPolicyKind>, String> {
+    opts.get("--split-policy")
+        .map(|s| s.parse::<SplitPolicyKind>().map_err(|e| e.to_string()))
+        .transpose()
+}
+
 /// Parse a full command line (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let Some(verb) = argv.first() else {
@@ -190,6 +212,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 leaf: opts
                     .get("--leaf")
                     .map_or(Ok(2000), |s| parse_num(s, "leaf"))?,
+                split_policy: parse_policy(&opts)?.unwrap_or_default(),
                 memory_mb: opts
                     .get("--memory-mb")
                     .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
@@ -244,6 +267,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .get("--leaf")
                 .map(|s| parse_num(s, "leaf"))
                 .transpose()?,
+            split_policy: parse_policy(&opts)?,
             memory_mb: opts
                 .get("--memory-mb")
                 .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
@@ -343,6 +367,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .get("--leaf")
                     .map(|s| parse_num(s, "leaf"))
                     .transpose()?,
+                split_policy: parse_policy(&opts)?,
                 memory_mb: opts
                     .get("--memory-mb")
                     .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
@@ -490,6 +515,7 @@ mod tests {
                 index_dir: PathBuf::from("./lsm"),
                 materialized: false,
                 leaf: Some(64),
+                split_policy: None,
                 memory_mb: 256,
                 batch: Some(500),
                 max_runs: Some(4),
@@ -546,6 +572,7 @@ mod tests {
                 deadline_ms: Some(250),
                 initial: Some(5000),
                 leaf: None,
+                split_policy: None,
                 memory_mb: 256,
                 shard: false,
                 shards: vec![],
@@ -613,6 +640,45 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("serve --data d --index-dir x --shard --initial 100")).is_err());
+    }
+
+    #[test]
+    fn parses_split_policy() {
+        // Build defaults to fixed; an explicit value is honoured.
+        let c = parse(&argv("build --index ctrie x.ds")).unwrap();
+        let Command::Build { split_policy, .. } = c else {
+            panic!()
+        };
+        assert_eq!(split_policy, SplitPolicyKind::Fixed);
+        let c = parse(&argv("build --index ctrie --split-policy adaptive x.ds")).unwrap();
+        let Command::Build { split_policy, .. } = c else {
+            panic!()
+        };
+        assert_eq!(split_policy, SplitPolicyKind::Adaptive);
+
+        // Ingest and serve keep "not given" distinct from "fixed" so the
+        // recovered-manifest conflict check only fires on explicit flags.
+        let c = parse(&argv(
+            "ingest --data d.ds --index-dir ./lsm --split-policy fixed",
+        ))
+        .unwrap();
+        let Command::Ingest { split_policy, .. } = c else {
+            panic!()
+        };
+        assert_eq!(split_policy, Some(SplitPolicyKind::Fixed));
+        let c = parse(&argv(
+            "serve --data d.ds --index-dir ./lsm --split-policy adaptive",
+        ))
+        .unwrap();
+        let Command::Serve { split_policy, .. } = c else {
+            panic!()
+        };
+        assert_eq!(split_policy, Some(SplitPolicyKind::Adaptive));
+
+        // Unknown values fail with a message naming the valid options.
+        let err = parse(&argv("build --index ctrie --split-policy median x.ds")).unwrap_err();
+        assert!(err.contains("median"), "{err}");
+        assert!(err.contains("fixed") && err.contains("adaptive"), "{err}");
     }
 
     #[test]

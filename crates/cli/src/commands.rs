@@ -67,6 +67,7 @@ pub fn run(cmd: Command) -> Result<()> {
             index,
             materialized,
             leaf,
+            split_policy,
             memory_mb,
             shards,
             out_dir,
@@ -80,6 +81,7 @@ pub fn run(cmd: Command) -> Result<()> {
                 leaf_capacity: leaf,
                 fill_factor: 1.0,
                 internal_fanout: 64,
+                split_policy,
             };
             let opts = BuildOptions {
                 memory_bytes: memory_mb << 20,
@@ -89,33 +91,36 @@ pub fn run(cmd: Command) -> Result<()> {
             };
             let shard_count = opts.shards;
             let t0 = Instant::now();
-            let (name, path, leaves, fill, bytes): (String, _, _, _, _) = match index.as_str() {
-                "ctree" => {
-                    let t = CoconutTree::build(&ds, &config, &out_dir, opts)?;
-                    (
-                        t.name(),
-                        t.index_path().to_path_buf(),
-                        t.leaf_count(),
-                        t.avg_leaf_fill(),
-                        t.disk_bytes(),
-                    )
-                }
-                "ctrie" => {
-                    let t = CoconutTrie::build(&ds, &config, &out_dir, opts)?;
-                    (
-                        t.name(),
-                        t.index_path().to_path_buf(),
-                        t.leaf_count(),
-                        t.avg_leaf_fill(),
-                        t.disk_bytes(),
-                    )
-                }
-                other => {
-                    return Err(Error::invalid(format!(
-                        "unknown index '{other}' (ctree|ctrie)"
-                    )))
-                }
-            };
+            let (name, path, leaves, fill, oversized, bytes): (String, _, _, _, _, _) =
+                match index.as_str() {
+                    "ctree" => {
+                        let t = CoconutTree::build(&ds, &config, &out_dir, opts)?;
+                        (
+                            t.name(),
+                            t.index_path().to_path_buf(),
+                            t.leaf_count(),
+                            t.avg_leaf_fill(),
+                            t.oversized_leaf_count(),
+                            t.disk_bytes(),
+                        )
+                    }
+                    "ctrie" => {
+                        let t = CoconutTrie::build(&ds, &config, &out_dir, opts)?;
+                        (
+                            t.name(),
+                            t.index_path().to_path_buf(),
+                            t.leaf_count(),
+                            t.avg_leaf_fill(),
+                            t.oversized_leaf_count(),
+                            t.disk_bytes(),
+                        )
+                    }
+                    other => {
+                        return Err(Error::invalid(format!(
+                            "unknown index '{other}' (ctree|ctrie)"
+                        )))
+                    }
+                };
             let io = stats.snapshot();
             println!(
                 "built {name} in {:.2}s ({} build shard{})",
@@ -124,7 +129,11 @@ pub fn run(cmd: Command) -> Result<()> {
                 if shard_count == 1 { "" } else { "s" }
             );
             println!("index file    {}", path.display());
-            println!("leaves        {leaves} (avg fill {:.0}%)", fill * 100.0);
+            println!(
+                "leaves        {leaves} (avg fill {:.0}%, {oversized} oversized, {} split)",
+                fill * 100.0,
+                config.split_policy
+            );
             println!("size          {:.1} MiB", bytes as f64 / (1 << 20) as f64);
             println!(
                 "io            {} sequential / {} random ops, {:.1} MiB moved",
@@ -219,13 +228,15 @@ pub fn run(cmd: Command) -> Result<()> {
             index_dir,
             materialized,
             leaf,
+            split_policy,
             memory_mb,
             batch,
             max_runs,
         } => {
             let stats = Arc::new(IoStats::new());
             let ds = Dataset::open(&data, Arc::clone(&stats))?;
-            let (lsm, fresh) = open_or_create_lsm(&ds, &index_dir, materialized, leaf, memory_mb)?;
+            let (lsm, fresh) =
+                open_or_create_lsm(&ds, &index_dir, materialized, leaf, split_policy, memory_mb)?;
             if let Some(n) = max_runs {
                 lsm.set_max_runs(n);
             }
@@ -290,6 +301,7 @@ pub fn run(cmd: Command) -> Result<()> {
             deadline_ms,
             initial,
             leaf,
+            split_policy,
             memory_mb,
             shard,
             shards,
@@ -347,6 +359,7 @@ pub fn run(cmd: Command) -> Result<()> {
                     leaf_capacity: leaf.unwrap_or(2000),
                     fill_factor: 1.0,
                     internal_fanout: 64,
+                    split_policy: split_policy.unwrap_or_default(),
                 };
                 let fresh = !Manifest::path_in(&index_dir).exists();
                 let recovered = if fresh {
@@ -381,7 +394,8 @@ pub fn run(cmd: Command) -> Result<()> {
                     std::thread::sleep(std::time::Duration::from_secs(3600));
                 }
             }
-            let (lsm, fresh) = open_or_create_lsm(&ds, &index_dir, false, leaf, memory_mb)?;
+            let (lsm, fresh) =
+                open_or_create_lsm(&ds, &index_dir, false, leaf, split_policy, memory_mb)?;
             if let Some(n) = initial {
                 lsm.ingest_upto(&ds, n.min(ds.len()))?;
             }
@@ -425,6 +439,7 @@ fn open_or_create_lsm(
     index_dir: &std::path::Path,
     materialized: bool,
     leaf: Option<usize>,
+    split_policy: Option<coconut_core::SplitPolicyKind>,
     memory_mb: u64,
 ) -> Result<(LsmCoconut, bool)> {
     let opts = BuildOptions {
@@ -442,6 +457,7 @@ fn open_or_create_lsm(
             leaf_capacity: leaf.unwrap_or(2000),
             fill_factor: 1.0,
             internal_fanout: 64,
+            split_policy: split_policy.unwrap_or_default(),
         };
         LsmCoconut::new(config, opts, index_dir)?
     } else {
@@ -460,6 +476,17 @@ fn open_or_create_lsm(
                     "--leaf {l} conflicts with the recovered index in {} \
                      (built with leaf capacity {have}); omit --leaf or use \
                      a fresh --index-dir",
+                    index_dir.display()
+                )));
+            }
+        }
+        if let Some(p) = split_policy {
+            let have = lsm.config().split_policy;
+            if p != have {
+                return Err(Error::invalid(format!(
+                    "--split-policy {p} conflicts with the recovered index \
+                     in {} (built with the {have} policy); omit \
+                     --split-policy or use a fresh --index-dir",
                     index_dir.display()
                 )));
             }
@@ -521,6 +548,7 @@ mod tests {
                 index: index_kind.into(),
                 materialized: false,
                 leaf: 32,
+                split_policy: Default::default(),
                 memory_mb: 1,
                 out_dir: out_dir.clone(),
                 data: data.clone(),
@@ -569,6 +597,7 @@ mod tests {
             index: "ctree".into(),
             materialized: false,
             leaf: 32,
+            split_policy: Default::default(),
             memory_mb: 1,
             out_dir: tree_dir.clone(),
             data: data.clone(),
@@ -600,6 +629,7 @@ mod tests {
             index: "ctrie".into(),
             materialized: false,
             leaf: 32,
+            split_policy: Default::default(),
             memory_mb: 1,
             out_dir: trie_dir.clone(),
             data: data.clone(),
@@ -636,6 +666,7 @@ mod tests {
             index_dir: idx_dir.clone(),
             materialized: false,
             leaf: Some(32),
+            split_policy: None,
             memory_mb: 1,
             batch: Some(60),
             max_runs: Some(3),
@@ -649,6 +680,7 @@ mod tests {
             index_dir: idx_dir.clone(),
             materialized: false,
             leaf: Some(64),
+            split_policy: None,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -659,6 +691,7 @@ mod tests {
             index_dir: idx_dir.clone(),
             materialized: true,
             leaf: None,
+            split_policy: None,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -669,6 +702,7 @@ mod tests {
             index_dir: idx_dir.clone(),
             materialized: false,
             leaf: Some(32),
+            split_policy: None,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -685,6 +719,64 @@ mod tests {
         let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
         assert_eq!(lsm.run_count(), 1);
         assert_eq!(lsm.len(), 300);
+    }
+
+    #[test]
+    fn split_policy_builds_and_recover_conflicts() {
+        let dir = TempDir::new("cli-policy").unwrap();
+        let data = gen_cmd(&dir, "d.ds", 240);
+
+        // An adaptive trie build works end-to-end through the CLI.
+        let out_dir = dir.path().join("adaptive");
+        run(Command::Build {
+            index: "ctrie".into(),
+            materialized: false,
+            leaf: 32,
+            split_policy: coconut_core::SplitPolicyKind::Adaptive,
+            memory_mb: 1,
+            out_dir: out_dir.clone(),
+            data: data.clone(),
+            shards: 2,
+        })
+        .unwrap();
+        let idx = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "idx"))
+            .unwrap();
+        run(Command::Query {
+            index: idx,
+            data: data.clone(),
+            seed: Some(9),
+            pos: None,
+            k: 1,
+            radius: 1,
+            dtw_band: None,
+            range_eps: None,
+            approximate: false,
+        })
+        .unwrap();
+
+        // An LSM directory created with the adaptive policy recovers with
+        // no flag or a matching flag, but rejects a conflicting one.
+        let idx_dir = dir.path().join("lsm");
+        let ingest = |split_policy| Command::Ingest {
+            data: data.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: false,
+            leaf: None,
+            split_policy,
+            memory_mb: 1,
+            batch: None,
+            max_runs: None,
+        };
+        run(ingest(Some(coconut_core::SplitPolicyKind::Adaptive))).unwrap();
+        run(ingest(None)).unwrap();
+        run(ingest(Some(coconut_core::SplitPolicyKind::Adaptive))).unwrap();
+        let err = run(ingest(Some(coconut_core::SplitPolicyKind::Fixed))).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--split-policy"), "{msg}");
+        assert!(msg.contains("adaptive"), "{msg}");
     }
 
     #[test]
@@ -710,6 +802,7 @@ mod tests {
             index: "btree".into(),
             materialized: false,
             leaf: 8,
+            split_policy: Default::default(),
             memory_mb: 1,
             out_dir: dir.path().to_path_buf(),
             data,

@@ -9,7 +9,10 @@
 //!
 //! * [`LocalShard`] (here): an in-process [`LsmCoconut`] over one slice —
 //!   the correctness oracle. A `ShardSet<LocalShard>` answers bit-identically
-//!   to a single whole-dataset index.
+//!   to a single whole-dataset index, with either node-splitting policy:
+//!   the scatter-gather merge works on `(dist, pos)` pairs and never sees
+//!   node shapes, so per-shard [`crate::split::SplitPolicy`] choices cannot
+//!   change merged answers (only per-shard pruning work).
 //! * `RemoteShard` (in `coconut-server`): the same surface spoken over the
 //!   line protocol to a `serve --shard` worker process.
 //!

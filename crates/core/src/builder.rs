@@ -78,6 +78,10 @@ pub struct BuildReport {
     pub sort: SortReport,
     /// Leaf nodes created.
     pub leaves: u64,
+    /// Leaves forced beyond `leaf_capacity` because identical keys could
+    /// not be split further (see `CoconutTrie`'s carve). Zero for
+    /// Coconut-Tree builds, which pack by median instead of prefix.
+    pub oversized_leaves: u64,
 }
 
 #[cfg(test)]

@@ -12,6 +12,13 @@
 //! bulk-loaded into a fresh run on the compaction worker thread — live in
 //! [`crate::lsm`] and are the same for every policy. A leveled policy can
 //! therefore be added by implementing [`CompactionPolicy`] alone.
+//!
+//! Compaction is also independent of the node-splitting policy
+//! ([`crate::split::SplitPolicy`]): runs are median-packed trees whose
+//! leaves are cut by position, so the configured policy does not change
+//! merged-run bytes. The manifest still records it (v3's policy byte) so
+//! recovery rebuilds an [`crate::IndexConfig`] equal to the one the index
+//! was created with.
 
 use std::ops::Range;
 

@@ -3,6 +3,8 @@
 use coconut_storage::{Error, Result};
 use coconut_summary::SaxConfig;
 
+use crate::split::SplitPolicyKind;
+
 /// Structural parameters of a Coconut index.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexConfig {
@@ -17,6 +19,10 @@ pub struct IndexConfig {
     pub fill_factor: f64,
     /// Fan-out of the in-memory internal B+-tree levels.
     pub internal_fanout: usize,
+    /// How Coconut-Trie nodes split the sorted key range (see
+    /// [`crate::split`]). Irrelevant to Coconut-Tree's median-based packing
+    /// but recorded uniformly so LSM recovery can reject conflicting flags.
+    pub split_policy: SplitPolicyKind,
 }
 
 impl IndexConfig {
@@ -28,7 +34,14 @@ impl IndexConfig {
             leaf_capacity: 2000,
             fill_factor: 1.0,
             internal_fanout: 64,
+            split_policy: SplitPolicyKind::Fixed,
         }
+    }
+
+    /// Same config under a different split policy.
+    pub fn with_split_policy(mut self, policy: SplitPolicyKind) -> Self {
+        self.split_policy = policy;
+        self
     }
 
     /// Validate all parameters.
@@ -119,6 +132,10 @@ mod tests {
         assert_eq!(c.leaf_capacity, 2000);
         assert_eq!(c.sax.segments, 16);
         assert_eq!(c.bulk_leaf_entries(), 2000);
+        assert_eq!(c.split_policy, SplitPolicyKind::Fixed);
+        let c = c.with_split_policy(SplitPolicyKind::Adaptive);
+        c.validate().unwrap();
+        assert_eq!(c.split_policy, SplitPolicyKind::Adaptive);
     }
 
     #[test]

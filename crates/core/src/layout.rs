@@ -130,6 +130,14 @@ pub struct IndexHeader {
     pub num_blocks: u64,
     /// Byte offset of the directory.
     pub dir_offset: u64,
+    /// Encoding version of the index-specific tail. `0` is the original
+    /// encoding (Coconut-Tree tail; binary trie node triples); `1` adds the
+    /// variable-fanout trie node record. Pre-versioning files read as `0`
+    /// because the header byte was reserved-zero.
+    pub tail_version: u8,
+    /// [`crate::split::SplitPolicyKind::as_u8`] of the policy the index was
+    /// built under (reserved-zero = fixed on pre-versioning files).
+    pub split_policy: u8,
 }
 
 impl IndexHeader {
@@ -145,6 +153,8 @@ impl IndexHeader {
         h[24..32].copy_from_slice(&self.entry_count.to_le_bytes());
         h[32..40].copy_from_slice(&self.num_blocks.to_le_bytes());
         h[40..48].copy_from_slice(&self.dir_offset.to_le_bytes());
+        h[48] = self.tail_version;
+        h[49] = self.split_policy;
         h
     }
 
@@ -162,6 +172,8 @@ impl IndexHeader {
             entry_count: u64::from_le_bytes(h[24..32].try_into().unwrap()),
             num_blocks: u64::from_le_bytes(h[32..40].try_into().unwrap()),
             dir_offset: u64::from_le_bytes(h[40..48].try_into().unwrap()),
+            tail_version: h[48],
+            split_policy: h[49],
         })
     }
 
@@ -375,9 +387,36 @@ mod tests {
             entry_count: 123_456,
             num_blocks: 62,
             dir_offset: 99_999,
+            tail_version: 1,
+            split_policy: 1,
         };
         h.write_to(&f).unwrap();
         assert_eq!(IndexHeader::read_from(&f).unwrap(), h);
+    }
+
+    #[test]
+    fn reserved_zero_header_bytes_decode_as_fixed_legacy() {
+        // Pre-versioning writers left bytes 48/49 zero; they must read back
+        // as tail version 0 under the fixed policy.
+        let dir = TempDir::new("layout").unwrap();
+        let f = mk_file(&dir);
+        let h = IndexHeader {
+            kind: 0,
+            materialized: false,
+            series_len: 64,
+            segments: 16,
+            card_bits: 4,
+            leaf_capacity: 100,
+            entry_count: 1,
+            num_blocks: 1,
+            dir_offset: 4096,
+            tail_version: 0,
+            split_policy: 0,
+        };
+        h.write_to(&f).unwrap();
+        let back = IndexHeader::read_from(&f).unwrap();
+        assert_eq!(back.tail_version, 0);
+        assert_eq!(back.split_policy, 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod manifest;
 pub mod records;
 pub mod shard;
 pub mod sims;
+pub mod split;
 pub mod tree;
 pub mod trie;
 
@@ -64,5 +65,6 @@ pub use coconut_storage::{Deadline, Error, Result};
 pub use compaction::{CompactionPolicy, TieredPolicy};
 pub use config::{BuildOptions, IndexConfig};
 pub use lsm::{KillPoint, LsmCoconut, Snapshot};
+pub use split::{AdaptivePolicy, FixedBinaryPolicy, SplitPolicy, SplitPolicyKind};
 pub use tree::CoconutTree;
 pub use trie::CoconutTrie;

@@ -550,6 +550,33 @@ impl LsmCoconut {
         total - largest
     }
 
+    /// Per-leaf fill fractions (entries / leaf capacity) across every live
+    /// run, in run order. The server's `coconut_leaf_fill` histogram is
+    /// rebuilt from this at scrape time; the occupancy experiment reads the
+    /// same numbers for its fill report.
+    pub fn leaf_fill_fractions(&self) -> Vec<f64> {
+        let cap = self.shared.config.leaf_capacity.max(1) as f64;
+        self.snapshot()
+            .runs
+            .iter()
+            .flat_map(|r| r.leaf_entry_counts())
+            .map(|n| n as f64 / cap)
+            .collect()
+    }
+
+    /// Leaves forced beyond the configured capacity because identical keys
+    /// could not be split further, summed across live runs (observability:
+    /// `coconut_oversized_leaves`). Always zero for the median-packed
+    /// Coconut-Tree runs the LSM builds today; surfaced uniformly so the
+    /// metric needs no per-layout special case.
+    pub fn oversized_leaves(&self) -> u64 {
+        self.snapshot()
+            .runs
+            .iter()
+            .map(|r| r.oversized_leaf_count())
+            .sum()
+    }
+
     /// Exact k-nearest-neighbors merged across runs (per-run answer lists
     /// are merged by distance; per-run stats are aggregated).
     pub fn exact_knn(&self, query: &[Value], k: usize) -> Result<(Vec<Answer>, QueryStats)> {

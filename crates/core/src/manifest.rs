@@ -31,6 +31,9 @@
 //!
 //! Format version 2 added the `base` field; version-1 manifests (which
 //! always covered `0..covered_end`) still decode, with `base = 0`.
+//! Version 3 added the split-policy byte ([`crate::split::SplitPolicyKind`])
+//! after `internal_fanout`; version-1/2 manifests decode with the fixed
+//! policy, which is what they were built under.
 
 use std::path::{Path, PathBuf};
 
@@ -39,12 +42,13 @@ use coconut_storage::{Error, Result};
 use coconut_summary::SaxConfig;
 
 use crate::config::IndexConfig;
+use crate::split::SplitPolicyKind;
 
 /// File name of the manifest inside an LSM index directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
 const MAGIC: &[u8; 8] = b"CNUTMAN1";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Oldest format version [`Manifest::decode`] still accepts.
 const MIN_VERSION: u32 = 1;
 /// magic + version + payload length + crc64.
@@ -120,6 +124,7 @@ impl Manifest {
         push_u64(&mut payload, self.config.leaf_capacity as u64);
         push_u64(&mut payload, self.config.fill_factor.to_bits());
         push_u64(&mut payload, self.config.internal_fanout as u64);
+        payload.push(self.config.split_policy.as_u8());
         push_u64(&mut payload, self.base);
         push_u64(&mut payload, self.covered_end);
         push_u64(&mut payload, self.next_run_id);
@@ -177,6 +182,11 @@ impl Manifest {
         let leaf_capacity = r.u64()? as usize;
         let fill_factor = f64::from_bits(r.u64()?);
         let internal_fanout = r.u64()? as usize;
+        let split_policy = if version >= 3 {
+            SplitPolicyKind::from_u8(r.u8()?)?
+        } else {
+            SplitPolicyKind::Fixed
+        };
         let base = if version >= 2 { r.u64()? } else { 0 };
         let covered_end = r.u64()?;
         let next_run_id = r.u64()?;
@@ -206,6 +216,7 @@ impl Manifest {
             leaf_capacity,
             fill_factor,
             internal_fanout,
+            split_policy,
         };
         config.validate()?;
         let manifest = Manifest {
@@ -393,29 +404,62 @@ mod tests {
         assert!(Manifest::decode(&bad.encode()).is_err());
     }
 
+    fn frame(version: u32, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    // Offset of the split-policy byte in a v3 payload: seq + series_len +
+    // segments = 24, card_bits + materialized = 2, leaf + fill + fanout =
+    // 24.
+    const POLICY_OFF: usize = 8 * 3 + 2 + 8 * 3;
+
     #[test]
     fn version1_manifests_still_decode() {
-        // Re-encode sample() as a v1 frame (no base field) by hand and
-        // check decode fills base = 0.
+        // Re-encode sample() as a v1 frame (no policy byte, no base field)
+        // by hand and check decode fills fixed policy and base = 0.
         let m = sample();
-        let v2 = m.encode();
-        let payload = &v2[HEADER_LEN..];
-        // v1 payload = v2 payload minus the 8-byte base at offset 57
-        // (seq + series_len + segments = 24, card_bits + materialized = 2,
-        // leaf + fill + fanout = 24 → base starts at byte 50).
-        let base_off = 8 * 3 + 2 + 8 * 3;
-        let mut v1_payload = Vec::with_capacity(payload.len() - 8);
-        v1_payload.extend_from_slice(&payload[..base_off]);
-        v1_payload.extend_from_slice(&payload[base_off + 8..]);
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(MAGIC);
-        v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&(v1_payload.len() as u64).to_le_bytes());
-        v1.extend_from_slice(&crc64(&v1_payload).to_le_bytes());
-        v1.extend_from_slice(&v1_payload);
-        let decoded = Manifest::decode(&v1).unwrap();
+        let v3 = m.encode();
+        let payload = &v3[HEADER_LEN..];
+        let mut v1_payload = Vec::with_capacity(payload.len() - 9);
+        v1_payload.extend_from_slice(&payload[..POLICY_OFF]);
+        v1_payload.extend_from_slice(&payload[POLICY_OFF + 1 + 8..]);
+        let decoded = Manifest::decode(&frame(1, &v1_payload)).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(decoded.base, 0);
+        assert_eq!(decoded.config.split_policy, SplitPolicyKind::Fixed);
+    }
+
+    #[test]
+    fn version2_manifests_still_decode() {
+        // v2 = v3 minus the split-policy byte; decodes as fixed.
+        let m = sample();
+        let v3 = m.encode();
+        let payload = &v3[HEADER_LEN..];
+        let mut v2_payload = Vec::with_capacity(payload.len() - 1);
+        v2_payload.extend_from_slice(&payload[..POLICY_OFF]);
+        v2_payload.extend_from_slice(&payload[POLICY_OFF + 1..]);
+        let decoded = Manifest::decode(&frame(2, &v2_payload)).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.config.split_policy, SplitPolicyKind::Fixed);
+    }
+
+    #[test]
+    fn split_policy_roundtrips_in_v3() {
+        let mut m = sample();
+        m.config.split_policy = SplitPolicyKind::Adaptive;
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded.config.split_policy, SplitPolicyKind::Adaptive);
+        // An unknown policy byte is corruption, not a silent default.
+        let encoded = m.encode();
+        let mut bad_payload = encoded[HEADER_LEN..].to_vec();
+        bad_payload[POLICY_OFF] = 9;
+        assert!(Manifest::decode(&frame(3, &bad_payload)).is_err());
     }
 
     #[test]

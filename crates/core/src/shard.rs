@@ -18,7 +18,10 @@
 //! * **Deterministic total order.** Records are ordered by the unique
 //!   `(key, position)` pair, so merging K sorted shard streams yields the
 //!   exact sequence one big sort would — sharded builds are bit-identical
-//!   to single-sorter builds, only faster.
+//!   to single-sorter builds, only faster. This holds for every
+//!   [`crate::split::SplitPolicy`]: splitting consumes the merged stream
+//!   *after* the shard merge, so the policy sees the same key sequence
+//!   regardless of shard count and produces the same index file bytes.
 
 use std::ops::Range;
 use std::path::{Path, PathBuf};

@@ -34,6 +34,12 @@
 //!   parallelism; the *build*-side rule that concurrent workers divide the
 //!   memory budget (K sorters get `budget / K` each) is documented on
 //!   [`coconut_storage::ExternalSorter::new`] and `crate::shard`.
+//! * **Split-policy independence.** SIMS scans the *full* sorted key
+//!   array and visits records in storage order — neither step consults
+//!   node boundaries — so answers are bit-identical no matter which
+//!   [`crate::split::SplitPolicy`] shaped the trie above the keys. Only
+//!   the approximate bsf-seeding descent touches nodes, and a different
+//!   seed can only change *work*, never the exact answer.
 
 use coconut_series::distance::euclidean_sq_early_abandon;
 use coconut_series::dtw::{dtw_sq_early_abandon, lb_keogh_sq, Envelope};

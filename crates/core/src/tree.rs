@@ -377,6 +377,7 @@ impl CoconutTree {
             leaf_capacity: header.leaf_capacity as usize,
             fill_factor: 1.0,
             internal_fanout: 64,
+            split_policy: crate::split::SplitPolicyKind::from_u8(header.split_policy)?,
         };
         config.validate()?;
         let (leaves, _) = read_directory(&file, header.dir_offset)?;
@@ -442,6 +443,10 @@ impl CoconutTree {
             entry_count: self.entry_count,
             num_blocks: self.next_block as u64,
             dir_offset,
+            // The tree tail has no policy-dependent records; only the
+            // policy byte is carried so reopen reconstructs the config.
+            tail_version: 0,
+            split_policy: self.config.split_policy.as_u8(),
         };
         header.write_to(&self.file)?;
         self.file.sync()
@@ -516,6 +521,22 @@ impl CoconutTree {
     /// The index configuration.
     pub fn config(&self) -> &IndexConfig {
         &self.config
+    }
+
+    /// Entry count of every leaf, in leaf order. Divide by
+    /// `config().leaf_capacity` for fill fractions.
+    pub fn leaf_entry_counts(&self) -> Vec<usize> {
+        self.leaves.iter().map(|l| l.count as usize).collect()
+    }
+
+    /// Leaves beyond `leaf_capacity`: always zero for Coconut-Tree, whose
+    /// median-based packing never overfills — exposed so LSM occupancy
+    /// aggregation treats both index kinds uniformly.
+    pub fn oversized_leaf_count(&self) -> u64 {
+        self.leaves
+            .iter()
+            .filter(|l| l.count as usize > self.config.leaf_capacity)
+            .count() as u64
     }
 
     /// Whether leaves embed raw series.

@@ -15,6 +15,18 @@
 //! entries, so most leaves stay nearly empty and the on-disk size is
 //! inflated — the effect the paper measures in Figure 8c and the reason
 //! Coconut-Tree wins overall.
+//!
+//! The *splitting decision* is therefore pluggable: a
+//! [`crate::split::SplitPolicy`] chooses, at every oversized subtree, how
+//! many interleaved bits the node consumes. The default
+//! [`crate::split::FixedBinaryPolicy`] reproduces the paper's binary trie
+//! byte-for-byte; [`crate::split::AdaptivePolicy`] builds Dumpy-style
+//! variable-fanout nodes (`TrieNode::Multi` internally) whose undersized
+//! sibling slots are greedily merged into shared leaves, recovering most of
+//! the occupancy Coconut-Tree gets — without giving up prefix semantics.
+//! Both policies produce bit-identical *query answers* (exact search runs
+//! over the same sorted keys either way); only the leaf partitioning and
+//! the approximate-search seed differ.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +51,7 @@ use crate::layout::{
 use crate::records::{KeyPos, KeySeries};
 use crate::shard::{sorted_key_pos_sharded, sorted_key_series_sharded};
 use crate::sims::{sims_exact, SeriesFetcher};
+use crate::split::{child_counts, merge_slots, SplitPolicy, SplitPolicyKind};
 use crate::tree::RawFileFetcher;
 
 static TRIE_ID: AtomicU64 = AtomicU64::new(0);
@@ -51,6 +64,11 @@ enum TrieNode {
     Internal { depth: u32, zero: u32, one: u32 },
     /// A leaf holding logical leaf `leaf` (index into the leaf directory).
     Leaf { leaf: u32 },
+    /// A variable-fanout split consuming `bits` interleaved bits starting at
+    /// bit `depth`: child for slot `v` is `children[start + v]` in the
+    /// trie's slot arena. Merged sibling slots share a child, so the same
+    /// node id may appear in consecutive slots. Adaptive-policy builds only.
+    Multi { depth: u32, bits: u8, start: u32 },
 }
 
 /// In-memory summaries for SIMS (same shape as Coconut-Tree's).
@@ -71,6 +89,8 @@ pub struct CoconutTrie {
     store: LeafStore,
     leaves: Vec<LeafMeta>,
     nodes: Vec<TrieNode>,
+    /// Slot arena for `TrieNode::Multi` nodes (empty on fixed builds).
+    children: Vec<u32>,
     root: Option<u32>,
     summaries: RwLock<Option<Arc<Summaries>>>,
     entry_count: u64,
@@ -124,6 +144,7 @@ impl CoconutTrie {
             store,
             leaves: Vec::new(),
             nodes: Vec::new(),
+            children: Vec::new(),
             root: None,
             summaries: RwLock::new(None),
             entry_count: 0,
@@ -173,11 +194,14 @@ impl CoconutTrie {
 
         // Phase 2: recursively carve the sorted order into prefix leaves
         // (insertBottomUp + CompactSubtree): a maximal subtree whose entries
-        // fit one leaf becomes one leaf.
+        // fit one leaf becomes one leaf. How an oversized subtree splits is
+        // the policy's call (fixed binary vs adaptive variable fanout).
         let total_bits = self.config.sax.word_bits();
+        let policy = self.config.split_policy.policy();
+        let keys: Vec<ZKey> = sorted.iter().map(|kp| kp.key).collect();
         let mut ranges: Vec<(usize, usize)> = Vec::new(); // leaf -> [lo, hi)
-        if !sorted.is_empty() {
-            let root = self.carve(&sorted, 0, sorted.len(), 0, total_bits, &mut ranges);
+        if !keys.is_empty() {
+            let root = self.carve(&keys, 0, keys.len(), 0, total_bits, &mut ranges, &*policy);
             self.root = Some(root);
         }
 
@@ -282,47 +306,124 @@ impl CoconutTrie {
         Ok(())
     }
 
-    /// Recursively partition `sorted[lo..hi)` starting at bit `depth`;
-    /// appends leaf ranges in order and returns the subtree's node index.
+    /// Recursively partition the sorted keys `[lo, hi)` starting at bit
+    /// `depth`; appends leaf ranges in order and returns the subtree's node
+    /// index. Every key in the window shares its first `depth` bits, so the
+    /// window is sorted by the remaining bits — all boundaries are binary
+    /// searches.
+    #[allow(clippy::too_many_arguments)]
     fn carve(
         &mut self,
-        sorted: &[KeyPos],
+        keys: &[ZKey],
         lo: usize,
         hi: usize,
         depth: usize,
         total_bits: usize,
         ranges: &mut Vec<(usize, usize)>,
+        policy: &dyn SplitPolicy,
     ) -> u32 {
         debug_assert!(lo < hi);
         if hi - lo <= self.config.leaf_capacity || depth == total_bits {
-            // Fits one node (or cannot be refined further: identical keys
-            // beyond capacity become one oversized leaf).
+            if hi - lo > self.config.leaf_capacity {
+                // Identical keys beyond capacity cannot be refined further;
+                // count the oversized leaf instead of absorbing it silently.
+                self.build_report.oversized_leaves += 1;
+            }
             let leaf_id = ranges.len() as u32;
             ranges.push((lo, hi));
             self.nodes.push(TrieNode::Leaf { leaf: leaf_id });
             return (self.nodes.len() - 1) as u32;
         }
-        // Keys are sorted, so entries with bit `depth` == 0 precede those
-        // with 1; find the boundary by binary search on the bit.
-        let mid = lo + sorted[lo..hi].partition_point(|kp| kp.key.bit(depth, total_bits) == 0);
-        if mid == lo || mid == hi {
-            // All entries share this bit: path-compress (the paper's
-            // createUptree emits a chain of one-child nodes; we skip them).
-            return self.carve(sorted, lo, hi, depth + 1, total_bits, ranges);
+        let bits = policy
+            .choose_bits(&keys[lo..hi], depth, total_bits, self.config.leaf_capacity)
+            .clamp(1, total_bits - depth);
+        if bits == 1 {
+            // The paper's binary split, kept verbatim: fixed-policy builds
+            // must stay byte-identical to the pre-policy builder.
+            let mid = lo + keys[lo..hi].partition_point(|k| k.bit(depth, total_bits) == 0);
+            if mid == lo || mid == hi {
+                // All entries share this bit: path-compress (the paper's
+                // createUptree emits a chain of one-child nodes; we skip them).
+                return self.carve(keys, lo, hi, depth + 1, total_bits, ranges, policy);
+            }
+            let zero = self.carve(keys, lo, mid, depth + 1, total_bits, ranges, policy);
+            let one = self.carve(keys, mid, hi, depth + 1, total_bits, ranges, policy);
+            self.nodes.push(TrieNode::Internal {
+                depth: depth as u32,
+                zero,
+                one,
+            });
+            return (self.nodes.len() - 1) as u32;
         }
-        let zero = self.carve(sorted, lo, mid, depth + 1, total_bits, ranges);
-        let one = self.carve(sorted, mid, hi, depth + 1, total_bits, ranges);
-        self.nodes.push(TrieNode::Internal {
+        let counts = child_counts(&keys[lo..hi], depth, bits, total_bits);
+        if counts.iter().filter(|&&c| c > 0).count() == 1 {
+            // Every entry shares all `bits` bits: path-compress the whole
+            // window (the multi-bit generalization of the binary case).
+            return self.carve(keys, lo, hi, depth + bits, total_bits, ranges, policy);
+        }
+        // Greedily merge undersized consecutive slots into shared leaves;
+        // only a single still-oversized slot deepens.
+        let fanout = 1usize << bits;
+        let mut slot_nodes = vec![u32::MAX; fanout];
+        let mut cursor = lo;
+        for g in merge_slots(&counts, self.config.leaf_capacity) {
+            let (glo, ghi) = (cursor, cursor + g.entries);
+            cursor = ghi;
+            if g.entries == 0 {
+                continue; // routed to a neighboring group's node below
+            }
+            let node = if g.entries <= self.config.leaf_capacity {
+                let leaf_id = ranges.len() as u32;
+                ranges.push((glo, ghi));
+                self.nodes.push(TrieNode::Leaf { leaf: leaf_id });
+                (self.nodes.len() - 1) as u32
+            } else {
+                self.carve(keys, glo, ghi, depth + bits, total_bits, ranges, policy)
+            };
+            for s in g.slots {
+                slot_nodes[s] = node;
+            }
+        }
+        debug_assert_eq!(cursor, hi);
+        // Empty slots route to the nearest populated neighbor so descent is
+        // total for any query key.
+        let mut last = u32::MAX;
+        for slot in slot_nodes.iter_mut() {
+            if *slot != u32::MAX {
+                last = *slot;
+            } else {
+                *slot = last;
+            }
+        }
+        let mut last = u32::MAX;
+        for slot in slot_nodes.iter_mut().rev() {
+            if *slot != u32::MAX {
+                last = *slot;
+            } else {
+                *slot = last;
+            }
+        }
+        let start = self.children.len() as u32;
+        self.children.extend_from_slice(&slot_nodes);
+        self.nodes.push(TrieNode::Multi {
             depth: depth as u32,
-            zero,
-            one,
+            bits: bits as u8,
+            start,
         });
         (self.nodes.len() - 1) as u32
     }
 
     fn persist(&mut self, num_blocks: u32) -> Result<()> {
         let dir_offset = write_directory(&self.file, &self.leaves)?;
-        // Trie skeleton tail: node count, then (tag, a, b) triples.
+        // Trie skeleton tail. Version 0 (fixed policy) is the original
+        // fixed-width encoding — node count, then 13-byte (tag, a, b)
+        // triples — kept byte-for-byte so fixed builds round-trip against
+        // pre-versioning readers and files. Version 1 (adaptive policy)
+        // uses variable-length records to fit the Multi node's slot table.
+        let tail_version: u8 = match self.config.split_policy {
+            SplitPolicyKind::Fixed => 0,
+            SplitPolicyKind::Adaptive => 1,
+        };
         let mut buf = Vec::with_capacity(8 + self.nodes.len() * 13);
         buf.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
         for n in &self.nodes {
@@ -336,7 +437,19 @@ impl CoconutTrie {
                 TrieNode::Leaf { leaf } => {
                     buf.push(1);
                     buf.extend_from_slice(&leaf.to_le_bytes());
-                    buf.extend_from_slice(&[0u8; 8]);
+                    if tail_version == 0 {
+                        buf.extend_from_slice(&[0u8; 8]);
+                    }
+                }
+                TrieNode::Multi { depth, bits, start } => {
+                    debug_assert_eq!(tail_version, 1, "Multi nodes need tail v1");
+                    buf.push(2);
+                    buf.extend_from_slice(&depth.to_le_bytes());
+                    buf.push(bits);
+                    let fanout = 1usize << bits;
+                    for child in &self.children[start as usize..start as usize + fanout] {
+                        buf.extend_from_slice(&child.to_le_bytes());
+                    }
                 }
             }
         }
@@ -352,6 +465,8 @@ impl CoconutTrie {
             entry_count: self.entry_count,
             num_blocks: num_blocks as u64,
             dir_offset,
+            tail_version,
+            split_policy: self.config.split_policy.as_u8(),
         };
         header.write_to(&self.file)?;
         self.file.sync()
@@ -377,32 +492,99 @@ impl CoconutTrie {
             leaf_capacity: header.leaf_capacity as usize,
             fill_factor: 1.0,
             internal_fanout: 64,
+            split_policy: SplitPolicyKind::from_u8(header.split_policy)?,
         };
         config.validate()?;
         let (leaves, tail) = read_directory(&file, header.dir_offset)?;
         let mut count_buf = [0u8; 8];
         file.read_exact_at(&mut count_buf, tail)?;
         let node_count = u64::from_le_bytes(count_buf) as usize;
-        let mut nodes_buf = vec![0u8; node_count * 13 + 4];
-        file.read_exact_at(&mut nodes_buf, tail + 8)?;
         let mut nodes = Vec::with_capacity(node_count);
-        for c in nodes_buf[..node_count * 13].chunks_exact(13) {
-            let a = u32::from_le_bytes(c[1..5].try_into().unwrap());
-            match c[0] {
-                0 => {
-                    let zero = u32::from_le_bytes(c[5..9].try_into().unwrap());
-                    let one = u32::from_le_bytes(c[9..13].try_into().unwrap());
-                    nodes.push(TrieNode::Internal {
-                        depth: a,
-                        zero,
-                        one,
-                    });
+        let mut children: Vec<u32> = Vec::new();
+        let root_raw = match header.tail_version {
+            0 => {
+                // Fixed-width 13-byte records.
+                let mut nodes_buf = vec![0u8; node_count * 13 + 4];
+                file.read_exact_at(&mut nodes_buf, tail + 8)?;
+                for c in nodes_buf[..node_count * 13].chunks_exact(13) {
+                    let a = u32::from_le_bytes(c[1..5].try_into().unwrap());
+                    match c[0] {
+                        0 => {
+                            let zero = u32::from_le_bytes(c[5..9].try_into().unwrap());
+                            let one = u32::from_le_bytes(c[9..13].try_into().unwrap());
+                            nodes.push(TrieNode::Internal {
+                                depth: a,
+                                zero,
+                                one,
+                            });
+                        }
+                        1 => nodes.push(TrieNode::Leaf { leaf: a }),
+                        t => return Err(Error::corrupt(format!("bad trie node tag {t}"))),
+                    }
                 }
-                1 => nodes.push(TrieNode::Leaf { leaf: a }),
-                t => return Err(Error::corrupt(format!("bad trie node tag {t}"))),
+                u32::from_le_bytes(nodes_buf[node_count * 13..].try_into().unwrap())
             }
-        }
-        let root_raw = u32::from_le_bytes(nodes_buf[node_count * 13..].try_into().unwrap());
+            1 => {
+                // Variable-length records: everything after the node count
+                // up to end-of-file is records plus the trailing root u32.
+                let tail_len = (file.len() - (tail + 8)) as usize;
+                let mut buf = vec![0u8; tail_len];
+                file.read_exact_at(&mut buf, tail + 8)?;
+                let mut off = 0usize;
+                let take = |buf: &[u8], off: &mut usize, n: usize| -> Result<()> {
+                    if *off + n > buf.len() {
+                        return Err(Error::corrupt("trie tail truncated"));
+                    }
+                    *off += n;
+                    Ok(())
+                };
+                for _ in 0..node_count {
+                    take(&buf, &mut off, 1)?;
+                    match buf[off - 1] {
+                        0 => {
+                            take(&buf, &mut off, 12)?;
+                            let c = &buf[off - 12..off];
+                            nodes.push(TrieNode::Internal {
+                                depth: u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                                zero: u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                                one: u32::from_le_bytes(c[8..12].try_into().unwrap()),
+                            });
+                        }
+                        1 => {
+                            take(&buf, &mut off, 4)?;
+                            let leaf = u32::from_le_bytes(buf[off - 4..off].try_into().unwrap());
+                            nodes.push(TrieNode::Leaf { leaf });
+                        }
+                        2 => {
+                            take(&buf, &mut off, 5)?;
+                            let c = &buf[off - 5..off];
+                            let depth = u32::from_le_bytes(c[0..4].try_into().unwrap());
+                            let bits = c[4];
+                            if bits == 0 || bits > 32 {
+                                return Err(Error::corrupt(format!(
+                                    "bad trie multi-node fanout bits {bits}"
+                                )));
+                            }
+                            let fanout = 1usize << bits;
+                            take(&buf, &mut off, fanout * 4)?;
+                            let start = children.len() as u32;
+                            for s in buf[off - fanout * 4..off].chunks_exact(4) {
+                                children.push(u32::from_le_bytes(s.try_into().unwrap()));
+                            }
+                            nodes.push(TrieNode::Multi { depth, bits, start });
+                        }
+                        t => return Err(Error::corrupt(format!("bad trie node tag {t}"))),
+                    }
+                }
+                take(&buf, &mut off, 4)?;
+                u32::from_le_bytes(buf[off - 4..off].try_into().unwrap())
+            }
+            v => {
+                return Err(Error::corrupt(format!(
+                    "unsupported trie tail version {v} (reader knows 0 and 1)"
+                )))
+            }
+        };
         let root = if root_raw == u32::MAX {
             None
         } else {
@@ -422,6 +604,7 @@ impl CoconutTrie {
             store,
             leaves,
             nodes,
+            children,
             root,
             summaries: RwLock::new(None),
             entry_count: header.entry_count,
@@ -471,6 +654,62 @@ impl CoconutTrie {
         self.nodes.len()
     }
 
+    /// The index configuration (reconstructed from the header on open).
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Entry count of every leaf, in leaf order. Divide by
+    /// `config().leaf_capacity` for fill fractions.
+    pub fn leaf_entry_counts(&self) -> Vec<usize> {
+        self.leaves.iter().map(|l| l.count as usize).collect()
+    }
+
+    /// Leaves holding more entries than `leaf_capacity` (only possible when
+    /// identical keys exceed capacity). Computed from the directory, so it
+    /// is correct for reopened indexes too.
+    pub fn oversized_leaf_count(&self) -> u64 {
+        self.leaves
+            .iter()
+            .filter(|l| l.count as usize > self.config.leaf_capacity)
+            .count() as u64
+    }
+
+    /// Bit depth of every leaf, in leaf order: the interleaved key bits
+    /// consumed by the split nodes on its root path (path-compressed
+    /// one-child levels are skipped, matching the in-memory skeleton).
+    pub fn leaf_depths(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.leaves.len()];
+        let Some(root) = self.root else {
+            return out;
+        };
+        // (node, bit depth at which the node's subtree starts). Merged
+        // Multi slots repeat a child id in consecutive slots; visit each
+        // distinct child once.
+        let mut stack: Vec<(u32, u32)> = vec![(root, 0)];
+        while let Some((node, at)) = stack.pop() {
+            match self.nodes[node as usize] {
+                TrieNode::Leaf { leaf } => out[leaf as usize] = at,
+                TrieNode::Internal { depth, zero, one } => {
+                    stack.push((zero, depth + 1));
+                    stack.push((one, depth + 1));
+                }
+                TrieNode::Multi { depth, bits, start } => {
+                    let fanout = 1usize << bits;
+                    let slots = &self.children[start as usize..start as usize + fanout];
+                    let mut prev = u32::MAX;
+                    for &child in slots {
+                        if child != prev {
+                            stack.push((child, depth + bits as u32));
+                            prev = child;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Path of the index file.
     pub fn index_path(&self) -> &Path {
         self.file.path()
@@ -491,6 +730,10 @@ impl CoconutTrie {
                     } else {
                         one
                     };
+                }
+                TrieNode::Multi { depth, bits, start } => {
+                    let v = key.bits(depth as usize, bits as usize, total_bits);
+                    node = self.children[start as usize + v as usize];
                 }
             }
         }
@@ -1111,5 +1354,196 @@ mod tests {
         assert!(!trie.approximate_search(&q, 1).unwrap().is_some());
         let (ans, _) = trie.exact_search(&q).unwrap();
         assert!(!ans.is_some());
+    }
+
+    fn adaptive_config() -> IndexConfig {
+        small_config().with_split_policy(crate::split::SplitPolicyKind::Adaptive)
+    }
+
+    /// A clustered dataset: `clusters` base shapes plus per-series noise, so
+    /// z-keys share long prefixes and binary prefix splits leave leaves
+    /// sparse — the regime the adaptive policy is built for.
+    fn skewed_dataset(dir: &TempDir, n: u64, clusters: u64, seed: u64) -> Dataset {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join(format!("skew-{seed}.bin"));
+        let bases: Vec<Vec<Value>> = (0..clusters)
+            .map(|c| {
+                let mut b = RandomWalkGen::new(seed * 1000 + c).generate(LEN);
+                znormalize(&mut b);
+                b
+            })
+            .collect();
+        let mut w =
+            coconut_series::dataset::DatasetWriter::create(&path, LEN, true, Arc::clone(&stats))
+                .unwrap();
+        let mut state = seed | 1;
+        for i in 0..n {
+            let base = &bases[(i % clusters) as usize];
+            let mut s: Vec<Value> = base
+                .iter()
+                .map(|&v| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let noise = ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.02;
+                    v + noise as Value
+                })
+                .collect();
+            znormalize(&mut s);
+            w.append(&s).unwrap();
+        }
+        w.finish().unwrap();
+        Dataset::open(&path, stats).unwrap()
+    }
+
+    #[test]
+    fn adaptive_answers_match_fixed_and_brute_force() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = skewed_dataset(&dir, 600, 5, 11);
+        let fixed =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        let adaptive =
+            CoconutTrie::build(&ds, &adaptive_config(), dir.path(), BuildOptions::default())
+                .unwrap();
+        for seed in 600..610 {
+            let q = query(seed);
+            let (a, _) = adaptive.exact_search(&q).unwrap();
+            let (f, _) = fixed.exact_search(&q).unwrap();
+            let expect = brute_force(&ds, &q);
+            assert_eq!(a.pos, expect.pos, "seed {seed}: adaptive vs brute force");
+            assert_eq!(a.pos, f.pos, "seed {seed}: adaptive vs fixed");
+            assert!((a.dist - f.dist).abs() < 1e-9);
+
+            let (ka, _) = adaptive.exact_knn(&q, 4).unwrap();
+            let (kf, _) = fixed.exact_knn(&q, 4).unwrap();
+            assert_eq!(ka.len(), kf.len());
+            for (x, y) in ka.iter().zip(kf.iter()) {
+                assert_eq!(x.pos, y.pos, "seed {seed}: kNN diverged");
+            }
+
+            let eps = expect.dist * 1.5;
+            let (ra, _) = adaptive.exact_range(&q, eps).unwrap();
+            let (rf, _) = fixed.exact_range(&q, eps).unwrap();
+            let mut pa: Vec<u64> = ra.iter().map(|x| x.pos).collect();
+            let mut pf: Vec<u64> = rf.iter().map(|x| x.pos).collect();
+            pa.sort_unstable();
+            pf.sort_unstable();
+            assert_eq!(pa, pf, "seed {seed}: range diverged");
+        }
+    }
+
+    #[test]
+    fn adaptive_tightens_occupancy_on_skewed_data() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = skewed_dataset(&dir, 2000, 6, 7);
+        let fixed =
+            CoconutTrie::build(&ds, &small_config(), dir.path(), BuildOptions::default()).unwrap();
+        let adaptive =
+            CoconutTrie::build(&ds, &adaptive_config(), dir.path(), BuildOptions::default())
+                .unwrap();
+        assert!(
+            adaptive.avg_fill() > fixed.avg_fill(),
+            "adaptive fill {:.3} should beat fixed {:.3} on clustered keys",
+            adaptive.avg_fill(),
+            fixed.avg_fill()
+        );
+        assert!(
+            adaptive.leaf_count() < fixed.leaf_count(),
+            "adaptive {} leaves vs fixed {}",
+            adaptive.leaf_count(),
+            fixed.leaf_count()
+        );
+        // Packing only overflows capacity where identical keys force it —
+        // exactly the leaves the oversized counter reports — and both
+        // policies bottom out on the same unsplittable key groups.
+        let cap = adaptive.config().leaf_capacity;
+        let over = adaptive
+            .leaf_entry_counts()
+            .iter()
+            .filter(|&&n| n > cap)
+            .count() as u64;
+        assert_eq!(adaptive.oversized_leaf_count(), over);
+        assert_eq!(adaptive.build_report().oversized_leaves, over);
+        assert_eq!(
+            adaptive.oversized_leaf_count(),
+            fixed.oversized_leaf_count()
+        );
+    }
+
+    #[test]
+    fn adaptive_open_reloads_identically() {
+        // Exercises the v1 (multi-way) on-disk tail end to end.
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = skewed_dataset(&dir, 800, 4, 3);
+        let built =
+            CoconutTrie::build(&ds, &adaptive_config(), dir.path(), BuildOptions::default())
+                .unwrap();
+        let path = built.index_path().to_path_buf();
+        let reopened = CoconutTrie::open(&path, &ds, 2).unwrap();
+        assert_eq!(reopened.len(), built.len());
+        assert_eq!(reopened.node_count(), built.node_count());
+        assert_eq!(
+            reopened.config().split_policy,
+            crate::split::SplitPolicyKind::Adaptive,
+            "policy must be recovered from the header"
+        );
+        assert_eq!(reopened.leaf_entry_counts(), built.leaf_entry_counts());
+        for seed in 700..706 {
+            let q = query(seed);
+            let (a, _) = built.exact_search(&q).unwrap();
+            let (b, _) = reopened.exact_search(&q).unwrap();
+            assert_eq!(a.pos, b.pos);
+        }
+    }
+
+    #[test]
+    fn adaptive_sharded_build_is_bit_identical() {
+        let dir = TempDir::new("ctrie").unwrap();
+        let ds = skewed_dataset(&dir, 900, 5, 19);
+        let single =
+            CoconutTrie::build(&ds, &adaptive_config(), dir.path(), BuildOptions::default())
+                .unwrap();
+        let single_bytes = std::fs::read(single.index_path()).unwrap();
+        for shards in [3usize, 8] {
+            let sharded = CoconutTrie::build(
+                &ds,
+                &adaptive_config(),
+                dir.path(),
+                BuildOptions::default().with_shards(shards),
+            )
+            .unwrap();
+            let sharded_bytes = std::fs::read(sharded.index_path()).unwrap();
+            assert_eq!(
+                single_bytes, sharded_bytes,
+                "shards={shards}: adaptive index files differ"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_leaves_are_counted_and_survive_reopen() {
+        // A constant dataset forces one unsplittable over-capacity leaf;
+        // the counter must be visible in the build report and recomputable
+        // from a reopened index (which has no build report).
+        let dir = TempDir::new("ctrie").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("flat.bin");
+        let mut w =
+            coconut_series::dataset::DatasetWriter::create(&path, LEN, true, Arc::clone(&stats))
+                .unwrap();
+        for _ in 0..100 {
+            w.append(&vec![0.0; LEN]).unwrap();
+        }
+        w.finish().unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        for config in [small_config(), adaptive_config()] {
+            let trie =
+                CoconutTrie::build(&ds, &config, dir.path(), BuildOptions::default()).unwrap();
+            assert_eq!(trie.build_report().oversized_leaves, 1);
+            assert_eq!(trie.oversized_leaf_count(), 1);
+            let reopened = CoconutTrie::open(trie.index_path(), &ds, 2).unwrap();
+            assert_eq!(reopened.oversized_leaf_count(), 1);
+            assert_eq!(reopened.build_report().oversized_leaves, 0, "not rebuilt");
+        }
     }
 }

@@ -22,6 +22,10 @@ const LATENCY_BUCKETS: usize = 20;
 /// QPS / ingest-rate window (seconds); bounded by the meter's ring size.
 const RATE_WINDOW_S: u64 = 10;
 
+/// Leaf-fill histogram bounds: ten linear buckets over `(0, 1]`; leaves an
+/// unsplittable key group forced beyond capacity land in `+Inf`.
+const FILL_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
 /// Every instrument the query server exports, with Prometheus rendering.
 pub struct ServerMetrics {
     registry: Registry,
@@ -54,6 +58,10 @@ pub struct ServerMetrics {
     debt: Arc<Gauge>,
     pinned_gc: Arc<Gauge>,
     disk: Arc<Gauge>,
+    /// Per-leaf fill fractions across live runs; a *state* histogram,
+    /// rebuilt from the index on every render rather than accumulated.
+    leaf_fill: Arc<Histogram>,
+    oversized_leaves: Arc<Gauge>,
 }
 
 impl Default for ServerMetrics {
@@ -126,6 +134,16 @@ impl ServerMetrics {
             "Compacted-away runs kept on disk by live snapshots.",
         );
         let disk = reg.gauge("coconut_index_disk_bytes", "Total index bytes on disk.");
+        let leaf_fill = reg.histogram(
+            "coconut_leaf_fill",
+            "Leaf occupancy (entries / leaf capacity) across live runs, \
+             rebuilt at scrape time.",
+            Histogram::new(&FILL_BUCKETS),
+        );
+        let oversized_leaves = reg.gauge(
+            "coconut_oversized_leaves",
+            "Leaves beyond capacity because identical keys cannot split.",
+        );
         ServerMetrics {
             registry: reg,
             queries,
@@ -147,6 +165,8 @@ impl ServerMetrics {
             debt,
             pinned_gc,
             disk,
+            leaf_fill,
+            oversized_leaves,
         }
     }
 
@@ -207,6 +227,11 @@ impl ServerMetrics {
         self.pinned_gc.set(lsm.pinned_garbage() as f64);
         self.disk
             .set(coconut_series::index::SeriesIndex::disk_bytes(lsm) as f64);
+        self.leaf_fill.reset();
+        for fill in lsm.leaf_fill_fractions() {
+            self.leaf_fill.observe(fill);
+        }
+        self.oversized_leaves.set(lsm.oversized_leaves() as f64);
         self.registry.render()
     }
 }
@@ -406,8 +431,47 @@ mod tests {
             "coconut_compaction_debt_bytes",
             "coconut_query_timeouts_total 1",
             "coconut_series_ingested_total 100",
+            "coconut_leaf_fill_bucket",
+            "coconut_oversized_leaves 0",
         ] {
             assert!(text.contains(required), "missing {required} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn leaf_fill_histogram_tracks_index_state() {
+        use coconut_core::{BuildOptions, IndexConfig, LsmCoconut};
+        use coconut_series::dataset::{write_dataset, Dataset};
+        use coconut_series::gen::RandomWalkGen;
+        use std::sync::Arc as StdArc;
+
+        let dir = coconut_storage::TempDir::new("srv-fill").unwrap();
+        let stats = StdArc::new(coconut_storage::IoStats::new());
+        let path = dir.path().join("d.ds");
+        write_dataset(&path, &mut RandomWalkGen::new(5), 300, 64, &stats).unwrap();
+        let ds = Dataset::open(&path, stats).unwrap();
+        let mut config = IndexConfig::default_for_len(64);
+        config.leaf_capacity = 32;
+        let lsm = LsmCoconut::new(config, BuildOptions::default(), dir.path().join("i")).unwrap();
+        lsm.ingest_upto(&ds, 300).unwrap();
+        lsm.wait_for_compactions().unwrap();
+
+        let m = ServerMetrics::new();
+        let text = m.render(&lsm);
+        let count: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("coconut_leaf_fill_count "))
+            .expect("histogram count line")
+            .parse()
+            .unwrap();
+        assert_eq!(count, lsm.leaf_fill_fractions().len() as u64);
+        assert!(count > 0, "ingested index must report leaves:\n{text}");
+        // The histogram is rebuilt, not accumulated: a second scrape of an
+        // unchanged index reports the same count.
+        let text2 = m.render(&lsm);
+        assert!(
+            text2.contains(&format!("coconut_leaf_fill_count {count}")),
+            "scrape must not accumulate:\n{text2}"
+        );
     }
 }

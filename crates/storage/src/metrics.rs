@@ -160,6 +160,20 @@ impl Histogram {
         self.bounds.last().copied().unwrap_or(0.0)
     }
 
+    /// Clear every bucket, the count, and the sum. For histograms that
+    /// describe current *state* (e.g. per-leaf fill) rather than an event
+    /// stream: the exporter rebuilds them from scratch on each scrape.
+    /// Concurrent `observe` calls may land in either generation; state
+    /// histograms are only written by the rendering thread, so in practice
+    /// a scrape sees one consistent rebuild.
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micro.store(0, Ordering::Relaxed);
+    }
+
     /// Cumulative `(upper_bound, count)` pairs, ending with `(+Inf, total)`
     /// — the shape of Prometheus `_bucket` series.
     pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
@@ -409,6 +423,21 @@ mod tests {
         assert!((1.0..=2.0).contains(&p50), "{p50}");
         assert_eq!(h.quantile(1.0), 8.0);
         assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0, "empty -> 0");
+    }
+
+    #[test]
+    fn reset_clears_buckets_count_and_sum() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert!(h.cumulative_buckets().iter().all(|&(_, c)| c == 0));
+        // The histogram is reusable after a reset.
+        h.observe(1.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.cumulative_buckets()[1], (2.0, 1));
     }
 
     #[test]

@@ -42,6 +42,23 @@ impl ZKey {
         ((self.0 >> (total_bits - 1 - level)) & 1) as u8
     }
 
+    /// The value of the `width` bits starting at bit `level` from the top
+    /// of a `total_bits`-wide key — the child slot a variable-fanout trie
+    /// node of fanout `2^width` routes this key to. `bits(l, 1, t)` equals
+    /// [`ZKey::bit`]`(l, t)`.
+    #[inline]
+    pub fn bits(&self, level: usize, width: usize, total_bits: usize) -> u32 {
+        debug_assert!((1..=32).contains(&width));
+        debug_assert!(level + width <= total_bits);
+        let shift = total_bits - level - width;
+        let mask = if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
+        ((self.0 >> shift) & mask) as u32
+    }
+
     /// The key truncated to its first `depth` (most significant) bits, with
     /// the rest zeroed — the smallest key in the node covering this prefix.
     #[inline]
@@ -195,6 +212,36 @@ mod tests {
         assert_eq!(key.bit(1, total), 0);
         assert_eq!(key.bit(2, total), 0);
         assert_eq!(key.bit(3, total), 1);
+    }
+
+    #[test]
+    fn bits_accessor_matches_single_bit_walk() {
+        let key = interleave(&[0b101, 0b011], 3); // 6-bit key
+        let total = 6;
+        // Width 1 agrees with bit() at every level.
+        for level in 0..total {
+            assert_eq!(key.bits(level, 1, total), key.bit(level, total) as u32);
+        }
+        // Wider windows are the concatenation of the single bits.
+        for level in 0..total {
+            for width in 1..=(total - level) {
+                let mut want = 0u32;
+                for l in level..level + width {
+                    want = (want << 1) | key.bit(l, total) as u32;
+                }
+                assert_eq!(key.bits(level, width, total), want, "l={level} w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_accessor_full_width_key() {
+        let key = ZKey(u128::MAX);
+        assert_eq!(key.bits(0, 32, 128), u32::MAX);
+        assert_eq!(key.bits(96, 32, 128), u32::MAX);
+        let key = ZKey(1);
+        assert_eq!(key.bits(96, 32, 128), 1);
+        assert_eq!(key.bits(0, 32, 128), 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() -> coconut::storage::Result<()> {
         leaf_capacity: 100,
         fill_factor: 1.0,
         internal_fanout: 64,
+        split_policy: Default::default(),
     };
     let opts = BuildOptions {
         memory_bytes: 8 << 20,

@@ -55,6 +55,7 @@ fn exactness_across_sax_configurations() {
             leaf_capacity: 25,
             fill_factor: 1.0,
             internal_fanout: 8,
+            split_policy: Default::default(),
         };
         let opts = BuildOptions {
             memory_bytes: 8192,
@@ -94,6 +95,7 @@ fn fill_factor_sweep_preserves_answers() {
             leaf_capacity: 32,
             fill_factor: fill,
             internal_fanout: 16,
+            split_policy: Default::default(),
         };
         let tree = CoconutTree::build(
             &ds,
@@ -133,6 +135,7 @@ fn leaf_capacity_extremes() {
             leaf_capacity: leaf,
             fill_factor: 1.0,
             internal_fanout: 4,
+            split_policy: Default::default(),
         };
         let tree = CoconutTree::build(
             &ds,
@@ -178,6 +181,7 @@ fn dtw_search_exact_on_odd_config() {
         leaf_capacity: 20,
         fill_factor: 1.0,
         internal_fanout: 8,
+        split_policy: Default::default(),
     };
     let tree = CoconutTree::build(
         &ds,
