@@ -44,6 +44,7 @@ const ALL: &[&str] = &[
     "serve",
     "distributed",
     "occupancy",
+    "chaos",
 ];
 
 fn expand(arg: &str) -> Vec<&'static str> {
@@ -93,6 +94,7 @@ fn run_experiment(name: &str, env: &Env) -> coconut_storage::Result<()> {
         "serve" => experiments::serve::run(env),
         "distributed" => experiments::distributed::run(env),
         "occupancy" => experiments::occupancy::run(env),
+        "chaos" => experiments::chaos::run(env),
         _ => unreachable!("expand() only yields known names"),
     }
 }

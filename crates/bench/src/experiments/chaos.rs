@@ -1,0 +1,600 @@
+//! `repro chaos` — the distributed fabric under seeded fault schedules.
+//!
+//! Every round spawns real shard-worker processes (the same
+//! `__shard-worker` re-exec the distributed experiment uses) and turns a
+//! different screw:
+//!
+//! * **ingest faults** — workers run with `COCONUT_FAULTS` injecting
+//!   fsync/spill errors into their build path; `BUILD` must either
+//!   succeed or fail with a *typed* error and converge under retry;
+//! * **socket faults** — dropped server reads/writes plus injected
+//!   client-side connect/IO errors; the coordinator's retry budget must
+//!   absorb them or surface a typed `unavailable`;
+//! * **lossy link** — a seeded probabilistic drop on every reply write;
+//! * **stalls** — injected read latency, absorbed under the deadline;
+//! * **shard death** — a worker process is killed mid-workload; strict
+//!   queries must refuse (`ERR unavailable`), degraded queries must name
+//!   the dead slice and stay bit-exact over the live ones.
+//!
+//! The oracle is brute force: every `OK` reply is checked bit-for-bit
+//! against an exhaustive scan of the dataset, restricted to the slices
+//! the reply claims to cover. The run **hard-fails** unless every single
+//! reply is bit-identical to that oracle or a correctly-typed
+//! degraded/unavailable/deadline reply — a wrong answer, a panic, or an
+//! untyped error is a divergence. Counters land in
+//! `results/BENCH_chaos.json`.
+//!
+//! Schedules are randomized but seeded (`COCONUT_CHAOS_SEED` overrides
+//! the default), so a failing run reproduces exactly.
+
+use std::fmt::Write as _;
+use std::ops::Range;
+use std::time::Duration;
+
+use coconut_series::dataset::Dataset;
+use coconut_series::index::Answer;
+use coconut_series::Value;
+use coconut_server::{ClientConfig, CoordinatorEngine};
+use coconut_storage::{fault, Error, Result};
+
+use crate::data::{prepare, DataKind};
+use crate::experiments::distributed::{
+    field, fmt_query, parse_answer, parse_hits, same_answer, same_hits, spawn_worker,
+};
+use crate::experiments::Env;
+use crate::harness::Table;
+
+/// Shard worker processes per round.
+const WORKERS: usize = 2;
+
+/// k for the kNN queries.
+const KNN_K: usize = 5;
+
+/// Per-request deadline — generous; hitting it means a real hang.
+const DEADLINE_MS: u64 = 30_000;
+
+/// Attempts for `BUILD` to converge under injected ingest faults.
+const BUILD_ATTEMPTS: usize = 8;
+
+/// Default schedule seed (`COCONUT_CHAOS_SEED` overrides).
+const DEFAULT_SEED: u64 = 0xC0C0_0009;
+
+/// Queries per round (capped so retries under faults stay fast).
+const QUERIES_PER_ROUND: usize = 8;
+
+/// Deterministic schedule randomness (splitmix-style); no `rand`, no
+/// wall-clock, so a seed reproduces the exact run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick from `lo..=hi`.
+    fn pick(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// One fault schedule: what the workers get via `COCONUT_FAULTS`, what
+/// the coordinator process installs locally, and whether a worker is
+/// killed outright halfway through the workload.
+struct Schedule {
+    name: &'static str,
+    worker_faults: Option<String>,
+    client_faults: Option<String>,
+    kill_worker: Option<usize>,
+}
+
+fn schedules(rng: &mut Rng) -> Vec<Schedule> {
+    vec![
+        Schedule {
+            name: "ingest-faults",
+            worker_faults: Some(format!(
+                "atomic.fsync=err@{},extsort.spill=err@{}",
+                rng.pick(1, 2),
+                rng.pick(1, 3)
+            )),
+            client_faults: None,
+            kill_worker: None,
+        },
+        Schedule {
+            name: "socket-faults",
+            worker_faults: Some(format!(
+                "server.read=drop@{},server.write=drop@{}",
+                rng.pick(2, 5),
+                rng.pick(3, 6)
+            )),
+            client_faults: Some(format!(
+                "client.io=err@{},client.connect=err@{}",
+                rng.pick(1, 3),
+                rng.pick(2, 4)
+            )),
+            kill_worker: None,
+        },
+        Schedule {
+            name: "lossy-link",
+            worker_faults: Some(format!("server.write=drop@p:0.{}", rng.pick(5, 15))),
+            client_faults: None,
+            kill_worker: None,
+        },
+        Schedule {
+            name: "read-stalls",
+            worker_faults: Some(format!(
+                "server.read=stall:{}@every:{}",
+                rng.pick(10, 40),
+                rng.pick(2, 4)
+            )),
+            client_faults: None,
+            kill_worker: None,
+        },
+        Schedule {
+            name: "shard-death",
+            worker_faults: None,
+            client_faults: None,
+            kill_worker: Some(1),
+        },
+    ]
+}
+
+/// A retry budget tuned for injected faults: enough attempts to absorb a
+/// one-shot fault, short backoffs so a round stays fast, and a short
+/// breaker hold-off so a killed shard fails fast but a recovered one is
+/// re-probed within the same round.
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_millis(1000),
+        request_timeout: Duration::from_millis(DEADLINE_MS),
+        retries: 3,
+        backoff_start: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(50),
+        down_backoff_start: Duration::from_millis(100),
+        down_backoff_cap: Duration::from_millis(500),
+    }
+}
+
+/// Clears the process-global fault plan even when a round errors out.
+struct FaultGuard;
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+/// What one reply turned out to be.
+enum Verdict {
+    /// `OK`, no hole, bit-identical to the full brute-force oracle.
+    Identical,
+    /// `OK degraded=1 missing=...`, bit-identical to the oracle over the
+    /// slices it claims to cover.
+    DegradedOk,
+    /// A correctly-typed `ERR unavailable`/`ERR deadline` refusal.
+    TypedFailure,
+    /// Anything else: a wrong bit, a hit from a dead slice, an untyped
+    /// error. One of these fails the whole run.
+    Diverged(String),
+}
+
+/// Counters for one round.
+#[derive(Default)]
+struct RoundReport {
+    requests: usize,
+    identical: usize,
+    degraded_ok: usize,
+    typed_failures: usize,
+    diverged: Vec<String>,
+    build_retries: usize,
+}
+
+impl RoundReport {
+    fn tally(&mut self, what: &str, v: Verdict) {
+        self.requests += 1;
+        match v {
+            Verdict::Identical => self.identical += 1,
+            Verdict::DegradedOk => self.degraded_ok += 1,
+            Verdict::TypedFailure => self.typed_failures += 1,
+            Verdict::Diverged(why) => self.diverged.push(format!("{what}: {why}")),
+        }
+    }
+}
+
+/// Parse the ` degraded=1 missing=a..b,c..d` suffix; no suffix means the
+/// reply claims full coverage.
+fn parse_missing(reply: &str, n: u64) -> std::result::Result<Vec<Range<u64>>, String> {
+    if !reply.contains(" degraded=1 ") {
+        return Ok(Vec::new());
+    }
+    let blob = field(reply, "missing=").map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for part in blob.split(',') {
+        let (a, b) = part
+            .split_once("..")
+            .ok_or_else(|| format!("bad missing slice {part:?} in {reply:?}"))?;
+        let (a, b): (u64, u64) = match (a.parse(), b.parse()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => return Err(format!("bad missing slice {part:?} in {reply:?}")),
+        };
+        if a >= b || b > n {
+            return Err(format!("missing slice {part:?} out of bounds in {reply:?}"));
+        }
+        out.push(a..b);
+    }
+    Ok(out)
+}
+
+fn in_missing(missing: &[Range<u64>], pos: u64) -> bool {
+    missing.iter().any(|r| r.contains(&pos))
+}
+
+/// Brute-force 1-NN over every position outside `missing` — the ground
+/// truth a degraded reply must match bit for bit.
+fn oracle_exact(ds: &Dataset, q: &[Value], missing: &[Range<u64>]) -> Result<Answer> {
+    let mut best = Answer::none();
+    for pos in 0..ds.len() {
+        if in_missing(missing, pos) {
+            continue;
+        }
+        let d = coconut_series::distance::euclidean(q, &ds.get(pos)?);
+        if d < best.dist {
+            best = Answer { pos, dist: d };
+        }
+    }
+    Ok(best)
+}
+
+/// Brute-force hit list outside `missing`, merged exactly like the shard
+/// fabric merges: `(dist, pos)` ascending.
+fn oracle_hits(
+    ds: &Dataset,
+    q: &[Value],
+    missing: &[Range<u64>],
+    keep: impl Fn(f64) -> bool,
+) -> Result<Vec<Answer>> {
+    let mut all = Vec::new();
+    for pos in 0..ds.len() {
+        if in_missing(missing, pos) {
+            continue;
+        }
+        let d = coconut_series::distance::euclidean(q, &ds.get(pos)?);
+        if keep(d) {
+            all.push(Answer { pos, dist: d });
+        }
+    }
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
+    Ok(all)
+}
+
+/// A typed refusal the chaos contract accepts.
+fn typed_refusal(reply: &str) -> bool {
+    reply.starts_with("ERR unavailable:") || reply.starts_with("ERR deadline:")
+}
+
+fn check_exact(reply: &str, ds: &Dataset, q: &[Value]) -> Result<Verdict> {
+    if typed_refusal(reply) {
+        return Ok(Verdict::TypedFailure);
+    }
+    if !reply.starts_with("OK exact ") {
+        return Ok(Verdict::Diverged(reply.to_string()));
+    }
+    let missing = match parse_missing(reply, ds.len()) {
+        Ok(m) => m,
+        Err(why) => return Ok(Verdict::Diverged(why)),
+    };
+    let got = parse_answer(reply)?;
+    let want = oracle_exact(ds, q, &missing)?;
+    if !same_answer(&got, &want) {
+        return Ok(Verdict::Diverged(format!(
+            "exact answer {got:?} != oracle {want:?} in {reply:?}"
+        )));
+    }
+    Ok(if missing.is_empty() {
+        Verdict::Identical
+    } else {
+        Verdict::DegradedOk
+    })
+}
+
+fn check_hits(
+    reply: &str,
+    ds: &Dataset,
+    q: &[Value],
+    prefix: &str,
+    want_of: impl Fn(&[Range<u64>]) -> Result<Vec<Answer>>,
+) -> Result<Verdict> {
+    if typed_refusal(reply) {
+        return Ok(Verdict::TypedFailure);
+    }
+    if !reply.starts_with(prefix) {
+        return Ok(Verdict::Diverged(reply.to_string()));
+    }
+    let missing = match parse_missing(reply, ds.len()) {
+        Ok(m) => m,
+        Err(why) => return Ok(Verdict::Diverged(why)),
+    };
+    let got = parse_hits(reply)?;
+    if let Some(hit) = got.iter().find(|a| in_missing(&missing, a.pos)) {
+        return Ok(Verdict::Diverged(format!(
+            "hit pos={} comes from a slice the reply claims is missing: {reply:?}",
+            hit.pos
+        )));
+    }
+    let want = want_of(&missing)?;
+    if !same_hits(&got, &want) {
+        return Ok(Verdict::Diverged(format!(
+            "hits {got:?} != oracle {want:?} in {reply:?}"
+        )));
+    }
+    let _ = q;
+    Ok(if missing.is_empty() {
+        Verdict::Identical
+    } else {
+        Verdict::DegradedOk
+    })
+}
+
+/// Run one fault schedule end to end.
+fn run_round(
+    env: &Env,
+    round: usize,
+    sched: &Schedule,
+    ds: &Dataset,
+    data_path: &std::path::Path,
+    queries: &[Vec<Value>],
+    seed: u64,
+) -> Result<RoundReport> {
+    let n = ds.len();
+    let leaf = env.scale.leaf_capacity;
+    let mut report = RoundReport::default();
+
+    // Workers, each with a fresh slice directory and the round's fault
+    // schedule in its environment.
+    let mut worker_envs: Vec<(&str, String)> = Vec::new();
+    if let Some(faults) = &sched.worker_faults {
+        worker_envs.push(("COCONUT_FAULTS", faults.clone()));
+        worker_envs.push(("COCONUT_FAULT_SEED", (seed ^ round as u64).to_string()));
+    }
+    let mut workers = Vec::with_capacity(WORKERS);
+    for i in 0..WORKERS {
+        let dir = env.work_dir.join(format!("chaos-r{round}-s{i}"));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        workers.push(spawn_worker(data_path, &dir, leaf, &worker_envs)?);
+    }
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
+
+    // The coordinator's own process gets the client-side plan (connect
+    // errors, mid-request resets on its shard sockets).
+    let _guard = FaultGuard;
+    if let Some(faults) = &sched.client_faults {
+        fault::install(fault::FaultPlan::parse(faults, seed ^ round as u64)?);
+    }
+
+    let coord = CoordinatorEngine::new(
+        &addrs,
+        ds.clone(),
+        client_config(),
+        Some(Duration::from_millis(DEADLINE_MS)),
+    )?;
+
+    // BUILD must converge: a typed failure is acceptable per attempt (an
+    // injected one-shot fault fires once), an untyped one never is.
+    let mut built = false;
+    for _ in 0..BUILD_ATTEMPTS {
+        let reply = coord.execute_line(&format!("BUILD start=0 end={n}")).reply;
+        if reply.starts_with("OK build") {
+            let covered: u64 = field(&reply, "covered=")?
+                .parse()
+                .map_err(|_| Error::corrupt(format!("bad covered in {reply:?}")))?;
+            if covered == n {
+                built = true;
+                break;
+            }
+            report.build_retries += 1;
+        } else if typed_refusal(&reply) || reply.starts_with("ERR io:") {
+            report.build_retries += 1;
+        } else {
+            return Err(Error::corrupt(format!(
+                "round {}: BUILD answered an untyped error: {reply}",
+                sched.name
+            )));
+        }
+    }
+    if !built {
+        return Err(Error::corrupt(format!(
+            "round {}: BUILD did not converge in {BUILD_ATTEMPTS} attempts",
+            sched.name
+        )));
+    }
+
+    for (qi, q) in queries.iter().enumerate() {
+        // Mid-workload chaos: kill one worker outright.
+        if qi == queries.len() / 2 {
+            if let Some(idx) = sched.kill_worker {
+                drop(workers.remove(idx));
+                // Strict mode must now refuse with a typed error — an OK
+                // over a dead slice would be silently wrong.
+                let qs = fmt_query(&queries[0]);
+                let reply = coord.execute_line(&format!("EXACT {qs}")).reply;
+                let v = if typed_refusal(&reply) {
+                    Verdict::TypedFailure
+                } else {
+                    Verdict::Diverged(format!("strict EXACT with a dead shard answered {reply:?}"))
+                };
+                report.tally("strict-after-kill", v);
+            }
+        }
+        let qs = fmt_query(q);
+
+        let reply = coord
+            .execute_line(&format!(
+                "EXACT {qs} mode=degraded deadline_ms={DEADLINE_MS}"
+            ))
+            .reply;
+        report.tally("EXACT", check_exact(&reply, ds, q)?);
+
+        let reply = coord
+            .execute_line(&format!(
+                "KNN k={KNN_K} {qs} mode=degraded deadline_ms={DEADLINE_MS}"
+            ))
+            .reply;
+        report.tally(
+            "KNN",
+            check_hits(&reply, ds, q, "OK knn ", |missing| {
+                let mut all = oracle_hits(ds, q, missing, |_| true)?;
+                all.truncate(KNN_K);
+                Ok(all)
+            })?,
+        );
+
+        // A radius derived from the full-oracle 1-NN keeps hit lists
+        // non-trivial but bounded.
+        let full = oracle_exact(ds, q, &[])?;
+        let eps = if full.is_some() && full.dist.is_finite() {
+            (full.dist * 1.25).max(1e-3)
+        } else {
+            1.0
+        };
+        let reply = coord
+            .execute_line(&format!(
+                "RANGE eps={eps} {qs} mode=degraded deadline_ms={DEADLINE_MS}"
+            ))
+            .reply;
+        report.tally(
+            "RANGE",
+            check_hits(&reply, ds, q, "OK range ", |missing| {
+                oracle_hits(ds, q, missing, |d| d <= eps)
+            })?,
+        );
+    }
+    drop(workers); // kills the surviving children
+    Ok(report)
+}
+
+/// Run the experiment and write `BENCH_chaos.json`.
+pub fn run(env: &Env) -> Result<()> {
+    let seed = std::env::var("COCONUT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let mut rng = Rng(seed);
+
+    // Chaos cares about fault coverage, not scale: a small dataset keeps
+    // the brute-force oracle instant and rounds under a few seconds.
+    let n = env.scale.n.min(3_000);
+    let w = prepare(
+        &env.work_dir,
+        DataKind::RandomWalk,
+        n,
+        env.scale.series_len,
+        env.scale.queries.min(QUERIES_PER_ROUND),
+        23,
+    )?;
+
+    let mut table = Table::new(
+        "chaos",
+        "the TCP fabric under seeded fault schedules, brute-force-oracle-checked",
+        &[
+            "round",
+            "requests",
+            "identical",
+            "degraded_ok",
+            "typed_failures",
+            "build_retries",
+            "diverged",
+        ],
+    );
+    let mut rows = Vec::new();
+    for (round, sched) in schedules(&mut rng).iter().enumerate() {
+        println!(
+            "   round {round} ({}): workers={:?} client={:?} kill={:?}",
+            sched.name, sched.worker_faults, sched.client_faults, sched.kill_worker
+        );
+        let report = run_round(env, round, sched, &w.dataset, &w.path, &w.queries, seed)?;
+        println!(
+            "   round {round} ({}): {} requests — {} identical, {} degraded, {} typed failures, {} diverged",
+            sched.name,
+            report.requests,
+            report.identical,
+            report.degraded_ok,
+            report.typed_failures,
+            report.diverged.len()
+        );
+        for why in &report.diverged {
+            eprintln!("   DIVERGED ({}): {why}", sched.name);
+        }
+        rows.push((sched.name, report));
+    }
+
+    let total_diverged: usize = rows.iter().map(|(_, r)| r.diverged.len()).sum();
+    let total_degraded: usize = rows.iter().map(|(_, r)| r.degraded_ok).sum();
+    let total_typed: usize = rows.iter().map(|(_, r)| r.typed_failures).sum();
+    for (name, r) in &rows {
+        table.push_row(vec![
+            (*name).to_string(),
+            r.requests.to_string(),
+            r.identical.to_string(),
+            r.degraded_ok.to_string(),
+            r.typed_failures.to_string(),
+            r.build_retries.to_string(),
+            r.diverged.len().to_string(),
+        ]);
+    }
+    table.emit(&env.results_dir)?;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"chaos\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"series\": {n},");
+    let _ = writeln!(json, "  \"series_len\": {},", env.scale.series_len);
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    let _ = writeln!(json, "  \"diverged\": {total_diverged},");
+    json.push_str("  \"rounds\": [\n");
+    let count = rows.len();
+    for (i, (name, r)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"round\": \"{name}\", \"requests\": {}, \"identical\": {}, \
+             \"degraded_ok\": {}, \"typed_failures\": {}, \"build_retries\": {}, \
+             \"diverged\": {}}}{}",
+            r.requests,
+            r.identical,
+            r.degraded_ok,
+            r.typed_failures,
+            r.build_retries,
+            r.diverged.len(),
+            if i + 1 == count { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all(&env.results_dir)?;
+    let path = env.results_dir.join("BENCH_chaos.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {}", path.display());
+
+    if total_diverged > 0 {
+        return Err(Error::corrupt(format!(
+            "{total_diverged} chaos replies diverged from the brute-force oracle"
+        )));
+    }
+    // The contract is only meaningful if the schedules demonstrably
+    // exercised both failure shapes.
+    if total_degraded == 0 || total_typed == 0 {
+        return Err(Error::corrupt(format!(
+            "chaos schedules exercised too little: {total_degraded} degraded, \
+             {total_typed} typed failures (expected at least one of each)"
+        )));
+    }
+    println!(
+        "   oracle check: every reply bit-identical to the brute-force oracle \
+         or a correctly-typed degraded/unavailable reply\n"
+    );
+    Ok(())
+}

@@ -46,7 +46,7 @@ const DEADLINE_MS: u64 = 30_000;
 
 /// The index/build configuration every node (worker, oracle, single)
 /// uses, so indexes differ only in their base offset.
-fn index_config(series_len: usize, leaf: usize) -> IndexConfig {
+pub(crate) fn index_config(series_len: usize, leaf: usize) -> IndexConfig {
     IndexConfig {
         sax: SaxConfig::default_for_len(series_len),
         leaf_capacity: leaf,
@@ -69,6 +69,9 @@ fn build_opts(threads: usize) -> BuildOptions {
 /// parent kills the process. Prints `SHARD LISTENING <addr>` once bound so
 /// the parent can scrape the port.
 pub fn worker_main(args: &[String]) -> Result<()> {
+    // The chaos experiment hands workers a fault schedule through
+    // `COCONUT_FAULTS`; without one this is a no-op.
+    coconut_storage::fault::install_from_env()?;
     let mut data = None;
     let mut index_dir = None;
     let mut addr = "127.0.0.1:0".to_string();
@@ -126,6 +129,7 @@ pub fn worker_main(args: &[String]) -> Result<()> {
             workers: 4,
             queue: 16,
             default_deadline_ms: Some(DEADLINE_MS),
+            idle_timeout_ms: None,
         },
     )?;
     println!("SHARD LISTENING {}", server.addr());
@@ -139,9 +143,9 @@ pub fn worker_main(args: &[String]) -> Result<()> {
 
 /// A spawned shard-worker process, killed on drop so a failing run never
 /// leaks children.
-struct WorkerProc {
+pub(crate) struct WorkerProc {
     child: Child,
-    addr: String,
+    pub(crate) addr: String,
 }
 
 impl Drop for WorkerProc {
@@ -152,11 +156,19 @@ impl Drop for WorkerProc {
 }
 
 /// Spawn `repro __shard-worker` for one slice and scrape its bound port.
-fn spawn_worker(data: &Path, index_dir: &Path, leaf: usize) -> Result<WorkerProc> {
+/// `envs` lets the chaos experiment hand the worker a fault schedule;
+/// inherited fault variables are always scrubbed first so an operator's
+/// environment cannot leak into a clean run.
+pub(crate) fn spawn_worker(
+    data: &Path,
+    index_dir: &Path,
+    leaf: usize,
+    envs: &[(&str, String)],
+) -> Result<WorkerProc> {
     let exe = std::env::current_exe()
         .map_err(|e| Error::invalid(format!("cannot locate the repro binary: {e}")))?;
-    let mut child = Command::new(exe)
-        .arg("__shard-worker")
+    let mut cmd = Command::new(exe);
+    cmd.arg("__shard-worker")
         .arg("--data")
         .arg(data)
         .arg("--index-dir")
@@ -165,8 +177,14 @@ fn spawn_worker(data: &Path, index_dir: &Path, leaf: usize) -> Result<WorkerProc
         .arg("127.0.0.1:0")
         .arg("--leaf")
         .arg(leaf.to_string())
+        .env_remove("COCONUT_FAULTS")
+        .env_remove("COCONUT_FAULT_SEED")
         .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
+        .stderr(Stdio::inherit());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
         .spawn()
         .map_err(|e| Error::invalid(format!("cannot spawn a shard worker: {e}")))?;
     let stdout = child.stdout.take().expect("stdout was piped");
@@ -201,7 +219,7 @@ fn spawn_worker(data: &Path, index_dir: &Path, leaf: usize) -> Result<WorkerProc
 }
 
 /// Serialize a query the way the wire expects (`f32` shortest roundtrip).
-fn fmt_query(q: &[Value]) -> String {
+pub(crate) fn fmt_query(q: &[Value]) -> String {
     let mut out = String::from("q=v:");
     for (i, v) in q.iter().enumerate() {
         if i > 0 {
@@ -212,14 +230,14 @@ fn fmt_query(q: &[Value]) -> String {
     out
 }
 
-fn field<'a>(reply: &'a str, key: &str) -> Result<&'a str> {
+pub(crate) fn field<'a>(reply: &'a str, key: &str) -> Result<&'a str> {
     reply
         .split_whitespace()
         .find_map(|t| t.strip_prefix(key))
         .ok_or_else(|| Error::corrupt(format!("reply is missing {key} in {reply:?}")))
 }
 
-fn parse_answer(reply: &str) -> Result<Answer> {
+pub(crate) fn parse_answer(reply: &str) -> Result<Answer> {
     let pos = field(reply, "pos=")?;
     if pos == "none" {
         return Ok(Answer::none());
@@ -234,7 +252,7 @@ fn parse_answer(reply: &str) -> Result<Answer> {
     })
 }
 
-fn parse_hits(reply: &str) -> Result<Vec<Answer>> {
+pub(crate) fn parse_hits(reply: &str) -> Result<Vec<Answer>> {
     let hits = field(reply, "hits=")?;
     if hits == "none" {
         return Ok(Vec::new());
@@ -257,11 +275,11 @@ fn parse_hits(reply: &str) -> Result<Vec<Answer>> {
 }
 
 /// Two answers are identical iff position and distance *bits* match.
-fn same_answer(a: &Answer, b: &Answer) -> bool {
+pub(crate) fn same_answer(a: &Answer, b: &Answer) -> bool {
     (a.pos == b.pos && a.dist.to_bits() == b.dist.to_bits()) || (!a.is_some() && !b.is_some())
 }
 
-fn same_hits(a: &[Answer], b: &[Answer]) -> bool {
+pub(crate) fn same_hits(a: &[Answer], b: &[Answer]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| same_answer(x, y))
 }
 
@@ -347,7 +365,7 @@ fn run_k(
         if dir.exists() {
             std::fs::remove_dir_all(&dir)?;
         }
-        workers.push(spawn_worker(data_path, &dir, leaf)?);
+        workers.push(spawn_worker(data_path, &dir, leaf, &[])?);
     }
     let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();
 

@@ -25,9 +25,11 @@
 //! | serve | open-loop socket load on the query server under churn | [`serve::run`] |
 //! | distributed | scatter-gather kNN across shard worker processes | [`distributed::run`] |
 //! | occupancy | leaf occupancy: fixed vs adaptive node splitting | [`occupancy::run`] |
+//! | chaos | the TCP fabric under seeded fault schedules, oracle-checked | [`chaos::run`] |
 
 pub mod ablation;
 pub mod bench_distance;
+pub mod chaos;
 pub mod distributed;
 pub mod fig10;
 pub mod fig7;

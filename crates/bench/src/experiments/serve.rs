@@ -254,6 +254,7 @@ pub fn run(env: &Env) -> Result<()> {
         workers: CLIENTS + 2,
         queue: CLIENTS,
         default_deadline_ms: Some(DEADLINE_MS),
+        idle_timeout_ms: None,
     };
     let mut server = Server::start(Arc::clone(&engine), &server_config)?;
     let addr = server.addr();

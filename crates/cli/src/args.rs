@@ -20,13 +20,18 @@ usage:
                   [--leaf N] [--split-policy <fixed|adaptive>]
                   [--memory-mb M] [--batch N] [--max-runs N]
   coconut compact --data <data.ds> --index-dir DIR
+  coconut scrub   --data <data.ds> --index-dir DIR [--quarantine]
   coconut serve   --data <data.ds> --index-dir DIR [--addr HOST:PORT]
                   [--workers N] [--queue N] [--deadline-ms MS]
-                  [--initial N] [--leaf N] [--split-policy P] [--shard]
-                  [--memory-mb M]
+                  [--idle-timeout-ms MS] [--initial N] [--leaf N]
+                  [--split-policy P] [--shard] [--memory-mb M]
   coconut serve   --data <data.ds> --coordinator --shards H:P,H:P,...
                   [--addr HOST:PORT] [--workers N] [--queue N]
-                  [--deadline-ms MS]";
+                  [--deadline-ms MS] [--idle-timeout-ms MS]
+
+  --faults SPEC (any command) installs a deterministic fault plan, e.g.
+  --faults atomic.fsync=err@2 --fault-seed 7; COCONUT_FAULTS /
+  COCONUT_FAULT_SEED do the same from the environment.";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +96,15 @@ pub enum Command {
     },
     /// Merge every run of an LSM index directory into one.
     Compact { data: PathBuf, index_dir: PathBuf },
+    /// Checksum-verify every leaf of every run of an LSM index directory,
+    /// reporting per-run results; `--quarantine` moves damaged runs (and
+    /// their suffix, to keep the covered prefix contiguous) aside so the
+    /// index keeps serving the verified prefix.
+    Scrub {
+        data: PathBuf,
+        index_dir: PathBuf,
+        quarantine: bool,
+    },
     /// Serve queries over TCP from an LSM index directory (creating the
     /// index on first use, recovering it afterwards), as a single node, a
     /// shard worker, or a coordinator over shard workers.
@@ -105,6 +119,9 @@ pub enum Command {
         queue: usize,
         /// Default per-query deadline when a request sets none.
         deadline_ms: Option<u64>,
+        /// Close connections that send nothing for this long (`None` =
+        /// keep idle connections open indefinitely).
+        idle_timeout_ms: Option<u64>,
         /// Ingest this dataset prefix before accepting connections
         /// (`None` = serve whatever the recovered index already covers).
         initial: Option<u64>,
@@ -131,6 +148,7 @@ fn split(argv: &[String]) -> Result<(HashMap<String, String>, Vec<String>), Stri
         "--approximate",
         "--shard",
         "--coordinator",
+        "--quarantine",
         "--help",
         "-h",
     ];
@@ -172,6 +190,38 @@ fn parse_policy(opts: &HashMap<String, String>) -> Result<Option<SplitPolicyKind
     opts.get("--split-policy")
         .map(|s| s.parse::<SplitPolicyKind>().map_err(|e| e.to_string()))
         .transpose()
+}
+
+/// Strip `--faults SPEC` / `--fault-seed N` (valid before any command)
+/// from `argv`, returning the spec and seed when a spec was given. Kept
+/// separate from [`parse`] so the fault plan installs once in `main`
+/// before command dispatch.
+pub fn take_fault_options(argv: &mut Vec<String>) -> Result<Option<(String, u64)>, String> {
+    let mut spec = None;
+    let mut seed = 0u64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--faults" => {
+                spec = Some(
+                    argv.get(i + 1)
+                        .cloned()
+                        .ok_or("missing value for --faults")?,
+                );
+                argv.drain(i..i + 2);
+            }
+            "--fault-seed" => {
+                let v = argv
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or("missing value for --fault-seed")?;
+                seed = parse_num(&v, "fault-seed")?;
+                argv.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(spec.map(|s| (s, seed)))
 }
 
 /// Parse a full command line (without the program name).
@@ -296,6 +346,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             data: PathBuf::from(req(&opts, "--data")?),
             index_dir: PathBuf::from(req(&opts, "--index-dir")?),
         }),
+        "scrub" => Ok(Command::Scrub {
+            data: PathBuf::from(req(&opts, "--data")?),
+            index_dir: PathBuf::from(req(&opts, "--index-dir")?),
+            quarantine: opts.contains_key("--quarantine"),
+        }),
         "serve" => {
             let shard = opts.contains_key("--shard");
             let coordinator = opts.contains_key("--coordinator");
@@ -358,6 +413,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 deadline_ms: opts
                     .get("--deadline-ms")
                     .map(|s| parse_num(s, "deadline-ms"))
+                    .transpose()?,
+                idle_timeout_ms: opts
+                    .get("--idle-timeout-ms")
+                    .map(|s| parse_num(s, "idle-timeout-ms"))
                     .transpose()?,
                 initial: opts
                     .get("--initial")
@@ -558,7 +617,8 @@ mod tests {
     fn parses_serve() {
         let c = parse(&argv(
             "serve --data d.ds --index-dir ./lsm --addr 0.0.0.0:7000 \
-             --workers 8 --queue 32 --deadline-ms 250 --initial 5000",
+             --workers 8 --queue 32 --deadline-ms 250 --idle-timeout-ms 30000 \
+             --initial 5000",
         ))
         .unwrap();
         assert_eq!(
@@ -570,6 +630,7 @@ mod tests {
                 workers: 8,
                 queue: 32,
                 deadline_ms: Some(250),
+                idle_timeout_ms: Some(30000),
                 initial: Some(5000),
                 leaf: None,
                 split_policy: None,

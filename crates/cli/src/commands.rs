@@ -292,6 +292,61 @@ pub fn run(cmd: Command) -> Result<()> {
             );
             Ok(())
         }
+        Command::Scrub {
+            data,
+            index_dir,
+            quarantine,
+        } => {
+            let stats = Arc::new(IoStats::new());
+            let ds = Dataset::open(&data, Arc::clone(&stats))?;
+            let lsm = LsmCoconut::open(&index_dir, &ds, BuildOptions::default())?;
+            let t0 = Instant::now();
+            let outcomes = lsm.scrub();
+            let mut first_bad: Option<(u64, String)> = None;
+            for o in &outcomes {
+                match &o.error {
+                    None => println!(
+                        "run {:>3}  [{}..{})  ok: {} leaves verified{}",
+                        o.id,
+                        o.start,
+                        o.end,
+                        o.report.checked,
+                        if o.report.unchecked > 0 {
+                            format!(" ({} legacy unchecked)", o.report.unchecked)
+                        } else {
+                            String::new()
+                        }
+                    ),
+                    Some(e) => {
+                        println!("run {:>3}  [{}..{})  CORRUPT: {e}", o.id, o.start, o.end);
+                        if first_bad.is_none() {
+                            first_bad = Some((o.id, e.clone()));
+                        }
+                    }
+                }
+            }
+            println!(
+                "scrubbed {} run{} in {:.2}s",
+                outcomes.len(),
+                if outcomes.len() == 1 { "" } else { "s" },
+                t0.elapsed().as_secs_f64()
+            );
+            match first_bad {
+                None => Ok(()),
+                Some((id, reason)) if quarantine => {
+                    let new_end = lsm.quarantine_from(id, &reason)?;
+                    println!(
+                        "quarantined run {id} and its suffix; index now covers ..{new_end} \
+                         (moved to {}/quarantine)",
+                        index_dir.display()
+                    );
+                    Ok(())
+                }
+                Some((id, reason)) => Err(Error::corrupt(format!(
+                    "run {id}: {reason} (rerun with --quarantine to move it aside)"
+                ))),
+            }
+        }
         Command::Serve {
             data,
             index_dir,
@@ -299,6 +354,7 @@ pub fn run(cmd: Command) -> Result<()> {
             workers,
             queue,
             deadline_ms,
+            idle_timeout_ms,
             initial,
             leaf,
             split_policy,
@@ -314,6 +370,7 @@ pub fn run(cmd: Command) -> Result<()> {
                 workers,
                 queue,
                 default_deadline_ms: deadline_ms,
+                idle_timeout_ms,
             };
             if !shards.is_empty() {
                 // Coordinator: no local index, just the partition map and
@@ -719,6 +776,53 @@ mod tests {
         let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
         assert_eq!(lsm.run_count(), 1);
         assert_eq!(lsm.len(), 300);
+    }
+
+    #[test]
+    fn scrub_reports_clean_then_detects_and_quarantines_rot() {
+        let dir = TempDir::new("cli-scrub").unwrap();
+        let idx_dir = dir.path().join("lsm");
+        let data = gen_cmd(&dir, "d.ds", 240);
+        run(Command::Ingest {
+            data: data.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: false,
+            leaf: Some(32),
+            split_policy: None,
+            memory_mb: 1,
+            batch: Some(80),
+            max_runs: Some(10),
+        })
+        .unwrap();
+        let scrub = |quarantine| {
+            run(Command::Scrub {
+                data: data.clone(),
+                index_dir: idx_dir.clone(),
+                quarantine,
+            })
+        };
+        scrub(false).unwrap();
+        // Flip a byte in the last run's leaf region.
+        let manifest = Manifest::load(&idx_dir).unwrap();
+        let victim = manifest.runs.last().unwrap().clone();
+        let file = idx_dir.join(&victim.file);
+        let mut bytes = std::fs::read(&file).unwrap();
+        bytes[4096 + 11] ^= 0x04;
+        std::fs::write(&file, &bytes).unwrap();
+        // Without --quarantine the scrub fails with a typed error...
+        let err = scrub(false).unwrap_err();
+        assert!(err.to_string().contains("--quarantine"), "{err}");
+        // ...with it the run is moved aside and the index keeps serving.
+        scrub(true).unwrap();
+        let stats = Arc::new(IoStats::new());
+        let ds = Dataset::open(&data, Arc::clone(&stats)).unwrap();
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.covered_end(), victim.start);
+        assert!(idx_dir
+            .join(coconut_core::QUARANTINE_DIR)
+            .join(format!("run-{}", victim.id))
+            .exists());
+        scrub(false).unwrap();
     }
 
     #[test]

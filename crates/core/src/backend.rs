@@ -27,6 +27,20 @@
 //! and every existing entry at the bound has a strictly lower position
 //! (earlier shard), so a later tie could never displace it. RANGE queries
 //! have no bound to share and scatter to all shards concurrently.
+//!
+//! # Graceful degradation
+//!
+//! The strict methods ([`ShardSet::exact`], [`ShardSet::knn`],
+//! [`ShardSet::range`]) fail the whole query when any shard fails — the
+//! answer is bit-identical to a single index or it is an error. The
+//! `*_degraded` variants instead skip shards that are unreachable or out
+//! of deadline budget and return a [`Partial`]: the exact answer over the
+//! live slices plus the *named* missing slices ([`ShardBackend::slice`] is
+//! static partition-map data, so a dead shard can still be named). A
+//! degraded answer is never silently wrong — every position it could have
+//! missed is listed in [`Partial::missing`]. Non-availability errors
+//! (corrupt replies, invalid requests) still fail the query: degradation
+//! covers *absence*, not *disagreement*.
 
 use std::ops::Range;
 
@@ -61,6 +75,11 @@ pub struct ShardInfo {
 /// All query methods take a pruning `bound` where the global merge can
 /// supply one (`f64::INFINITY` disables it) and a cooperative [`Deadline`].
 pub trait ShardBackend {
+    /// The shard's assigned slice, known statically from the partition
+    /// map — available without a round trip even when the shard is down,
+    /// which is what lets degraded answers *name* the missing slices.
+    fn slice(&self) -> Range<u64>;
+
     /// The shard's assigned range and ingest progress.
     fn info(&self) -> Result<ShardInfo>;
 
@@ -121,6 +140,10 @@ impl LocalShard {
 }
 
 impl ShardBackend for LocalShard {
+    fn slice(&self) -> Range<u64> {
+        self.range.clone()
+    }
+
     fn info(&self) -> Result<ShardInfo> {
         let snap = self.lsm.snapshot();
         Ok(ShardInfo {
@@ -159,6 +182,31 @@ impl ShardBackend for LocalShard {
     fn range(&self, query: &[Value], epsilon: f64, deadline: Deadline) -> Result<Vec<Answer>> {
         Ok(self.lsm.snapshot().exact_range(query, epsilon, deadline)?.0)
     }
+}
+
+/// A possibly-degraded scatter-gather answer: the exact result over every
+/// *reachable* shard, plus the slices that could not be consulted. When
+/// [`Partial::missing`] is empty the value is the full strict answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial<T> {
+    /// The exact answer over the shards that responded.
+    pub value: T,
+    /// Slices of unreachable / timed-out shards, in ascending position
+    /// order. Positions in these ranges were *not* considered.
+    pub missing: Vec<Range<u64>>,
+}
+
+impl<T> Partial<T> {
+    /// True when every shard answered (the value is the strict answer).
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+}
+
+/// Whether a shard error means the shard is *absent* (degradable) rather
+/// than *wrong* (always fatal).
+fn degradable(e: &Error) -> bool {
+    e.is_unavailable() || e.is_deadline()
 }
 
 /// The key-space partition map plus the scatter-gather merge over a set of
@@ -302,6 +350,108 @@ impl<B: ShardBackend> ShardSet<B> {
         let mut all: Vec<Answer> = per_shard.into_iter().flatten().collect();
         all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
         Ok(all)
+    }
+
+    /// [`ShardSet::exact`] with graceful degradation: an unreachable or
+    /// timed-out shard contributes its slice to [`Partial::missing`]
+    /// instead of failing the query. Later shards still prune with the
+    /// bound merged from the live shards before them, so the value is the
+    /// exact 1-NN over the non-missing slices.
+    pub fn exact_degraded(&self, query: &[Value], deadline: Deadline) -> Result<Partial<Answer>> {
+        let mut best = Answer::none();
+        let mut missing = Vec::new();
+        for shard in &self.shards {
+            match shard.exact(query, best.dist, deadline) {
+                Ok(a) => best.merge(a),
+                Err(e) if degradable(&e) => missing.push(shard.slice()),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Partial {
+            value: best,
+            missing,
+        })
+    }
+
+    /// [`ShardSet::knn`] with graceful degradation (see
+    /// [`ShardSet::exact_degraded`]); the value is the exact top-k over
+    /// the non-missing slices.
+    pub fn knn_degraded(
+        &self,
+        query: &[Value],
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<Partial<Vec<Answer>>> {
+        let mut all: Vec<Answer> = Vec::new();
+        let mut missing = Vec::new();
+        if k == 0 {
+            return Ok(Partial {
+                value: all,
+                missing,
+            });
+        }
+        for shard in &self.shards {
+            let bound = if all.len() == k {
+                all[k - 1].dist
+            } else {
+                f64::INFINITY
+            };
+            match shard.knn(query, k, bound, deadline) {
+                Ok(answers) => {
+                    all.extend(answers);
+                    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
+                    all.truncate(k);
+                }
+                Err(e) if degradable(&e) => missing.push(shard.slice()),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Partial {
+            value: all,
+            missing,
+        })
+    }
+
+    /// [`ShardSet::range`] with graceful degradation (see
+    /// [`ShardSet::exact_degraded`]); the value is every in-range hit from
+    /// the non-missing slices, merge-sorted by `(dist, pos)`.
+    pub fn range_degraded(
+        &self,
+        query: &[Value],
+        epsilon: f64,
+        deadline: Deadline,
+    ) -> Result<Partial<Vec<Answer>>>
+    where
+        B: Sync,
+    {
+        let per_shard: Vec<Result<Vec<Answer>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.range(query, epsilon, deadline)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::invalid("shard range worker panicked")))
+                })
+                .collect()
+        });
+        let mut all: Vec<Answer> = Vec::new();
+        let mut missing = Vec::new();
+        for (shard, result) in self.shards.iter().zip(per_shard) {
+            match result {
+                Ok(hits) => all.extend(hits),
+                Err(e) if degradable(&e) => missing.push(shard.slice()),
+                Err(e) => return Err(e),
+            }
+        }
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.pos.cmp(&b.pos)));
+        Ok(Partial {
+            value: all,
+            missing,
+        })
     }
 }
 
@@ -462,6 +612,169 @@ mod tests {
         assert_eq!(set.covered_end().unwrap(), 30);
         set.build(100).unwrap();
         assert_eq!(set.covered_end().unwrap(), 100);
+    }
+
+    /// A [`LocalShard`] that can be "killed": while dead every request
+    /// fails with a typed Unavailable, like a crashed worker process.
+    struct FlakyShard {
+        inner: LocalShard,
+        dead: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyShard {
+        fn check(&self) -> Result<()> {
+            if self.dead.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(Error::unavailable("shard is down (test)"));
+            }
+            Ok(())
+        }
+    }
+
+    impl ShardBackend for FlakyShard {
+        fn slice(&self) -> Range<u64> {
+            self.inner.slice()
+        }
+        fn info(&self) -> Result<ShardInfo> {
+            self.check()?;
+            self.inner.info()
+        }
+        fn build(&self, upto: u64) -> Result<ShardInfo> {
+            self.check()?;
+            self.inner.build(upto)
+        }
+        fn exact(&self, query: &[Value], bound: f64, deadline: Deadline) -> Result<Answer> {
+            self.check()?;
+            self.inner.exact(query, bound, deadline)
+        }
+        fn knn(
+            &self,
+            query: &[Value],
+            k: usize,
+            bound: f64,
+            deadline: Deadline,
+        ) -> Result<Vec<Answer>> {
+            self.check()?;
+            self.inner.knn(query, k, bound, deadline)
+        }
+        fn range(&self, query: &[Value], epsilon: f64, deadline: Deadline) -> Result<Vec<Answer>> {
+            self.check()?;
+            self.inner.range(query, epsilon, deadline)
+        }
+    }
+
+    fn flaky_set(dir: &TempDir, ds: &Dataset, k: usize) -> ShardSet<FlakyShard> {
+        let mut shards = Vec::new();
+        for (i, range) in partition(ds.len(), k).into_iter().enumerate() {
+            let lsm = Arc::new(
+                LsmCoconut::new_based(
+                    small_config(),
+                    BuildOptions::default(),
+                    dir.path().join(format!("flaky-{i}")),
+                    range.start,
+                )
+                .unwrap(),
+            );
+            shards.push(FlakyShard {
+                inner: LocalShard::new(lsm, ds.clone(), range).unwrap(),
+                dead: std::sync::atomic::AtomicBool::new(false),
+            });
+        }
+        let set = ShardSet::new(shards).unwrap();
+        set.build(ds.len()).unwrap();
+        set
+    }
+
+    /// Brute-force 1-NN over every position outside `missing`.
+    fn oracle_excluding(ds: &Dataset, q: &[Value], missing: &[Range<u64>]) -> Answer {
+        let mut best = Answer::none();
+        for pos in 0..ds.len() {
+            if missing.iter().any(|r| r.contains(&pos)) {
+                continue;
+            }
+            let s = ds.get(pos).unwrap();
+            let d = coconut_series::distance::euclidean(q, &s);
+            if d < best.dist || (d == best.dist && pos < best.pos) {
+                best.merge(Answer { pos, dist: d });
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn degraded_equals_strict_when_every_shard_answers() {
+        let dir = TempDir::new("backend-deg").unwrap();
+        let ds = setup(&dir, 200);
+        let set = flaky_set(&dir, &ds, 3);
+        let q = query(31);
+        let strict = set.exact(&q, Deadline::NONE).unwrap();
+        let partial = set.exact_degraded(&q, Deadline::NONE).unwrap();
+        assert!(partial.is_complete());
+        assert_eq!(
+            (partial.value.pos, partial.value.dist.to_bits()),
+            (strict.pos, strict.dist.to_bits())
+        );
+        let strict_k = set.knn(&q, 5, Deadline::NONE).unwrap();
+        let partial_k = set.knn_degraded(&q, 5, Deadline::NONE).unwrap();
+        assert!(partial_k.is_complete());
+        assert_eq!(partial_k.value.len(), strict_k.len());
+        for (g, w) in partial_k.value.iter().zip(strict_k.iter()) {
+            assert_eq!((g.pos, g.dist.to_bits()), (w.pos, w.dist.to_bits()));
+        }
+    }
+
+    #[test]
+    fn dead_shard_yields_named_missing_slice_not_wrong_answer() {
+        let dir = TempDir::new("backend-deg").unwrap();
+        let ds = setup(&dir, 300);
+        let set = flaky_set(&dir, &ds, 3);
+        let victim = 1usize;
+        let victim_slice = set.shards()[victim].slice();
+        set.shards()[victim]
+            .dead
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+
+        for seed in 0..4u64 {
+            let q = query(200 + seed);
+            // Strict mode refuses rather than answering over a hole.
+            let err = set.exact(&q, Deadline::NONE).unwrap_err();
+            assert!(err.is_unavailable(), "{err}");
+
+            // Degraded mode answers over the live slices and names the hole.
+            let partial = set.exact_degraded(&q, Deadline::NONE).unwrap();
+            assert_eq!(partial.missing, vec![victim_slice.clone()]);
+            let want = oracle_excluding(&ds, &q, &partial.missing);
+            assert_eq!(
+                (partial.value.pos, partial.value.dist.to_bits()),
+                (want.pos, want.dist.to_bits())
+            );
+
+            let partial_k = set.knn_degraded(&q, 3, Deadline::NONE).unwrap();
+            assert_eq!(partial_k.missing, vec![victim_slice.clone()]);
+            for hit in &partial_k.value {
+                assert!(!victim_slice.contains(&hit.pos), "hit from a dead slice");
+            }
+
+            let eps = partial.value.dist * 2.0;
+            let partial_r = set.range_degraded(&q, eps, Deadline::NONE).unwrap();
+            assert_eq!(partial_r.missing, vec![victim_slice.clone()]);
+            for hit in &partial_r.value {
+                assert!(!victim_slice.contains(&hit.pos), "hit from a dead slice");
+            }
+        }
+
+        // Recovery: the shard comes back and degraded answers are complete
+        // (and bit-identical to strict) again.
+        set.shards()[victim]
+            .dead
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        let q = query(207);
+        let partial = set.exact_degraded(&q, Deadline::NONE).unwrap();
+        assert!(partial.is_complete());
+        let strict = set.exact(&q, Deadline::NONE).unwrap();
+        assert_eq!(
+            (partial.value.pos, partial.value.dist.to_bits()),
+            (strict.pos, strict.dist.to_bits())
+        );
     }
 
     #[test]

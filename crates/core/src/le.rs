@@ -1,0 +1,35 @@
+//! Infallible little-endian decodes of literal-width slices.
+//!
+//! `clippy::unwrap_used` is denied on this crate's non-test code because
+//! it is reachable from the query server, where a stray panic kills a
+//! worker. These helpers are the one sanctioned escape hatch: every
+//! caller passes a slice whose width is a literal matching the target
+//! type, so the `try_into` can only fail on a programming error — and
+//! that *should* panic loudly rather than corrupt a decode.
+
+#![allow(clippy::unwrap_used)]
+
+#[inline]
+pub(crate) fn u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes(b.try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn u128(b: &[u8]) -> u128 {
+    u128::from_le_bytes(b.try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn f32(b: &[u8]) -> f32 {
+    f32::from_le_bytes(b.try_into().unwrap())
+}

@@ -45,12 +45,18 @@
 //! in `coconut-server`.
 
 #![deny(missing_docs)]
+// Everything in this crate is reachable from the query server, where a
+// stray panic kills a worker thread: unwrap/expect are denied outside
+// tests, with explicit per-site `allow`s where an invariant makes the
+// panic unreachable (see [`le`] for the decode helpers).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
 pub mod builder;
 pub mod compaction;
 pub mod config;
 pub mod layout;
+mod le;
 pub mod lsm;
 pub mod manifest;
 pub mod records;
@@ -60,11 +66,12 @@ pub mod split;
 pub mod tree;
 pub mod trie;
 
-pub use backend::{LocalShard, ShardBackend, ShardInfo, ShardSet};
+pub use backend::{LocalShard, Partial, ShardBackend, ShardInfo, ShardSet};
 pub use coconut_storage::{Deadline, Error, Result};
 pub use compaction::{CompactionPolicy, TieredPolicy};
 pub use config::{BuildOptions, IndexConfig};
-pub use lsm::{KillPoint, LsmCoconut, Snapshot};
+pub use layout::ScrubReport;
+pub use lsm::{KillPoint, LsmCoconut, RunScrub, Snapshot, QUARANTINE_DIR};
 pub use split::{AdaptivePolicy, FixedBinaryPolicy, SplitPolicy, SplitPolicyKind};
 pub use tree::CoconutTree;
 pub use trie::CoconutTrie;

@@ -23,7 +23,17 @@
 //!   set after a crash, deletes orphaned run directories (from interrupted
 //!   ingests or compactions) and leftover manifest temp files, and resumes.
 //!   [`KillPoint`] injects simulated crashes at the three interesting
-//!   instants for the crash-safety test suite.
+//!   instants for the crash-safety test suite; an installed
+//!   [`coconut_storage::FaultPlan`] can schedule the same crashes (sites
+//!   `manifest.before` / `manifest.torn` / `manifest.after`) plus run
+//!   directory creation failures (`run.create`) on deterministic seeds.
+//! * **Corruption handling**: every run's leaves carry CRCs (see
+//!   [`crate::layout`]); [`LsmCoconut::scrub`] re-reads and verifies all of
+//!   them, and a run whose index file no longer decodes is *quarantined* at
+//!   open time — moved to `quarantine/` together with the runs after it
+//!   (the covered prefix must stay contiguous) and dropped from a freshly
+//!   committed manifest, so the index keeps serving the reduced prefix
+//!   instead of failing outright.
 //! * **Queries**: exact / kNN / range answers are merged across runs with
 //!   per-run [`QueryStats`] aggregated into one set of work counters; read
 //!   amplification is the run count, which the policy bounds.
@@ -54,10 +64,11 @@ use coconut_series::dataset::Dataset;
 use coconut_series::index::{Answer, QueryStats, SeriesIndex};
 use coconut_series::Value;
 use coconut_storage::atomic::{atomic_write, atomic_write_torn, temp_path};
-use coconut_storage::{Deadline, Error, MergedStream, Result};
+use coconut_storage::{fault, Deadline, Error, FaultAction, FaultPlan, MergedStream, Result};
 
 use crate::compaction::{CompactionPolicy, TieredPolicy};
 use crate::config::{BuildOptions, IndexConfig};
+use crate::layout::ScrubReport;
 use crate::manifest::{run_dir_name, Manifest, RunMeta};
 use crate::records::{KeyPos, KeySeries};
 use crate::tree::{CoconutTree, LeafEntryStream};
@@ -87,6 +98,21 @@ pub enum KillPoint {
 struct Run {
     meta: RunMeta,
     tree: Arc<CoconutTree>,
+}
+
+/// Per-run outcome of [`LsmCoconut::scrub`].
+#[derive(Debug, Clone)]
+pub struct RunScrub {
+    /// Manifest run id.
+    pub id: u64,
+    /// First raw-file position the run covers.
+    pub start: u64,
+    /// End (exclusive) of the run's position range.
+    pub end: u64,
+    /// Leaves verified / legacy-unchecked when the scan succeeded.
+    pub report: ScrubReport,
+    /// The corruption the scan hit, if any (`None` = run is clean).
+    pub error: Option<String>,
 }
 
 /// Mutable LSM state, guarded by one mutex (manifest commits happen under
@@ -134,6 +160,10 @@ struct Shared {
     gc: Mutex<Vec<GcRun>>,
     policy: Mutex<Box<dyn CompactionPolicy>>,
     kill: Mutex<Option<KillPoint>>,
+    /// Instance-scoped fault plan consulted *before* the process-global one
+    /// at the LSM's sites — lets one index (or one test) inject faults
+    /// without perturbing neighbors in the same process.
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     /// First commit/compaction error; sticky — it poisons the instance
     /// (in-memory state may be ahead of the durable manifest, exactly like
     /// a crashed process; reopen from disk to continue).
@@ -219,6 +249,7 @@ impl LsmCoconut {
             gc: Mutex::new(Vec::new()),
             policy: Mutex::new(Box::new(TieredPolicy::default())),
             kill: Mutex::new(None),
+            fault_plan: Mutex::new(None),
             poisoned: Mutex::new(None),
         });
         {
@@ -267,18 +298,33 @@ impl LsmCoconut {
             }
         }
 
+        let mut manifest = manifest;
         let mut runs = Vec::with_capacity(manifest.runs.len());
-        for meta in &manifest.runs {
-            let tree = CoconutTree::open_range(
+        let metas = manifest.runs.clone();
+        for (i, meta) in metas.iter().enumerate() {
+            match CoconutTree::open_range(
                 &dir.join(&meta.file),
                 dataset,
                 opts.threads,
                 meta.start..meta.end,
-            )?;
-            runs.push(Run {
-                meta: meta.clone(),
-                tree: Arc::new(tree),
-            });
+            ) {
+                Ok(tree) => runs.push(Run {
+                    meta: meta.clone(),
+                    tree: Arc::new(tree),
+                }),
+                // Verify-on-open found damage: quarantine this run and
+                // every later one (the covered prefix must stay contiguous)
+                // and serve the reduced prefix instead of failing.
+                Err(e) if e.is_corrupt() => {
+                    quarantine_runs(&dir, &metas[i..], &e)?;
+                    manifest.covered_end = meta.start;
+                    manifest.runs.truncate(i);
+                    manifest.seq += 1;
+                    manifest.store(&dir)?;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
         }
         let shared = Arc::new(Shared {
             config: manifest.config,
@@ -297,6 +343,7 @@ impl LsmCoconut {
             gc: Mutex::new(Vec::new()),
             policy: Mutex::new(Box::new(TieredPolicy::default())),
             kill: Mutex::new(None),
+            fault_plan: Mutex::new(None),
             poisoned: Mutex::new(None),
         });
         Self::spawn(shared)
@@ -329,6 +376,14 @@ impl LsmCoconut {
     /// Arm (or clear) a simulated crash for the next manifest commit.
     pub fn set_kill_point(&self, kill: Option<KillPoint>) {
         *self.shared.kill.lock() = kill;
+    }
+
+    /// Install (or clear) an instance-scoped [`FaultPlan`], consulted
+    /// before the process-global plan at this index's fault sites
+    /// (`manifest.before` / `manifest.torn` / `manifest.after` /
+    /// `run.create`).
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.shared.fault_plan.lock() = plan;
     }
 
     /// Surface a sticky worker error, mirroring a crashed process.
@@ -388,6 +443,7 @@ impl LsmCoconut {
 
         // Build the run outside the lock: queries and compactions proceed.
         let run_dir = self.shared.dir.join(run_dir_name(run_id));
+        lsm_check(&self.shared, "run.create")?;
         std::fs::create_dir_all(&run_dir)?;
         let tree = CoconutTree::build_range(
             dataset,
@@ -537,6 +593,66 @@ impl LsmCoconut {
     /// live snapshots (observability: `coconut_gc_pinned_runs`).
     pub fn pinned_garbage(&self) -> usize {
         self.shared.gc.lock().len()
+    }
+
+    /// Re-read and checksum-verify every leaf of every live run (the
+    /// `coconut scrub` command). Never fails as a whole: each run reports
+    /// either its clean [`ScrubReport`] or the corruption the scan hit, so
+    /// an operator sees *all* damaged runs, not just the first.
+    pub fn scrub(&self) -> Vec<RunScrub> {
+        let runs: Vec<(RunMeta, Arc<CoconutTree>)> = {
+            let st = self.shared.state.lock();
+            st.runs
+                .iter()
+                .map(|r| (r.meta.clone(), Arc::clone(&r.tree)))
+                .collect()
+        };
+        runs.into_iter()
+            .map(|(meta, tree)| {
+                let (report, error) = match tree.verify() {
+                    Ok(rep) => (rep, None),
+                    Err(e) => (ScrubReport::default(), Some(e.to_string())),
+                };
+                RunScrub {
+                    id: meta.id,
+                    start: meta.start,
+                    end: meta.end,
+                    report,
+                    error,
+                }
+            })
+            .collect()
+    }
+
+    /// Quarantine the live run `id` and every later run (the covered
+    /// prefix must stay contiguous): commit a reduced manifest first, then
+    /// move the evicted directories into [`QUARANTINE_DIR`] with a
+    /// `.reason` file recording `reason`. Returns the new covered end.
+    /// Pinned snapshots keep answering from the moved runs — their open
+    /// file handles survive the rename — but new snapshots see only the
+    /// reduced, verified prefix.
+    pub fn quarantine_from(&self, id: u64, reason: &str) -> Result<u64> {
+        let _writer = self.shared.writer.lock();
+        self.check_poisoned()?;
+        let _order = self.shared.commit_order.lock();
+        let (bytes, evicted, new_end) = {
+            let mut st = self.shared.state.lock();
+            let Some(first) = st.runs.iter().position(|r| r.meta.id == id) else {
+                return Err(Error::invalid(format!("run {id} is not live")));
+            };
+            let evicted = st.runs.split_off(first);
+            let new_end = evicted[0].meta.start;
+            st.covered_end = new_end;
+            st.seq += 1;
+            (encode_manifest(&self.shared, &st), evicted, new_end)
+        };
+        if let Err(e) = write_manifest(&self.shared, &bytes) {
+            *self.shared.poisoned.lock() = Some(e.to_string());
+            return Err(e);
+        }
+        let metas: Vec<RunMeta> = evicted.iter().map(|r| r.meta.clone()).collect();
+        quarantine_runs(&self.shared.dir, &metas, &Error::corrupt(reason))?;
+        Ok(new_end)
     }
 
     /// Bytes of index not yet merged into the largest run — the work a full
@@ -805,6 +921,31 @@ impl Drop for LsmCoconut {
     }
 }
 
+/// Subdirectory of the LSM dir where corrupt runs are moved aside. Never
+/// touched by recovery's orphan cleanup (which only matches `run-*`), so a
+/// quarantined run stays available for offline inspection or repair.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Move the given runs' directories into `quarantine/`, leaving a
+/// `<run>.reason` file naming the corruption that evicted them. The caller
+/// commits a reduced manifest afterwards so recovery never deletes the
+/// moved directories' former names.
+fn quarantine_runs(dir: &Path, metas: &[RunMeta], cause: &Error) -> Result<()> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&qdir)?;
+    for meta in metas {
+        let name = meta.dir_name();
+        let from = dir.join(&name);
+        if from.exists() {
+            std::fs::rename(&from, qdir.join(&name))?;
+        }
+        let _ = std::fs::write(qdir.join(format!("{name}.reason")), cause.to_string());
+    }
+    coconut_storage::atomic::sync_dir(&qdir)?;
+    coconut_storage::atomic::sync_dir(dir)?;
+    Ok(())
+}
+
 /// Compute the manifest-relative path of a run's index file.
 fn relative_index_path(dir: &Path, index_path: &Path) -> Result<String> {
     let rel = index_path
@@ -817,6 +958,25 @@ fn relative_index_path(dir: &Path, index_path: &Path) -> Result<String> {
 
 fn simulated_crash(what: &str) -> Error {
     Error::invalid(format!("simulated crash: killed {what}"))
+}
+
+/// Consult the instance fault plan first, then the process-global one.
+fn lsm_fires(shared: &Shared, site: &str) -> Option<FaultAction> {
+    let plan = shared.fault_plan.lock().clone();
+    if let Some(plan) = plan {
+        if let Some(action) = plan.fires(site) {
+            return Some(action);
+        }
+    }
+    fault::fires(site)
+}
+
+/// [`lsm_fires`] mapped to a hard injected error, like [`fault::check`].
+fn lsm_check(shared: &Shared, site: &str) -> Result<()> {
+    match lsm_fires(shared, site) {
+        Some(_) => Err(fault::injected_error(site)),
+        None => Ok(()),
+    }
 }
 
 /// Serialize the state to manifest bytes. The caller must have bumped
@@ -841,7 +1001,21 @@ fn encode_manifest(shared: &Shared, st: &State) -> Vec<u8> {
 /// list, where pinned snapshots keep them alive until released.
 fn write_manifest(shared: &Shared, bytes: &[u8]) -> Result<()> {
     let path = Manifest::path_in(&shared.dir);
-    match shared.kill.lock().take() {
+    // An explicitly armed kill point wins; otherwise an installed fault
+    // plan can schedule the same three crash instants deterministically
+    // (`repro chaos` drives whole fault schedules through these sites).
+    let kill = shared.kill.lock().take().or_else(|| {
+        if lsm_fires(shared, "manifest.before").is_some() {
+            Some(KillPoint::BeforeManifestWrite)
+        } else if lsm_fires(shared, "manifest.torn").is_some() {
+            Some(KillPoint::MidManifestWrite)
+        } else if lsm_fires(shared, "manifest.after").is_some() {
+            Some(KillPoint::AfterManifestCommit)
+        } else {
+            None
+        }
+    });
+    match kill {
         Some(KillPoint::BeforeManifestWrite) => {
             return Err(simulated_crash("before the manifest write"))
         }
@@ -941,6 +1115,7 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
 
     // The expensive part runs without the lock: ingest and queries proceed.
     let run_dir = shared.dir.join(run_dir_name(new_id));
+    lsm_check(shared, "run.create")?;
     std::fs::create_dir_all(&run_dir)?;
     let merged_tree = if shared.opts.materialized {
         merge_runs::<KeySeries>(shared, &trees, start..end, &dataset, &run_dir)?
@@ -1551,6 +1726,154 @@ mod tests {
         lsm.compact().unwrap();
         assert_eq!(lsm.run_count(), 1);
         assert_eq!(lsm.compaction_debt(), 0);
+    }
+
+    /// Ingest three batches without compaction so three runs stay live.
+    fn three_run_index(dir: &TempDir, seed: u64) -> (std::path::PathBuf, Dataset, Vec<Vec<Value>>) {
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let idx_dir = dir.path().join("idx");
+        let mut gen = RandomWalkGen::new(seed);
+        let lsm = LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+        lsm.set_max_runs(100); // no compaction: keep all three runs
+        let mut all = Vec::new();
+        let mut ds = None;
+        for _ in 0..3 {
+            let (d, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 80);
+            all = new_all;
+            lsm.ingest(&d).unwrap();
+            ds = Some(d);
+        }
+        lsm.wait_for_compactions().unwrap();
+        assert_eq!(lsm.run_count(), 3);
+        (idx_dir, ds.unwrap(), all)
+    }
+
+    #[test]
+    fn corrupt_run_is_quarantined_on_open_and_prefix_serves() {
+        let dir = TempDir::new("lsm").unwrap();
+        let (idx_dir, ds, all) = three_run_index(&dir, 101);
+        // Corrupt the middle run's index file header region.
+        let manifest = Manifest::load(&idx_dir).unwrap();
+        assert_eq!(manifest.runs.len(), 3);
+        let victim = &manifest.runs[1];
+        let victim_start = victim.start;
+        let victim_file = idx_dir.join(&victim.file);
+        let bytes = std::fs::read(&victim_file).unwrap();
+        let mut broken = bytes.clone();
+        broken[8] ^= 0xFF; // header payload byte -> header CRC mismatch
+        std::fs::write(&victim_file, &broken).unwrap();
+
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        // Runs 1 and 2 are gone; the index serves the reduced prefix.
+        assert_eq!(lsm.run_count(), 1);
+        assert_eq!(lsm.covered_end(), victim_start);
+        let q = query(55);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all[..victim_start as usize], &q).pos);
+        // The evicted runs sit in quarantine/ with reason files.
+        let qdir = idx_dir.join(QUARANTINE_DIR);
+        let mut names: Vec<String> = std::fs::read_dir(&qdir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 4, "2 run dirs + 2 reason files: {names:?}");
+        assert!(names.iter().any(|n| n.ends_with(".reason")));
+        // Reopen works without further quarantine (manifest was reduced).
+        drop(lsm);
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.covered_end(), victim_start);
+        // And ingest resumes from the reduced prefix.
+        lsm.ingest(&ds).unwrap();
+        assert_eq!(lsm.covered_end(), all.len() as u64);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    #[test]
+    fn scrub_reports_bit_rot_and_quarantine_reduces_prefix() {
+        let dir = TempDir::new("lsm").unwrap();
+        let (idx_dir, ds, all) = three_run_index(&dir, 103);
+        {
+            let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+            let clean = lsm.scrub();
+            assert_eq!(clean.len(), 3);
+            assert!(clean.iter().all(|r| r.error.is_none()), "{clean:?}");
+            assert!(clean.iter().all(|r| r.report.checked > 0), "{clean:?}");
+            assert!(clean.iter().all(|r| r.report.unchecked == 0));
+        }
+        // Flip one byte inside the last run's leaf region (bit rot the
+        // header/directory checks cannot see).
+        let manifest = Manifest::load(&idx_dir).unwrap();
+        let victim = manifest.runs[2].clone();
+        let victim_file = idx_dir.join(&victim.file);
+        let mut bytes = std::fs::read(&victim_file).unwrap();
+        bytes[crate::layout::LEAF_REGION_OFFSET as usize + 7] ^= 0x20;
+        std::fs::write(&victim_file, &bytes).unwrap();
+
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.run_count(), 3, "leaf rot is invisible to open");
+        let outcomes = lsm.scrub();
+        let bad: Vec<&RunScrub> = outcomes.iter().filter(|r| r.error.is_some()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].id, victim.id);
+        assert!(
+            bad[0].error.as_deref().unwrap().contains("failed checksum"),
+            "{:?}",
+            bad[0].error
+        );
+        // Quarantine from the damaged run: the prefix keeps serving.
+        let new_end = lsm
+            .quarantine_from(victim.id, bad[0].error.as_deref().unwrap())
+            .unwrap();
+        assert_eq!(new_end, victim.start);
+        assert_eq!(lsm.run_count(), 2);
+        let q = query(77);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all[..new_end as usize], &q).pos);
+        // Scrub is clean again.
+        assert!(lsm.scrub().iter().all(|r| r.error.is_none()));
+    }
+
+    #[test]
+    fn fault_plan_schedules_manifest_crashes_like_kill_points() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(11);
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 160);
+        for (i, site) in ["manifest.before", "manifest.torn", "manifest.after"]
+            .into_iter()
+            .enumerate()
+        {
+            let idx_dir = dir.path().join(format!("idx-{i}"));
+            let committed_end;
+            {
+                let lsm =
+                    LsmCoconut::new(small_config(), BuildOptions::default(), &idx_dir).unwrap();
+                lsm.ingest_upto(&ds, 80).unwrap();
+                lsm.wait_for_compactions().unwrap();
+                committed_end = lsm.covered_end();
+                // The fault plan arms the same crash the kill point would
+                // (instance-scoped, so parallel tests are unaffected).
+                let plan = FaultPlan::parse(&format!("{site}=err@1"), 42).unwrap();
+                lsm.set_fault_plan(Some(Arc::new(plan)));
+                let err = lsm.ingest_upto(&ds, 160).unwrap_err();
+                assert!(err.to_string().contains("simulated crash"), "{err}");
+            }
+            let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+            let expect = if site == "manifest.after" {
+                160
+            } else {
+                committed_end
+            };
+            assert_eq!(lsm.covered_end(), expect, "{site}");
+            let covered = lsm.covered_end() as usize;
+            let q = query(200 + i as u64);
+            let (ans, _) = lsm.exact(&q).unwrap();
+            assert_eq!(ans.pos, brute_force(&all[..covered], &q).pos, "{site}");
+        }
     }
 
     #[test]

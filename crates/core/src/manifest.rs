@@ -154,14 +154,14 @@ impl Manifest {
         if &bytes[..8] != MAGIC {
             return Err(Error::corrupt("bad manifest magic"));
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let version = crate::le::u32(&bytes[8..12]);
         if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(Error::corrupt(format!(
                 "unsupported manifest version {version} (expected {MIN_VERSION}..={VERSION})"
             )));
         }
-        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
-        let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let payload_len = crate::le::u64(&bytes[12..20]) as usize;
+        let checksum = crate::le::u64(&bytes[20..28]);
         let payload = &bytes[HEADER_LEN..];
         if payload.len() != payload_len {
             return Err(Error::corrupt(format!(
@@ -294,7 +294,7 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(crate::le::u64(self.bytes(8)?))
     }
 
     fn u8(&mut self) -> Result<u8> {

@@ -64,10 +64,8 @@ impl Codec for KeyPosCodec {
 
     fn decode(&self, buf: &[u8]) -> KeyPos {
         KeyPos {
-            key: ZKey(u128::from_le_bytes(
-                buf[..16].try_into().expect("key bytes"),
-            )),
-            pos: u64::from_le_bytes(buf[16..24].try_into().expect("pos bytes")),
+            key: ZKey(crate::le::u128(&buf[..16])),
+            pos: crate::le::u64(&buf[16..24]),
         }
     }
 }
@@ -179,13 +177,11 @@ impl Codec for KeySeriesCodec {
     }
 
     fn decode(&self, buf: &[u8]) -> KeySeries {
-        let key = ZKey(u128::from_le_bytes(
-            buf[..16].try_into().expect("key bytes"),
-        ));
-        let pos = u64::from_le_bytes(buf[16..24].try_into().expect("pos bytes"));
+        let key = ZKey(crate::le::u128(&buf[..16]));
+        let pos = crate::le::u64(&buf[16..24]);
         let series = buf[24..24 + 4 * self.series_len]
             .chunks_exact(4)
-            .map(|c| Value::from_le_bytes(c.try_into().expect("f32 bytes")))
+            .map(crate::le::f32)
             .collect();
         KeySeries { key, pos, series }
     }

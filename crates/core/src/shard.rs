@@ -52,6 +52,36 @@ impl Drop for ScratchDir {
     }
 }
 
+/// Per-worker guard over `shard-i`: a worker that errors or panics deletes
+/// its own spill files *immediately* (mirroring the sorter's `RunFiles`
+/// guard) instead of leaving them to bloat the disk until the whole
+/// build's scratch tree unwinds — under fault injection the surviving
+/// workers may keep sorting for a long time. A successful worker disarms
+/// the guard: its sorted runs are read back lazily during the merge, and
+/// the enclosing [`ScratchDir`] removes the directory afterwards.
+struct ShardDirGuard {
+    dir: PathBuf,
+    armed: bool,
+}
+
+impl ShardDirGuard {
+    fn new(dir: PathBuf) -> Self {
+        ShardDirGuard { dir, armed: true }
+    }
+
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ShardDirGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
 /// Split `range` into at most `shards` contiguous, non-empty, gap-free
 /// subranges of near-equal size (sizes differ by at most one).
 pub fn shard_ranges(range: Range<u64>, shards: usize) -> Vec<Range<u64>> {
@@ -195,6 +225,7 @@ where
             let shard_dir = scratch.0.join(format!("shard-{i}"));
             std::fs::create_dir_all(&shard_dir)?;
             handles.push(scope.spawn(move || -> Result<WorkerOut<C>> {
+                let guard = ShardDirGuard::new(shard_dir.clone());
                 let shard_stats = Arc::new(IoStats::new());
                 let mut summarizer = Summarizer::new(sax);
                 let mut sorter = ExternalSorter::new(
@@ -209,6 +240,7 @@ where
                 }
                 let stream = sorter.finish()?;
                 let snap = shard_stats.snapshot();
+                guard.disarm();
                 Ok((stream, shard_stats, snap))
             }));
         }
@@ -432,6 +464,39 @@ mod tests {
         assert!(
             delta.bytes_read >= raw + 800 * 24,
             "merge-phase run reads not absorbed: {delta:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_worker_leaks_no_scratch() {
+        let dir = TempDir::new("shard").unwrap();
+        let (ds, stats) = small_dataset(&dir, 600, 32);
+        let sax = SaxConfig::default_for_len(32);
+        let tmp = dir.path().join("tmp");
+        std::fs::create_dir_all(&tmp).unwrap();
+        // A tiny budget makes every worker spill runs before position 450
+        // (inside the last of 4 shards) blows up.
+        let result = sharded_sort(
+            &ds,
+            0..600,
+            sax,
+            2048,
+            &tmp,
+            &stats,
+            4,
+            KeyPosCodec,
+            |summarizer, pos, series| {
+                assert!(pos != 450, "injected worker panic");
+                KeyPos {
+                    key: summarizer.zkey(series),
+                    pos,
+                }
+            },
+        );
+        assert!(result.is_err(), "a panicked worker must surface an error");
+        assert!(
+            std::fs::read_dir(&tmp).unwrap().next().is_none(),
+            "a panicking worker must not leak spill files"
         );
     }
 

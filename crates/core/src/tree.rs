@@ -42,7 +42,8 @@ use coconut_summary::ZKey;
 use crate::builder::{sorted_key_pos, sorted_key_series, BuildReport};
 use crate::config::{BuildOptions, IndexConfig};
 use crate::layout::{
-    read_directory, write_directory, EntryLayout, IndexHeader, LeafMeta, LeafStore,
+    crc32, read_directory, write_directory, EntryLayout, IndexHeader, LeafMeta, LeafStore,
+    CHECKSUM_VERSION,
 };
 use crate::records::SortedRecord;
 use crate::shard::{sorted_key_pos_sharded, sorted_key_series_sharded};
@@ -260,12 +261,14 @@ impl CoconutTree {
         macro_rules! flush_leaf {
             () => {
                 if in_leaf > 0 {
+                    let crc = crc32(&block_buf);
                     let blocks_used = self.store.write_leaf(self.next_block, &block_buf)?;
                     self.leaves.push(LeafMeta {
                         first_key,
                         count: in_leaf as u32,
                         block: self.next_block,
                         blocks_used,
+                        crc,
                     });
                     self.next_block += blocks_used;
                     block_buf.clear();
@@ -447,9 +450,18 @@ impl CoconutTree {
             // policy byte is carried so reopen reconstructs the config.
             tail_version: 0,
             split_policy: self.config.split_policy.as_u8(),
+            checksums: CHECKSUM_VERSION,
         };
         header.write_to(&self.file)?;
         self.file.sync()
+    }
+
+    /// Re-read every leaf block and verify it against its directory CRC
+    /// (the `coconut scrub` primitive). Returns on the first corrupt leaf
+    /// with a typed [`Error::Corrupt`]; legacy unchecked leaves are counted
+    /// but not verifiable.
+    pub fn verify(&self) -> Result<crate::layout::ScrubReport> {
+        crate::layout::scrub_leaves(&self.store, &self.leaves)
     }
 
     fn compute_leaf_starts(leaves: &[LeafMeta]) -> Vec<u64> {
@@ -471,18 +483,16 @@ impl CoconutTree {
         let mut level: Vec<ZKey> = self.leaves.iter().map(|l| l.first_key).collect();
         let fanout = self.config.internal_fanout;
         loop {
-            let done = level.len() <= fanout;
+            let next: Option<Vec<ZKey>> = if level.len() <= fanout {
+                None
+            } else {
+                Some(level.chunks(fanout).map(|c| c[0]).collect())
+            };
             self.levels.push(level);
-            if done {
-                break;
+            match next {
+                Some(n) => level = n,
+                None => break,
             }
-            level = self
-                .levels
-                .last()
-                .unwrap()
-                .chunks(fanout)
-                .map(|c| c[0])
-                .collect();
         }
     }
 
@@ -495,7 +505,8 @@ impl CoconutTree {
         }
         let fanout = self.config.internal_fanout;
         let mut visited = 0u64;
-        let top = self.levels.last().unwrap();
+        // Non-empty leaves imply at least one level (`rebuild_levels`).
+        let top = self.levels.last()?;
         let mut idx = top.partition_point(|&k| k <= key).saturating_sub(1);
         visited += 1;
         for level in self.levels.iter().rev().skip(1) {
@@ -1039,10 +1050,13 @@ impl CoconutTree {
                 count: 1,
                 block: self.next_block,
                 blocks_used: 1,
+                crc: crc32(&entry_buf),
             });
             self.next_block += 1;
         } else {
-            let (li, _) = self.descend(key).expect("non-empty tree");
+            let (li, _) = self
+                .descend(key)
+                .ok_or_else(|| Error::corrupt("a non-empty tree failed to descend"))?;
             let mut leaf_buf = Vec::new();
             self.store.read_leaf(&self.leaves[li], &mut leaf_buf)?;
             // Insert position within the leaf (keep sorted by (key, pos)).
@@ -1060,6 +1074,7 @@ impl CoconutTree {
             if count < self.config.leaf_capacity {
                 self.store.write_leaf(self.leaves[li].block, &leaf_buf)?;
                 self.leaves[li].count += 1;
+                self.leaves[li].crc = crc32(&leaf_buf);
                 if slot == 0 {
                     self.leaves[li].first_key = key;
                     self.rebuild_levels();
@@ -1077,6 +1092,7 @@ impl CoconutTree {
                 let right_first = entry.key(self.store.entry_slice(&leaf_buf, left));
                 self.leaves[li].count = left as u32;
                 self.leaves[li].first_key = entry.key(self.store.entry_slice(&leaf_buf, 0));
+                self.leaves[li].crc = crc32(&leaf_buf[..left * eb]);
                 self.leaves.insert(
                     li + 1,
                     LeafMeta {
@@ -1084,6 +1100,7 @@ impl CoconutTree {
                         count: right as u32,
                         block: self.next_block,
                         blocks_used: 1,
+                        crc: crc32(&leaf_buf[left * eb..]),
                     },
                 );
                 self.next_block += 1;
@@ -1145,6 +1162,7 @@ impl CoconutTree {
                     count: chunk.len() as u32,
                     block: self.next_block,
                     blocks_used,
+                    crc: crc32(&block_buf),
                 });
                 self.next_block += blocks_used;
             }
@@ -1224,6 +1242,7 @@ impl CoconutTree {
                         count,
                         block,
                         blocks_used,
+                        crc: crc32(piece),
                     });
                 }
                 self.leaves.splice(li..=li, new_metas);

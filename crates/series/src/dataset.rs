@@ -147,9 +147,9 @@ impl Dataset {
         if &h[0..8] != MAGIC {
             return Err(Error::corrupt("bad dataset magic"));
         }
-        let series_len = u32::from_le_bytes(h[8..12].try_into().unwrap()) as usize;
-        let flags = u32::from_le_bytes(h[12..16].try_into().unwrap());
-        let count = u64::from_le_bytes(h[16..24].try_into().unwrap());
+        let series_len = le_u32(&h[8..12]) as usize;
+        let flags = le_u32(&h[12..16]);
+        let count = le_u64(&h[16..24]);
         if series_len == 0 {
             return Err(Error::corrupt("dataset header: zero series length"));
         }
@@ -223,7 +223,7 @@ impl Dataset {
         let mut bytes = vec![0u8; self.series_bytes()];
         self.file.read_exact_at(&mut bytes, self.offset_of(pos))?;
         for (i, chunk) in bytes.chunks_exact(4).enumerate() {
-            out[i] = Value::from_le_bytes(chunk.try_into().unwrap());
+            out[i] = le_value(chunk);
         }
         Ok(())
     }
@@ -309,8 +309,7 @@ impl<'a> DatasetScan<'a> {
             self.buf_values.clear();
             self.buf_values.reserve(n * self.ds.series_len);
             for chunk in self.buf_bytes.chunks_exact(4) {
-                self.buf_values
-                    .push(Value::from_le_bytes(chunk.try_into().unwrap()));
+                self.buf_values.push(le_value(chunk));
             }
             self.buf_first_pos = self.next_pos;
             self.buf_count = n;
@@ -345,6 +344,28 @@ pub fn write_dataset(
         writer.append(&s)?;
     }
     writer.finish()
+}
+
+/// Fixed-width little-endian decodes for header and payload fields whose
+/// slice width is pinned by the caller's indexing. `copy_from_slice`
+/// panics with a clear length message on a caller bug, without putting
+/// `unwrap` on the hot decode path.
+fn le_u32(b: &[u8]) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(b);
+    u32::from_le_bytes(bytes)
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(b);
+    u64::from_le_bytes(bytes)
+}
+
+fn le_value(b: &[u8]) -> Value {
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(b);
+    Value::from_le_bytes(bytes)
 }
 
 #[cfg(test)]

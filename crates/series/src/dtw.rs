@@ -72,7 +72,7 @@ pub fn lb_keogh_sq(envelope: &Envelope, candidate: &[Value]) -> f64 {
 /// Uses two rolling rows of width `2*band+1`; cells outside the band are
 /// treated as infinite.
 pub fn dtw_sq(a: &[Value], b: &[Value], band: usize) -> f64 {
-    dtw_sq_early_abandon(a, b, band, f64::INFINITY).expect("no cutoff")
+    dtw_sq_early_abandon(a, b, band, f64::INFINITY).unwrap_or(f64::INFINITY)
 }
 
 /// DTW distance (not squared).

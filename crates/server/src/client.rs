@@ -11,6 +11,19 @@
 //! reconnect and retry until the budget — or the query's deadline — runs
 //! out, then surface a typed [`Error::Unavailable`].
 //!
+//! A shard that exhausts its retry budget trips a **circuit breaker**: for
+//! a capped, doubling hold-off window further requests fail fast with
+//! `Unavailable` (no network attempts), so a dead shard costs one failed
+//! round per window instead of a full retry budget per query. The first
+//! request after the window acts as the re-probe — on success the breaker
+//! resets; on failure the hold-off doubles up to
+//! [`ClientConfig::down_backoff_cap`]. [`RemoteShard::probe`] sends an
+//! explicit `PING` health probe that bypasses the breaker.
+//!
+//! Fault injection (chaos tests): the `client.connect` and `client.io`
+//! [`coconut_storage::fault`] sites fire on this module's socket
+//! operations, exercising the retry and breaker paths deterministically.
+//!
 //! Distances travel as shortest-roundtrip decimal strings (Rust's default
 //! `f64`/`f32` `Display`), which reparse to the identical bits; that plus
 //! the deterministic merge order in `ShardSet` is what makes distributed
@@ -45,6 +58,11 @@ pub struct ClientConfig {
     pub backoff_start: Duration,
     /// Upper bound on one backoff sleep.
     pub backoff_cap: Duration,
+    /// First circuit-breaker hold-off after a shard exhausts its retry
+    /// budget; doubles per consecutive failure.
+    pub down_backoff_start: Duration,
+    /// Upper bound on the circuit-breaker hold-off.
+    pub down_backoff_cap: Duration,
 }
 
 impl Default for ClientConfig {
@@ -55,6 +73,8 @@ impl Default for ClientConfig {
             retries: 3,
             backoff_start: Duration::from_millis(25),
             backoff_cap: Duration::from_millis(500),
+            down_backoff_start: Duration::from_millis(250),
+            down_backoff_cap: Duration::from_secs(5),
         }
     }
 }
@@ -83,6 +103,14 @@ pub fn connect_with_retry(
     Err(last.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
 }
 
+/// Circuit-breaker state: while `until` is in the future, requests fail
+/// fast without touching the network.
+struct DownState {
+    until: Option<std::time::Instant>,
+    /// The hold-off the *next* trip will use (doubles per trip, capped).
+    backoff: Duration,
+}
+
 /// A [`ShardBackend`] over a TCP connection to a `serve --shard` worker.
 pub struct RemoteShard {
     addr: String,
@@ -90,6 +118,7 @@ pub struct RemoteShard {
     range: Range<u64>,
     config: ClientConfig,
     conn: Mutex<Option<BufReader<TcpStream>>>,
+    down: Mutex<DownState>,
     metrics: Option<Arc<ShardClientMetrics>>,
 }
 
@@ -110,12 +139,17 @@ impl RemoteShard {
             .map_err(|e| Error::invalid(format!("cannot resolve shard address {addr}: {e}")))?
             .next()
             .ok_or_else(|| Error::invalid(format!("shard address {addr} resolves to nothing")))?;
+        let down = Mutex::new(DownState {
+            until: None,
+            backoff: config.down_backoff_start,
+        });
         Ok(RemoteShard {
             addr,
             resolved,
             range,
             config,
             conn: Mutex::new(None),
+            down,
             metrics,
         })
     }
@@ -130,21 +164,86 @@ impl RemoteShard {
         self.range.clone()
     }
 
+    /// True while the circuit breaker holds this shard down (requests fail
+    /// fast without network attempts).
+    pub fn is_down(&self) -> bool {
+        self.down
+            .lock()
+            .until
+            .is_some_and(|t| t > std::time::Instant::now())
+    }
+
+    /// Trip the breaker: hold requests off for the current backoff window,
+    /// then double it (capped) for the next trip.
+    fn mark_down(&self) {
+        let mut down = self.down.lock();
+        let hold = down.backoff;
+        down.until = Some(std::time::Instant::now() + hold);
+        down.backoff = (down.backoff * 2).min(self.config.down_backoff_cap);
+    }
+
+    /// Reset the breaker after a successful round trip.
+    fn mark_up(&self) {
+        let mut down = self.down.lock();
+        down.until = None;
+        down.backoff = self.config.down_backoff_start;
+    }
+
+    /// Explicit health probe: one `PING` round trip, bypassing the circuit
+    /// breaker (this *is* the re-probe). Success resets the breaker.
+    pub fn probe(&self) -> Result<()> {
+        let mut conn = self.conn.lock();
+        let result = self.request_locked(&mut conn, "PING", Deadline::NONE);
+        drop(conn);
+        match result {
+            Ok(_) => {
+                self.mark_up();
+                Ok(())
+            }
+            Err(e) => {
+                if e.is_unavailable() {
+                    self.mark_down();
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Send one request line and read the one-line reply, retrying with
     /// backoff on connection failures. `OK ...` replies return the text
-    /// after `OK `; `ERR ...` replies map to typed errors.
+    /// after `OK `; `ERR ...` replies map to typed errors. While the
+    /// circuit breaker is tripped the request fails fast; the first
+    /// request after the hold-off window re-probes the shard.
     fn request(&self, line: &str, deadline: Deadline) -> Result<String> {
+        if self.is_down() {
+            if let Some(m) = &self.metrics {
+                m.requests.inc();
+                m.unavailable.inc();
+            }
+            return Err(Error::unavailable(format!(
+                "shard {}: marked down by the circuit breaker, awaiting re-probe",
+                self.addr
+            )));
+        }
         let mut conn = self.conn.lock();
         if let Some(m) = &self.metrics {
             m.requests.inc();
             m.in_flight.set(1.0);
         }
         let result = self.request_locked(&mut conn, line, deadline);
+        drop(conn);
         if let Some(m) = &self.metrics {
             m.in_flight.set(0.0);
             if matches!(&result, Err(e) if e.is_unavailable()) {
                 m.unavailable.inc();
             }
+        }
+        match &result {
+            Ok(_) => self.mark_up(),
+            // Only transport-level unavailability trips the breaker; typed
+            // server replies (deadline, invalid) prove the shard is alive.
+            Err(e) if e.is_unavailable() => self.mark_down(),
+            Err(_) => self.mark_up(),
         }
         result
     }
@@ -201,12 +300,27 @@ impl RemoteShard {
         line: &str,
         deadline: Deadline,
     ) -> std::io::Result<String> {
-        if conn.is_none() {
-            let stream = TcpStream::connect_timeout(&self.resolved, self.config.connect_timeout)?;
-            stream.set_nodelay(true)?;
-            *conn = Some(BufReader::new(stream));
+        let reader = match conn {
+            Some(reader) => reader,
+            None => {
+                if coconut_storage::fault::fires("client.connect").is_some() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "injected fault: client.connect",
+                    ));
+                }
+                let stream =
+                    TcpStream::connect_timeout(&self.resolved, self.config.connect_timeout)?;
+                stream.set_nodelay(true)?;
+                conn.insert(BufReader::new(stream))
+            }
+        };
+        if coconut_storage::fault::fires("client.io").is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected fault: client.io",
+            ));
         }
-        let reader = conn.as_mut().expect("connection just established");
         let mut read_timeout = self.config.request_timeout;
         if let Some(at) = deadline.instant() {
             let left = at.saturating_duration_since(std::time::Instant::now());
@@ -234,6 +348,12 @@ impl RemoteShard {
             Err(Error::deadline(msg))
         } else if reply.starts_with("ERR unavailable:") || reply.starts_with("ERR busy:") {
             Err(Error::unavailable(msg))
+        } else if reply.starts_with("ERR io:") {
+            // Keep the category across the wire: a shard's injected or
+            // real I/O failure must not surface as a client usage error.
+            Err(Error::Io(std::io::Error::other(msg)))
+        } else if reply.starts_with("ERR corrupt:") {
+            Err(Error::corrupt(msg))
         } else {
             Err(Error::invalid(msg))
         }
@@ -345,6 +465,10 @@ fn parse_shard_info(body: &str) -> Result<ShardInfo> {
 }
 
 impl ShardBackend for RemoteShard {
+    fn slice(&self) -> Range<u64> {
+        self.range.clone()
+    }
+
     fn info(&self) -> Result<ShardInfo> {
         let body = self.request("SHARD-INFO", Deadline::NONE)?;
         parse_shard_info(&body)
@@ -447,6 +571,14 @@ mod tests {
             shard.parse_reply("ERR parse: nonsense".into()),
             Err(Error::InvalidArg(_))
         ));
+        assert!(matches!(
+            shard.parse_reply("ERR io: injected fault at atomic.fsync".into()),
+            Err(Error::Io(_))
+        ));
+        assert!(matches!(
+            shard.parse_reply("ERR corrupt: checksum mismatch".into()),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -470,6 +602,42 @@ mod tests {
         assert!(err.is_unavailable(), "{err}");
         assert!(err.to_string().contains("3 attempts"), "{err}");
         assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn circuit_breaker_fails_fast_then_reprobes_after_holdoff() {
+        let shard = RemoteShard::new(
+            "127.0.0.1:1", // refuses instantly
+            0..10,
+            ClientConfig {
+                retries: 0,
+                backoff_start: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(1),
+                down_backoff_start: Duration::from_millis(40),
+                down_backoff_cap: Duration::from_millis(80),
+                ..ClientConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert!(!shard.is_down());
+        // First failure trips the breaker...
+        assert!(shard.info().unwrap_err().is_unavailable());
+        assert!(shard.is_down());
+        // ...and while tripped, requests fail fast without touching the
+        // network (the error names the breaker).
+        let started = std::time::Instant::now();
+        let err = shard.info().unwrap_err();
+        assert!(err.to_string().contains("circuit breaker"), "{err}");
+        assert!(started.elapsed() < Duration::from_millis(20));
+        // After the hold-off window the next request re-probes (and fails
+        // again here, doubling the hold-off up to the cap).
+        std::thread::sleep(Duration::from_millis(50));
+        let err = shard.info().unwrap_err();
+        assert!(!err.to_string().contains("circuit breaker"), "{err}");
+        assert!(shard.is_down());
+        // An explicit probe bypasses the breaker.
+        assert!(shard.probe().is_err());
     }
 
     #[test]

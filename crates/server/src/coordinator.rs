@@ -163,19 +163,27 @@ impl CoordinatorEngine {
                 query,
                 deadline_ms,
                 bound: _,
+                degraded,
             } => {
                 // An incoming bound= is ignored: the coordinator derives
                 // per-shard bounds from its own scatter-gather rounds.
                 let deadline = self.deadline(*deadline_ms);
                 let q = resolve_query(&self.dataset, query)?;
                 let started = Instant::now();
-                let answer = self.set.exact(&q, deadline)?;
+                let (answer, missing) = if *degraded {
+                    let partial = self.set.exact_degraded(&q, deadline)?;
+                    (partial.value, partial.missing)
+                } else {
+                    (self.set.exact(&q, deadline)?, Vec::new())
+                };
                 self.metrics.record_query(started.elapsed().as_secs_f64());
+                self.note_degraded(&missing);
                 Ok(format!(
-                    "OK exact {} covered={} seq={}",
+                    "OK exact {} covered={} seq={}{}",
                     fmt_answer(&answer),
                     covered(),
-                    seq()
+                    seq(),
+                    fmt_missing(&missing)
                 ))
             }
             Request::Knn {
@@ -183,36 +191,52 @@ impl CoordinatorEngine {
                 query,
                 deadline_ms,
                 bound: _,
+                degraded,
             } => {
                 let deadline = self.deadline(*deadline_ms);
                 let q = resolve_query(&self.dataset, query)?;
                 let started = Instant::now();
-                let answers = self.set.knn(&q, *k, deadline)?;
+                let (answers, missing) = if *degraded {
+                    let partial = self.set.knn_degraded(&q, *k, deadline)?;
+                    (partial.value, partial.missing)
+                } else {
+                    (self.set.knn(&q, *k, deadline)?, Vec::new())
+                };
                 self.metrics.record_query(started.elapsed().as_secs_f64());
+                self.note_degraded(&missing);
                 Ok(format!(
-                    "OK knn k={} covered={} seq={} hits={}",
+                    "OK knn k={} covered={} seq={} hits={}{}",
                     k,
                     covered(),
                     seq(),
-                    fmt_hits(&answers)
+                    fmt_hits(&answers),
+                    fmt_missing(&missing)
                 ))
             }
             Request::Range {
                 epsilon,
                 query,
                 deadline_ms,
+                degraded,
             } => {
                 let deadline = self.deadline(*deadline_ms);
                 let q = resolve_query(&self.dataset, query)?;
                 let started = Instant::now();
-                let answers = self.set.range(&q, *epsilon, deadline)?;
+                let (answers, missing) = if *degraded {
+                    let partial = self.set.range_degraded(&q, *epsilon, deadline)?;
+                    (partial.value, partial.missing)
+                } else {
+                    (self.set.range(&q, *epsilon, deadline)?, Vec::new())
+                };
                 self.metrics.record_query(started.elapsed().as_secs_f64());
+                self.note_degraded(&missing);
                 Ok(format!(
-                    "OK range eps={} covered={} seq={} hits={}",
+                    "OK range eps={} covered={} seq={} hits={}{}",
                     epsilon,
                     covered(),
                     seq(),
-                    fmt_hits(&answers)
+                    fmt_hits(&answers),
+                    fmt_missing(&missing)
                 ))
             }
             Request::Ingest { upto } => {
@@ -269,6 +293,13 @@ impl CoordinatorEngine {
         }
     }
 
+    /// Count a degraded (shards lost) answer in the metrics.
+    fn note_degraded(&self, missing: &[std::ops::Range<u64>]) {
+        if !missing.is_empty() {
+            self.metrics.degraded.inc();
+        }
+    }
+
     /// One-line health summary: reachable shard count and coverage.
     pub fn health_line(&self) -> String {
         match self.refresh() {
@@ -280,6 +311,21 @@ impl CoordinatorEngine {
             Err(e) => err_reply(&e),
         }
     }
+}
+
+/// The ` degraded=1 missing=a..b,...` reply suffix — empty when nothing is
+/// missing, so complete degraded-mode replies stay byte-identical to
+/// strict ones.
+fn fmt_missing(missing: &[std::ops::Range<u64>]) -> String {
+    if missing.is_empty() {
+        return String::new();
+    }
+    let slices = missing
+        .iter()
+        .map(|r| format!("{}..{}", r.start, r.end))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(" degraded=1 missing={slices}")
 }
 
 impl Handler for CoordinatorEngine {
@@ -297,5 +343,9 @@ impl Handler for CoordinatorEngine {
 
     fn on_rejected(&self) {
         self.metrics.rejected.inc();
+    }
+
+    fn on_idle_disconnect(&self) {
+        self.metrics.idle_disconnects.inc();
     }
 }

@@ -61,6 +61,8 @@ pub trait Handler: Send + Sync + 'static {
     fn health_line(&self) -> String;
     /// Called when the admission queue refused a connection.
     fn on_rejected(&self);
+    /// Called when a connection is closed by the idle-read timeout.
+    fn on_idle_disconnect(&self) {}
 }
 
 /// The index an engine executes against.
@@ -235,6 +237,9 @@ impl Engine {
                 query,
                 deadline_ms,
                 bound,
+                // A single node (or one shard's slice) has no shards to
+                // lose; mode=degraded is accepted but never degrades here.
+                degraded: _,
             } => {
                 let deadline = self.deadline(*deadline_ms);
                 let snap = self.current()?.snapshot();
@@ -257,6 +262,7 @@ impl Engine {
                 query,
                 deadline_ms,
                 bound,
+                degraded: _,
             } => {
                 let deadline = self.deadline(*deadline_ms);
                 let snap = self.current()?.snapshot();
@@ -278,6 +284,7 @@ impl Engine {
                 epsilon,
                 query,
                 deadline_ms,
+                degraded: _,
             } => {
                 let deadline = self.deadline(*deadline_ms);
                 let snap = self.current()?.snapshot();
@@ -447,6 +454,10 @@ impl Handler for Engine {
 
     fn on_rejected(&self) {
         self.metrics.rejected.inc();
+    }
+
+    fn on_idle_disconnect(&self) {
+        self.metrics.idle_disconnects.inc();
     }
 }
 

@@ -32,6 +32,10 @@
 //!   map plus scatter-gather kNN with pruning-bound sharing across shards.
 
 #![deny(missing_docs)]
+// A stray panic on the serving path kills a worker thread mid-request:
+// unwrap/expect are denied outside tests, with explicit per-site
+// `allow`s where startup failure is genuinely unrecoverable.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod coordinator;

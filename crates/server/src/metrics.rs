@@ -37,6 +37,8 @@ pub struct ServerMetrics {
     pub timeouts: Arc<Counter>,
     /// Connections rejected because the admission queue was full.
     pub rejected: Arc<Counter>,
+    /// Connections closed by the server after the idle-read timeout.
+    pub idle_disconnects: Arc<Counter>,
     /// End-to-end query latency in seconds.
     pub latency: Arc<Histogram>,
     /// Raw series fetched by SIMS scans, across all queries.
@@ -86,6 +88,10 @@ impl ServerMetrics {
         let rejected = reg.counter(
             "coconut_requests_rejected_total",
             "Connections rejected by the bounded admission queue.",
+        );
+        let idle_disconnects = reg.counter(
+            "coconut_idle_disconnect_total",
+            "Connections closed after the idle-read timeout.",
         );
         let latency = reg.histogram(
             "coconut_query_latency_seconds",
@@ -150,6 +156,7 @@ impl ServerMetrics {
             errors,
             timeouts,
             rejected,
+            idle_disconnects,
             latency,
             records_fetched,
             leaves_visited,
@@ -294,8 +301,12 @@ pub struct CoordinatorMetrics {
     pub timeouts: Arc<Counter>,
     /// Queries that failed because a shard stayed unreachable.
     pub unavailable: Arc<Counter>,
+    /// Degraded-mode queries answered with at least one slice missing.
+    pub degraded: Arc<Counter>,
     /// Connections rejected by the admission queue.
     pub rejected: Arc<Counter>,
+    /// Connections closed by the coordinator after the idle-read timeout.
+    pub idle_disconnects: Arc<Counter>,
     /// End-to-end query latency in seconds (all shards' rounds included).
     pub latency: Arc<Histogram>,
     /// Per-shard client instruments, indexed by shard number.
@@ -324,9 +335,17 @@ impl CoordinatorMetrics {
             "coconut_coordinator_unavailable_total",
             "Coordinator queries that lost a shard past its retry budget.",
         );
+        let degraded = reg.counter(
+            "coconut_coordinator_degraded_total",
+            "Degraded-mode queries answered with at least one slice missing.",
+        );
         let rejected = reg.counter(
             "coconut_coordinator_rejected_total",
             "Connections rejected by the coordinator's admission queue.",
+        );
+        let idle_disconnects = reg.counter(
+            "coconut_idle_disconnect_total",
+            "Connections closed after the idle-read timeout.",
         );
         let latency = reg.histogram(
             "coconut_coordinator_latency_seconds",
@@ -350,7 +369,9 @@ impl CoordinatorMetrics {
             errors,
             timeouts,
             unavailable,
+            degraded,
             rejected,
+            idle_disconnects,
             latency,
             shards,
             p50,

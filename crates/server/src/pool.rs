@@ -11,10 +11,19 @@
 //! minimal HTTP `GET`s (`/metrics`, `/health`) so `curl` and Prometheus
 //! scrapers work against the same port. Reads poll with a short timeout so
 //! a worker parked on an idle connection still notices server shutdown.
+//! An optional **idle-read timeout** closes connections that send nothing
+//! for too long (counted by `coconut_idle_disconnect_total` via
+//! [`Handler::on_idle_disconnect`]), so abandoned clients cannot pin
+//! worker threads forever.
 //!
 //! The pool is generic over the request [`Handler`], so the same
 //! connection machinery serves a single-node [`Engine`], a shard worker,
 //! and the coordinator.
+//!
+//! Fault injection (chaos tests): the `server.read` and `server.write`
+//! [`coconut_storage::fault`] sites fire on this module's socket
+//! operations; either one dropping simulates a connection reset, which
+//! clients must survive via reconnect-and-retry.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -46,14 +55,21 @@ pub struct Pool<H: Handler = Engine> {
 impl<H: Handler> Pool<H> {
     /// Spawn `workers` threads sharing an admission queue of `queue`
     /// waiting connections (beyond the ones being served).
+    /// `idle_timeout` (when set) closes connections that send no bytes for
+    /// that long; `None` keeps idle connections open indefinitely.
     pub fn new(
         handler: Arc<H>,
         workers: usize,
         queue: usize,
+        idle_timeout: Option<Duration>,
         shutdown: Arc<AtomicBool>,
     ) -> Pool<H> {
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        // Failing to spawn a worker at startup (OS thread limit) leaves
+        // nothing to serve with — panicking out of `new` is the only
+        // honest outcome, hence the escape hatch.
+        #[allow(clippy::expect_used)]
         let workers = (0..workers.max(1))
             .map(|i| {
                 let handler = Arc::clone(&handler);
@@ -61,7 +77,7 @@ impl<H: Handler> Pool<H> {
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::Builder::new()
                     .name(format!("coconut-serve-{i}"))
-                    .spawn(move || worker_loop(handler, rx, shutdown))
+                    .spawn(move || worker_loop(handler, rx, idle_timeout, shutdown))
                     .expect("spawning a server worker thread")
             })
             .collect();
@@ -102,6 +118,7 @@ impl<H: Handler> Pool<H> {
 fn worker_loop<H: Handler>(
     handler: Arc<H>,
     rx: Arc<Mutex<Receiver<TcpStream>>>,
+    idle_timeout: Option<Duration>,
     shutdown: Arc<AtomicBool>,
 ) {
     loop {
@@ -111,7 +128,7 @@ fn worker_loop<H: Handler>(
             rx.recv_timeout(POLL_INTERVAL)
         };
         match conn {
-            Ok(stream) => handle_connection(&*handler, stream, &shutdown),
+            Ok(stream) => handle_connection(&*handler, stream, idle_timeout, &shutdown),
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
@@ -129,6 +146,9 @@ enum Next {
     /// The line grew past [`MAX_LINE_BYTES`] without a newline; the caller
     /// replies with a typed parse error and closes.
     Oversized,
+    /// Nothing arrived for the idle-read timeout; the caller counts the
+    /// idle disconnect and closes.
+    Idle,
     /// EOF, shutdown, or a fatal read error.
     Closed,
 }
@@ -140,6 +160,10 @@ struct LineReader<'a> {
     buf: Vec<u8>,
     /// Bytes read but not yet consumed as lines.
     pending: Vec<u8>,
+    /// Close the connection when no bytes arrive for this long.
+    idle_timeout: Option<Duration>,
+    /// When the last byte arrived (or the reader was created).
+    last_activity: std::time::Instant,
     shutdown: &'a AtomicBool,
 }
 
@@ -163,10 +187,24 @@ impl LineReader<'_> {
             let mut stream = self.stream;
             match stream.read(&mut self.buf) {
                 Ok(0) => return Next::Closed,
-                Ok(n) => self.pending.extend_from_slice(&self.buf[..n]),
+                Ok(n) => {
+                    // The fault site fires per received chunk (not per
+                    // idle poll), so `@n`/`every:k` triggers count request
+                    // traffic deterministically.
+                    if coconut_storage::fault::fires("server.read").is_some() {
+                        return Next::Closed;
+                    }
+                    self.pending.extend_from_slice(&self.buf[..n]);
+                    self.last_activity = std::time::Instant::now();
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if self.shutdown.load(Ordering::Relaxed) {
                         return Next::Closed;
+                    }
+                    if let Some(limit) = self.idle_timeout {
+                        if self.last_activity.elapsed() >= limit {
+                            return Next::Idle;
+                        }
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -176,13 +214,25 @@ impl LineReader<'_> {
     }
 }
 
-fn handle_connection<H: Handler>(handler: &H, stream: TcpStream, shutdown: &Arc<AtomicBool>) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+fn handle_connection<H: Handler>(
+    handler: &H,
+    stream: TcpStream,
+    idle_timeout: Option<Duration>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    // Poll at least as often as the idle limit so short limits still fire
+    // promptly.
+    let poll = idle_timeout.map_or(POLL_INTERVAL, |t| {
+        t.min(POLL_INTERVAL).max(Duration::from_millis(1))
+    });
+    let _ = stream.set_read_timeout(Some(poll));
     let _ = stream.set_nodelay(true);
     let mut reader = LineReader {
         stream: &stream,
         buf: Vec::new(),
         pending: Vec::new(),
+        idle_timeout,
+        last_activity: std::time::Instant::now(),
         shutdown,
     };
     let mut out = &stream;
@@ -193,6 +243,11 @@ fn handle_connection<H: Handler>(handler: &H, stream: TcpStream, shutdown: &Arc<
                 let _ = out.write_all(
                     format!("ERR parse: request line exceeds {MAX_LINE_BYTES} bytes\n").as_bytes(),
                 );
+                break;
+            }
+            Next::Idle => {
+                handler.on_idle_disconnect();
+                let _ = out.write_all(b"ERR unavailable: idle-read timeout, closing\n");
                 break;
             }
             Next::Closed => break,
@@ -214,6 +269,9 @@ fn handle_connection<H: Handler>(handler: &H, stream: TcpStream, shutdown: &Arc<
             break;
         }
         let outcome = handler.execute_line(&line);
+        if coconut_storage::fault::fires("server.write").is_some() {
+            break; // injected reply loss: drop the connection mid-reply
+        }
         if out
             .write_all(format!("{}\n", outcome.reply).as_bytes())
             .is_err()

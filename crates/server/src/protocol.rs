@@ -25,6 +25,13 @@
 //! [upto=<n>]` assigns a slice and indexes it, and `bound=<d>` on
 //! `EXACT`/`KNN` carries the coordinator's pruning bound (candidates at or
 //! beyond it cannot enter the merged answer and are not returned).
+//!
+//! Query verbs accept `mode=strict|degraded` (default strict). Strict
+//! queries fail when any shard is unreachable; degraded queries answer
+//! over the live shards and append `degraded=1 missing=<a..b,...>` naming
+//! the unconsulted slices. When every shard answers, a degraded reply is
+//! byte-identical to the strict one. A single node has no shards to lose,
+//! so `mode=degraded` is accepted but never degrades there.
 
 use coconut_series::Value;
 
@@ -108,6 +115,9 @@ pub enum Request {
         /// Pruning bound from a coordinator's earlier shards (None = no
         /// bound); only candidates strictly below it are returned.
         bound: Option<f64>,
+        /// `mode=degraded`: tolerate unreachable shards and report the
+        /// missing slices instead of failing.
+        degraded: bool,
     },
     /// Exact k-NN.
     Knn {
@@ -120,6 +130,9 @@ pub enum Request {
         /// Pruning bound from a coordinator's earlier shards (None = no
         /// bound); only candidates strictly below it are returned.
         bound: Option<f64>,
+        /// `mode=degraded`: tolerate unreachable shards and report the
+        /// missing slices instead of failing.
+        degraded: bool,
     },
     /// Exact range query.
     Range {
@@ -129,6 +142,9 @@ pub enum Request {
         query: QuerySpec,
         /// Per-request deadline in milliseconds (None = server default).
         deadline_ms: Option<u64>,
+        /// `mode=degraded`: tolerate unreachable shards and report the
+        /// missing slices instead of failing.
+        degraded: bool,
     },
     /// Index the dataset prefix up to `upto` (None = the whole dataset).
     Ingest {
@@ -237,6 +253,15 @@ impl<'a> Args<'a> {
         Ok(parsed)
     }
 
+    /// `mode=strict` (false) or `mode=degraded` (true); strict by default.
+    fn degraded_opt(&self) -> ParseResult<bool> {
+        match self.get("mode") {
+            None | Some("strict") => Ok(false),
+            Some("degraded") => Ok(true),
+            Some(v) => Err(bad("mode= must be strict or degraded", v)),
+        }
+    }
+
     /// Optional non-negative bound; `inf` is accepted (meaning: no bound).
     fn bound_opt(&self) -> ParseResult<Option<f64>> {
         let Some(v) = self.get("bound") else {
@@ -267,6 +292,7 @@ pub fn parse(line: &str) -> ParseResult<Request> {
             query: args.required_query()?,
             deadline_ms: args.u64_opt("deadline_ms")?,
             bound: args.bound_opt()?,
+            degraded: args.degraded_opt()?,
         }),
         "KNN" => {
             let k = args
@@ -278,12 +304,14 @@ pub fn parse(line: &str) -> ParseResult<Request> {
                 query: args.required_query()?,
                 deadline_ms: args.u64_opt("deadline_ms")?,
                 bound: args.bound_opt()?,
+                degraded: args.degraded_opt()?,
             })
         }
         "RANGE" => Ok(Request::Range {
             epsilon: args.f64_req("eps")?,
             query: args.required_query()?,
             deadline_ms: args.u64_opt("deadline_ms")?,
+            degraded: args.degraded_opt()?,
         }),
         "INGEST" => Ok(Request::Ingest {
             upto: args.u64_opt("upto")?,
@@ -325,6 +353,7 @@ mod tests {
                 query: QuerySpec::Seed(7),
                 deadline_ms: Some(250),
                 bound: None,
+                degraded: false,
             }
         );
         assert_eq!(
@@ -334,6 +363,7 @@ mod tests {
                 query: QuerySpec::Pos(12),
                 deadline_ms: None,
                 bound: None,
+                degraded: false,
             }
         );
         let r = parse("RANGE eps=1.5 q=v:0.5,-1,2.25").unwrap();
@@ -343,6 +373,7 @@ mod tests {
                 epsilon: 1.5,
                 query: QuerySpec::Values(vec![0.5, -1.0, 2.25]),
                 deadline_ms: None,
+                degraded: false,
             }
         );
         assert_eq!(
@@ -379,6 +410,7 @@ mod tests {
                 query: QuerySpec::Seed(1),
                 deadline_ms: None,
                 bound: Some(2.5),
+                degraded: false,
             }
         );
         // An explicit infinite bound round-trips (meaning: no bound).
@@ -387,6 +419,30 @@ mod tests {
             panic!()
         };
         assert_eq!(bound, Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn parses_query_mode() {
+        for (line, want) in [
+            ("EXACT q=seed:1", false),
+            ("EXACT q=seed:1 mode=strict", false),
+            ("EXACT q=seed:1 mode=degraded", true),
+        ] {
+            let Request::Exact { degraded, .. } = parse(line).unwrap() else {
+                panic!()
+            };
+            assert_eq!(degraded, want, "{line}");
+        }
+        let Request::Knn { degraded, .. } = parse("KNN k=2 q=seed:1 mode=degraded").unwrap() else {
+            panic!()
+        };
+        assert!(degraded);
+        let Request::Range { degraded, .. } = parse("RANGE eps=1 q=seed:1 mode=degraded").unwrap()
+        else {
+            panic!()
+        };
+        assert!(degraded);
+        assert!(parse("EXACT q=seed:1 mode=yolo").is_err());
     }
 
     #[test]

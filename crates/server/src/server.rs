@@ -27,6 +27,10 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Default per-query deadline (ms) when a request sets none.
     pub default_deadline_ms: Option<u64>,
+    /// Close connections that send nothing for this long (ms); `None`
+    /// keeps idle connections open indefinitely. Disconnects are counted
+    /// by `coconut_idle_disconnect_total`.
+    pub idle_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -36,6 +40,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue: 64,
             default_deadline_ms: None,
+            idle_timeout_ms: None,
         }
     }
 }
@@ -63,6 +68,7 @@ impl<H: Handler> Server<H> {
             Arc::clone(&engine),
             config.workers,
             config.queue,
+            config.idle_timeout_ms.map(Duration::from_millis),
             Arc::clone(&shutdown),
         ));
         let accept = {

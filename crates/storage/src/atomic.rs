@@ -12,12 +12,18 @@
 //! never a torn mixture. Readers additionally verify a [`crc64`] checksum
 //! over the payload, so a torn *temporary* file (or bit rot) is detected
 //! rather than parsed.
+//!
+//! Every step is also a [`crate::fault`] hook: an installed fault plan can
+//! fail the temp write (`atomic.write`, including `short` torn writes),
+//! the fsyncs (`atomic.fsync`), or the rename (`atomic.rename`) — the
+//! deterministic crash schedule `repro chaos` recovers from.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 
 use crate::error::{Error, Result};
+use crate::fault::{self, FaultAction};
 
 /// CRC-64/ECMA-182 polynomial, reflected.
 const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
@@ -72,6 +78,7 @@ pub fn temp_path(path: &Path) -> std::path::PathBuf {
 /// operation — fsyncing the file alone does not persist its directory
 /// entry.
 pub fn sync_dir(dir: &Path) -> Result<()> {
+    fault::check("atomic.fsync")?;
     File::open(dir)?.sync_all()?;
     Ok(())
 }
@@ -96,6 +103,7 @@ fn sync_parent_dir(path: &Path) -> Result<()> {
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = temp_path(path);
     write_temp(&tmp, bytes, bytes.len())?;
+    fault::check("atomic.rename")?;
     std::fs::rename(&tmp, path)?;
     sync_parent_dir(path)
 }
@@ -115,12 +123,30 @@ pub fn atomic_write_torn(
 }
 
 fn write_temp(tmp: &Path, bytes: &[u8], len: usize) -> Result<()> {
+    // Injected faults: `err` fails before any byte lands, `short` leaves a
+    // torn prefix behind (the temp file is never renamed, so readers see
+    // either the old contents or detect the torn temp during recovery).
+    let len = match fault::fires("atomic.write") {
+        None => len,
+        Some(FaultAction::ShortWrite) => {
+            let torn = len / 2;
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(tmp)?;
+            file.write_all(&bytes[..torn])?;
+            return Err(fault::injected_error("atomic.write"));
+        }
+        Some(_) => return Err(fault::injected_error("atomic.write")),
+    };
     let mut file = OpenOptions::new()
         .write(true)
         .create(true)
         .truncate(true)
         .open(tmp)?;
     file.write_all(&bytes[..len])?;
+    fault::check("atomic.fsync")?;
     file.sync_all()?;
     Ok(())
 }

@@ -89,6 +89,12 @@ impl Error {
     pub fn is_unavailable(&self) -> bool {
         matches!(self, Error::Unavailable(_))
     }
+
+    /// True when this error is an [`Error::Corrupt`] — detected damage to
+    /// on-disk state, the trigger for run quarantine.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, Error::Corrupt(_))
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,9 @@ where
         if self.buffer.is_empty() {
             return Ok(());
         }
+        // Fault hook: an injected spill failure surfaces before any file is
+        // created; the `RunFiles` guard cleans up earlier runs on drop.
+        crate::fault::check("extsort.spill")?;
         self.buffer.sort_unstable();
         let path = self.run_path(self.runs.0.len());
         let file = CountedFile::create(&path, Arc::clone(&self.stats))?;
@@ -587,7 +590,9 @@ impl Codec for U64Codec {
         buf.copy_from_slice(&item.to_le_bytes());
     }
     fn decode(&self, buf: &[u8]) -> u64 {
-        u64::from_le_bytes(buf.try_into().expect("u64 record is 8 bytes"))
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(buf);
+        u64::from_le_bytes(bytes)
     }
 }
 

@@ -20,6 +20,10 @@
 //! * [`atomic`] — crash-safe file replacement (write-temp + fsync + rename)
 //!   and CRC-64 payload checksumming, used by the LSM manifest in
 //!   `coconut-core`.
+//! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`]):
+//!   injectable I/O errors, short writes, fsync failures, stalls, and
+//!   connection drops, hooked through the atomic-write path, the external
+//!   sorter's spill path, and the server/client socket layer.
 //! * [`metrics`] — lock-free counters, gauges, histograms, and rate meters
 //!   with Prometheus text rendering: the aggregation layer the query
 //!   server's observability is built on.
@@ -38,6 +42,7 @@ pub mod cache;
 pub mod deadline;
 pub mod error;
 pub mod extsort;
+pub mod fault;
 pub mod file;
 pub mod iostats;
 pub mod metrics;
@@ -50,6 +55,7 @@ pub use cache::PageCache;
 pub use deadline::Deadline;
 pub use error::{Error, Result};
 pub use extsort::{Codec, ExternalSorter, MergedStream, RecordStream, SortReport, SortedStream};
+pub use fault::{FaultAction, FaultPlan, Trigger};
 pub use file::CountedFile;
 pub use iostats::{DiskProfile, IoSnapshot, IoStats};
 pub use pagefile::PageFile;

@@ -52,6 +52,7 @@ fn start_shard(ds: &Dataset, index_dir: &std::path::Path) -> Server {
             workers: 2,
             queue: 8,
             default_deadline_ms: None,
+            idle_timeout_ms: None,
         },
     )
     .unwrap()
@@ -65,6 +66,8 @@ fn fast_client() -> ClientConfig {
         retries: 2,
         backoff_start: Duration::from_millis(5),
         backoff_cap: Duration::from_millis(20),
+        down_backoff_start: Duration::from_millis(50),
+        down_backoff_cap: Duration::from_millis(200),
     }
 }
 
@@ -143,6 +146,7 @@ fn restarted_shard_rejoins_with_its_recovered_slice() {
             workers: 2,
             queue: 8,
             default_deadline_ms: None,
+            idle_timeout_ms: None,
         };
         // The old listener may linger briefly; retry the bind.
         let mut server = None;

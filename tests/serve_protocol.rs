@@ -32,6 +32,7 @@ fn start_server(n: u64) -> (TempDir, Server) {
             workers: 2,
             queue: 8,
             default_deadline_ms: None,
+            idle_timeout_ms: None,
         },
     )
     .unwrap();
@@ -190,6 +191,7 @@ fn admission_queue_rejects_overload_with_busy() {
             workers: 1,
             queue: 1,
             default_deadline_ms: None,
+            idle_timeout_ms: None,
         },
     )
     .unwrap();
