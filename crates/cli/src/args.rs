@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use coconut_core::SplitPolicyKind;
+use coconut_core::{CompactionPolicyKind, SplitPolicyKind};
 
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -18,13 +18,15 @@ usage:
                 [--dtw BAND] [--range EPS] [--approximate]
   coconut ingest  --data <data.ds> --index-dir DIR [--materialized]
                   [--leaf N] [--split-policy <fixed|adaptive>]
+                  [--compaction <tiered|leveled>] [--writers N]
                   [--memory-mb M] [--batch N] [--max-runs N]
   coconut compact --data <data.ds> --index-dir DIR
   coconut scrub   --data <data.ds> --index-dir DIR [--quarantine]
   coconut serve   --data <data.ds> --index-dir DIR [--addr HOST:PORT]
                   [--workers N] [--queue N] [--deadline-ms MS]
                   [--idle-timeout-ms MS] [--initial N] [--leaf N]
-                  [--split-policy P] [--shard] [--memory-mb M]
+                  [--split-policy P] [--compaction P] [--shard]
+                  [--memory-mb M]
   coconut serve   --data <data.ds> --coordinator --shards H:P,H:P,...
                   [--addr HOST:PORT] [--workers N] [--queue N]
                   [--deadline-ms MS] [--idle-timeout-ms MS]
@@ -87,6 +89,13 @@ pub enum Command {
         /// Split policy for a *fresh* index; like `leaf`, an explicit value
         /// conflicting with a recovered manifest is an error.
         split_policy: Option<SplitPolicyKind>,
+        /// Compaction policy family for a *fresh* index; like
+        /// `split_policy`, an explicit value conflicting with a recovered
+        /// manifest is an error.
+        compaction: Option<CompactionPolicyKind>,
+        /// Number of concurrent ingest writers (group-committed); 1 keeps
+        /// the classic single-writer path.
+        writers: usize,
         memory_mb: u64,
         /// Ingest the uncovered tail in batches of this many series (one
         /// run per batch); `None` means one run for the whole tail.
@@ -128,6 +137,9 @@ pub enum Command {
         leaf: Option<usize>,
         /// Split policy for a *fresh* index (see `Ingest::split_policy`).
         split_policy: Option<SplitPolicyKind>,
+        /// Compaction policy family for a *fresh* index (see
+        /// `Ingest::compaction`).
+        compaction: Option<CompactionPolicyKind>,
         memory_mb: u64,
         /// Shard-worker mode: serve one key-range slice, assigned by a
         /// coordinator's `BUILD` request (recovered from the index
@@ -189,6 +201,16 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 fn parse_policy(opts: &HashMap<String, String>) -> Result<Option<SplitPolicyKind>, String> {
     opts.get("--split-policy")
         .map(|s| s.parse::<SplitPolicyKind>().map_err(|e| e.to_string()))
+        .transpose()
+}
+
+/// Parse `--compaction` the same way: the typed core error names the valid
+/// policy families.
+fn parse_compaction(
+    opts: &HashMap<String, String>,
+) -> Result<Option<CompactionPolicyKind>, String> {
+    opts.get("--compaction")
+        .map(|s| s.parse::<CompactionPolicyKind>().map_err(|e| e.to_string()))
         .transpose()
 }
 
@@ -318,6 +340,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .map(|s| parse_num(s, "leaf"))
                 .transpose()?,
             split_policy: parse_policy(&opts)?,
+            compaction: parse_compaction(&opts)?,
+            writers: match opts.get("--writers") {
+                Some(s) => {
+                    let n: usize = parse_num(s, "writers")?;
+                    if n == 0 {
+                        return Err("writers must be at least 1".into());
+                    }
+                    n
+                }
+                None => 1,
+            },
             memory_mb: opts
                 .get("--memory-mb")
                 .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
@@ -427,6 +460,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map(|s| parse_num(s, "leaf"))
                     .transpose()?,
                 split_policy: parse_policy(&opts)?,
+                compaction: parse_compaction(&opts)?,
                 memory_mb: opts
                     .get("--memory-mb")
                     .map_or(Ok(256), |s| parse_num(s, "memory-mb"))?,
@@ -575,6 +609,8 @@ mod tests {
                 materialized: false,
                 leaf: Some(64),
                 split_policy: None,
+                compaction: None,
+                writers: 1,
                 memory_mb: 256,
                 batch: Some(500),
                 max_runs: Some(4),
@@ -634,6 +670,7 @@ mod tests {
                 initial: Some(5000),
                 leaf: None,
                 split_policy: None,
+                compaction: None,
                 memory_mb: 256,
                 shard: false,
                 shards: vec![],
@@ -740,6 +777,53 @@ mod tests {
         let err = parse(&argv("build --index ctrie --split-policy median x.ds")).unwrap_err();
         assert!(err.contains("median"), "{err}");
         assert!(err.contains("fixed") && err.contains("adaptive"), "{err}");
+    }
+
+    #[test]
+    fn parses_compaction_and_writers() {
+        // "Not given" stays distinct from "tiered" so the
+        // recovered-manifest conflict check only fires on explicit flags.
+        let c = parse(&argv("ingest --data d.ds --index-dir ./lsm")).unwrap();
+        let Command::Ingest {
+            compaction,
+            writers,
+            ..
+        } = c
+        else {
+            panic!()
+        };
+        assert_eq!(compaction, None);
+        assert_eq!(writers, 1);
+
+        let c = parse(&argv(
+            "ingest --data d.ds --index-dir ./lsm --compaction leveled --writers 4",
+        ))
+        .unwrap();
+        let Command::Ingest {
+            compaction,
+            writers,
+            ..
+        } = c
+        else {
+            panic!()
+        };
+        assert_eq!(compaction, Some(CompactionPolicyKind::Leveled));
+        assert_eq!(writers, 4);
+
+        let c = parse(&argv(
+            "serve --data d.ds --index-dir ./lsm --compaction tiered",
+        ))
+        .unwrap();
+        let Command::Serve { compaction, .. } = c else {
+            panic!()
+        };
+        assert_eq!(compaction, Some(CompactionPolicyKind::Tiered));
+
+        // Unknown values fail with a message naming the valid families.
+        let err = parse(&argv("ingest --data d --index-dir x --compaction lazy")).unwrap_err();
+        assert!(err.contains("lazy"), "{err}");
+        assert!(err.contains("tiered") && err.contains("leveled"), "{err}");
+        assert!(parse(&argv("ingest --data d --index-dir x --writers 0")).is_err());
     }
 
     #[test]

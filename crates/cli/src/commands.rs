@@ -4,7 +4,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use coconut_core::manifest::Manifest;
-use coconut_core::{BuildOptions, CoconutTree, CoconutTrie, IndexConfig, LsmCoconut};
+use coconut_core::{
+    BuildOptions, CoconutTree, CoconutTrie, CompactionPolicyKind, IndexConfig, LsmCoconut,
+};
 use coconut_series::dataset::{write_dataset, Dataset};
 use coconut_series::distance::znormalize;
 use coconut_series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
@@ -229,14 +231,29 @@ pub fn run(cmd: Command) -> Result<()> {
             materialized,
             leaf,
             split_policy,
+            compaction,
+            writers,
             memory_mb,
             batch,
             max_runs,
         } => {
+            if max_runs.is_some() && compaction == Some(CompactionPolicyKind::Leveled) {
+                return Err(Error::invalid(
+                    "--max-runs installs a tiered read-amp cap and conflicts with \
+                     --compaction leveled; drop one of the two",
+                ));
+            }
             let stats = Arc::new(IoStats::new());
             let ds = Dataset::open(&data, Arc::clone(&stats))?;
-            let (lsm, fresh) =
-                open_or_create_lsm(&ds, &index_dir, materialized, leaf, split_policy, memory_mb)?;
+            let (lsm, fresh) = open_or_create_lsm(
+                &ds,
+                &index_dir,
+                materialized,
+                leaf,
+                split_policy,
+                compaction,
+                memory_mb,
+            )?;
             if let Some(n) = max_runs {
                 lsm.set_max_runs(n);
             }
@@ -248,27 +265,65 @@ pub fn run(cmd: Command) -> Result<()> {
                 )));
             }
             let t0 = Instant::now();
-            let step = batch.unwrap_or(ds.len().saturating_sub(already).max(1));
-            let mut upto = already;
-            while upto < ds.len() {
-                upto = (upto + step).min(ds.len());
-                lsm.ingest_upto(&ds, upto)?;
+            let tail = ds.len().saturating_sub(already).max(1);
+            if writers > 1 {
+                // Multi-writer: each thread claims the next uncovered batch
+                // and builds its run concurrently; completed runs are group
+                // committed (one manifest fsync per fold).
+                let step = batch.unwrap_or_else(|| (tail / (writers as u64 * 4)).max(1));
+                let lsm_ref = &lsm;
+                let ds_ref = &ds;
+                std::thread::scope(|s| -> Result<()> {
+                    let handles: Vec<_> = (0..writers)
+                        .map(|_| {
+                            s.spawn(move || -> Result<()> {
+                                let w = lsm_ref.writer();
+                                while w.ingest_next(ds_ref, step)?.is_some() {}
+                                Ok(())
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join()
+                            .map_err(|_| Error::invalid("an ingest writer panicked"))??;
+                    }
+                    Ok(())
+                })?;
+            } else {
+                let step = batch.unwrap_or(tail);
+                let mut upto = already;
+                while upto < ds.len() {
+                    upto = (upto + step).min(ds.len());
+                    lsm.ingest_upto(&ds, upto)?;
+                }
             }
             lsm.wait_for_compactions()?;
             let secs = t0.elapsed().as_secs_f64();
             let new = ds.len() - already;
             println!(
-                "{} {} series into {} in {secs:.2}s ({:.0} series/s)",
+                "{} {} series into {} in {secs:.2}s ({:.0} series/s, {} writer{})",
                 if fresh { "created;" } else { "recovered;" },
                 new,
                 index_dir.display(),
-                if secs > 0.0 { new as f64 / secs } else { 0.0 }
+                if secs > 0.0 { new as f64 / secs } else { 0.0 },
+                writers,
+                if writers == 1 { "" } else { "s" }
             );
             println!(
-                "covered       0..{} in {} run{}",
+                "covered       0..{} in {} run{} ({} compaction)",
                 lsm.covered_end(),
                 lsm.run_count(),
-                if lsm.run_count() == 1 { "" } else { "s" }
+                if lsm.run_count() == 1 { "" } else { "s" },
+                lsm.compaction_kind()
+            );
+            let ws = lsm.write_stats();
+            println!(
+                "commits       {} run{} in {} manifest commit{}; write-amp {:.2}",
+                ws.runs_committed,
+                if ws.runs_committed == 1 { "" } else { "s" },
+                ws.ingest_commits,
+                if ws.ingest_commits == 1 { "" } else { "s" },
+                lsm.write_amplification()
             );
             println!(
                 "size          {:.1} MiB",
@@ -358,6 +413,7 @@ pub fn run(cmd: Command) -> Result<()> {
             initial,
             leaf,
             split_policy,
+            compaction,
             memory_mb,
             shard,
             shards,
@@ -451,8 +507,15 @@ pub fn run(cmd: Command) -> Result<()> {
                     std::thread::sleep(std::time::Duration::from_secs(3600));
                 }
             }
-            let (lsm, fresh) =
-                open_or_create_lsm(&ds, &index_dir, false, leaf, split_policy, memory_mb)?;
+            let (lsm, fresh) = open_or_create_lsm(
+                &ds,
+                &index_dir,
+                false,
+                leaf,
+                split_policy,
+                compaction,
+                memory_mb,
+            )?;
             if let Some(n) = initial {
                 lsm.ingest_upto(&ds, n.min(ds.len()))?;
             }
@@ -497,6 +560,7 @@ fn open_or_create_lsm(
     materialized: bool,
     leaf: Option<usize>,
     split_policy: Option<coconut_core::SplitPolicyKind>,
+    compaction: Option<CompactionPolicyKind>,
     memory_mb: u64,
 ) -> Result<(LsmCoconut, bool)> {
     let opts = BuildOptions {
@@ -516,7 +580,7 @@ fn open_or_create_lsm(
             internal_fanout: 64,
             split_policy: split_policy.unwrap_or_default(),
         };
-        LsmCoconut::new(config, opts, index_dir)?
+        LsmCoconut::create(config, opts, index_dir, 0, compaction.unwrap_or_default())?
     } else {
         let lsm = LsmCoconut::open(index_dir, ds, opts)?;
         if materialized && !lsm.is_materialized() {
@@ -544,6 +608,17 @@ fn open_or_create_lsm(
                     "--split-policy {p} conflicts with the recovered index \
                      in {} (built with the {have} policy); omit \
                      --split-policy or use a fresh --index-dir",
+                    index_dir.display()
+                )));
+            }
+        }
+        if let Some(c) = compaction {
+            let have = lsm.compaction_kind();
+            if c != have {
+                return Err(Error::invalid(format!(
+                    "--compaction {c} conflicts with the recovered index in \
+                     {} (grown under the {have} policy); omit --compaction \
+                     or use a fresh --index-dir",
                     index_dir.display()
                 )));
             }
@@ -724,6 +799,8 @@ mod tests {
             materialized: false,
             leaf: Some(32),
             split_policy: None,
+            compaction: None,
+            writers: 1,
             memory_mb: 1,
             batch: Some(60),
             max_runs: Some(3),
@@ -738,6 +815,8 @@ mod tests {
             materialized: false,
             leaf: Some(64),
             split_policy: None,
+            compaction: None,
+            writers: 1,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -749,6 +828,8 @@ mod tests {
             materialized: true,
             leaf: None,
             split_policy: None,
+            compaction: None,
+            writers: 1,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -760,6 +841,8 @@ mod tests {
             materialized: false,
             leaf: Some(32),
             split_policy: None,
+            compaction: None,
+            writers: 1,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -789,6 +872,8 @@ mod tests {
             materialized: false,
             leaf: Some(32),
             split_policy: None,
+            compaction: None,
+            writers: 1,
             memory_mb: 1,
             batch: Some(80),
             max_runs: Some(10),
@@ -870,6 +955,8 @@ mod tests {
             materialized: false,
             leaf: None,
             split_policy,
+            compaction: None,
+            writers: 1,
             memory_mb: 1,
             batch: None,
             max_runs: None,
@@ -881,6 +968,40 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("--split-policy"), "{msg}");
         assert!(msg.contains("adaptive"), "{msg}");
+    }
+
+    #[test]
+    fn compaction_policy_and_multi_writer_ingest() {
+        let dir = TempDir::new("cli-compaction").unwrap();
+        let idx_dir = dir.path().join("lsm");
+        let data = gen_cmd(&dir, "d.ds", 240);
+        let ingest = |compaction, writers, max_runs| Command::Ingest {
+            data: data.clone(),
+            index_dir: idx_dir.clone(),
+            materialized: false,
+            leaf: Some(32),
+            split_policy: None,
+            compaction,
+            writers,
+            memory_mb: 1,
+            batch: Some(40),
+            max_runs,
+        };
+        // --max-runs installs a tiered cap; it cannot combine with leveled.
+        assert!(run(ingest(Some(CompactionPolicyKind::Leveled), 1, Some(3))).is_err());
+        // A leveled, multi-writer ingest creates the index...
+        run(ingest(Some(CompactionPolicyKind::Leveled), 4, None)).unwrap();
+        // ...recovery accepts no flag or a matching one, rejects conflicts.
+        run(ingest(None, 1, None)).unwrap();
+        run(ingest(Some(CompactionPolicyKind::Leveled), 2, None)).unwrap();
+        let err = run(ingest(Some(CompactionPolicyKind::Tiered), 1, None)).unwrap_err();
+        assert!(err.to_string().contains("--compaction"), "{err}");
+        // The grown index is whole and remembers its policy family.
+        let stats = Arc::new(IoStats::new());
+        let ds = Dataset::open(&data, Arc::clone(&stats)).unwrap();
+        let lsm = LsmCoconut::open(&idx_dir, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.covered_end(), 240);
+        assert_eq!(lsm.compaction_kind(), CompactionPolicyKind::Leveled);
     }
 
     #[test]

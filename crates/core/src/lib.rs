@@ -68,10 +68,12 @@ pub mod trie;
 
 pub use backend::{LocalShard, Partial, ShardBackend, ShardInfo, ShardSet};
 pub use coconut_storage::{Deadline, Error, Result};
-pub use compaction::{CompactionPolicy, TieredPolicy};
+pub use compaction::{CompactionPolicy, CompactionPolicyKind, LeveledPolicy, TieredPolicy};
 pub use config::{BuildOptions, IndexConfig};
 pub use layout::ScrubReport;
-pub use lsm::{KillPoint, LsmCoconut, RunScrub, Snapshot, QUARANTINE_DIR};
+pub use lsm::{
+    IngestWriter, KillPoint, LsmCoconut, RunScrub, Snapshot, WriteStats, QUARANTINE_DIR,
+};
 pub use split::{AdaptivePolicy, FixedBinaryPolicy, SplitPolicy, SplitPolicyKind};
 pub use tree::CoconutTree;
 pub use trie::CoconutTrie;

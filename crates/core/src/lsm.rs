@@ -10,12 +10,28 @@
 //!   growing raw file is bulk-loaded bottom-up into a fresh Coconut-Tree
 //!   *run* in its own `run-<id>/` directory — all large sequential writes,
 //!   exactly the paper's construction path.
+//! * **Multi-writer group commit** ([`LsmCoconut::writer`]): N writer
+//!   handles claim disjoint contiguous position ranges up front (so runs
+//!   stay gap-free no matter which build finishes first), build and fsync
+//!   their run files concurrently, and park the finished runs in a commit
+//!   queue. Whichever writer finds the queue holding the run that extends
+//!   the covered prefix becomes the *group committer*: it folds the whole
+//!   contiguous chain into **one** atomic manifest commit, amortizing the
+//!   fsync across the batch. A batch is acknowledged only after that
+//!   commit is durable — a crash between a run-file fsync and the manifest
+//!   commit leaves orphan directories for recovery to delete, never an
+//!   acknowledged batch.
 //! * **Compaction**: a [`CompactionPolicy`] (default
-//!   [`TieredPolicy`]) decides which adjacent runs to merge; the merge
-//!   itself is a K-way [`MergedStream`] over the runs' already-sorted leaf
-//!   streams ([`CoconutTree::leaf_entries`]), bulk-loaded into a new run —
-//!   **never** a re-sort of the raw range. Compactions execute on a
-//!   dedicated worker thread, so ingest and queries proceed alongside them;
+//!   [`TieredPolicy`]; [`crate::compaction::LeveledPolicy`] selectable via
+//!   the manifest-recorded [`CompactionPolicyKind`]) decides which
+//!   adjacent runs to merge; the merge itself is a K-way [`MergedStream`]
+//!   over the runs' already-sorted leaf streams
+//!   ([`CoconutTree::leaf_entries`]), bulk-loaded into a new run —
+//!   **never** a re-sort of the raw range. Merges execute on a small
+//!   worker pool: a scheduler thread plans non-overlapping windows
+//!   (contiguous segments of runs not already being merged) and dispatches
+//!   them to parallel merge threads, while manifest commits stay
+//!   serialized in mutation order under one commit lock.
 //!   [`LsmCoconut::wait_for_compactions`] is the synchronization point.
 //! * **Crash safety**: the live run set lives in a versioned, checksummed
 //!   [`crate::manifest::Manifest`] written atomically on every run addition
@@ -52,10 +68,11 @@
 //! instance — subsequent calls surface the error — mirroring a crashed
 //! process; reopen from disk to continue.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
@@ -66,7 +83,7 @@ use coconut_series::Value;
 use coconut_storage::atomic::{atomic_write, atomic_write_torn, temp_path};
 use coconut_storage::{fault, Deadline, Error, FaultAction, FaultPlan, MergedStream, Result};
 
-use crate::compaction::{CompactionPolicy, TieredPolicy};
+use crate::compaction::{CompactionPolicy, CompactionPolicyKind, TieredPolicy};
 use crate::config::{BuildOptions, IndexConfig};
 use crate::layout::ScrubReport;
 use crate::manifest::{run_dir_name, Manifest, RunMeta};
@@ -135,6 +152,102 @@ struct GcRun {
     dir: PathBuf,
 }
 
+/// A writer's reservation of the contiguous position range `start..end`
+/// (and the run id that will hold it), handed out by [`claim_range`].
+/// Ranges are assigned at claim time, so however the concurrent builds
+/// interleave, the finished runs always reassemble into a gap-free prefix.
+struct Claim {
+    start: u64,
+    end: u64,
+    run_id: u64,
+}
+
+/// A built, fsynced run waiting in the commit queue for the group
+/// committer to fold it into a manifest commit.
+struct PendingRun {
+    meta: RunMeta,
+    tree: CoconutTree,
+}
+
+/// Multi-writer ingest coordination: range claims, the queue of completed
+/// runs, and the durable watermark writers block on. Uses the std mutex +
+/// condvar pair (not `parking_lot`) because waiters need a condition
+/// variable.
+struct IngestQueue {
+    inner: StdMutex<IngestState>,
+    cv: Condvar,
+}
+
+struct IngestState {
+    /// End (exclusive) of the highest range handed to any writer; always
+    /// `>= durable_end`. New claims start here.
+    claimed_end: u64,
+    /// Claims whose runs are still building (claimed, not yet submitted).
+    in_flight: usize,
+    /// Completed runs awaiting the group committer, keyed by start
+    /// position. The committer drains the maximal contiguous chain
+    /// starting at `durable_end`.
+    done: BTreeMap<u64, PendingRun>,
+    /// End of the durably committed prefix — `state.covered_end` as of the
+    /// last successful manifest commit. Writers are acknowledged once this
+    /// passes their claim's end.
+    durable_end: u64,
+    /// Set when ingest can no longer make progress (a failed build left a
+    /// coverage hole, or a commit failed); wakes every waiter to surface
+    /// the poisoned state.
+    failed: bool,
+}
+
+impl IngestQueue {
+    fn new(covered_end: u64) -> Self {
+        IngestQueue {
+            inner: StdMutex::new(IngestState {
+                claimed_end: covered_end,
+                in_flight: 0,
+                done: BTreeMap::new(),
+                durable_end: covered_end,
+                failed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, IngestState> {
+        // A writer thread that panics mid-ingest poisons the std mutex;
+        // the instance is already unusable at that point, so propagate.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Monotone write-path counters backing the amplification gauges.
+#[derive(Default)]
+struct WriteCounters {
+    /// Entries committed by ingest (the first write of each entry).
+    ingested: AtomicU64,
+    /// Entries rewritten by compaction merges.
+    rewritten: AtomicU64,
+    /// Manifest commits that folded at least one ingest run.
+    ingest_commits: AtomicU64,
+    /// Ingest runs folded across those commits; the excess over
+    /// `ingest_commits` is the fsyncs group commit amortized away.
+    runs_committed: AtomicU64,
+}
+
+/// A point-in-time copy of the write-path counters
+/// ([`LsmCoconut::write_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Entries committed by ingest since this instance started.
+    pub entries_ingested: u64,
+    /// Entries rewritten by compaction merges.
+    pub entries_rewritten: u64,
+    /// Manifest commits that folded at least one ingest run.
+    pub ingest_commits: u64,
+    /// Ingest runs folded across those commits (`>= ingest_commits`; the
+    /// gap is what group commit amortized).
+    pub runs_committed: u64,
+}
+
 /// State shared with the compaction worker thread.
 struct Shared {
     config: IndexConfig,
@@ -150,15 +263,19 @@ struct Shared {
     /// commits hit disk in mutation order — while queries, which take only
     /// the brief `state` lock, never wait on an fsync.
     commit_order: Mutex<()>,
-    /// Serializes ingest: building a run outside the state lock is only
-    /// correct with a single writer, and holding this (not `&mut self`)
-    /// lets a server share one `LsmCoconut` behind an `Arc` — ingest never
-    /// blocks snapshot acquisition or queries.
-    writer: Mutex<()>,
+    /// Multi-writer ingest coordination: claims, the completed-run queue,
+    /// and the durable watermark (see [`IngestQueue`]). Lock order:
+    /// `commit_order` → `ingest.inner` → `state`.
+    ingest: IngestQueue,
     /// Runs retired by compaction but possibly pinned by snapshots; swept
     /// by [`sweep_gc`] when snapshots drop.
     gc: Mutex<Vec<GcRun>>,
     policy: Mutex<Box<dyn CompactionPolicy>>,
+    /// The policy family recorded in every manifest commit; kept in sync
+    /// with `policy` by [`LsmCoconut::set_policy`].
+    compaction_kind: Mutex<CompactionPolicyKind>,
+    /// Write-path counters backing the amplification gauges.
+    stats: WriteCounters,
     kill: Mutex<Option<KillPoint>>,
     /// Instance-scoped fault plan consulted *before* the process-global one
     /// at the LSM's sites — lets one index (or one test) inject faults
@@ -170,14 +287,32 @@ struct Shared {
     poisoned: Mutex<Option<String>>,
 }
 
-/// Work items for the compaction thread, processed in order.
+/// Work items for the compaction scheduler, processed in order.
 enum Job {
-    /// Apply the policy repeatedly until it proposes nothing.
+    /// Re-plan and dispatch merges until the policy proposes nothing.
     Maintain,
     /// Merge every live run into a single run.
     CompactAll,
     /// Acknowledge once every previously queued job has finished.
     Sync(Sender<()>),
+}
+
+/// Everything the scheduler thread receives: caller jobs, merge-worker
+/// completions, and the shutdown marker [`LsmCoconut::drop`] sends so the
+/// scheduler can drain in-flight merges, retire the pool, and exit.
+enum Msg {
+    Job(Job),
+    /// A merge worker finished the window holding these run ids.
+    Done {
+        ids: Vec<u64>,
+        result: Result<()>,
+    },
+    Shutdown,
+}
+
+/// A non-overlapping merge window dispatched to the worker pool.
+struct MergeTask {
+    ids: Vec<u64>,
 }
 
 /// An LSM collection of bulk-loaded Coconut-Tree runs with tiered
@@ -186,7 +321,7 @@ enum Job {
 /// in.
 pub struct LsmCoconut {
     shared: Arc<Shared>,
-    jobs: Option<Sender<Job>>,
+    jobs: Option<Sender<Msg>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -197,7 +332,7 @@ impl LsmCoconut {
     /// stale runs into a new build; use [`LsmCoconut::open`] to recover an
     /// existing index.
     pub fn new(config: IndexConfig, opts: BuildOptions, dir: impl Into<PathBuf>) -> Result<Self> {
-        Self::new_based(config, opts, dir, 0)
+        Self::create(config, opts, dir, 0, CompactionPolicyKind::default())
     }
 
     /// [`LsmCoconut::new`] for an index that covers only the raw-file slice
@@ -210,6 +345,20 @@ impl LsmCoconut {
         opts: BuildOptions,
         dir: impl Into<PathBuf>,
         base: u64,
+    ) -> Result<Self> {
+        Self::create(config, opts, dir, base, CompactionPolicyKind::default())
+    }
+
+    /// The full constructor: [`LsmCoconut::new_based`] with an explicit
+    /// compaction policy family, recorded in the initial manifest commit so
+    /// even a never-ingested index reopens under the policy it was created
+    /// with (the CLI's `--compaction` flag lands here).
+    pub fn create(
+        config: IndexConfig,
+        opts: BuildOptions,
+        dir: impl Into<PathBuf>,
+        base: u64,
+        compaction: CompactionPolicyKind,
     ) -> Result<Self> {
         config.validate()?;
         let dir = dir.into();
@@ -245,9 +394,11 @@ impl LsmCoconut {
                 dataset: None,
             }),
             commit_order: Mutex::new(()),
-            writer: Mutex::new(()),
+            ingest: IngestQueue::new(base),
             gc: Mutex::new(Vec::new()),
-            policy: Mutex::new(Box::new(TieredPolicy::default())),
+            policy: Mutex::new(compaction.policy()),
+            compaction_kind: Mutex::new(compaction),
+            stats: WriteCounters::default(),
             kill: Mutex::new(None),
             fault_plan: Mutex::new(None),
             poisoned: Mutex::new(None),
@@ -339,9 +490,11 @@ impl LsmCoconut {
                 dataset: Some(dataset.clone()),
             }),
             commit_order: Mutex::new(()),
-            writer: Mutex::new(()),
+            ingest: IngestQueue::new(manifest.covered_end),
             gc: Mutex::new(Vec::new()),
-            policy: Mutex::new(Box::new(TieredPolicy::default())),
+            policy: Mutex::new(manifest.compaction.policy()),
+            compaction_kind: Mutex::new(manifest.compaction),
+            stats: WriteCounters::default(),
             kill: Mutex::new(None),
             fault_plan: Mutex::new(None),
             poisoned: Mutex::new(None),
@@ -352,9 +505,10 @@ impl LsmCoconut {
     fn spawn(shared: Arc<Shared>) -> Result<Self> {
         let (tx, rx) = std::sync::mpsc::channel();
         let worker_shared = Arc::clone(&shared);
+        let worker_tx = tx.clone();
         let worker = std::thread::Builder::new()
             .name("coconut-lsm-compactor".into())
-            .spawn(move || worker_loop(worker_shared, rx))?;
+            .spawn(move || scheduler_loop(worker_shared, rx, worker_tx))?;
         Ok(LsmCoconut {
             shared,
             jobs: Some(tx),
@@ -362,9 +516,18 @@ impl LsmCoconut {
         })
     }
 
-    /// Replace the compaction policy (takes effect from the next decision).
+    /// Replace the compaction policy (takes effect from the next
+    /// decision). The policy's [`CompactionPolicy::kind`] is recorded in
+    /// every subsequent manifest commit.
     pub fn set_policy(&self, policy: Box<dyn CompactionPolicy>) {
+        *self.shared.compaction_kind.lock() = policy.kind();
         *self.shared.policy.lock() = policy;
+    }
+
+    /// The compaction policy family the index is grown under (what the
+    /// manifest records and `--compaction` selects).
+    pub fn compaction_kind(&self) -> CompactionPolicyKind {
+        *self.shared.compaction_kind.lock()
     }
 
     /// Bound read amplification: install a [`TieredPolicy`] that keeps at
@@ -403,7 +566,7 @@ impl LsmCoconut {
         self.jobs
             .as_ref()
             .ok_or_else(|| Error::invalid("LSM index is shutting down"))?
-            .send(job)
+            .send(Msg::Job(job))
             .map_err(|_| Error::invalid("LSM compaction worker exited"))
     }
 
@@ -416,79 +579,39 @@ impl LsmCoconut {
 
     /// Index positions up to `upto` (exclusive) that are not yet covered —
     /// used by workloads that reveal an on-disk dataset in batches. On
-    /// success the new run is committed to the manifest and durable.
+    /// success the covered prefix reaches `upto` and is durable.
     ///
-    /// Takes `&self`: concurrent ingests serialize on an internal writer
-    /// lock (never the state lock), so a server can share one `LsmCoconut`
-    /// behind an [`Arc`] and queries pin snapshots while a batch builds.
+    /// Takes `&self`: a server can share one `LsmCoconut` behind an
+    /// [`Arc`] and queries pin snapshots while a batch builds. Concurrent
+    /// callers cooperate through the group-commit queue: each claims the
+    /// unclaimed tail (if any), and all of them return once the covered
+    /// prefix is durably committed past `upto` — by whichever writer
+    /// became the group committer. For explicit N-writer ingest, use
+    /// [`LsmCoconut::writer`] handles instead.
     pub fn ingest_upto(&self, dataset: &Dataset, upto: u64) -> Result<()> {
-        let _writer = self.shared.writer.lock();
         self.check_poisoned()?;
         if upto > dataset.len() {
             return Err(Error::invalid("upto exceeds the dataset length"));
         }
-        let (start, run_id) = {
-            let mut st = self.shared.state.lock();
-            if upto < st.covered_end {
-                return Err(Error::invalid("dataset shrank below the covered range"));
+        match claim_range(&self.shared, dataset, upto, u64::MAX)? {
+            Some(claim) => {
+                build_and_commit(&self.shared, dataset, claim)?;
+                self.send(Job::Maintain)
             }
-            st.dataset = Some(dataset.clone());
-            if upto == st.covered_end {
-                return Ok(());
-            }
-            let id = st.next_run_id;
-            st.next_run_id += 1;
-            (st.covered_end, id)
-        };
-
-        // Build the run outside the lock: queries and compactions proceed.
-        let run_dir = self.shared.dir.join(run_dir_name(run_id));
-        lsm_check(&self.shared, "run.create")?;
-        std::fs::create_dir_all(&run_dir)?;
-        let tree = CoconutTree::build_range(
-            dataset,
-            start..upto,
-            &self.shared.config,
-            &run_dir,
-            self.shared.opts.clone(),
-        )?;
-        // The index file is fsynced by the build; fsync the run directory
-        // too, or a power loss after the manifest commit could lose the
-        // file's directory entry and leave the manifest pointing nowhere.
-        coconut_storage::atomic::sync_dir(&run_dir)?;
-        let file = relative_index_path(&self.shared.dir, tree.index_path())?;
-
-        let commit = {
-            let _order = self.shared.commit_order.lock();
-            let bytes = {
-                let mut st = self.shared.state.lock();
-                debug_assert_eq!(
-                    st.covered_end, start,
-                    "only ingest advances covered_end, under the writer lock"
-                );
-                st.runs.push(Run {
-                    meta: RunMeta {
-                        id: run_id,
-                        start,
-                        end: upto,
-                        file,
-                    },
-                    tree: Arc::new(tree),
-                });
-                st.covered_end = upto;
-                st.seq += 1;
-                encode_manifest(&self.shared, &st)
-            };
-            write_manifest(&self.shared, &bytes)
-        };
-        if let Err(e) = commit {
-            // In-memory state is now ahead of the durable manifest — the
-            // situation a crash leaves behind. Poison the instance so every
-            // subsequent call fails until the index is reopened from disk.
-            *self.shared.poisoned.lock() = Some(e.to_string());
-            return Err(e);
+            // The tail up to `upto` is already claimed (possibly by a
+            // concurrent writer still committing): wait until it is
+            // durable.
+            None => wait_durable(&self.shared, upto),
         }
-        self.send(Job::Maintain)
+    }
+
+    /// A handle for one writer thread of a multi-writer ingest. All
+    /// handles of one index feed the same group-commit queue: their runs
+    /// build concurrently, and completed batches are folded into shared
+    /// manifest commits (one fsync per group). Handles borrow the index,
+    /// so spawn writer threads with `std::thread::scope`.
+    pub fn writer(&self) -> IngestWriter<'_> {
+        IngestWriter { lsm: self }
     }
 
     /// Merge every live run into one and wait for it to finish — the
@@ -595,6 +718,81 @@ impl LsmCoconut {
         self.shared.gc.lock().len()
     }
 
+    /// Point-in-time write-path counters (entries ingested/rewritten,
+    /// ingest commits, runs folded) for the amplification gauges and the
+    /// streaming benchmark. Counters start at zero per instance — they
+    /// measure this process's work, not the on-disk history.
+    pub fn write_stats(&self) -> WriteStats {
+        WriteStats {
+            entries_ingested: self.shared.stats.ingested.load(Ordering::Relaxed),
+            entries_rewritten: self.shared.stats.rewritten.load(Ordering::Relaxed),
+            ingest_commits: self.shared.stats.ingest_commits.load(Ordering::Relaxed),
+            runs_committed: self.shared.stats.runs_committed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write amplification so far: entries written (first writes plus
+    /// compaction rewrites) per entry ingested. 1.0 until the first merge;
+    /// grows with compaction eagerness (observability:
+    /// `coconut_write_amp`).
+    pub fn write_amplification(&self) -> f64 {
+        let s = self.write_stats();
+        if s.entries_ingested == 0 {
+            return 1.0;
+        }
+        (s.entries_ingested + s.entries_rewritten) as f64 / s.entries_ingested as f64
+    }
+
+    /// Space amplification: bytes held by all `run-*` directories on disk
+    /// (live runs, snapshot-pinned garbage, in-flight builds) per byte of
+    /// live run. 1.0 when nothing but the live runs exists (observability:
+    /// `coconut_space_amp`).
+    pub fn space_amplification(&self) -> f64 {
+        let live: u64 = {
+            let st = self.shared.state.lock();
+            st.runs.iter().map(|r| r.tree.disk_bytes()).sum()
+        };
+        if live == 0 {
+            return 1.0;
+        }
+        let mut total = 0u64;
+        if let Ok(entries) = std::fs::read_dir(&self.shared.dir) {
+            for entry in entries.flatten() {
+                if !entry.file_name().to_string_lossy().starts_with("run-") {
+                    continue;
+                }
+                if let Ok(files) = std::fs::read_dir(entry.path()) {
+                    for f in files.flatten() {
+                        total += f.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        total.max(live) as f64 / live as f64
+    }
+
+    /// Live runs bucketed by size level — level `L` holds runs with
+    /// `fanout^L <= entries < fanout^(L+1)` for the default fanout of 4 —
+    /// a policy-agnostic shape summary (observability:
+    /// `coconut_runs_level_<L>`; the read amplification is the sum).
+    pub fn level_run_counts(&self) -> Vec<usize> {
+        let st = self.shared.state.lock();
+        let mut counts = Vec::new();
+        for run in &st.runs {
+            let mut level = 0usize;
+            let mut v = run.meta.entries().max(1);
+            while v >= 4 {
+                v /= 4;
+                level += 1;
+            }
+            if counts.len() <= level {
+                counts.resize(level + 1, 0);
+            }
+            counts[level] += 1;
+        }
+        counts
+    }
+
     /// Re-read and checksum-verify every leaf of every live run (the
     /// `coconut scrub` command). Never fails as a whole: each run reports
     /// either its clean [`ScrubReport`] or the corruption the scan hit, so
@@ -632,9 +830,19 @@ impl LsmCoconut {
     /// file handles survive the rename — but new snapshots see only the
     /// reduced, verified prefix.
     pub fn quarantine_from(&self, id: u64, reason: &str) -> Result<u64> {
-        let _writer = self.shared.writer.lock();
         self.check_poisoned()?;
         let _order = self.shared.commit_order.lock();
+        // Hold the ingest queue lock for the whole eviction: truncating the
+        // covered prefix under the feet of in-flight claims would leave
+        // pending runs stranded beyond a hole, so quarantine requires a
+        // quiesced write path (and blocks new claims while it runs).
+        let mut q = self.shared.ingest.lock();
+        if q.in_flight > 0 || !q.done.is_empty() || q.claimed_end != q.durable_end {
+            return Err(Error::invalid(
+                "cannot quarantine while ingest batches are in flight; \
+                 wait for writers to finish and retry",
+            ));
+        }
         let (bytes, evicted, new_end) = {
             let mut st = self.shared.state.lock();
             let Some(first) = st.runs.iter().position(|r| r.meta.id == id) else {
@@ -648,8 +856,12 @@ impl LsmCoconut {
         };
         if let Err(e) = write_manifest(&self.shared, &bytes) {
             *self.shared.poisoned.lock() = Some(e.to_string());
+            q.failed = true;
+            self.shared.ingest.cv.notify_all();
             return Err(e);
         }
+        q.claimed_end = new_end;
+        q.durable_end = new_end;
         let metas: Vec<RunMeta> = evicted.iter().map(|r| r.meta.clone()).collect();
         quarantine_runs(&self.shared.dir, &metas, &Error::corrupt(reason))?;
         Ok(new_end)
@@ -703,6 +915,53 @@ impl LsmCoconut {
     /// distance `epsilon`, sorted by distance.
     pub fn exact_range(&self, query: &[Value], epsilon: f64) -> Result<(Vec<Answer>, QueryStats)> {
         self.snapshot().exact_range(query, epsilon, Deadline::NONE)
+    }
+}
+
+/// One writer of a multi-writer ingest ([`LsmCoconut::writer`]).
+///
+/// Each call to [`IngestWriter::ingest_next`] claims the next unclaimed
+/// contiguous slice of the dataset tail, builds and fsyncs its run
+/// concurrently with the other writers, and returns once the slice is
+/// durably committed — usually by a group commit that folded several
+/// writers' runs into one manifest fsync.
+pub struct IngestWriter<'a> {
+    lsm: &'a LsmCoconut,
+}
+
+impl IngestWriter<'_> {
+    /// Claim and durably ingest the next uncovered batch of at most
+    /// `max_batch` series from `dataset`'s tail. Returns the committed
+    /// position range, or `None` when the tail is fully claimed (this
+    /// writer's loop is done; other writers may still be committing).
+    pub fn ingest_next(
+        &self,
+        dataset: &Dataset,
+        max_batch: u64,
+    ) -> Result<Option<std::ops::Range<u64>>> {
+        self.ingest_next_upto(dataset, dataset.len(), max_batch)
+    }
+
+    /// Like [`IngestWriter::ingest_next`] but bounds the claim frontier at
+    /// `upto` (exclusive) instead of the dataset's current end — for phased
+    /// workloads that reveal the raw file one prefix at a time.
+    pub fn ingest_next_upto(
+        &self,
+        dataset: &Dataset,
+        upto: u64,
+        max_batch: u64,
+    ) -> Result<Option<std::ops::Range<u64>>> {
+        self.lsm.check_poisoned()?;
+        if upto > dataset.len() {
+            return Err(Error::invalid("upto exceeds the dataset length"));
+        }
+        let Some(claim) = claim_range(&self.lsm.shared, dataset, upto, max_batch.max(1))? else {
+            return Ok(None);
+        };
+        let range = claim.start..claim.end;
+        build_and_commit(&self.lsm.shared, dataset, claim)?;
+        self.lsm.send(Job::Maintain)?;
+        Ok(Some(range))
     }
 }
 
@@ -912,9 +1171,14 @@ fn sweep_gc(shared: &Shared) -> usize {
 
 impl Drop for LsmCoconut {
     fn drop(&mut self) {
-        // Closing the channel ends the worker loop; join so no compaction
-        // outlives the index (its builds write into our directory).
-        drop(self.jobs.take());
+        // Ask the scheduler to drain in-flight merges and exit, then join
+        // so no compaction outlives the index (its builds write into our
+        // directory). A plain channel close is not enough: the merge
+        // workers hold sender clones, so the scheduler's `recv` would
+        // never disconnect on its own.
+        if let Some(jobs) = self.jobs.take() {
+            let _ = jobs.send(Msg::Shutdown);
+        }
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
@@ -990,6 +1254,7 @@ fn encode_manifest(shared: &Shared, st: &State) -> Vec<u8> {
         covered_end: st.covered_end,
         next_run_id: st.next_run_id,
         runs: st.runs.iter().map(|r| r.meta.clone()).collect(),
+        compaction: *shared.compaction_kind.lock(),
     }
     .encode()
 }
@@ -1032,48 +1297,426 @@ fn write_manifest(shared: &Shared, bytes: &[u8]) -> Result<()> {
     Ok(())
 }
 
-/// The compaction worker: drains jobs in order; the first error is sticky.
-fn worker_loop(shared: Arc<Shared>, jobs: Receiver<Job>) {
-    while let Ok(job) = jobs.recv() {
-        if shared.poisoned.lock().is_some() {
-            // Poisoned: only acknowledge syncs so waiters can observe it.
-            if let Job::Sync(ack) = job {
-                let _ = ack.send(());
-            }
-            continue;
-        }
-        let result = match job {
-            Job::Maintain => maintain(&shared),
-            Job::CompactAll => {
-                let ids: Vec<u64> = shared.state.lock().runs.iter().map(|r| r.meta.id).collect();
-                compact_ids(&shared, &ids)
-            }
-            Job::Sync(ack) => {
-                let _ = ack.send(());
-                Ok(())
-            }
-        };
-        if let Err(e) = result {
-            *shared.poisoned.lock() = Some(e.to_string());
+/// A typed "instance is poisoned" error (same shape as
+/// [`LsmCoconut::check_poisoned`] produces) for the ingest path.
+fn poisoned_error(shared: &Shared) -> Error {
+    let msg = shared
+        .poisoned
+        .lock()
+        .clone()
+        .unwrap_or_else(|| "a concurrent ingest writer failed".into());
+    Error::invalid(format!(
+        "LSM instance poisoned by a failed commit (reopen the index \
+         from disk to recover): {msg}"
+    ))
+}
+
+/// Reserve the next unclaimed contiguous slice of `base..upto`, at most
+/// `max_batch` long, and allocate its run id. Assigning the covered range
+/// here — not at commit time — is what keeps concurrently built runs
+/// gap-free: whatever order the builds finish, the chain reassembles.
+fn claim_range(
+    shared: &Shared,
+    dataset: &Dataset,
+    upto: u64,
+    max_batch: u64,
+) -> Result<Option<Claim>> {
+    let mut q = shared.ingest.lock();
+    if q.failed {
+        return Err(poisoned_error(shared));
+    }
+    if upto < q.durable_end {
+        return Err(Error::invalid("dataset shrank below the covered range"));
+    }
+    // Refresh the dataset handle compactions build against.
+    shared.state.lock().dataset = Some(dataset.clone());
+    if q.claimed_end >= upto {
+        return Ok(None);
+    }
+    let start = q.claimed_end;
+    let end = upto.min(start.saturating_add(max_batch));
+    let run_id = {
+        let mut st = shared.state.lock();
+        let id = st.next_run_id;
+        st.next_run_id += 1;
+        id
+    };
+    q.claimed_end = end;
+    q.in_flight += 1;
+    Ok(Some(Claim { start, end, run_id }))
+}
+
+/// Build and fsync the run for a claim — the expensive half of ingest,
+/// executed without any lock so writers, compactions, and queries overlap.
+fn build_run(shared: &Shared, dataset: &Dataset, claim: &Claim) -> Result<PendingRun> {
+    let run_dir = shared.dir.join(run_dir_name(claim.run_id));
+    lsm_check(shared, "run.create")?;
+    std::fs::create_dir_all(&run_dir)?;
+    let tree = CoconutTree::build_range(
+        dataset,
+        claim.start..claim.end,
+        &shared.config,
+        &run_dir,
+        shared.opts.clone(),
+    )?;
+    // The index file is fsynced by the build; fsync the run directory
+    // too, or a power loss after the manifest commit could lose the
+    // file's directory entry and leave the manifest pointing nowhere.
+    coconut_storage::atomic::sync_dir(&run_dir)?;
+    let file = relative_index_path(&shared.dir, tree.index_path())?;
+    Ok(PendingRun {
+        meta: RunMeta {
+            id: claim.run_id,
+            start: claim.start,
+            end: claim.end,
+            file,
+        },
+        tree,
+    })
+}
+
+/// Drive a claim through build → submit → durable group commit.
+fn build_and_commit(shared: &Shared, dataset: &Dataset, claim: Claim) -> Result<()> {
+    match build_run(shared, dataset, &claim) {
+        Ok(pending) => submit_and_wait(shared, pending),
+        Err(e) => {
+            abort_claim(shared, &claim, &e);
+            Err(e)
         }
     }
 }
 
-/// Apply the policy until it proposes nothing (merges cascade).
-fn maintain(shared: &Arc<Shared>) -> Result<()> {
-    loop {
-        let ids: Vec<u64> = {
-            let st = shared.state.lock();
-            let entries: Vec<u64> = st.runs.iter().map(|r| r.meta.entries()).collect();
-            match shared.policy.lock().plan(&entries) {
-                Some(window) if window.len() >= 2 && window.end <= st.runs.len() => {
-                    st.runs[window].iter().map(|r| r.meta.id).collect()
-                }
-                _ => return Ok(()),
-            }
-        };
-        compact_ids(shared, &ids)?;
+/// A claim's build failed before anything reached the manifest. If the
+/// claim is still the frontier, hand the range back so a retry can
+/// re-claim it; if later claims already extend past it, the coverage hole
+/// can never be filled — poison the instance like a failed commit.
+fn abort_claim(shared: &Shared, claim: &Claim, cause: &Error) {
+    let mut q = shared.ingest.lock();
+    q.in_flight -= 1;
+    if q.claimed_end == claim.end {
+        q.claimed_end = claim.start;
+    } else if !q.failed {
+        q.failed = true;
+        *shared.poisoned.lock() = Some(format!(
+            "ingest writer failed leaving an uncovered hole at {}..{}: {cause}",
+            claim.start, claim.end
+        ));
     }
+    shared.ingest.cv.notify_all();
+}
+
+/// Park a completed run in the commit queue and block until it is durably
+/// committed. Whichever writer finds the chain head (the run starting at
+/// the durable watermark) becomes the group committer and folds the whole
+/// contiguous chain into **one** manifest commit; everyone else sleeps on
+/// the condvar. A writer is only ever acknowledged (returns `Ok`) after
+/// the manifest referencing its run is on disk.
+fn submit_and_wait(shared: &Shared, pending: PendingRun) -> Result<()> {
+    let my_end = pending.meta.end;
+    {
+        let mut q = shared.ingest.lock();
+        if q.failed {
+            // The group can no longer commit; this run directory becomes
+            // an orphan for recovery to delete.
+            q.in_flight -= 1;
+            return Err(poisoned_error(shared));
+        }
+        q.done.insert(pending.meta.start, pending);
+        q.in_flight -= 1;
+        shared.ingest.cv.notify_all();
+    }
+    loop {
+        // Try to become the group committer. `commit_order` is acquired
+        // before the queue lock (lock order: commit_order → ingest →
+        // state) and held across {drain chain, mutate state, manifest
+        // I/O}, so commits hit disk serialized in mutation order.
+        {
+            let _order = shared.commit_order.lock();
+            let chain: Vec<PendingRun> = {
+                let mut q = shared.ingest.lock();
+                if q.failed {
+                    return Err(poisoned_error(shared));
+                }
+                if q.durable_end >= my_end {
+                    return Ok(());
+                }
+                let mut chain = Vec::new();
+                let mut next = q.durable_end;
+                while let Some(run) = q.done.remove(&next) {
+                    next = run.meta.end;
+                    chain.push(run);
+                }
+                chain
+            };
+            if !chain.is_empty() {
+                match commit_group(shared, chain) {
+                    Ok(new_end) => {
+                        let mut q = shared.ingest.lock();
+                        q.durable_end = new_end;
+                        shared.ingest.cv.notify_all();
+                        if new_end >= my_end {
+                            return Ok(());
+                        }
+                    }
+                    Err(e) => {
+                        // In-memory state is ahead of the durable manifest
+                        // — the situation a crash leaves behind. Poison so
+                        // every waiter and subsequent call fails until the
+                        // index is reopened from disk.
+                        *shared.poisoned.lock() = Some(e.to_string());
+                        let mut q = shared.ingest.lock();
+                        q.failed = true;
+                        shared.ingest.cv.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // Not durable yet and nothing to commit (a gap below us is still
+        // building): sleep until the watermark passes us, a committable
+        // chain head appears (then race for the committer role), or the
+        // group fails.
+        let mut q = shared.ingest.lock();
+        while !q.failed && q.durable_end < my_end && !q.done.contains_key(&q.durable_end) {
+            q = shared.ingest.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if q.failed {
+            return Err(poisoned_error(shared));
+        }
+        if q.durable_end >= my_end {
+            return Ok(());
+        }
+    }
+}
+
+/// Fold a contiguous chain of completed runs into one atomic manifest
+/// commit (one fsync for the whole group). The caller holds
+/// `commit_order`; on error the in-memory state is ahead of disk and the
+/// caller must poison the instance.
+fn commit_group(shared: &Shared, chain: Vec<PendingRun>) -> Result<u64> {
+    let entries: u64 = chain.iter().map(|r| r.meta.entries()).sum();
+    let folded = chain.len() as u64;
+    let (bytes, new_end) = {
+        let mut st = shared.state.lock();
+        let mut new_end = st.covered_end;
+        for run in chain {
+            debug_assert_eq!(
+                run.meta.start, new_end,
+                "group chains are contiguous from the covered prefix"
+            );
+            new_end = run.meta.end;
+            st.runs.push(Run {
+                meta: run.meta,
+                tree: Arc::new(run.tree),
+            });
+        }
+        st.covered_end = new_end;
+        st.seq += 1;
+        (encode_manifest(shared, &st), new_end)
+    };
+    write_manifest(shared, &bytes)?;
+    shared.stats.ingested.fetch_add(entries, Ordering::Relaxed);
+    shared.stats.ingest_commits.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .runs_committed
+        .fetch_add(folded, Ordering::Relaxed);
+    Ok(new_end)
+}
+
+/// Block until the durable covered prefix reaches `upto` (a concurrent
+/// writer holds the claim) or ingest fails.
+fn wait_durable(shared: &Shared, upto: u64) -> Result<()> {
+    let mut q = shared.ingest.lock();
+    while !q.failed && q.durable_end < upto {
+        q = shared.ingest.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    if q.failed {
+        return Err(poisoned_error(shared));
+    }
+    Ok(())
+}
+
+/// How many parallel merge workers the pool runs: derived from the build
+/// thread budget, at least 2 so disjoint windows actually overlap, capped
+/// small — merges are I/O-heavy and share the machine with ingest and
+/// queries.
+fn merge_worker_count(shared: &Shared) -> usize {
+    shared.opts.threads.clamp(2, 4)
+}
+
+/// The compaction scheduler: receives caller jobs and merge completions,
+/// plans non-overlapping windows, and dispatches them to the worker pool.
+/// Manifest commits happen inside [`compact_ids`] on the workers,
+/// serialized by `commit_order`; the scheduler itself never blocks on an
+/// fsync. The first merge error is sticky (poisons the instance), after
+/// which only syncs are acknowledged so waiters can observe it.
+fn scheduler_loop(shared: Arc<Shared>, rx: Receiver<Msg>, tx: Sender<Msg>) {
+    let (task_tx, task_rx) = std::sync::mpsc::channel::<MergeTask>();
+    let task_rx = Arc::new(StdMutex::new(task_rx));
+    let mut pool = Vec::new();
+    for i in 0..merge_worker_count(&shared) {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        let task_rx = Arc::clone(&task_rx);
+        let handle = std::thread::Builder::new()
+            .name(format!("coconut-lsm-merge-{i}"))
+            .spawn(move || merge_worker_loop(shared, task_rx, tx));
+        if let Ok(h) = handle {
+            pool.push(h);
+        }
+    }
+    // The scheduler's own clone of the message sender was only needed to
+    // seed the workers; the workers and `LsmCoconut` hold the live ones.
+    drop(tx);
+
+    let mut busy: HashSet<u64> = HashSet::new();
+    let mut in_flight = 0usize;
+    let mut compact_all = false;
+    let mut syncs: Vec<Sender<()>> = Vec::new();
+    let mut shutting_down = false;
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Job(Job::Maintain) => {}
+            Msg::Job(Job::CompactAll) => compact_all = true,
+            Msg::Job(Job::Sync(ack)) => syncs.push(ack),
+            Msg::Done { ids, result } => {
+                for id in &ids {
+                    busy.remove(id);
+                }
+                in_flight -= 1;
+                if let Err(e) = result {
+                    *shared.poisoned.lock() = Some(e.to_string());
+                }
+            }
+            Msg::Shutdown => shutting_down = true,
+        }
+        if !shutting_down && shared.poisoned.lock().is_none() {
+            // CompactAll needs the whole run set as its window: wait for
+            // in-flight merges to drain, then run it inline.
+            if compact_all && in_flight == 0 {
+                compact_all = false;
+                if let Err(e) = compact_everything(&shared) {
+                    *shared.poisoned.lock() = Some(e.to_string());
+                }
+            }
+            if shared.poisoned.lock().is_none() {
+                dispatch_merges(&shared, &mut busy, &mut in_flight, &task_tx);
+            }
+        }
+        let poisoned = shared.poisoned.lock().is_some();
+        if in_flight == 0 && (poisoned || !compact_all) {
+            // Idle (or failed): every queued job has finished; ack waiters.
+            for ack in syncs.drain(..) {
+                let _ = ack.send(());
+            }
+        }
+        if shutting_down && in_flight == 0 {
+            break;
+        }
+    }
+    // Retire the pool: closing the task channel ends the workers.
+    drop(task_tx);
+    for h in pool {
+        let _ = h.join();
+    }
+}
+
+/// One merge worker: take a planned window, execute it, report back.
+fn merge_worker_loop(
+    shared: Arc<Shared>,
+    tasks: Arc<StdMutex<Receiver<MergeTask>>>,
+    tx: Sender<Msg>,
+) {
+    loop {
+        // Hold the receiver lock only while waiting for the next task;
+        // the merge itself runs outside it, so workers overlap.
+        let task = {
+            let rx = tasks.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(task) = task else { break };
+        let result = compact_ids(&shared, &task.ids);
+        if tx
+            .send(Msg::Done {
+                ids: task.ids,
+                result,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Plan merge windows over maximal contiguous segments of runs not
+/// currently being merged and dispatch them to the pool; repeats until a
+/// full pass proposes nothing, so several disjoint windows run
+/// concurrently. Because planning always re-runs over the *whole* run
+/// list once merges drain, global invariants like `TieredPolicy`'s
+/// `max_runs` cap are re-checked after a group commit lands several runs
+/// in one manifest commit.
+fn dispatch_merges(
+    shared: &Arc<Shared>,
+    busy: &mut HashSet<u64>,
+    in_flight: &mut usize,
+    task_tx: &Sender<MergeTask>,
+) {
+    loop {
+        let window: Option<Vec<u64>> = {
+            let st = shared.state.lock();
+            let policy = shared.policy.lock();
+            plan_one_window(&st.runs, busy, policy.as_ref())
+        };
+        let Some(ids) = window else { return };
+        busy.extend(ids.iter().copied());
+        *in_flight += 1;
+        if task_tx.send(MergeTask { ids: ids.clone() }).is_err() {
+            // Pool is gone (shutdown); undo the bookkeeping.
+            for id in &ids {
+                busy.remove(id);
+            }
+            *in_flight -= 1;
+            return;
+        }
+    }
+}
+
+/// Find the first window the policy proposes in any maximal contiguous
+/// segment of non-busy runs; returns the window's run ids. Windows never
+/// include a busy run, so concurrent merge jobs cannot overlap.
+fn plan_one_window(
+    runs: &[Run],
+    busy: &HashSet<u64>,
+    policy: &dyn CompactionPolicy,
+) -> Option<Vec<u64>> {
+    let mut seg_start = 0;
+    for i in 0..=runs.len() {
+        if i < runs.len() && !busy.contains(&runs[i].meta.id) {
+            continue;
+        }
+        let segment = &runs[seg_start..i];
+        seg_start = i + 1;
+        if segment.len() < 2 {
+            continue;
+        }
+        let entries: Vec<u64> = segment.iter().map(|r| r.meta.entries()).collect();
+        if let Some(w) = policy.plan(&entries) {
+            if w.len() >= 2 && w.end <= segment.len() {
+                return Some(segment[w].iter().map(|r| r.meta.id).collect());
+            }
+        }
+    }
+    None
+}
+
+/// Merge every live run into a single run (the `CompactAll` job). Runs
+/// inline on the scheduler with the pool drained, so the window is the
+/// entire committed run set.
+fn compact_everything(shared: &Arc<Shared>) -> Result<()> {
+    let ids: Vec<u64> = shared.state.lock().runs.iter().map(|r| r.meta.id).collect();
+    compact_ids(shared, &ids)
 }
 
 /// Merge the adjacent runs with the given ids into one new run: K-way merge
@@ -1087,8 +1730,8 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
     let (trees, start, end, new_id, dataset) = {
         let mut st = shared.state.lock();
         // The window may have been invalidated by the time the job runs
-        // (only ever by our own earlier merges — the worker is the sole
-        // remover of runs); skip silently if so.
+        // (merge jobs are planned over disjoint windows, but a CompactAll
+        // or quarantine may have rewritten the set); skip silently if so.
         let Some(first) = st.runs.iter().position(|r| r.meta.id == ids[0]) else {
             return Ok(());
         };
@@ -1129,9 +1772,9 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
 
     let _order = shared.commit_order.lock();
     let mut st = shared.state.lock();
-    // The worker is the only remover of runs, so the window it validated
-    // above must still be present; a typed error (not a panic) keeps a
-    // would-be violation observable through the poisoned state.
+    // Concurrent merge jobs never overlap this window, so it must still
+    // be present; a typed error (not a panic) keeps a would-be violation
+    // observable through the poisoned state.
     let first = st
         .runs
         .iter()
@@ -1161,6 +1804,12 @@ fn compact_ids(shared: &Arc<Shared>, ids: &[u64]) -> Result<()> {
     let bytes = encode_manifest(shared, &st);
     drop(st); // queries proceed while the commit hits disk
     write_manifest(shared, &bytes)?;
+    // Every entry in the window was rewritten into the merged run: that
+    // is exactly the write-amplification cost of this compaction.
+    shared
+        .stats
+        .rewritten
+        .fetch_add(end - start, Ordering::Relaxed);
     // The commit is durable: retire the old runs to the GC list (snapshots
     // pinned before the swap keep their directories alive) and sweep
     // whatever is already unpinned. On commit *failure* nothing is queued —
@@ -1911,6 +2560,214 @@ mod tests {
         // And the recovered index keeps working: compact for real this time.
         lsm.compact().unwrap();
         assert_eq!(lsm.run_count(), 1);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    /// Claim and build `k` equal slices of `ds` concurrently-buildable
+    /// runs, park every run *except* the chain head in the commit queue,
+    /// then submit the head last — deterministically forcing one writer to
+    /// become the group committer for the whole chain. Returns the built
+    /// head run once all tails are parked.
+    fn park_tail_runs(
+        lsm: &LsmCoconut,
+        ds: &Dataset,
+        k: u64,
+        slice: u64,
+    ) -> (PendingRun, Vec<std::thread::JoinHandle<Result<()>>>) {
+        let claims: Vec<Claim> = (0..k)
+            .map(|i| {
+                claim_range(&lsm.shared, ds, (i + 1) * slice, slice)
+                    .unwrap()
+                    .unwrap()
+            })
+            .collect();
+        let mut head = None;
+        let mut tails = Vec::new();
+        for claim in claims {
+            let run = build_run(&lsm.shared, ds, &claim).unwrap();
+            if run.meta.start == 0 {
+                head = Some(run);
+                continue;
+            }
+            let shared = Arc::clone(&lsm.shared);
+            tails.push(std::thread::spawn(move || submit_and_wait(&shared, run)));
+        }
+        // Wait until every tail run is parked awaiting the chain head.
+        loop {
+            if lsm.shared.ingest.lock().done.len() == (k - 1) as usize {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        (head.unwrap(), tails)
+    }
+
+    #[test]
+    fn group_commit_folds_concurrent_runs_into_one_manifest_commit() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(9);
+        let lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 200);
+
+        const K: u64 = 4;
+        let seq_before = lsm.snapshot().seq();
+        let (head, tails) = park_tail_runs(&lsm, &ds, K, 50);
+        // The head run completes the chain: whoever wakes first folds all
+        // K runs into ONE atomic manifest commit.
+        submit_and_wait(&lsm.shared, head).unwrap();
+        for t in tails {
+            t.join().unwrap().unwrap();
+        }
+
+        let ws = lsm.write_stats();
+        assert_eq!(ws.ingest_commits, 1, "one fsync for the whole group");
+        assert_eq!(ws.runs_committed, K, "all runs landed in that commit");
+        assert_eq!(ws.entries_ingested, 200);
+        assert_eq!(
+            lsm.snapshot().seq(),
+            seq_before + 1,
+            "one seq bump for the fold"
+        );
+        assert_eq!(lsm.len(), 200);
+        let q = query(4242);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+
+        // A reopen sees exactly the folded state: the group was atomic.
+        drop(lsm);
+        let lsm = LsmCoconut::open(dir.path().join("i"), &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.covered_end(), 200);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    /// Regression (ISSUE 10): `TieredPolicy::with_max_runs` read-amp cap
+    /// must be re-checked after a group commit lands K runs in a single
+    /// manifest commit — the planner only ever saw one new run per commit
+    /// before group commit existed.
+    #[test]
+    fn max_runs_cap_recovers_after_k_run_group_commit() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(17);
+        let lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        lsm.set_max_runs(3);
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 250);
+
+        const K: u64 = 5;
+        let (head, tails) = park_tail_runs(&lsm, &ds, K, 50);
+        submit_and_wait(&lsm.shared, head).unwrap();
+        for t in tails {
+            t.join().unwrap().unwrap();
+        }
+        assert_eq!(lsm.write_stats().ingest_commits, 1);
+        assert_eq!(lsm.run_count(), K as usize, "group landed K runs at once");
+
+        // The scheduler must notice the K-run pile-up and compact it back
+        // under the cap (the sync job itself re-plans on arrival).
+        lsm.wait_for_compactions().unwrap();
+        assert!(
+            lsm.run_count() <= 3,
+            "{} runs still live after a K-run group commit",
+            lsm.run_count()
+        );
+        let q = query(71);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    #[test]
+    fn concurrent_writers_cover_contiguously_and_answer_exactly() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let mut gen = RandomWalkGen::new(23);
+        let lsm = LsmCoconut::new(
+            small_config(),
+            BuildOptions::default(),
+            dir.path().join("i"),
+        )
+        .unwrap();
+        let (ds, all) = grow_dataset(&path, &stats, &mut gen, &[], 240);
+
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let w = lsm.writer();
+                    while w.ingest_next(&ds, 40).unwrap().is_some() {}
+                });
+            }
+        });
+
+        assert_eq!(lsm.len(), 240);
+        assert_eq!(lsm.covered_end(), 240);
+        let ws = lsm.write_stats();
+        assert_eq!(ws.entries_ingested, 240, "every entry acknowledged once");
+        assert!(
+            ws.ingest_commits <= ws.runs_committed,
+            "group commit can only fold, never split"
+        );
+        for seed in [301, 302, 303] {
+            let q = query(seed);
+            let (ans, _) = lsm.exact(&q).unwrap();
+            assert_eq!(ans.pos, brute_force(&all, &q).pos, "seed {seed}");
+        }
+        // Full compaction after concurrent ingest still collapses to the
+        // single-run, bit-identical-to-bulk-load shape.
+        lsm.compact().unwrap();
+        assert_eq!(lsm.run_count(), 1);
+        let q = query(304);
+        let (ans, _) = lsm.exact(&q).unwrap();
+        assert_eq!(ans.pos, brute_force(&all, &q).pos);
+    }
+
+    #[test]
+    fn leveled_policy_round_trips_through_manifest_and_answers_exactly() {
+        let dir = TempDir::new("lsm").unwrap();
+        let stats = Arc::new(IoStats::new());
+        let path = dir.path().join("data.bin");
+        let idx = dir.path().join("i");
+        let mut gen = RandomWalkGen::new(41);
+        let mut all = Vec::new();
+        {
+            let lsm = LsmCoconut::create(
+                small_config(),
+                BuildOptions::default(),
+                &idx,
+                0,
+                CompactionPolicyKind::Leveled,
+            )
+            .unwrap();
+            assert_eq!(lsm.compaction_kind(), CompactionPolicyKind::Leveled);
+            for _ in 0..5 {
+                let (ds, new_all) = grow_dataset(&path, &stats, &mut gen, &all, 120);
+                all = new_all;
+                lsm.ingest(&ds).unwrap();
+            }
+            lsm.wait_for_compactions().unwrap();
+            let q = query(500);
+            let (ans, _) = lsm.exact(&q).unwrap();
+            assert_eq!(ans.pos, brute_force(&all, &q).pos);
+        }
+        // The policy family is manifest state: a plain reopen recovers it.
+        let ds = Dataset::open(&path, Arc::clone(&stats)).unwrap();
+        let lsm = LsmCoconut::open(&idx, &ds, BuildOptions::default()).unwrap();
+        assert_eq!(lsm.compaction_kind(), CompactionPolicyKind::Leveled);
+        let q = query(501);
         let (ans, _) = lsm.exact(&q).unwrap();
         assert_eq!(ans.pos, brute_force(&all, &q).pos);
     }

@@ -33,7 +33,10 @@
 //! always covered `0..covered_end`) still decode, with `base = 0`.
 //! Version 3 added the split-policy byte ([`crate::split::SplitPolicyKind`])
 //! after `internal_fanout`; version-1/2 manifests decode with the fixed
-//! policy, which is what they were built under.
+//! policy, which is what they were built under. Version 4 added the
+//! compaction-policy byte ([`crate::compaction::CompactionPolicyKind`])
+//! right after it; version-1/2/3 manifests decode as tiered, the only
+//! policy that existed before v4.
 
 use std::path::{Path, PathBuf};
 
@@ -41,6 +44,7 @@ use coconut_storage::atomic::{atomic_write, crc64, read_all};
 use coconut_storage::{Error, Result};
 use coconut_summary::SaxConfig;
 
+use crate::compaction::CompactionPolicyKind;
 use crate::config::IndexConfig;
 use crate::split::SplitPolicyKind;
 
@@ -48,7 +52,7 @@ use crate::split::SplitPolicyKind;
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
 const MAGIC: &[u8; 8] = b"CNUTMAN1";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 /// Oldest format version [`Manifest::decode`] still accepts.
 const MIN_VERSION: u32 = 1;
 /// magic + version + payload length + crc64.
@@ -96,6 +100,8 @@ pub struct Manifest {
     pub config: IndexConfig,
     /// Whether runs embed raw series (`-Full` layout).
     pub materialized: bool,
+    /// The compaction policy family the index is grown under.
+    pub compaction: CompactionPolicyKind,
     /// First raw-file position this index covers: 0 for a whole-dataset
     /// index, the slice start for a shard worker's key-range slice.
     pub base: u64,
@@ -125,6 +131,7 @@ impl Manifest {
         push_u64(&mut payload, self.config.fill_factor.to_bits());
         push_u64(&mut payload, self.config.internal_fanout as u64);
         payload.push(self.config.split_policy.as_u8());
+        payload.push(self.compaction.as_u8());
         push_u64(&mut payload, self.base);
         push_u64(&mut payload, self.covered_end);
         push_u64(&mut payload, self.next_run_id);
@@ -187,6 +194,11 @@ impl Manifest {
         } else {
             SplitPolicyKind::Fixed
         };
+        let compaction = if version >= 4 {
+            CompactionPolicyKind::from_u8(r.u8()?)?
+        } else {
+            CompactionPolicyKind::Tiered
+        };
         let base = if version >= 2 { r.u64()? } else { 0 };
         let covered_end = r.u64()?;
         let next_run_id = r.u64()?;
@@ -223,6 +235,7 @@ impl Manifest {
             seq,
             config,
             materialized,
+            compaction,
             base,
             covered_end,
             next_run_id,
@@ -312,6 +325,7 @@ mod tests {
             seq: 7,
             config: IndexConfig::default_for_len(128),
             materialized: true,
+            compaction: CompactionPolicyKind::Tiered,
             base: 0,
             covered_end: 500,
             next_run_id: 5,
@@ -414,39 +428,56 @@ mod tests {
         out
     }
 
-    // Offset of the split-policy byte in a v3 payload: seq + series_len +
-    // segments = 24, card_bits + materialized = 2, leaf + fill + fanout =
-    // 24.
+    // Offset of the split-policy byte in a v3/v4 payload: seq + series_len
+    // + segments = 24, card_bits + materialized = 2, leaf + fill + fanout =
+    // 24. In a v4 payload the compaction-policy byte follows it.
     const POLICY_OFF: usize = 8 * 3 + 2 + 8 * 3;
+    const COMPACTION_OFF: usize = POLICY_OFF + 1;
 
     #[test]
     fn version1_manifests_still_decode() {
-        // Re-encode sample() as a v1 frame (no policy byte, no base field)
-        // by hand and check decode fills fixed policy and base = 0.
+        // Re-encode sample() as a v1 frame (no policy bytes, no base field)
+        // by hand and check decode fills fixed/tiered policies and base = 0.
         let m = sample();
-        let v3 = m.encode();
-        let payload = &v3[HEADER_LEN..];
-        let mut v1_payload = Vec::with_capacity(payload.len() - 9);
+        let v4 = m.encode();
+        let payload = &v4[HEADER_LEN..];
+        let mut v1_payload = Vec::with_capacity(payload.len() - 10);
         v1_payload.extend_from_slice(&payload[..POLICY_OFF]);
-        v1_payload.extend_from_slice(&payload[POLICY_OFF + 1 + 8..]);
+        v1_payload.extend_from_slice(&payload[POLICY_OFF + 2 + 8..]);
         let decoded = Manifest::decode(&frame(1, &v1_payload)).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(decoded.base, 0);
         assert_eq!(decoded.config.split_policy, SplitPolicyKind::Fixed);
+        assert_eq!(decoded.compaction, CompactionPolicyKind::Tiered);
     }
 
     #[test]
     fn version2_manifests_still_decode() {
-        // v2 = v3 minus the split-policy byte; decodes as fixed.
+        // v2 = v4 minus both policy bytes; decodes as fixed/tiered.
         let m = sample();
-        let v3 = m.encode();
-        let payload = &v3[HEADER_LEN..];
-        let mut v2_payload = Vec::with_capacity(payload.len() - 1);
+        let v4 = m.encode();
+        let payload = &v4[HEADER_LEN..];
+        let mut v2_payload = Vec::with_capacity(payload.len() - 2);
         v2_payload.extend_from_slice(&payload[..POLICY_OFF]);
-        v2_payload.extend_from_slice(&payload[POLICY_OFF + 1..]);
+        v2_payload.extend_from_slice(&payload[POLICY_OFF + 2..]);
         let decoded = Manifest::decode(&frame(2, &v2_payload)).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(decoded.config.split_policy, SplitPolicyKind::Fixed);
+        assert_eq!(decoded.compaction, CompactionPolicyKind::Tiered);
+    }
+
+    #[test]
+    fn version3_manifests_still_decode() {
+        // v3 = v4 minus the compaction byte; decodes as tiered.
+        let m = sample();
+        let v4 = m.encode();
+        let payload = &v4[HEADER_LEN..];
+        let mut v3_payload = Vec::with_capacity(payload.len() - 1);
+        v3_payload.extend_from_slice(&payload[..COMPACTION_OFF]);
+        v3_payload.extend_from_slice(&payload[COMPACTION_OFF + 1..]);
+        let decoded = Manifest::decode(&frame(3, &v3_payload)).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.compaction, CompactionPolicyKind::Tiered);
     }
 
     #[test]
@@ -459,7 +490,20 @@ mod tests {
         let encoded = m.encode();
         let mut bad_payload = encoded[HEADER_LEN..].to_vec();
         bad_payload[POLICY_OFF] = 9;
-        assert!(Manifest::decode(&frame(3, &bad_payload)).is_err());
+        assert!(Manifest::decode(&frame(4, &bad_payload)).is_err());
+    }
+
+    #[test]
+    fn compaction_policy_roundtrips_in_v4() {
+        let mut m = sample();
+        m.compaction = CompactionPolicyKind::Leveled;
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded.compaction, CompactionPolicyKind::Leveled);
+        // An unknown compaction byte is corruption, not a silent default.
+        let encoded = m.encode();
+        let mut bad_payload = encoded[HEADER_LEN..].to_vec();
+        bad_payload[COMPACTION_OFF] = 9;
+        assert!(Manifest::decode(&frame(4, &bad_payload)).is_err());
     }
 
     #[test]

@@ -186,11 +186,24 @@ impl Engine {
         match self.current() {
             Ok(lsm) => {
                 let snap = lsm.snapshot();
+                let levels: Vec<String> = lsm
+                    .level_run_counts()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect();
                 format!(
-                    "OK healthy covered={} runs={} seq={}",
+                    "OK healthy covered={} runs={} seq={} compaction={} \
+                     write_amp={:.2} levels={}",
                     snap.covered_end(),
                     snap.run_count(),
-                    snap.seq()
+                    snap.seq(),
+                    lsm.compaction_kind(),
+                    lsm.write_amplification(),
+                    if levels.is_empty() {
+                        "-".to_string()
+                    } else {
+                        levels.join("/")
+                    }
                 )
             }
             Err(_) => "OK healthy unassigned covered=0 runs=0 seq=0".into(),

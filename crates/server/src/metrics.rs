@@ -26,6 +26,10 @@ const RATE_WINDOW_S: u64 = 10;
 /// unsplittable key group forced beyond capacity land in `+Inf`.
 const FILL_BUCKETS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
+/// Per-level run-count gauges exported (`coconut_runs_level_0..`); the top
+/// gauge absorbs every deeper level so the set stays fixed-size.
+const LEVEL_GAUGES: usize = 8;
+
 /// Every instrument the query server exports, with Prometheus rendering.
 pub struct ServerMetrics {
     registry: Registry,
@@ -64,6 +68,11 @@ pub struct ServerMetrics {
     /// rebuilt from the index on every render rather than accumulated.
     leaf_fill: Arc<Histogram>,
     oversized_leaves: Arc<Gauge>,
+    write_amp: Arc<Gauge>,
+    space_amp: Arc<Gauge>,
+    ingest_commits: Arc<Gauge>,
+    runs_committed: Arc<Gauge>,
+    runs_level: Vec<Arc<Gauge>>,
 }
 
 impl Default for ServerMetrics {
@@ -150,6 +159,40 @@ impl ServerMetrics {
             "coconut_oversized_leaves",
             "Leaves beyond capacity because identical keys cannot split.",
         );
+        let write_amp = reg.gauge(
+            "coconut_write_amp",
+            "Entries written (ingested + rewritten by compaction) per \
+             entry ingested, since this index instance opened.",
+        );
+        let space_amp = reg.gauge(
+            "coconut_space_amp",
+            "Index bytes on disk per byte referenced by the live run set \
+             (garbage awaiting GC inflates it above 1).",
+        );
+        let ingest_commits = reg.gauge(
+            "coconut_ingest_manifest_commits",
+            "Manifest commits that acknowledged ingest batches (group \
+             commit folds several runs into one).",
+        );
+        let runs_committed = reg.gauge(
+            "coconut_ingest_runs_committed",
+            "Ingest runs made durable across all manifest commits.",
+        );
+        let runs_level = (0..LEVEL_GAUGES)
+            .map(|l| {
+                reg.gauge(
+                    &format!("coconut_runs_level_{l}"),
+                    &format!(
+                        "Live runs sized for level {l}{}.",
+                        if l + 1 == LEVEL_GAUGES {
+                            " or deeper"
+                        } else {
+                            ""
+                        }
+                    ),
+                )
+            })
+            .collect();
         ServerMetrics {
             registry: reg,
             queries,
@@ -174,6 +217,11 @@ impl ServerMetrics {
             disk,
             leaf_fill,
             oversized_leaves,
+            write_amp,
+            space_amp,
+            ingest_commits,
+            runs_committed,
+            runs_level,
         }
     }
 
@@ -239,6 +287,21 @@ impl ServerMetrics {
             self.leaf_fill.observe(fill);
         }
         self.oversized_leaves.set(lsm.oversized_leaves() as f64);
+        self.write_amp.set(lsm.write_amplification());
+        self.space_amp.set(lsm.space_amplification());
+        let ws = lsm.write_stats();
+        self.ingest_commits.set(ws.ingest_commits as f64);
+        self.runs_committed.set(ws.runs_committed as f64);
+        let counts = lsm.level_run_counts();
+        for (l, gauge) in self.runs_level.iter().enumerate() {
+            let n = if l + 1 == LEVEL_GAUGES {
+                // The top gauge absorbs every deeper level.
+                counts.iter().skip(l).sum::<usize>()
+            } else {
+                counts.get(l).copied().unwrap_or(0)
+            };
+            gauge.set(n as f64);
+        }
         self.registry.render()
     }
 }
@@ -454,6 +517,12 @@ mod tests {
             "coconut_series_ingested_total 100",
             "coconut_leaf_fill_bucket",
             "coconut_oversized_leaves 0",
+            "coconut_write_amp",
+            "coconut_space_amp",
+            "coconut_ingest_manifest_commits",
+            "coconut_ingest_runs_committed",
+            "coconut_runs_level_0",
+            "coconut_runs_level_7",
         ] {
             assert!(text.contains(required), "missing {required} in:\n{text}");
         }

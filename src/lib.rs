@@ -97,8 +97,8 @@ pub mod prelude {
         AdsIndex, AdsVariant, DsTree, Isax2Index, RTreeIndex, SerialScan, VerticalIndex,
     };
     pub use crate::index::{
-        BuildOptions, CoconutTree, CoconutTrie, IndexConfig, KillPoint, LsmCoconut, Snapshot,
-        TieredPolicy,
+        BuildOptions, CoconutTree, CoconutTrie, CompactionPolicyKind, IndexConfig, KillPoint,
+        LeveledPolicy, LsmCoconut, Snapshot, TieredPolicy,
     };
     pub use crate::series::dataset::{write_dataset, Dataset, DatasetWriter};
     pub use crate::series::gen::{AstronomyGen, Generator, RandomWalkGen, SeismicGen};
